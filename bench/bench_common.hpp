@@ -1,0 +1,178 @@
+// Shared plumbing for the table/figure reproduction binaries: suite
+// construction, CSV/table emission, and the standard CLI options.
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "graph/transform.hpp"
+#include "stg/suite.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace lamps::bench {
+
+struct CommonOptions {
+  /// Graphs per random size group.  The paper's full configuration is 180;
+  /// the default keeps a full bench run in tens of seconds on one core.
+  std::size_t graphs_per_group{12};
+  std::uint64_t seed{0x57a6};
+  std::size_t threads{0};
+  bool full{false};  ///< shorthand for graphs_per_group = 180
+
+  void register_flags(CliParser& cli) {
+    cli.add_option("graphs", "random graphs per size group", &graphs_per_group);
+    cli.add_option("seed", "master seed for the generated suite", &seed);
+    cli.add_option("threads", "worker threads (0 = all cores)", &threads);
+    cli.add_flag("full", "use the paper's full 180 graphs per group", &full);
+  }
+
+  [[nodiscard]] std::size_t effective_graphs() const {
+    return full ? 180 : graphs_per_group;
+  }
+};
+
+/// Builds the random groups (scaled to cycles) for the given sizes.
+inline std::vector<core::SuiteEntry> make_random_suite(
+    const std::vector<std::size_t>& sizes, std::size_t per_group, Cycles cycles_per_unit,
+    std::uint64_t seed) {
+  std::vector<core::SuiteEntry> entries;
+  for (const std::size_t size : sizes) {
+    for (auto& g : stg::make_random_group(size, per_group, seed)) {
+      entries.push_back(core::SuiteEntry{std::to_string(size),
+                                         graph::scale_weights(g, cycles_per_unit)});
+    }
+  }
+  return entries;
+}
+
+/// Appends the three application graphs (fpppp/robot/sparse), scaled.
+inline void append_application_graphs(std::vector<core::SuiteEntry>& entries,
+                                      Cycles cycles_per_unit) {
+  for (auto& g : stg::application_graphs()) {
+    const std::string group = g.name();
+    entries.push_back(core::SuiteEntry{group, graph::scale_weights(g, cycles_per_unit)});
+  }
+}
+
+/// Emits the Figs 10/11-style output: one table per deadline factor with a
+/// row per group and a column per strategy (mean energy relative to S&S),
+/// followed by the full CSV.
+inline void print_relative_energy_report(const std::vector<core::GroupRelative>& agg,
+                                         const std::vector<std::string>& group_order,
+                                         const std::vector<double>& factors,
+                                         std::ostream& os) {
+  const auto find = [&](const std::string& group, double factor,
+                        core::StrategyKind k) -> const core::GroupRelative* {
+    for (const auto& g : agg)
+      if (g.group == group && g.deadline_factor == factor && g.strategy == k) return &g;
+    return nullptr;
+  };
+
+  for (const double factor : factors) {
+    os << "\nDeadline = " << factor << " x CPL (energy relative to S&S)\n";
+    std::vector<std::string> headers{"group"};
+    for (const core::StrategyKind k : core::kAllStrategies)
+      headers.emplace_back(core::to_string(k));
+    TextTable table(std::move(headers));
+    for (const std::string& group : group_order) {
+      std::vector<std::string> row{group};
+      for (const core::StrategyKind k : core::kAllStrategies) {
+        const auto* g = find(group, factor, k);
+        row.push_back(g != nullptr && g->num_graphs > 0
+                          ? fmt_percent(g->mean_relative_energy)
+                          : "n/a");
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(os);
+  }
+
+  os << "\nCSV:\ngroup,deadline_factor,strategy,relative_energy,stddev,min,max,graphs,skipped\n";
+  CsvWriter csv(os);
+  for (const double factor : factors)
+    for (const std::string& group : group_order)
+      for (const core::StrategyKind k : core::kAllStrategies)
+        if (const auto* g = find(group, factor, k); g != nullptr)
+          csv.row(group, factor, core::to_string(k), fmt_fixed(g->mean_relative_energy, 6),
+                  fmt_fixed(g->stddev_relative_energy, 6),
+                  fmt_fixed(g->min_relative_energy, 6), fmt_fixed(g->max_relative_energy, 6),
+                  g->num_graphs, g->num_skipped);
+}
+
+/// Runs the full figs-10/11 style experiment for one granularity.
+inline void run_granularity_figure(const char* figure_name, Cycles cycles_per_unit,
+                                   const CommonOptions& opts, std::ostream& os) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+
+  std::vector<core::SuiteEntry> entries = make_random_suite(
+      stg::figure_group_sizes(), opts.effective_graphs(), cycles_per_unit, opts.seed);
+  append_application_graphs(entries, cycles_per_unit);
+
+  core::SweepConfig cfg;
+  cfg.threads = opts.threads;
+  const auto results = core::run_sweep(entries, model, ladder, cfg);
+  const auto agg = core::aggregate_relative(results);
+
+  std::vector<std::string> group_order;
+  for (const std::size_t s : stg::figure_group_sizes())
+    group_order.push_back(std::to_string(s));
+  group_order.insert(group_order.end(), {"fpppp", "robot", "sparse"});
+
+  os << figure_name << " — " << entries.size() << " graphs, "
+     << opts.effective_graphs() << " per random group\n";
+  print_relative_energy_report(agg, group_order, cfg.deadline_factors, os);
+}
+
+/// Runs the Figs 12/13-style experiment: energy / total-work vs average
+/// parallelism, deadline 2 x CPL, sizes 1000/2000/2500/3000, one CSV point
+/// per (graph, strategy), plus a spread summary table.
+inline void run_parallelism_figure(const char* name, Cycles cycles_per_unit,
+                                   const CommonOptions& opts, std::ostream& os) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+
+  const std::vector<std::size_t> sizes{1000, 2000, 2500, 3000};
+  const std::vector<core::SuiteEntry> entries =
+      make_random_suite(sizes, opts.effective_graphs(), cycles_per_unit, opts.seed);
+
+  core::SweepConfig cfg;
+  cfg.deadline_factors = {2.0};
+  cfg.threads = opts.threads;
+  const auto results = core::run_sweep(entries, model, ladder, cfg);
+
+  os << name << " — one point per (graph, strategy); deadline = 2 x CPL\n";
+  os << "CSV:\ngraph,size_group,parallelism,strategy,energy_j,total_work_cycles,"
+        "energy_per_gigacycle_j,procs\n";
+  CsvWriter csv(os);
+  struct Stats {
+    double lo = 1e300, hi = 0.0;
+  };
+  std::map<std::string, Stats> per_strategy;  // energy-per-work spread
+  for (const auto& r : results) {
+    if (!r.feasible) continue;
+    const double epw = r.energy.value() / (static_cast<double>(r.total_work) / 1e9);
+    csv.row(r.graph_name, r.group, fmt_fixed(r.parallelism, 3),
+            core::to_string(r.strategy), fmt_fixed(r.energy.value(), 6), r.total_work,
+            fmt_fixed(epw, 6), r.num_procs);
+    auto& s = per_strategy[std::string(core::to_string(r.strategy))];
+    s.lo = std::min(s.lo, epw);
+    s.hi = std::max(s.hi, epw);
+  }
+
+  os << "\nEnergy per gigacycle of work [J], spread across the suite:\n";
+  TextTable table({"strategy", "min", "max", "max/min"});
+  for (const auto& [k, s] : per_strategy)
+    table.row(k, fmt_fixed(s.lo, 3), fmt_fixed(s.hi, 3), fmt_fixed(s.hi / s.lo, 2));
+  table.print(os);
+  os << "(S&S's max/min spread is the low-parallelism blow-up visible in the "
+        "paper's scatter; LAMPS+PS stays near-flat.)\n";
+}
+
+}  // namespace lamps::bench

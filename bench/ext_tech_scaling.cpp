@@ -1,0 +1,77 @@
+// Extension experiment: the paper's motivation, quantified.
+//
+// Section 1 argues that with each technology generation the leakage
+// current grows ~5x, so "schedule on everything and stretch" (S&S) loses
+// to leakage-aware processor-count selection more and more.  This bench
+// projects the 70 nm model forward (leakage x5 per generation, Ceff x0.7)
+// and reports, per node, the critical speed, the static share of the
+// power at f_max, and the LAMPS+PS saving over S&S on a fixed graph
+// sample — the saving should grow with the static share.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/analysis.hpp"
+#include "power/sleep_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lamps;
+
+  std::size_t graphs = 8;
+  std::size_t tasks = 200;
+  std::size_t max_generations = 3;
+  CliParser cli("Extension — technology scaling: leakage x5 per generation");
+  cli.add_option("graphs", "number of random graphs", &graphs);
+  cli.add_option("tasks", "tasks per graph", &tasks);
+  cli.add_option("generations", "how many generations past 70 nm", &max_generations);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+
+  std::cout << "Technology scaling, " << graphs << " graphs of " << tasks
+            << " tasks, deadline 2 x CPL, coarse grain\n";
+  std::cout << "CSV:\ngeneration,static_share_at_fmax,crit_f_norm,lamps_ps_vs_sns,"
+               "limit_sf_vs_sns\n";
+  CsvWriter csv(std::cout);
+  TextTable table({"node", "static share @fmax", "crit f/f_max", "LAMPS+PS vs S&S",
+                   "LIMIT-SF vs S&S"});
+
+  for (unsigned gen = 0; gen <= max_generations; ++gen) {
+    const power::PowerModel model(power::technology_scaled(gen));
+    const power::DvsLadder ladder(model);
+    const auto& top = ladder.max_level();
+    const double static_share =
+        (top.active.leakage + top.active.intrinsic) / top.active.total();
+
+    double ps_sum = 0.0, lsf_sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < graphs; ++i) {
+      const auto specs = stg::random_group_specs(tasks, i + 1);
+      const graph::TaskGraph g = graph::scale_weights(
+          stg::generate_random(specs[i]), stg::kCoarseGrainCyclesPerUnit);
+      core::Problem prob;
+      prob.graph = &g;
+      prob.model = &model;
+      prob.ladder = &ladder;
+      prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                              model.max_frequency().value() * 2.0};
+      const auto sns = core::run_strategy(core::StrategyKind::kSns, prob);
+      const auto ps = core::run_strategy(core::StrategyKind::kLampsPs, prob);
+      const auto lsf = core::run_strategy(core::StrategyKind::kLimitSf, prob);
+      if (!sns.feasible || !ps.feasible || !lsf.feasible) continue;
+      ps_sum += ps.energy().value() / sns.energy().value();
+      lsf_sum += lsf.energy().value() / sns.energy().value();
+      ++n;
+    }
+    if (n == 0) continue;
+    const double dn = static_cast<double>(n);
+    const std::string node = gen == 0 ? "70 nm (paper)"
+                                      : std::to_string(gen) + " gen past 70 nm";
+    table.row(node, fmt_percent(static_share), fmt_fixed(ladder.critical_level().f_norm, 3),
+              fmt_percent(ps_sum / dn), fmt_percent(lsf_sum / dn));
+    csv.row(gen, fmt_fixed(static_share, 4), fmt_fixed(ladder.critical_level().f_norm, 4),
+            fmt_fixed(ps_sum / dn, 4), fmt_fixed(lsf_sum / dn, 4));
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  std::cout << "(As leakage dominates, the critical speed rises and the saving of\n"
+               " leakage-aware scheduling over S&S grows — the paper's section 1 argument.)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces paper Fig 2: (a) power and (b) energy-per-cycle as functions
+// of the normalized operating frequency, split into the AC / DC / on
+// components, plus the continuous and discrete critical frequencies.
+#include <iostream>
+
+#include "power/dvs_ladder.hpp"
+#include "power/power_model.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lamps;
+
+  std::size_t samples = 64;
+  CliParser cli("Fig 2 — power and energy per cycle vs normalized frequency");
+  cli.add_option("samples", "number of Vdd sample points", &samples);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const double f_max = model.max_frequency().value();
+
+  std::cout << "Fig 2 — 70 nm power model curves\n";
+  std::cout << "f_max = " << fmt_fixed(f_max / 1e9, 3) << " GHz at Vdd = "
+            << model.tech().vdd_nominal.value() << " V\n";
+  std::cout << "critical frequency (continuous) = "
+            << fmt_fixed(model.critical_frequency().value() / f_max, 3)
+            << " x f_max (paper: 0.38)\n";
+  const auto& crit = ladder.critical_level();
+  std::cout << "critical level (discrete)      = " << fmt_fixed(crit.f_norm, 3)
+            << " x f_max at " << crit.vdd.value() << " V (paper: 0.41 at 0.7 V)\n\n";
+
+  TextTable table({"f/f_max", "Vdd [V]", "Pac [W]", "Pdc [W]", "Pon [W]", "Ptot [W]",
+                   "Eac [nJ]", "Edc [nJ]", "Eon [nJ]", "Etot [nJ]"});
+  std::cout << "CSV:\nf_norm,vdd,p_ac,p_dc,p_on,p_total,e_ac_nj,e_dc_nj,e_on_nj,e_total_nj\n";
+  CsvWriter csv(std::cout);
+
+  const double v_lo = model.min_meaningful_vdd().value() + 0.02;
+  const double v_hi = model.tech().vdd_nominal.value();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const Volts vdd{v_lo + (v_hi - v_lo) * static_cast<double>(i) /
+                               static_cast<double>(samples - 1)};
+    const Hertz f = model.frequency(vdd);
+    const power::PowerBreakdown p = model.active_power(vdd);
+    const double fn = f.value() / f_max;
+    const double e_ac = p.dynamic.value() / f.value() * 1e9;
+    const double e_dc = p.leakage.value() / f.value() * 1e9;
+    const double e_on = p.intrinsic.value() / f.value() * 1e9;
+    csv.row(fmt_fixed(fn, 4), fmt_fixed(vdd.value(), 3), fmt_fixed(p.dynamic.value(), 4),
+            fmt_fixed(p.leakage.value(), 4), fmt_fixed(p.intrinsic.value(), 4),
+            fmt_fixed(p.total().value(), 4), fmt_fixed(e_ac, 4), fmt_fixed(e_dc, 4),
+            fmt_fixed(e_on, 4), fmt_fixed(e_ac + e_dc + e_on, 4));
+    if (i % (samples / 16 + 1) == 0 || i == samples - 1)
+      table.row(fmt_fixed(fn, 3), fmt_fixed(vdd.value(), 3), fmt_fixed(p.dynamic.value(), 3),
+                fmt_fixed(p.leakage.value(), 3), fmt_fixed(p.intrinsic.value(), 3),
+                fmt_fixed(p.total().value(), 3), fmt_fixed(e_ac, 3), fmt_fixed(e_dc, 3),
+                fmt_fixed(e_on, 3), fmt_fixed(e_ac + e_dc + e_on, 3));
+  }
+  std::cout << "\nSampled table:\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces paper Fig 3: the minimum number of idle cycles for processor
+// shutdown to be beneficial, as a function of the normalized frequency.
+#include <iostream>
+
+#include "power/dvs_ladder.hpp"
+#include "power/power_model.hpp"
+#include "power/sleep_model.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lamps;
+
+  std::size_t samples = 48;
+  CliParser cli("Fig 3 — minimum beneficial idle cycles vs normalized frequency");
+  cli.add_option("samples", "number of sample points", &samples);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+
+  const power::PowerModel model;
+  const power::SleepModel sleep(model);
+  const double f_max = model.max_frequency().value();
+
+  std::cout << "Fig 3 — PS breakeven (sleep power "
+            << sleep.sleep_power().value() * 1e6 << " uW, wake energy "
+            << sleep.wakeup_energy().value() * 1e6 << " uJ)\n\n";
+
+  TextTable table({"f/f_max", "Vdd [V]", "P_idle [W]", "breakeven [ms]", "cycles [x1e6]"});
+  std::cout << "CSV:\nf_norm,vdd,p_idle,breakeven_ms,breakeven_mcycles\n";
+  CsvWriter csv(std::cout);
+
+  const double v_lo = model.min_meaningful_vdd().value() + 0.02;
+  const double v_hi = model.tech().vdd_nominal.value();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const Volts vdd{v_lo + (v_hi - v_lo) * static_cast<double>(i) /
+                               static_cast<double>(samples - 1)};
+    const Hertz f = model.frequency(vdd);
+    const Watts p_idle = model.idle_power(vdd);
+    const Seconds t = sleep.breakeven_time(p_idle);
+    const double cycles = sleep.breakeven_cycles(p_idle, f);
+    csv.row(fmt_fixed(f.value() / f_max, 4), fmt_fixed(vdd.value(), 3),
+            fmt_fixed(p_idle.value(), 5), fmt_fixed(t.value() * 1e3, 4),
+            fmt_fixed(cycles / 1e6, 4));
+    if (i % (samples / 12 + 1) == 0 || i == samples - 1)
+      table.row(fmt_fixed(f.value() / f_max, 3), fmt_fixed(vdd.value(), 3),
+                fmt_fixed(p_idle.value(), 4), fmt_fixed(t.value() * 1e3, 3),
+                fmt_fixed(cycles / 1e6, 3));
+  }
+  std::cout << "\nSampled table (paper: ~1.7e6 cycles at f/f_max = 0.5):\n";
+  table.print(std::cout);
+  return 0;
+}

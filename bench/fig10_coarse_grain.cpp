@@ -1,0 +1,19 @@
+// Reproduces paper Fig 10 (a-d): mean energy consumption relative to S&S
+// for coarse-grain tasks (1 STG weight unit = 3.1e6 cycles = 1 ms at
+// f_max), for deadlines of 1.5/2/4/8 x the critical path length, across
+// the random size groups and the three application graphs.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lamps;
+  bench::CommonOptions opts;
+  CliParser cli("Fig 10 — relative energy, coarse-grain tasks");
+  opts.register_flags(cli);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+
+  bench::run_granularity_figure("Fig 10 (coarse grain: 1 unit = 3.1e6 cycles)",
+                                stg::kCoarseGrainCyclesPerUnit, opts, std::cout);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces paper Fig 11 (a-d): mean energy consumption relative to S&S
+// for fine-grain tasks (1 STG weight unit = 3.1e4 cycles = 10 us at f_max),
+// for deadlines of 1.5/2/4/8 x the critical path length.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lamps;
+  bench::CommonOptions opts;
+  CliParser cli("Fig 11 — relative energy, fine-grain tasks");
+  opts.register_flags(cli);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+
+  bench::run_granularity_figure("Fig 11 (fine grain: 1 unit = 3.1e4 cycles)",
+                                stg::kFineGrainCyclesPerUnit, opts, std::cout);
+  return 0;
+}

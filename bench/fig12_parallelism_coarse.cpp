@@ -1,0 +1,19 @@
+// Reproduces paper Fig 12: energy / total work as a function of the average
+// amount of parallelism (W / CPL), coarse-grain tasks, deadline 2 x CPL.
+// One point per (graph, strategy); sizes 1000/2000/2500/3000 as in the
+// paper.  S&S's energy-per-work blows up at low parallelism (idle
+// processors keep leaking); LAMPS(+PS) stays flat.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lamps;
+  bench::CommonOptions opts;
+  CliParser cli("Fig 12 — energy/work vs parallelism, coarse-grain tasks");
+  opts.register_flags(cli);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+  bench::run_parallelism_figure("Fig 12 (coarse grain)", stg::kCoarseGrainCyclesPerUnit,
+                                opts, std::cout);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces paper Fig 13: energy / total work vs average parallelism for
+// fine-grain tasks (deadline 2 x CPL).  Unlike the coarse-grain case, the
+// idle periods here are mostly below the shutdown breakeven, so S&S+PS
+// degrades toward S&S while LAMPS(+PS) stays flat.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lamps;
+  bench::CommonOptions opts;
+  CliParser cli("Fig 13 — energy/work vs parallelism, fine-grain tasks");
+  opts.register_flags(cli);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+  bench::run_parallelism_figure("Fig 13 (fine grain)", stg::kFineGrainCyclesPerUnit, opts,
+                                std::cout);
+  return 0;
+}

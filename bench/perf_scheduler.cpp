@@ -1,0 +1,95 @@
+// Scheduler-runtime micro-benchmarks (google-benchmark).
+//
+// Paper section 4.2: "for all benchmarks finding the optimal configuration
+// never took more than 20 seconds on a 3 GHz Pentium 4."  These benches
+// time (a) a single LS-EDF invocation at several graph sizes and (b) the
+// full LAMPS / LAMPS+PS configuration searches on the application graphs,
+// verifying the bound holds with generous margin on modern hardware.
+#include <benchmark/benchmark.h>
+
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "sched/list_scheduler.hpp"
+#include "stg/suite.hpp"
+
+namespace {
+
+using namespace lamps;
+
+const power::PowerModel& model() {
+  static const power::PowerModel m;
+  return m;
+}
+const power::DvsLadder& ladder() {
+  static const power::DvsLadder l{model()};
+  return l;
+}
+
+graph::TaskGraph random_graph(std::size_t size) {
+  auto specs = stg::random_group_specs(size, 3);
+  return graph::scale_weights(stg::generate_random(specs[2]),
+                              stg::kCoarseGrainCyclesPerUnit);
+}
+
+core::Problem make_problem(const graph::TaskGraph& g, double factor) {
+  core::Problem p;
+  p.graph = &g;
+  p.model = &model();
+  p.ladder = &ladder();
+  p.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                       model().max_frequency().value() * factor};
+  return p;
+}
+
+void BM_ListScheduleEdf(benchmark::State& state) {
+  const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
+  const Cycles deadline = 2 * graph::critical_path_length(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::list_schedule_edf(g, 8, deadline));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_tasks()));
+}
+BENCHMARK(BM_ListScheduleEdf)->Arg(100)->Arg(1000)->Arg(5000)->Unit(benchmark::kMicrosecond);
+
+void BM_LampsSearch(benchmark::State& state) {
+  const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
+  const core::Problem prob = make_problem(g, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::lamps_schedule(prob));
+  }
+}
+BENCHMARK(BM_LampsSearch)->Arg(100)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_LampsPsSearch(benchmark::State& state) {
+  const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
+  const core::Problem prob = make_problem(g, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::lamps_schedule_ps(prob));
+  }
+}
+BENCHMARK(BM_LampsPsSearch)->Arg(100)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_LampsPsApplicationGraph(benchmark::State& state) {
+  const auto apps = stg::application_graphs();
+  const graph::TaskGraph g = graph::scale_weights(
+      apps[static_cast<std::size_t>(state.range(0))], stg::kCoarseGrainCyclesPerUnit);
+  const core::Problem prob = make_problem(g, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::lamps_schedule_ps(prob));
+  }
+  state.SetLabel(g.name());
+}
+BENCHMARK(BM_LampsPsApplicationGraph)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+void BM_SnsSearch(benchmark::State& state) {
+  const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
+  const core::Problem prob = make_problem(g, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_and_stretch(prob));
+  }
+}
+BENCHMARK(BM_SnsSearch)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

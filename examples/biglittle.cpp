@@ -1,0 +1,89 @@
+// Energy-aware scheduling on a big.LITTLE multiprocessor (heterogeneous
+// extension of the paper's homogeneous model; cf. its related work [23]).
+//
+// Sweeps the deadline factor on one graph and shows how the optimal
+// processor mix migrates: tight deadlines need the big cores' speed, loose
+// deadlines hand the work to the little cores' low leakage, with DVS and
+// shutdown balanced per mix exactly as in LAMPS+PS.
+//
+// Usage: ./biglittle [--tasks 120] [--seed 3] [--bigs 4] [--littles 4]
+#include <iostream>
+#include <sstream>
+
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "hetero/lamps_hetero.hpp"
+#include "sched/gantt.hpp"
+#include "stg/suite.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lamps;
+
+  std::size_t tasks = 120;
+  std::size_t seed = 3;
+  std::size_t bigs = 4;
+  std::size_t littles = 4;
+  CliParser cli("big.LITTLE energy-aware scheduling demo");
+  cli.add_option("tasks", "graph size", &tasks);
+  cli.add_option("seed", "which suite graph to use", &seed);
+  cli.add_option("bigs", "number of big cores", &bigs);
+  cli.add_option("littles", "number of little cores", &littles);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const hetero::Platform platform = hetero::big_little(bigs, littles);
+
+  const auto specs = stg::random_group_specs(tasks, seed + 1);
+  const graph::TaskGraph g =
+      graph::scale_weights(stg::generate_random(specs[seed]),
+                           stg::kCoarseGrainCyclesPerUnit);
+  std::cout << "Graph " << g.name() << ": " << g.num_tasks() << " tasks, parallelism "
+            << fmt_fixed(graph::average_parallelism(g), 2) << "; platform: " << bigs
+            << " big + " << littles << " little (0.45x speed, 0.18x power)\n\n";
+
+  TextTable table({"deadline", "homog LAMPS+PS [mJ]", "hetero [mJ]", "saving", "mix",
+                   "f/f_max", "shutdowns"});
+  hetero::HeteroResult last;
+  for (const double factor : {1.2, 1.5, 2.0, 4.0, 8.0}) {
+    const Seconds deadline{static_cast<double>(graph::critical_path_length(g)) /
+                           model.max_frequency().value() * factor};
+    core::Problem prob;
+    prob.graph = &g;
+    prob.model = &model;
+    prob.ladder = &ladder;
+    prob.deadline = deadline;
+    const core::StrategyResult homog = core::run_strategy(core::StrategyKind::kLampsPs, prob);
+    const hetero::HeteroResult het =
+        hetero::lamps_hetero(g, platform, model, ladder, deadline);
+    if (!homog.feasible || !het.feasible) {
+      table.row(fmt_fixed(factor, 1) + "x", "infeasible", "-", "-", "-", "-", "-");
+      continue;
+    }
+    std::ostringstream mix;
+    mix << het.counts[0] << "B+" << het.counts[1] << "L";
+    table.row(fmt_fixed(factor, 1) + "x", fmt_fixed(homog.energy().value() * 1e3, 2),
+              fmt_fixed(het.energy().value() * 1e3, 2),
+              fmt_percent(1.0 - het.energy().value() / homog.energy().value()), mix.str(),
+              fmt_fixed(ladder.level(het.level_index).f_norm, 3),
+              het.breakdown.shutdowns);
+    last = std::move(het);
+  }
+  table.print(std::cout);
+
+  if (last.feasible && last.schedule.has_value()) {
+    std::cout << "\nWinning schedule at the loosest deadline (processors are the "
+                 "employed subset, class order big->little):\n";
+    sched::GanttOptions gopts;
+    gopts.width = 66;
+    gopts.show_labels = false;
+    sched::write_ascii_gantt(*last.schedule, g, std::cout, gopts);
+  }
+  std::cout << "\n(The mix column drifts from big to little cores as the deadline\n"
+               " loosens: with leakage dominating, the low-power cores win whenever\n"
+               " the speed is not needed — the paper's argument, generalized.)\n";
+  return 0;
+}

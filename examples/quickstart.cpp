@@ -1,0 +1,91 @@
+// Quickstart: the paper's worked example (Figs 4 and 7) end to end.
+//
+//   1. Build the 5-task graph of Fig 4a.
+//   2. Schedule it with LS-EDF and show the Gantt chart (Fig 4b).
+//   3. Run all four heuristics and the two lower bounds, and print the
+//      energy table with the chosen processor counts and DVS levels.
+//
+// Build & run:  ./quickstart
+#include <iostream>
+
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "sched/gantt.hpp"
+#include "sched/list_scheduler.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lamps;
+
+  // ---- 1. The task graph of Fig 4a (weights in abstract units; one unit
+  // is mapped to 3.1e6 cycles = 1 ms at maximum frequency, the paper's
+  // coarse-grain scenario).
+  graph::TaskGraphBuilder builder("fig4");
+  const graph::TaskId t1 = builder.add_task(2, "T1");
+  const graph::TaskId t2 = builder.add_task(6, "T2");
+  const graph::TaskId t3 = builder.add_task(4, "T3");
+  const graph::TaskId t4 = builder.add_task(4, "T4");
+  const graph::TaskId t5 = builder.add_task(2, "T5");
+  builder.add_edge(t1, t2);
+  builder.add_edge(t1, t3);
+  builder.add_edge(t2, t5);
+  builder.add_edge(t3, t5);
+  (void)t4;  // independent task
+  const graph::TaskGraph g = graph::scale_weights(builder.build(), 3'100'000);
+
+  const Cycles cpl = graph::critical_path_length(g);
+  std::cout << "Task graph: " << g.num_tasks() << " tasks, " << g.num_edges()
+            << " edges, total work " << g.total_work() << " cycles, critical path " << cpl
+            << " cycles, parallelism " << fmt_fixed(graph::average_parallelism(g), 2)
+            << "\n\n";
+
+  // ---- 2. Plain LS-EDF on 3 processors (Fig 4b).
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const Seconds deadline{static_cast<double>(cpl) / model.max_frequency().value() * 1.5};
+
+  const sched::Schedule edf = sched::list_schedule_edf(
+      g, 3, static_cast<Cycles>(deadline.value() * model.max_frequency().value()));
+  std::cout << "LS-EDF schedule on 3 processors (makespan " << edf.makespan()
+            << " cycles):\n";
+  sched::GanttOptions gopts;
+  gopts.width = 60;
+  gopts.horizon = static_cast<Cycles>(static_cast<double>(edf.makespan()) * 1.5);
+  sched::write_ascii_gantt(edf, g, std::cout, gopts);
+
+  // ---- 3. All strategies at a 1.5 x CPL deadline.
+  core::Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = deadline;
+
+  std::cout << "\nDeadline = 1.5 x CPL = " << deadline.value() * 1e3 << " ms\n\n";
+  TextTable table({"approach", "energy [mJ]", "procs", "Vdd [V]", "f/f_max", "shutdowns"});
+  for (const core::StrategyKind k : core::kAllStrategies) {
+    const core::StrategyResult r = core::run_strategy(k, prob);
+    if (!r.feasible) {
+      table.row(core::to_string(k), "infeasible", "-", "-", "-", "-");
+      continue;
+    }
+    const auto& lvl = ladder.level(r.level_index);
+    const bool is_limit =
+        k == core::StrategyKind::kLimitSf || k == core::StrategyKind::kLimitMf;
+    table.row(core::to_string(k), fmt_fixed(r.energy().value() * 1e3, 3),
+              is_limit ? std::string("N/A") : std::to_string(r.num_procs),
+              fmt_fixed(lvl.vdd.value(), 2), fmt_fixed(lvl.f_norm, 3),
+              r.breakdown.shutdowns);
+  }
+  table.print(std::cout);
+
+  // ---- 4. Show the LAMPS schedule (Fig 7a: 2 processors, higher f).
+  const core::StrategyResult lamps_r = core::run_strategy(core::StrategyKind::kLamps, prob);
+  if (lamps_r.feasible && lamps_r.schedule.has_value()) {
+    std::cout << "\nLAMPS chose " << lamps_r.num_procs << " processor(s) at "
+              << fmt_fixed(ladder.level(lamps_r.level_index).f_norm, 2)
+              << " x f_max (cf. paper Fig 7a):\n";
+    sched::write_ascii_gantt(*lamps_r.schedule, g, std::cout, gopts);
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Plot the paper figures from the bench binaries' CSV output.
+
+The bench binaries print their data series as CSV blocks after a line
+containing "CSV:".  This script extracts those blocks and renders the
+paper-style figures with matplotlib:
+
+    ./build/bench/fig02_power_curves > fig02.txt
+    python3 scripts/plot_results.py fig02 fig02.txt -o fig02.png
+
+Supported figure kinds: fig02, fig03, fig06, fig10, fig11, fig12, fig13,
+pareto (output of `lamps pareto`).  Requires matplotlib (not needed for any
+C++ build or test).
+"""
+
+import argparse
+import csv
+import io
+import sys
+
+
+def extract_csv(path: str):
+    """Returns the rows of the first CSV block in a bench output file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if "CSV:" in text:
+        text = text.split("CSV:", 1)[1]
+    # The block ends at the first blank line after the header.
+    lines = []
+    for line in text.lstrip().splitlines():
+        if not line.strip():
+            break
+        lines.append(line)
+    return list(csv.DictReader(io.StringIO("\n".join(lines))))
+
+
+def plot_fig02(rows, ax):
+    xs = [float(r["f_norm"]) for r in rows]
+    for key, label in [("p_ac", "P_AC"), ("p_dc", "P_DC"), ("p_on", "P_on"),
+                       ("p_total", "P_total")]:
+        ax.plot(xs, [float(r[key]) for r in rows], label=label)
+    ax.set_xlabel("normalized frequency")
+    ax.set_ylabel("power [W]")
+    ax.legend()
+
+
+def plot_fig03(rows, ax):
+    xs = [float(r["f_norm"]) for r in rows]
+    ax.plot(xs, [float(r["breakeven_mcycles"]) for r in rows])
+    ax.set_xlabel("normalized frequency")
+    ax.set_ylabel("breakeven idle cycles [x1e6]")
+
+
+def plot_fig06(rows, ax):
+    benchmarks = sorted({r["benchmark"] for r in rows})
+    for b in benchmarks:
+        pts = [(int(r["procs"]), float(r["normalized"]))
+               for r in rows
+               if r["benchmark"] == b and r["feasible"] == "1"
+               and r["deadline_factor"] == "2" and r["normalized"]]
+        pts.sort()
+        ax.plot([p for p, _ in pts], [e for _, e in pts], marker="o", label=b)
+    ax.set_xlabel("# of processors")
+    ax.set_ylabel("energy (normalized to minimum)")
+    ax.legend()
+
+
+def plot_fig10(rows, ax):
+    # Grouped bars per deadline=1.5 block; one bar group per size group.
+    factor = "1.5"
+    groups, strategies = [], []
+    for r in rows:
+        if r["deadline_factor"] != factor:
+            continue
+        if r["group"] not in groups:
+            groups.append(r["group"])
+        if r["strategy"] not in strategies:
+            strategies.append(r["strategy"])
+    width = 1.0 / (len(strategies) + 1)
+    for i, s in enumerate(strategies):
+        vals = []
+        for g in groups:
+            v = [float(r["relative_energy"]) for r in rows
+                 if r["deadline_factor"] == factor and r["group"] == g
+                 and r["strategy"] == s]
+            vals.append(100.0 * v[0] if v else 0.0)
+        ax.bar([x + i * width for x in range(len(groups))], vals, width, label=s)
+    ax.set_xticks([x + width * len(strategies) / 2 for x in range(len(groups))])
+    ax.set_xticklabels(groups, rotation=45)
+    ax.set_ylabel("energy relative to S&S [%]")
+    ax.legend(fontsize=7)
+
+
+def plot_fig12(rows, ax):
+    strategies = sorted({r["strategy"] for r in rows})
+    for s in strategies:
+        xs = [float(r["parallelism"]) for r in rows if r["strategy"] == s]
+        ys = [float(r["energy_per_gigacycle_j"]) for r in rows if r["strategy"] == s]
+        ax.scatter(xs, ys, s=8, label=s)
+    ax.set_xlabel("average parallelism (W / CPL)")
+    ax.set_ylabel("energy per gigacycle [J]")
+    ax.legend(fontsize=7)
+
+
+def plot_pareto(rows, ax):
+    xs = [float(r["deadline_factor"]) for r in rows]
+    for key in rows[0].keys():
+        if not key.endswith("_mj"):
+            continue
+        ys = [float(r[key]) if r[key] else None for r in rows]
+        ax.plot(xs, ys, marker="o", label=key[:-3])
+    ax.set_xlabel("deadline factor (x CPL)")
+    ax.set_ylabel("energy [mJ]")
+    ax.set_xscale("log")
+    ax.legend()
+
+
+PLOTTERS = {
+    "fig02": plot_fig02,
+    "fig03": plot_fig03,
+    "fig06": plot_fig06,
+    "fig10": plot_fig10,
+    "fig11": plot_fig10,  # same layout, fine grain
+    "fig12": plot_fig12,
+    "fig13": plot_fig12,
+    "pareto": plot_pareto,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("kind", choices=sorted(PLOTTERS))
+    parser.add_argument("input", help="bench output file (or raw CSV for pareto)")
+    parser.add_argument("-o", "--output", default=None, help="PNG path (default: show)")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        if args.output:
+            matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required for plotting", file=sys.stderr)
+        return 1
+
+    rows = extract_csv(args.input)
+    if not rows:
+        print(f"no CSV block found in {args.input}", file=sys.stderr)
+        return 1
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    PLOTTERS[args.kind](rows, ax)
+    ax.set_title(args.kind)
+    fig.tight_layout()
+    if args.output:
+        fig.savefig(args.output, dpi=150)
+        print(f"wrote {args.output}")
+    else:
+        plt.show()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

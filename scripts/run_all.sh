@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every reproduced table/figure into results/.
+#
+# Usage: scripts/run_all.sh [--full]
+#   --full  use the paper's 180 graphs per random size group (slow)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL_FLAG=""
+if [[ "${1:-}" == "--full" ]]; then
+  FULL_FLAG="--full"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+  name="$(basename "$b")"
+  case "$name" in
+    perf_scheduler)
+      echo "== $name =="
+      "$b" | tee "results/$name.txt"
+      ;;
+    fig1*|fig12*|fig13*|ext_multifreq|ablation_priorities)
+      echo "== $name $FULL_FLAG =="
+      "$b" $FULL_FLAG | tee "results/$name.txt"
+      ;;
+    *)
+      echo "== $name =="
+      "$b" | tee "results/$name.txt"
+      ;;
+  esac
+done
+
+echo
+echo "All outputs are under results/.  Plot with e.g.:"
+echo "  python3 scripts/plot_results.py fig10 results/fig10_coarse_grain.txt -o fig10.png"

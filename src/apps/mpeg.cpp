@@ -1,0 +1,66 @@
+#include "apps/mpeg.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace lamps::apps {
+
+graph::TaskGraph mpeg1_gop_graph(const MpegConfig& cfg) {
+  if (cfg.gop.empty()) throw std::invalid_argument("mpeg1_gop_graph: empty GOP pattern");
+
+  graph::TaskGraphBuilder b("mpeg1-gop");
+  std::vector<graph::TaskId> frame(cfg.gop.size());
+  for (std::size_t i = 0; i < cfg.gop.size(); ++i) {
+    Cycles w = 0;
+    switch (cfg.gop[i]) {
+      case 'I':
+        w = cfg.i_frame_cycles;
+        break;
+      case 'P':
+        w = cfg.p_frame_cycles;
+        break;
+      case 'B':
+        w = cfg.b_frame_cycles;
+        break;
+      default:
+        throw std::invalid_argument("mpeg1_gop_graph: unknown frame type in GOP pattern");
+    }
+    frame[i] = b.add_task(w, std::string(1, cfg.gop[i]) + std::to_string(i));
+  }
+
+  // Reference chain: each P depends on the previous reference frame; B
+  // frames depend on the surrounding references (prev ref and, if one
+  // exists inside the GOP, the next ref).
+  std::vector<std::size_t> ref_positions;
+  for (std::size_t i = 0; i < cfg.gop.size(); ++i)
+    if (cfg.gop[i] != 'B') ref_positions.push_back(i);
+  if (ref_positions.empty() || cfg.gop[0] == 'P')
+    throw std::invalid_argument("mpeg1_gop_graph: GOP needs a leading I frame");
+
+  std::size_t ref_idx = 0;  // index into ref_positions of the last ref at or before i
+  for (std::size_t i = 0; i < cfg.gop.size(); ++i) {
+    if (cfg.gop[i] == 'I') continue;  // intra-coded: no dependences
+    if (cfg.gop[i] == 'P') {
+      // Previous reference: the ref strictly before this position.
+      while (ref_idx + 1 < ref_positions.size() && ref_positions[ref_idx + 1] < i) ++ref_idx;
+      if (ref_positions[ref_idx] >= i)
+        throw std::invalid_argument("mpeg1_gop_graph: P frame before any reference");
+      b.add_edge(frame[ref_positions[ref_idx]], frame[i]);
+      continue;
+    }
+    // B frame: previous and (if any) next reference.
+    std::size_t prev = cfg.gop.size();
+    std::size_t next = cfg.gop.size();
+    for (const std::size_t r : ref_positions) {
+      if (r < i) prev = r;
+      if (r > i && next == cfg.gop.size()) next = r;
+    }
+    if (prev == cfg.gop.size())
+      throw std::invalid_argument("mpeg1_gop_graph: B frame before any reference");
+    b.add_edge(frame[prev], frame[i]);
+    if (next != cfg.gop.size()) b.add_edge(frame[next], frame[i]);
+  }
+  return b.build();
+}
+
+}  // namespace lamps::apps

@@ -1,0 +1,36 @@
+// MPEG-1 encoding task graph (paper section 5.1 / 5.3, Fig 9).
+//
+// The benchmark encodes one 15-frame group of pictures
+// (I B B P B B P B B P B B P B B) with the per-frame-type cycle counts
+// from Zhu et al.'s Tennis-sequence measurements, scaled to a 3.1 GHz
+// clock, exactly as the Fig 9 caption states.  Dependences follow MPEG
+// motion-compensation: a P frame needs the previous reference (I or P)
+// frame; a B frame needs both surrounding references, except the trailing
+// B frames of the GOP which only have the preceding reference.
+// The real-time requirement of 30 frames/s puts the GOP deadline at 0.5 s.
+#pragma once
+
+#include <string>
+
+#include "graph/task_graph.hpp"
+
+namespace lamps::apps {
+
+struct MpegConfig {
+  /// Frame-type pattern of one GOP ('I', 'P', 'B').
+  std::string gop{"IBBPBBPBBPBBPBB"};
+  /// Encoding cost per frame type, cycles (Fig 9 caption).
+  Cycles i_frame_cycles{36'700'900};
+  Cycles b_frame_cycles{178'259'300};
+  Cycles p_frame_cycles{73'401'800};
+  /// Real-time deadline for the whole GOP: 15 frames at 30 frames/s.
+  Seconds deadline{0.5};
+};
+
+/// Builds the dependence graph for one GOP.  Task labels are "I0", "B1",
+/// "P3", ... as in the paper's figure.  Throws std::invalid_argument on a
+/// malformed pattern (unknown frame letter, or a P/B frame before any
+/// reference frame exists).
+[[nodiscard]] graph::TaskGraph mpeg1_gop_graph(const MpegConfig& cfg = {});
+
+}  // namespace lamps::apps

@@ -1,0 +1,102 @@
+#include "apps/periodic.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lamps::apps {
+
+namespace {
+
+/// Periods on a 1 us grid keep the hyperperiod lcm exact in integers.
+constexpr double kGrid = 1e-6;
+
+std::uint64_t to_grid(Seconds t, const char* what) {
+  const double ticks = t.value() / kGrid;
+  const double rounded = std::round(ticks);
+  if (ticks <= 0.0 || std::abs(ticks - rounded) > 1e-6)
+    throw std::invalid_argument(std::string("PeriodicTaskSet: ") + what +
+                                " must be a positive multiple of 1 us");
+  return static_cast<std::uint64_t>(rounded);
+}
+
+}  // namespace
+
+std::size_t PeriodicTaskSet::add_task(PeriodicTask task) {
+  if (task.period.value() <= 0.0)
+    throw std::invalid_argument("PeriodicTaskSet: period must be positive");
+  if (task.relative_deadline.value() == 0.0) task.relative_deadline = task.period;
+  if (task.relative_deadline.value() < 0.0 ||
+      task.relative_deadline.value() > task.period.value() * (1.0 + 1e-12))
+    throw std::invalid_argument(
+        "PeriodicTaskSet: relative deadline must lie in (0, period]");
+  if (task.phase.value() < 0.0)
+    throw std::invalid_argument("PeriodicTaskSet: negative phase");
+  (void)to_grid(task.period, "period");  // validate grid alignment early
+  tasks_.push_back(std::move(task));
+  return tasks_.size() - 1;
+}
+
+void PeriodicTaskSet::add_dependence(std::size_t from, std::size_t to) {
+  if (from >= tasks_.size() || to >= tasks_.size())
+    throw std::out_of_range("PeriodicTaskSet: unknown task in dependence");
+  if (from == to) throw std::invalid_argument("PeriodicTaskSet: self dependence");
+  const std::uint64_t pf = to_grid(tasks_[from].period, "period");
+  const std::uint64_t pt = to_grid(tasks_[to].period, "period");
+  if (pf % pt != 0 && pt % pf != 0)
+    throw std::invalid_argument(
+        "PeriodicTaskSet: dependent tasks need harmonic periods");
+  deps_.push_back(TaskDependence{from, to});
+}
+
+Seconds PeriodicTaskSet::hyperperiod() const {
+  if (tasks_.empty()) return Seconds{0.0};
+  std::uint64_t l = 1;
+  for (const PeriodicTask& t : tasks_) l = std::lcm(l, to_grid(t.period, "period"));
+  return Seconds{static_cast<double>(l) * kGrid};
+}
+
+double PeriodicTaskSet::utilization(Hertz f_ref) const {
+  double u = 0.0;
+  for (const PeriodicTask& t : tasks_)
+    u += static_cast<double>(t.wcet) / (t.period.value() * f_ref.value());
+  return u;
+}
+
+graph::TaskGraph PeriodicTaskSet::to_task_graph(std::size_t frames) const {
+  if (frames == 0) throw std::invalid_argument("PeriodicTaskSet: frames must be >= 1");
+  if (tasks_.empty()) return graph::TaskGraphBuilder("periodic").build();
+
+  const double horizon = hyperperiod().value() * static_cast<double>(frames);
+  graph::TaskGraphBuilder b("periodic");
+
+  // Job table: jobs_[i][k] = node of task i's k-th job.
+  std::vector<std::vector<graph::TaskId>> jobs(tasks_.size());
+  std::vector<std::vector<double>> releases(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const PeriodicTask& t = tasks_[i];
+    for (double r = t.phase.value(); r < horizon - 1e-12; r += t.period.value()) {
+      const graph::TaskId job =
+          b.add_task(t.wcet, t.name + "@" + std::to_string(jobs[i].size()));
+      b.set_deadline(job, Seconds{r + t.relative_deadline.value()});
+      if (!jobs[i].empty()) b.add_edge(jobs[i].back(), job);  // job-order chain
+      jobs[i].push_back(job);
+      releases[i].push_back(r);
+    }
+  }
+
+  // Data dependences: job of `to` released at r waits for the latest job
+  // of `from` released at or before r.
+  for (const TaskDependence& d : deps_) {
+    for (std::size_t k = 0; k < jobs[d.to].size(); ++k) {
+      const double r = releases[d.to][k];
+      std::size_t best = jobs[d.from].size();
+      for (std::size_t j = 0; j < jobs[d.from].size(); ++j)
+        if (releases[d.from][j] <= r + 1e-12) best = j;
+      if (best < jobs[d.from].size()) b.add_edge(jobs[d.from][best], jobs[d.to][k]);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace lamps::apps

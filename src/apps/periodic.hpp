@@ -1,0 +1,73 @@
+// Frame-based translation of periodic task sets into deadline-annotated
+// DAGs (paper section 3.1: "real-time applications with periodic tasks can
+// be translated to DAGs using the frame-based scheduling paradigm", after
+// Liberato et al. [25]).
+//
+// A periodic task (period T, WCET C, relative deadline D <= T, optional
+// phase) releases one job per period.  Over the hyperperiod
+// H = lcm(T_1..T_n) every job becomes a DAG node with an explicit absolute
+// deadline (release + D); successive jobs of the same task are chained
+// (job k must precede job k+1), and data dependences between tasks become
+// edges between the jobs of one frame.  The resulting graph drops straight
+// into the Problem/strategy machinery via the explicit-deadline support.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace lamps::apps {
+
+struct PeriodicTask {
+  std::string name;
+  Cycles wcet{0};
+  /// Period in seconds.
+  Seconds period{0.0};
+  /// Relative deadline; 0 selects the period (implicit deadline).
+  Seconds relative_deadline{0.0};
+  /// Release offset of the first job.
+  Seconds phase{0.0};
+};
+
+/// Same-frame data dependence: every job of `to` released at time t also
+/// waits for the latest job of `from` released at or before t.  (Only
+/// meaningful when from's period divides to's period or vice versa;
+/// validated on use.)
+struct TaskDependence {
+  std::size_t from{0};
+  std::size_t to{0};
+};
+
+class PeriodicTaskSet {
+ public:
+  /// Adds a task; returns its index.  Throws on non-positive period/WCET
+  /// misuse (zero WCET is allowed for pure synchronization tasks) or
+  /// deadline > period.
+  std::size_t add_task(PeriodicTask task);
+
+  /// Declares a producer -> consumer dependence between two tasks.
+  void add_dependence(std::size_t from, std::size_t to);
+
+  [[nodiscard]] std::size_t num_tasks() const { return tasks_.size(); }
+  [[nodiscard]] const PeriodicTask& task(std::size_t i) const { return tasks_.at(i); }
+  [[nodiscard]] const std::vector<TaskDependence>& dependences() const { return deps_; }
+
+  /// Hyperperiod in seconds (periods are reduced over a 1 us grid to make
+  /// the lcm exact; throws if any period is not a multiple of 1 us).
+  [[nodiscard]] Seconds hyperperiod() const;
+
+  /// Utilization bound sum(C_i / (T_i * f_ref)) at a reference frequency.
+  [[nodiscard]] double utilization(Hertz f_ref) const;
+
+  /// Unrolls `frames` hyperperiods into a DAG with explicit per-job
+  /// deadlines.  Labels are "<name>@<job>".
+  [[nodiscard]] graph::TaskGraph to_task_graph(std::size_t frames = 1) const;
+
+ private:
+  std::vector<PeriodicTask> tasks_;
+  std::vector<TaskDependence> deps_;
+};
+
+}  // namespace lamps::apps

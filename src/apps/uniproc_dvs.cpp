@@ -1,0 +1,66 @@
+#include "apps/uniproc_dvs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "power/sleep_model.hpp"
+
+namespace lamps::apps {
+
+UniprocDvsResult uniproc_critical_speed_dvs(const PeriodicTaskSet& ts,
+                                            const power::PowerModel& model,
+                                            const power::DvsLadder& ladder, bool ps) {
+  if (ts.num_tasks() == 0)
+    throw std::invalid_argument("uniproc_critical_speed_dvs: empty task set");
+
+  UniprocDvsResult r;
+  // Density at f_max: sum C_i / (min(D_i, T_i) * f_max).
+  const double f_max = model.max_frequency().value();
+  double density_hz = 0.0;  // sum C_i / min(D_i, T_i) — a frequency demand
+  for (std::size_t i = 0; i < ts.num_tasks(); ++i) {
+    const PeriodicTask& t = ts.task(i);
+    const double window = std::min(t.relative_deadline.value(), t.period.value());
+    density_hz += static_cast<double>(t.wcet) / window;
+  }
+  r.density_fmax = density_hz / f_max;
+  if (r.density_fmax > 1.0 + 1e-12) return r;  // overloaded even at f_max
+
+  // Slowest feasible level: f >= density demand; floor at the critical
+  // level ([13]'s critical speed: below it every cycle costs more).
+  const power::DvsLevel* lo =
+      ladder.lowest_level_at_least(Hertz{density_hz * (1.0 - 1e-12)});
+  if (lo == nullptr) return r;
+  const std::size_t lvl_idx = std::max(lo->index, ladder.critical_level().index);
+  const power::DvsLevel& lvl = ladder.level(lvl_idx);
+
+  // Per-hyperperiod accounting: work = sum of job WCETs over H.
+  const Seconds hyper = ts.hyperperiod();
+  double work_cycles = 0.0;
+  for (std::size_t i = 0; i < ts.num_tasks(); ++i) {
+    const PeriodicTask& t = ts.task(i);
+    work_cycles += static_cast<double>(t.wcet) * (hyper.value() / t.period.value());
+  }
+  const Seconds busy{work_cycles / lvl.f.value()};
+  if (busy.value() > hyper.value() * (1.0 + 1e-9)) return r;  // inconsistent set
+  const Seconds idle = hyper - busy;
+
+  r.feasible = true;
+  r.level_index = lvl_idx;
+  r.breakdown.dynamic = lvl.active.dynamic * busy;
+  r.breakdown.leakage = lvl.active.leakage * busy;
+  r.breakdown.intrinsic = lvl.active.intrinsic * busy;
+
+  const power::SleepModel sleep(model);
+  if (ps && sleep.decide(idle, lvl.idle).shutdown) {
+    r.sleeps_idle = true;
+    r.breakdown.sleep = sleep.sleep_power() * idle;
+    r.breakdown.wakeup = sleep.wakeup_energy();
+    r.breakdown.shutdowns = 1;
+  } else {
+    r.breakdown.leakage += lvl.active.leakage * idle;
+    r.breakdown.intrinsic += lvl.active.intrinsic * idle;
+  }
+  return r;
+}
+
+}  // namespace lamps::apps

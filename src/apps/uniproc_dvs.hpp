@@ -1,0 +1,48 @@
+// Uniprocessor critical-speed DVS for periodic task sets — the algorithm
+// of Jejurikar, Pereira & Gupta (DAC'04), the paper's reference [13] and
+// the source of its power model.  The reproduced paper generalizes this
+// idea (run at the energy-optimal "critical speed" unless the deadline
+// forces faster) from one processor with independent periodic tasks to
+// multiprocessors with task graphs; this module provides the original
+// single-processor setting so the two can be compared on the same task
+// sets.
+//
+// Under EDF a periodic set is schedulable at a uniform slowdown when its
+// density sum(C_i / (min(D_i, T_i) * f)) stays at most 1.  The
+// energy-optimal uniform level is then the slowest feasible level at or
+// above the critical speed; with PS the per-hyperperiod idle time is slept
+// when it beats the breakeven.
+#pragma once
+
+#include "apps/periodic.hpp"
+#include "energy/evaluator.hpp"
+#include "power/dvs_ladder.hpp"
+#include "power/power_model.hpp"
+
+namespace lamps::apps {
+
+struct UniprocDvsResult {
+  /// False when even the maximum frequency cannot meet the density bound.
+  bool feasible{false};
+  std::size_t level_index{0};
+  /// Density at the maximum frequency (feasibility requires <= 1).
+  double density_fmax{0.0};
+  /// Energy for one hyperperiod at the chosen operating point.
+  energy::EnergyBreakdown breakdown{};
+  /// True when the idle residue of the hyperperiod is slept (PS).
+  bool sleeps_idle{false};
+
+  [[nodiscard]] Joules energy() const { return breakdown.total(); }
+};
+
+/// Selects the energy-optimal uniform DVS level for the task set on one
+/// processor.  With `ps` the hyperperiod's idle residue may be shut down
+/// under the usual breakeven rule (one gap per hyperperiod — the EDF busy
+/// intervals are not modeled individually, matching [13]'s aggregate
+/// analysis).  Throws on an empty task set.
+[[nodiscard]] UniprocDvsResult uniproc_critical_speed_dvs(const PeriodicTaskSet& ts,
+                                                          const power::PowerModel& model,
+                                                          const power::DvsLadder& ladder,
+                                                          bool ps = true);
+
+}  // namespace lamps::apps

@@ -1,0 +1,68 @@
+// Exact (branch-and-bound) multiprocessor makespan minimization, for small
+// instances.
+//
+// P | prec | C_max is NP-hard, so the heuristics cannot be validated
+// against a closed-form optimum; this module provides the ground truth for
+// small graphs instead.  A depth-first branch-and-bound enumerates active
+// schedules (every choice of ready task x distinct processor-availability
+// time), pruned by two lower bounds (critical-path and remaining-work) and
+// processor-symmetry canonicalization.
+//
+// Two consumers:
+//   * tests assert LS-EDF stays within the Graham bound of the optimum and
+//     that LAMPS's energy is never below the exact single-frequency
+//     optimum,
+//   * bench/ext_optimality_gap reports how far LS-EDF/LAMPS actually are
+//     from optimal on a sample of small graphs (the paper argues via
+//     LIMIT-SF that the gap must be small; this measures it directly).
+//
+// Note on energy: with a single frequency and no PS, all employed
+// processors are powered from 0 to the deadline, so the schedule's energy
+// depends only on (processor count, level); the minimal-energy exact
+// solution is therefore derived from the minimal makespan per processor
+// count, without enumerating schedules per level.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/problem.hpp"
+
+namespace lamps::core {
+
+struct ExactMakespanResult {
+  Cycles makespan{0};       ///< best makespan found
+  bool proven{false};       ///< true if the search completed (value is optimal)
+  std::uint64_t nodes{0};   ///< search-tree nodes expanded
+};
+
+struct ExactOptions {
+  /// Abort the search (returning the incumbent, proven = false) after this
+  /// many nodes.  The default handles ~12-task graphs instantly and keeps
+  /// adversarial instances bounded.
+  std::uint64_t node_budget{4'000'000};
+};
+
+/// Minimal makespan of `g` on `num_procs` identical processors.
+[[nodiscard]] ExactMakespanResult exact_min_makespan(const graph::TaskGraph& g,
+                                                     std::size_t num_procs,
+                                                     const ExactOptions& opts = {});
+
+struct ExactEnergyResult {
+  bool feasible{false};
+  bool proven{false};
+  std::size_t num_procs{0};
+  std::size_t level_index{0};
+  Joules energy{0.0};
+  Cycles makespan{0};
+};
+
+/// Exact minimum energy over processor count and DVS level for the
+/// single-frequency, no-PS execution model (the model S&S and LAMPS
+/// optimize in): for each N in [1, max_procs], computes the exact minimal
+/// makespan, stretches to the deadline, and charges all N processors to the
+/// horizon.  `proven` is true only if every inner search completed.
+[[nodiscard]] ExactEnergyResult exact_min_energy(const Problem& prob, std::size_t max_procs,
+                                                 const ExactOptions& opts = {});
+
+}  // namespace lamps::core

@@ -1,0 +1,200 @@
+#include "core/genetic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/priority_keys.hpp"
+#include "core/sns.hpp"
+#include "core/stretch.hpp"
+#include "graph/analysis.hpp"
+#include "sched/list_scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace lamps::core {
+
+namespace {
+
+struct Individual {
+  std::vector<graph::TaskId> order;  // permutation: position = priority rank
+  std::size_t num_procs{1};
+  double energy{std::numeric_limits<double>::infinity()};
+  bool feasible{false};
+};
+
+/// Priority keys from a permutation: earlier position = smaller key =
+/// dispatched first.
+std::vector<std::int64_t> keys_from_order(const std::vector<graph::TaskId>& order) {
+  std::vector<std::int64_t> keys(order.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank)
+    keys[order[rank]] = static_cast<std::int64_t>(rank);
+  return keys;
+}
+
+/// Order crossover (OX1): copy a random slice from parent a, fill the rest
+/// in parent-b order.
+std::vector<graph::TaskId> order_crossover(const std::vector<graph::TaskId>& a,
+                                           const std::vector<graph::TaskId>& b, Rng& rng) {
+  const std::size_t n = a.size();
+  if (n < 2) return a;
+  std::size_t lo = static_cast<std::size_t>(rng.uniform(0, n - 1));
+  std::size_t hi = static_cast<std::size_t>(rng.uniform(0, n - 1));
+  if (lo > hi) std::swap(lo, hi);
+  std::vector<graph::TaskId> child(n, graph::kInvalidTask);
+  std::vector<bool> used(n, false);
+  for (std::size_t i = lo; i <= hi; ++i) {
+    child[i] = a[i];
+    used[a[i]] = true;
+  }
+  std::size_t fill = (hi + 1) % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const graph::TaskId candidate = b[(hi + 1 + k) % n];
+    if (used[candidate]) continue;
+    child[fill] = candidate;
+    fill = (fill + 1) % n;
+  }
+  return child;
+}
+
+}  // namespace
+
+StrategyResult genetic_schedule(const Problem& prob, const GeneticOptions& opts) {
+  const graph::TaskGraph& g = *prob.graph;
+  StrategyResult best;
+  if (g.num_tasks() == 0) return best;
+  if (opts.population < 2 || opts.generations == 0 || opts.tournament == 0)
+    throw std::invalid_argument("genetic_schedule: degenerate GA options");
+
+  Rng rng(opts.seed);
+  std::size_t schedules = 0;
+
+  // Processor-count range: the same bracket LAMPS scans.
+  const Cycles deadline_cycles = prob.deadline_cycles_at_fmax();
+  if (deadline_cycles == 0) return best;
+  std::size_t n_lwb = static_cast<std::size_t>((g.total_work() + deadline_cycles - 1) /
+                                               deadline_cycles);
+  n_lwb = std::clamp<std::size_t>(n_lwb, 1, g.num_tasks());
+  const MaxSpeedupSchedule speedup = schedule_max_speedup(prob);
+  schedules += speedup.schedules_computed;
+  const std::size_t n_max = std::max(n_lwb, speedup.num_procs);
+
+  const auto evaluate = [&](Individual& ind) {
+    const auto keys = keys_from_order(ind.order);
+    const sched::Schedule s = sched::list_schedule(g, ind.num_procs, keys);
+    ++schedules;
+    ind.feasible = false;
+    ind.energy = std::numeric_limits<double>::infinity();
+    if (opts.ps) {
+      const LevelChoice choice = best_level_with_ps(s, prob);
+      if (choice.level == nullptr) return;
+      ind.feasible = true;
+      ind.energy = choice.breakdown.total().value();
+      if (!best.feasible || ind.energy < best.energy().value()) {
+        best.feasible = true;
+        best.num_procs = ind.num_procs;
+        best.level_index = choice.level->index;
+        best.breakdown = choice.breakdown;
+        best.completion = cycles_to_time(s.makespan(), choice.level->f);
+        best.schedule = s;
+      }
+    } else {
+      const power::DvsLevel* lvl = lowest_feasible_level(s, prob);
+      if (lvl == nullptr) return;
+      const energy::EnergyBreakdown e = stretched_energy(s, *lvl, prob);
+      ind.feasible = true;
+      ind.energy = e.total().value();
+      if (!best.feasible || ind.energy < best.energy().value()) {
+        best.feasible = true;
+        best.num_procs = ind.num_procs;
+        best.level_index = lvl->index;
+        best.breakdown = e;
+        best.completion = cycles_to_time(s.makespan(), lvl->f);
+        best.schedule = s;
+      }
+    }
+  };
+
+  // ---- Initial population: EDF and bottom-level orders seed the search;
+  // the rest are random permutations over the LAMPS processor bracket.
+  std::vector<Individual> pop(opts.population);
+  {
+    const auto seed_keys = problem_priority_keys(prob);
+    std::vector<graph::TaskId> edf_order(g.num_tasks());
+    std::iota(edf_order.begin(), edf_order.end(), graph::TaskId{0});
+    std::sort(edf_order.begin(), edf_order.end(), [&](graph::TaskId x, graph::TaskId y) {
+      return seed_keys[x] != seed_keys[y] ? seed_keys[x] < seed_keys[y] : x < y;
+    });
+    const auto bl = graph::bottom_levels(g);
+    std::vector<graph::TaskId> bl_order = edf_order;
+    std::sort(bl_order.begin(), bl_order.end(), [&](graph::TaskId x, graph::TaskId y) {
+      return bl[x] != bl[y] ? bl[x] > bl[y] : x < y;
+    });
+
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      Individual& ind = pop[i];
+      if (i == 0) {
+        ind.order = edf_order;
+      } else if (i == 1) {
+        ind.order = bl_order;
+      } else {
+        ind.order.resize(g.num_tasks());
+        std::iota(ind.order.begin(), ind.order.end(), graph::TaskId{0});
+        rng.shuffle(std::span<graph::TaskId>(ind.order));
+      }
+      ind.num_procs = n_lwb + static_cast<std::size_t>(
+                                  rng.uniform(0, static_cast<std::uint64_t>(n_max - n_lwb)));
+      evaluate(ind);
+    }
+  }
+
+  const auto tournament_pick = [&]() -> const Individual& {
+    const Individual* winner = nullptr;
+    for (std::size_t t = 0; t < opts.tournament; ++t) {
+      const Individual& c =
+          pop[static_cast<std::size_t>(rng.uniform(0, pop.size() - 1))];
+      if (winner == nullptr || c.energy < winner->energy) winner = &c;
+    }
+    return *winner;
+  };
+
+  // ---- Generational loop with single-individual elitism.
+  for (std::size_t gen = 0; gen < opts.generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(pop.size());
+    // Elite: keep the best current individual verbatim.
+    next.push_back(*std::min_element(pop.begin(), pop.end(),
+                                     [](const Individual& a, const Individual& b) {
+                                       return a.energy < b.energy;
+                                     }));
+    while (next.size() < pop.size()) {
+      const Individual& pa = tournament_pick();
+      const Individual& pb = tournament_pick();
+      Individual child;
+      child.order = rng.bernoulli(opts.crossover_rate)
+                        ? order_crossover(pa.order, pb.order, rng)
+                        : pa.order;
+      child.num_procs = rng.bernoulli(0.5) ? pa.num_procs : pb.num_procs;
+      if (rng.bernoulli(opts.mutation_rate) && child.order.size() >= 2) {
+        const std::size_t i =
+            static_cast<std::size_t>(rng.uniform(0, child.order.size() - 1));
+        const std::size_t j =
+            static_cast<std::size_t>(rng.uniform(0, child.order.size() - 1));
+        std::swap(child.order[i], child.order[j]);
+      }
+      if (rng.bernoulli(opts.mutation_rate)) {
+        if (rng.bernoulli(0.5) && child.num_procs < n_max)
+          ++child.num_procs;
+        else if (child.num_procs > n_lwb)
+          --child.num_procs;
+      }
+      evaluate(child);
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+  }
+
+  best.schedules_computed = schedules;
+  return best;
+}
+
+}  // namespace lamps::core

@@ -1,0 +1,42 @@
+// Integrated genetic scheduler (in the spirit of Kianzad et al.'s CASPER,
+// the paper's reference [18], raised again in its future-work section).
+//
+// Instead of a fixed list-scheduling priority, a GA co-evolves
+//   * the task priority permutation driving the list scheduler, and
+//   * the processor count,
+// with fitness = total energy after the usual stretch (+ optional PS level
+// sweep).  Elitist generational GA: tournament selection, order crossover
+// on the permutation, swap mutation, +-1 processor-count mutation.
+//
+// Purpose in this reproduction: the paper argues via LIMIT-SF that *no*
+// scheduling algorithm can beat LS-EDF by much; an integrated
+// metaheuristic search is the strongest practical challenger, and
+// bench/ext_genetic measures how much of the (tiny) remaining gap it
+// closes at orders of magnitude more scheduling work.
+#pragma once
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+
+namespace lamps::core {
+
+struct GeneticOptions {
+  std::size_t population{40};
+  std::size_t generations{60};
+  std::size_t tournament{3};
+  double crossover_rate{0.9};
+  double mutation_rate{0.2};
+  std::uint64_t seed{0x6e6e};
+  /// Use the PS frequency sweep in the fitness (true = challenger to
+  /// LAMPS+PS; false = challenger to LAMPS).
+  bool ps{true};
+};
+
+/// Runs the GA.  The result carries the best schedule found plus
+/// `schedules_computed` = total list-scheduling invocations (the cost
+/// metric to hold against LAMPS's).
+[[nodiscard]] StrategyResult genetic_schedule(const Problem& prob,
+                                              const GeneticOptions& opts = {});
+
+}  // namespace lamps::core

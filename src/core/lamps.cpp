@@ -1,0 +1,137 @@
+#include "core/lamps.hpp"
+
+#include <algorithm>
+
+#include "core/priority_keys.hpp"
+#include "core/sns.hpp"
+#include "core/stretch.hpp"
+#include "graph/analysis.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace lamps::core {
+
+namespace {
+
+/// Feasibility at the maximum frequency, honoring explicit deadlines too.
+bool feasible_at_fmax(const sched::Schedule& s, const Problem& prob) {
+  const Hertz f_min = min_feasible_frequency(s, *prob.graph, prob.deadline);
+  return f_min.value() <= prob.model->max_frequency().value() * (1.0 + 1e-12);
+}
+
+StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
+  const graph::TaskGraph& g = *prob.graph;
+  StrategyResult best;
+  if (g.num_tasks() == 0) return best;
+
+  const auto keys = problem_priority_keys(prob);
+  const Cycles deadline_cycles = prob.deadline_cycles_at_fmax();
+
+  // ---- Phase 1: binary search for the minimal feasible processor count
+  // on [N_lwb = ceil(W / D), N_upb = |V|].
+  const std::size_t n_upb = g.num_tasks();
+  std::size_t n_lwb = deadline_cycles == 0
+                          ? n_upb
+                          : static_cast<std::size_t>(
+                                (g.total_work() + deadline_cycles - 1) / deadline_cycles);
+  n_lwb = std::clamp<std::size_t>(n_lwb, 1, n_upb);
+
+  std::size_t schedules = 0;
+  const auto feasible_with = [&](std::size_t n) {
+    sched::Schedule s = sched::list_schedule(g, n, keys);
+    ++schedules;
+    return feasible_at_fmax(s, prob);
+  };
+
+  if (!feasible_with(n_upb)) {
+    best.schedules_computed = schedules;
+    return best;  // not schedulable before the deadline at all
+  }
+  std::size_t lo = n_lwb, hi = n_upb;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feasible_with(mid))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  const std::size_t n_min = lo;
+
+  // ---- Phase 2: full linear search over [N_min, N_max], where N_max is
+  // the processor count beyond which the makespan cannot improve (the
+  // count S&S employs).  The scan is exhaustive because the energy curve
+  // has local minima (paper Fig 6: "a full search must be performed").
+  const MaxSpeedupSchedule speedup = schedule_max_speedup(prob);
+  schedules += speedup.schedules_computed;
+  const std::size_t n_max = std::max(n_min, speedup.num_procs);
+
+  for (std::size_t n = n_min; n <= n_max; ++n) {
+    sched::Schedule s = sched::list_schedule(g, n, keys);
+    ++schedules;
+
+    if (with_ps) {
+      const LevelChoice choice = best_level_with_ps(s, prob);
+      if (choice.level == nullptr) continue;  // this N infeasible (EDF anomaly)
+      if (!best.feasible || choice.breakdown.total() < best.breakdown.total()) {
+        best.feasible = true;
+        best.num_procs = n;
+        best.level_index = choice.level->index;
+        best.breakdown = choice.breakdown;
+        best.completion = cycles_to_time(s.makespan(), choice.level->f);
+        best.schedule = std::move(s);
+      }
+    } else {
+      const power::DvsLevel* lvl = lowest_feasible_level(s, prob);
+      if (lvl == nullptr) continue;
+      const energy::EnergyBreakdown e = stretched_energy(s, *lvl, prob);
+      if (!best.feasible || e.total() < best.breakdown.total()) {
+        best.feasible = true;
+        best.num_procs = n;
+        best.level_index = lvl->index;
+        best.breakdown = e;
+        best.completion = cycles_to_time(s.makespan(), lvl->f);
+        best.schedule = std::move(s);
+      }
+    }
+  }
+  best.schedules_computed = schedules;
+  return best;
+}
+
+}  // namespace
+
+StrategyResult lamps_schedule(const Problem& prob) { return lamps_impl(prob, false); }
+
+StrategyResult lamps_schedule_ps(const Problem& prob) { return lamps_impl(prob, true); }
+
+std::vector<SweepPoint> processor_sweep(const Problem& prob, std::size_t max_procs,
+                                        bool with_ps) {
+  const graph::TaskGraph& g = *prob.graph;
+  const auto keys = problem_priority_keys(prob);
+  std::vector<SweepPoint> out;
+  out.reserve(max_procs);
+  for (std::size_t n = 1; n <= max_procs; ++n) {
+    sched::Schedule s = sched::list_schedule(g, n, keys);
+    SweepPoint pt;
+    pt.num_procs = n;
+    pt.makespan = s.makespan();
+    if (with_ps) {
+      const LevelChoice choice = best_level_with_ps(s, prob);
+      if (choice.level != nullptr) {
+        pt.feasible = true;
+        pt.level_index = choice.level->index;
+        pt.energy = choice.breakdown.total();
+      }
+    } else {
+      const power::DvsLevel* lvl = lowest_feasible_level(s, prob);
+      if (lvl != nullptr) {
+        pt.feasible = true;
+        pt.level_index = lvl->index;
+        pt.energy = stretched_energy(s, *lvl, prob).total();
+      }
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace lamps::core

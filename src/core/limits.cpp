@@ -1,0 +1,92 @@
+#include "core/limits.hpp"
+
+#include <algorithm>
+
+#include "graph/analysis.hpp"
+
+namespace lamps::core {
+
+namespace {
+
+/// Splits W * epc into the same component structure the heuristics report.
+energy::EnergyBreakdown active_only_energy(Cycles work, const power::DvsLevel& lvl) {
+  const Seconds t = cycles_to_time(work, lvl.f);
+  energy::EnergyBreakdown e{};
+  e.dynamic = lvl.active.dynamic * t;
+  e.leakage = lvl.active.leakage * t;
+  e.intrinsic = lvl.active.intrinsic * t;
+  return e;
+}
+
+energy::EnergyBreakdown active_only_energy_continuous(Cycles work,
+                                                      const power::PowerModel& model,
+                                                      Volts vdd) {
+  const Hertz f = model.frequency(vdd);
+  const power::PowerBreakdown p = model.active_power(vdd);
+  const Seconds t = cycles_to_time(work, f);
+  energy::EnergyBreakdown e{};
+  e.dynamic = p.dynamic * t;
+  e.leakage = p.leakage * t;
+  e.intrinsic = p.intrinsic * t;
+  return e;
+}
+
+}  // namespace
+
+StrategyResult limit_sf(const Problem& prob, const LimitOptions& opts) {
+  const graph::TaskGraph& g = *prob.graph;
+  StrategyResult r;
+  if (g.num_tasks() == 0) {
+    r.feasible = true;
+    return r;
+  }
+  const Cycles cpl = graph::critical_path_length(g);
+  // Lowest level fast enough for the critical path to fit the deadline.
+  const Hertz f_need = required_frequency(cpl, prob.deadline);
+  const power::DvsLevel* floor_lvl =
+      prob.ladder->lowest_level_at_least(Hertz{f_need.value() * (1.0 - 1e-12)});
+  if (floor_lvl == nullptr) return r;  // even f_max cannot fit the CPL
+
+  const power::DvsLevel& crit = prob.ladder->critical_level();
+  if (opts.continuous_critical) {
+    const Volts v_crit = prob.model->critical_vdd();
+    const Hertz f_crit = prob.model->frequency(v_crit);
+    if (f_crit.value() >= f_need.value()) {
+      // Deadline does not bind: run at the continuous optimum.
+      r.feasible = true;
+      r.breakdown = active_only_energy_continuous(g.total_work(), *prob.model, v_crit);
+      r.level_index = crit.index;  // nearest ladder annotation
+      r.completion = cycles_to_time(cpl, f_crit);
+      return r;
+    }
+  }
+  const power::DvsLevel& sel =
+      floor_lvl->index > crit.index ? *floor_lvl : crit;  // max(critical, needed)
+  r.feasible = true;
+  r.level_index = sel.index;
+  r.breakdown = active_only_energy(g.total_work(), sel);
+  r.completion = cycles_to_time(cpl, sel.f);
+  return r;
+}
+
+StrategyResult limit_mf(const Problem& prob, const LimitOptions& opts) {
+  const graph::TaskGraph& g = *prob.graph;
+  StrategyResult r;
+  r.feasible = true;  // deadline deliberately ignored (paper section 4.4)
+  if (g.num_tasks() == 0) return r;
+  const Cycles cpl = graph::critical_path_length(g);
+  if (opts.continuous_critical) {
+    const Volts v_crit = prob.model->critical_vdd();
+    r.breakdown = active_only_energy_continuous(g.total_work(), *prob.model, v_crit);
+    r.level_index = prob.ladder->critical_level().index;
+    r.completion = cycles_to_time(cpl, prob.model->frequency(v_crit));
+    return r;
+  }
+  const power::DvsLevel& crit = prob.ladder->critical_level();
+  r.level_index = crit.index;
+  r.breakdown = active_only_energy(g.total_work(), crit);
+  r.completion = cycles_to_time(cpl, crit.f);
+  return r;
+}
+
+}  // namespace lamps::core

@@ -1,0 +1,37 @@
+// LIMIT-SF and LIMIT-MF: the paper's absolute lower bounds (section 4.4).
+//
+// Both bounds charge *only active cycles* — idle processors consume nothing
+// — so neither depends on the scheduling algorithm:
+//
+//   LIMIT-SF: one global constant frequency.  With |V| processors the best
+//   achievable makespan is the critical path, so the frequency is the
+//   critical (energy-optimal) level, raised to CPL/D if the deadline binds;
+//   energy = total work x energy-per-cycle(level).  No schedule with a
+//   single constant frequency can beat it.
+//
+//   LIMIT-MF: every task runs at the critical level regardless of the
+//   deadline; energy = total work x energy-per-cycle(critical).  An
+//   absolute bound even with per-processor, time-varying frequencies (it
+//   may violate the deadline, which the paper accepts).
+#pragma once
+
+#include "core/problem.hpp"
+
+namespace lamps::core {
+
+struct LimitOptions {
+  /// Use the continuous critical speed instead of the discrete ladder's
+  /// critical level (default: discrete, matching the paper — this makes
+  /// LIMIT-SF equal LIMIT-MF for loose deadlines, as in Table 3).
+  bool continuous_critical{false};
+};
+
+/// Single-frequency bound.  feasible == false when even the maximum level
+/// cannot fit the critical path before the deadline.
+[[nodiscard]] StrategyResult limit_sf(const Problem& prob, const LimitOptions& opts = {});
+
+/// Multiple-frequency bound.  Always "feasible" (ignores the deadline by
+/// construction).
+[[nodiscard]] StrategyResult limit_mf(const Problem& prob, const LimitOptions& opts = {});
+
+}  // namespace lamps::core

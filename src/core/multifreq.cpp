@@ -1,0 +1,216 @@
+#include "core/multifreq.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "core/priority_keys.hpp"
+#include "core/sns.hpp"
+#include "graph/analysis.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace lamps::core {
+
+namespace {
+
+/// Slowest ladder level fitting `work` cycles into `window` seconds,
+/// floored at the critical level.  Returns ladder.size() when even f_max
+/// is too slow.
+std::size_t pick_level(const power::DvsLadder& ladder, Cycles work, Seconds window) {
+  if (work == 0) return ladder.critical_level().index;
+  if (window.value() <= 0.0) return ladder.size();
+  const Hertz f_need = required_frequency(work, window);
+  const power::DvsLevel* lvl =
+      ladder.lowest_level_at_least(Hertz{f_need.value() * (1.0 - 1e-12)});
+  if (lvl == nullptr) return ladder.size();
+  return std::max(lvl->index, ladder.critical_level().index);
+}
+
+/// The augmented precedence relation of a fixed schedule: graph edges plus
+/// the processor-order edge to the next task on the same processor.  The
+/// schedule realizes this DAG, so it is acyclic.
+struct AugmentedDag {
+  std::vector<std::vector<graph::TaskId>> succs;
+  std::vector<graph::TaskId> topo;  // forward topological order
+
+  AugmentedDag(const sched::Schedule& s, const graph::TaskGraph& g) : succs(g.num_tasks()) {
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      const auto gs = g.successors(v);
+      succs[v].assign(gs.begin(), gs.end());
+    }
+    for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
+      const auto row = s.on_proc(p);
+      for (std::size_t i = 0; i + 1 < row.size(); ++i)
+        succs[row[i].task].push_back(row[i + 1].task);
+    }
+    // Kahn's algorithm over the augmented relation.
+    std::vector<std::size_t> in_deg(g.num_tasks(), 0);
+    for (const auto& ss : succs)
+      for (const graph::TaskId t : ss) ++in_deg[t];
+    std::priority_queue<graph::TaskId, std::vector<graph::TaskId>, std::greater<>> ready;
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+      if (in_deg[v] == 0) ready.push(v);
+    topo.reserve(g.num_tasks());
+    while (!ready.empty()) {
+      const graph::TaskId v = ready.top();
+      ready.pop();
+      topo.push_back(v);
+      for (const graph::TaskId t : succs[v])
+        if (--in_deg[t] == 0) ready.push(t);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<TaskAssignment> reclaim_slack(const sched::Schedule& s, const Problem& prob) {
+  const graph::TaskGraph& g = *prob.graph;
+  const power::DvsLadder& ladder = *prob.ladder;
+  const double f_max = prob.model->max_frequency().value();
+  const std::size_t n = g.num_tasks();
+
+  const AugmentedDag dag(s, g);
+  if (dag.topo.size() != n) return {};  // corrupt schedule (cannot happen for valid ones)
+
+  // Backward pass: latest admissible finish, reserving f_max durations for
+  // every augmented successor:
+  //   LF(v) = min(deadline(v), min over succ s of LF(s) - w(s)/f_max).
+  std::vector<double> lf(n, prob.deadline.value());
+  for (auto it = dag.topo.rbegin(); it != dag.topo.rend(); ++it) {
+    const graph::TaskId v = *it;
+    if (const auto own = g.explicit_deadline(v)) lf[v] = std::min(lf[v], own->value());
+    for (const graph::TaskId t : dag.succs[v])
+      lf[v] = std::min(lf[v], lf[t] - static_cast<double>(g.weight(t)) / f_max);
+    // Feasibility: even at f_max the task must fit before its LF.
+    if (lf[v] < static_cast<double>(g.weight(v)) / f_max - 1e-12) return {};
+  }
+
+  // Forward pass in augmented topological order: start as early as the
+  // realized predecessors allow, run at the slowest level that still makes
+  // LF.  Induction gives start(v) <= LF(v) - w(v)/f_max, so a level always
+  // exists when the feasibility check above passed.
+  std::vector<TaskAssignment> out(n);
+  std::vector<double> realized_finish(n, 0.0);
+  std::vector<double> ready_at(n, 0.0);
+  for (const graph::TaskId v : dag.topo) {
+    const sched::Placement& pl = s.placement(v);
+    TaskAssignment& a = out[v];
+    a.task = v;
+    a.proc = pl.proc;
+    a.start = Seconds{ready_at[v]};
+    a.window_end = Seconds{lf[v]};
+
+    const std::size_t lvl_idx = pick_level(ladder, g.weight(v), a.window_end - a.start);
+    if (lvl_idx >= ladder.size()) return {};  // numerical corner; treat as infeasible
+    a.level_index = lvl_idx;
+    a.finish = a.start + cycles_to_time(g.weight(v), ladder.level(lvl_idx).f);
+    realized_finish[v] = a.finish.value();
+    for (const graph::TaskId t : dag.succs[v])
+      ready_at[t] = std::max(ready_at[t], realized_finish[v]);
+  }
+  return out;
+}
+
+energy::EnergyBreakdown evaluate_multifreq(const std::vector<TaskAssignment>& assignments,
+                                           std::size_t num_procs, const Problem& prob,
+                                           const MultiFreqOptions& opts) {
+  const power::DvsLadder& ladder = *prob.ladder;
+  const power::DvsLevel& idle_lvl = ladder.level(opts.idle_level_index);
+  const power::SleepModel sleep = prob.sleep();
+
+  energy::EnergyBreakdown e{};
+
+  // Active energy per task at its own level.
+  for (const TaskAssignment& a : assignments) {
+    const power::DvsLevel& lvl = ladder.level(a.level_index);
+    const Seconds dur = a.finish - a.start;
+    e.dynamic += lvl.active.dynamic * dur;
+    e.leakage += lvl.active.leakage * dur;
+    e.intrinsic += lvl.active.intrinsic * dur;
+  }
+
+  // Idle/sleep energy per processor timeline.
+  std::vector<std::vector<const TaskAssignment*>> rows(num_procs);
+  for (const TaskAssignment& a : assignments) rows[a.proc].push_back(&a);
+  for (auto& row : rows)
+    std::sort(row.begin(), row.end(), [](const TaskAssignment* x, const TaskAssignment* y) {
+      return x->start < y->start;
+    });
+
+  const auto charge_gap = [&](Seconds gap, bool leading) {
+    if (gap.value() <= 0.0) return;
+    const bool may_sleep = opts.ps && (prob.ps_allow_leading_gaps || !leading);
+    if (may_sleep) {
+      const auto d = sleep.decide(gap, idle_lvl.idle);
+      if (d.shutdown) {
+        e.sleep += sleep.sleep_power() * gap;
+        e.wakeup += sleep.wakeup_energy();
+        ++e.shutdowns;
+        return;
+      }
+    }
+    e.leakage += idle_lvl.active.leakage * gap;
+    e.intrinsic += idle_lvl.active.intrinsic * gap;
+  };
+
+  for (const auto& row : rows) {
+    Seconds cursor{0.0};
+    bool leading = true;
+    const TaskAssignment* prev = nullptr;
+    for (const TaskAssignment* a : row) {
+      charge_gap(a->start - cursor, leading);
+      if (prev != nullptr && prev->level_index != a->level_index) {
+        e.transition += opts.transition_energy;
+        ++e.transitions;
+      }
+      prev = a;
+      cursor = a->finish;
+      leading = false;
+    }
+    charge_gap(prob.deadline - cursor, leading);
+  }
+  return e;
+}
+
+MultiFreqResult lamps_multifreq(const Problem& prob, const MultiFreqOptions& opts) {
+  const graph::TaskGraph& g = *prob.graph;
+  MultiFreqResult best;
+  if (g.num_tasks() == 0) return best;
+  if (opts.idle_level_index >= prob.ladder->size()) return best;
+
+  const auto keys = problem_priority_keys(prob);
+  const Cycles deadline_cycles = prob.deadline_cycles_at_fmax();
+  if (deadline_cycles == 0) return best;
+
+  // Same outer scan as LAMPS: phase-1 lower bound to the max-speedup count.
+  const std::size_t n_upb = g.num_tasks();
+  std::size_t n_lwb = static_cast<std::size_t>((g.total_work() + deadline_cycles - 1) /
+                                               deadline_cycles);
+  n_lwb = std::clamp<std::size_t>(n_lwb, 1, n_upb);
+
+  const MaxSpeedupSchedule speedup = schedule_max_speedup(prob);
+  std::size_t schedules = speedup.schedules_computed;
+  const std::size_t n_max = std::max(n_lwb, speedup.num_procs);
+
+  for (std::size_t n = n_lwb; n <= n_max; ++n) {
+    const sched::Schedule s = sched::list_schedule(g, n, keys);
+    ++schedules;
+    const std::vector<TaskAssignment> assignments = reclaim_slack(s, prob);
+    if (assignments.empty()) continue;  // this N misses the deadline at f_max
+    const energy::EnergyBreakdown e = evaluate_multifreq(assignments, n, prob, opts);
+    if (!best.feasible || e.total() < best.breakdown.total()) {
+      best.feasible = true;
+      best.num_procs = n;
+      best.breakdown = e;
+      best.assignments = assignments;
+      Seconds completion{0.0};
+      for (const TaskAssignment& a : assignments)
+        completion = std::max(completion, a.finish);
+      best.completion = completion;
+    }
+  }
+  best.schedules_computed = schedules;
+  return best;
+}
+
+}  // namespace lamps::core

@@ -1,0 +1,94 @@
+// Per-task DVS by static slack reclamation — the extension the paper's
+// conclusions point at (section 6: schedulers in the style of Zhu et al.'s
+// slack-reclamation [1] that let every task run at its own frequency).
+//
+// LAMPS+MF keeps the LAMPS outer loop (scan the processor count), but
+// instead of stretching the whole schedule uniformly it reclaims slack per
+// task:
+//
+//   1. list-schedule at f_max, which fixes the task-to-processor mapping
+//      and the per-processor execution order,
+//   2. backward pass over the *augmented* DAG (graph edges plus the edge to
+//      the next task on the same processor): the latest admissible finish
+//      LF(v) = min(deadline(v), min over augmented successors s of
+//      LF(s) - w(s)/f_max) — every successor is reserved at least its
+//      f_max duration,
+//   3. forward pass in augmented topological order: each task starts as
+//      early as its realized predecessors allow and runs at the slowest
+//      discrete level that still finishes by LF(v), floored at the
+//      critical level (running below the critical speed costs more energy
+//      per cycle than sleeping through the leftover slack),
+//   4. idle intervals are charged at a fixed idle operating point (an idle
+//      core parks at a low supply voltage; default: the slowest ladder
+//      level) and may be slept under the usual breakeven rule.
+//
+// Feasibility is by construction: induction over the augmented DAG gives
+// start(v) <= LF(v) - w(v)/f_max whenever the f_max schedule met every
+// deadline, so a fitting level always exists.  The result quantifies how
+// much of the LIMIT-MF gap (paper Figs 10/11) per-task frequencies
+// actually recover; the paper conjectures "probably much less" than the
+// bound suggests, since LIMIT-MF ignores deadlines.
+#pragma once
+
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace lamps::core {
+
+struct MultiFreqOptions {
+  /// Shut down idle gaps longer than the breakeven (PS).
+  bool ps{true};
+  /// Ladder level an idle-but-powered core sits at (index).  The default
+  /// (level 0 = lowest voltage) models an idle core parked at minimum
+  /// supply; set to the chosen task level's index semantics are NOT
+  /// supported — a single park level keeps the model simple and documented.
+  std::size_t idle_level_index{0};
+  /// Energy charged per DVS level change between consecutive tasks on the
+  /// same processor (overhead-conscious voltage selection, cf. Andrei et
+  /// al.; the paper's single-frequency model has no transitions).  Idle
+  /// parking between tasks is not charged separately — the task-to-task
+  /// level difference is the proxy.
+  Joules transition_energy{0.0};
+};
+
+/// One task's realized placement under per-task DVS.
+struct TaskAssignment {
+  graph::TaskId task{graph::kInvalidTask};
+  sched::ProcId proc{0};
+  std::size_t level_index{0};
+  Seconds start{0.0};
+  Seconds finish{0.0};
+  Seconds window_end{0.0};  ///< latest admissible finish
+};
+
+struct MultiFreqResult {
+  bool feasible{false};
+  std::size_t num_procs{0};
+  energy::EnergyBreakdown breakdown{};
+  std::vector<TaskAssignment> assignments;  ///< indexed by task id
+  Seconds completion{0.0};
+  std::size_t schedules_computed{0};
+
+  [[nodiscard]] Joules energy() const { return breakdown.total(); }
+};
+
+/// Runs the LAMPS+MF heuristic on a Problem (same contract as the other
+/// strategies: scans processor counts from the phase-1 minimum to the S&S
+/// count, returns the minimum-energy configuration).
+[[nodiscard]] MultiFreqResult lamps_multifreq(const Problem& prob,
+                                              const MultiFreqOptions& opts = {});
+
+/// Slack-reclamation core: re-times one fixed schedule (mapping + order)
+/// with per-task levels.  Exposed for tests and for reusing an existing
+/// schedule.  Returns an empty vector if the schedule misses a deadline
+/// even at f_max.
+[[nodiscard]] std::vector<TaskAssignment> reclaim_slack(const sched::Schedule& s,
+                                                        const Problem& prob);
+
+/// Energy of a per-task-level assignment under the multifreq idle model.
+[[nodiscard]] energy::EnergyBreakdown evaluate_multifreq(
+    const std::vector<TaskAssignment>& assignments, std::size_t num_procs,
+    const Problem& prob, const MultiFreqOptions& opts);
+
+}  // namespace lamps::core

@@ -1,0 +1,14 @@
+#include "core/priority_keys.hpp"
+
+namespace lamps::core {
+
+std::vector<std::int64_t> problem_priority_keys(const Problem& prob) {
+  sched::PriorityOptions opts;
+  opts.policy = prob.policy;
+  opts.global_deadline_cycles = prob.deadline_cycles_at_fmax();
+  opts.ref_frequency = prob.model->max_frequency();
+  opts.seed = prob.priority_seed;
+  return sched::make_priority_keys(*prob.graph, opts);
+}
+
+}  // namespace lamps::core

@@ -1,0 +1,14 @@
+// Shared helper: list-scheduling priority keys for a Problem (EDF keys use
+// the deadline at maximum frequency as the reference).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace lamps::core {
+
+[[nodiscard]] std::vector<std::int64_t> problem_priority_keys(const Problem& prob);
+
+}  // namespace lamps::core

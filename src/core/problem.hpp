@@ -1,0 +1,75 @@
+// Shared problem/result types for the scheduling strategies (paper
+// section 4).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "energy/evaluator.hpp"
+#include "graph/task_graph.hpp"
+#include "power/dvs_ladder.hpp"
+#include "power/power_model.hpp"
+#include "power/sleep_model.hpp"
+#include "sched/priorities.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::core {
+
+/// One scheduling problem instance.  The referenced graph/model/ladder must
+/// outlive the Problem (strategies are pure functions over it).
+struct Problem {
+  const graph::TaskGraph* graph{nullptr};
+  /// Global deadline (wall clock, applies to every task).
+  Seconds deadline{0.0};
+  const power::PowerModel* model{nullptr};
+  const power::DvsLadder* ladder{nullptr};
+
+  /// List-scheduling priority policy (paper: EDF; others for ablation).
+  sched::PriorityPolicy policy{sched::PriorityPolicy::kEdf};
+  /// Whether PS may remove leading idle gaps (see DESIGN.md section 7).
+  bool ps_allow_leading_gaps{true};
+  /// Seed for the kRandom priority policy.
+  std::uint64_t priority_seed{0};
+
+  [[nodiscard]] power::SleepModel sleep() const { return power::SleepModel(*model); }
+
+  /// Deadline expressed in cycles at the maximum frequency: a schedule is
+  /// feasible at f_max iff its makespan (cycles) fits below this.
+  [[nodiscard]] Cycles deadline_cycles_at_fmax() const {
+    return static_cast<Cycles>(deadline.value() * model->max_frequency().value() * (1.0 + 1e-12));
+  }
+};
+
+/// Identifies the six approaches of the paper's evaluation.
+enum class StrategyKind {
+  kSns,      ///< Schedule & Stretch (baseline)
+  kLamps,    ///< Leakage-Aware MultiProcessor Scheduling
+  kSnsPs,    ///< S&S + processor shutdown
+  kLampsPs,  ///< LAMPS + processor shutdown
+  kLimitSf,  ///< single-frequency lower bound
+  kLimitMf,  ///< multiple-frequency lower bound
+};
+
+[[nodiscard]] std::string_view to_string(StrategyKind k);
+
+/// Outcome of running one strategy on one Problem.
+struct StrategyResult {
+  bool feasible{false};
+  /// Number of processors employed (0 for the LIMIT bounds: "N/A").
+  std::size_t num_procs{0};
+  /// Index into the DVS ladder of the chosen operating point.
+  std::size_t level_index{0};
+  energy::EnergyBreakdown breakdown{};
+  /// Winning schedule (absent for the LIMIT bounds and infeasible results).
+  std::optional<sched::Schedule> schedule;
+  /// Wall-clock completion time of the last task at the chosen level.
+  Seconds completion{0.0};
+  /// Number of list-scheduling invocations performed (cost diagnostics,
+  /// paper section 4.2's T_LAMPS discussion).
+  std::size_t schedules_computed{0};
+
+  [[nodiscard]] Joules energy() const { return breakdown.total(); }
+};
+
+}  // namespace lamps::core

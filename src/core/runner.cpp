@@ -1,0 +1,104 @@
+#include "core/runner.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "graph/analysis.hpp"
+#include "util/summary.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lamps::core {
+
+std::vector<InstanceResult> run_sweep(const std::vector<SuiteEntry>& entries,
+                                      const power::PowerModel& model,
+                                      const power::DvsLadder& ladder,
+                                      const SweepConfig& config) {
+  struct Job {
+    const SuiteEntry* entry;
+    double factor;
+    StrategyKind strategy;
+    Cycles cpl;
+    double parallelism;
+  };
+  std::vector<Job> jobs;
+  for (const SuiteEntry& e : entries) {
+    const Cycles cpl = graph::critical_path_length(e.graph);
+    const double par = graph::average_parallelism(e.graph);
+    for (const double factor : config.deadline_factors)
+      for (const StrategyKind s : config.strategies)
+        jobs.push_back(Job{&e, factor, s, cpl, par});
+  }
+
+  std::vector<InstanceResult> results(jobs.size());
+  ThreadPool pool(config.threads);
+  parallel_for_index(pool, jobs.size(), [&](std::size_t i) {
+    const Job& job = jobs[i];
+    Problem prob;
+    prob.graph = &job.entry->graph;
+    prob.model = &model;
+    prob.ladder = &ladder;
+    prob.policy = config.policy;
+    prob.deadline =
+        Seconds{static_cast<double>(job.cpl) / model.max_frequency().value() * job.factor};
+
+    const StrategyResult r = run_strategy(job.strategy, prob);
+
+    InstanceResult& out = results[i];
+    out.group = job.entry->group;
+    out.graph_name = job.entry->graph.name();
+    out.deadline_factor = job.factor;
+    out.strategy = job.strategy;
+    out.feasible = r.feasible;
+    out.energy = r.energy();
+    out.num_procs = r.num_procs;
+    out.level_index = r.level_index;
+    out.schedules_computed = r.schedules_computed;
+    out.parallelism = job.parallelism;
+    out.total_work = job.entry->graph.total_work();
+  });
+  return results;
+}
+
+std::vector<GroupRelative> aggregate_relative(const std::vector<InstanceResult>& results,
+                                              StrategyKind baseline) {
+  // Baseline energy per (graph, deadline factor).
+  std::map<std::pair<std::string, double>, double> base;
+  for (const InstanceResult& r : results)
+    if (r.strategy == baseline && r.feasible && r.energy.value() > 0.0)
+      base[{r.graph_name, r.deadline_factor}] = r.energy.value();
+
+  struct Acc {
+    std::vector<double> samples;
+    std::size_t skipped{0};
+  };
+  std::map<std::tuple<std::string, double, StrategyKind>, Acc> acc;
+  for (const InstanceResult& r : results) {
+    Acc& a = acc[{r.group, r.deadline_factor, r.strategy}];
+    const auto it = base.find({r.graph_name, r.deadline_factor});
+    if (!r.feasible || it == base.end()) {
+      ++a.skipped;
+      continue;
+    }
+    a.samples.push_back(r.energy.value() / it->second);
+  }
+
+  std::vector<GroupRelative> out;
+  out.reserve(acc.size());
+  for (const auto& [key, a] : acc) {
+    GroupRelative g;
+    g.group = std::get<0>(key);
+    g.deadline_factor = std::get<1>(key);
+    g.strategy = std::get<2>(key);
+    const Summary s = summarize(a.samples);
+    g.mean_relative_energy = s.mean;
+    g.stddev_relative_energy = s.stddev;
+    g.min_relative_energy = s.min;
+    g.max_relative_energy = s.max;
+    g.num_graphs = s.n;
+    g.num_skipped = a.skipped;
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace lamps::core

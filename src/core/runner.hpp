@@ -1,0 +1,76 @@
+// Experiment sweep driver for the paper's evaluation (section 5): runs
+// every (graph, deadline factor, strategy) combination of a suite, in
+// parallel across a thread pool, and aggregates per-group statistics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "power/dvs_ladder.hpp"
+#include "power/power_model.hpp"
+
+namespace lamps::core {
+
+/// One benchmark instance: a graph already scaled to cycles, tagged with
+/// the group it reports under ("50", "fpppp", ...).
+struct SuiteEntry {
+  std::string group;
+  graph::TaskGraph graph;
+};
+
+struct SweepConfig {
+  /// Deadline factors relative to the critical path length at f_max
+  /// (paper: 1.5, 2, 4, 8).
+  std::vector<double> deadline_factors{1.5, 2.0, 4.0, 8.0};
+  std::vector<StrategyKind> strategies{kAllStrategies.begin(), kAllStrategies.end()};
+  sched::PriorityPolicy policy{sched::PriorityPolicy::kEdf};
+  /// Worker threads (0 = hardware concurrency).
+  std::size_t threads{0};
+};
+
+/// One (graph, deadline, strategy) outcome.
+struct InstanceResult {
+  std::string group;
+  std::string graph_name;
+  double deadline_factor{0.0};
+  StrategyKind strategy{StrategyKind::kSns};
+  bool feasible{false};
+  Joules energy{0.0};
+  std::size_t num_procs{0};
+  std::size_t level_index{0};
+  std::size_t schedules_computed{0};
+  double parallelism{0.0};  ///< graph's W / CPL
+  Cycles total_work{0};
+};
+
+/// Runs the sweep.  `entries` must outlive the call.  Results are in a
+/// deterministic order (by entry, then deadline factor, then strategy)
+/// regardless of thread interleaving.
+[[nodiscard]] std::vector<InstanceResult> run_sweep(const std::vector<SuiteEntry>& entries,
+                                                    const power::PowerModel& model,
+                                                    const power::DvsLadder& ladder,
+                                                    const SweepConfig& config);
+
+/// Mean relative-to-baseline energy per (group, deadline factor, strategy):
+/// for each graph the strategy's energy is divided by the baseline
+/// strategy's energy on the same graph, then averaged over the group.
+/// Infeasible pairs are skipped (and counted).
+struct GroupRelative {
+  std::string group;
+  double deadline_factor{0.0};
+  StrategyKind strategy{StrategyKind::kSns};
+  double mean_relative_energy{0.0};
+  /// Spread of the per-graph relative energies (sample stddev, extremes).
+  double stddev_relative_energy{0.0};
+  double min_relative_energy{0.0};
+  double max_relative_energy{0.0};
+  std::size_t num_graphs{0};
+  std::size_t num_skipped{0};
+};
+
+[[nodiscard]] std::vector<GroupRelative> aggregate_relative(
+    const std::vector<InstanceResult>& results, StrategyKind baseline = StrategyKind::kSns);
+
+}  // namespace lamps::core

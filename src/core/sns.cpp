@@ -1,0 +1,82 @@
+#include "core/sns.hpp"
+
+#include <algorithm>
+
+#include "core/priority_keys.hpp"
+#include "core/stretch.hpp"
+#include "graph/analysis.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace lamps::core {
+
+namespace {
+
+StrategyResult stretch_result(const Problem& prob, sched::Schedule schedule,
+                              std::size_t num_procs, std::size_t schedules_computed,
+                              bool with_ps) {
+  StrategyResult r;
+  r.num_procs = num_procs;
+  r.schedules_computed = schedules_computed;
+
+  if (with_ps) {
+    const LevelChoice choice = best_level_with_ps(schedule, prob);
+    if (choice.level == nullptr) return r;  // infeasible even at f_max
+    r.feasible = true;
+    r.level_index = choice.level->index;
+    r.breakdown = choice.breakdown;
+    r.completion = cycles_to_time(schedule.makespan(), choice.level->f);
+  } else {
+    const power::DvsLevel* lvl = lowest_feasible_level(schedule, prob);
+    if (lvl == nullptr) return r;
+    r.feasible = true;
+    r.level_index = lvl->index;
+    r.breakdown = stretched_energy(schedule, *lvl, prob);
+    r.completion = cycles_to_time(schedule.makespan(), lvl->f);
+  }
+  r.schedule = std::move(schedule);
+  return r;
+}
+
+}  // namespace
+
+MaxSpeedupSchedule schedule_max_speedup(const Problem& prob) {
+  const graph::TaskGraph& g = *prob.graph;
+  const auto keys = problem_priority_keys(prob);
+  const std::size_t width =
+      std::max<std::size_t>(1, std::min(g.num_tasks(), graph::asap_max_concurrency(g)));
+
+  // With width processors every task starts at its ASAP time, so the
+  // makespan cannot improve further; binary-search the smallest count that
+  // already reaches that makespan.
+  MaxSpeedupSchedule out{width, sched::list_schedule(g, width, keys), 1};
+  const Cycles ms_min = out.schedule.makespan();
+
+  std::size_t lo = 1, hi = width;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    sched::Schedule s = sched::list_schedule(g, mid, keys);
+    ++out.schedules_computed;
+    if (s.makespan() <= ms_min) {
+      hi = mid;
+      out.num_procs = mid;
+      out.schedule = std::move(s);
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return out;
+}
+
+StrategyResult schedule_and_stretch(const Problem& prob) {
+  MaxSpeedupSchedule ms = schedule_max_speedup(prob);
+  return stretch_result(prob, std::move(ms.schedule), ms.num_procs, ms.schedules_computed,
+                        /*with_ps=*/false);
+}
+
+StrategyResult schedule_and_stretch_ps(const Problem& prob) {
+  MaxSpeedupSchedule ms = schedule_max_speedup(prob);
+  return stretch_result(prob, std::move(ms.schedule), ms.num_procs, ms.schedules_computed,
+                        /*with_ps=*/true);
+}
+
+}  // namespace lamps::core

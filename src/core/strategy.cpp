@@ -1,0 +1,43 @@
+#include "core/strategy.hpp"
+
+#include <stdexcept>
+
+namespace lamps::core {
+
+std::string_view to_string(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::kSns:
+      return "S&S";
+    case StrategyKind::kLamps:
+      return "LAMPS";
+    case StrategyKind::kSnsPs:
+      return "S&S+PS";
+    case StrategyKind::kLampsPs:
+      return "LAMPS+PS";
+    case StrategyKind::kLimitSf:
+      return "LIMIT-SF";
+    case StrategyKind::kLimitMf:
+      return "LIMIT-MF";
+  }
+  return "?";
+}
+
+StrategyResult run_strategy(StrategyKind kind, const Problem& prob) {
+  switch (kind) {
+    case StrategyKind::kSns:
+      return schedule_and_stretch(prob);
+    case StrategyKind::kLamps:
+      return lamps_schedule(prob);
+    case StrategyKind::kSnsPs:
+      return schedule_and_stretch_ps(prob);
+    case StrategyKind::kLampsPs:
+      return lamps_schedule_ps(prob);
+    case StrategyKind::kLimitSf:
+      return limit_sf(prob);
+    case StrategyKind::kLimitMf:
+      return limit_mf(prob);
+  }
+  throw std::invalid_argument("run_strategy: unknown strategy");
+}
+
+}  // namespace lamps::core

@@ -1,0 +1,26 @@
+// Uniform dispatch over the six approaches of the paper's evaluation.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "core/lamps.hpp"
+#include "core/limits.hpp"
+#include "core/problem.hpp"
+#include "core/sns.hpp"
+
+namespace lamps::core {
+
+/// Runs one strategy on one problem.
+[[nodiscard]] StrategyResult run_strategy(StrategyKind kind, const Problem& prob);
+
+/// The heuristics in the order the paper's figures present them.
+inline constexpr std::array<StrategyKind, 4> kHeuristics = {
+    StrategyKind::kSns, StrategyKind::kLamps, StrategyKind::kSnsPs, StrategyKind::kLampsPs};
+
+/// Heuristics plus the two limits (figures 10/11 legend order).
+inline constexpr std::array<StrategyKind, 6> kAllStrategies = {
+    StrategyKind::kSns,     StrategyKind::kLamps,   StrategyKind::kSnsPs,
+    StrategyKind::kLampsPs, StrategyKind::kLimitSf, StrategyKind::kLimitMf};
+
+}  // namespace lamps::core

@@ -1,0 +1,55 @@
+#include "core/stretch.hpp"
+
+#include <algorithm>
+
+namespace lamps::core {
+
+Hertz min_feasible_frequency(const sched::Schedule& s, const graph::TaskGraph& g,
+                             Seconds global_deadline) {
+  double f_min = 0.0;
+  if (!g.has_explicit_deadlines()) {
+    // Single deadline: the binding constraint is the makespan.
+    return required_frequency(s.makespan(), global_deadline);
+  }
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    const Cycles finish = s.placement(v).finish;
+    Seconds dl = global_deadline;
+    if (const auto own = g.explicit_deadline(v)) dl = std::min(dl, *own);
+    f_min = std::max(f_min, required_frequency(finish, dl).value());
+  }
+  return Hertz{f_min};
+}
+
+const power::DvsLevel* lowest_feasible_level(const sched::Schedule& s, const Problem& prob) {
+  const Hertz f_min = min_feasible_frequency(s, *prob.graph, prob.deadline);
+  if (f_min.value() <= 0.0) return &prob.ladder->level(0);
+  // Guard against FP noise putting f_min epsilon above an exactly-feasible
+  // level.
+  return prob.ladder->lowest_level_at_least(Hertz{f_min.value() * (1.0 - 1e-12)});
+}
+
+energy::EnergyBreakdown stretched_energy(const sched::Schedule& s, const power::DvsLevel& lvl,
+                                         const Problem& prob) {
+  const power::SleepModel sleep = prob.sleep();
+  return energy::evaluate_energy(s, lvl, prob.deadline, sleep, energy::PsOptions{});
+}
+
+LevelChoice best_level_with_ps(const sched::Schedule& s, const Problem& prob) {
+  LevelChoice best;
+  const power::DvsLevel* lo = lowest_feasible_level(s, prob);
+  if (lo == nullptr) return best;
+  const power::SleepModel sleep = prob.sleep();
+  const energy::PsOptions ps{true, prob.ps_allow_leading_gaps};
+  for (std::size_t i = lo->index; i < prob.ladder->size(); ++i) {
+    const power::DvsLevel& lvl = prob.ladder->level(i);
+    const energy::EnergyBreakdown e =
+        energy::evaluate_energy(s, lvl, prob.deadline, sleep, ps);
+    if (best.level == nullptr || e.total() < best.breakdown.total()) {
+      best.level = &lvl;
+      best.breakdown = e;
+    }
+  }
+  return best;
+}
+
+}  // namespace lamps::core

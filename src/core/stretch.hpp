@@ -1,0 +1,42 @@
+// Stretch/level-selection helpers shared by the strategies:
+//   * the lowest DVS level at which a given schedule meets its deadline(s),
+//   * energy of a stretched schedule without PS,
+//   * the best (level, energy) over the DVS sweep with PS enabled
+//     (paper section 4.3: "gradually scaling the operating frequency from
+//     the maximum to the minimum required to meet the deadline").
+#pragma once
+
+#include <optional>
+
+#include "core/problem.hpp"
+
+namespace lamps::core {
+
+/// Minimum clock frequency at which every task of `s` meets its deadline:
+/// max over tasks of finish_cycles / deadline_seconds, where the deadline
+/// is the per-task explicit one when present, else the global one.
+[[nodiscard]] Hertz min_feasible_frequency(const sched::Schedule& s,
+                                           const graph::TaskGraph& g, Seconds global_deadline);
+
+/// Slowest ladder level meeting min_feasible_frequency; nullptr when the
+/// schedule cannot meet its deadlines even at the maximum level.
+[[nodiscard]] const power::DvsLevel* lowest_feasible_level(const sched::Schedule& s,
+                                                           const Problem& prob);
+
+/// Energy of `s` run entirely at `lvl` with all employed processors powered
+/// until the deadline (no shutdown) — the S&S/LAMPS accounting.
+[[nodiscard]] energy::EnergyBreakdown stretched_energy(const sched::Schedule& s,
+                                                       const power::DvsLevel& lvl,
+                                                       const Problem& prob);
+
+struct LevelChoice {
+  const power::DvsLevel* level{nullptr};
+  energy::EnergyBreakdown breakdown{};
+};
+
+/// Sweeps every feasible ladder level and returns the one minimizing total
+/// energy with per-gap shutdown decisions (the +PS inner loop).  Returns
+/// level == nullptr when no level is feasible.
+[[nodiscard]] LevelChoice best_level_with_ps(const sched::Schedule& s, const Problem& prob);
+
+}  // namespace lamps::core

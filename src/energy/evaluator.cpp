@@ -1,0 +1,83 @@
+#include "energy/evaluator.hpp"
+
+#include <stdexcept>
+
+namespace lamps::energy {
+
+namespace {
+
+/// Walks every idle interval of `s` up to the wall-clock horizon, invoking
+/// fn(proc, gap_seconds, is_leading, begin_cycles, end_cycles_or_0).
+/// Gap boundaries between tasks are exact cycle positions; the trailing gap
+/// runs to the (generally non-integral in cycles) horizon.
+template <typename Fn>
+void for_each_gap(const sched::Schedule& s, Hertz f, Seconds horizon, Fn&& fn) {
+  for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
+    Cycles cursor = 0;
+    for (const sched::Placement& pl : s.on_proc(p)) {
+      if (pl.start > cursor)
+        fn(p, cycles_to_time(pl.start - cursor, f), /*leading=*/cursor == 0, cursor, pl.start);
+      cursor = pl.finish;
+    }
+    const Seconds tail = horizon - cycles_to_time(cursor, f);
+    if (tail.value() > 0.0)
+      fn(p, tail, /*leading=*/cursor == 0, cursor, Cycles{0});
+  }
+}
+
+}  // namespace
+
+EnergyBreakdown evaluate_energy(const sched::Schedule& s, const power::DvsLevel& lvl,
+                                Seconds horizon, const power::SleepModel& sleep,
+                                const PsOptions& ps) {
+  const Seconds span = cycles_to_time(s.makespan(), lvl.f);
+  // Tolerate FP rounding from the horizon = makespan/f case.
+  if (span.value() > horizon.value() * (1.0 + 1e-12) + 1e-15)
+    throw std::invalid_argument("evaluate_energy: schedule does not fit in horizon");
+
+  EnergyBreakdown e{};
+  for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
+    const Seconds busy = cycles_to_time(s.busy_cycles(p), lvl.f);
+    e.dynamic += lvl.active.dynamic * busy;
+    e.leakage += lvl.active.leakage * busy;
+    e.intrinsic += lvl.active.intrinsic * busy;
+  }
+
+  for_each_gap(s, lvl.f, horizon,
+               [&](sched::ProcId, Seconds gap, bool leading, Cycles, Cycles) {
+                 const bool may_sleep = ps.enabled && (ps.allow_leading_gaps || !leading);
+                 if (may_sleep) {
+                   const auto d = sleep.decide(gap, lvl.idle);
+                   if (d.shutdown) {
+                     e.sleep += sleep.sleep_power() * gap;
+                     e.wakeup += sleep.wakeup_energy();
+                     ++e.shutdowns;
+                     return;
+                   }
+                 }
+                 e.leakage += lvl.active.leakage * gap;
+                 e.intrinsic += lvl.active.intrinsic * gap;
+               });
+  return e;
+}
+
+std::vector<sched::Gap> shutdown_gaps(const sched::Schedule& s, const power::DvsLevel& lvl,
+                                      Seconds horizon, const power::SleepModel& sleep,
+                                      const PsOptions& ps) {
+  std::vector<sched::Gap> out;
+  if (!ps.enabled) return out;
+  for_each_gap(s, lvl.f, horizon,
+               [&](sched::ProcId p, Seconds gap, bool leading, Cycles begin, Cycles end) {
+                 if (!ps.allow_leading_gaps && leading) return;
+                 if (sleep.decide(gap, lvl.idle).shutdown) {
+                   // Trailing gaps report end = begin + gap in whole cycles.
+                   const Cycles e =
+                       end != 0 ? end
+                                : begin + static_cast<Cycles>(gap * lvl.f);
+                   out.push_back(sched::Gap{p, begin, e});
+                 }
+               });
+  return out;
+}
+
+}  // namespace lamps::energy

@@ -1,0 +1,65 @@
+// Schedule energy accounting (paper sections 3.2-3.4).
+//
+// Given a schedule in the cycle domain, a discrete DVS operating point and
+// a wall-clock horizon (the deadline), the evaluator charges:
+//   * active placements:   P_AC + P_DC + P_on for weight/f seconds,
+//   * powered idle gaps:   P_DC + P_on (no switching activity),
+//   * slept gaps (PS on):  P_sleep for the gap plus one E_wake per gap,
+// choosing per gap whichever of {stay powered, shut down} is cheaper.
+// Every *employed* processor is accounted from t = 0 to the horizon;
+// processors beyond the schedule's processor count are unused and free.
+#pragma once
+
+#include <vector>
+
+#include "power/dvs_ladder.hpp"
+#include "power/sleep_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::energy {
+
+struct EnergyBreakdown {
+  Joules dynamic;       ///< switching energy of executed cycles
+  Joules leakage;       ///< P_DC while powered (active + idle)
+  Joules intrinsic;     ///< P_on while powered (active + idle)
+  Joules sleep;         ///< P_sleep during slept gaps
+  Joules wakeup;        ///< E_wake * number of shutdowns
+  /// DVS level-change overhead (zero in the paper's single-frequency model;
+  /// used by the per-task-DVS extension and the online simulator when a
+  /// transition cost is configured).
+  Joules transition;
+  std::size_t shutdowns{0};
+  std::size_t transitions{0};
+
+  [[nodiscard]] Joules total() const {
+    return dynamic + leakage + intrinsic + sleep + wakeup + transition;
+  }
+};
+
+struct PsOptions {
+  bool enabled{false};
+  /// Allow shutting down during a leading gap (processor idle before its
+  /// first task).  The paper only calls out slack "inside as well as at the
+  /// end of the schedule"; leading gaps are enabled by default because a
+  /// core sitting idle before its first task is physically no different —
+  /// DESIGN.md section 7 records this choice.
+  bool allow_leading_gaps{true};
+};
+
+/// Evaluates the total energy of running `s` at operating point `lvl`, with
+/// all employed processors powered on [0, horizon] except for gaps removed
+/// by PS.  Requires horizon >= makespan/f (the schedule must fit).
+[[nodiscard]] EnergyBreakdown evaluate_energy(const sched::Schedule& s,
+                                              const power::DvsLevel& lvl, Seconds horizon,
+                                              const power::SleepModel& sleep,
+                                              const PsOptions& ps = {});
+
+/// Idle gaps selected for shutdown by the evaluator (for reporting /
+/// visualization): recomputes the same per-gap decisions.
+[[nodiscard]] std::vector<sched::Gap> shutdown_gaps(const sched::Schedule& s,
+                                                    const power::DvsLevel& lvl,
+                                                    Seconds horizon,
+                                                    const power::SleepModel& sleep,
+                                                    const PsOptions& ps);
+
+}  // namespace lamps::energy

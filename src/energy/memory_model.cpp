@@ -1,0 +1,71 @@
+#include "energy/memory_model.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace lamps::energy {
+
+MemoryAwareResult retime_memory_aware(const sched::Schedule& s, const graph::TaskGraph& g,
+                                      const power::DvsLevel& lvl, Hertz f_max,
+                                      std::span<const double> mem_fraction) {
+  const std::size_t n = g.num_tasks();
+  if (s.num_tasks() != n)
+    throw std::invalid_argument("retime_memory_aware: schedule/graph mismatch");
+  if (mem_fraction.size() != n)
+    throw std::invalid_argument("retime_memory_aware: one memory fraction per task");
+  for (const double m : mem_fraction)
+    if (m < 0.0 || m > 1.0)
+      throw std::invalid_argument("retime_memory_aware: fraction outside [0, 1]");
+
+  // Augmented successors: graph edges + next task on the same processor.
+  std::vector<std::vector<graph::TaskId>> succs(n);
+  std::vector<std::size_t> in_deg(n, 0);
+  for (graph::TaskId v = 0; v < n; ++v) {
+    const auto gs = g.successors(v);
+    succs[v].assign(gs.begin(), gs.end());
+  }
+  for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
+    const auto row = s.on_proc(p);
+    for (std::size_t i = 0; i + 1 < row.size(); ++i)
+      succs[row[i].task].push_back(row[i + 1].task);
+  }
+  for (const auto& ss : succs)
+    for (const graph::TaskId t : ss) ++in_deg[t];
+
+  std::priority_queue<graph::TaskId, std::vector<graph::TaskId>, std::greater<>> ready;
+  for (graph::TaskId v = 0; v < n; ++v)
+    if (in_deg[v] == 0) ready.push(v);
+
+  MemoryAwareResult r;
+  r.finish.assign(n, Seconds{0.0});
+  std::vector<double> start(n, 0.0);
+  const double f = lvl.f.value();
+  const double fm = f_max.value();
+
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const graph::TaskId v = ready.top();
+    ready.pop();
+    ++processed;
+    const double w = static_cast<double>(g.weight(v));
+    const double dur = w * (1.0 - mem_fraction[v]) / f + w * mem_fraction[v] / fm;
+    const double fin = start[v] + dur;
+    r.finish[v] = Seconds{fin};
+    r.makespan = std::max(r.makespan, Seconds{fin});
+    for (const graph::TaskId t : succs[v]) {
+      start[t] = std::max(start[t], fin);
+      if (--in_deg[t] == 0) ready.push(t);
+    }
+  }
+  if (processed != n)
+    throw std::logic_error("retime_memory_aware: augmented relation not acyclic");
+
+  r.conservative_makespan = cycles_to_time(s.makespan(), lvl.f);
+  r.margin = r.conservative_makespan.value() > 0.0
+                 ? 1.0 - r.makespan.value() / r.conservative_makespan.value()
+                 : 0.0;
+  return r;
+}
+
+}  // namespace lamps::energy

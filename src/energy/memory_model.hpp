@@ -1,0 +1,49 @@
+// Memory-boundedness check for the paper's section 3.1 assumption.
+//
+// The paper assumes "executing a task on 1/N-th of the frequency will take
+// at most N times as much time", arguing this is safe because memory
+// accesses do not slow down with the core clock.  This module quantifies
+// the built-in conservatism: splitting each task's work into a
+// frequency-scalable compute part and a frequency-independent memory part
+// (fraction m(v)), the memory-aware duration at level f is
+//
+//     d(v) = w(v)·(1 − m(v))/f + w(v)·m(v)/f_max
+//
+// which never exceeds the conservative w(v)/f used by the schedulers.
+// Re-timing a schedule with these durations (same mapping and order) shows
+// how much earlier the computation actually finishes — slack the paper's
+// model leaves on the table as a safety margin.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "power/dvs_ladder.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::energy {
+
+struct MemoryAwareResult {
+  /// Realized makespan with memory-aware durations.
+  Seconds makespan{0.0};
+  /// Makespan under the conservative all-compute model (= cycles/f).
+  Seconds conservative_makespan{0.0};
+  /// 1 - makespan/conservative: the safety margin fraction.
+  double margin{0.0};
+  /// Realized finish time per task.
+  std::vector<Seconds> finish;
+};
+
+/// Re-times `s` at operating point `lvl` with per-task memory fractions
+/// (values in [0, 1]; one entry per task).  The mapping and per-processor
+/// order of `s` are kept; starts are recomputed by a forward pass over the
+/// augmented DAG (precedence + processor order).  Throws on fraction
+/// out-of-range or size mismatch.
+[[nodiscard]] MemoryAwareResult retime_memory_aware(const sched::Schedule& s,
+                                                    const graph::TaskGraph& g,
+                                                    const power::DvsLevel& lvl,
+                                                    Hertz f_max,
+                                                    std::span<const double> mem_fraction);
+
+}  // namespace lamps::energy

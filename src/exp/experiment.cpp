@@ -1,0 +1,135 @@
+#include "exp/experiment.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "graph/transform.hpp"
+#include "stg/suite.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace lamps::exp {
+
+core::StrategyKind strategy_from_name(const std::string& name) {
+  for (const core::StrategyKind k : core::kAllStrategies)
+    if (name == core::to_string(k)) return k;
+  throw std::runtime_error("unknown strategy name: '" + name + "'");
+}
+
+ExperimentSpec ExperimentSpec::from_ini(const Ini& ini) {
+  ExperimentSpec spec;
+  spec.sizes = ini.get_size_list("suite", "sizes", spec.sizes);
+  spec.graphs_per_group = ini.get_size("suite", "graphs_per_group", spec.graphs_per_group);
+  spec.include_apps = ini.get_bool("suite", "include_apps", spec.include_apps);
+  spec.seed = ini.get_size("suite", "seed", spec.seed);
+
+  spec.deadline_factors =
+      ini.get_double_list("experiment", "deadline_factors", spec.deadline_factors);
+  spec.threads = ini.get_size("experiment", "threads", spec.threads);
+
+  const std::string gran = ini.get_string("experiment", "granularity", "coarse");
+  if (gran == "coarse")
+    spec.granularities = {stg::kCoarseGrainCyclesPerUnit};
+  else if (gran == "fine")
+    spec.granularities = {stg::kFineGrainCyclesPerUnit};
+  else if (gran == "both")
+    spec.granularities = {stg::kCoarseGrainCyclesPerUnit, stg::kFineGrainCyclesPerUnit};
+  else
+    throw std::runtime_error("unknown granularity: '" + gran + "' (coarse|fine|both)");
+
+  if (const auto names = ini.get_string_list("experiment", "strategies", {}); !names.empty()) {
+    spec.strategies.clear();
+    for (const std::string& n : names) spec.strategies.push_back(strategy_from_name(n));
+  }
+
+  spec.csv_prefix = ini.get_string("output", "csv_prefix", spec.csv_prefix);
+  return spec;
+}
+
+namespace {
+
+std::string granularity_tag(Cycles unit) {
+  if (unit == stg::kCoarseGrainCyclesPerUnit) return "coarse";
+  if (unit == stg::kFineGrainCyclesPerUnit) return "fine";
+  return std::to_string(unit);
+}
+
+void write_instances_csv(const std::vector<core::InstanceResult>& results,
+                         const std::string& path, const std::string& tag) {
+  std::ofstream os = open_csv(path);
+  CsvWriter csv(os);
+  csv.row("granularity", "group", "graph", "deadline_factor", "strategy", "feasible",
+          "energy_j", "procs", "level", "parallelism", "schedules");
+  for (const auto& r : results)
+    csv.row(tag, r.group, r.graph_name, r.deadline_factor, core::to_string(r.strategy),
+            r.feasible ? 1 : 0, r.energy.value(), r.num_procs, r.level_index,
+            fmt_fixed(r.parallelism, 4), r.schedules_computed);
+}
+
+void write_aggregate_csv(const std::vector<core::GroupRelative>& agg,
+                         const std::string& path, const std::string& tag) {
+  std::ofstream os = open_csv(path);
+  CsvWriter csv(os);
+  csv.row("granularity", "group", "deadline_factor", "strategy", "mean_rel", "stddev",
+          "min", "max", "graphs", "skipped");
+  for (const auto& g : agg)
+    csv.row(tag, g.group, g.deadline_factor, core::to_string(g.strategy),
+            fmt_fixed(g.mean_relative_energy, 6), fmt_fixed(g.stddev_relative_energy, 6),
+            fmt_fixed(g.min_relative_energy, 6), fmt_fixed(g.max_relative_energy, 6),
+            g.num_graphs, g.num_skipped);
+}
+
+}  // namespace
+
+ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  ExperimentOutput out;
+
+  for (const Cycles unit : spec.granularities) {
+    const std::string tag = granularity_tag(unit);
+    std::vector<core::SuiteEntry> entries;
+    for (const std::size_t size : spec.sizes)
+      for (auto& g : stg::make_random_group(size, spec.graphs_per_group, spec.seed))
+        entries.push_back(
+            core::SuiteEntry{std::to_string(size), graph::scale_weights(g, unit)});
+    if (spec.include_apps)
+      for (auto& g : stg::application_graphs()) {
+        const std::string group = g.name();
+        entries.push_back(core::SuiteEntry{group, graph::scale_weights(g, unit)});
+      }
+
+    core::SweepConfig cfg;
+    cfg.deadline_factors = spec.deadline_factors;
+    cfg.strategies = spec.strategies;
+    cfg.threads = spec.threads;
+    const auto results = core::run_sweep(entries, model, ladder, cfg);
+    const auto agg = core::aggregate_relative(results);
+
+    os << "== " << tag << " grain: " << entries.size() << " graphs x "
+       << spec.deadline_factors.size() << " deadlines x " << spec.strategies.size()
+       << " strategies ==\n";
+    TextTable table({"group", "deadline", "strategy", "mean vs S&S", "stddev", "graphs"});
+    for (const auto& g : agg)
+      table.row(g.group, g.deadline_factor, core::to_string(g.strategy),
+                fmt_percent(g.mean_relative_energy),
+                fmt_fixed(g.stddev_relative_energy, 3), g.num_graphs);
+    table.print(os);
+
+    if (!spec.csv_prefix.empty()) {
+      const std::string inst_path = spec.csv_prefix + "_" + tag + "_instances.csv";
+      const std::string agg_path = spec.csv_prefix + "_" + tag + "_groups.csv";
+      write_instances_csv(results, inst_path, tag);
+      write_aggregate_csv(agg, agg_path, tag);
+      out.csv_files_written.push_back(inst_path);
+      out.csv_files_written.push_back(agg_path);
+      os << "wrote " << inst_path << " and " << agg_path << "\n";
+    }
+
+    out.instances.insert(out.instances.end(), results.begin(), results.end());
+    out.aggregated.insert(out.aggregated.end(), agg.begin(), agg.end());
+  }
+  return out;
+}
+
+}  // namespace lamps::exp

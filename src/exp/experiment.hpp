@@ -1,0 +1,65 @@
+// Declarative experiment pipeline: an INI file describes a sweep (which
+// graph groups, deadlines, granularity, strategies), the pipeline builds
+// the suite, runs it across the thread pool and writes the per-instance
+// CSV plus the aggregated relative-energy report.
+//
+//   [suite]
+//   sizes            = 50, 100, 500
+//   graphs_per_group = 12
+//   include_apps     = true        ; fpppp / robot / sparse
+//   seed             = 0x57a6 is NOT supported — decimal only
+//
+//   [experiment]
+//   deadline_factors = 1.5, 2, 4, 8
+//   granularity      = coarse      ; coarse | fine | both
+//   strategies       = S&S, LAMPS, S&S+PS, LAMPS+PS, LIMIT-SF, LIMIT-MF
+//   threads          = 0
+//
+//   [output]
+//   csv_prefix       = results/my_experiment
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "exp/ini.hpp"
+
+namespace lamps::exp {
+
+struct ExperimentSpec {
+  std::vector<std::size_t> sizes{50, 100, 500};
+  std::size_t graphs_per_group{12};
+  bool include_apps{true};
+  std::uint64_t seed{0x57a6};
+
+  std::vector<double> deadline_factors{1.5, 2.0, 4.0, 8.0};
+  std::vector<Cycles> granularities{3'100'000};  // cycles per weight unit
+  std::vector<core::StrategyKind> strategies{core::kAllStrategies.begin(),
+                                             core::kAllStrategies.end()};
+  std::size_t threads{0};
+
+  /// Prefix for CSV outputs ("" = no files, report to stream only).
+  std::string csv_prefix;
+
+  /// Parses an INI document; throws std::runtime_error on unknown strategy
+  /// or granularity names.
+  static ExperimentSpec from_ini(const Ini& ini);
+};
+
+/// Parses a strategy display name ("LAMPS+PS", case-sensitive as printed by
+/// core::to_string).  Throws on unknown names.
+[[nodiscard]] core::StrategyKind strategy_from_name(const std::string& name);
+
+struct ExperimentOutput {
+  std::vector<core::InstanceResult> instances;
+  std::vector<core::GroupRelative> aggregated;
+  std::vector<std::string> csv_files_written;
+};
+
+/// Runs the experiment, printing a human-readable report to `os` and
+/// writing CSVs when csv_prefix is set.
+ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os);
+
+}  // namespace lamps::exp

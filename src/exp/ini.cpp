@@ -1,0 +1,172 @@
+#include "exp/ini.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace lamps::exp {
+
+namespace {
+
+std::string trim(std::string_view sv) {
+  const auto is_space = [](char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; };
+  while (!sv.empty() && is_space(sv.front())) sv.remove_prefix(1);
+  while (!sv.empty() && is_space(sv.back())) sv.remove_suffix(1);
+  return std::string(sv);
+}
+
+std::string strip_comment(const std::string& line) {
+  const auto pos = line.find_first_of(";#");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("INI parse error on line " + std::to_string(line_no) + ": " +
+                           what);
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+double parse_double(const std::string& section, const std::string& key,
+                    const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size())
+    throw std::runtime_error("INI: [" + section + "] " + key + " is not a number: '" +
+                             value + "'");
+  return v;
+}
+
+std::size_t parse_size(const std::string& section, const std::string& key,
+                       const std::string& value) {
+  std::size_t v = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), v);
+  if (ec != std::errc{} || ptr != value.data() + value.size())
+    throw std::runtime_error("INI: [" + section + "] " + key +
+                             " is not a non-negative integer: '" + value + "'");
+  return v;
+}
+
+}  // namespace
+
+Ini Ini::parse(std::istream& is) {
+  Ini ini;
+  std::string raw;
+  std::string section;
+  std::size_t line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const std::string line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(line_no, "unterminated section header");
+      section = trim(std::string_view(line).substr(1, line.size() - 2));
+      if (section.empty()) fail(line_no, "empty section name");
+      ini.data_[section];  // register even if empty
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected key = value");
+    if (section.empty()) fail(line_no, "key outside any [section]");
+    const std::string key = trim(std::string_view(line).substr(0, eq));
+    const std::string value = trim(std::string_view(line).substr(eq + 1));
+    if (key.empty()) fail(line_no, "empty key");
+    ini.data_[section][key] = value;
+  }
+  return ini;
+}
+
+Ini Ini::parse_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+bool Ini::has_section(const std::string& section) const {
+  return data_.find(section) != data_.end();
+}
+
+std::optional<std::string> Ini::get(const std::string& section, const std::string& key) const {
+  const auto s = data_.find(section);
+  if (s == data_.end()) return std::nullopt;
+  const auto k = s->second.find(key);
+  if (k == s->second.end()) return std::nullopt;
+  return k->second;
+}
+
+std::string Ini::get_string(const std::string& section, const std::string& key,
+                            const std::string& fallback) const {
+  return get(section, key).value_or(fallback);
+}
+
+double Ini::get_double(const std::string& section, const std::string& key,
+                       double fallback) const {
+  const auto v = get(section, key);
+  return v ? parse_double(section, key, *v) : fallback;
+}
+
+std::size_t Ini::get_size(const std::string& section, const std::string& key,
+                          std::size_t fallback) const {
+  const auto v = get(section, key);
+  return v ? parse_size(section, key, *v) : fallback;
+}
+
+bool Ini::get_bool(const std::string& section, const std::string& key, bool fallback) const {
+  const auto v = get(section, key);
+  if (!v) return fallback;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") return false;
+  throw std::runtime_error("INI: [" + section + "] " + key + " is not a boolean: '" + *v +
+                           "'");
+}
+
+std::vector<double> Ini::get_double_list(const std::string& section, const std::string& key,
+                                         std::vector<double> fallback) const {
+  const auto v = get(section, key);
+  if (!v) return fallback;
+  std::vector<double> out;
+  for (const std::string& item : split_list(*v))
+    out.push_back(parse_double(section, key, item));
+  return out;
+}
+
+std::vector<std::size_t> Ini::get_size_list(const std::string& section,
+                                            const std::string& key,
+                                            std::vector<std::size_t> fallback) const {
+  const auto v = get(section, key);
+  if (!v) return fallback;
+  std::vector<std::size_t> out;
+  for (const std::string& item : split_list(*v)) out.push_back(parse_size(section, key, item));
+  return out;
+}
+
+std::vector<std::string> Ini::get_string_list(const std::string& section,
+                                              const std::string& key,
+                                              std::vector<std::string> fallback) const {
+  const auto v = get(section, key);
+  if (!v) return fallback;
+  return split_list(*v);
+}
+
+std::vector<std::string> Ini::sections() const {
+  std::vector<std::string> out;
+  out.reserve(data_.size());
+  for (const auto& [name, _] : data_) out.push_back(name);
+  return out;
+}
+
+}  // namespace lamps::exp

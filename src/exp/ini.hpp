@@ -1,0 +1,56 @@
+// Minimal INI-style configuration reader for the experiment pipeline.
+//
+//   [section]
+//   key = value        ; or # start comments (full-line or trailing)
+//   list = 1.5, 2, 4   ; comma-separated lists
+//
+// Keys are unique per section (later assignments override), sections are
+// case-sensitive, whitespace around tokens is trimmed.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lamps::exp {
+
+class Ini {
+ public:
+  /// Parses the stream; throws std::runtime_error with a line number on
+  /// malformed input (text outside any section, missing '=').
+  static Ini parse(std::istream& is);
+  static Ini parse_string(const std::string& text);
+
+  [[nodiscard]] bool has_section(const std::string& section) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& section,
+                                               const std::string& key) const;
+
+  /// Typed getters returning `fallback` when the key is absent and
+  /// throwing std::runtime_error when present but unparsable.
+  [[nodiscard]] std::string get_string(const std::string& section, const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& section, const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::size_t get_size(const std::string& section, const std::string& key,
+                                     std::size_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& section, const std::string& key,
+                              bool fallback) const;
+  [[nodiscard]] std::vector<double> get_double_list(const std::string& section,
+                                                    const std::string& key,
+                                                    std::vector<double> fallback) const;
+  [[nodiscard]] std::vector<std::size_t> get_size_list(
+      const std::string& section, const std::string& key,
+      std::vector<std::size_t> fallback) const;
+  [[nodiscard]] std::vector<std::string> get_string_list(
+      const std::string& section, const std::string& key,
+      std::vector<std::string> fallback) const;
+
+  [[nodiscard]] std::vector<std::string> sections() const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> data_;
+};
+
+}  // namespace lamps::exp

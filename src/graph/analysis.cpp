@@ -1,0 +1,87 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <ranges>
+
+namespace lamps::graph {
+
+std::vector<Cycles> bottom_levels(const TaskGraph& g) {
+  std::vector<Cycles> bl(g.num_tasks(), 0);
+  for (const TaskId v : std::ranges::reverse_view(g.topological_order())) {
+    Cycles best = 0;
+    for (const TaskId s : g.successors(v)) best = std::max(best, bl[s]);
+    bl[v] = g.weight(v) + best;
+  }
+  return bl;
+}
+
+std::vector<Cycles> top_levels(const TaskGraph& g) {
+  std::vector<Cycles> tl(g.num_tasks(), 0);
+  for (const TaskId v : g.topological_order())
+    for (const TaskId s : g.successors(v)) tl[s] = std::max(tl[s], tl[v] + g.weight(v));
+  return tl;
+}
+
+Cycles critical_path_length(const TaskGraph& g) {
+  Cycles best = 0;
+  for (const Cycles bl : bottom_levels(g)) best = std::max(best, bl);
+  return best;
+}
+
+std::vector<TaskId> critical_path(const TaskGraph& g) {
+  if (g.num_tasks() == 0) return {};
+  const std::vector<Cycles> bl = bottom_levels(g);
+
+  TaskId cur = kInvalidTask;
+  for (const TaskId v : g.sources())
+    if (cur == kInvalidTask || bl[v] > bl[cur]) cur = v;
+
+  std::vector<TaskId> path;
+  while (cur != kInvalidTask) {
+    path.push_back(cur);
+    TaskId next = kInvalidTask;
+    for (const TaskId s : g.successors(cur)) {
+      // The next hop continues the longest path: bl[cur] = w(cur) + bl[next].
+      if (bl[s] + g.weight(cur) == bl[cur] && (next == kInvalidTask || s < next)) next = s;
+    }
+    cur = next;
+  }
+  return path;
+}
+
+double average_parallelism(const TaskGraph& g) {
+  const Cycles cpl = critical_path_length(g);
+  if (cpl == 0) return 0.0;
+  return static_cast<double>(g.total_work()) / static_cast<double>(cpl);
+}
+
+std::size_t asap_max_concurrency(const TaskGraph& g) {
+  // Sweep the ASAP start/finish events; zero-weight tasks are counted as
+  // active at their start instant (open-closed intervals otherwise).
+  const std::vector<Cycles> tl = top_levels(g);
+  std::vector<std::pair<Cycles, int>> events;  // (+1 at start, -1 at finish)
+  events.reserve(2 * g.num_tasks());
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const Cycles start = tl[v];
+    const Cycles finish = start + std::max<Cycles>(g.weight(v), 1);
+    events.emplace_back(start, +1);
+    events.emplace_back(finish, -1);
+  }
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    // Process finishes before starts at the same instant.
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  });
+  std::size_t cur = 0, best = 0;
+  for (const auto& [t, delta] : events) {
+    cur = static_cast<std::size_t>(static_cast<long long>(cur) + delta);
+    best = std::max(best, cur);
+  }
+  return best;
+}
+
+bool has_edge(const TaskGraph& g, TaskId from, TaskId to) {
+  const auto succs = g.successors(from);
+  return std::find(succs.begin(), succs.end(), to) != succs.end();
+}
+
+}  // namespace lamps::graph

@@ -1,0 +1,41 @@
+// Structural DAG analyses used throughout the scheduler and the evaluation:
+// longest paths (critical path), bottom/top levels, parallelism metrics.
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace lamps::graph {
+
+/// bottom_level(v) = w(v) + max over successors s of bottom_level(s):
+/// the length of the longest path starting at (and including) v.
+[[nodiscard]] std::vector<Cycles> bottom_levels(const TaskGraph& g);
+
+/// top_level(v) = max over predecessors p of (top_level(p) + w(p)):
+/// the longest-path distance from any source to the *start* of v (the
+/// earliest possible start time of v on infinitely many processors).
+[[nodiscard]] std::vector<Cycles> top_levels(const TaskGraph& g);
+
+/// Critical path length in cycles: max over v of bottom_level(v).
+/// Zero for an empty graph.
+[[nodiscard]] Cycles critical_path_length(const TaskGraph& g);
+
+/// One critical path, source to sink (ties broken by smaller task id).
+[[nodiscard]] std::vector<TaskId> critical_path(const TaskGraph& g);
+
+/// Average parallelism = total work / critical path length (paper
+/// section 5.2: "the total amount of work divided by the CPL").  A chain
+/// has parallelism 1.  Returns 0 for an empty graph.
+[[nodiscard]] double average_parallelism(const TaskGraph& g);
+
+/// Maximum number of tasks that overlap in the ASAP (infinite-processor)
+/// schedule — a cheap upper estimate of exploitable parallelism, used to
+/// bound processor-count searches.
+[[nodiscard]] std::size_t asap_max_concurrency(const TaskGraph& g);
+
+/// True if `g` contains edge u->v for every (u, v) pair given; convenience
+/// for tests.
+[[nodiscard]] bool has_edge(const TaskGraph& g, TaskId from, TaskId to);
+
+}  // namespace lamps::graph

@@ -1,0 +1,24 @@
+// Task-graph export: Graphviz DOT (visual inspection) and a small JSON
+// encoding (interchange with plotting scripts).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "graph/task_graph.hpp"
+
+namespace lamps::graph {
+
+/// Writes the graph in Graphviz DOT syntax.  Node labels show the task
+/// label (or id) and weight.
+void write_dot(const TaskGraph& g, std::ostream& os);
+
+/// Writes the graph as JSON:
+///   {"name": ..., "tasks": [{"id", "weight", "label", "deadline"?}...],
+///    "edges": [[from, to], ...]}
+void write_json(const TaskGraph& g, std::ostream& os);
+
+[[nodiscard]] std::string to_dot(const TaskGraph& g);
+[[nodiscard]] std::string to_json(const TaskGraph& g);
+
+}  // namespace lamps::graph

@@ -1,0 +1,124 @@
+#include "graph/task_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace lamps::graph {
+
+std::optional<Seconds> TaskGraph::explicit_deadline(TaskId v) const {
+  if (!has_deadlines_) return std::nullopt;
+  const double d = deadlines_[v];
+  if (std::isnan(d)) return std::nullopt;
+  return Seconds{d};
+}
+
+TaskGraphBuilder::TaskGraphBuilder(std::string name) : name_(std::move(name)) {}
+
+TaskId TaskGraphBuilder::add_task(Cycles weight, std::string label) {
+  if (weights_.size() >= static_cast<std::size_t>(kInvalidTask))
+    throw std::length_error("TaskGraphBuilder: too many tasks");
+  weights_.push_back(weight);
+  labels_.push_back(std::move(label));
+  return static_cast<TaskId>(weights_.size() - 1);
+}
+
+void TaskGraphBuilder::check_task(TaskId v, const char* what) const {
+  if (v >= weights_.size())
+    throw std::out_of_range(std::string("TaskGraphBuilder: unknown task in ") + what);
+}
+
+void TaskGraphBuilder::add_edge(TaskId from, TaskId to) {
+  check_task(from, "add_edge");
+  check_task(to, "add_edge");
+  if (from == to) throw std::invalid_argument("TaskGraphBuilder: self-loop edge");
+  edges_.emplace_back(from, to);
+}
+
+void TaskGraphBuilder::set_deadline(TaskId v, Seconds deadline) {
+  check_task(v, "set_deadline");
+  if (deadline.value() <= 0.0)
+    throw std::invalid_argument("TaskGraphBuilder: deadline must be positive");
+  deadlines_.emplace_back(v, deadline.value());
+}
+
+TaskGraph TaskGraphBuilder::build() {
+  const auto n = weights_.size();
+
+  // Coalesce duplicate edges.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  TaskGraph g;
+  g.name_ = std::move(name_);
+  g.weights_ = std::move(weights_);
+  g.labels_ = std::move(labels_);
+
+  // CSR successor arrays (edges_ already sorted by source).
+  g.succ_offsets_.assign(n + 1, 0);
+  for (const auto& [from, to] : edges_) ++g.succ_offsets_[from + 1];
+  for (std::size_t i = 0; i < n; ++i) g.succ_offsets_[i + 1] += g.succ_offsets_[i];
+  g.succ_targets_.resize(edges_.size());
+  {
+    std::vector<std::size_t> cursor(g.succ_offsets_.begin(), g.succ_offsets_.end() - 1);
+    for (const auto& [from, to] : edges_) g.succ_targets_[cursor[from]++] = to;
+  }
+
+  // CSR predecessor arrays.
+  g.pred_offsets_.assign(n + 1, 0);
+  for (const auto& [from, to] : edges_) ++g.pred_offsets_[to + 1];
+  for (std::size_t i = 0; i < n; ++i) g.pred_offsets_[i + 1] += g.pred_offsets_[i];
+  g.pred_targets_.resize(edges_.size());
+  {
+    std::vector<std::size_t> cursor(g.pred_offsets_.begin(), g.pred_offsets_.end() - 1);
+    for (const auto& [from, to] : edges_) g.pred_targets_[cursor[to]++] = from;
+  }
+  // Keep predecessor lists sorted for determinism.
+  for (std::size_t v = 0; v < n; ++v) {
+    auto* begin = g.pred_targets_.data() + g.pred_offsets_[v];
+    auto* end = g.pred_targets_.data() + g.pred_offsets_[v + 1];
+    std::sort(begin, end);
+  }
+
+  // Kahn's algorithm: topological order + acyclicity check.  A min-heap on
+  // task id makes the order deterministic and independent of insertion.
+  std::vector<std::size_t> in_deg(n);
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (TaskId v = 0; v < n; ++v) {
+    in_deg[v] = g.in_degree(v);
+    if (in_deg[v] == 0) ready.push(v);
+  }
+  g.topo_order_.reserve(n);
+  while (!ready.empty()) {
+    const TaskId v = ready.top();
+    ready.pop();
+    g.topo_order_.push_back(v);
+    for (const TaskId s : g.successors(v))
+      if (--in_deg[s] == 0) ready.push(s);
+  }
+  if (g.topo_order_.size() != n)
+    throw std::invalid_argument("TaskGraphBuilder: edge set contains a cycle");
+
+  for (TaskId v = 0; v < n; ++v) {
+    if (g.in_degree(v) == 0) g.sources_.push_back(v);
+    if (g.out_degree(v) == 0) g.sinks_.push_back(v);
+    g.total_work_ += g.weights_[v];
+  }
+
+  if (!deadlines_.empty()) {
+    g.deadlines_.assign(n, std::numeric_limits<double>::quiet_NaN());
+    for (const auto& [v, d] : deadlines_) g.deadlines_[v] = d;
+    g.has_deadlines_ = true;
+  }
+
+  // Reset the builder.
+  edges_.clear();
+  deadlines_.clear();
+  weights_.clear();
+  labels_.clear();
+  return g;
+}
+
+}  // namespace lamps::graph

@@ -1,0 +1,152 @@
+#include "hetero/heft.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/analysis.hpp"
+
+namespace lamps::hetero {
+
+namespace {
+
+/// Upward ranks over mean per-class durations (double-valued; only the
+/// order matters).
+std::vector<double> upward_ranks(const graph::TaskGraph& g, const Platform& plat) {
+  std::vector<double> mean_dur(g.num_tasks(), 0.0);
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < plat.num_classes(); ++c)
+      sum += static_cast<double>(plat.duration_on(c, g.weight(v)));
+    mean_dur[v] = sum / static_cast<double>(plat.num_classes());
+  }
+  std::vector<double> rank(g.num_tasks(), 0.0);
+  const auto topo = g.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const graph::TaskId v = *it;
+    double best = 0.0;
+    for (const graph::TaskId s : g.successors(v)) best = std::max(best, rank[s]);
+    rank[v] = mean_dur[v] + best;
+  }
+  return rank;
+}
+
+struct ReadyEntry {
+  double rank;
+  graph::TaskId task;
+  // Max-heap on rank (higher rank first), ties to smaller id.
+  bool operator<(const ReadyEntry& o) const {
+    return rank != o.rank ? rank < o.rank : task > o.task;
+  }
+};
+
+}  // namespace
+
+sched::Schedule heft_schedule(const graph::TaskGraph& g, const Platform& plat) {
+  if (plat.num_procs() == 0)
+    throw std::invalid_argument("heft_schedule: platform has no processors");
+
+  const std::vector<double> rank = upward_ranks(g, plat);
+
+  struct Slot {
+    Cycles start, finish;
+    graph::TaskId task;
+  };
+  std::vector<std::vector<Slot>> rows(plat.num_procs());
+  std::vector<Cycles> finish_of(g.num_tasks(), 0);
+
+  std::priority_queue<ReadyEntry> ready;
+  std::vector<std::size_t> missing_preds(g.num_tasks());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    missing_preds[v] = g.in_degree(v);
+    if (missing_preds[v] == 0) ready.push(ReadyEntry{rank[v], v});
+  }
+
+  sched::Schedule schedule(plat.num_procs(), g.num_tasks());
+  while (!ready.empty()) {
+    const graph::TaskId v = ready.top().task;
+    ready.pop();
+    Cycles ready_time = 0;
+    for (const graph::TaskId p : g.predecessors(v))
+      ready_time = std::max(ready_time, finish_of[p]);
+
+    // Earliest finish over all processors, insertion-style slot search.
+    std::size_t best_proc = 0, best_pos = 0;
+    Cycles best_start = 0;
+    Cycles best_finish = std::numeric_limits<Cycles>::max();
+    for (std::size_t p = 0; p < plat.num_procs(); ++p) {
+      const Cycles dur = plat.duration_on(plat.class_of_proc(p), g.weight(v));
+      const auto& row = rows[p];
+      Cycles cursor = 0;
+      for (std::size_t i = 0; i <= row.size(); ++i) {
+        const Cycles gap_end =
+            i < row.size() ? row[i].start : std::numeric_limits<Cycles>::max();
+        const Cycles candidate = std::max(cursor, ready_time);
+        const bool fits = gap_end == std::numeric_limits<Cycles>::max() ||
+                          candidate + dur <= gap_end;
+        if (fits) {
+          if (candidate + dur < best_finish) {
+            best_finish = candidate + dur;
+            best_start = candidate;
+            best_proc = p;
+            best_pos = i;
+          }
+          break;
+        }
+        cursor = row[i].finish;
+      }
+    }
+
+    rows[best_proc].insert(rows[best_proc].begin() + static_cast<std::ptrdiff_t>(best_pos),
+                           Slot{best_start, best_finish, v});
+    finish_of[v] = best_finish;
+    for (const graph::TaskId s : g.successors(v))
+      if (--missing_preds[s] == 0) ready.push(ReadyEntry{rank[s], s});
+  }
+
+  for (std::size_t p = 0; p < plat.num_procs(); ++p)
+    for (const Slot& slot : rows[p])
+      schedule.place(slot.task, static_cast<sched::ProcId>(p), slot.start, slot.finish);
+  return schedule;
+}
+
+std::string validate_hetero_schedule(const sched::Schedule& s, const graph::TaskGraph& g,
+                                     const Platform& plat) {
+  std::ostringstream err;
+  if (s.num_tasks() != g.num_tasks() || s.num_procs() != plat.num_procs()) {
+    err << "schedule shape mismatch";
+    return err.str();
+  }
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (!s.is_placed(v)) {
+      err << "task " << v << " not placed";
+      return err.str();
+    }
+    const sched::Placement& pl = s.placement(v);
+    const Cycles want = plat.duration_on(plat.class_of_proc(pl.proc), g.weight(v));
+    if (pl.duration() != want) {
+      err << "task " << v << " duration " << pl.duration() << " != class duration " << want;
+      return err.str();
+    }
+  }
+  for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
+    const auto row = s.on_proc(p);
+    for (std::size_t i = 1; i < row.size(); ++i)
+      if (row[i].start < row[i - 1].finish) {
+        err << "overlap on proc " << p;
+        return err.str();
+      }
+  }
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const graph::TaskId succ : g.successors(v))
+      if (s.placement(v).finish > s.placement(succ).start) {
+        err << "precedence violated: " << v << " -> " << succ;
+        return err.str();
+      }
+  return {};
+}
+
+}  // namespace lamps::hetero

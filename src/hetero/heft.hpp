@@ -1,0 +1,36 @@
+// HEFT-style list scheduling for heterogeneous platforms (Topcuoglu et
+// al.'s Heterogeneous Earliest Finish Time, without communication costs —
+// the paper's shared-memory model has none).
+//
+//   * priority: upward rank  rank_u(v) = mean_dur(v) + max succ rank_u,
+//     with the mean duration taken across the platform's classes,
+//   * placement: the processor (any class) minimizing the earliest finish
+//     time, searching idle slots insertion-style.
+//
+// Schedules stay in the reference cycle domain: a placement on a class-c
+// processor has duration Platform::duration_on(c, w).  Because durations
+// are processor-dependent, the homogeneous validate_schedule does not
+// apply; use validate_hetero_schedule.
+#pragma once
+
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "hetero/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::hetero {
+
+/// Schedules every task; always succeeds for a DAG on a platform with at
+/// least one processor.
+[[nodiscard]] sched::Schedule heft_schedule(const graph::TaskGraph& g,
+                                            const Platform& platform);
+
+/// Heterogeneous validation: every task placed once, with the duration of
+/// its processor's class, no overlaps, precedence satisfied.  Empty string
+/// when valid.
+[[nodiscard]] std::string validate_hetero_schedule(const sched::Schedule& s,
+                                                   const graph::TaskGraph& g,
+                                                   const Platform& platform);
+
+}  // namespace lamps::hetero

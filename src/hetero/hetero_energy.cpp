@@ -1,0 +1,55 @@
+#include "hetero/hetero_energy.hpp"
+
+#include <stdexcept>
+
+namespace lamps::hetero {
+
+energy::EnergyBreakdown evaluate_hetero_energy(const sched::Schedule& s,
+                                               const Platform& plat,
+                                               const power::DvsLevel& lvl, Seconds horizon,
+                                               const power::SleepModel& sleep,
+                                               const energy::PsOptions& ps) {
+  if (s.num_procs() != plat.num_procs())
+    throw std::invalid_argument("evaluate_hetero_energy: schedule/platform mismatch");
+  const Seconds span = cycles_to_time(s.makespan(), lvl.f);
+  if (span.value() > horizon.value() * (1.0 + 1e-12) + 1e-15)
+    throw std::invalid_argument("evaluate_hetero_energy: schedule does not fit horizon");
+
+  energy::EnergyBreakdown e{};
+  for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
+    const double scale = plat.cls(plat.class_of_proc(p)).power_scale;
+    const Watts p_idle = lvl.idle * scale;
+    const power::SleepModel class_sleep(sleep.sleep_power() * scale,
+                                        sleep.wakeup_energy() * scale);
+
+    const Seconds busy = cycles_to_time(s.busy_cycles(p), lvl.f);
+    e.dynamic += lvl.active.dynamic * scale * busy;
+    e.leakage += lvl.active.leakage * scale * busy;
+    e.intrinsic += lvl.active.intrinsic * scale * busy;
+
+    // Idle gaps: leading, internal, trailing to the horizon.
+    Cycles cursor = 0;
+    bool leading = true;
+    const auto charge = [&](Seconds gap) {
+      if (gap.value() <= 0.0) return;
+      const bool may_sleep = ps.enabled && (ps.allow_leading_gaps || !leading);
+      if (may_sleep && class_sleep.decide(gap, p_idle).shutdown) {
+        e.sleep += class_sleep.sleep_power() * gap;
+        e.wakeup += class_sleep.wakeup_energy();
+        ++e.shutdowns;
+        return;
+      }
+      e.leakage += lvl.active.leakage * scale * gap;
+      e.intrinsic += lvl.active.intrinsic * scale * gap;
+    };
+    for (const sched::Placement& pl : s.on_proc(p)) {
+      charge(cycles_to_time(pl.start - cursor, lvl.f));
+      cursor = pl.finish;
+      leading = false;
+    }
+    charge(horizon - cycles_to_time(cursor, lvl.f));
+  }
+  return e;
+}
+
+}  // namespace lamps::hetero

@@ -1,0 +1,22 @@
+// Energy accounting for heterogeneous schedules: identical structure to
+// energy/evaluator.hpp, with each processor's power scaled by its class
+// (dynamic, leakage, intrinsic, sleep power and wake energy alike — a
+// smaller core has proportionally less state to keep alive and re-warm).
+#pragma once
+
+#include "energy/evaluator.hpp"
+#include "hetero/platform.hpp"
+#include "power/dvs_ladder.hpp"
+#include "power/sleep_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::hetero {
+
+/// Evaluates a heterogeneous schedule at one ladder level (all processors
+/// share the level; class speed factors are already folded into the
+/// schedule's reference-cycle durations).
+[[nodiscard]] energy::EnergyBreakdown evaluate_hetero_energy(
+    const sched::Schedule& s, const Platform& platform, const power::DvsLevel& lvl,
+    Seconds horizon, const power::SleepModel& sleep, const energy::PsOptions& ps = {});
+
+}  // namespace lamps::hetero

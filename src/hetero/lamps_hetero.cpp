@@ -1,0 +1,82 @@
+#include "hetero/lamps_hetero.hpp"
+
+#include <algorithm>
+
+#include "graph/analysis.hpp"
+#include "power/sleep_model.hpp"
+
+namespace lamps::hetero {
+
+namespace {
+
+/// Iterates the per-class count vectors (0..count_of(c) each), skipping
+/// the all-zero mix.  Returns false when exhausted.
+bool next_mix(const Platform& plat, std::vector<std::size_t>& counts) {
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] < plat.count_of(c)) {
+      ++counts[c];
+      return true;
+    }
+    counts[c] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+HeteroResult lamps_hetero(const graph::TaskGraph& g, const Platform& plat,
+                          const power::PowerModel& model, const power::DvsLadder& ladder,
+                          Seconds deadline, const HeteroOptions& opts) {
+  HeteroResult best;
+  if (g.num_tasks() == 0 || plat.num_procs() == 0 || deadline.value() <= 0.0) return best;
+
+  const power::SleepModel sleep(model);
+  const double f_max = model.max_frequency().value();
+  const double work = static_cast<double>(g.total_work());
+  const Cycles cpl = graph::critical_path_length(g);
+
+  std::vector<std::size_t> counts(plat.num_classes(), 0);
+  while (next_mix(plat, counts)) {
+    // Capacity prune: even at f_max, the employed mix must be able to
+    // retire the total work and the slowest-class critical path.
+    double capacity = 0.0;
+    double best_speed = 0.0;
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      capacity += static_cast<double>(counts[c]) * plat.cls(c).speed_factor;
+      if (counts[c] > 0) best_speed = std::max(best_speed, plat.cls(c).speed_factor);
+    }
+    if (capacity * deadline.value() * f_max < work) continue;
+    // The critical path must fit on the fastest employed class.
+    if (static_cast<double>(cpl) / (best_speed * f_max) > deadline.value()) continue;
+
+    const Platform sub = plat.subset(counts);
+    sched::Schedule s = heft_schedule(g, sub);
+    ++best.schedules_computed;
+
+    // Lowest feasible ladder level for this schedule's makespan.
+    const Hertz f_need = required_frequency(s.makespan(), deadline);
+    const power::DvsLevel* lo =
+        ladder.lowest_level_at_least(Hertz{f_need.value() * (1.0 - 1e-12)});
+    if (lo == nullptr) continue;
+
+    // Level sweep (with or without PS), as in the homogeneous +PS variants.
+    const energy::PsOptions ps{opts.ps, opts.ps_allow_leading_gaps};
+    const std::size_t sweep_top = opts.ps ? ladder.size() : lo->index + 1;
+    for (std::size_t li = lo->index; li < sweep_top; ++li) {
+      const power::DvsLevel& lvl = ladder.level(li);
+      const energy::EnergyBreakdown e =
+          evaluate_hetero_energy(s, sub, lvl, deadline, sleep, ps);
+      if (!best.feasible || e.total() < best.breakdown.total()) {
+        best.feasible = true;
+        best.counts = counts;
+        best.level_index = li;
+        best.breakdown = e;
+        best.completion = cycles_to_time(s.makespan(), lvl.f);
+        best.schedule = s;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lamps::hetero

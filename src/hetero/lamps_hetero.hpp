@@ -1,0 +1,53 @@
+// Leakage-aware scheduling on a heterogeneous platform: LAMPS's
+// processor-count search generalizes to a search over the processor *mix*
+// (how many processors of each class to employ; the rest are off), with
+// HEFT as the list scheduler and the usual stretch/PS level sweep per
+// candidate.
+//
+// The mix space is the product of per-class counts, enumerated exhaustively
+// (platforms have a handful of classes with single-digit counts; the
+// enumeration is the heterogeneous analogue of LAMPS's full linear scan,
+// for the same reason — the energy landscape has local minima).  Candidates
+// that cannot carry the total work before the deadline even at f_max are
+// pruned without scheduling.
+#pragma once
+
+#include <vector>
+
+#include "energy/evaluator.hpp"
+#include "graph/task_graph.hpp"
+#include "hetero/heft.hpp"
+#include "hetero/hetero_energy.hpp"
+#include "hetero/platform.hpp"
+#include "power/dvs_ladder.hpp"
+#include "power/power_model.hpp"
+
+namespace lamps::hetero {
+
+struct HeteroOptions {
+  bool ps{true};
+  bool ps_allow_leading_gaps{true};
+};
+
+struct HeteroResult {
+  bool feasible{false};
+  /// Employed processors per class of the *input* platform.
+  std::vector<std::size_t> counts;
+  std::size_t level_index{0};
+  energy::EnergyBreakdown breakdown{};
+  Seconds completion{0.0};
+  std::size_t schedules_computed{0};
+  /// The winning schedule, laid out on platform.subset(counts).
+  std::optional<sched::Schedule> schedule;
+
+  [[nodiscard]] Joules energy() const { return breakdown.total(); }
+};
+
+/// Runs the mix search.  `deadline` is global (heterogeneous scheduling
+/// ignores explicit per-task deadlines; see DESIGN.md §7).
+[[nodiscard]] HeteroResult lamps_hetero(const graph::TaskGraph& g, const Platform& platform,
+                                        const power::PowerModel& model,
+                                        const power::DvsLadder& ladder, Seconds deadline,
+                                        const HeteroOptions& opts = {});
+
+}  // namespace lamps::hetero

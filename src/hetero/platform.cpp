@@ -1,0 +1,46 @@
+#include "hetero/platform.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lamps::hetero {
+
+std::size_t Platform::add_class(ProcessorClass cls, std::size_t count) {
+  if (cls.speed_factor <= 0.0 || cls.speed_factor > 1.0 + 1e-12)
+    throw std::invalid_argument(
+        "Platform: speed_factor must be in (0, 1] (class 1.0 is the reference)");
+  if (cls.power_scale <= 0.0)
+    throw std::invalid_argument("Platform: power_scale must be positive");
+  classes_.push_back(std::move(cls));
+  counts_.push_back(count);
+  const std::size_t c = classes_.size() - 1;
+  for (std::size_t i = 0; i < count; ++i) class_of_.push_back(c);
+  return c;
+}
+
+Cycles Platform::duration_on(std::size_t c, Cycles work) const {
+  const double speed = cls(c).speed_factor;
+  if (work == 0) return 0;
+  return static_cast<Cycles>(std::ceil(static_cast<double>(work) / speed - 1e-12));
+}
+
+Platform Platform::subset(const std::vector<std::size_t>& counts) const {
+  if (counts.size() != classes_.size())
+    throw std::invalid_argument("Platform::subset: one count per class");
+  Platform p;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (counts[c] > counts_[c])
+      throw std::invalid_argument("Platform::subset: count exceeds available processors");
+    if (counts[c] > 0) (void)p.add_class(classes_[c], counts[c]);
+  }
+  return p;
+}
+
+Platform big_little(std::size_t bigs, std::size_t littles) {
+  Platform p;
+  (void)p.add_class(ProcessorClass{"big", 1.0, 1.0}, bigs);
+  (void)p.add_class(ProcessorClass{"little", 0.45, 0.18}, littles);
+  return p;
+}
+
+}  // namespace lamps::hetero

@@ -1,0 +1,70 @@
+// Heterogeneous multiprocessor platform model (extension; the paper
+// assumes identical processors, its related work [23] — Yan, Luo & Jha —
+// studies the heterogeneous generalization).
+//
+// A platform is a set of processor classes sharing the global DVS ladder:
+// at ladder level L, a processor of class c runs at speed_factor(c) x the
+// level's frequency and draws power_scale(c) x the level's power (active
+// and idle alike; sleep parameters are per-class absolute).  A big.LITTLE
+// pair is the canonical instance: the little core is slower but its
+// power — in particular its leakage — is far smaller, which is exactly the
+// trade-off leakage-aware scheduling wants to exploit.
+//
+// Work remains in reference-core cycles (class speed 1.0); a task of w
+// cycles occupies ceil(w / speed) reference cycles on a class-c processor,
+// so heterogeneous schedules stay in the same integer cycle domain as the
+// homogeneous ones and stretch with the ladder the same way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace lamps::hetero {
+
+struct ProcessorClass {
+  std::string name;
+  /// Clock speed relative to the reference class at the same ladder level.
+  double speed_factor{1.0};
+  /// Power relative to the reference class at the same operating point
+  /// (applied to dynamic, leakage and intrinsic power alike).
+  double power_scale{1.0};
+};
+
+class Platform {
+ public:
+  /// Adds `count` processors of the given class; returns the class index.
+  std::size_t add_class(ProcessorClass cls, std::size_t count);
+
+  [[nodiscard]] std::size_t num_classes() const { return classes_.size(); }
+  [[nodiscard]] std::size_t num_procs() const { return class_of_.size(); }
+  [[nodiscard]] const ProcessorClass& cls(std::size_t c) const { return classes_.at(c); }
+  [[nodiscard]] std::size_t count_of(std::size_t c) const { return counts_.at(c); }
+
+  /// Class index of processor p (processors are laid out class by class in
+  /// insertion order).
+  [[nodiscard]] std::size_t class_of_proc(std::size_t p) const { return class_of_.at(p); }
+
+  /// Reference-cycle duration of `work` cycles on a class-c processor.
+  [[nodiscard]] Cycles duration_on(std::size_t c, Cycles work) const;
+
+  /// A sub-platform employing only `counts[c]` processors of each class
+  /// (counts.size() == num_classes(), counts[c] <= count_of(c)).  Used by
+  /// the mix search.
+  [[nodiscard]] Platform subset(const std::vector<std::size_t>& counts) const;
+
+ private:
+  std::vector<ProcessorClass> classes_;
+  std::vector<std::size_t> counts_;
+  std::vector<std::size_t> class_of_;  // per processor
+};
+
+/// Canonical big.LITTLE example platform: `bigs` reference cores plus
+/// `littles` cores at 45% speed and 18% power (roughly the DVS-comparable
+/// big.LITTLE power/performance ratios reported for Cortex-A15/A7-class
+/// pairs).
+[[nodiscard]] Platform big_little(std::size_t bigs, std::size_t littles);
+
+}  // namespace lamps::hetero

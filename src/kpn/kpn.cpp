@@ -1,0 +1,30 @@
+#include "kpn/kpn.hpp"
+
+#include <stdexcept>
+
+namespace lamps::kpn {
+
+ProcessId Kpn::add_process(std::string name, Cycles work) {
+  processes_.push_back(Process{std::move(name), work});
+  return static_cast<ProcessId>(processes_.size() - 1);
+}
+
+void Kpn::add_channel(ProcessId from, ProcessId to, std::uint32_t delay) {
+  if (from >= processes_.size() || to >= processes_.size())
+    throw std::out_of_range("Kpn::add_channel: unknown process");
+  if (from == to && delay == 0)
+    throw std::invalid_argument("Kpn::add_channel: zero-delay self channel");
+  channels_.push_back(Channel{from, to, delay});
+}
+
+std::vector<ProcessId> Kpn::output_processes() const {
+  std::vector<bool> has_out(processes_.size(), false);
+  for (const Channel& c : channels_)
+    if (c.from != c.to) has_out[c.from] = true;
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < processes_.size(); ++p)
+    if (!has_out[p]) out.push_back(p);
+  return out;
+}
+
+}  // namespace lamps::kpn

@@ -1,0 +1,63 @@
+// Kahn Process Networks (paper section 3.1, Fig 1).
+//
+// A KPN is a network of sequential processes connected by FIFO channels.
+// Each process fires repeatedly: it reads its inputs, computes for a fixed
+// number of cycles, and writes its outputs.  Throughput-constrained KPNs
+// are converted to deadline-constrained DAGs by unrolling: copy the network
+// once per iteration, translate channels into edges between copies, chain
+// successive copies of the same process, and assign each copy's output
+// tasks a deadline spaced by the reciprocal throughput (see unroll.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace lamps::kpn {
+
+using ProcessId = std::uint32_t;
+
+struct Process {
+  std::string name;
+  Cycles work{0};  ///< cycles per firing
+};
+
+/// Channel `from -> to` with `delay` tokens initially queued: firing j of
+/// `to` consumes the output of firing j - delay of `from`.  delay = 0 is a
+/// plain same-iteration dependence; delay >= 1 models pipelining (the
+/// T2 -> T3 channel of the paper's Fig 1 has delay 1: T3 combines input
+/// J_{i+1} with the i-th output of T2).
+struct Channel {
+  ProcessId from{0};
+  ProcessId to{0};
+  std::uint32_t delay{0};
+};
+
+class Kpn {
+ public:
+  explicit Kpn(std::string name = "kpn") : name_(std::move(name)) {}
+
+  ProcessId add_process(std::string name, Cycles work);
+
+  /// Adds a channel.  Self-channels require delay >= 1 (a process cannot
+  /// consume its own same-iteration output).
+  void add_channel(ProcessId from, ProcessId to, std::uint32_t delay = 0);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_processes() const { return processes_.size(); }
+  [[nodiscard]] const Process& process(ProcessId p) const { return processes_.at(p); }
+  [[nodiscard]] const std::vector<Channel>& channels() const { return channels_; }
+
+  /// Processes with no outgoing channels: the network's outputs, which
+  /// receive the per-iteration deadlines when unrolling.
+  [[nodiscard]] std::vector<ProcessId> output_processes() const;
+
+ private:
+  std::string name_;
+  std::vector<Process> processes_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace lamps::kpn

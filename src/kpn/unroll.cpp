@@ -1,0 +1,45 @@
+#include "kpn/unroll.hpp"
+
+#include <stdexcept>
+
+namespace lamps::kpn {
+
+graph::TaskGraph unroll(const Kpn& net, const UnrollOptions& opts) {
+  if (opts.copies == 0) throw std::invalid_argument("unroll: need at least one copy");
+  if (opts.first_deadline.value() <= 0.0 || opts.throughput <= 0.0)
+    throw std::invalid_argument("unroll: deadline and throughput must be positive");
+
+  const std::size_t p = net.num_processes();
+  graph::TaskGraphBuilder b(net.name() + "-unrolled");
+
+  const auto task_of = [p](std::size_t copy, ProcessId proc) {
+    return static_cast<graph::TaskId>(copy * p + proc);
+  };
+
+  for (std::size_t j = 0; j < opts.copies; ++j)
+    for (ProcessId q = 0; q < p; ++q)
+      (void)b.add_task(net.process(q).work, net.process(q).name + "#" + std::to_string(j));
+
+  for (std::size_t j = 0; j < opts.copies; ++j) {
+    for (const Channel& c : net.channels()) {
+      const std::size_t target_copy = j + c.delay;
+      if (target_copy >= opts.copies) continue;
+      if (c.from == c.to && c.delay == 0) continue;  // rejected at add_channel
+      b.add_edge(task_of(j, c.from), task_of(target_copy, c.to));
+    }
+    if (j + 1 < opts.copies)
+      for (ProcessId q = 0; q < p; ++q) b.add_edge(task_of(j, q), task_of(j + 1, q));
+  }
+
+  const Seconds period{1.0 / opts.throughput};
+  for (const ProcessId out : net.output_processes())
+    for (std::size_t j = 0; j < opts.copies; ++j)
+      b.set_deadline(task_of(j, out),
+                     opts.first_deadline + period * static_cast<double>(j));
+
+  // build() performs the acyclicity check; a zero-delay cycle inside one
+  // copy is the only way it can fail and yields a clear error.
+  return b.build();
+}
+
+}  // namespace lamps::kpn

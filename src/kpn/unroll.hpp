@@ -1,0 +1,31 @@
+// KPN -> DAG unrolling (paper section 3.1, Fig 1).
+//
+// The network is copied once per iteration; a channel (a -> b, delay d)
+// becomes edges a^j -> b^(j+d); each process is serialized across copies by
+// edges p^j -> p^(j+1) ("not all inputs are available at time zero"); and
+// the network's output processes receive explicit deadlines
+//   deadline(copy j) = first_deadline + j / throughput.
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "kpn/kpn.hpp"
+
+namespace lamps::kpn {
+
+struct UnrollOptions {
+  /// Number of network copies (iterations) in the DAG.
+  std::size_t copies{1};
+  /// Deadline of the first copy's outputs ("arbitrary but reasonable").
+  Seconds first_deadline{0.0};
+  /// Required throughput in iterations per second; successive copies'
+  /// deadlines are spaced by its reciprocal.
+  double throughput{0.0};
+};
+
+/// Unrolls the KPN.  Task v of copy j gets label "<proc>#<j>".  Throws
+/// std::invalid_argument when copies == 0, the deadline/throughput are not
+/// positive, or the zero-delay channel subgraph is cyclic (no valid firing
+/// order exists within an iteration).
+[[nodiscard]] graph::TaskGraph unroll(const Kpn& net, const UnrollOptions& opts);
+
+}  // namespace lamps::kpn

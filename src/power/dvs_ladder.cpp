@@ -1,0 +1,47 @@
+#include "power/dvs_ladder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lamps::power {
+
+DvsLadder::DvsLadder(const PowerModel& model) {
+  const Technology& tech = model.tech();
+  if (tech.vdd_step.value() <= 0.0)
+    throw std::invalid_argument("DvsLadder: vdd_step must be positive");
+
+  // Enumerate nominal, nominal-step, ... >= vdd_min; build ascending by f
+  // afterwards.  Work in integer step counts to avoid FP drift in the grid.
+  const auto max_steps = static_cast<std::size_t>(std::floor(
+      (tech.vdd_nominal.value() - tech.vdd_min.value()) / tech.vdd_step.value() + 1e-9));
+  for (std::size_t s = 0; s <= max_steps; ++s) {
+    const Volts vdd{tech.vdd_nominal.value() - static_cast<double>(s) * tech.vdd_step.value()};
+    if (vdd <= model.min_meaningful_vdd()) break;
+    DvsLevel lvl;
+    lvl.vdd = vdd;
+    lvl.f = model.frequency(vdd);
+    lvl.active = model.active_power(vdd);
+    lvl.idle = model.idle_power(vdd);
+    lvl.energy_per_cycle = model.energy_per_cycle(vdd);
+    levels_.push_back(lvl);
+  }
+  if (levels_.empty()) throw std::invalid_argument("DvsLadder: no valid levels");
+
+  std::reverse(levels_.begin(), levels_.end());  // ascending frequency
+  const Hertz f_max = levels_.back().f;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    levels_[i].index = i;
+    levels_[i].f_norm = levels_[i].f / f_max;
+    if (levels_[i].energy_per_cycle < levels_[critical_idx_].energy_per_cycle) critical_idx_ = i;
+  }
+}
+
+const DvsLevel* DvsLadder::lowest_level_at_least(Hertz f) const {
+  const auto it = std::lower_bound(
+      levels_.begin(), levels_.end(), f,
+      [](const DvsLevel& lvl, Hertz target) { return lvl.f < target; });
+  return it == levels_.end() ? nullptr : &*it;
+}
+
+}  // namespace lamps::power

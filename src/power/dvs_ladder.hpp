@@ -1,0 +1,55 @@
+// Discrete DVS operating points (paper: 0.05 V supply-voltage steps).
+//
+// All scheduling strategies choose from this ladder; the only consumer of
+// the continuous model is the LIMIT-MF bound when configured for the
+// continuous critical speed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "power/power_model.hpp"
+
+namespace lamps::power {
+
+/// One discrete operating point, fully precomputed.
+struct DvsLevel {
+  std::size_t index{};       ///< Position in the ladder, 0 = slowest.
+  Volts vdd;                 ///< Supply voltage.
+  Hertz f;                   ///< Operating frequency.
+  double f_norm{};           ///< f / f_max.
+  PowerBreakdown active;     ///< Power while executing.
+  Watts idle;                ///< Power while powered-on but not executing.
+  Joules energy_per_cycle;   ///< active.total() / f.
+};
+
+class DvsLadder {
+ public:
+  /// Builds the ladder from tech.vdd_nominal down to tech.vdd_min in
+  /// tech.vdd_step decrements (voltages below the delay-model floor are
+  /// dropped).  Levels are stored in increasing-frequency order.
+  explicit DvsLadder(const PowerModel& model);
+
+  [[nodiscard]] std::span<const DvsLevel> levels() const { return levels_; }
+  [[nodiscard]] std::size_t size() const { return levels_.size(); }
+  [[nodiscard]] const DvsLevel& level(std::size_t idx) const { return levels_.at(idx); }
+
+  /// Fastest operating point (nominal voltage).
+  [[nodiscard]] const DvsLevel& max_level() const { return levels_.back(); }
+
+  /// Ladder point with minimal energy-per-cycle (the discrete critical
+  /// speed: 0.7 V / ~0.41 f_max in the 70 nm configuration).
+  [[nodiscard]] const DvsLevel& critical_level() const { return levels_[critical_idx_]; }
+
+  /// Slowest level with frequency >= f ("stretch" selection: run as slowly
+  /// as the deadline permits).  Returns nullptr if even the maximum level
+  /// is too slow.
+  [[nodiscard]] const DvsLevel* lowest_level_at_least(Hertz f) const;
+
+ private:
+  std::vector<DvsLevel> levels_;
+  std::size_t critical_idx_{0};
+};
+
+}  // namespace lamps::power

@@ -1,0 +1,72 @@
+#include "power/power_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lamps::power {
+
+PowerModel::PowerModel(const Technology& tech) : tech_(tech) {
+  // f > 0 requires Vdd - Vth > 0, i.e. Vdd*(1+K1) > Vth1 - K2*Vbs.
+  vdd_floor_ = Volts{(tech_.vth1.value() - tech_.k2 * tech_.vbs.value()) / (1.0 + tech_.k1)};
+  if (tech_.vdd_nominal <= vdd_floor_)
+    throw std::invalid_argument("PowerModel: nominal Vdd below the delay-model floor");
+  f_max_ = frequency(tech_.vdd_nominal);
+}
+
+Volts PowerModel::threshold_voltage(Volts vdd) const {
+  return Volts{tech_.vth1.value() - tech_.k1 * vdd.value() - tech_.k2 * tech_.vbs.value()};
+}
+
+Hertz PowerModel::frequency(Volts vdd) const {
+  const double overdrive = vdd.value() - threshold_voltage(vdd).value();
+  if (overdrive <= 0.0)
+    throw std::domain_error("PowerModel::frequency: Vdd at or below delay-model floor");
+  return Hertz{std::pow(overdrive, tech_.alpha) / (tech_.ld * tech_.k6)};
+}
+
+Volts PowerModel::vdd_for_frequency(Hertz f) const {
+  if (f.value() <= 0.0) throw std::domain_error("PowerModel::vdd_for_frequency: f must be > 0");
+  // overdrive = (f * Ld * K6)^(1/alpha); Vdd*(1+K1) = overdrive + Vth1 - K2*Vbs.
+  const double overdrive = std::pow(f.value() * tech_.ld * tech_.k6, 1.0 / tech_.alpha);
+  return Volts{(overdrive + tech_.vth1.value() - tech_.k2 * tech_.vbs.value()) /
+               (1.0 + tech_.k1)};
+}
+
+PowerBreakdown PowerModel::active_power(Volts vdd) const {
+  const Hertz f = frequency(vdd);
+  const double isubn = tech_.k3 * std::exp(tech_.k4 * vdd.value()) *
+                       std::exp(tech_.k5 * tech_.vbs.value());
+  const Watts p_ac{tech_.activity * tech_.ceff * vdd.value() * vdd.value() * f.value()};
+  const Watts p_dc{tech_.lg *
+                   (vdd.value() * isubn + std::abs(tech_.vbs.value()) * tech_.ij)};
+  return PowerBreakdown{p_ac, p_dc, tech_.p_on};
+}
+
+Watts PowerModel::idle_power(Volts vdd) const {
+  const PowerBreakdown p = active_power(vdd);
+  return p.leakage + p.intrinsic;
+}
+
+Joules PowerModel::energy_per_cycle(Volts vdd) const {
+  return Joules{active_power(vdd).total().value() / frequency(vdd).value()};
+}
+
+Volts PowerModel::critical_vdd() const {
+  // Ternary search for the unimodal minimum of energy_per_cycle.  A small
+  // epsilon above the floor avoids the f -> 0 singularity.
+  double lo = vdd_floor_.value() + 1e-6;
+  double hi = tech_.vdd_nominal.value();
+  for (int iter = 0; iter < 200; ++iter) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (energy_per_cycle(Volts{m1}) < energy_per_cycle(Volts{m2}))
+      hi = m2;
+    else
+      lo = m1;
+  }
+  return Volts{(lo + hi) / 2.0};
+}
+
+Hertz PowerModel::critical_frequency() const { return frequency(critical_vdd()); }
+
+}  // namespace lamps::power

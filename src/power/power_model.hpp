@@ -1,0 +1,84 @@
+// Analytic CMOS power/delay model (paper section 3.2).
+//
+//   P       = P_AC + P_DC + P_on
+//   P_AC    = a * Ceff * Vdd^2 * f                         (switching)
+//   P_DC    = Lg * (Vdd * Isubn + |Vbs| * Ij)              (leakage)
+//   Isubn   = K3 * e^(K4*Vdd) * e^(K5*Vbs)
+//   f       = (Vdd - Vth)^alpha / (Ld * K6)
+//   Vth     = Vth1 - K1*Vdd - K2*Vbs
+//
+// Because Vth is linear in Vdd the delay relation inverts in closed form,
+// which the DVS machinery uses to map frequencies back to supply voltages.
+#pragma once
+
+#include "power/technology.hpp"
+#include "util/units.hpp"
+
+namespace lamps::power {
+
+/// Additive decomposition of core power at one operating point.
+struct PowerBreakdown {
+  Watts dynamic;    ///< P_AC
+  Watts leakage;    ///< P_DC
+  Watts intrinsic;  ///< P_on
+
+  [[nodiscard]] Watts total() const { return dynamic + leakage + intrinsic; }
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(const Technology& tech = technology_70nm());
+
+  [[nodiscard]] const Technology& tech() const { return tech_; }
+
+  /// Threshold voltage at the given supply voltage (fixed Vbs).
+  [[nodiscard]] Volts threshold_voltage(Volts vdd) const;
+
+  /// Operating frequency the core sustains at `vdd`.  Requires
+  /// vdd > min_meaningful_vdd().
+  [[nodiscard]] Hertz frequency(Volts vdd) const;
+
+  /// Closed-form inverse of frequency(): the supply voltage at which the
+  /// delay model yields exactly `f`.  Requires 0 < f <= max_frequency().
+  [[nodiscard]] Volts vdd_for_frequency(Hertz f) const;
+
+  /// Frequency at the nominal supply voltage (= 3.1 GHz for the 70 nm
+  /// configuration).
+  [[nodiscard]] Hertz max_frequency() const { return f_max_; }
+
+  /// Supply voltage below which the delay model breaks down (frequency
+  /// would be <= 0).
+  [[nodiscard]] Volts min_meaningful_vdd() const { return vdd_floor_; }
+
+  /// Power of a core executing instructions at `vdd`.
+  [[nodiscard]] PowerBreakdown active_power(Volts vdd) const;
+
+  /// Power of a powered-on core that is NOT executing (no switching
+  /// activity): leakage + intrinsic only.
+  [[nodiscard]] Watts idle_power(Volts vdd) const;
+
+  /// Power in the deep-sleep state (voltage-independent).
+  [[nodiscard]] Watts sleep_power() const { return tech_.p_sleep; }
+
+  /// One shutdown + wakeup energy cost.
+  [[nodiscard]] Joules wakeup_energy() const { return tech_.e_wake; }
+
+  /// Energy to retire one cycle while active at `vdd`:
+  /// total_power(vdd) / frequency(vdd).
+  [[nodiscard]] Joules energy_per_cycle(Volts vdd) const;
+
+  /// Supply voltage minimizing energy_per_cycle over the continuous range
+  /// (paper: the "critical speed"; ~0.38 * f_max for 70 nm).  Computed by
+  /// ternary search; energy-per-cycle is unimodal in Vdd.
+  [[nodiscard]] Volts critical_vdd() const;
+
+  /// frequency(critical_vdd()).
+  [[nodiscard]] Hertz critical_frequency() const;
+
+ private:
+  Technology tech_;
+  Volts vdd_floor_;
+  Hertz f_max_;
+};
+
+}  // namespace lamps::power

@@ -1,0 +1,30 @@
+#include "power/sleep_model.hpp"
+
+#include <stdexcept>
+
+namespace lamps::power {
+
+SleepModel::SleepModel(Watts p_sleep, Joules e_wake) : p_sleep_(p_sleep), e_wake_(e_wake) {
+  if (p_sleep.value() < 0.0 || e_wake.value() < 0.0)
+    throw std::invalid_argument("SleepModel: negative sleep power or wake energy");
+}
+
+Seconds SleepModel::breakeven_time(Watts p_idle) const {
+  const double denom = p_idle.value() - p_sleep_.value();
+  if (denom <= 0.0) return Seconds{std::numeric_limits<double>::infinity()};
+  return Seconds{e_wake_.value() / denom};
+}
+
+double SleepModel::breakeven_cycles(Watts p_idle, Hertz f) const {
+  return breakeven_time(p_idle) * f;
+}
+
+SleepModel::GapDecision SleepModel::decide(Seconds gap, Watts p_idle) const {
+  if (gap.value() < 0.0) throw std::invalid_argument("SleepModel::decide: negative gap");
+  const Joules stay_on = p_idle * gap;
+  const Joules shut = e_wake_ + p_sleep_ * gap;
+  if (shut < stay_on) return GapDecision{true, shut, stay_on - shut};
+  return GapDecision{false, stay_on, Joules{0.0}};
+}
+
+}  // namespace lamps::power

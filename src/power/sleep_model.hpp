@@ -1,0 +1,55 @@
+// Processor-shutdown (deep sleep) cost model (paper section 3.4, Fig 3).
+//
+// Shutting a core down during an idle gap trades the powered-idle energy
+// P_idle * t against E_wake + P_sleep * t.  The breakeven gap length is
+//
+//     t* = E_wake / (P_idle - P_sleep),
+//
+// so PS only pays off for gaps longer than t* — about 1.7 million idle
+// cycles at half the maximum frequency in the 70 nm configuration.
+#pragma once
+
+#include <limits>
+
+#include "power/dvs_ladder.hpp"
+#include "util/units.hpp"
+
+namespace lamps::power {
+
+class SleepModel {
+ public:
+  SleepModel(Watts p_sleep, Joules e_wake);
+
+  /// Convenience: pull the sleep parameters out of a PowerModel.
+  explicit SleepModel(const PowerModel& model)
+      : SleepModel(model.sleep_power(), model.wakeup_energy()) {}
+
+  [[nodiscard]] Watts sleep_power() const { return p_sleep_; }
+  [[nodiscard]] Joules wakeup_energy() const { return e_wake_; }
+
+  /// Idle duration above which shutdown saves energy, given the powered-on
+  /// idle power.  Returns +infinity seconds when p_idle <= p_sleep (then
+  /// shutdown can never pay off).
+  [[nodiscard]] Seconds breakeven_time(Watts p_idle) const;
+
+  /// breakeven_time expressed in clock cycles at frequency f (the quantity
+  /// plotted in the paper's Fig 3).
+  [[nodiscard]] double breakeven_cycles(Watts p_idle, Hertz f) const;
+
+  /// Outcome of the per-gap decision.
+  struct GapDecision {
+    bool shutdown{false};  ///< true: sleep through the gap, pay wake cost.
+    Joules energy;         ///< energy actually spent over the gap.
+    Joules saved;          ///< energy saved relative to staying powered on.
+  };
+
+  /// Picks the cheaper of {stay powered-idle, shutdown} for a gap of the
+  /// given duration.  Ties prefer staying on (no state loss for free).
+  [[nodiscard]] GapDecision decide(Seconds gap, Watts p_idle) const;
+
+ private:
+  Watts p_sleep_;
+  Joules e_wake_;
+};
+
+}  // namespace lamps::power

@@ -1,0 +1,21 @@
+#include "power/technology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lamps::power {
+
+Technology technology_scaled(unsigned generations, double leakage_growth,
+                             double dynamic_shrink) {
+  if (leakage_growth < 1.0 || dynamic_shrink <= 0.0 || dynamic_shrink > 1.0)
+    throw std::invalid_argument("technology_scaled: implausible scaling factors");
+  Technology t = technology_70nm();
+  const double lg = std::pow(leakage_growth, static_cast<double>(generations));
+  const double dy = std::pow(dynamic_shrink, static_cast<double>(generations));
+  t.k3 *= lg;   // sub-threshold leakage current per gate
+  t.ij *= lg;   // junction leakage per gate
+  t.ceff *= dy; // switched capacitance
+  return t;
+}
+
+}  // namespace lamps::power

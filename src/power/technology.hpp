@@ -1,0 +1,79 @@
+// 70 nm technology constants (paper Table 1, originally from Martin et al.,
+// ICCAD'02, as used by Jejurikar et al., DAC'04).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace lamps::power {
+
+/// All constants of the analytic power/delay model.  The defaults are the
+/// exact Table 1 values; tests pin the derived quantities (max frequency,
+/// critical frequency, breakeven idle time) to the paper's numbers.
+struct Technology {
+  // Threshold-voltage model: Vth = Vth1 - K1*Vdd - K2*Vbs.
+  double k1 = 0.063;
+  double k2 = 0.153;
+  // Sub-threshold leakage: Isubn = K3 * e^(K4*Vdd) * e^(K5*Vbs)  [A/gate].
+  double k3 = 5.38e-7;
+  double k4 = 1.83;
+  double k5 = 4.19;
+  // Delay model: f = (Vdd - Vth)^alpha / (Ld * K6).
+  double k6 = 5.26e-12;
+  // Body-bias helper constant from Martin et al. (listed in Table 1 for
+  // completeness; unused when Vbs is held fixed, as in the paper).
+  double k7 = -0.144;
+
+  /// Nominal (maximum) supply voltage [V].
+  Volts vdd_nominal{1.0};
+  /// Body-source bias voltage, held constant at -0.7 V.
+  Volts vbs{-0.7};
+  /// Velocity-saturation exponent.
+  double alpha = 1.5;
+  /// Zero-bias threshold voltage [V].
+  Volts vth1{0.244};
+  /// Reverse-bias junction current [A/gate].
+  double ij = 4.8e-10;
+  /// Effective switched capacitance [F] (activity factor folded in).
+  double ceff = 0.43e-9;
+  /// Logic depth (delay model).
+  double ld = 37.0;
+  /// Number of gates (scales per-gate leakage currents to the whole core).
+  double lg = 4.0e6;
+
+  /// Switching activity factor `a` in P_AC = a*Ceff*Vdd^2*f.
+  double activity = 1.0;
+  /// Intrinsic power needed to keep a core powered on [W].
+  Watts p_on{0.1};
+
+  /// Deep-sleep state power [W] (Jejurikar et al. estimate: 50 uW).
+  Watts p_sleep{50e-6};
+  /// Energy overhead of one shutdown+wakeup, including re-warming caches
+  /// and predictors [J] (483 uJ).
+  Joules e_wake{483e-6};
+
+  /// Lowest supply voltage exposed on the DVS ladder [V].  Must keep
+  /// Vdd > (Vth1 - K2*Vbs) / (1 + K1) so that the delay model yields a
+  /// positive frequency; 0.35 V leaves comfortable margin.
+  Volts vdd_min{0.35};
+  /// DVS ladder step (paper: "discrete voltage level steps of 0.05 V").
+  Volts vdd_step{0.05};
+};
+
+/// The paper's exact configuration.
+[[nodiscard]] constexpr Technology technology_70nm() { return Technology{}; }
+
+/// Projected future nodes under the paper's own motivating assumption
+/// (section 1, after Borkar): the leakage current grows by about 5x per
+/// technology generation while the dynamic energy per operation shrinks.
+/// `generations` counts steps past 70 nm (1 ~ 50 nm, 2 ~ 35 nm, ...).
+/// Leakage scaling is applied to the per-gate currents (K3, Ij); dynamic
+/// scaling shrinks Ceff by `dynamic_shrink` per generation (default 0.7,
+/// the classic ~0.7x capacitance-per-node rule).  The delay model is kept
+/// fixed so that frequencies/ladders stay comparable across nodes — the
+/// point of the projection is the static/dynamic *ratio*, which is what
+/// flips the S&S-vs-LAMPS trade-off.
+[[nodiscard]] Technology technology_scaled(unsigned generations,
+                                           double leakage_growth = 5.0,
+                                           double dynamic_shrink = 0.7);
+
+}  // namespace lamps::power

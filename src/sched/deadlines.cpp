@@ -1,0 +1,33 @@
+#include "sched/deadlines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ranges>
+
+namespace lamps::sched {
+
+std::vector<DeadlineCycles> latest_finish_times(const graph::TaskGraph& g,
+                                                Cycles global_deadline, Hertz ref_frequency) {
+  const auto global = static_cast<DeadlineCycles>(global_deadline);
+  std::vector<DeadlineCycles> lf(g.num_tasks(), global);
+  for (const graph::TaskId v : std::ranges::reverse_view(g.topological_order())) {
+    DeadlineCycles own = global;
+    if (const auto d = g.explicit_deadline(v)) {
+      const auto own_cycles = static_cast<DeadlineCycles>(std::floor(d->value() * ref_frequency.value()));
+      own = std::min(own, own_cycles);
+    }
+    DeadlineCycles from_succs = std::numeric_limits<DeadlineCycles>::max();
+    for (const graph::TaskId s : g.successors(v))
+      from_succs = std::min(from_succs, lf[s] - static_cast<DeadlineCycles>(g.weight(s)));
+    lf[v] = std::min(own, from_succs);
+  }
+  return lf;
+}
+
+std::vector<DeadlineCycles> latest_finish_times(const graph::TaskGraph& g,
+                                                Cycles global_deadline) {
+  return latest_finish_times(g, global_deadline, Hertz{1.0});
+}
+
+}  // namespace lamps::sched

@@ -1,0 +1,36 @@
+// Latest-finish-time computation: the deadline-propagation backward pass
+// that turns a global graph deadline (plus any explicit per-task deadlines)
+// into the per-task keys used by earliest-deadline-first list scheduling.
+//
+//   LF(v) = min( own_deadline(v),  min over successors s of LF(s) - w(s) )
+//
+// where own_deadline defaults to the global deadline for sinks and +inf for
+// interior tasks.  All quantities are in cycles; LF values can be negative
+// when the instance is infeasible (tails longer than the deadline), which
+// is fine — EDF only uses them for ordering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "util/units.hpp"
+
+namespace lamps::sched {
+
+using DeadlineCycles = std::int64_t;
+
+/// Computes LF for every task.  `global_deadline` applies to every task
+/// (equivalently: to the sinks, propagated backwards).  Explicit per-task
+/// deadlines carried by the graph (KPN-derived) are converted to cycles at
+/// `ref_frequency` and tightened in.
+[[nodiscard]] std::vector<DeadlineCycles> latest_finish_times(const graph::TaskGraph& g,
+                                                              Cycles global_deadline,
+                                                              Hertz ref_frequency);
+
+/// Convenience overload for graphs without explicit deadlines (the
+/// reference frequency is then irrelevant).
+[[nodiscard]] std::vector<DeadlineCycles> latest_finish_times(const graph::TaskGraph& g,
+                                                              Cycles global_deadline);
+
+}  // namespace lamps::sched

@@ -1,0 +1,86 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace lamps::sched {
+
+namespace {
+
+std::string bar_label(const graph::TaskGraph& g, graph::TaskId v) {
+  if (!g.label(v).empty()) return g.label(v);
+  return "T" + std::to_string(v);
+}
+
+}  // namespace
+
+void write_ascii_gantt(const Schedule& s, const graph::TaskGraph& g, std::ostream& os,
+                       const GanttOptions& opts) {
+  const Cycles horizon = std::max(opts.horizon, std::max<Cycles>(s.makespan(), 1));
+  const double scale = static_cast<double>(opts.width) / static_cast<double>(horizon);
+  const auto to_col = [&](Cycles c) {
+    return std::min(opts.width,
+                    static_cast<std::size_t>(static_cast<double>(c) * scale + 0.5));
+  };
+
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    std::string row(opts.width, '.');
+    for (const Placement& pl : s.on_proc(p)) {
+      const std::size_t a = to_col(pl.start);
+      std::size_t b = to_col(pl.finish);
+      if (b <= a) b = std::min(opts.width, a + 1);  // keep tiny tasks visible
+      for (std::size_t i = a; i < b; ++i) row[i] = '=';
+      if (opts.show_labels) {
+        const std::string label = bar_label(g, pl.task);
+        for (std::size_t i = 0; i < label.size() && a + i < b; ++i) row[a + i] = label[i];
+      }
+    }
+    os << 'P' << p << " |" << row << "|\n";
+  }
+}
+
+std::string to_ascii_gantt(const Schedule& s, const graph::TaskGraph& g,
+                           const GanttOptions& opts) {
+  std::ostringstream ss;
+  write_ascii_gantt(s, g, ss, opts);
+  return ss.str();
+}
+
+void write_svg_gantt(const Schedule& s, const graph::TaskGraph& g, std::ostream& os,
+                     const GanttOptions& opts) {
+  const Cycles horizon = std::max(opts.horizon, std::max<Cycles>(s.makespan(), 1));
+  constexpr int kLaneHeight = 28;
+  constexpr int kBarHeight = 22;
+  constexpr int kLeftPad = 44;
+  constexpr int kWidth = 720;
+  const int height = static_cast<int>(s.num_procs()) * kLaneHeight + 10;
+  const double scale = static_cast<double>(kWidth - kLeftPad) / static_cast<double>(horizon);
+
+  // A small qualitative palette, cycled by task id.
+  static constexpr const char* kColors[] = {"#4e79a7", "#f28e2b", "#76b7b2", "#e15759",
+                                            "#59a14f", "#edc948", "#b07aa1", "#9c755f"};
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << kWidth << "\" height=\""
+     << height << "\">\n";
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    const int y = static_cast<int>(p) * kLaneHeight + 5;
+    os << "  <text x=\"2\" y=\"" << y + 16 << "\" font-size=\"12\" font-family=\"sans-serif\">P"
+       << p << "</text>\n";
+    for (const Placement& pl : s.on_proc(p)) {
+      const double x = kLeftPad + static_cast<double>(pl.start) * scale;
+      const double w =
+          std::max(1.0, static_cast<double>(pl.finish - pl.start) * scale);
+      const char* color = kColors[pl.task % (sizeof(kColors) / sizeof(kColors[0]))];
+      os << "  <rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w << "\" height=\""
+         << kBarHeight << "\" fill=\"" << color << "\" stroke=\"#333\"/>\n";
+      if (opts.show_labels && w > 24.0)
+        os << "  <text x=\"" << x + 3 << "\" y=\"" << y + 16
+           << "\" font-size=\"11\" font-family=\"sans-serif\" fill=\"#fff\">"
+           << bar_label(g, pl.task) << "</text>\n";
+    }
+  }
+  os << "</svg>\n";
+}
+
+}  // namespace lamps::sched

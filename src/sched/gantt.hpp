@@ -1,0 +1,34 @@
+// Schedule visualization: ASCII Gantt charts for terminal output (used by
+// the examples) and SVG export for documentation.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::sched {
+
+struct GanttOptions {
+  /// Character width of the time axis.
+  std::size_t width{72};
+  /// Horizon in cycles (0 = use the makespan).  Lets callers show the
+  /// deadline slack after the last task.
+  Cycles horizon{0};
+  /// Show task labels (graph labels or T<id>) inside the bars.
+  bool show_labels{true};
+};
+
+/// Renders one row per processor, e.g.
+///   P0 |T1==|T2======|....|T5==|......|
+void write_ascii_gantt(const Schedule& s, const graph::TaskGraph& g, std::ostream& os,
+                       const GanttOptions& opts = {});
+[[nodiscard]] std::string to_ascii_gantt(const Schedule& s, const graph::TaskGraph& g,
+                                         const GanttOptions& opts = {});
+
+/// Standalone SVG document with one lane per processor.
+void write_svg_gantt(const Schedule& s, const graph::TaskGraph& g, std::ostream& os,
+                     const GanttOptions& opts = {});
+
+}  // namespace lamps::sched

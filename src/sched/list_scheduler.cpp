@@ -1,0 +1,165 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace lamps::sched {
+
+namespace {
+
+struct ReadyEntry {
+  std::int64_t key;
+  graph::TaskId task;
+  // Min-heap: smallest key first, then smallest id.
+  bool operator>(const ReadyEntry& o) const {
+    return key != o.key ? key > o.key : task > o.task;
+  }
+};
+
+struct RunningEntry {
+  Cycles finish;
+  graph::TaskId task;
+  ProcId proc;
+  bool operator>(const RunningEntry& o) const {
+    return finish != o.finish ? finish > o.finish : task > o.task;
+  }
+};
+
+}  // namespace
+
+Schedule list_schedule(const graph::TaskGraph& g, std::size_t num_procs,
+                       std::span<const std::int64_t> priority_keys) {
+  if (num_procs == 0)
+    throw std::invalid_argument("list_schedule: need at least one processor");
+  if (priority_keys.size() != g.num_tasks())
+    throw std::invalid_argument("list_schedule: priority key count mismatch");
+
+  Schedule schedule(num_procs, g.num_tasks());
+
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, std::greater<>> ready;
+  std::priority_queue<RunningEntry, std::vector<RunningEntry>, std::greater<>> running;
+  std::priority_queue<ProcId, std::vector<ProcId>, std::greater<>> free_procs;
+  for (ProcId p = 0; p < num_procs; ++p) free_procs.push(p);
+
+  std::vector<std::size_t> missing_preds(g.num_tasks());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    missing_preds[v] = g.in_degree(v);
+    if (missing_preds[v] == 0) ready.push(ReadyEntry{priority_keys[v], v});
+  }
+
+  Cycles now = 0;
+  std::size_t scheduled = 0;
+  while (scheduled < g.num_tasks()) {
+    // Dispatch greedily while both a ready task and a free processor exist.
+    while (!ready.empty() && !free_procs.empty()) {
+      const graph::TaskId v = ready.top().task;
+      ready.pop();
+      const ProcId p = free_procs.top();
+      free_procs.pop();
+      const Cycles finish = now + g.weight(v);
+      schedule.place(v, p, now, finish);
+      running.push(RunningEntry{finish, v, p});
+      ++scheduled;
+    }
+    if (running.empty()) break;  // all done (or nothing dispatchable — impossible for a DAG)
+
+    // Advance to the next completion instant and retire everything that
+    // finishes there, releasing successors and processors before the next
+    // dispatch round.
+    now = running.top().finish;
+    while (!running.empty() && running.top().finish == now) {
+      const RunningEntry done = running.top();
+      running.pop();
+      free_procs.push(done.proc);
+      for (const graph::TaskId s : g.successors(done.task))
+        if (--missing_preds[s] == 0) ready.push(ReadyEntry{priority_keys[s], s});
+    }
+  }
+
+  return schedule;
+}
+
+Schedule list_schedule_insertion(const graph::TaskGraph& g, std::size_t num_procs,
+                                 std::span<const std::int64_t> priority_keys) {
+  if (num_procs == 0)
+    throw std::invalid_argument("list_schedule_insertion: need at least one processor");
+  if (priority_keys.size() != g.num_tasks())
+    throw std::invalid_argument("list_schedule_insertion: priority key count mismatch");
+
+  struct Slot {
+    Cycles start, finish;
+    graph::TaskId task;
+  };
+  std::vector<std::vector<Slot>> rows(num_procs);  // sorted by start
+  std::vector<Cycles> finish_of(g.num_tasks(), 0);
+
+  // Priority order constrained to predecessors-first.
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, std::greater<>> ready;
+  std::vector<std::size_t> missing_preds(g.num_tasks());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    missing_preds[v] = g.in_degree(v);
+    if (missing_preds[v] == 0) ready.push(ReadyEntry{priority_keys[v], v});
+  }
+
+  while (!ready.empty()) {
+    const graph::TaskId v = ready.top().task;
+    ready.pop();
+    Cycles ready_time = 0;
+    for (const graph::TaskId p : g.predecessors(v))
+      ready_time = std::max(ready_time, finish_of[p]);
+    const Cycles w = g.weight(v);
+
+    // Earliest feasible slot over all processors: scan each row's gaps
+    // (before the first task, between tasks, after the last).
+    ProcId best_proc = 0;
+    Cycles best_start = std::numeric_limits<Cycles>::max();
+    std::size_t best_pos = 0;
+    for (ProcId p = 0; p < num_procs; ++p) {
+      const auto& row = rows[p];
+      Cycles cursor = 0;
+      Cycles start = std::numeric_limits<Cycles>::max();
+      std::size_t pos = row.size();
+      for (std::size_t i = 0; i <= row.size(); ++i) {
+        const Cycles gap_end =
+            i < row.size() ? row[i].start : std::numeric_limits<Cycles>::max();
+        const Cycles candidate = std::max(cursor, ready_time);
+        if (candidate + w <= gap_end || gap_end == std::numeric_limits<Cycles>::max()) {
+          start = candidate;
+          pos = i;
+          break;
+        }
+        cursor = row[i].finish;
+      }
+      if (start < best_start) {
+        best_start = start;
+        best_proc = p;
+        best_pos = pos;
+      }
+    }
+
+    rows[best_proc].insert(rows[best_proc].begin() + static_cast<std::ptrdiff_t>(best_pos),
+                           Slot{best_start, best_start + w, v});
+    finish_of[v] = best_start + w;
+    for (const graph::TaskId s : g.successors(v))
+      if (--missing_preds[s] == 0) ready.push(ReadyEntry{priority_keys[s], s});
+  }
+
+  Schedule schedule(num_procs, g.num_tasks());
+  for (ProcId p = 0; p < num_procs; ++p)
+    for (const Slot& slot : rows[p]) schedule.place(slot.task, p, slot.start, slot.finish);
+  return schedule;
+}
+
+Schedule list_schedule_edf(const graph::TaskGraph& g, std::size_t num_procs,
+                           Cycles deadline_cycles, Hertz ref_frequency) {
+  PriorityOptions opts;
+  opts.policy = PriorityPolicy::kEdf;
+  opts.global_deadline_cycles = deadline_cycles;
+  opts.ref_frequency = ref_frequency;
+  return list_schedule(g, num_procs, make_priority_keys(g, opts));
+}
+
+}  // namespace lamps::sched

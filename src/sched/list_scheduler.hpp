@@ -1,0 +1,45 @@
+// Non-preemptive global list scheduling (the paper's LS-EDF when combined
+// with EDF priority keys).
+//
+// The scheduler is event-driven and greedy ("non-delay"): whenever a
+// processor is free and ready tasks exist, the ready task with the smallest
+// priority key is dispatched immediately.  Time is advanced to the next
+// task-completion event otherwise.  Determinism: ready ties break on
+// smaller task id, free processors are taken in ascending id order.
+//
+// Complexity: O((V + E) log V).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/task_graph.hpp"
+#include "sched/priorities.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::sched {
+
+/// Schedules every task of `g` on `num_procs` processors using the given
+/// priority keys (see make_priority_keys).  Always succeeds (a list
+/// schedule exists for any DAG); deadline feasibility is judged afterwards
+/// by the caller.
+[[nodiscard]] Schedule list_schedule(const graph::TaskGraph& g, std::size_t num_procs,
+                                     std::span<const std::int64_t> priority_keys);
+
+/// Convenience: build EDF keys for `deadline_cycles` and schedule.
+[[nodiscard]] Schedule list_schedule_edf(const graph::TaskGraph& g, std::size_t num_procs,
+                                         Cycles deadline_cycles,
+                                         Hertz ref_frequency = Hertz{1.0});
+
+/// Insertion-based list scheduling (ISH-style): tasks are taken strictly in
+/// priority order (constrained to predecessors-first) and each is placed in
+/// the earliest idle slot on any processor — including gaps *between*
+/// already-placed tasks, which the non-delay scheduler above can never use.
+/// Often shaves the makespan on unbalanced graphs at O(V * P + V * E + V^2 / P)
+/// cost; exists for the section 4.4 "would a better scheduler help?"
+/// ablation.
+[[nodiscard]] Schedule list_schedule_insertion(const graph::TaskGraph& g,
+                                               std::size_t num_procs,
+                                               std::span<const std::int64_t> priority_keys);
+
+}  // namespace lamps::sched

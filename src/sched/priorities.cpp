@@ -1,0 +1,59 @@
+#include "sched/priorities.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/analysis.hpp"
+#include "util/rng.hpp"
+
+namespace lamps::sched {
+
+std::string_view to_string(PriorityPolicy p) {
+  switch (p) {
+    case PriorityPolicy::kEdf:
+      return "edf";
+    case PriorityPolicy::kBottomLevel:
+      return "bottom-level";
+    case PriorityPolicy::kFifo:
+      return "fifo";
+    case PriorityPolicy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::vector<std::int64_t> make_priority_keys(const graph::TaskGraph& g,
+                                             const PriorityOptions& opts) {
+  const std::size_t n = g.num_tasks();
+  std::vector<std::int64_t> keys(n);
+  switch (opts.policy) {
+    case PriorityPolicy::kEdf: {
+      const auto lf =
+          latest_finish_times(g, opts.global_deadline_cycles, opts.ref_frequency);
+      for (std::size_t v = 0; v < n; ++v) keys[v] = lf[v];
+      break;
+    }
+    case PriorityPolicy::kBottomLevel: {
+      // Longest remaining path first: negate so larger bottom level sorts
+      // first.
+      const auto bl = graph::bottom_levels(g);
+      for (std::size_t v = 0; v < n; ++v) keys[v] = -static_cast<std::int64_t>(bl[v]);
+      break;
+    }
+    case PriorityPolicy::kFifo: {
+      std::iota(keys.begin(), keys.end(), std::int64_t{0});
+      break;
+    }
+    case PriorityPolicy::kRandom: {
+      std::vector<std::int64_t> perm(n);
+      std::iota(perm.begin(), perm.end(), std::int64_t{0});
+      Rng rng(opts.seed);
+      rng.shuffle(std::span<std::int64_t>(perm));
+      for (std::size_t v = 0; v < n; ++v) keys[v] = perm[v];
+      break;
+    }
+  }
+  return keys;
+}
+
+}  // namespace lamps::sched

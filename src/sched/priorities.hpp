@@ -1,0 +1,46 @@
+// Priority policies for list scheduling.
+//
+// The paper's heuristics all use LS-EDF; the other policies exist for the
+// ablation study motivated by section 4.4 ("EDF is not always optimal for
+// multiprocessor scheduling"): how much does the choice of list-scheduling
+// priority matter relative to the LIMIT-SF headroom?
+//
+// A priority key is an int64; SMALLER key = dispatched first.  Ties are
+// broken by smaller task id inside the scheduler.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "sched/deadlines.hpp"
+
+namespace lamps::sched {
+
+enum class PriorityPolicy {
+  kEdf,          ///< earliest latest-finish-time first (the paper's LS-EDF)
+  kBottomLevel,  ///< longest remaining path first (HLFET-style)
+  kFifo,         ///< task id order (insertion order)
+  kRandom,       ///< random permutation (seeded)
+};
+
+[[nodiscard]] std::string_view to_string(PriorityPolicy p);
+
+struct PriorityOptions {
+  PriorityPolicy policy{PriorityPolicy::kEdf};
+  /// Global deadline in cycles (EDF only; combined with any explicit
+  /// per-task deadlines carried by the graph).
+  Cycles global_deadline_cycles{0};
+  /// Reference frequency for converting explicit per-task second-deadlines
+  /// to cycles (EDF only).
+  Hertz ref_frequency{1.0};
+  /// Seed for kRandom.
+  std::uint64_t seed{0};
+};
+
+/// Computes the per-task priority keys for the given policy.
+[[nodiscard]] std::vector<std::int64_t> make_priority_keys(const graph::TaskGraph& g,
+                                                           const PriorityOptions& opts);
+
+}  // namespace lamps::sched

@@ -1,0 +1,93 @@
+#include "sched/schedule.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lamps::sched {
+
+Schedule::Schedule(std::size_t num_procs, std::size_t num_tasks)
+    : proc_rows_(num_procs), task_index_(num_tasks), busy_(num_procs, 0) {
+  if (num_procs == 0) throw std::invalid_argument("Schedule: need at least one processor");
+}
+
+void Schedule::place(graph::TaskId task, ProcId proc, Cycles start, Cycles finish) {
+  if (task >= task_index_.size()) throw std::logic_error("Schedule::place: unknown task");
+  if (proc >= proc_rows_.size()) throw std::logic_error("Schedule::place: unknown processor");
+  if (finish < start) throw std::logic_error("Schedule::place: finish before start");
+  if (task_index_[task].placed) throw std::logic_error("Schedule::place: task placed twice");
+  auto& row = proc_rows_[proc];
+  if (!row.empty() && start < row.back().finish)
+    throw std::logic_error("Schedule::place: overlapping placement on processor");
+
+  task_index_[task] = Ref{proc, static_cast<std::uint32_t>(row.size()), true};
+  row.push_back(Placement{task, proc, start, finish});
+  busy_[proc] += finish - start;
+  if (finish > makespan_) makespan_ = finish;
+  ++placed_;
+}
+
+const Placement& Schedule::placement(graph::TaskId task) const {
+  const Ref& ref = task_index_.at(task);
+  if (!ref.placed) throw std::logic_error("Schedule::placement: task not placed");
+  return proc_rows_[ref.proc][ref.pos];
+}
+
+bool Schedule::is_placed(graph::TaskId task) const { return task_index_.at(task).placed; }
+
+std::vector<Gap> Schedule::gaps(Cycles horizon) const {
+  if (horizon < makespan_)
+    throw std::invalid_argument("Schedule::gaps: horizon before makespan");
+  std::vector<Gap> out;
+  for (ProcId p = 0; p < proc_rows_.size(); ++p) {
+    Cycles cursor = 0;
+    for (const Placement& pl : proc_rows_[p]) {
+      if (pl.start > cursor) out.push_back(Gap{p, cursor, pl.start});
+      cursor = pl.finish;
+    }
+    if (horizon > cursor) out.push_back(Gap{p, cursor, horizon});
+  }
+  return out;
+}
+
+std::string validate_schedule(const Schedule& s, const graph::TaskGraph& g) {
+  std::ostringstream err;
+  if (s.num_tasks() != g.num_tasks()) {
+    err << "schedule sized for " << s.num_tasks() << " tasks, graph has " << g.num_tasks();
+    return err.str();
+  }
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (!s.is_placed(v)) {
+      err << "task " << v << " not placed";
+      return err.str();
+    }
+    const Placement& pl = s.placement(v);
+    if (pl.duration() != g.weight(v)) {
+      err << "task " << v << " placed with duration " << pl.duration() << ", weight is "
+          << g.weight(v);
+      return err.str();
+    }
+  }
+  // Per-processor rows are ordered & non-overlapping by construction of
+  // place(); re-check anyway so the validator stands on its own.
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    const auto row = s.on_proc(p);
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      if (row[i].start < row[i - 1].finish) {
+        err << "overlap on proc " << p << " between tasks " << row[i - 1].task << " and "
+            << row[i].task;
+        return err.str();
+      }
+    }
+  }
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const graph::TaskId succ : g.successors(v)) {
+      if (s.placement(v).finish > s.placement(succ).start) {
+        err << "precedence violated: " << v << " finishes at " << s.placement(v).finish
+            << " but successor " << succ << " starts at " << s.placement(succ).start;
+        return err.str();
+      }
+    }
+  return {};
+}
+
+}  // namespace lamps::sched

@@ -1,0 +1,101 @@
+// Static multiprocessor schedule representation.
+//
+// A schedule places every task on one processor with integral start/finish
+// cycle positions.  All positions are in the *cycle domain*: the schedule
+// shape is independent of the DVS operating point, and "stretching" a
+// schedule to a deadline is just a choice of clock frequency — exactly the
+// single-frequency execution model of the paper (all processors share one
+// constant frequency).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "util/units.hpp"
+
+namespace lamps::sched {
+
+using ProcId = std::uint32_t;
+
+struct Placement {
+  graph::TaskId task{graph::kInvalidTask};
+  ProcId proc{0};
+  Cycles start{0};
+  Cycles finish{0};
+
+  [[nodiscard]] Cycles duration() const { return finish - start; }
+};
+
+/// An idle interval on one processor, in cycles.  `begin == 0` marks a
+/// leading gap; `end == horizon` marks a trailing gap.
+struct Gap {
+  ProcId proc{0};
+  Cycles begin{0};
+  Cycles end{0};
+
+  [[nodiscard]] Cycles length() const { return end - begin; }
+};
+
+class Schedule {
+ public:
+  Schedule(std::size_t num_procs, std::size_t num_tasks);
+
+  /// Records a task placement.  Placements on one processor must be added
+  /// in non-decreasing start order and must not overlap; each task may be
+  /// placed exactly once.  Violations throw std::logic_error.
+  void place(graph::TaskId task, ProcId proc, Cycles start, Cycles finish);
+
+  [[nodiscard]] std::size_t num_procs() const { return proc_rows_.size(); }
+  [[nodiscard]] std::size_t num_tasks() const { return task_index_.size(); }
+  [[nodiscard]] std::size_t num_placed() const { return placed_; }
+  [[nodiscard]] bool complete() const { return placed_ == task_index_.size(); }
+
+  /// Placement of a task (throws if the task was never placed).
+  [[nodiscard]] const Placement& placement(graph::TaskId task) const;
+  [[nodiscard]] bool is_placed(graph::TaskId task) const;
+
+  /// Placements on processor p, ordered by start cycle.
+  [[nodiscard]] std::span<const Placement> on_proc(ProcId p) const {
+    return proc_rows_[p];
+  }
+
+  /// Finish cycle of the last task over all processors (0 if empty).
+  [[nodiscard]] Cycles makespan() const { return makespan_; }
+
+  /// Total executing cycles on processor p.
+  [[nodiscard]] Cycles busy_cycles(ProcId p) const { return busy_[p]; }
+
+  /// Idle intervals on all processors up to `horizon` cycles (leading,
+  /// internal, and trailing).  Requires horizon >= makespan().  Zero-length
+  /// gaps are omitted.
+  [[nodiscard]] std::vector<Gap> gaps(Cycles horizon) const;
+
+  /// Earliest cycle at which processor p is free for a new task.
+  [[nodiscard]] Cycles proc_available(ProcId p) const {
+    return proc_rows_[p].empty() ? 0 : proc_rows_[p].back().finish;
+  }
+
+ private:
+  std::vector<std::vector<Placement>> proc_rows_;
+  // Index into proc_rows_[proc][pos] per task; {kInvalid, 0} if unplaced.
+  struct Ref {
+    ProcId proc{0};
+    std::uint32_t pos{0};
+    bool placed{false};
+  };
+  std::vector<Ref> task_index_;
+  std::vector<Cycles> busy_;
+  Cycles makespan_{0};
+  std::size_t placed_{0};
+};
+
+/// Structural validation against the task graph: every task placed exactly
+/// once, durations equal task weights, per-processor placements
+/// non-overlapping, and every precedence edge satisfied
+/// (finish(pred) <= start(succ)).  Returns an empty string when valid, or a
+/// human-readable description of the first violation.
+[[nodiscard]] std::string validate_schedule(const Schedule& s, const graph::TaskGraph& g);
+
+}  // namespace lamps::sched

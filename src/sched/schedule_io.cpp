@@ -1,0 +1,159 @@
+#include "sched/schedule_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lamps::sched {
+
+namespace {
+
+/// Minimal recursive-descent scanner for exactly the JSON subset the writer
+/// produces (objects, arrays, unsigned integers, fixed key strings) — not a
+/// general JSON parser, by design.
+class Scanner {
+ public:
+  explicit Scanner(std::istream& is) : text_(std::istreambuf_iterator<char>(is), {}) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string key() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') out.push_back(text_[pos_++]);
+    expect('"');
+    expect(':');
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t number() {
+    skip_ws();
+    if (pos_ >= text_.size() || std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0)
+      fail("expected number");
+    std::uint64_t v = 0;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)
+      v = v * 10 + static_cast<std::uint64_t>(text_[pos_++] - '0');
+    return v;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("schedule JSON parse error at offset " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+ private:
+  std::string text_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+void write_schedule_json(const Schedule& s, std::ostream& os) {
+  os << "{\"num_procs\": " << s.num_procs() << ", \"num_tasks\": " << s.num_tasks()
+     << ", \"placements\": [";
+  bool first = true;
+  for (ProcId p = 0; p < s.num_procs(); ++p)
+    for (const Placement& pl : s.on_proc(p)) {
+      if (!first) os << ", ";
+      first = false;
+      os << "{\"task\": " << pl.task << ", \"proc\": " << pl.proc
+         << ", \"start\": " << pl.start << ", \"finish\": " << pl.finish << '}';
+    }
+  os << "]}\n";
+}
+
+std::string to_schedule_json(const Schedule& s) {
+  std::ostringstream ss;
+  write_schedule_json(s, ss);
+  return ss.str();
+}
+
+Schedule read_schedule_json(std::istream& is) {
+  Scanner sc(is);
+  sc.expect('{');
+
+  std::uint64_t num_procs = 0, num_tasks = 0;
+  std::vector<Placement> placements;
+  bool first_field = true;
+  while (true) {
+    if (!first_field && !sc.consume(',')) break;
+    first_field = false;
+    const std::string k = sc.key();
+    if (k == "num_procs") {
+      num_procs = sc.number();
+    } else if (k == "num_tasks") {
+      num_tasks = sc.number();
+    } else if (k == "placements") {
+      sc.expect('[');
+      if (!sc.consume(']')) {
+        do {
+          sc.expect('{');
+          Placement pl;
+          bool first_inner = true;
+          while (true) {
+            if (!first_inner && !sc.consume(',')) break;
+            first_inner = false;
+            const std::string field = sc.key();
+            const std::uint64_t v = sc.number();
+            if (field == "task")
+              pl.task = static_cast<graph::TaskId>(v);
+            else if (field == "proc")
+              pl.proc = static_cast<ProcId>(v);
+            else if (field == "start")
+              pl.start = v;
+            else if (field == "finish")
+              pl.finish = v;
+            else
+              sc.fail("unknown placement field: " + field);
+          }
+          sc.expect('}');
+          placements.push_back(pl);
+        } while (sc.consume(','));
+        sc.expect(']');
+      }
+    } else {
+      sc.fail("unknown field: " + k);
+    }
+  }
+  sc.expect('}');
+
+  if (num_procs == 0) throw std::runtime_error("schedule JSON: num_procs missing or zero");
+  Schedule s(num_procs, num_tasks);
+  // Accept any placement order: sort per (proc, start) before replaying
+  // through the validating place() API.
+  std::sort(placements.begin(), placements.end(), [](const Placement& a, const Placement& b) {
+    return a.proc != b.proc ? a.proc < b.proc : a.start < b.start;
+  });
+  try {
+    for (const Placement& pl : placements) s.place(pl.task, pl.proc, pl.start, pl.finish);
+  } catch (const std::logic_error& e) {
+    throw std::runtime_error(std::string("schedule JSON: inconsistent placements: ") +
+                             e.what());
+  }
+  return s;
+}
+
+}  // namespace lamps::sched

@@ -1,0 +1,64 @@
+#include "sched/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+namespace lamps::sched {
+
+ScheduleStats compute_stats(const Schedule& s, const graph::TaskGraph& g) {
+  ScheduleStats st;
+  st.num_procs = s.num_procs();
+  st.makespan = s.makespan();
+  st.total_work = g.total_work();
+
+  Cycles max_busy = 0, used_busy = 0;
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    const Cycles busy = s.busy_cycles(p);
+    if (!s.on_proc(p).empty()) {
+      ++st.procs_used;
+      used_busy += busy;
+      max_busy = std::max(max_busy, busy);
+    }
+  }
+  if (st.makespan > 0 && st.num_procs > 0) {
+    st.utilization = static_cast<double>(st.total_work) /
+                     (static_cast<double>(st.num_procs) * static_cast<double>(st.makespan));
+    st.speedup = static_cast<double>(st.total_work) / static_cast<double>(st.makespan);
+  }
+  if (st.procs_used > 0 && used_busy > 0) {
+    const double mean = static_cast<double>(used_busy) / static_cast<double>(st.procs_used);
+    st.load_imbalance = static_cast<double>(max_busy) / mean;
+  }
+  if (st.makespan > 0) {
+    for (const Gap& gap : s.gaps(st.makespan)) {
+      st.idle_cycles += gap.length();
+      st.longest_internal_gap = std::max(st.longest_internal_gap, gap.length());
+    }
+  }
+  return st;
+}
+
+std::vector<std::size_t> gap_histogram(const Schedule& s) {
+  std::vector<std::size_t> hist;
+  if (s.makespan() == 0) return hist;
+  for (const Gap& gap : s.gaps(s.makespan())) {
+    const Cycles len = gap.length();
+    if (len == 0) continue;
+    const auto bucket = static_cast<std::size_t>(std::bit_width(len) - 1);
+    if (bucket >= hist.size()) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+void print_stats(const ScheduleStats& st, std::ostream& os) {
+  os << "processors: " << st.procs_used << " used of " << st.num_procs
+     << ", makespan: " << st.makespan << " cycles\n"
+     << "utilization: " << st.utilization << ", speedup: " << st.speedup
+     << ", load imbalance: " << st.load_imbalance << '\n'
+     << "idle: " << st.idle_cycles << " cycles total, longest gap "
+     << st.longest_internal_gap << " cycles\n";
+}
+
+}  // namespace lamps::sched

@@ -1,0 +1,42 @@
+// Schedule quality metrics: utilization, load balance, speedup, slack
+// distribution.  Used by the examples/tools for reporting and by tests as
+// an independent cross-check on the schedulers.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::sched {
+
+struct ScheduleStats {
+  std::size_t num_procs{0};
+  std::size_t procs_used{0};  ///< processors with at least one task
+  Cycles makespan{0};
+  Cycles total_work{0};
+
+  /// total_work / (num_procs * makespan): fraction of employed capacity
+  /// doing useful work (0 for an empty schedule).
+  double utilization{0.0};
+  /// max busy / mean busy over *used* processors (1.0 = perfectly even).
+  double load_imbalance{0.0};
+  /// total_work / makespan: parallel speedup over one processor.
+  double speedup{0.0};
+  /// Longest idle gap below the makespan horizon (cycles).
+  Cycles longest_internal_gap{0};
+  /// Sum of all idle cycles below the makespan horizon.
+  Cycles idle_cycles{0};
+};
+
+[[nodiscard]] ScheduleStats compute_stats(const Schedule& s, const graph::TaskGraph& g);
+
+/// Histogram of idle-gap lengths (cycles) below the makespan horizon, in
+/// power-of-two buckets: bucket i counts gaps in [2^i, 2^(i+1)).
+[[nodiscard]] std::vector<std::size_t> gap_histogram(const Schedule& s);
+
+void print_stats(const ScheduleStats& st, std::ostream& os);
+
+}  // namespace lamps::sched

@@ -1,0 +1,170 @@
+#include "sim/online.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lamps::sim {
+
+namespace {
+
+/// Augmented successors (graph + processor order) and a topological order
+/// over them, mirroring core/multifreq.cpp's construction.
+struct AugmentedDag {
+  std::vector<std::vector<graph::TaskId>> succs;
+  std::vector<graph::TaskId> topo;
+
+  AugmentedDag(const sched::Schedule& s, const graph::TaskGraph& g) : succs(g.num_tasks()) {
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      const auto gs = g.successors(v);
+      succs[v].assign(gs.begin(), gs.end());
+    }
+    for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
+      const auto row = s.on_proc(p);
+      for (std::size_t i = 0; i + 1 < row.size(); ++i)
+        succs[row[i].task].push_back(row[i + 1].task);
+    }
+    std::vector<std::size_t> in_deg(g.num_tasks(), 0);
+    for (const auto& ss : succs)
+      for (const graph::TaskId t : ss) ++in_deg[t];
+    std::priority_queue<graph::TaskId, std::vector<graph::TaskId>, std::greater<>> ready;
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+      if (in_deg[v] == 0) ready.push(v);
+    topo.reserve(g.num_tasks());
+    while (!ready.empty()) {
+      const graph::TaskId v = ready.top();
+      ready.pop();
+      topo.push_back(v);
+      for (const graph::TaskId t : succs[v])
+        if (--in_deg[t] == 0) ready.push(t);
+    }
+  }
+};
+
+}  // namespace
+
+OnlineResult simulate_online(const sched::Schedule& plan, const graph::TaskGraph& g,
+                             const power::DvsLadder& ladder,
+                             const power::DvsLevel& static_level, Seconds deadline,
+                             const power::SleepModel& sleep, const OnlineOptions& opts) {
+  if (plan.num_tasks() != g.num_tasks())
+    throw std::invalid_argument("simulate_online: plan/graph task count mismatch");
+  if (opts.bcet_ratio <= 0.0 || opts.bcet_ratio > 1.0)
+    throw std::invalid_argument("simulate_online: bcet_ratio must be in (0, 1]");
+
+  const std::size_t n = g.num_tasks();
+  const double f_static = static_level.f.value();
+  const AugmentedDag dag(plan, g);
+
+  // Backward LF pass, reserving WCET at the static level.
+  std::vector<double> lf(n, deadline.value());
+  for (auto it = dag.topo.rbegin(); it != dag.topo.rend(); ++it) {
+    const graph::TaskId v = *it;
+    if (const auto own = g.explicit_deadline(v)) lf[v] = std::min(lf[v], own->value());
+    for (const graph::TaskId t : dag.succs[v])
+      lf[v] = std::min(lf[v], lf[t] - static_cast<double>(g.weight(t)) / f_static);
+    if (lf[v] < static_cast<double>(g.weight(v)) / f_static - 1e-12)
+      throw std::invalid_argument(
+          "simulate_online: plan misses a deadline at the static level");
+  }
+
+  // Draw actual execution cycles (id-indexed so results are independent of
+  // execution interleaving).
+  Rng rng(opts.seed);
+  std::vector<Cycles> actual(n);
+  for (graph::TaskId v = 0; v < n; ++v) {
+    const double frac = opts.bcet_ratio >= 1.0
+                            ? 1.0
+                            : rng.uniform_real(opts.bcet_ratio, 1.0);
+    actual[v] = std::max<Cycles>(g.weight(v) == 0 ? 0 : 1,
+                                 static_cast<Cycles>(static_cast<double>(g.weight(v)) * frac));
+  }
+
+  OnlineResult result;
+  result.tasks.resize(n);
+
+  // Forward execution in augmented topological order: start = max over
+  // augmented predecessors' actual finishes (the augmented relation encodes
+  // both the precedence and the per-processor order).
+  std::vector<double> ready_at(n, 0.0);
+  for (const graph::TaskId v : dag.topo) {
+    OnlineTaskRecord& rec = result.tasks[v];
+    rec.task = v;
+    rec.proc = plan.placement(v).proc;
+    rec.start = Seconds{ready_at[v]};
+    rec.latest_finish = Seconds{lf[v]};
+    rec.actual_cycles = actual[v];
+
+    std::size_t level_idx = static_level.index;
+    if (opts.reclaim && g.weight(v) > 0) {
+      // Slowest level finishing the WCET by LF; induction gives
+      // start <= LF - WCET/f_static, so f_static always qualifies.
+      const Hertz f_need = required_frequency(g.weight(v), rec.latest_finish - rec.start);
+      const power::DvsLevel* lvl =
+          ladder.lowest_level_at_least(Hertz{f_need.value() * (1.0 - 1e-12)});
+      if (lvl == nullptr) lvl = &static_level;  // numerical corner: stay static
+      // Floor at the critical level: below it every cycle costs more.  The
+      // induction start <= LF - WCET/f_static guarantees the chosen level
+      // never exceeds max(static, critical).
+      level_idx = std::max(lvl->index, ladder.critical_level().index);
+    }
+    rec.level_index = level_idx;
+    rec.finish = rec.start + cycles_to_time(actual[v], ladder.level(level_idx).f);
+
+    result.completion = std::max(result.completion, rec.finish);
+    for (const graph::TaskId t : dag.succs[v])
+      ready_at[t] = std::max(ready_at[t], rec.finish.value());
+  }
+  result.met_deadline = result.completion.value() <= deadline.value() * (1.0 + 1e-9);
+
+  // Energy: active at each task's level; per-processor idle gaps at the
+  // static level's idle power, with breakeven shutdown when allowed.
+  energy::EnergyBreakdown& e = result.breakdown;
+  for (const OnlineTaskRecord& rec : result.tasks) {
+    const power::DvsLevel& lvl = ladder.level(rec.level_index);
+    const Seconds dur = rec.finish - rec.start;
+    e.dynamic += lvl.active.dynamic * dur;
+    e.leakage += lvl.active.leakage * dur;
+    e.intrinsic += lvl.active.intrinsic * dur;
+  }
+  std::vector<std::vector<const OnlineTaskRecord*>> rows(plan.num_procs());
+  for (const OnlineTaskRecord& rec : result.tasks) rows[rec.proc].push_back(&rec);
+  for (auto& row : rows)
+    std::sort(row.begin(), row.end(),
+              [](const OnlineTaskRecord* a, const OnlineTaskRecord* b) {
+                return a->start < b->start;
+              });
+  const auto charge_gap = [&](Seconds gap, bool leading) {
+    if (gap.value() <= 0.0) return;
+    const bool may_sleep = opts.ps && (opts.ps_allow_leading_gaps || !leading);
+    if (may_sleep && sleep.decide(gap, static_level.idle).shutdown) {
+      e.sleep += sleep.sleep_power() * gap;
+      e.wakeup += sleep.wakeup_energy();
+      ++e.shutdowns;
+      return;
+    }
+    e.leakage += static_level.active.leakage * gap;
+    e.intrinsic += static_level.active.intrinsic * gap;
+  };
+  for (const auto& row : rows) {
+    Seconds cursor{0.0};
+    bool leading = true;
+    const OnlineTaskRecord* prev = nullptr;
+    for (const OnlineTaskRecord* rec : row) {
+      charge_gap(rec->start - cursor, leading);
+      if (prev != nullptr && prev->level_index != rec->level_index) {
+        e.transition += opts.transition_energy;
+        ++e.transitions;
+      }
+      prev = rec;
+      cursor = rec->finish;
+      leading = false;
+    }
+    charge_gap(deadline - cursor, leading);
+  }
+  return result;
+}
+
+}  // namespace lamps::sim

@@ -1,0 +1,84 @@
+// Online execution simulation with runtime slack reclamation.
+//
+// The static strategies plan with worst-case execution times (WCETs).  At
+// runtime tasks typically finish early; Zhu, Melhem & Childers (the
+// paper's reference [1], named again in its future-work section) showed
+// that the freed slack can be reclaimed online by slowing down not-yet-run
+// tasks.  This module simulates exactly that:
+//
+//   * actual execution cycles are WCET x U[bcet_ratio, 1], seeded,
+//   * the static plan fixes the task-to-processor mapping and per-processor
+//     order (and the static DVS level),
+//   * a backward pass over the augmented DAG (graph + processor-order
+//     edges), reserving each task's WCET at the *static* level, yields
+//     latest-finish times LF(v) that guarantee the deadline,
+//   * with reclamation enabled, each task is dispatched as soon as its
+//     (actual) predecessors finish and runs at the slowest discrete level
+//     with start + WCET/f <= LF(v), floored at the critical level; without
+//     reclamation it runs at the static level,
+//   * idle gaps are charged at the static level's idle power, with the
+//     usual breakeven shutdown rule (gap lengths are known to the
+//     simulator; a real system would predict them — same oracle assumption
+//     the analytic evaluator makes).
+//
+// Feasibility is inductive as in core/multifreq.hpp: finishing every task
+// by its LF leaves every successor at least its reserved window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/evaluator.hpp"
+#include "graph/task_graph.hpp"
+#include "power/dvs_ladder.hpp"
+#include "power/sleep_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::sim {
+
+struct OnlineOptions {
+  /// Actual cycles = WCET * uniform(bcet_ratio, 1).  1.0 = no variability.
+  double bcet_ratio{1.0};
+  std::uint64_t seed{1};
+  /// Reclaim slack online (slow down future tasks); false = always run at
+  /// the static level (early finishes only lengthen idle gaps).
+  bool reclaim{true};
+  /// Shut down idle gaps beyond the breakeven length.
+  bool ps{true};
+  bool ps_allow_leading_gaps{true};
+  /// Energy per DVS level change between consecutive tasks on a processor
+  /// (0 = free transitions, the paper's model).
+  Joules transition_energy{0.0};
+};
+
+struct OnlineTaskRecord {
+  graph::TaskId task{graph::kInvalidTask};
+  sched::ProcId proc{0};
+  std::size_t level_index{0};
+  Cycles actual_cycles{0};
+  Seconds start{0.0};
+  Seconds finish{0.0};
+  Seconds latest_finish{0.0};
+};
+
+struct OnlineResult {
+  bool met_deadline{false};
+  Seconds completion{0.0};
+  energy::EnergyBreakdown breakdown{};
+  std::vector<OnlineTaskRecord> tasks;  ///< indexed by task id
+};
+
+/// Simulates one run of `plan` (produced at `static_level`) under the given
+/// options.  `deadline` is the global deadline; explicit per-task deadlines
+/// carried by the graph are honored in the LF pass.  Throws
+/// std::invalid_argument when the plan itself misses a deadline at the
+/// static level (nothing to reclaim from an infeasible plan).
+[[nodiscard]] OnlineResult simulate_online(const sched::Schedule& plan,
+                                           const graph::TaskGraph& g,
+                                           const power::DvsLadder& ladder,
+                                           const power::DvsLevel& static_level,
+                                           Seconds deadline,
+                                           const power::SleepModel& sleep,
+                                           const OnlineOptions& opts = {});
+
+}  // namespace lamps::sim

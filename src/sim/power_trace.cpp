@@ -1,0 +1,109 @@
+#include "sim/power_trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace lamps::sim {
+
+const char* to_string(ProcState s) {
+  switch (s) {
+    case ProcState::kOff:
+      return "off";
+    case ProcState::kPoweredIdle:
+      return "idle";
+    case ProcState::kExecuting:
+      return "exec";
+    case ProcState::kSleeping:
+      return "sleep";
+  }
+  return "?";
+}
+
+Joules PowerTrace::total_energy() const {
+  Joules e = wakeup_energy;
+  for (const TraceSegment& seg : segments) e += seg.energy();
+  return e;
+}
+
+Joules PowerTrace::energy_in_state(ProcState s) const {
+  Joules e{0.0};
+  for (const TraceSegment& seg : segments)
+    if (seg.state == s) e += seg.energy();
+  return e;
+}
+
+Watts PowerTrace::power_at(Seconds t) const {
+  Watts p{0.0};
+  for (const TraceSegment& seg : segments)
+    if (seg.begin <= t && t < seg.end) p += seg.power;
+  return p;
+}
+
+std::vector<std::pair<Seconds, Watts>> PowerTrace::sample_power(std::size_t samples) const {
+  std::vector<std::pair<Seconds, Watts>> out;
+  if (samples == 0) return out;
+  out.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const Seconds t = horizon * (static_cast<double>(i) / static_cast<double>(samples));
+    out.emplace_back(t, power_at(t));
+  }
+  return out;
+}
+
+PowerTrace simulate(const sched::Schedule& s, const graph::TaskGraph& g,
+                    const power::DvsLevel& lvl, Seconds horizon,
+                    const power::SleepModel& sleep, const energy::PsOptions& ps) {
+  if (cycles_to_time(s.makespan(), lvl.f).value() > horizon.value() * (1.0 + 1e-12) + 1e-15)
+    throw std::invalid_argument("simulate: schedule does not fit in horizon");
+  if (s.num_tasks() != g.num_tasks())
+    throw std::invalid_argument("simulate: schedule/graph task count mismatch");
+
+  PowerTrace trace;
+  trace.horizon = horizon;
+
+  for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
+    Seconds cursor{0.0};
+    bool leading = true;
+    const auto emit_gap = [&](Seconds gap_end) {
+      const Seconds gap = gap_end - cursor;
+      if (gap.value() <= 0.0) return;
+      const bool may_sleep = ps.enabled && (ps.allow_leading_gaps || !leading);
+      const bool sleep_it = may_sleep && sleep.decide(gap, lvl.idle).shutdown;
+      if (sleep_it) {
+        trace.segments.push_back(TraceSegment{p, ProcState::kSleeping, cursor, gap_end,
+                                              sleep.sleep_power(), graph::kInvalidTask});
+        ++trace.wakeups;
+        trace.wakeup_energy += sleep.wakeup_energy();
+      } else {
+        trace.segments.push_back(TraceSegment{p, ProcState::kPoweredIdle, cursor, gap_end,
+                                              lvl.idle, graph::kInvalidTask});
+      }
+    };
+
+    for (const sched::Placement& pl : s.on_proc(p)) {
+      const Seconds start = cycles_to_time(pl.start, lvl.f);
+      const Seconds finish = cycles_to_time(pl.finish, lvl.f);
+      emit_gap(start);
+      if (finish > start)
+        trace.segments.push_back(TraceSegment{p, ProcState::kExecuting, start, finish,
+                                              lvl.active.total(), pl.task});
+      cursor = finish;
+      leading = false;
+    }
+    emit_gap(horizon);
+  }
+  return trace;
+}
+
+void write_trace_csv(const PowerTrace& trace, std::ostream& os) {
+  os << "proc,state,begin_s,end_s,power_w,task\n";
+  for (const TraceSegment& seg : trace.segments) {
+    os << seg.proc << ',' << to_string(seg.state) << ',' << seg.begin.value() << ','
+       << seg.end.value() << ',' << seg.power.value() << ',';
+    if (seg.task != graph::kInvalidTask) os << seg.task;
+    os << '\n';
+  }
+}
+
+}  // namespace lamps::sim

@@ -1,0 +1,78 @@
+// Discrete-event execution simulator: replays a schedule as a per-processor
+// power-state machine and produces a time-resolved power trace.
+//
+// The analytic evaluator (energy/evaluator.hpp) computes the same energies
+// in closed form; this simulator exists to (a) cross-validate the closed
+// form by numerical integration over the actual event timeline — the
+// property tests assert they agree to double precision — and (b) produce
+// traces for inspection/plotting (per-processor state timelines, total
+// power over time).
+//
+// States: Executing (P_AC + P_DC + P_on at the operating point), PoweredIdle
+// (P_DC + P_on), Sleeping (P_sleep; entering the state books the wake
+// energy), and Off (unused processor, zero power).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "energy/evaluator.hpp"
+#include "power/dvs_ladder.hpp"
+#include "power/sleep_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::sim {
+
+enum class ProcState { kOff, kPoweredIdle, kExecuting, kSleeping };
+
+[[nodiscard]] const char* to_string(ProcState s);
+
+/// One state interval on one processor.
+struct TraceSegment {
+  sched::ProcId proc{0};
+  ProcState state{ProcState::kOff};
+  Seconds begin{0.0};
+  Seconds end{0.0};
+  /// Power drawn during the segment.
+  Watts power{0.0};
+  /// Executing segments name the task; kInvalidTask otherwise.
+  graph::TaskId task{graph::kInvalidTask};
+
+  [[nodiscard]] Seconds duration() const { return end - begin; }
+  [[nodiscard]] Joules energy() const { return power * duration(); }
+};
+
+struct PowerTrace {
+  std::vector<TraceSegment> segments;  ///< sorted by (proc, begin)
+  Seconds horizon{0.0};
+  std::size_t wakeups{0};
+  Joules wakeup_energy{0.0};
+
+  /// Total energy: integral of the trace plus the booked wake events.
+  [[nodiscard]] Joules total_energy() const;
+
+  /// Integrated energy per state (wake events reported separately).
+  [[nodiscard]] Joules energy_in_state(ProcState s) const;
+
+  /// Instantaneous total power at time t (sum over processors; wake-event
+  /// energy is impulsive and not included).
+  [[nodiscard]] Watts power_at(Seconds t) const;
+
+  /// Samples total power on a uniform grid: `samples` rows of (t, P).
+  [[nodiscard]] std::vector<std::pair<Seconds, Watts>> sample_power(
+      std::size_t samples) const;
+};
+
+/// Replays `s` at the single operating point `lvl` with the given PS
+/// policy (the exact setting the analytic evaluator models).  Gaps are
+/// slept iff the sleep model says shutdown is cheaper, same tie-breaking as
+/// the evaluator.  Requires the schedule to fit the horizon.
+[[nodiscard]] PowerTrace simulate(const sched::Schedule& s, const graph::TaskGraph& g,
+                                  const power::DvsLevel& lvl, Seconds horizon,
+                                  const power::SleepModel& sleep,
+                                  const energy::PsOptions& ps = {});
+
+/// Writes the trace as CSV: proc,state,begin,end,power,task.
+void write_trace_csv(const PowerTrace& trace, std::ostream& os);
+
+}  // namespace lamps::sim

@@ -1,0 +1,129 @@
+#include "stg/app_synth.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lamps::stg {
+
+namespace {
+
+/// Splits `total` into `parts` positive integers as evenly as possible.
+std::vector<Cycles> even_split(Cycles total, std::size_t parts) {
+  std::vector<Cycles> out(parts, total / parts);
+  const auto rem = static_cast<std::size_t>(total % parts);
+  for (std::size_t i = 0; i < rem; ++i) ++out[i];
+  return out;
+}
+
+}  // namespace
+
+AppGraphSpec fpppp_spec() { return {"fpppp", 334, 1196, 1062, 7113, 0xf999u}; }
+AppGraphSpec robot_spec() { return {"robot", 88, 130, 545, 2459, 0x0b07u}; }
+AppGraphSpec sparse_spec() { return {"sparse", 96, 128, 122, 1920, 0x59a5u}; }
+
+graph::TaskGraph synthesize_app_graph(const AppGraphSpec& spec) {
+  const std::size_t n = spec.nodes;
+  const std::size_t e_target = spec.edges;
+  if (n < 2 || spec.cpl == 0 || spec.work < spec.cpl)
+    throw std::invalid_argument("synthesize_app_graph: degenerate spec");
+
+  // ---- Choose the spine length K.
+  //   edges(K) = (K-1) chain + 2*(n-K) rungs + extra skip edges, so the
+  //   zero-skip baseline is 2n-K-1; K must satisfy:
+  //     (a) K >= 2n-1-E            (never need negative skip edges)
+  //     (b) K >= n-(W-C)           (every rung weight >= 1)
+  //     (c) K <= C                 (every spine weight >= 1)
+  //     (d) skip budget E-(2n-K-1) fits in (K-1)(K-2)/2 available pairs
+  //     (e) the heaviest rung fits between two spine points.
+  const auto work_extra = spec.work - spec.cpl;
+  std::size_t k_min = 2;
+  if (2 * n >= e_target + 1) k_min = std::max(k_min, 2 * n - 1 - e_target);
+  if (n > static_cast<std::size_t>(work_extra))
+    k_min = std::max(k_min, n - static_cast<std::size_t>(work_extra));
+  const std::size_t k_max = std::min<std::size_t>(n, static_cast<std::size_t>(spec.cpl));
+
+  std::size_t k = 0;
+  for (std::size_t cand = k_min; cand <= k_max; ++cand) {
+    const std::size_t baseline = 2 * n - cand - 1;
+    if (e_target < baseline) continue;  // unreachable given (a), but keep the guard
+    const std::size_t skip_needed = e_target - baseline;
+    const std::size_t skip_capacity = (cand - 1) * (cand - 2) / 2;
+    if (skip_needed > skip_capacity) continue;
+    const std::size_t m = n - cand;
+    if (m == 0 && work_extra != 0) continue;  // nowhere to put the off-spine work
+    if (m > 0) {
+      const Cycles w_max_rung = (work_extra + m - 1) / m;  // ceil
+      const Cycles spine_max = (spec.cpl + cand - 1) / cand;
+      // Largest interior span available between the first and last spine task.
+      if (spec.cpl < 2 * spine_max || spec.cpl - 2 * spine_max < w_max_rung) continue;
+    }
+    k = cand;
+    break;
+  }
+  if (k == 0)
+    throw std::invalid_argument("synthesize_app_graph: statistics unsatisfiable (" + spec.name +
+                                ")");
+
+  const std::size_t m = n - k;
+  const std::vector<Cycles> spine_w = even_split(spec.cpl, k);
+  const std::vector<Cycles> rung_w = m > 0 ? even_split(work_extra, m) : std::vector<Cycles>{};
+
+  // prefix[i] = sum of spine weights 0..i (inclusive): the longest-path
+  // distance from the source through spine task i.
+  std::vector<Cycles> prefix(k);
+  Cycles acc = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    acc += spine_w[i];
+    prefix[i] = acc;
+  }
+
+  graph::TaskGraphBuilder b(spec.name);
+  std::vector<graph::TaskId> spine(k);
+  for (std::size_t i = 0; i < k; ++i)
+    spine[i] = b.add_task(spine_w[i], "s" + std::to_string(i));
+  std::vector<graph::TaskId> rung(m);
+  for (std::size_t t = 0; t < m; ++t)
+    rung[t] = b.add_task(rung_w[t], "r" + std::to_string(t));
+
+  for (std::size_t i = 0; i + 1 < k; ++i) b.add_edge(spine[i], spine[i + 1]);
+
+  // ---- Rungs: spread attachment points along the spine; for a rung of
+  // weight w hanging between spine[i] and spine[j], the detour length is
+  // prefix[i] + w + (CPL - prefix[j-1]); requiring
+  // prefix[j-1] - prefix[i] >= w keeps the CPL exact.
+  Rng rng(spec.seed);
+  for (std::size_t t = 0; t < m; ++t) {
+    const Cycles w = rung_w[t];
+    // Preferred start: spread evenly, with a +-1 seeded jitter for variety.
+    std::size_t i = m > 1 ? (t * (k - 2)) / (m - 1) : 0;
+    if (i > 0 && i < k - 3 && rng.bernoulli(0.5)) ++i;
+    auto fits = [&](std::size_t a) {
+      // Smallest j with prefix[j-1] - prefix[a] >= w must satisfy j <= k-1.
+      return prefix[k - 2] - prefix[a] >= w;
+    };
+    while (i > 0 && !fits(i)) --i;
+    if (!fits(i))
+      throw std::logic_error("synthesize_app_graph: internal rung placement failure");
+    std::size_t j = i + 2;  // j-1 >= i+1: at least one spine task in between
+    while (prefix[j - 1] - prefix[i] < w) ++j;
+    b.add_edge(spine[i], rung[t]);
+    b.add_edge(rung[t], spine[j]);
+  }
+
+  // ---- Skip edges along the spine to land exactly on the edge budget.
+  std::size_t remaining = e_target - (k - 1) - 2 * m;
+  for (std::size_t gap = 2; gap < k && remaining > 0; ++gap)
+    for (std::size_t i = 0; i + gap < k && remaining > 0; ++i) {
+      b.add_edge(spine[i], spine[i + gap]);
+      --remaining;
+    }
+  if (remaining != 0)
+    throw std::logic_error("synthesize_app_graph: internal skip-edge budget failure");
+
+  return b.build();
+}
+
+}  // namespace lamps::stg

@@ -1,0 +1,48 @@
+// Synthetic stand-ins for the STG application graphs (fpppp, robot,
+// sparse).
+//
+// The original files are not redistributable here (DESIGN.md section 6);
+// instead we synthesize graphs that match the four statistics the paper's
+// Table 2 reports — node count, edge count, critical path length, total
+// work — *exactly*.  The paper's analysis attributes all behavioural
+// differences between these benchmarks to exactly these statistics (in
+// particular the average parallelism W/CPL), so matching them preserves
+// the experiments.
+//
+// Construction ("spine and rungs"): a critical chain of K spine tasks whose
+// weights sum to the CPL; the remaining nodes hang as rungs between two
+// spine tasks chosen so that the detour through the rung is never longer
+// than the spine segment it bypasses (hence the CPL is exact); any
+// remaining edge budget becomes forward "skip" edges along the spine, which
+// can only shorten paths.  See synthesize_app_graph for the K selection
+// rules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/task_graph.hpp"
+
+namespace lamps::stg {
+
+struct AppGraphSpec {
+  std::string name;
+  std::size_t nodes{0};
+  std::size_t edges{0};
+  Cycles cpl{0};   ///< critical path length (STG weight units)
+  Cycles work{0};  ///< total work (STG weight units)
+  std::uint64_t seed{0};
+};
+
+/// Table 2 specs for the three STG application graphs.
+[[nodiscard]] AppGraphSpec fpppp_spec();
+[[nodiscard]] AppGraphSpec robot_spec();
+[[nodiscard]] AppGraphSpec sparse_spec();
+
+/// Synthesizes a graph matching the spec exactly (node count, edge count,
+/// CPL and total work are all reproduced bit-exactly; unit tests pin this).
+/// Throws std::invalid_argument if the four statistics are mutually
+/// unsatisfiable under the spine-and-rungs construction.
+[[nodiscard]] graph::TaskGraph synthesize_app_graph(const AppGraphSpec& spec);
+
+}  // namespace lamps::stg

@@ -1,0 +1,111 @@
+#include "stg/format.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lamps::stg {
+
+namespace {
+
+struct RawTask {
+  Cycles weight{0};
+  std::vector<std::size_t> preds;
+};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("STG parse error: " + what);
+}
+
+}  // namespace
+
+graph::TaskGraph read_stg(std::istream& is, const ParseOptions& opts) {
+  std::string line;
+  std::size_t n = 0;
+  bool have_count = false;
+  std::vector<RawTask> tasks;
+
+  while (std::getline(is, line)) {
+    std::istringstream ss(line);
+    std::string first;
+    if (!(ss >> first)) continue;        // blank line
+    if (first[0] == '#') continue;       // comment
+    if (!have_count) {
+      n = std::stoull(first);
+      have_count = true;
+      tasks.reserve(n + 2);
+      continue;
+    }
+    if (tasks.size() >= n + 2) fail("more task lines than declared");
+    RawTask t;
+    const std::size_t id = std::stoull(first);
+    if (id != tasks.size()) fail("task ids must be consecutive from 0");
+    long long weight = 0;
+    std::size_t num_preds = 0;
+    if (!(ss >> weight >> num_preds)) fail("task line missing weight/pred-count");
+    if (weight < 0) fail("negative processing time");
+    t.weight = static_cast<Cycles>(weight);
+    t.preds.resize(num_preds);
+    for (auto& p : t.preds)
+      if (!(ss >> p)) fail("task line missing predecessor id");
+    tasks.push_back(std::move(t));
+  }
+  if (!have_count) fail("empty input");
+  if (tasks.size() != n + 2) fail("expected " + std::to_string(n + 2) + " task lines");
+
+  graph::TaskGraphBuilder b(opts.name);
+  if (opts.strip_dummies) {
+    // Real tasks are 1..n; dummy 0 (entry) and n+1 (exit) are dropped along
+    // with their incident edges.
+    for (std::size_t i = 1; i <= n; ++i) (void)b.add_task(tasks[i].weight);
+    for (std::size_t i = 1; i <= n; ++i)
+      for (const std::size_t p : tasks[i].preds) {
+        if (p == 0) continue;
+        if (p > n) fail("edge from dummy exit");
+        b.add_edge(static_cast<graph::TaskId>(p - 1), static_cast<graph::TaskId>(i - 1));
+      }
+    // Edges into the dummy exit carry no information once it is removed.
+  } else {
+    for (const RawTask& t : tasks) (void)b.add_task(t.weight);
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      for (const std::size_t p : tasks[i].preds) {
+        if (p >= tasks.size()) fail("predecessor id out of range");
+        b.add_edge(static_cast<graph::TaskId>(p), static_cast<graph::TaskId>(i));
+      }
+  }
+  return b.build();
+}
+
+graph::TaskGraph read_stg_file(const std::string& path, const ParseOptions& opts) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open STG file: " + path);
+  ParseOptions o = opts;
+  if (o.name == "stg") o.name = path;
+  return read_stg(is, o);
+}
+
+void write_stg(const graph::TaskGraph& g, std::ostream& os) {
+  const std::size_t n = g.num_tasks();
+  os << n << '\n';
+  // Dummy entry: id 0, weight 0, no preds.
+  os << 0 << ' ' << 0 << ' ' << 0 << '\n';
+  for (graph::TaskId v = 0; v < n; ++v) {
+    const auto preds = g.predecessors(v);
+    os << (v + 1) << ' ' << g.weight(v) << ' ';
+    if (preds.empty()) {
+      os << 1 << ' ' << 0;  // hang sources off the dummy entry
+    } else {
+      os << preds.size();
+      for (const graph::TaskId p : preds) os << ' ' << (p + 1);
+    }
+    os << '\n';
+  }
+  // Dummy exit: preds are all sinks.
+  const auto sinks = g.sinks();
+  os << (n + 1) << ' ' << 0 << ' ' << sinks.size();
+  for (const graph::TaskId s : sinks) os << ' ' << (s + 1);
+  os << '\n';
+}
+
+}  // namespace lamps::stg

@@ -1,0 +1,41 @@
+// Standard Task Graph Set file format (Kasahara Lab, Waseda University).
+//
+// An .stg file lists n + 2 tasks: task 0 is a zero-weight dummy entry node,
+// task n+1 a zero-weight dummy exit node.  Each line reads
+//
+//     <task-id> <processing-time> <num-predecessors> <pred-id> ...
+//
+// preceded by a first line holding n (the number of real tasks).  Lines
+// starting with '#' are comments.  We read and write this format exactly so
+// graphs interchange with the original STG distribution; parsing can
+// optionally strip the dummy entry/exit nodes (they carry no work and the
+// schedulers handle multi-source/multi-sink graphs natively).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/task_graph.hpp"
+
+namespace lamps::stg {
+
+struct ParseOptions {
+  /// Remove the zero-weight dummy entry/exit tasks while preserving the
+  /// precedence relation they encode.
+  bool strip_dummies{true};
+  /// Name given to the resulting graph.
+  std::string name{"stg"};
+};
+
+/// Parses one .stg stream.  Throws std::runtime_error on malformed input.
+[[nodiscard]] graph::TaskGraph read_stg(std::istream& is, const ParseOptions& opts = {});
+
+/// Parses an .stg file from disk.
+[[nodiscard]] graph::TaskGraph read_stg_file(const std::string& path,
+                                             const ParseOptions& opts = {});
+
+/// Writes `g` in STG syntax, adding the dummy entry/exit tasks expected by
+/// the format (task ids are shifted by one accordingly).
+void write_stg(const graph::TaskGraph& g, std::ostream& os);
+
+}  // namespace lamps::stg

@@ -1,0 +1,211 @@
+#include "stg/random_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lamps::stg {
+
+namespace {
+
+Cycles draw_weight(Rng& rng, const RandomGraphSpec& spec) {
+  const Cycles lo = spec.min_weight, hi = spec.max_weight;
+  switch (spec.weight_dist) {
+    case WeightDist::kUniform:
+      return rng.uniform(lo, hi);
+    case WeightDist::kBimodal: {
+      // Half the tasks are cheap, half expensive: quarter-width bands at
+      // the ends of the range (degenerates to uniform for narrow ranges).
+      const Cycles quarter = std::max<Cycles>(1, (hi - lo) / 4);
+      return rng.bernoulli(0.5) ? rng.uniform(lo, std::min(hi, lo + quarter))
+                                : rng.uniform(hi - std::min(hi - lo, quarter), hi);
+    }
+    case WeightDist::kGeometric: {
+      // Geometric decay from min_weight, truncated at max_weight; mean
+      // roughly (lo + hi) / 3 — models many small tasks, few large ones.
+      const double mean_extra = static_cast<double>(hi - lo) / 3.0;
+      if (mean_extra <= 0.0) return lo;
+      const double x = -mean_extra * std::log(1.0 - rng.uniform01());
+      return std::min(hi, lo + static_cast<Cycles>(x));
+    }
+  }
+  return lo;
+}
+
+/// Number of predecessors for a "pred"-style method: floor/ceil of the
+/// average, chosen with the right probability so the mean matches.
+std::size_t draw_pred_count(Rng& rng, double avg) {
+  const double fl = std::floor(avg);
+  const double frac = avg - fl;
+  const auto base = static_cast<std::size_t>(fl);
+  return base + (rng.bernoulli(frac) ? 1 : 0);
+}
+
+/// Draws `count` distinct values from [0, limit) (count <= limit), by
+/// partial Fisher-Yates on a scratch index vector.
+std::vector<std::size_t> sample_distinct(Rng& rng, std::size_t limit, std::size_t count,
+                                         std::vector<std::size_t>& scratch) {
+  scratch.resize(limit);
+  std::iota(scratch.begin(), scratch.end(), std::size_t{0});
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform(k, limit - 1));
+    std::swap(scratch[k], scratch[j]);
+    out.push_back(scratch[k]);
+  }
+  return out;
+}
+
+/// Assigns each task to one of `layers` layers (requires n >= layers) such
+/// that no layer is empty: every layer is seeded with one task, the
+/// remaining n - layers tasks land uniformly at random.  Task ids are
+/// handed out in layer order, so edges between consecutive layers always go
+/// from a lower to a higher id (acyclic by construction).
+std::vector<std::size_t> assign_layers(Rng& rng, std::size_t n, std::size_t layers) {
+  std::vector<std::size_t> count(layers, 1);
+  for (std::size_t i = layers; i < n; ++i)
+    ++count[rng.uniform(0, layers - 1)];
+  std::vector<std::size_t> layer_of;
+  layer_of.reserve(n);
+  for (std::size_t l = 0; l < layers; ++l)
+    layer_of.insert(layer_of.end(), count[l], l);
+  return layer_of;
+}
+
+void generate_sameprob(Rng& rng, const RandomGraphSpec& spec, graph::TaskGraphBuilder& b) {
+  const std::size_t n = spec.num_tasks;
+  // avg out-degree d over pairs (i, j), i < j: p * (n - 1) / 2 = d.
+  const double p =
+      std::clamp(2.0 * spec.avg_degree / static_cast<double>(n - 1), 0.0, 1.0);
+  if (p <= 0.0) return;
+  if (p >= 1.0) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        b.add_edge(static_cast<graph::TaskId>(i), static_cast<graph::TaskId>(j));
+    return;
+  }
+  // Geometric skip-sampling over the linearized upper-triangular pair index
+  // avoids O(n^2) work for sparse graphs.
+  const double log1mp = std::log1p(-p);
+  const auto total_pairs = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  std::uint64_t idx = 0;
+  // Row lookup: pair index -> (i, j).  Maintain the running row start.
+  std::size_t i = 0;
+  std::uint64_t row_start = 0;
+  std::uint64_t row_len = n - 1;
+  while (true) {
+    const double u = rng.uniform01();
+    const auto skip = static_cast<std::uint64_t>(std::floor(std::log(1.0 - u) / log1mp));
+    idx += skip;
+    if (idx >= total_pairs) break;
+    while (idx >= row_start + row_len) {
+      row_start += row_len;
+      ++i;
+      --row_len;
+    }
+    const std::size_t j = i + 1 + static_cast<std::size_t>(idx - row_start);
+    b.add_edge(static_cast<graph::TaskId>(i), static_cast<graph::TaskId>(j));
+    ++idx;
+  }
+}
+
+void generate_samepred(Rng& rng, const RandomGraphSpec& spec, graph::TaskGraphBuilder& b) {
+  std::vector<std::size_t> scratch;
+  for (std::size_t j = 1; j < spec.num_tasks; ++j) {
+    const std::size_t want = std::min(j, draw_pred_count(rng, spec.avg_degree));
+    for (const std::size_t p : sample_distinct(rng, j, want, scratch))
+      b.add_edge(static_cast<graph::TaskId>(p), static_cast<graph::TaskId>(j));
+  }
+}
+
+void generate_layered(Rng& rng, const RandomGraphSpec& spec, graph::TaskGraphBuilder& b,
+                      bool prob_variant) {
+  const std::size_t n = spec.num_tasks;
+  std::size_t layers = spec.num_layers != 0
+                           ? spec.num_layers
+                           : static_cast<std::size_t>(std::lround(std::sqrt(n)));
+  layers = std::clamp<std::size_t>(layers, 1, n);
+  const std::vector<std::size_t> layer_of = assign_layers(rng, n, layers);
+
+  // Tasks are already sorted by layer; collect layer extents.
+  std::vector<std::pair<std::size_t, std::size_t>> extent(layers, {n, 0});  // [begin, end)
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& [begin, end] = extent[layer_of[i]];
+    begin = std::min(begin, i);
+    end = std::max(end, i + 1);
+  }
+
+  std::vector<std::size_t> scratch;
+  for (std::size_t l = 1; l < layers; ++l) {
+    const auto [pb, pe] = extent[l - 1];
+    const auto [cb, ce] = extent[l];
+    const std::size_t prev_size = pe - pb;
+    if (prob_variant) {
+      const double p = std::clamp(spec.avg_degree / static_cast<double>(prev_size), 0.0, 1.0);
+      for (std::size_t j = cb; j < ce; ++j)
+        for (std::size_t i = pb; i < pe; ++i)
+          if (rng.bernoulli(p))
+            b.add_edge(static_cast<graph::TaskId>(i), static_cast<graph::TaskId>(j));
+    } else {
+      for (std::size_t j = cb; j < ce; ++j) {
+        const std::size_t want =
+            std::max<std::size_t>(1, std::min(prev_size, draw_pred_count(rng, spec.avg_degree)));
+        for (const std::size_t k : sample_distinct(rng, prev_size, want, scratch))
+          b.add_edge(static_cast<graph::TaskId>(pb + k), static_cast<graph::TaskId>(j));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(GenMethod m) {
+  switch (m) {
+    case GenMethod::kSameProb:
+      return "sameprob";
+    case GenMethod::kSamePred:
+      return "samepred";
+    case GenMethod::kLayrProb:
+      return "layrprob";
+    case GenMethod::kLayrPred:
+      return "layrpred";
+  }
+  return "?";
+}
+
+graph::TaskGraph generate_random(const RandomGraphSpec& spec) {
+  if (spec.num_tasks == 0) throw std::invalid_argument("generate_random: zero tasks");
+  if (spec.min_weight > spec.max_weight || spec.min_weight == 0)
+    throw std::invalid_argument("generate_random: bad weight range");
+  if (spec.avg_degree < 0.0) throw std::invalid_argument("generate_random: negative degree");
+
+  Rng rng(spec.seed);
+  graph::TaskGraphBuilder b(spec.name);
+  for (std::size_t i = 0; i < spec.num_tasks; ++i) (void)b.add_task(draw_weight(rng, spec));
+
+  if (spec.num_tasks > 1) {
+    switch (spec.method) {
+      case GenMethod::kSameProb:
+        generate_sameprob(rng, spec, b);
+        break;
+      case GenMethod::kSamePred:
+        generate_samepred(rng, spec, b);
+        break;
+      case GenMethod::kLayrProb:
+        generate_layered(rng, spec, b, /*prob_variant=*/true);
+        break;
+      case GenMethod::kLayrPred:
+        generate_layered(rng, spec, b, /*prob_variant=*/false);
+        break;
+    }
+  }
+  return b.build();
+}
+
+}  // namespace lamps::stg

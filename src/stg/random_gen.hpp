@@ -1,0 +1,57 @@
+// Random task-graph generation in the style of the Standard Task Graph Set.
+//
+// The original STG distribution (offline here; see DESIGN.md section 6)
+// generated its 2700 random graphs with four methods — "sameprob",
+// "samepred", "layrprob", "layrpred" — which we re-implement:
+//
+//   sameprob:  edge (i, j), i < j, exists with one fixed probability
+//              (classic Erdos-Renyi DAG on a topological order),
+//   samepred:  every task draws a fixed average number of predecessors
+//              uniformly among earlier tasks,
+//   layrprob:  tasks are placed in layers; each adjacent-layer pair is
+//              connected with a fixed probability,
+//   layrpred:  layers, with a fixed average number of predecessors drawn
+//              from the previous layer.
+//
+// All generation is deterministic in the spec's seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "graph/task_graph.hpp"
+
+namespace lamps::stg {
+
+enum class GenMethod { kSameProb, kSamePred, kLayrProb, kLayrPred };
+enum class WeightDist { kUniform, kBimodal, kGeometric };
+
+[[nodiscard]] std::string_view to_string(GenMethod m);
+
+struct RandomGraphSpec {
+  std::string name{"random"};
+  std::size_t num_tasks{100};
+  GenMethod method{GenMethod::kSameProb};
+
+  /// Target average in/out-degree: translated into the per-pair probability
+  /// (sameprob/layrprob) or the predecessor count draw (samepred/layrpred).
+  double avg_degree{2.0};
+
+  /// Layered methods: number of layers (0 selects round(sqrt(num_tasks))).
+  std::size_t num_layers{0};
+
+  /// Task weight distribution over [min_weight, max_weight] (weights are in
+  /// abstract STG units; scale with graph::scale_weights for granularity).
+  WeightDist weight_dist{WeightDist::kUniform};
+  Cycles min_weight{1};
+  Cycles max_weight{10};
+
+  std::uint64_t seed{1};
+};
+
+/// Generates one graph.  Throws std::invalid_argument on degenerate specs
+/// (zero tasks, min_weight > max_weight, ...).
+[[nodiscard]] graph::TaskGraph generate_random(const RandomGraphSpec& spec);
+
+}  // namespace lamps::stg

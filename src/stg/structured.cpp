@@ -1,0 +1,134 @@
+#include "stg/structured.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lamps::stg {
+
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+graph::TaskGraph gaussian_elimination(std::size_t n, Cycles pivot_weight,
+                                      Cycles update_weight) {
+  require(n >= 2, "gaussian_elimination: need n >= 2");
+  graph::TaskGraphBuilder b("gauss" + std::to_string(n));
+  // Step k (k = 0..n-2): pivot task P_k, then updates U_{k,j} for the
+  // remaining n-1-k rows.  P_k depends on U_{k-1,*}; U_{k,j} depends on P_k
+  // and on U_{k-1,j'} of the same row (simplified to: all previous-step
+  // updates feed the pivot, the pivot feeds all current-step updates, and
+  // each update feeds the corresponding next-step update).
+  std::vector<graph::TaskId> prev_updates;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    const graph::TaskId pivot =
+        b.add_task(pivot_weight, "P" + std::to_string(k));
+    for (const graph::TaskId u : prev_updates) b.add_edge(u, pivot);
+    std::vector<graph::TaskId> updates;
+    const std::size_t rows = n - 1 - k;
+    updates.reserve(rows);
+    for (std::size_t j = 0; j < rows; ++j) {
+      const graph::TaskId u =
+          b.add_task(update_weight, "U" + std::to_string(k) + "_" + std::to_string(j));
+      b.add_edge(pivot, u);
+      // Row j of step k corresponds to row j+1's update of step k-1 (row 0
+      // of the previous step became this step's pivot row); the previous
+      // step had exactly rows+1 updates, so the index is always in range.
+      if (!prev_updates.empty()) b.add_edge(prev_updates[j + 1], u);
+      updates.push_back(u);
+    }
+    prev_updates = std::move(updates);
+  }
+  return b.build();
+}
+
+graph::TaskGraph fft_butterfly(std::size_t stages, Cycles weight) {
+  require(stages >= 1 && stages < 20, "fft_butterfly: stages in [1, 20)");
+  const std::size_t n = std::size_t{1} << stages;
+  graph::TaskGraphBuilder b("fft" + std::to_string(n));
+  std::vector<graph::TaskId> prev(n), cur(n);
+  for (std::size_t i = 0; i < n; ++i)
+    prev[i] = b.add_task(weight, "in" + std::to_string(i));
+  for (std::size_t r = 1; r <= stages; ++r) {
+    const std::size_t stride = std::size_t{1} << (r - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      cur[i] = b.add_task(weight, "b" + std::to_string(r) + "_" + std::to_string(i));
+      b.add_edge(prev[i], cur[i]);
+      b.add_edge(prev[i ^ stride], cur[i]);
+    }
+    prev = cur;
+  }
+  return b.build();
+}
+
+graph::TaskGraph out_tree(std::size_t depth, Cycles weight) {
+  require(depth >= 1 && depth < 24, "out_tree: depth in [1, 24)");
+  graph::TaskGraphBuilder b("outtree" + std::to_string(depth));
+  const std::size_t n = (std::size_t{1} << depth) - 1;
+  for (std::size_t i = 0; i < n; ++i) (void)b.add_task(weight);
+  for (std::size_t i = 0; 2 * i + 2 < n; ++i) {
+    b.add_edge(static_cast<graph::TaskId>(i), static_cast<graph::TaskId>(2 * i + 1));
+    b.add_edge(static_cast<graph::TaskId>(i), static_cast<graph::TaskId>(2 * i + 2));
+  }
+  return b.build();
+}
+
+graph::TaskGraph in_tree(std::size_t depth, Cycles weight) {
+  require(depth >= 1 && depth < 24, "in_tree: depth in [1, 24)");
+  graph::TaskGraphBuilder b("intree" + std::to_string(depth));
+  const std::size_t n = (std::size_t{1} << depth) - 1;
+  for (std::size_t i = 0; i < n; ++i) (void)b.add_task(weight);
+  for (std::size_t i = 0; 2 * i + 2 < n; ++i) {
+    b.add_edge(static_cast<graph::TaskId>(2 * i + 1), static_cast<graph::TaskId>(i));
+    b.add_edge(static_cast<graph::TaskId>(2 * i + 2), static_cast<graph::TaskId>(i));
+  }
+  return b.build();
+}
+
+graph::TaskGraph divide_and_conquer(std::size_t depth, Cycles node_weight,
+                                    Cycles leaf_weight) {
+  require(depth >= 1 && depth < 22, "divide_and_conquer: depth in [1, 22)");
+  graph::TaskGraphBuilder b("dnc" + std::to_string(depth));
+  // Split tree: ids 0 .. 2^depth - 2 in heap order; leaves of the split
+  // tree carry the leaf work; then a mirrored merge tree.
+  const std::size_t tree = (std::size_t{1} << depth) - 1;
+  const std::size_t first_leaf = (std::size_t{1} << (depth - 1)) - 1;
+  std::vector<graph::TaskId> split(tree), merge(tree);
+  for (std::size_t i = 0; i < tree; ++i)
+    split[i] = b.add_task(i >= first_leaf ? leaf_weight : node_weight,
+                          "s" + std::to_string(i));
+  for (std::size_t i = 0; i < tree; ++i)
+    merge[i] = b.add_task(i >= first_leaf ? 0 : node_weight, "m" + std::to_string(i));
+  for (std::size_t i = 0; 2 * i + 2 < tree; ++i) {
+    b.add_edge(split[i], split[2 * i + 1]);
+    b.add_edge(split[i], split[2 * i + 2]);
+    b.add_edge(merge[2 * i + 1], merge[i]);
+    b.add_edge(merge[2 * i + 2], merge[i]);
+  }
+  // Each split leaf hands its result to the corresponding merge leaf.
+  for (std::size_t i = first_leaf; i < tree; ++i) b.add_edge(split[i], merge[i]);
+  return b.build();
+}
+
+graph::TaskGraph wavefront(std::size_t width, std::size_t height, Cycles weight) {
+  require(width >= 1 && height >= 1 && width * height <= (1u << 22),
+          "wavefront: grid too large or empty");
+  graph::TaskGraphBuilder b("wave" + std::to_string(width) + "x" + std::to_string(height));
+  const auto id = [width](std::size_t x, std::size_t y) {
+    return static_cast<graph::TaskId>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y)
+    for (std::size_t x = 0; x < width; ++x) (void)b.add_task(weight);
+  for (std::size_t y = 0; y < height; ++y)
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x > 0) b.add_edge(id(x - 1, y), id(x, y));
+      if (y > 0) b.add_edge(id(x, y - 1), id(x, y));
+    }
+  return b.build();
+}
+
+}  // namespace lamps::stg

@@ -1,0 +1,54 @@
+// Parametric structured task-graph families.
+//
+// Besides random DAGs, the multiprocessor-scheduling literature (and the
+// broader STG ecosystem) evaluates on structured graphs whose shape follows
+// a computation: elimination fronts, butterflies, trees.  These generators
+// produce the classic families with controllable size and weights; they
+// feed the examples, the optimality-gap bench (small exact instances) and
+// tests that need known-shape inputs.
+//
+// All generators take weights in abstract units (scale with
+// graph::scale_weights) and are fully deterministic.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/task_graph.hpp"
+
+namespace lamps::stg {
+
+/// Gaussian-elimination DAG on an n x n matrix: one pivot task per step k
+/// followed by a front of n-1-k update tasks; updates of step k feed the
+/// pivot and updates of step k+1.  Tasks: n-1 pivots + sum of fronts.
+/// Parallelism shrinks as elimination proceeds (a classic "narrowing"
+/// workload).
+[[nodiscard]] graph::TaskGraph gaussian_elimination(std::size_t n, Cycles pivot_weight = 2,
+                                                    Cycles update_weight = 1);
+
+/// FFT butterfly DAG: n = 2^stages inputs, `stages` ranks of n butterflies
+/// each; butterfly (r, i) depends on the two rank r-1 nodes whose indices
+/// differ in bit r-1.  Uniform width n throughout — maximal, constant
+/// parallelism.
+[[nodiscard]] graph::TaskGraph fft_butterfly(std::size_t stages, Cycles weight = 1);
+
+/// Complete binary out-tree (fork tree) of the given depth: 2^depth - 1
+/// tasks, root is the single source.
+[[nodiscard]] graph::TaskGraph out_tree(std::size_t depth, Cycles weight = 1);
+
+/// Complete binary in-tree (join/reduction tree): mirror of out_tree with
+/// the leaves as sources.
+[[nodiscard]] graph::TaskGraph in_tree(std::size_t depth, Cycles weight = 1);
+
+/// Divide-and-conquer DAG: an out_tree of `depth` splits, leaf work of
+/// `leaf_weight`, then the mirrored in_tree of merges — the fork/join
+/// diamond of recursive algorithms.  Splits/merges cost `node_weight`.
+[[nodiscard]] graph::TaskGraph divide_and_conquer(std::size_t depth, Cycles node_weight = 1,
+                                                  Cycles leaf_weight = 4);
+
+/// 2-D pipelined stencil (wavefront) DAG on a width x height grid:
+/// task (x, y) depends on (x-1, y) and (x, y-1).  Parallelism follows the
+/// anti-diagonal wavefront, peaking at min(width, height).
+[[nodiscard]] graph::TaskGraph wavefront(std::size_t width, std::size_t height,
+                                         Cycles weight = 1);
+
+}  // namespace lamps::stg

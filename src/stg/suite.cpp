@@ -1,0 +1,100 @@
+#include "stg/suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace lamps::stg {
+
+std::vector<std::size_t> figure_group_sizes() {
+  return {50, 100, 500, 1000, 2000, 2500, 5000};
+}
+
+std::vector<RandomGraphSpec> random_group_specs(std::size_t size, std::size_t count,
+                                                std::uint64_t master_seed) {
+  std::vector<RandomGraphSpec> specs;
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Stable per-graph seed stream: independent of `count`.
+    SplitMix64 sm(master_seed ^ (0x9e3779b97f4a7c15ULL * (size + 1)) ^ (i * 0x100000001b3ULL));
+    Rng rng(sm.next());
+
+    RandomGraphSpec s;
+    s.name = "rand" + std::to_string(size) + "_" + std::to_string(i);
+    s.num_tasks = size;
+    s.seed = sm.next();
+
+    switch (i % 4) {
+      case 0:
+        s.method = GenMethod::kSameProb;
+        break;
+      case 1:
+        s.method = GenMethod::kSamePred;
+        break;
+      case 2:
+        s.method = GenMethod::kLayrProb;
+        break;
+      default:
+        s.method = GenMethod::kLayrPred;
+        break;
+    }
+
+    // Parallelism target, log-uniform in [1.3, 55] (Figs 12/13 span ~1-50).
+    const double par = std::exp(rng.uniform_real(std::log(1.3), std::log(55.0)));
+    if (s.method == GenMethod::kLayrProb || s.method == GenMethod::kLayrPred) {
+      s.num_layers = std::clamp<std::size_t>(
+          static_cast<std::size_t>(std::lround(static_cast<double>(size) / par)), 2, size);
+      s.avg_degree = rng.uniform_real(1.0, 3.0);
+    } else {
+      // Denser pair-wise DAGs have longer critical paths (lower
+      // parallelism); sweep the density log-uniformly instead.
+      s.avg_degree = std::exp(rng.uniform_real(std::log(1.0), std::log(8.0)));
+    }
+
+    switch (i % 3) {
+      case 0:
+        s.weight_dist = WeightDist::kUniform;
+        break;
+      case 1:
+        s.weight_dist = WeightDist::kBimodal;
+        break;
+      default:
+        s.weight_dist = WeightDist::kGeometric;
+        break;
+    }
+    s.min_weight = 1;
+    switch ((i / 3) % 3) {
+      case 0:
+        s.max_weight = 10;
+        break;
+      case 1:
+        s.max_weight = 50;
+        break;
+      default:
+        s.max_weight = 300;  // the paper: "integers in the range from 1 to 300"
+        break;
+    }
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+std::vector<graph::TaskGraph> make_random_group(std::size_t size, std::size_t count,
+                                                std::uint64_t master_seed) {
+  std::vector<graph::TaskGraph> out;
+  out.reserve(count);
+  for (const RandomGraphSpec& s : random_group_specs(size, count, master_seed))
+    out.push_back(generate_random(s));
+  return out;
+}
+
+std::vector<graph::TaskGraph> application_graphs() {
+  std::vector<graph::TaskGraph> out;
+  out.push_back(synthesize_app_graph(fpppp_spec()));
+  out.push_back(synthesize_app_graph(robot_spec()));
+  out.push_back(synthesize_app_graph(sparse_spec()));
+  return out;
+}
+
+}  // namespace lamps::stg

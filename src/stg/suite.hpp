@@ -1,0 +1,47 @@
+// Benchmark-suite registry: reproduces the structure of the paper's
+// experimental setup (section 5.1).
+//
+//   * random groups of 50/100/500/1000/2000/2500/5000 tasks (plus 300 and
+//     3000 used by Table 2 and Figs 12/13), 180 graphs per group in the
+//     full configuration, generated with the four STG methods and a spread
+//     of parallelism/edge-density/weight parameters,
+//   * the three application graphs fpppp / robot / sparse (synthesized to
+//     Table 2's statistics; see app_synth.hpp),
+//   * granularity scaling constants: the paper maps one STG weight unit to
+//     3.1e6 cycles (coarse grain, 1 ms at 3.1 GHz) or 3.1e4 cycles (fine
+//     grain, 10 us).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "stg/app_synth.hpp"
+#include "stg/random_gen.hpp"
+
+namespace lamps::stg {
+
+/// Cycles per STG weight unit in the paper's two granularity scenarios.
+inline constexpr Cycles kCoarseGrainCyclesPerUnit = 3'100'000;
+inline constexpr Cycles kFineGrainCyclesPerUnit = 31'000;
+
+/// The random group sizes shown in the paper's Figs 10/11.
+[[nodiscard]] std::vector<std::size_t> figure_group_sizes();
+
+/// Specs for one random group.  Deterministic in (size, count, master_seed):
+/// element i is generated with the i-th parameter combination, cycling the
+/// four STG generation methods and sweeping parallelism targets
+/// (log-uniform in ~[1.3, 55], matching the spread visible in the paper's
+/// Figs 12/13), edge densities and weight distributions.
+[[nodiscard]] std::vector<RandomGraphSpec> random_group_specs(std::size_t size,
+                                                              std::size_t count,
+                                                              std::uint64_t master_seed = 0x57a6);
+
+/// Generates the group (convenience over generate_random on each spec).
+[[nodiscard]] std::vector<graph::TaskGraph> make_random_group(
+    std::size_t size, std::size_t count, std::uint64_t master_seed = 0x57a6);
+
+/// The three synthesized application graphs, in Table 2 order.
+[[nodiscard]] std::vector<graph::TaskGraph> application_graphs();
+
+}  // namespace lamps::stg

@@ -1,0 +1,138 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+namespace lamps {
+
+namespace {
+
+template <typename T>
+bool parse_number(std::string_view text, T* out) {
+  if constexpr (std::is_same_v<T, double>) {
+    // std::from_chars for double is available in libstdc++ 11+, but strtod
+    // keeps us portable and the inputs are tiny.
+    std::string buf(text);
+    char* end = nullptr;
+    const double v = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size()) return false;
+    *out = v;
+    return true;
+  } else {
+    T v{};
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) return false;
+    *out = v;
+    return true;
+  }
+}
+
+}  // namespace
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_generic(std::string name, std::string help, std::string default_repr,
+                            bool is_flag, std::function<bool(std::string_view)> apply) {
+  options_.push_back(Option{std::move(name), std::move(help), std::move(default_repr), is_flag,
+                            std::move(apply)});
+}
+
+void CliParser::add_flag(std::string name, std::string help, bool* target) {
+  add_generic(std::move(name), std::move(help), *target ? "true" : "false", true,
+              [target](std::string_view v) {
+                if (v.empty() || v == "true" || v == "1") {
+                  *target = true;
+                  return true;
+                }
+                if (v == "false" || v == "0") {
+                  *target = false;
+                  return true;
+                }
+                return false;
+              });
+}
+
+void CliParser::add_option(std::string name, std::string help, int* target) {
+  add_generic(std::move(name), std::move(help), std::to_string(*target), false,
+              [target](std::string_view v) { return parse_number(v, target); });
+}
+
+void CliParser::add_option(std::string name, std::string help, std::size_t* target) {
+  add_generic(std::move(name), std::move(help), std::to_string(*target), false,
+              [target](std::string_view v) { return parse_number(v, target); });
+}
+
+void CliParser::add_option(std::string name, std::string help, double* target) {
+  std::ostringstream ss;
+  ss << *target;
+  add_generic(std::move(name), std::move(help), ss.str(), false,
+              [target](std::string_view v) { return parse_number(v, target); });
+}
+
+void CliParser::add_option(std::string name, std::string help, std::string* target) {
+  add_generic(std::move(name), std::move(help), *target, false, [target](std::string_view v) {
+    *target = std::string(v);
+    return true;
+  });
+}
+
+CliParser::Option* CliParser::find(std::string_view name) {
+  for (auto& o : options_)
+    if (o.name == name) return &o;
+  return nullptr;
+}
+
+bool CliParser::parse(int argc, const char* const* argv, std::ostream& err) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0], err);
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      err << "unexpected positional argument: " << arg << '\n';
+      print_usage(argv[0], err);
+      return false;
+    }
+    arg.remove_prefix(2);
+    std::string_view value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    Option* opt = find(arg);
+    if (opt == nullptr) {
+      err << "unknown option: --" << arg << '\n';
+      print_usage(argv[0], err);
+      return false;
+    }
+    if (!has_value && !opt->is_flag) {
+      if (i + 1 >= argc) {
+        err << "option --" << arg << " requires a value\n";
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!opt->apply(value)) {
+      err << "invalid value for --" << arg << ": '" << value << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void CliParser::print_usage(std::string_view argv0, std::ostream& os) const {
+  os << description_ << "\n\nUsage: " << argv0 << " [options]\n\nOptions:\n";
+  for (const auto& o : options_) {
+    os << "  --" << o.name;
+    if (!o.is_flag) os << " <value>";
+    os << "\n      " << o.help << " (default: " << o.default_repr << ")\n";
+  }
+  os << "  --help\n      Show this message.\n";
+}
+
+}  // namespace lamps

@@ -1,0 +1,51 @@
+// Tiny declarative command-line flag parser for the bench and example
+// binaries (keeps them dependency-free and uniform: --flag=value or
+// --flag value; --help auto-generated).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lamps {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Registers a flag bound to `target`; the current value of `target` is
+  /// documented as the default.
+  void add_flag(std::string name, std::string help, bool* target);
+  void add_option(std::string name, std::string help, int* target);
+  void add_option(std::string name, std::string help, std::size_t* target);
+  void add_option(std::string name, std::string help, double* target);
+  void add_option(std::string name, std::string help, std::string* target);
+
+  /// Parses argv.  Returns false (after printing usage) if --help was given
+  /// or an error occurred; callers should then exit.  Unrecognized
+  /// arguments are an error.  Exits with the error printed to stderr.
+  [[nodiscard]] bool parse(int argc, const char* const* argv, std::ostream& err);
+
+  void print_usage(std::string_view argv0, std::ostream& os) const;
+
+ private:
+  struct Option {
+    std::string name;  // without leading "--"
+    std::string help;
+    std::string default_repr;
+    bool is_flag{false};
+    std::function<bool(std::string_view)> apply;  // returns false on parse error
+  };
+
+  void add_generic(std::string name, std::string help, std::string default_repr, bool is_flag,
+                   std::function<bool(std::string_view)> apply);
+  [[nodiscard]] Option* find(std::string_view name);
+
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace lamps

@@ -1,0 +1,13 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace lamps {
+
+std::ofstream open_csv(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open CSV output file: " + path);
+  return os;
+}
+
+}  // namespace lamps

@@ -1,0 +1,73 @@
+// Minimal RFC-4180-ish CSV writer used by the bench binaries to emit the
+// data series behind every reproduced table/figure.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lamps {
+
+/// Streams rows to an std::ostream, quoting fields only when required.
+/// The writer does not own the stream; keep it alive for the writer's
+/// lifetime.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  /// Writes a full row; each cell is formatted with operator<<.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    bool first = true;
+    ((write_cell(to_string_cell(cells), first), first = false), ...);
+    *os_ << '\n';
+  }
+
+  void row_strings(const std::vector<std::string>& cells) {
+    bool first = true;
+    for (const auto& c : cells) {
+      write_cell(c, first);
+      first = false;
+    }
+    *os_ << '\n';
+  }
+
+ private:
+  template <typename T>
+  static std::string to_string_cell(const T& x) {
+    if constexpr (std::is_convertible_v<T, std::string_view>) {
+      return std::string(std::string_view(x));
+    } else {
+      std::ostringstream ss;
+      ss << x;
+      return ss.str();
+    }
+  }
+
+  void write_cell(std::string_view cell, bool first) {
+    if (!first) *os_ << ',';
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quotes) {
+      *os_ << cell;
+      return;
+    }
+    *os_ << '"';
+    for (char c : cell) {
+      if (c == '"') *os_ << '"';
+      *os_ << c;
+    }
+    *os_ << '"';
+  }
+
+  std::ostream* os_;
+};
+
+/// Convenience: open `path` for writing, throwing on failure.
+[[nodiscard]] std::ofstream open_csv(const std::string& path);
+
+}  // namespace lamps

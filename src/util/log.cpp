@@ -1,0 +1,39 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace lamps {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, std::string_view message) {
+  if (level < log_level()) return;
+  std::scoped_lock lock(g_mutex);
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace lamps

@@ -1,0 +1,51 @@
+// Leveled logging to stderr.  Deliberately minimal: the library itself is a
+// deterministic simulator, so logging is used only by the long-running
+// bench/example drivers for progress reporting.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace lamps {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level (default kInfo).  Thread-safe to set/read.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line "[level] message" to stderr if `level` passes the filter.
+/// Lines are written atomically w.r.t. other log calls.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+
+template <typename... Ts>
+void log_fmt(LogLevel level, const Ts&... parts) {
+  if (level < log_level()) return;
+  std::ostringstream ss;
+  (ss << ... << parts);
+  log_line(level, ss.str());
+}
+
+}  // namespace detail
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  detail::log_fmt(LogLevel::kDebug, parts...);
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  detail::log_fmt(LogLevel::kInfo, parts...);
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  detail::log_fmt(LogLevel::kWarn, parts...);
+}
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  detail::log_fmt(LogLevel::kError, parts...);
+}
+
+}  // namespace lamps

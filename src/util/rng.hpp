@@ -1,0 +1,106 @@
+// Deterministic, seedable random number generation.
+//
+// The benchmark-suite generators must produce identical graphs on every
+// platform and run, so we avoid std::mt19937's distribution functions
+// (libstdc++/libc++ differ) and implement xoshiro256** plus our own
+// distribution helpers.  Every generator in src/stg takes an explicit seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace lamps {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full xoshiro
+/// state (the construction recommended by the xoshiro authors).
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality, tiny state.  Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Rng(std::uint64_t seed = 0x1a2b3c4d5e6f7081ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive, unbiased (Lemire rejection).
+  constexpr std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t range = hi - lo + 1;  // hi == max() && lo == 0 unsupported by design
+    // Rejection sampling on the top bits to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t x = (*this)();
+    while (x >= limit) x = (*this)();
+    return lo + x % range;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform_real(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Fork an independent stream (for parallel generation): hashes the
+  /// current state together with `stream_id` so forks do not overlap.
+  [[nodiscard]] constexpr Rng fork(std::uint64_t stream_id) const {
+    SplitMix64 sm(state_[0] ^ (state_[3] * 0x9e3779b97f4a7c15ULL) ^ stream_id);
+    Rng r(sm.next());
+    return r;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  constexpr void shuffle(std::span<T> xs) {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(0, i - 1));
+      using std::swap;
+      swap(xs[i - 1], xs[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace lamps

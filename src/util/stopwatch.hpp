@@ -1,0 +1,24 @@
+// Monotonic wall-clock stopwatch for the scheduler-runtime measurements
+// (paper section 4.2 reports LAMPS configuration search times).
+#pragma once
+
+#include <chrono>
+
+namespace lamps {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lamps

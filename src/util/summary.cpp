@@ -1,0 +1,66 @@
+#include "util/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lamps {
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0, 1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.n = xs.size();
+  double sum = 0.0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (const double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double ss = 0.0;
+    for (const double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  s.median = quantile(xs, 0.5);
+  s.p25 = quantile(xs, 0.25);
+  s.p75 = quantile(xs, 0.75);
+  return s;
+}
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> xs, double confidence,
+                              std::size_t resamples, std::uint64_t seed) {
+  if (xs.empty()) throw std::invalid_argument("bootstrap_mean_ci: empty sample");
+  if (confidence <= 0.0 || confidence >= 1.0)
+    throw std::invalid_argument("bootstrap_mean_ci: confidence outside (0, 1)");
+  if (resamples < 10) throw std::invalid_argument("bootstrap_mean_ci: too few resamples");
+
+  Rng rng(seed);
+  std::vector<double> means(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      sum += xs[static_cast<std::size_t>(rng.uniform(0, xs.size() - 1))];
+    means[r] = sum / static_cast<double>(xs.size());
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  return BootstrapCi{quantile(means, alpha), quantile(means, 1.0 - alpha)};
+}
+
+}  // namespace lamps

@@ -1,0 +1,43 @@
+// Descriptive statistics over samples: mean / stddev / quantiles plus a
+// seeded bootstrap confidence interval for the mean.  Used by the bench
+// harnesses to report spread, not just point estimates, over the random
+// graph suites.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lamps {
+
+struct Summary {
+  std::size_t n{0};
+  double mean{0.0};
+  double stddev{0.0};  ///< sample standard deviation (n-1 denominator)
+  double min{0.0};
+  double max{0.0};
+  double median{0.0};
+  double p25{0.0};
+  double p75{0.0};
+};
+
+/// Summarizes the sample; all fields are 0 for an empty input.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1].  Throws on empty input or
+/// out-of-range q.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+struct BootstrapCi {
+  double lo{0.0};
+  double hi{0.0};
+};
+
+/// Percentile bootstrap CI for the mean (seeded, deterministic).
+/// `confidence` in (0, 1), e.g. 0.95.
+[[nodiscard]] BootstrapCi bootstrap_mean_ci(std::span<const double> xs,
+                                            double confidence = 0.95,
+                                            std::size_t resamples = 2000,
+                                            std::uint64_t seed = 0xb007);
+
+}  // namespace lamps

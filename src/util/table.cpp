@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <stdexcept>
+
+namespace lamps {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable requires at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("TextTable row has wrong number of cells");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::separator() { rows_.emplace_back(); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+
+  const auto print_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "+" : "");
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "|" : "");
+      if (c == 0)
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+      else
+        os << ' ' << std::right << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_cells(headers_);
+  print_rule();
+  for (const auto& r : rows_) {
+    if (r.empty())
+      print_rule();
+    else
+      print_cells(r);
+  }
+  print_rule();
+}
+
+std::string fmt_fixed(double x, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << x;
+  return ss.str();
+}
+
+std::string fmt_percent(double ratio, int digits) {
+  return fmt_fixed(ratio * 100.0, digits) + "%";
+}
+
+}  // namespace lamps

@@ -1,0 +1,60 @@
+// Fixed-width text table formatter for human-readable bench output.
+//
+// The bench binaries print each reproduced paper table/figure twice: once as
+// CSV (machine-readable, for plotting) and once as an aligned text table
+// (what you read in the terminal).  This class renders the latter.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lamps {
+
+class TextTable {
+ public:
+  /// Column headers fix the column count; subsequent rows must match it.
+  explicit TextTable(std::vector<std::string> headers);
+
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> r;
+    r.reserve(sizeof...(cells));
+    (r.push_back(format_cell(cells)), ...);
+    add_row(std::move(r));
+  }
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line at the current position.
+  void separator();
+
+  /// Renders with aligned columns: first column left-aligned, the rest
+  /// right-aligned (numeric convention).
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& x) {
+    std::ostringstream ss;
+    ss << x;
+    return ss.str();
+  }
+
+  std::vector<std::string> headers_;
+  // Empty row vector encodes a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places, trimming to a
+/// compact fixed representation ("0.413", "12.5", "18.116").
+[[nodiscard]] std::string fmt_fixed(double x, int digits);
+
+/// Formats a ratio as a percentage string ("87.3%").
+[[nodiscard]] std::string fmt_percent(double ratio, int digits = 1);
+
+}  // namespace lamps

@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a parallel_for_index helper.
+//
+// The experiment sweeps (hundreds of graphs x deadlines x strategies) are
+// embarrassingly parallel; each instance is scheduled independently.  The
+// pool uses a single mutex-protected deque — contention is irrelevant here
+// because every work item is milliseconds to seconds of scheduling work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace lamps {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects std::thread::hardware_concurrency() (at
+  /// least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks must not throw; exceptions escaping a task
+  /// terminate (by design: experiment work items catch and record their own
+  /// failures).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_{0};
+  bool stopping_{false};
+};
+
+/// Runs body(i) for i in [0, count) across the pool and waits for
+/// completion.  `body` must be safe to invoke concurrently for distinct i.
+void parallel_for_index(ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& body);
+
+}  // namespace lamps

@@ -1,0 +1,119 @@
+// Strong unit types for the quantities that flow through the simulator.
+//
+// The power model mixes volts, hertz, watts, joules, seconds and cycle
+// counts; mixing them up silently is the classic source of 1000x errors in
+// energy studies.  Each physical dimension gets its own wrapper with only
+// the cross-dimension operations that are physically meaningful
+// (W x s = J, J / s = W, cycles / Hz = s, ...).  The wrappers are trivial
+// (a single double) and compile away entirely.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace lamps {
+
+/// Task work and schedule positions are measured in clock cycles.  Cycle
+/// counts are exact integers: the task-graph weights are integral and list
+/// scheduling only ever adds them, so using an integer keeps schedules and
+/// makespans bit-exact and platform-independent.
+using Cycles = std::uint64_t;
+
+namespace detail {
+
+/// CRTP base providing the dimension-preserving operator set.
+template <typename Derived>
+struct Quantity {
+  double v{0.0};
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : v(value) {}
+
+  [[nodiscard]] constexpr double value() const { return v; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.v + b.v}; }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.v - b.v}; }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.v}; }
+  friend constexpr Derived operator*(Derived a, double s) { return Derived{a.v * s}; }
+  friend constexpr Derived operator*(double s, Derived a) { return Derived{a.v * s}; }
+  friend constexpr Derived operator/(Derived a, double s) { return Derived{a.v / s}; }
+  /// Same-dimension ratio is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) { return a.v / b.v; }
+  friend constexpr auto operator<=>(Derived a, Derived b) { return a.v <=> b.v; }
+  friend constexpr bool operator==(Derived a, Derived b) { return a.v == b.v; }
+
+  constexpr Derived& operator+=(Derived o) {
+    v += o.v;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived o) {
+    v -= o.v;
+    return static_cast<Derived&>(*this);
+  }
+};
+
+}  // namespace detail
+
+struct Seconds : detail::Quantity<Seconds> {
+  using Quantity::Quantity;
+};
+struct Hertz : detail::Quantity<Hertz> {
+  using Quantity::Quantity;
+};
+struct Volts : detail::Quantity<Volts> {
+  using Quantity::Quantity;
+};
+struct Watts : detail::Quantity<Watts> {
+  using Quantity::Quantity;
+};
+struct Joules : detail::Quantity<Joules> {
+  using Quantity::Quantity;
+};
+
+// --- Physically meaningful cross-dimension operations --------------------
+
+constexpr Joules operator*(Watts p, Seconds t) { return Joules{p.value() * t.value()}; }
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+constexpr Watts operator/(Joules e, Seconds t) { return Watts{e.value() / t.value()}; }
+constexpr Seconds operator/(Joules e, Watts p) { return Seconds{e.value() / p.value()}; }
+
+/// Number of clock periods that fit in a time span (dimensionless, may be
+/// fractional; round as appropriate at the call site).
+constexpr double operator*(Seconds t, Hertz f) { return t.value() * f.value(); }
+constexpr double operator*(Hertz f, Seconds t) { return t * f; }
+
+/// Wall-clock duration of an integral number of cycles at a clock rate.
+[[nodiscard]] constexpr Seconds cycles_to_time(Cycles c, Hertz f) {
+  return Seconds{static_cast<double>(c) / f.value()};
+}
+
+/// Clock rate required to retire `c` cycles within `t` (the "stretch"
+/// frequency used when fitting a schedule to a deadline).
+[[nodiscard]] constexpr Hertz required_frequency(Cycles c, Seconds t) {
+  return Hertz{static_cast<double>(c) / t.value()};
+}
+
+inline std::ostream& operator<<(std::ostream& os, Seconds s) { return os << s.value() << " s"; }
+inline std::ostream& operator<<(std::ostream& os, Hertz f) { return os << f.value() << " Hz"; }
+inline std::ostream& operator<<(std::ostream& os, Volts u) { return os << u.value() << " V"; }
+inline std::ostream& operator<<(std::ostream& os, Watts p) { return os << p.value() << " W"; }
+inline std::ostream& operator<<(std::ostream& os, Joules e) { return os << e.value() << " J"; }
+
+namespace unit_literals {
+
+constexpr Seconds operator""_s(long double x) { return Seconds{static_cast<double>(x)}; }
+constexpr Seconds operator""_ms(long double x) { return Seconds{static_cast<double>(x) * 1e-3}; }
+constexpr Seconds operator""_us(long double x) { return Seconds{static_cast<double>(x) * 1e-6}; }
+constexpr Hertz operator""_Hz(long double x) { return Hertz{static_cast<double>(x)}; }
+constexpr Hertz operator""_MHz(long double x) { return Hertz{static_cast<double>(x) * 1e6}; }
+constexpr Hertz operator""_GHz(long double x) { return Hertz{static_cast<double>(x) * 1e9}; }
+constexpr Volts operator""_V(long double x) { return Volts{static_cast<double>(x)}; }
+constexpr Watts operator""_W(long double x) { return Watts{static_cast<double>(x)}; }
+constexpr Watts operator""_uW(long double x) { return Watts{static_cast<double>(x) * 1e-6}; }
+constexpr Joules operator""_J(long double x) { return Joules{static_cast<double>(x)}; }
+constexpr Joules operator""_uJ(long double x) { return Joules{static_cast<double>(x) * 1e-6}; }
+
+}  // namespace unit_literals
+
+}  // namespace lamps

@@ -1,0 +1,106 @@
+// Property tests for the graph analyses over the generator suite: the
+// level identities and bounds that every DAG must satisfy.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "stg/random_gen.hpp"
+#include "stg/suite.hpp"
+
+namespace lamps::graph {
+namespace {
+
+class AnalysisProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static TaskGraph make_graph(std::uint64_t seed) {
+    const auto specs = stg::random_group_specs(90, static_cast<std::size_t>(seed) + 1);
+    return stg::generate_random(specs[seed]);
+  }
+};
+
+TEST_P(AnalysisProperties, BottomLevelRecurrence) {
+  const TaskGraph g = make_graph(GetParam());
+  const auto bl = bottom_levels(g);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    Cycles best = 0;
+    for (const TaskId s : g.successors(v)) best = std::max(best, bl[s]);
+    EXPECT_EQ(bl[v], g.weight(v) + best) << v;
+  }
+}
+
+TEST_P(AnalysisProperties, TopLevelRecurrence) {
+  const TaskGraph g = make_graph(GetParam());
+  const auto tl = top_levels(g);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    Cycles best = 0;
+    for (const TaskId p : g.predecessors(v)) best = std::max(best, tl[p] + g.weight(p));
+    EXPECT_EQ(tl[v], best) << v;
+  }
+}
+
+TEST_P(AnalysisProperties, PathThroughAnyTaskBoundedByCpl) {
+  const TaskGraph g = make_graph(GetParam());
+  const auto bl = bottom_levels(g);
+  const auto tl = top_levels(g);
+  const Cycles cpl = critical_path_length(g);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    // tl(v) + bl(v) is the longest path through v; never exceeds the CPL.
+    EXPECT_LE(tl[v] + bl[v], cpl) << v;
+  }
+}
+
+TEST_P(AnalysisProperties, CriticalPathIsConsistent) {
+  const TaskGraph g = make_graph(GetParam());
+  const auto path = critical_path(g);
+  ASSERT_FALSE(path.empty());
+  Cycles sum = 0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    sum += g.weight(path[i]);
+    if (i > 0) {
+      EXPECT_TRUE(has_edge(g, path[i - 1], path[i]));
+    }
+  }
+  EXPECT_EQ(sum, critical_path_length(g));
+  EXPECT_EQ(g.in_degree(path.front()), 0u);
+  EXPECT_EQ(g.out_degree(path.back()), 0u);
+}
+
+TEST_P(AnalysisProperties, ParallelismBounds) {
+  const TaskGraph g = make_graph(GetParam());
+  const double par = average_parallelism(g);
+  EXPECT_GE(par, 1.0 - 1e-12);
+  EXPECT_LE(par, static_cast<double>(g.num_tasks()));
+  // ASAP concurrency is a realizable overlap, so it bounds nothing below
+  // parallelism in general, but both are at most |V| and at least 1.
+  const std::size_t width = asap_max_concurrency(g);
+  EXPECT_GE(width, 1u);
+  EXPECT_LE(width, g.num_tasks());
+}
+
+TEST_P(AnalysisProperties, TopologicalOrderIsValid) {
+  const TaskGraph g = make_graph(GetParam());
+  std::vector<std::size_t> pos(g.num_tasks());
+  const auto topo = g.topological_order();
+  ASSERT_EQ(topo.size(), g.num_tasks());
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  for (TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const TaskId s : g.successors(v)) EXPECT_LT(pos[v], pos[s]);
+}
+
+TEST_P(AnalysisProperties, SourceSinkInvariants) {
+  const TaskGraph g = make_graph(GetParam());
+  std::size_t sources = 0, sinks = 0;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    sources += g.in_degree(v) == 0;
+    sinks += g.out_degree(v) == 0;
+  }
+  EXPECT_EQ(g.sources().size(), sources);
+  EXPECT_EQ(g.sinks().size(), sinks);
+  EXPECT_GE(sources, 1u);
+  EXPECT_GE(sinks, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SuiteGraphs, AnalysisProperties,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace lamps::graph

@@ -1,0 +1,106 @@
+// MPEG-1 GOP graph tests against the paper's Fig 9.
+#include <gtest/gtest.h>
+
+#include "apps/mpeg.hpp"
+#include "graph/analysis.hpp"
+
+namespace lamps::apps {
+namespace {
+
+using graph::TaskGraph;
+using graph::TaskId;
+
+TEST(Mpeg, DefaultGopMatchesFig9Statistics) {
+  const TaskGraph g = mpeg1_gop_graph();
+  EXPECT_EQ(g.num_tasks(), 15u);
+  // 1 I + 10 B + 4 P frames.
+  const Cycles expected_work =
+      36'700'900ULL + 10ULL * 178'259'300ULL + 4ULL * 73'401'800ULL;
+  EXPECT_EQ(g.total_work(), expected_work);
+  // Critical path: I0 -> P3 -> P6 -> P9 -> P12 -> B13 (the heaviest tail).
+  const Cycles expected_cpl =
+      36'700'900ULL + 4ULL * 73'401'800ULL + 178'259'300ULL;
+  EXPECT_EQ(graph::critical_path_length(g), expected_cpl);
+}
+
+TEST(Mpeg, ReferenceChain) {
+  const TaskGraph g = mpeg1_gop_graph();
+  // P3 <- I0, P6 <- P3, P9 <- P6, P12 <- P9.
+  EXPECT_TRUE(graph::has_edge(g, 0, 3));
+  EXPECT_TRUE(graph::has_edge(g, 3, 6));
+  EXPECT_TRUE(graph::has_edge(g, 6, 9));
+  EXPECT_TRUE(graph::has_edge(g, 9, 12));
+}
+
+TEST(Mpeg, BFramesDependOnSurroundingReferences) {
+  const TaskGraph g = mpeg1_gop_graph();
+  // B1, B2 between I0 and P3.
+  for (const TaskId b : {TaskId{1}, TaskId{2}}) {
+    EXPECT_TRUE(graph::has_edge(g, 0, b));
+    EXPECT_TRUE(graph::has_edge(g, 3, b));
+  }
+  // B4, B5 between P3 and P6.
+  for (const TaskId b : {TaskId{4}, TaskId{5}}) {
+    EXPECT_TRUE(graph::has_edge(g, 3, b));
+    EXPECT_TRUE(graph::has_edge(g, 6, b));
+  }
+  // Trailing B13, B14 only have the preceding reference P12.
+  for (const TaskId b : {TaskId{13}, TaskId{14}}) {
+    EXPECT_TRUE(graph::has_edge(g, 12, b));
+    EXPECT_EQ(g.in_degree(b), 1u);
+  }
+}
+
+TEST(Mpeg, LabelsMatchFigure) {
+  const TaskGraph g = mpeg1_gop_graph();
+  EXPECT_EQ(g.label(0), "I0");
+  EXPECT_EQ(g.label(1), "B1");
+  EXPECT_EQ(g.label(3), "P3");
+  EXPECT_EQ(g.label(14), "B14");
+}
+
+TEST(Mpeg, FrameWeightsByType) {
+  const MpegConfig cfg;
+  const TaskGraph g = mpeg1_gop_graph(cfg);
+  EXPECT_EQ(g.weight(0), cfg.i_frame_cycles);
+  EXPECT_EQ(g.weight(1), cfg.b_frame_cycles);
+  EXPECT_EQ(g.weight(3), cfg.p_frame_cycles);
+}
+
+TEST(Mpeg, ParallelismIsModest) {
+  // W / CPL = 2112.9 / 508.6 ~ 4.15: the graph only profits from a handful
+  // of processors — consistent with S&S using 7 and LAMPS choosing 3.
+  const TaskGraph g = mpeg1_gop_graph();
+  EXPECT_NEAR(graph::average_parallelism(g), 4.15, 0.05);
+}
+
+TEST(Mpeg, CustomGopPattern) {
+  MpegConfig cfg;
+  cfg.gop = "IBBP";
+  const TaskGraph g = mpeg1_gop_graph(cfg);
+  EXPECT_EQ(g.num_tasks(), 4u);
+  EXPECT_TRUE(graph::has_edge(g, 0, 3));  // P3 <- I0
+  EXPECT_TRUE(graph::has_edge(g, 3, 1));  // B1 <- P3 (next ref)
+}
+
+TEST(Mpeg, IOnlyGopHasNoEdges) {
+  MpegConfig cfg;
+  cfg.gop = "III";
+  const TaskGraph g = mpeg1_gop_graph(cfg);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Mpeg, RejectsMalformedGop) {
+  MpegConfig cfg;
+  cfg.gop = "";
+  EXPECT_THROW((void)mpeg1_gop_graph(cfg), std::invalid_argument);
+  cfg.gop = "IXB";
+  EXPECT_THROW((void)mpeg1_gop_graph(cfg), std::invalid_argument);
+  cfg.gop = "PBB";  // P with no preceding reference
+  EXPECT_THROW((void)mpeg1_gop_graph(cfg), std::invalid_argument);
+  cfg.gop = "BIP";  // leading B with no preceding reference
+  EXPECT_THROW((void)mpeg1_gop_graph(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lamps::apps

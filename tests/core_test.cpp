@@ -1,0 +1,343 @@
+// Strategy tests: S&S / LAMPS / +PS / LIMIT behaviour on controlled
+// instances, phase-1 binary search, processor sweeps, and the MPEG-1
+// benchmark's qualitative Table 3 relations.
+#include <gtest/gtest.h>
+
+#include "apps/mpeg.hpp"
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::core {
+namespace {
+
+using graph::TaskGraph;
+using graph::TaskGraphBuilder;
+using graph::TaskId;
+
+class StrategyFixture : public ::testing::Test {
+ protected:
+  power::PowerModel model;
+  power::DvsLadder ladder{model};
+
+  [[nodiscard]] Problem make_problem(const TaskGraph& g, double deadline_factor) const {
+    Problem p;
+    p.graph = &g;
+    p.model = &model;
+    p.ladder = &ladder;
+    const Cycles cpl = graph::critical_path_length(g);
+    p.deadline = Seconds{static_cast<double>(cpl) / model.max_frequency().value() *
+                         deadline_factor};
+    return p;
+  }
+
+  /// Fig 4 graph scaled to 1 weight unit = 3.1e6 cycles (coarse grain).
+  [[nodiscard]] static TaskGraph fig4_coarse() {
+    TaskGraphBuilder b("fig4");
+    const TaskId t1 = b.add_task(2, "T1");
+    const TaskId t2 = b.add_task(6, "T2");
+    const TaskId t3 = b.add_task(4, "T3");
+    b.add_task(4, "T4");
+    const TaskId t5 = b.add_task(2, "T5");
+    b.add_edge(t1, t2);
+    b.add_edge(t1, t3);
+    b.add_edge(t2, t5);
+    b.add_edge(t3, t5);
+    return graph::scale_weights(b.build(), 3'100'000);
+  }
+
+  /// n independent tasks of `units` weight units each, coarse grain.
+  [[nodiscard]] static TaskGraph independent(std::size_t n, Cycles units) {
+    TaskGraphBuilder b("indep");
+    for (std::size_t i = 0; i < n; ++i) (void)b.add_task(units);
+    return graph::scale_weights(b.build(), 3'100'000);
+  }
+};
+
+// ------------------------------------------------------------------- S&S --
+
+TEST_F(StrategyFixture, SnsProducesValidFeasibleStretchedSchedule) {
+  const TaskGraph g = fig4_coarse();
+  const Problem prob = make_problem(g, 2.0);
+  const StrategyResult r = schedule_and_stretch(prob);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_TRUE(r.schedule.has_value());
+  EXPECT_EQ(sched::validate_schedule(*r.schedule, g), "");
+  EXPECT_LE(r.completion.value(), prob.deadline.value() * (1.0 + 1e-9));
+  // Fig 4: makespan stops improving at 2 processors under LS-EDF.
+  EXPECT_EQ(r.num_procs, 2u);
+  EXPECT_GT(r.energy().value(), 0.0);
+}
+
+TEST_F(StrategyFixture, SnsPicksLowestFeasibleLevel) {
+  const TaskGraph g = fig4_coarse();
+  const Problem prob = make_problem(g, 2.0);
+  const StrategyResult r = schedule_and_stretch(prob);
+  ASSERT_TRUE(r.feasible);
+  const power::DvsLevel& lvl = ladder.level(r.level_index);
+  // The chosen level fits...
+  EXPECT_LE(static_cast<double>(r.schedule->makespan()) / lvl.f.value(),
+            prob.deadline.value() * (1.0 + 1e-9));
+  // ...and the next-lower one does not.
+  if (r.level_index > 0) {
+    const power::DvsLevel& below = ladder.level(r.level_index - 1);
+    EXPECT_GT(static_cast<double>(r.schedule->makespan()) / below.f.value(),
+              prob.deadline.value());
+  }
+}
+
+TEST_F(StrategyFixture, SnsInfeasibleWhenDeadlineBelowCriticalPath) {
+  const TaskGraph g = fig4_coarse();
+  const Problem prob = make_problem(g, 0.5);
+  const StrategyResult r = schedule_and_stretch(prob);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.schedule.has_value());
+}
+
+TEST_F(StrategyFixture, SnsUsesMoreProcessorsForWiderGraphs) {
+  const TaskGraph g = independent(8, 4);
+  const Problem prob = make_problem(g, 2.0);
+  const StrategyResult r = schedule_and_stretch(prob);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.num_procs, 8u);  // every extra processor reduces the makespan
+}
+
+// ----------------------------------------------------------------- LAMPS --
+
+TEST_F(StrategyFixture, LampsNeverWorseThanSns) {
+  for (const double factor : {1.5, 2.0, 4.0, 8.0}) {
+    const TaskGraph g = fig4_coarse();
+    const Problem prob = make_problem(g, factor);
+    const StrategyResult sns = schedule_and_stretch(prob);
+    const StrategyResult lam = lamps_schedule(prob);
+    ASSERT_TRUE(sns.feasible);
+    ASSERT_TRUE(lam.feasible);
+    EXPECT_LE(lam.energy().value(), sns.energy().value() * (1.0 + 1e-12))
+        << "factor " << factor;
+    EXPECT_LE(lam.num_procs, sns.num_procs);
+  }
+}
+
+TEST_F(StrategyFixture, LampsEmploysFewerProcessorsOnLooseDeadline) {
+  // 8 independent equal tasks, deadline 8x the task length: one processor
+  // running all tasks back-to-back meets the deadline at a low frequency
+  // and avoids 7 idle processors' leakage.
+  const TaskGraph g = independent(8, 4);
+  const Problem prob = make_problem(g, 8.0);
+  const StrategyResult r = lamps_schedule(prob);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.num_procs, 4u);
+  ASSERT_TRUE(r.schedule.has_value());
+  EXPECT_EQ(sched::validate_schedule(*r.schedule, g), "");
+}
+
+TEST_F(StrategyFixture, LampsBinarySearchFindsExactMinimumForIndependentTasks) {
+  // n independent unit tasks with deadline k units: N_min = ceil(n / k).
+  const TaskGraph g = independent(12, 1);
+  // Deadline = 3 task lengths: at f_max, at least 4 processors are needed,
+  // and LAMPS phase 2 may then choose more only if it reduces energy.
+  const Problem prob = make_problem(g, 3.0);
+  const StrategyResult r = lamps_schedule(prob);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.num_procs, 4u);
+  // Verify optimality of phase 1 against brute force: 3 procs infeasible.
+  const auto sweep = processor_sweep(prob, 12, false);
+  EXPECT_FALSE(sweep[2].feasible);  // 3 processors
+  EXPECT_TRUE(sweep[3].feasible);   // 4 processors
+}
+
+TEST_F(StrategyFixture, LampsInfeasibleReportsCleanly) {
+  const TaskGraph g = fig4_coarse();
+  const Problem prob = make_problem(g, 0.9);
+  const StrategyResult r = lamps_schedule(prob);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST_F(StrategyFixture, ProcessorSweepEnergyMatchesLampsChoice) {
+  const TaskGraph g = fig4_coarse();
+  const Problem prob = make_problem(g, 4.0);
+  const StrategyResult r = lamps_schedule(prob);
+  ASSERT_TRUE(r.feasible);
+  const auto sweep = processor_sweep(prob, 5, false);
+  // LAMPS's result must equal the best feasible sweep point over the range
+  // it scanned (it scans from N_min while the makespan decreases).
+  double best = 1e300;
+  for (const SweepPoint& pt : sweep)
+    if (pt.feasible) best = std::min(best, pt.energy.value());
+  EXPECT_NEAR(r.energy().value(), best, best * 1e-12);
+}
+
+// ------------------------------------------------------------------- +PS --
+
+TEST_F(StrategyFixture, PsVariantsNeverWorseThanBase) {
+  for (const double factor : {1.5, 2.0, 4.0, 8.0}) {
+    const TaskGraph g = fig4_coarse();
+    const Problem prob = make_problem(g, factor);
+    const StrategyResult sns = schedule_and_stretch(prob);
+    const StrategyResult sns_ps = schedule_and_stretch_ps(prob);
+    const StrategyResult lam = lamps_schedule(prob);
+    const StrategyResult lam_ps = lamps_schedule_ps(prob);
+    ASSERT_TRUE(sns_ps.feasible);
+    ASSERT_TRUE(lam_ps.feasible);
+    EXPECT_LE(sns_ps.energy().value(), sns.energy().value() * (1.0 + 1e-12));
+    EXPECT_LE(lam_ps.energy().value(), lam.energy().value() * (1.0 + 1e-12));
+  }
+}
+
+TEST_F(StrategyFixture, PsEngagesOnVeryLooseDeadline) {
+  // Coarse tasks with an 8x deadline leave multi-millisecond tails: PS must
+  // shut down at least the trailing gaps.
+  const TaskGraph g = independent(4, 100);
+  const Problem prob = make_problem(g, 8.0);
+  const StrategyResult r = schedule_and_stretch_ps(prob);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.breakdown.shutdowns, 0u);
+  EXPECT_GT(r.breakdown.wakeup.value(), 0.0);
+}
+
+TEST_F(StrategyFixture, PsDoesNotEngageOnFineGrainTightDeadline) {
+  // Fine-grain tasks (31k cycles/unit): all gaps are far below breakeven.
+  TaskGraphBuilder b;
+  for (int i = 0; i < 4; ++i) (void)b.add_task(100);
+  const TaskGraph g = graph::scale_weights(b.build(), 31'000);
+  const Problem prob = make_problem(g, 1.5);
+  const StrategyResult r = schedule_and_stretch_ps(prob);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.breakdown.shutdowns, 0u);
+}
+
+// ---------------------------------------------------------------- LIMITs --
+
+TEST_F(StrategyFixture, LimitSfBelowEveryHeuristic) {
+  const TaskGraph g = fig4_coarse();
+  for (const double factor : {1.5, 2.0, 4.0, 8.0}) {
+    const Problem prob = make_problem(g, factor);
+    const StrategyResult lim = limit_sf(prob);
+    ASSERT_TRUE(lim.feasible);
+    for (const StrategyKind k : kHeuristics) {
+      const StrategyResult r = run_strategy(k, prob);
+      ASSERT_TRUE(r.feasible);
+      EXPECT_LE(lim.energy().value(), r.energy().value() * (1.0 + 1e-12))
+          << to_string(k) << " at factor " << factor;
+    }
+  }
+}
+
+TEST_F(StrategyFixture, LimitMfBelowLimitSf) {
+  const TaskGraph g = fig4_coarse();
+  for (const double factor : {1.5, 2.0, 4.0, 8.0}) {
+    const Problem prob = make_problem(g, factor);
+    EXPECT_LE(limit_mf(prob).energy().value(),
+              limit_sf(prob).energy().value() * (1.0 + 1e-12));
+  }
+}
+
+TEST_F(StrategyFixture, LimitsCoincideOnLooseDeadlines) {
+  // Paper: "For loose deadlines (4x or 8x the CPL), LIMIT-MF consumes the
+  // same amount of energy as LIMIT-SF" — both run at the discrete critical
+  // level.
+  const TaskGraph g = fig4_coarse();
+  const Problem prob = make_problem(g, 8.0);
+  EXPECT_NEAR(limit_sf(prob).energy().value(), limit_mf(prob).energy().value(), 1e-15);
+}
+
+TEST_F(StrategyFixture, LimitSfUsesFasterLevelWhenDeadlineBinds) {
+  const TaskGraph g = fig4_coarse();
+  const Problem tight = make_problem(g, 1.05);
+  const Problem loose = make_problem(g, 8.0);
+  const StrategyResult rt = limit_sf(tight);
+  const StrategyResult rl = limit_sf(loose);
+  ASSERT_TRUE(rt.feasible);
+  ASSERT_TRUE(rl.feasible);
+  EXPECT_GT(rt.level_index, rl.level_index);
+  EXPECT_EQ(rl.level_index, ladder.critical_level().index);
+  EXPECT_GT(rt.energy().value(), rl.energy().value());
+}
+
+TEST_F(StrategyFixture, LimitSfInfeasibleBelowCriticalPath) {
+  const TaskGraph g = fig4_coarse();
+  const Problem prob = make_problem(g, 0.9);
+  EXPECT_FALSE(limit_sf(prob).feasible);
+  EXPECT_TRUE(limit_mf(prob).feasible);  // MF ignores the deadline
+}
+
+TEST_F(StrategyFixture, ContinuousCriticalOptionLowersMfBound) {
+  const TaskGraph g = fig4_coarse();
+  const Problem prob = make_problem(g, 8.0);
+  LimitOptions cont;
+  cont.continuous_critical = true;
+  EXPECT_LT(limit_mf(prob, cont).energy().value(),
+            limit_mf(prob).energy().value() * (1.0 + 1e-15));
+}
+
+// ----------------------------------------------------------------- MPEG-1 --
+
+TEST_F(StrategyFixture, MpegTable3QualitativeRelations) {
+  const TaskGraph g = apps::mpeg1_gop_graph();
+  Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = Seconds{0.5};
+
+  const StrategyResult sns = schedule_and_stretch(prob);
+  const StrategyResult lam = lamps_schedule(prob);
+  const StrategyResult sns_ps = schedule_and_stretch_ps(prob);
+  const StrategyResult lam_ps = lamps_schedule_ps(prob);
+  const StrategyResult lsf = limit_sf(prob);
+  const StrategyResult lmf = limit_mf(prob);
+  ASSERT_TRUE(sns.feasible && lam.feasible && sns_ps.feasible && lam_ps.feasible);
+  ASSERT_TRUE(lsf.feasible);
+
+  // Table 3 orderings: LAMPS saves >= 20% over S&S; the PS variants land
+  // within a few percent of LIMIT-SF; the limits coincide.
+  EXPECT_LT(lam.energy().value(), sns.energy().value() * 0.8);
+  EXPECT_LT(sns_ps.energy().value(), sns.energy().value() * 0.7);
+  EXPECT_LT(lam_ps.energy().value(), sns.energy().value() * 0.7);
+  EXPECT_LE(lsf.energy().value(), lam_ps.energy().value() * (1.0 + 1e-12));
+  EXPECT_LT(lam_ps.energy().value(), lsf.energy().value() * 1.05);
+  EXPECT_NEAR(lsf.energy().value(), lmf.energy().value(), lsf.energy().value() * 1e-12);
+
+  // Processor counts: LAMPS uses strictly fewer than S&S (paper: 3 vs 7).
+  EXPECT_LT(lam.num_procs, sns.num_procs);
+  EXPECT_GE(lam.num_procs, 2u);
+  EXPECT_LE(lam.num_procs, 4u);
+}
+
+// ------------------------------------------------------------- dispatcher --
+
+TEST_F(StrategyFixture, RunStrategyDispatchesAllKinds) {
+  const TaskGraph g = fig4_coarse();
+  const Problem prob = make_problem(g, 2.0);
+  for (const StrategyKind k : kAllStrategies) {
+    const StrategyResult r = run_strategy(k, prob);
+    EXPECT_TRUE(r.feasible) << to_string(k);
+    EXPECT_GT(r.energy().value(), 0.0) << to_string(k);
+  }
+}
+
+TEST_F(StrategyFixture, StrategyNames) {
+  EXPECT_EQ(to_string(StrategyKind::kSns), "S&S");
+  EXPECT_EQ(to_string(StrategyKind::kLamps), "LAMPS");
+  EXPECT_EQ(to_string(StrategyKind::kSnsPs), "S&S+PS");
+  EXPECT_EQ(to_string(StrategyKind::kLampsPs), "LAMPS+PS");
+  EXPECT_EQ(to_string(StrategyKind::kLimitSf), "LIMIT-SF");
+  EXPECT_EQ(to_string(StrategyKind::kLimitMf), "LIMIT-MF");
+}
+
+TEST_F(StrategyFixture, EmptyGraphHandledGracefully) {
+  TaskGraphBuilder b;
+  const TaskGraph g = b.build();
+  Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = Seconds{1.0};
+  EXPECT_FALSE(lamps_schedule(prob).feasible);
+  EXPECT_TRUE(limit_sf(prob).feasible);
+  EXPECT_DOUBLE_EQ(limit_mf(prob).energy().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace lamps::core

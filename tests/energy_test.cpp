@@ -1,0 +1,202 @@
+// Energy-evaluator tests: hand-computable accounting cases, PS gap
+// decisions, and consistency with the power model.
+#include <gtest/gtest.h>
+
+#include "energy/evaluator.hpp"
+#include "power/dvs_ladder.hpp"
+#include "power/power_model.hpp"
+#include "power/sleep_model.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::energy {
+namespace {
+
+using power::DvsLadder;
+using power::DvsLevel;
+using power::PowerModel;
+using power::SleepModel;
+using sched::Schedule;
+
+class EvaluatorFixture : public ::testing::Test {
+ protected:
+  PowerModel model;
+  DvsLadder ladder{model};
+  SleepModel sleep{model};
+
+  [[nodiscard]] const DvsLevel& max_lvl() const { return ladder.max_level(); }
+};
+
+TEST_F(EvaluatorFixture, SingleTaskFullyBusyMatchesClosedForm) {
+  // One processor, one task occupying the whole horizon: energy is exactly
+  // P_active * t.
+  const DvsLevel& lvl = max_lvl();
+  const Cycles work = 1'000'000;
+  Schedule s(1, 1);
+  s.place(0, 0, 0, work);
+  const Seconds t = cycles_to_time(work, lvl.f);
+  const EnergyBreakdown e = evaluate_energy(s, lvl, t, sleep);
+  EXPECT_NEAR(e.total().value(), (lvl.active.total() * t).value(), 1e-15);
+  EXPECT_NEAR(e.dynamic.value(), (lvl.active.dynamic * t).value(), 1e-18);
+  EXPECT_EQ(e.shutdowns, 0u);
+}
+
+TEST_F(EvaluatorFixture, IdleTailChargedAtIdlePowerWithoutPs) {
+  const DvsLevel& lvl = max_lvl();
+  const Cycles work = 1'000'000;
+  Schedule s(1, 1);
+  s.place(0, 0, 0, work);
+  const Seconds busy = cycles_to_time(work, lvl.f);
+  const Seconds horizon = busy * 3.0;
+  const EnergyBreakdown e = evaluate_energy(s, lvl, horizon, sleep);
+  const double expected =
+      (lvl.active.total() * busy).value() + (lvl.idle * (horizon - busy)).value();
+  EXPECT_NEAR(e.total().value(), expected, expected * 1e-12);
+}
+
+TEST_F(EvaluatorFixture, UnusedEmployedProcessorBurnsIdlePower) {
+  // Two employed processors, all work on the first: the second costs
+  // idle power for the whole horizon (this is what LAMPS exploits by
+  // simply not employing it).
+  const DvsLevel& lvl = max_lvl();
+  Schedule s1(1, 1), s2(2, 1);
+  s1.place(0, 0, 0, 1000);
+  s2.place(0, 0, 0, 1000);
+  const Seconds horizon{1e-3};
+  const double e1 = evaluate_energy(s1, lvl, horizon, sleep).total().value();
+  const double e2 = evaluate_energy(s2, lvl, horizon, sleep).total().value();
+  EXPECT_NEAR(e2 - e1, (lvl.idle * horizon).value(), 1e-12);
+}
+
+TEST_F(EvaluatorFixture, PsShutsDownLongGapOnly) {
+  const DvsLevel& lvl = max_lvl();
+  const Seconds breakeven = sleep.breakeven_time(lvl.idle);
+
+  // Long trailing gap (10x breakeven): PS must engage.
+  Schedule s(1, 1);
+  s.place(0, 0, 0, 1000);
+  const Seconds busy = cycles_to_time(1000, lvl.f);
+  const Seconds horizon_long = busy + breakeven * 10.0;
+  const EnergyBreakdown with_ps =
+      evaluate_energy(s, lvl, horizon_long, sleep, PsOptions{true, true});
+  EXPECT_EQ(with_ps.shutdowns, 1u);
+  EXPECT_NEAR(with_ps.wakeup.value(), 483e-6, 1e-12);
+  const EnergyBreakdown without_ps = evaluate_energy(s, lvl, horizon_long, sleep);
+  EXPECT_LT(with_ps.total().value(), without_ps.total().value());
+
+  // Short trailing gap (half breakeven): PS must not engage.
+  const Seconds horizon_short = busy + breakeven * 0.5;
+  const EnergyBreakdown short_ps =
+      evaluate_energy(s, lvl, horizon_short, sleep, PsOptions{true, true});
+  EXPECT_EQ(short_ps.shutdowns, 0u);
+  EXPECT_NEAR(short_ps.total().value(),
+              evaluate_energy(s, lvl, horizon_short, sleep).total().value(), 1e-15);
+}
+
+TEST_F(EvaluatorFixture, LeadingGapRespectsOption) {
+  const DvsLevel& lvl = max_lvl();
+  const Seconds breakeven = sleep.breakeven_time(lvl.idle);
+  const auto lead_cycles = static_cast<Cycles>(breakeven * lvl.f * 20.0);
+
+  Schedule s(1, 1);
+  s.place(0, 0, lead_cycles, lead_cycles + 1000);
+  const Seconds horizon = cycles_to_time(lead_cycles + 1000, lvl.f);
+
+  const EnergyBreakdown allowed =
+      evaluate_energy(s, lvl, horizon, sleep, PsOptions{true, true});
+  EXPECT_EQ(allowed.shutdowns, 1u);
+  const EnergyBreakdown blocked =
+      evaluate_energy(s, lvl, horizon, sleep, PsOptions{true, false});
+  EXPECT_EQ(blocked.shutdowns, 0u);
+  EXPECT_GT(blocked.total().value(), allowed.total().value());
+}
+
+TEST_F(EvaluatorFixture, InternalGapShutdown) {
+  const DvsLevel& lvl = max_lvl();
+  const Seconds breakeven = sleep.breakeven_time(lvl.idle);
+  const auto gap_cycles = static_cast<Cycles>(breakeven * lvl.f * 5.0);
+
+  Schedule s(1, 2);
+  s.place(0, 0, 0, 1000);
+  s.place(1, 0, 1000 + gap_cycles, 1000 + gap_cycles + 1000);
+  const Seconds horizon = cycles_to_time(s.makespan(), lvl.f);
+  const EnergyBreakdown e =
+      evaluate_energy(s, lvl, horizon, sleep, PsOptions{true, false});
+  EXPECT_EQ(e.shutdowns, 1u);  // internal gap slept even with leading gaps blocked
+  const auto gaps = shutdown_gaps(s, lvl, horizon, sleep, PsOptions{true, false});
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].begin, 1000u);
+  EXPECT_EQ(gaps[0].end, 1000u + gap_cycles);
+}
+
+TEST_F(EvaluatorFixture, RejectsScheduleLargerThanHorizon) {
+  const DvsLevel& lvl = max_lvl();
+  Schedule s(1, 1);
+  s.place(0, 0, 0, 1'000'000);
+  const Seconds too_short = cycles_to_time(1'000'000, lvl.f) * 0.5;
+  EXPECT_THROW((void)evaluate_energy(s, lvl, too_short, sleep), std::invalid_argument);
+}
+
+TEST_F(EvaluatorFixture, ExactFitHorizonAccepted) {
+  const DvsLevel& lvl = max_lvl();
+  Schedule s(1, 1);
+  s.place(0, 0, 0, 123'456);
+  const Seconds exact = cycles_to_time(123'456, lvl.f);
+  EXPECT_NO_THROW((void)evaluate_energy(s, lvl, exact, sleep));
+}
+
+TEST_F(EvaluatorFixture, LowerLevelUsesLessPowerButMoreTime) {
+  // Same schedule evaluated at critical vs max level, horizon fixed: at or
+  // above the critical level, slower always wins on total energy when the
+  // processor stays on to the horizon either way.
+  const DvsLevel& hi = max_lvl();
+  const DvsLevel& crit = ladder.critical_level();
+  Schedule s(1, 1);
+  s.place(0, 0, 0, 1'000'000);
+  const Seconds horizon = cycles_to_time(1'000'000, crit.f) * 1.5;
+  const double e_hi = evaluate_energy(s, hi, horizon, sleep).total().value();
+  const double e_crit = evaluate_energy(s, crit, horizon, sleep).total().value();
+  EXPECT_LT(e_crit, e_hi);
+}
+
+TEST_F(EvaluatorFixture, ShutdownGapsEmptyWithoutPs) {
+  const DvsLevel& lvl = max_lvl();
+  Schedule s(1, 1);
+  s.place(0, 0, 0, 100);
+  EXPECT_TRUE(shutdown_gaps(s, lvl, Seconds{1.0}, sleep, PsOptions{false, true}).empty());
+}
+
+// Parameterized: energy accounting identity across every ladder level —
+// components must sum to total and all be non-negative.
+class LevelSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LevelSweep, BreakdownComponentsSumToTotal) {
+  const PowerModel model;
+  const DvsLadder ladder(model);
+  const SleepModel sleep(model);
+  if (GetParam() >= ladder.size()) GTEST_SKIP();
+  const DvsLevel& lvl = ladder.level(GetParam());
+
+  Schedule s(2, 3);
+  s.place(0, 0, 0, 5'000'000);
+  s.place(1, 0, 9'000'000, 14'000'000);
+  s.place(2, 1, 2'000'000, 6'000'000);
+  const Seconds horizon = cycles_to_time(20'000'000, lvl.f);
+  const EnergyBreakdown e =
+      evaluate_energy(s, lvl, horizon, sleep, PsOptions{true, true});
+  EXPECT_GE(e.dynamic.value(), 0.0);
+  EXPECT_GE(e.leakage.value(), 0.0);
+  EXPECT_GE(e.intrinsic.value(), 0.0);
+  EXPECT_GE(e.sleep.value(), 0.0);
+  EXPECT_GE(e.wakeup.value(), 0.0);
+  const double sum = e.dynamic.value() + e.leakage.value() + e.intrinsic.value() +
+                     e.sleep.value() + e.wakeup.value();
+  EXPECT_NEAR(e.total().value(), sum, 1e-15);
+  // PS can only reduce energy relative to no PS.
+  const EnergyBreakdown plain = evaluate_energy(s, lvl, horizon, sleep);
+  EXPECT_LE(e.total().value(), plain.total().value() * (1.0 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, LevelSweep, ::testing::Range<std::size_t>(0, 14));
+
+}  // namespace
+}  // namespace lamps::energy

@@ -1,0 +1,154 @@
+// Experiment-pipeline tests: INI parsing, spec construction, end-to-end
+// run with CSV output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exp/experiment.hpp"
+#include "exp/ini.hpp"
+
+namespace lamps::exp {
+namespace {
+
+// -------------------------------------------------------------------- ini --
+
+TEST(Ini, ParsesSectionsKeysAndComments) {
+  const Ini ini = Ini::parse_string(
+      "; file comment\n"
+      "[alpha]\n"
+      "x = 10     ; trailing\n"
+      "name = hello world\n"
+      "\n"
+      "[beta]\n"
+      "# another comment style\n"
+      "flag = true\n");
+  EXPECT_TRUE(ini.has_section("alpha"));
+  EXPECT_TRUE(ini.has_section("beta"));
+  EXPECT_FALSE(ini.has_section("gamma"));
+  EXPECT_EQ(ini.get_string("alpha", "name", ""), "hello world");
+  EXPECT_EQ(ini.get_size("alpha", "x", 0), 10u);
+  EXPECT_TRUE(ini.get_bool("beta", "flag", false));
+}
+
+TEST(Ini, FallbacksAndOverrides) {
+  const Ini ini = Ini::parse_string("[s]\nk = 1\nk = 2\n");
+  EXPECT_EQ(ini.get_size("s", "k", 0), 2u);          // later wins
+  EXPECT_EQ(ini.get_size("s", "missing", 7), 7u);    // fallback
+  EXPECT_EQ(ini.get_double("nope", "k", 1.5), 1.5);  // missing section
+}
+
+TEST(Ini, Lists) {
+  const Ini ini = Ini::parse_string("[s]\nd = 1.5, 2, 4\nn = 10, 20\nw = a, b , c\n");
+  EXPECT_EQ(ini.get_double_list("s", "d", {}), (std::vector<double>{1.5, 2.0, 4.0}));
+  EXPECT_EQ(ini.get_size_list("s", "n", {}), (std::vector<std::size_t>{10, 20}));
+  EXPECT_EQ(ini.get_string_list("s", "w", {}), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(ini.get_double_list("s", "missing", {9.0}), (std::vector<double>{9.0}));
+}
+
+TEST(Ini, BooleanSpellings) {
+  const Ini ini = Ini::parse_string("[s]\na=yes\nb=OFF\nc=1\nd=false\n");
+  EXPECT_TRUE(ini.get_bool("s", "a", false));
+  EXPECT_FALSE(ini.get_bool("s", "b", true));
+  EXPECT_TRUE(ini.get_bool("s", "c", false));
+  EXPECT_FALSE(ini.get_bool("s", "d", true));
+}
+
+TEST(Ini, Errors) {
+  EXPECT_THROW((void)Ini::parse_string("key = outside\n"), std::runtime_error);
+  EXPECT_THROW((void)Ini::parse_string("[unterminated\n"), std::runtime_error);
+  EXPECT_THROW((void)Ini::parse_string("[]\n"), std::runtime_error);
+  EXPECT_THROW((void)Ini::parse_string("[s]\nno equals\n"), std::runtime_error);
+  EXPECT_THROW((void)Ini::parse_string("[s]\n= value\n"), std::runtime_error);
+  const Ini ini = Ini::parse_string("[s]\nx = abc\nb = maybe\n");
+  EXPECT_THROW((void)ini.get_double("s", "x", 0.0), std::runtime_error);
+  EXPECT_THROW((void)ini.get_size("s", "x", 0), std::runtime_error);
+  EXPECT_THROW((void)ini.get_bool("s", "b", false), std::runtime_error);
+}
+
+// ------------------------------------------------------------------- spec --
+
+TEST(Spec, DefaultsWhenEmpty) {
+  const ExperimentSpec spec = ExperimentSpec::from_ini(Ini::parse_string(""));
+  EXPECT_EQ(spec.sizes, (std::vector<std::size_t>{50, 100, 500}));
+  EXPECT_EQ(spec.graphs_per_group, 12u);
+  EXPECT_TRUE(spec.include_apps);
+  EXPECT_EQ(spec.strategies.size(), 6u);
+  EXPECT_EQ(spec.granularities, (std::vector<Cycles>{3'100'000}));
+}
+
+TEST(Spec, ParsesFullConfig) {
+  const ExperimentSpec spec = ExperimentSpec::from_ini(Ini::parse_string(
+      "[suite]\nsizes = 30\ngraphs_per_group = 2\ninclude_apps = false\nseed = 9\n"
+      "[experiment]\ndeadline_factors = 2\ngranularity = both\n"
+      "strategies = S&S, LIMIT-MF\nthreads = 1\n"
+      "[output]\ncsv_prefix = /tmp/x\n"));
+  EXPECT_EQ(spec.sizes, (std::vector<std::size_t>{30}));
+  EXPECT_EQ(spec.graphs_per_group, 2u);
+  EXPECT_FALSE(spec.include_apps);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.granularities.size(), 2u);
+  ASSERT_EQ(spec.strategies.size(), 2u);
+  EXPECT_EQ(spec.strategies[0], core::StrategyKind::kSns);
+  EXPECT_EQ(spec.strategies[1], core::StrategyKind::kLimitMf);
+  EXPECT_EQ(spec.csv_prefix, "/tmp/x");
+}
+
+TEST(Spec, RejectsUnknownNames) {
+  EXPECT_THROW((void)ExperimentSpec::from_ini(
+                   Ini::parse_string("[experiment]\ngranularity = medium\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)ExperimentSpec::from_ini(
+                   Ini::parse_string("[experiment]\nstrategies = BOGUS\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)strategy_from_name("nope"), std::runtime_error);
+  EXPECT_EQ(strategy_from_name("LAMPS+PS"), core::StrategyKind::kLampsPs);
+}
+
+// ------------------------------------------------------------ end to end --
+
+TEST(Experiment, RunsAndWritesCsv) {
+  ExperimentSpec spec;
+  spec.sizes = {20};
+  spec.graphs_per_group = 2;
+  spec.include_apps = false;
+  spec.deadline_factors = {2.0};
+  spec.strategies = {core::StrategyKind::kSns, core::StrategyKind::kLampsPs};
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "lamps_exp_test").string();
+  spec.csv_prefix = prefix;
+
+  std::ostringstream report;
+  const ExperimentOutput out = run_experiment(spec, report);
+  EXPECT_EQ(out.instances.size(), 2u * 1u * 2u);
+  EXPECT_FALSE(out.aggregated.empty());
+  ASSERT_EQ(out.csv_files_written.size(), 2u);
+  for (const std::string& path : out.csv_files_written) {
+    std::ifstream is(path);
+    EXPECT_TRUE(is.good()) << path;
+    std::string header;
+    ASSERT_TRUE(std::getline(is, header));
+    EXPECT_NE(header.find("granularity"), std::string::npos);
+    std::remove(path.c_str());
+  }
+  EXPECT_NE(report.str().find("coarse grain"), std::string::npos);
+  EXPECT_NE(report.str().find("LAMPS+PS"), std::string::npos);
+}
+
+TEST(Experiment, ReportOnlyWhenNoPrefix) {
+  ExperimentSpec spec;
+  spec.sizes = {15};
+  spec.graphs_per_group = 2;
+  spec.include_apps = false;
+  spec.deadline_factors = {4.0};
+  spec.strategies = {core::StrategyKind::kSns, core::StrategyKind::kLimitSf};
+  std::ostringstream report;
+  const ExperimentOutput out = run_experiment(spec, report);
+  EXPECT_TRUE(out.csv_files_written.empty());
+  EXPECT_EQ(out.instances.size(), 4u);
+}
+
+}  // namespace
+}  // namespace lamps::exp

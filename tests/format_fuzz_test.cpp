@@ -1,0 +1,100 @@
+// Property-style round-trip tests for the interchange formats, driven by
+// the random generator suite: whatever the suite can produce must survive
+// STG write/read and schedule-JSON write/read bit-exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/analysis.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule_io.hpp"
+#include "stg/format.hpp"
+#include "stg/random_gen.hpp"
+#include "stg/structured.hpp"
+#include "stg/suite.hpp"
+
+namespace lamps::stg {
+namespace {
+
+struct FuzzCase {
+  std::size_t num_tasks;
+  std::size_t variant;
+};
+
+class FormatRoundTrip : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FormatRoundTrip, StgPreservesStructureAndSchedulability) {
+  const FuzzCase fc = GetParam();
+  const auto specs = random_group_specs(fc.num_tasks, fc.variant + 1);
+  const graph::TaskGraph g = generate_random(specs[fc.variant]);
+
+  std::stringstream ss;
+  write_stg(g, ss);
+  const graph::TaskGraph h = read_stg(ss);
+
+  ASSERT_EQ(h.num_tasks(), g.num_tasks());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.total_work(), g.total_work());
+  EXPECT_EQ(graph::critical_path_length(h), graph::critical_path_length(g));
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(h.weight(v), g.weight(v));
+    EXPECT_EQ(h.in_degree(v), g.in_degree(v));
+    EXPECT_EQ(h.out_degree(v), g.out_degree(v));
+  }
+  // The round-tripped graph schedules identically (same LS-EDF makespan).
+  const Cycles deadline = 4 * graph::critical_path_length(g);
+  EXPECT_EQ(sched::list_schedule_edf(h, 4, deadline).makespan(),
+            sched::list_schedule_edf(g, 4, deadline).makespan());
+}
+
+TEST_P(FormatRoundTrip, ScheduleJsonRoundTripsForThisGraph) {
+  const FuzzCase fc = GetParam();
+  const auto specs = random_group_specs(fc.num_tasks, fc.variant + 1);
+  const graph::TaskGraph g = generate_random(specs[fc.variant]);
+  const sched::Schedule s = sched::list_schedule_edf(g, 3, 10 * g.total_work());
+
+  std::stringstream ss;
+  sched::write_schedule_json(s, ss);
+  const sched::Schedule t = sched::read_schedule_json(ss);
+  EXPECT_EQ(t.makespan(), s.makespan());
+  EXPECT_EQ(sched::validate_schedule(t, g), "");
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  for (const std::size_t n : {5UL, 17UL, 64UL, 150UL})
+    for (std::size_t v = 0; v < 4; ++v) cases.push_back(FuzzCase{n, v});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(SuiteGraphs, FormatRoundTrip, ::testing::ValuesIn(fuzz_cases()),
+                         [](const auto& pinfo) {
+                           return "n" + std::to_string(pinfo.param.num_tasks) + "_v" +
+                                  std::to_string(pinfo.param.variant);
+                         });
+
+TEST(FormatStructured, StructuredFamiliesRoundTrip) {
+  for (const graph::TaskGraph& g :
+       {gaussian_elimination(8), fft_butterfly(4), out_tree(5), in_tree(5),
+        divide_and_conquer(4), wavefront(6, 5)}) {
+    std::stringstream ss;
+    write_stg(g, ss);
+    const graph::TaskGraph h = read_stg(ss);
+    EXPECT_EQ(h.num_tasks(), g.num_tasks()) << g.name();
+    EXPECT_EQ(h.num_edges(), g.num_edges()) << g.name();
+    EXPECT_EQ(graph::critical_path_length(h), graph::critical_path_length(g)) << g.name();
+  }
+}
+
+TEST(FormatStructured, AppGraphsRoundTrip) {
+  for (const graph::TaskGraph& g : application_graphs()) {
+    std::stringstream ss;
+    write_stg(g, ss);
+    const graph::TaskGraph h = read_stg(ss);
+    EXPECT_EQ(h.num_edges(), g.num_edges()) << g.name();
+    EXPECT_EQ(h.total_work(), g.total_work()) << g.name();
+  }
+}
+
+}  // namespace
+}  // namespace lamps::stg

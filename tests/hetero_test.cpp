@@ -1,0 +1,217 @@
+// Heterogeneous-platform extension tests: platform model, HEFT validity,
+// class-scaled energy accounting, and the mix search.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "hetero/lamps_hetero.hpp"
+#include "core/strategy.hpp"
+#include "stg/random_gen.hpp"
+
+namespace lamps::hetero {
+namespace {
+
+using graph::TaskGraph;
+using graph::TaskGraphBuilder;
+
+class HeteroFixture : public ::testing::Test {
+ protected:
+  power::PowerModel model;
+  power::DvsLadder ladder{model};
+  power::SleepModel sleep{model};
+
+  [[nodiscard]] static TaskGraph sample_graph(std::uint64_t seed, std::size_t n = 50) {
+    stg::RandomGraphSpec spec;
+    spec.num_tasks = n;
+    spec.method = stg::GenMethod::kLayrPred;
+    spec.num_layers = 10;
+    spec.max_weight = 20;
+    spec.seed = seed;
+    return graph::scale_weights(stg::generate_random(spec), 3'100'000);
+  }
+};
+
+// --------------------------------------------------------------- platform --
+
+TEST_F(HeteroFixture, PlatformLayoutAndDurations) {
+  const Platform p = big_little(2, 4);
+  EXPECT_EQ(p.num_classes(), 2u);
+  EXPECT_EQ(p.num_procs(), 6u);
+  EXPECT_EQ(p.class_of_proc(0), 0u);
+  EXPECT_EQ(p.class_of_proc(1), 0u);
+  EXPECT_EQ(p.class_of_proc(2), 1u);
+  EXPECT_EQ(p.class_of_proc(5), 1u);
+  // Durations: big = reference; little = ceil(w / 0.45).
+  EXPECT_EQ(p.duration_on(0, 900), 900u);
+  EXPECT_EQ(p.duration_on(1, 900), 2000u);
+  EXPECT_EQ(p.duration_on(1, 0), 0u);
+}
+
+TEST_F(HeteroFixture, SubsetSelectsCounts) {
+  const Platform p = big_little(2, 4);
+  const Platform sub = p.subset({1, 2});
+  EXPECT_EQ(sub.num_procs(), 3u);
+  EXPECT_EQ(sub.num_classes(), 2u);
+  const Platform only_little = p.subset({0, 3});
+  EXPECT_EQ(only_little.num_procs(), 3u);
+  EXPECT_EQ(only_little.num_classes(), 1u);  // empty classes dropped
+  EXPECT_THROW((void)p.subset({5, 0}), std::invalid_argument);
+  EXPECT_THROW((void)p.subset({1}), std::invalid_argument);
+}
+
+TEST_F(HeteroFixture, PlatformValidation) {
+  Platform p;
+  EXPECT_THROW((void)p.add_class({"bad", 0.0, 1.0}, 1), std::invalid_argument);
+  EXPECT_THROW((void)p.add_class({"bad", 1.5, 1.0}, 1), std::invalid_argument);
+  EXPECT_THROW((void)p.add_class({"bad", 0.5, 0.0}, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- HEFT --
+
+TEST_F(HeteroFixture, HeftProducesValidSchedules) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TaskGraph g = sample_graph(seed);
+    const Platform p = big_little(2, 3);
+    const sched::Schedule s = heft_schedule(g, p);
+    EXPECT_EQ(validate_hetero_schedule(s, g, p), "") << seed;
+    EXPECT_TRUE(s.complete());
+  }
+}
+
+TEST_F(HeteroFixture, HeftOnHomogeneousPlatformBeatsCplBound) {
+  const TaskGraph g = sample_graph(7);
+  Platform p;
+  (void)p.add_class({"ref", 1.0, 1.0}, 4);
+  const sched::Schedule s = heft_schedule(g, p);
+  EXPECT_GE(s.makespan(), graph::critical_path_length(g));
+  EXPECT_EQ(validate_hetero_schedule(s, g, p), "");
+}
+
+TEST_F(HeteroFixture, HeftPrefersFastCoreForCriticalChain) {
+  // A single chain on a big.LITTLE pair: everything belongs on the big core.
+  TaskGraphBuilder b;
+  graph::TaskId prev = b.add_task(1'000'000);
+  for (int i = 0; i < 4; ++i) {
+    const graph::TaskId next = b.add_task(1'000'000);
+    b.add_edge(prev, next);
+    prev = next;
+  }
+  const TaskGraph g = b.build();
+  const Platform p = big_little(1, 1);
+  const sched::Schedule s = heft_schedule(g, p);
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    EXPECT_EQ(p.class_of_proc(s.placement(v).proc), 0u) << v;
+  EXPECT_EQ(s.makespan(), 5'000'000u);
+}
+
+TEST_F(HeteroFixture, ValidateCatchesWrongDuration) {
+  TaskGraphBuilder b;
+  (void)b.add_task(1000);
+  const TaskGraph g = b.build();
+  const Platform p = big_little(0, 1);  // little core only: duration 2223
+  sched::Schedule s(1, 1);
+  s.place(0, 0, 0, 1000);  // reference duration — wrong for a little core
+  EXPECT_NE(validate_hetero_schedule(s, g, p), "");
+}
+
+// ----------------------------------------------------------------- energy --
+
+TEST_F(HeteroFixture, LittleCoreEnergyIsScaled) {
+  TaskGraphBuilder b;
+  (void)b.add_task(4'500'000);
+  const TaskGraph g = b.build();
+  const auto& lvl = ladder.max_level();
+
+  // All-big vs all-little single-task runs over the same horizon.
+  Platform big;
+  (void)big.add_class({"big", 1.0, 1.0}, 1);
+  Platform little;
+  (void)little.add_class({"little", 0.45, 0.18}, 1);
+  const sched::Schedule sb = heft_schedule(g, big);
+  const sched::Schedule sl = heft_schedule(g, little);
+  const Seconds horizon = cycles_to_time(sl.makespan(), lvl.f) * 1.01;
+
+  const auto eb = evaluate_hetero_energy(sb, big, lvl, horizon, sleep);
+  const auto el = evaluate_hetero_energy(sl, little, lvl, horizon, sleep);
+  // The little core runs ~2.2x longer at 0.18x power: net ~0.4x energy on
+  // the active part; with idle tails the total must still be far below.
+  EXPECT_LT(el.total().value(), eb.total().value() * 0.7);
+}
+
+TEST_F(HeteroFixture, UnitScalePlatformMatchesHomogeneousEvaluator) {
+  const TaskGraph g = sample_graph(8);
+  Platform p;
+  (void)p.add_class({"ref", 1.0, 1.0}, 3);
+  const sched::Schedule s = heft_schedule(g, p);
+  const auto& lvl = ladder.critical_level();
+  const Seconds horizon = cycles_to_time(s.makespan(), lvl.f) * 2.0;
+  const auto hetero_e = evaluate_hetero_energy(s, p, lvl, horizon, sleep,
+                                               energy::PsOptions{true, true});
+  const auto homo_e =
+      energy::evaluate_energy(s, lvl, horizon, sleep, energy::PsOptions{true, true});
+  EXPECT_NEAR(hetero_e.total().value(), homo_e.total().value(),
+              homo_e.total().value() * 1e-12);
+  EXPECT_EQ(hetero_e.shutdowns, homo_e.shutdowns);
+}
+
+// ------------------------------------------------------------- mix search --
+
+TEST_F(HeteroFixture, MixSearchFindsFeasibleSolution) {
+  const TaskGraph g = sample_graph(9);
+  const Platform p = big_little(2, 2);
+  const Seconds deadline{static_cast<double>(graph::critical_path_length(g)) /
+                         model.max_frequency().value() * 2.0};
+  const HeteroResult r = lamps_hetero(g, p, model, ladder, deadline);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_EQ(r.counts.size(), 2u);
+  EXPECT_LE(r.completion.value(), deadline.value() * (1.0 + 1e-9));
+  ASSERT_TRUE(r.schedule.has_value());
+  EXPECT_EQ(validate_hetero_schedule(*r.schedule, g, p.subset(r.counts)), "");
+  EXPECT_GT(r.schedules_computed, 0u);
+}
+
+TEST_F(HeteroFixture, LooseDeadlinePrefersLittleCores) {
+  // With an 8x deadline the little cores' 0.18x power wins outright.
+  const TaskGraph g = sample_graph(10);
+  const Platform p = big_little(2, 2);
+  const Seconds deadline{static_cast<double>(graph::critical_path_length(g)) /
+                         model.max_frequency().value() * 8.0};
+  const HeteroResult r = lamps_hetero(g, p, model, ladder, deadline);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.counts[0], 0u) << "big cores employed on a loose deadline";
+  EXPECT_GE(r.counts[1], 1u);
+}
+
+TEST_F(HeteroFixture, MixNeverWorseThanAnyPureSubset) {
+  // The exhaustive mix enumeration includes every pure configuration.
+  const TaskGraph g = sample_graph(11);
+  const Platform p = big_little(2, 2);
+  const Seconds deadline{static_cast<double>(graph::critical_path_length(g)) /
+                         model.max_frequency().value() * 2.0};
+  const HeteroResult mixed = lamps_hetero(g, p, model, ladder, deadline);
+  const HeteroResult only_big =
+      lamps_hetero(g, p.subset({2, 0}), model, ladder, deadline);
+  ASSERT_TRUE(mixed.feasible && only_big.feasible);
+  EXPECT_LE(mixed.energy().value(), only_big.energy().value() * (1.0 + 1e-12));
+}
+
+TEST_F(HeteroFixture, InfeasibleWhenDeadlineBelowCriticalPath) {
+  const TaskGraph g = sample_graph(12);
+  const Platform p = big_little(2, 2);
+  const Seconds deadline{static_cast<double>(graph::critical_path_length(g)) /
+                         model.max_frequency().value() * 0.5};
+  EXPECT_FALSE(lamps_hetero(g, p, model, ladder, deadline).feasible);
+}
+
+TEST_F(HeteroFixture, DegenerateInputs) {
+  TaskGraphBuilder b;
+  const TaskGraph empty = b.build();
+  const Platform p = big_little(1, 1);
+  EXPECT_FALSE(lamps_hetero(empty, p, model, ladder, Seconds{1.0}).feasible);
+  const TaskGraph g = sample_graph(13, 10);
+  Platform none;
+  EXPECT_FALSE(lamps_hetero(g, none, model, ladder, Seconds{1.0}).feasible);
+}
+
+}  // namespace
+}  // namespace lamps::hetero

@@ -1,0 +1,204 @@
+// Cross-module integration tests: the experiment runner end-to-end, the
+// STG -> scheduler -> energy pipeline, and KPN-derived graphs with explicit
+// per-task deadlines flowing through the full strategy stack.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runner.hpp"
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "kpn/unroll.hpp"
+#include "sched/schedule.hpp"
+#include "stg/format.hpp"
+#include "stg/suite.hpp"
+
+namespace lamps::core {
+namespace {
+
+using graph::TaskGraph;
+
+class RunnerFixture : public ::testing::Test {
+ protected:
+  power::PowerModel model;
+  power::DvsLadder ladder{model};
+
+  [[nodiscard]] std::vector<SuiteEntry> small_suite() const {
+    std::vector<SuiteEntry> entries;
+    for (auto& g : stg::make_random_group(40, 4))
+      entries.push_back(
+          SuiteEntry{"40", graph::scale_weights(g, stg::kCoarseGrainCyclesPerUnit)});
+    for (auto& g : stg::make_random_group(80, 4))
+      entries.push_back(
+          SuiteEntry{"80", graph::scale_weights(g, stg::kCoarseGrainCyclesPerUnit)});
+    return entries;
+  }
+};
+
+TEST_F(RunnerFixture, SweepProducesFullCartesianProduct) {
+  const auto entries = small_suite();
+  SweepConfig cfg;
+  cfg.deadline_factors = {2.0, 8.0};
+  cfg.threads = 2;
+  const auto results = run_sweep(entries, model, ladder, cfg);
+  EXPECT_EQ(results.size(), entries.size() * 2 * kAllStrategies.size());
+
+  // Deterministic order: grouped by entry, then factor, then strategy.
+  EXPECT_EQ(results[0].graph_name, entries[0].graph.name());
+  EXPECT_EQ(results[0].strategy, StrategyKind::kSns);
+  EXPECT_DOUBLE_EQ(results[0].deadline_factor, 2.0);
+  EXPECT_EQ(results[1].strategy, StrategyKind::kLamps);
+
+  for (const InstanceResult& r : results) {
+    EXPECT_TRUE(r.feasible) << r.graph_name << " " << to_string(r.strategy);
+    EXPECT_GT(r.energy.value(), 0.0);
+    EXPECT_GT(r.parallelism, 0.0);
+    EXPECT_GT(r.total_work, 0u);
+  }
+}
+
+TEST_F(RunnerFixture, SweepIsDeterministicAcrossThreadCounts) {
+  const auto entries = small_suite();
+  SweepConfig cfg;
+  cfg.deadline_factors = {2.0};
+  cfg.threads = 1;
+  const auto seq = run_sweep(entries, model, ladder, cfg);
+  cfg.threads = 4;
+  const auto par = run_sweep(entries, model, ladder, cfg);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].graph_name, par[i].graph_name);
+    EXPECT_DOUBLE_EQ(seq[i].energy.value(), par[i].energy.value());
+    EXPECT_EQ(seq[i].num_procs, par[i].num_procs);
+  }
+}
+
+TEST_F(RunnerFixture, AggregateRelativeBaselineIsUnity) {
+  const auto entries = small_suite();
+  SweepConfig cfg;
+  cfg.deadline_factors = {2.0, 8.0};
+  const auto results = run_sweep(entries, model, ladder, cfg);
+  const auto agg = aggregate_relative(results);
+
+  std::set<std::string> groups;
+  for (const GroupRelative& g : agg) {
+    groups.insert(g.group);
+    if (g.strategy == StrategyKind::kSns) {
+      EXPECT_NEAR(g.mean_relative_energy, 1.0, 1e-12);
+      EXPECT_EQ(g.num_graphs, 4u);
+    }
+    // Bounds and improved heuristics stay at or below the baseline.
+    if (g.strategy == StrategyKind::kLamps || g.strategy == StrategyKind::kLampsPs ||
+        g.strategy == StrategyKind::kLimitSf || g.strategy == StrategyKind::kLimitMf) {
+      EXPECT_LE(g.mean_relative_energy, 1.0 + 1e-9)
+          << g.group << " " << to_string(g.strategy);
+    }
+  }
+  EXPECT_EQ(groups, (std::set<std::string>{"40", "80"}));
+}
+
+TEST_F(RunnerFixture, LooseDeadlinesImproveLampsRelativeSavings) {
+  // Paper section 5.2: LAMPS improves on S&S mainly for loose deadlines.
+  const auto entries = small_suite();
+  SweepConfig cfg;
+  cfg.deadline_factors = {1.5, 8.0};
+  const auto agg = aggregate_relative(run_sweep(entries, model, ladder, cfg));
+  double rel_tight = 0, rel_loose = 0;
+  int n = 0;
+  for (const GroupRelative& g : agg)
+    if (g.strategy == StrategyKind::kLamps) {
+      (g.deadline_factor == 1.5 ? rel_tight : rel_loose) += g.mean_relative_energy;
+      ++n;
+    }
+  ASSERT_EQ(n, 4);
+  EXPECT_LT(rel_loose, rel_tight);
+}
+
+// ---------------------------------------------------- STG file pipeline --
+
+TEST_F(RunnerFixture, StgRoundTripFeedsScheduler) {
+  const TaskGraph g0 = stg::application_graphs()[1];  // robot
+  std::stringstream ss;
+  stg::write_stg(g0, ss);
+  const TaskGraph g = graph::scale_weights(stg::read_stg(ss),
+                                           stg::kCoarseGrainCyclesPerUnit);
+
+  Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                          model.max_frequency().value() * 2.0};
+  const StrategyResult r = lamps_schedule_ps(prob);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(sched::validate_schedule(*r.schedule, g), "");
+}
+
+// --------------------------------------------------------- KPN pipeline --
+
+TEST_F(RunnerFixture, KpnUnrolledGraphSchedulesWithExplicitDeadlines) {
+  kpn::Kpn net("pipe");
+  const auto src = net.add_process("src", 20'000'000);
+  const auto fil = net.add_process("filter", 60'000'000);
+  const auto snk = net.add_process("sink", 20'000'000);
+  net.add_channel(src, fil, 0);
+  net.add_channel(fil, snk, 0);
+
+  kpn::UnrollOptions uo;
+  uo.copies = 6;
+  uo.first_deadline = Seconds{0.08};
+  uo.throughput = 25.0;  // one iteration each 40 ms
+  const TaskGraph g = kpn::unroll(net, uo);
+  ASSERT_TRUE(g.has_explicit_deadlines());
+
+  Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  // Global deadline: last copy's deadline.
+  prob.deadline = Seconds{0.08 + 5 * 0.04};
+
+  for (const StrategyKind k : kHeuristics) {
+    const StrategyResult r = run_strategy(k, prob);
+    ASSERT_TRUE(r.feasible) << to_string(k);
+    const power::DvsLevel& lvl = ladder.level(r.level_index);
+    // Every explicit deadline is honored at the chosen level.
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      if (const auto d = g.explicit_deadline(v)) {
+        const double finish =
+            static_cast<double>(r.schedule->placement(v).finish) / lvl.f.value();
+        EXPECT_LE(finish, d->value() * (1.0 + 1e-9))
+            << to_string(k) << " task " << g.label(v);
+      }
+    }
+  }
+}
+
+TEST_F(RunnerFixture, ThroughputConstraintForcesFasterLevel) {
+  // Halving the period forces the scheduler to keep a higher frequency.
+  kpn::Kpn net("pipe");
+  const auto a = net.add_process("a", 50'000'000);
+  const auto b = net.add_process("b", 50'000'000);
+  net.add_channel(a, b, 0);
+
+  const auto level_for = [&](double throughput) {
+    kpn::UnrollOptions uo;
+    uo.copies = 4;
+    uo.first_deadline = Seconds{1.0 / throughput};
+    uo.throughput = throughput;
+    const TaskGraph g = kpn::unroll(net, uo);
+    Problem prob;
+    prob.graph = &g;
+    prob.model = &model;
+    prob.ladder = &ladder;
+    prob.deadline = Seconds{4.0 / throughput};
+    const StrategyResult r = schedule_and_stretch(prob);
+    EXPECT_TRUE(r.feasible);
+    return r.level_index;
+  };
+  EXPECT_LT(level_for(8.0), level_for(24.0));
+}
+
+}  // namespace
+}  // namespace lamps::core

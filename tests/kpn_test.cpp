@@ -1,0 +1,155 @@
+// KPN substrate tests: network construction and the Fig 1 unrolling
+// transformation (structure, self-chaining, per-copy deadlines).
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "kpn/kpn.hpp"
+#include "kpn/unroll.hpp"
+
+namespace lamps::kpn {
+namespace {
+
+using graph::TaskGraph;
+
+/// The paper's Fig 1a network: T1 -> T2, T3 -> T2 would be wrong — the
+/// figure has T1 -> T2 and T3 receiving from T2 with a one-iteration delay
+/// (T3 combines J_{i+1} with the i-th output of T2).
+Kpn fig1_network() {
+  Kpn net("fig1");
+  const ProcessId t1 = net.add_process("T1", 100);
+  const ProcessId t2 = net.add_process("T2", 200);
+  const ProcessId t3 = net.add_process("T3", 150);
+  net.add_channel(t1, t2, 0);
+  net.add_channel(t2, t3, 1);
+  return net;
+}
+
+TEST(Kpn, ConstructionAndAccessors) {
+  const Kpn net = fig1_network();
+  EXPECT_EQ(net.num_processes(), 3u);
+  EXPECT_EQ(net.process(0).name, "T1");
+  EXPECT_EQ(net.process(1).work, 200u);
+  EXPECT_EQ(net.channels().size(), 2u);
+  EXPECT_EQ(net.output_processes(), (std::vector<ProcessId>{2}));
+}
+
+TEST(Kpn, RejectsBadChannels) {
+  Kpn net;
+  const ProcessId a = net.add_process("a", 1);
+  EXPECT_THROW(net.add_channel(a, 5), std::out_of_range);
+  EXPECT_THROW(net.add_channel(a, a, 0), std::invalid_argument);
+  EXPECT_NO_THROW(net.add_channel(a, a, 1));  // self-feedback with delay is legal
+}
+
+TEST(Unroll, Fig1StructureMatchesPaper) {
+  const Kpn net = fig1_network();
+  UnrollOptions opts;
+  opts.copies = 3;
+  opts.first_deadline = Seconds{1.0};
+  opts.throughput = 10.0;
+  const TaskGraph g = unroll(net, opts);
+
+  ASSERT_EQ(g.num_tasks(), 9u);
+  const auto id = [](std::size_t copy, std::size_t proc) {
+    return static_cast<graph::TaskId>(copy * 3 + proc);
+  };
+  // Same-iteration channel T1 -> T2 in every copy.
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_TRUE(graph::has_edge(g, id(j, 0), id(j, 1)));
+  // Delayed channel T2^j -> T3^{j+1}.
+  EXPECT_TRUE(graph::has_edge(g, id(0, 1), id(1, 2)));
+  EXPECT_TRUE(graph::has_edge(g, id(1, 1), id(2, 2)));
+  EXPECT_FALSE(graph::has_edge(g, id(0, 1), id(0, 2)));
+  // Self-chaining T_i^j -> T_i^{j+1} ("not all inputs available at zero").
+  for (std::size_t p = 0; p < 3; ++p)
+    for (std::size_t j = 0; j + 1 < 3; ++j)
+      EXPECT_TRUE(graph::has_edge(g, id(j, p), id(j + 1, p)));
+  // Labels carry process and copy.
+  EXPECT_EQ(g.label(id(1, 2)), "T3#1");
+}
+
+TEST(Unroll, DeadlinesSpacedByReciprocalThroughput) {
+  const Kpn net = fig1_network();
+  UnrollOptions opts;
+  opts.copies = 4;
+  opts.first_deadline = Seconds{0.5};
+  opts.throughput = 4.0;  // period 0.25 s
+  const TaskGraph g = unroll(net, opts);
+  for (std::size_t j = 0; j < 4; ++j) {
+    const auto d = g.explicit_deadline(static_cast<graph::TaskId>(j * 3 + 2));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_NEAR(d->value(), 0.5 + 0.25 * static_cast<double>(j), 1e-12);
+  }
+  // Non-output tasks carry no explicit deadline.
+  EXPECT_FALSE(g.explicit_deadline(0).has_value());
+  EXPECT_FALSE(g.explicit_deadline(1).has_value());
+}
+
+TEST(Unroll, WorkScalesWithCopies) {
+  const Kpn net = fig1_network();
+  UnrollOptions opts;
+  opts.copies = 5;
+  opts.first_deadline = Seconds{1.0};
+  opts.throughput = 1.0;
+  const TaskGraph g = unroll(net, opts);
+  EXPECT_EQ(g.total_work(), 5u * 450u);
+  // The self-chain makes the per-process work a path: CPL >= 5 copies of
+  // the heaviest process.
+  EXPECT_GE(graph::critical_path_length(g), 5u * 200u);
+}
+
+TEST(Unroll, SingleCopyHasNoCrossCopyEdges) {
+  const Kpn net = fig1_network();
+  UnrollOptions opts;
+  opts.copies = 1;
+  opts.first_deadline = Seconds{1.0};
+  opts.throughput = 1.0;
+  const TaskGraph g = unroll(net, opts);
+  EXPECT_EQ(g.num_tasks(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);  // only T1 -> T2 (the delayed channel drops)
+}
+
+TEST(Unroll, RejectsBadOptions) {
+  const Kpn net = fig1_network();
+  UnrollOptions opts;
+  opts.copies = 0;
+  opts.first_deadline = Seconds{1.0};
+  opts.throughput = 1.0;
+  EXPECT_THROW((void)unroll(net, opts), std::invalid_argument);
+  opts.copies = 2;
+  opts.throughput = 0.0;
+  EXPECT_THROW((void)unroll(net, opts), std::invalid_argument);
+  opts.throughput = 1.0;
+  opts.first_deadline = Seconds{0.0};
+  EXPECT_THROW((void)unroll(net, opts), std::invalid_argument);
+}
+
+TEST(Unroll, ZeroDelayCycleDetected) {
+  Kpn net("cyclic");
+  const ProcessId a = net.add_process("a", 1);
+  const ProcessId b = net.add_process("b", 1);
+  net.add_channel(a, b, 0);
+  net.add_channel(b, a, 0);  // same-iteration cycle: no firing order exists
+  UnrollOptions opts;
+  opts.copies = 2;
+  opts.first_deadline = Seconds{1.0};
+  opts.throughput = 1.0;
+  EXPECT_THROW((void)unroll(net, opts), std::invalid_argument);
+}
+
+TEST(Unroll, FeedbackWithDelayIsFine) {
+  Kpn net("feedback");
+  const ProcessId a = net.add_process("a", 1);
+  const ProcessId b = net.add_process("b", 1);
+  net.add_channel(a, b, 0);
+  net.add_channel(b, a, 1);  // pipelined feedback
+  UnrollOptions opts;
+  opts.copies = 3;
+  opts.first_deadline = Seconds{1.0};
+  opts.throughput = 1.0;
+  const TaskGraph g = unroll(net, opts);
+  EXPECT_EQ(g.num_tasks(), 6u);
+  EXPECT_TRUE(graph::has_edge(g, 1, 2));  // b^0 -> a^1
+}
+
+}  // namespace
+}  // namespace lamps::kpn

@@ -1,0 +1,201 @@
+// Tests for the per-task DVS extension (LAMPS+MF slack reclamation).
+#include <gtest/gtest.h>
+
+#include "core/limits.hpp"
+#include "core/multifreq.hpp"
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "sched/list_scheduler.hpp"
+#include "stg/suite.hpp"
+
+namespace lamps::core {
+namespace {
+
+using graph::TaskGraph;
+using graph::TaskGraphBuilder;
+
+class MultiFreqFixture : public ::testing::Test {
+ protected:
+  power::PowerModel model;
+  power::DvsLadder ladder{model};
+
+  [[nodiscard]] Problem make_problem(const TaskGraph& g, double factor) const {
+    Problem p;
+    p.graph = &g;
+    p.model = &model;
+    p.ladder = &ladder;
+    p.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                         model.max_frequency().value() * factor};
+    return p;
+  }
+
+  [[nodiscard]] static TaskGraph unbalanced_graph() {
+    // Two parallel chains of very different length: the short chain has a
+    // huge per-task window and must be slowed to the critical level while
+    // the long chain stays fast — the case uniform stretching cannot serve.
+    TaskGraphBuilder b("unbalanced");
+    graph::TaskId prev_long = b.add_task(10'000'000);
+    for (int i = 0; i < 4; ++i) {
+      const graph::TaskId next = b.add_task(10'000'000);
+      b.add_edge(prev_long, next);
+      prev_long = next;
+    }
+    (void)b.add_task(2'000'000);  // the short "chain"
+    return b.build();
+  }
+};
+
+TEST_F(MultiFreqFixture, AssignmentsRespectWindows) {
+  const TaskGraph g = unbalanced_graph();
+  const Problem prob = make_problem(g, 1.2);
+  const sched::Schedule s = sched::list_schedule_edf(g, 2, prob.deadline_cycles_at_fmax());
+  const auto assignments = reclaim_slack(s, prob);
+  ASSERT_EQ(assignments.size(), g.num_tasks());
+  for (const TaskAssignment& a : assignments) {
+    EXPECT_LE(a.finish.value(), a.window_end.value() * (1.0 + 1e-12)) << "task " << a.task;
+    EXPECT_LE(a.window_end.value(), prob.deadline.value() * (1.0 + 1e-12));
+    EXPECT_GE(a.level_index, ladder.critical_level().index);
+    // Precedence: finish before every successor's frozen start.
+    for (const graph::TaskId succ : g.successors(a.task))
+      EXPECT_LE(a.finish.value(), assignments[succ].start.value() * (1.0 + 1e-12));
+  }
+}
+
+TEST_F(MultiFreqFixture, ShortChainSlowsLongChainStaysFast) {
+  const TaskGraph g = unbalanced_graph();
+  const Problem prob = make_problem(g, 1.1);  // tight: the long chain has no slack
+  const sched::Schedule s = sched::list_schedule_edf(g, 2, prob.deadline_cycles_at_fmax());
+  const auto assignments = reclaim_slack(s, prob);
+  ASSERT_FALSE(assignments.empty());
+  // The independent short task (id 5) has the whole deadline as its window:
+  // it must sit at the critical level, strictly slower than the chain tasks.
+  const std::size_t crit = ladder.critical_level().index;
+  EXPECT_EQ(assignments[5].level_index, crit);
+  EXPECT_GT(assignments[0].level_index, crit);
+}
+
+TEST_F(MultiFreqFixture, FeasibleAndAboveLimitMf) {
+  for (const double factor : {1.5, 2.0, 4.0, 8.0}) {
+    const TaskGraph g = unbalanced_graph();
+    const Problem prob = make_problem(g, factor);
+    const MultiFreqResult r = lamps_multifreq(prob);
+    ASSERT_TRUE(r.feasible) << factor;
+    EXPECT_LE(r.completion.value(), prob.deadline.value() * (1.0 + 1e-9));
+    // LIMIT-MF is an absolute lower bound, also for per-task frequencies.
+    EXPECT_GE(r.energy().value(),
+              limit_mf(prob).energy().value() * (1.0 - 1e-12));
+  }
+}
+
+TEST_F(MultiFreqFixture, ComparableToLampsPsOnSuiteSample) {
+  // Per-task DVS is a different heuristic, not a strict refinement of
+  // uniform stretching (its greedy slack assignment can front-load slack),
+  // but it must stay bracketed: never below the absolute LIMIT-MF bound and
+  // competitive with LAMPS+PS on ordinary instances (the paper's section 6
+  // expectation is that it buys little for coarse-grain graphs).
+  for (std::size_t variant = 0; variant < 4; ++variant) {
+    const auto specs = stg::random_group_specs(60, variant + 1);
+    const TaskGraph g = graph::scale_weights(stg::generate_random(specs[variant]),
+                                             stg::kCoarseGrainCyclesPerUnit);
+    const Problem prob = make_problem(g, 2.0);
+    const MultiFreqResult mf = lamps_multifreq(prob);
+    const StrategyResult ps = lamps_schedule_ps(prob);
+    const StrategyResult sns = schedule_and_stretch(prob);
+    const StrategyResult lmf = limit_mf(prob);
+    ASSERT_TRUE(mf.feasible && ps.feasible && sns.feasible);
+    EXPECT_GE(mf.energy().value(), lmf.energy().value() * (1.0 - 1e-12)) << variant;
+    EXPECT_LE(mf.energy().value(), sns.energy().value() * (1.0 + 1e-9)) << variant;
+    EXPECT_LE(mf.energy().value(), ps.energy().value() * 1.15) << variant;
+  }
+}
+
+TEST_F(MultiFreqFixture, EnergyComponentsSumAndAreNonNegative) {
+  const TaskGraph g = unbalanced_graph();
+  const Problem prob = make_problem(g, 3.0);
+  const MultiFreqResult r = lamps_multifreq(prob);
+  ASSERT_TRUE(r.feasible);
+  const auto& e = r.breakdown;
+  EXPECT_GE(e.dynamic.value(), 0.0);
+  EXPECT_GE(e.leakage.value(), 0.0);
+  EXPECT_GE(e.intrinsic.value(), 0.0);
+  EXPECT_GE(e.sleep.value(), 0.0);
+  EXPECT_GE(e.wakeup.value(), 0.0);
+  EXPECT_NEAR(e.total().value(),
+              e.dynamic.value() + e.leakage.value() + e.intrinsic.value() +
+                  e.sleep.value() + e.wakeup.value(),
+              e.total().value() * 1e-12);
+}
+
+TEST_F(MultiFreqFixture, PsOptionControlsShutdowns) {
+  const TaskGraph g = unbalanced_graph();
+  const Problem prob = make_problem(g, 8.0);  // big trailing slack
+  MultiFreqOptions with_ps;
+  with_ps.ps = true;
+  MultiFreqOptions no_ps;
+  no_ps.ps = false;
+  const MultiFreqResult a = lamps_multifreq(prob, with_ps);
+  const MultiFreqResult b = lamps_multifreq(prob, no_ps);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_GT(a.breakdown.shutdowns, 0u);
+  EXPECT_EQ(b.breakdown.shutdowns, 0u);
+  EXPECT_LE(a.energy().value(), b.energy().value() * (1.0 + 1e-12));
+}
+
+TEST_F(MultiFreqFixture, TransitionOverheadCountedAndCharged) {
+  const TaskGraph g = unbalanced_graph();
+  const Problem prob = make_problem(g, 1.1);  // mixed levels (tight chain + slack task)
+  MultiFreqOptions free_t;
+  MultiFreqOptions costly;
+  costly.transition_energy = Joules{1e-3};
+  const MultiFreqResult a = lamps_multifreq(prob, free_t);
+  const MultiFreqResult b = lamps_multifreq(prob, costly);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_DOUBLE_EQ(a.breakdown.transition.value(), 0.0);
+  // With a per-transition cost the breakdown carries it whenever the chosen
+  // configuration has adjacent tasks at different levels.
+  if (b.breakdown.transitions > 0) {
+    EXPECT_NEAR(b.breakdown.transition.value(),
+                1e-3 * static_cast<double>(b.breakdown.transitions), 1e-15);
+  }
+  // Costly transitions can only increase (or equal) the optimal energy.
+  EXPECT_GE(b.energy().value(), a.energy().value() * (1.0 - 1e-12));
+}
+
+TEST_F(MultiFreqFixture, InfeasibleDeadlineReported) {
+  const TaskGraph g = unbalanced_graph();
+  const Problem prob = make_problem(g, 0.5);
+  EXPECT_FALSE(lamps_multifreq(prob).feasible);
+}
+
+TEST_F(MultiFreqFixture, EmptyGraphAndBadIdleLevel) {
+  TaskGraphBuilder b;
+  const TaskGraph g = b.build();
+  Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = Seconds{1.0};
+  EXPECT_FALSE(lamps_multifreq(prob).feasible);
+
+  const TaskGraph g2 = unbalanced_graph();
+  const Problem prob2 = make_problem(g2, 2.0);
+  MultiFreqOptions bad;
+  bad.idle_level_index = 999;
+  EXPECT_FALSE(lamps_multifreq(prob2, bad).feasible);
+}
+
+TEST_F(MultiFreqFixture, ZeroWeightTasksHandled) {
+  TaskGraphBuilder b;
+  const auto src = b.add_task(0);
+  const auto work = b.add_task(5'000'000);
+  b.add_edge(src, work);
+  const TaskGraph g = b.build();
+  const Problem prob = make_problem(g, 2.0);
+  const MultiFreqResult r = lamps_multifreq(prob);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.assignments[src].start.value(), r.assignments[src].finish.value());
+}
+
+}  // namespace
+}  // namespace lamps::core

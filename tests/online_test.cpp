@@ -1,0 +1,167 @@
+// Online-execution simulator tests: WCET runs match the static plan,
+// reclamation honors deadlines and saves energy under variability.
+#include <gtest/gtest.h>
+
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "sim/online.hpp"
+#include "stg/random_gen.hpp"
+
+namespace lamps::sim {
+namespace {
+
+using graph::TaskGraph;
+
+class OnlineFixture : public ::testing::Test {
+ protected:
+  power::PowerModel model;
+  power::DvsLadder ladder{model};
+  power::SleepModel sleep{model};
+
+  struct Plan {
+    TaskGraph graph;
+    sched::Schedule schedule;
+    const power::DvsLevel* level;
+    Seconds deadline;
+  };
+
+  [[nodiscard]] Plan make_plan(std::uint64_t seed, double deadline_factor) const {
+    stg::RandomGraphSpec spec;
+    spec.num_tasks = 50;
+    spec.method = stg::GenMethod::kLayrPred;
+    spec.num_layers = 10;
+    spec.max_weight = 20;
+    spec.seed = seed;
+    TaskGraph g = graph::scale_weights(stg::generate_random(spec), 3'100'000);
+
+    core::Problem prob;
+    prob.graph = &g;
+    prob.model = &model;
+    prob.ladder = &ladder;
+    prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                            model.max_frequency().value() * deadline_factor};
+    core::StrategyResult r = core::lamps_schedule_ps(prob);
+    EXPECT_TRUE(r.feasible);
+    return Plan{std::move(g), std::move(*r.schedule), &ladder.level(r.level_index),
+                prob.deadline};
+  }
+};
+
+TEST_F(OnlineFixture, WcetRunWithoutReclamationReproducesStaticTiming) {
+  const Plan plan = make_plan(3, 2.0);
+  OnlineOptions opts;
+  opts.bcet_ratio = 1.0;  // every task takes its WCET
+  opts.reclaim = false;
+  const OnlineResult r = simulate_online(plan.schedule, plan.graph, ladder, *plan.level,
+                                         plan.deadline, sleep, opts);
+  EXPECT_TRUE(r.met_deadline);
+  // Every task starts/finishes exactly where the static schedule put it.
+  for (graph::TaskId v = 0; v < plan.graph.num_tasks(); ++v) {
+    const auto& pl = plan.schedule.placement(v);
+    EXPECT_NEAR(r.tasks[v].start.value(),
+                cycles_to_time(pl.start, plan.level->f).value(), 1e-12);
+    EXPECT_NEAR(r.tasks[v].finish.value(),
+                cycles_to_time(pl.finish, plan.level->f).value(), 1e-12);
+    EXPECT_EQ(r.tasks[v].level_index, plan.level->index);
+  }
+}
+
+TEST_F(OnlineFixture, EarlyFinishesNeverMissDeadline) {
+  const Plan plan = make_plan(4, 1.5);
+  for (const double ratio : {0.9, 0.5, 0.2}) {
+    for (const bool reclaim : {false, true}) {
+      OnlineOptions opts;
+      opts.bcet_ratio = ratio;
+      opts.reclaim = reclaim;
+      opts.seed = 77;
+      const OnlineResult r = simulate_online(plan.schedule, plan.graph, ladder,
+                                             *plan.level, plan.deadline, sleep, opts);
+      EXPECT_TRUE(r.met_deadline) << "ratio " << ratio << " reclaim " << reclaim;
+      // Precedence still holds on realized times.
+      for (graph::TaskId v = 0; v < plan.graph.num_tasks(); ++v)
+        for (const graph::TaskId s : plan.graph.successors(v))
+          EXPECT_LE(r.tasks[v].finish.value(),
+                    r.tasks[s].start.value() * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST_F(OnlineFixture, ReclamationSavesEnergyUnderVariability) {
+  const Plan plan = make_plan(5, 1.5);
+  OnlineOptions base;
+  base.bcet_ratio = 0.4;
+  base.seed = 11;
+  base.reclaim = false;
+  OnlineOptions reclaim = base;
+  reclaim.reclaim = true;
+  const OnlineResult r0 = simulate_online(plan.schedule, plan.graph, ladder, *plan.level,
+                                          plan.deadline, sleep, base);
+  const OnlineResult r1 = simulate_online(plan.schedule, plan.graph, ladder, *plan.level,
+                                          plan.deadline, sleep, reclaim);
+  EXPECT_LT(r1.breakdown.total().value(), r0.breakdown.total().value());
+}
+
+TEST_F(OnlineFixture, NoVariabilityReclamationNeverRunsBelowCritical) {
+  const Plan plan = make_plan(6, 8.0);
+  OnlineOptions opts;
+  opts.reclaim = true;
+  const OnlineResult r = simulate_online(plan.schedule, plan.graph, ladder, *plan.level,
+                                         plan.deadline, sleep, opts);
+  const std::size_t crit = ladder.critical_level().index;
+  for (const auto& t : r.tasks) EXPECT_GE(t.level_index, crit);
+}
+
+TEST_F(OnlineFixture, DeterministicInSeed) {
+  const Plan plan = make_plan(7, 2.0);
+  OnlineOptions opts;
+  opts.bcet_ratio = 0.5;
+  opts.seed = 123;
+  const OnlineResult a = simulate_online(plan.schedule, plan.graph, ladder, *plan.level,
+                                         plan.deadline, sleep, opts);
+  const OnlineResult b = simulate_online(plan.schedule, plan.graph, ladder, *plan.level,
+                                         plan.deadline, sleep, opts);
+  EXPECT_DOUBLE_EQ(a.breakdown.total().value(), b.breakdown.total().value());
+  opts.seed = 124;
+  const OnlineResult c = simulate_online(plan.schedule, plan.graph, ladder, *plan.level,
+                                         plan.deadline, sleep, opts);
+  EXPECT_NE(a.breakdown.total().value(), c.breakdown.total().value());
+}
+
+TEST_F(OnlineFixture, TransitionCostChargedPerLevelChange) {
+  const Plan plan = make_plan(9, 1.5);
+  OnlineOptions opts;
+  opts.bcet_ratio = 0.3;  // strong variability => reclamation mixes levels
+  opts.seed = 5;
+  opts.reclaim = true;
+  const OnlineResult free_t = simulate_online(plan.schedule, plan.graph, ladder,
+                                              *plan.level, plan.deadline, sleep, opts);
+  opts.transition_energy = Joules{1e-4};
+  const OnlineResult costly = simulate_online(plan.schedule, plan.graph, ladder,
+                                              *plan.level, plan.deadline, sleep, opts);
+  EXPECT_DOUBLE_EQ(free_t.breakdown.transition.value(), 0.0);
+  EXPECT_EQ(costly.breakdown.transitions, free_t.breakdown.transitions);
+  EXPECT_NEAR(costly.breakdown.transition.value(),
+              1e-4 * static_cast<double>(costly.breakdown.transitions), 1e-15);
+  EXPECT_NEAR(costly.breakdown.total().value(),
+              free_t.breakdown.total().value() +
+                  1e-4 * static_cast<double>(costly.breakdown.transitions),
+              1e-12);
+}
+
+TEST_F(OnlineFixture, RejectsBadInputs) {
+  const Plan plan = make_plan(8, 2.0);
+  OnlineOptions opts;
+  opts.bcet_ratio = 0.0;
+  EXPECT_THROW((void)simulate_online(plan.schedule, plan.graph, ladder, *plan.level,
+                                     plan.deadline, sleep, opts),
+               std::invalid_argument);
+  opts.bcet_ratio = 0.5;
+  // Plan that misses the deadline at the static level: shrink the deadline.
+  EXPECT_THROW((void)simulate_online(plan.schedule, plan.graph, ladder, *plan.level,
+                                     plan.deadline * 0.1, sleep, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lamps::sim

@@ -1,0 +1,123 @@
+// Frame-based periodic-task translation tests (paper section 3.1 /
+// Liberato et al. [25]).
+#include <gtest/gtest.h>
+
+#include "apps/periodic.hpp"
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+
+namespace lamps::apps {
+namespace {
+
+using namespace lamps::unit_literals;
+
+PeriodicTaskSet sample_set() {
+  PeriodicTaskSet ts;
+  (void)ts.add_task({"sensor", 3'000'000, 10.0_ms, Seconds{0.0}, Seconds{0.0}});
+  (void)ts.add_task({"filter", 9'000'000, 20.0_ms, Seconds{0.0}, Seconds{0.0}});
+  (void)ts.add_task({"actuate", 2'000'000, 20.0_ms, 15.0_ms, Seconds{0.0}});
+  ts.add_dependence(0, 1);  // sensor -> filter (10 ms -> 20 ms, harmonic)
+  ts.add_dependence(1, 2);  // filter -> actuate
+  return ts;
+}
+
+TEST(Periodic, HyperperiodIsLcm) {
+  const PeriodicTaskSet ts = sample_set();
+  EXPECT_NEAR(ts.hyperperiod().value(), 0.020, 1e-12);
+
+  PeriodicTaskSet odd;
+  (void)odd.add_task({"a", 1, 6.0_ms, Seconds{0.0}, Seconds{0.0}});
+  (void)odd.add_task({"b", 1, 10.0_ms, Seconds{0.0}, Seconds{0.0}});
+  EXPECT_NEAR(odd.hyperperiod().value(), 0.030, 1e-12);
+}
+
+TEST(Periodic, UtilizationSum) {
+  const PeriodicTaskSet ts = sample_set();
+  // At 3 GHz: 3e6/(0.01*3e9) + 9e6/(0.02*3e9) + 2e6/(0.02*3e9)
+  EXPECT_NEAR(ts.utilization(Hertz{3e9}), 0.1 + 0.15 + 2.0 / 60.0, 1e-12);
+}
+
+TEST(Periodic, UnrollJobCountsAndDeadlines) {
+  const PeriodicTaskSet ts = sample_set();
+  const graph::TaskGraph g = ts.to_task_graph(2);  // two hyperperiods = 40 ms
+  // sensor: 4 jobs, filter: 2, actuate: 2.
+  EXPECT_EQ(g.num_tasks(), 4u + 2u + 2u);
+  ASSERT_TRUE(g.has_explicit_deadlines());
+  // Implicit deadlines: sensor job k due at (k+1)*10 ms.
+  EXPECT_EQ(g.label(0), "sensor@0");
+  EXPECT_NEAR(g.explicit_deadline(0)->value(), 0.010, 1e-12);
+  EXPECT_NEAR(g.explicit_deadline(1)->value(), 0.020, 1e-12);
+  // Constrained deadline: actuate due 15 ms after its release.
+  const graph::TaskId act0 = 6;
+  EXPECT_EQ(g.label(act0), "actuate@0");
+  EXPECT_NEAR(g.explicit_deadline(act0)->value(), 0.015, 1e-12);
+}
+
+TEST(Periodic, JobChainsAndDependences) {
+  const PeriodicTaskSet ts = sample_set();
+  const graph::TaskGraph g = ts.to_task_graph(1);
+  // Ids: sensor@0=0, sensor@1=1, filter@0=2, actuate@0=3.
+  EXPECT_TRUE(graph::has_edge(g, 0, 1));  // job order chain
+  EXPECT_TRUE(graph::has_edge(g, 0, 2));  // sensor@0 -> filter@0 (released together)
+  EXPECT_FALSE(graph::has_edge(g, 1, 2)); // sensor@1 released after filter@0
+  EXPECT_TRUE(graph::has_edge(g, 2, 3));  // filter -> actuate
+}
+
+TEST(Periodic, PhaseShiftsReleases) {
+  PeriodicTaskSet ts;
+  (void)ts.add_task({"a", 1'000'000, 10.0_ms, Seconds{0.0}, 5.0_ms});
+  const graph::TaskGraph g = ts.to_task_graph(1);
+  ASSERT_EQ(g.num_tasks(), 1u);  // one release in [5 ms, 10 ms)
+  EXPECT_NEAR(g.explicit_deadline(0)->value(), 0.015, 1e-12);
+}
+
+TEST(Periodic, SchedulableThroughStrategies) {
+  const PeriodicTaskSet ts = sample_set();
+  const graph::TaskGraph g = ts.to_task_graph(2);
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  core::Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = Seconds{ts.hyperperiod().value() * 2.0};
+  for (const core::StrategyKind k : core::kHeuristics) {
+    const core::StrategyResult r = core::run_strategy(k, prob);
+    ASSERT_TRUE(r.feasible) << core::to_string(k);
+    const auto& lvl = ladder.level(r.level_index);
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+      if (const auto d = g.explicit_deadline(v)) {
+        EXPECT_LE(static_cast<double>(r.schedule->placement(v).finish) / lvl.f.value(),
+                  d->value() * (1.0 + 1e-9))
+            << core::to_string(k) << " " << g.label(v);
+      }
+  }
+}
+
+TEST(Periodic, Validation) {
+  PeriodicTaskSet ts;
+  EXPECT_THROW((void)ts.add_task({"bad", 1, Seconds{0.0}, Seconds{0.0}, Seconds{0.0}}),
+               std::invalid_argument);  // zero period
+  EXPECT_THROW((void)ts.add_task({"bad", 1, 10.0_ms, 20.0_ms, Seconds{0.0}}),
+               std::invalid_argument);  // deadline > period
+  EXPECT_THROW((void)ts.add_task({"bad", 1, 10.0_ms, Seconds{0.0}, Seconds{-1.0}}),
+               std::invalid_argument);  // negative phase
+  EXPECT_THROW((void)ts.add_task({"bad", 1, Seconds{1.23e-7}, Seconds{0.0}, Seconds{0.0}}),
+               std::invalid_argument);  // off the 1 us grid
+
+  (void)ts.add_task({"a", 1, 10.0_ms, Seconds{0.0}, Seconds{0.0}});
+  (void)ts.add_task({"b", 1, 15.0_ms, Seconds{0.0}, Seconds{0.0}});
+  EXPECT_THROW(ts.add_dependence(0, 1), std::invalid_argument);  // 10 vs 15: not harmonic
+  EXPECT_THROW(ts.add_dependence(0, 0), std::invalid_argument);
+  EXPECT_THROW(ts.add_dependence(0, 7), std::out_of_range);
+  EXPECT_THROW((void)ts.to_task_graph(0), std::invalid_argument);
+}
+
+TEST(Periodic, EmptySet) {
+  const PeriodicTaskSet ts;
+  EXPECT_DOUBLE_EQ(ts.hyperperiod().value(), 0.0);
+  EXPECT_EQ(ts.to_task_graph(1).num_tasks(), 0u);
+}
+
+}  // namespace
+}  // namespace lamps::apps

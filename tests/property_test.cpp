@@ -1,0 +1,165 @@
+// Property-based invariant checks across randomly generated task graphs.
+//
+// For every sampled (graph, granularity, deadline factor) instance these
+// verify the invariants the paper's argumentation rests on:
+//   * every heuristic's schedule is structurally valid and meets the
+//     deadline at the chosen operating point,
+//   * LIMIT-MF <= LIMIT-SF <= every heuristic (the bounds are bounds),
+//   * +PS never loses to its base heuristic, LAMPS never loses to S&S,
+//   * LAMPS employs no more processors than S&S,
+//   * strategies are deterministic.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "sched/schedule.hpp"
+#include "stg/random_gen.hpp"
+#include "stg/suite.hpp"
+
+namespace lamps::core {
+namespace {
+
+using graph::TaskGraph;
+
+struct PropertyCase {
+  std::size_t num_tasks;
+  std::size_t variant;  // indexes the suite's parameter combinations
+  Cycles cycles_per_unit;
+  double deadline_factor;
+};
+
+class StrategyProperties : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  static const power::PowerModel& model() {
+    static const power::PowerModel m;
+    return m;
+  }
+  static const power::DvsLadder& ladder() {
+    static const power::DvsLadder l{model()};
+    return l;
+  }
+
+  static TaskGraph make_graph(const PropertyCase& pc) {
+    const auto specs = stg::random_group_specs(pc.num_tasks, pc.variant + 1);
+    return graph::scale_weights(stg::generate_random(specs[pc.variant]),
+                                pc.cycles_per_unit);
+  }
+
+  static Problem make_problem(const TaskGraph& g, double factor) {
+    Problem p;
+    p.graph = &g;
+    p.model = &model();
+    p.ladder = &ladder();
+    const Cycles cpl = graph::critical_path_length(g);
+    p.deadline =
+        Seconds{static_cast<double>(cpl) / model().max_frequency().value() * factor};
+    return p;
+  }
+};
+
+TEST_P(StrategyProperties, SchedulesAreValidAndMeetDeadline) {
+  const PropertyCase pc = GetParam();
+  const TaskGraph g = make_graph(pc);
+  const Problem prob = make_problem(g, pc.deadline_factor);
+  for (const StrategyKind k : kHeuristics) {
+    const StrategyResult r = run_strategy(k, prob);
+    ASSERT_TRUE(r.feasible) << to_string(k);
+    ASSERT_TRUE(r.schedule.has_value()) << to_string(k);
+    EXPECT_EQ(sched::validate_schedule(*r.schedule, g), "") << to_string(k);
+    EXPECT_LE(r.completion.value(), prob.deadline.value() * (1.0 + 1e-9)) << to_string(k);
+    EXPECT_GT(r.num_procs, 0u) << to_string(k);
+    // The chosen level really is on the ladder and fits the deadline.
+    const power::DvsLevel& lvl = ladder().level(r.level_index);
+    EXPECT_LE(static_cast<double>(r.schedule->makespan()) / lvl.f.value(),
+              prob.deadline.value() * (1.0 + 1e-9))
+        << to_string(k);
+  }
+}
+
+TEST_P(StrategyProperties, EnergyOrderings) {
+  const PropertyCase pc = GetParam();
+  const TaskGraph g = make_graph(pc);
+  const Problem prob = make_problem(g, pc.deadline_factor);
+
+  const StrategyResult sns = run_strategy(StrategyKind::kSns, prob);
+  const StrategyResult lam = run_strategy(StrategyKind::kLamps, prob);
+  const StrategyResult sns_ps = run_strategy(StrategyKind::kSnsPs, prob);
+  const StrategyResult lam_ps = run_strategy(StrategyKind::kLampsPs, prob);
+  const StrategyResult lsf = run_strategy(StrategyKind::kLimitSf, prob);
+  const StrategyResult lmf = run_strategy(StrategyKind::kLimitMf, prob);
+  ASSERT_TRUE(sns.feasible && lam.feasible && sns_ps.feasible && lam_ps.feasible &&
+              lsf.feasible);
+
+  const double eps = 1.0 + 1e-9;
+  EXPECT_LE(lmf.energy().value(), lsf.energy().value() * eps);
+  for (const StrategyResult* r : {&sns, &lam, &sns_ps, &lam_ps})
+    EXPECT_LE(lsf.energy().value(), r->energy().value() * eps);
+  EXPECT_LE(lam.energy().value(), sns.energy().value() * eps);
+  EXPECT_LE(sns_ps.energy().value(), sns.energy().value() * eps);
+  EXPECT_LE(lam_ps.energy().value(), lam.energy().value() * eps);
+  EXPECT_LE(lam.num_procs, sns.num_procs);
+}
+
+TEST_P(StrategyProperties, Determinism) {
+  const PropertyCase pc = GetParam();
+  const TaskGraph g = make_graph(pc);
+  const Problem prob = make_problem(g, pc.deadline_factor);
+  for (const StrategyKind k : {StrategyKind::kSns, StrategyKind::kLampsPs}) {
+    const StrategyResult a = run_strategy(k, prob);
+    const StrategyResult b = run_strategy(k, prob);
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.num_procs, b.num_procs);
+    EXPECT_EQ(a.level_index, b.level_index);
+    EXPECT_DOUBLE_EQ(a.energy().value(), b.energy().value());
+  }
+}
+
+TEST_P(StrategyProperties, BreakdownComponentsConsistent) {
+  const PropertyCase pc = GetParam();
+  const TaskGraph g = make_graph(pc);
+  const Problem prob = make_problem(g, pc.deadline_factor);
+  const StrategyResult r = run_strategy(StrategyKind::kLampsPs, prob);
+  ASSERT_TRUE(r.feasible);
+  const auto& e = r.breakdown;
+  EXPECT_GE(e.dynamic.value(), 0.0);
+  EXPECT_GE(e.leakage.value(), 0.0);
+  EXPECT_GE(e.intrinsic.value(), 0.0);
+  EXPECT_GE(e.sleep.value(), 0.0);
+  EXPECT_GE(e.wakeup.value(), 0.0);
+  EXPECT_NEAR(e.total().value(),
+              e.dynamic.value() + e.leakage.value() + e.intrinsic.value() +
+                  e.sleep.value() + e.wakeup.value(),
+              e.total().value() * 1e-12);
+  // Dynamic energy is at least total work at the chosen level's switching
+  // cost (every cycle must be executed).
+  const power::DvsLevel& lvl = ladder().level(r.level_index);
+  const Seconds busy_total = cycles_to_time(g.total_work(), lvl.f);
+  EXPECT_NEAR(e.dynamic.value(), (lvl.active.dynamic * busy_total).value(),
+              e.dynamic.value() * 1e-9);
+}
+
+std::vector<PropertyCase> property_cases() {
+  std::vector<PropertyCase> cases;
+  for (const std::size_t n : {30UL, 60UL, 120UL})
+    for (std::size_t variant = 0; variant < 6; ++variant)
+      for (const Cycles grain : {stg::kCoarseGrainCyclesPerUnit, stg::kFineGrainCyclesPerUnit})
+        for (const double factor : {1.5, 4.0})
+          cases.push_back(PropertyCase{n, variant, grain, factor});
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& pc = info.param;
+  return "n" + std::to_string(pc.num_tasks) + "_v" + std::to_string(pc.variant) +
+         (pc.cycles_per_unit == stg::kCoarseGrainCyclesPerUnit ? "_coarse" : "_fine") +
+         "_d" + std::to_string(static_cast<int>(pc.deadline_factor * 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, StrategyProperties,
+                         ::testing::ValuesIn(property_cases()), case_name);
+
+}  // namespace
+}  // namespace lamps::core

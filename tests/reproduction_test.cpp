@@ -1,0 +1,167 @@
+// Reproduction lock: pins the headline numbers of the paper that this
+// repository reproduces, so refactoring cannot silently drift the results.
+// EXPERIMENTS.md documents the full comparison; these are the
+// load-bearing checks in executable form.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "apps/mpeg.hpp"
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "power/sleep_model.hpp"
+#include "stg/suite.hpp"
+
+namespace lamps {
+namespace {
+
+class Reproduction : public ::testing::Test {
+ protected:
+  power::PowerModel model;
+  power::DvsLadder ladder{model};
+};
+
+TEST_F(Reproduction, PowerModelHeadlineNumbers) {
+  // Section 3.2/3.3: 3.1 GHz at 1 V; critical speed 0.38 (continuous),
+  // 0.41 at 0.7 V (discrete).
+  EXPECT_NEAR(model.max_frequency().value(), 3.086e9, 1e7);
+  EXPECT_NEAR(model.critical_frequency() / model.max_frequency(), 0.382, 0.002);
+  EXPECT_NEAR(ladder.critical_level().vdd.value(), 0.70, 1e-9);
+  EXPECT_NEAR(ladder.critical_level().f_norm, 0.410, 0.002);
+  // Section 3.4 / Fig 3: ~1.7 M idle cycles breakeven at half speed.
+  const power::SleepModel sleep(model);
+  const auto& half = ladder.level(ladder.critical_level().index + 1);  // 0.75 V, ~0.50
+  ASSERT_NEAR(half.f_norm, 0.496, 0.01);
+  EXPECT_NEAR(sleep.breakeven_cycles(half.idle, half.f) / 1e6, 1.68, 0.1);
+}
+
+TEST_F(Reproduction, MpegTable3) {
+  // Paper Table 3 (their unit; ratios are the comparable quantity):
+  //   S&S 18.116 (7 procs), LAMPS 13.290 (3), S&S+PS 10.949 (7),
+  //   LAMPS+PS 10.947 (6), LIMIT-SF = LIMIT-MF = 10.940.
+  const graph::TaskGraph g = apps::mpeg1_gop_graph();
+  core::Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = Seconds{0.5};
+
+  const auto sns = core::run_strategy(core::StrategyKind::kSns, prob);
+  const auto lam = core::run_strategy(core::StrategyKind::kLamps, prob);
+  const auto sps = core::run_strategy(core::StrategyKind::kSnsPs, prob);
+  const auto lps = core::run_strategy(core::StrategyKind::kLampsPs, prob);
+  const auto lsf = core::run_strategy(core::StrategyKind::kLimitSf, prob);
+  const auto lmf = core::run_strategy(core::StrategyKind::kLimitMf, prob);
+  ASSERT_TRUE(sns.feasible && lam.feasible && sps.feasible && lps.feasible &&
+              lsf.feasible);
+
+  // Our measured values (locked): S&S 1.768 J / 8 procs, LAMPS 1.328 / 3,
+  // S&S+PS 1.105 / 8, LAMPS+PS 1.102 / 6, limits 1.0962.
+  EXPECT_NEAR(sns.energy().value(), 1.7679, 0.01);
+  EXPECT_NEAR(lam.energy().value(), 1.3278, 0.01);
+  EXPECT_NEAR(sps.energy().value(), 1.1046, 0.01);
+  EXPECT_NEAR(lps.energy().value(), 1.1021, 0.01);
+  EXPECT_NEAR(lsf.energy().value(), 1.0962, 0.01);
+  EXPECT_DOUBLE_EQ(lsf.energy().value(), lmf.energy().value());
+  EXPECT_EQ(lam.num_procs, 3u);   // paper: 3
+  EXPECT_EQ(lps.num_procs, 6u);   // paper: 6
+  EXPECT_EQ(sns.num_procs, 8u);   // paper: 7 (tie-break difference, documented)
+
+  // Paper ratios: LAMPS 73.4%, S&S+PS/LAMPS+PS/LIMIT 60.4% of S&S; ours
+  // must stay within a few points.
+  EXPECT_NEAR(lam.energy().value() / sns.energy().value(), 0.734, 0.03);
+  EXPECT_NEAR(lps.energy().value() / sns.energy().value(), 0.604, 0.03);
+  EXPECT_NEAR(lsf.energy().value() / sns.energy().value(), 0.604, 0.03);
+}
+
+TEST_F(Reproduction, CoarseGrainHeadroomAttainment) {
+  // Section 5.2: "LAMPS+PS attains more than 94% of the possible energy
+  // reduction with coarse-grain tasks, for all combinations".  Check on a
+  // small but diverse sample: the three application graphs at 1.5x and 8x.
+  for (const auto& app : stg::application_graphs()) {
+    const graph::TaskGraph g =
+        graph::scale_weights(app, stg::kCoarseGrainCyclesPerUnit);
+    for (const double factor : {1.5, 8.0}) {
+      core::Problem prob;
+      prob.graph = &g;
+      prob.model = &model;
+      prob.ladder = &ladder;
+      prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                              model.max_frequency().value() * factor};
+      const auto sns = core::run_strategy(core::StrategyKind::kSns, prob);
+      const auto lps = core::run_strategy(core::StrategyKind::kLampsPs, prob);
+      const auto lsf = core::run_strategy(core::StrategyKind::kLimitSf, prob);
+      ASSERT_TRUE(sns.feasible && lps.feasible && lsf.feasible);
+      const double headroom = sns.energy().value() - lsf.energy().value();
+      ASSERT_GT(headroom, 0.0);
+      const double attained = (sns.energy().value() - lps.energy().value()) / headroom;
+      EXPECT_GT(attained, 0.94) << app.name() << " @" << factor;
+    }
+  }
+}
+
+TEST_F(Reproduction, LimitsCoincideAtLooseDeadlinesOnApps) {
+  // Section 6: "For loose deadlines (4x or 8x the CPL), LIMIT-MF consumes
+  // the same amount of energy as LIMIT-SF."
+  for (const auto& app : stg::application_graphs()) {
+    const graph::TaskGraph g =
+        graph::scale_weights(app, stg::kCoarseGrainCyclesPerUnit);
+    for (const double factor : {4.0, 8.0}) {
+      core::Problem prob;
+      prob.graph = &g;
+      prob.model = &model;
+      prob.ladder = &ladder;
+      prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                              model.max_frequency().value() * factor};
+      EXPECT_DOUBLE_EQ(core::limit_sf(prob).energy().value(),
+                       core::limit_mf(prob).energy().value())
+          << app.name() << " @" << factor;
+    }
+  }
+}
+
+TEST_F(Reproduction, Table2StatisticsExact) {
+  // The synthetic application graphs must match Table 2 exactly — this is
+  // the substitution contract of DESIGN.md section 6.
+  struct Row {
+    const char* name;
+    std::size_t nodes, edges;
+    Cycles cpl, work;
+  };
+  const Row rows[] = {{"fpppp", 334, 1196, 1062, 7113},
+                      {"robot", 88, 130, 545, 2459},
+                      {"sparse", 96, 128, 122, 1920}};
+  const auto apps = stg::application_graphs();
+  ASSERT_EQ(apps.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(apps[i].name(), rows[i].name);
+    EXPECT_EQ(apps[i].num_tasks(), rows[i].nodes);
+    EXPECT_EQ(apps[i].num_edges(), rows[i].edges);
+    EXPECT_EQ(graph::critical_path_length(apps[i]), rows[i].cpl);
+    EXPECT_EQ(apps[i].total_work(), rows[i].work);
+  }
+}
+
+TEST_F(Reproduction, SchedulerRuntimeWithinPaperBound) {
+  // Section 4.2: "finding the optimal configuration never took more than
+  // 20 seconds on a 3 GHz Pentium 4".  Our LAMPS+PS on the biggest
+  // application graph must be orders of magnitude inside that.
+  const graph::TaskGraph g = graph::scale_weights(stg::application_graphs()[0],
+                                                  stg::kCoarseGrainCyclesPerUnit);
+  core::Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                          model.max_frequency().value() * 2.0};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = core::run_strategy(core::StrategyKind::kLampsPs, prob);
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                          .count();
+  EXPECT_TRUE(r.feasible);
+  EXPECT_LT(secs, 20.0);
+}
+
+}  // namespace
+}  // namespace lamps

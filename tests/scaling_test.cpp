@@ -1,0 +1,156 @@
+// Technology-scaling and memory-boundedness model tests.
+#include <gtest/gtest.h>
+
+#include "energy/memory_model.hpp"
+#include "graph/analysis.hpp"
+#include "power/dvs_ladder.hpp"
+#include "power/technology.hpp"
+#include "sched/list_scheduler.hpp"
+#include "stg/random_gen.hpp"
+
+namespace lamps {
+namespace {
+
+// ------------------------------------------------- technology scaling --
+
+TEST(TechnologyScaling, GenerationZeroIsThePaperNode) {
+  const power::Technology base = power::technology_70nm();
+  const power::Technology t = power::technology_scaled(0);
+  EXPECT_DOUBLE_EQ(t.k3, base.k3);
+  EXPECT_DOUBLE_EQ(t.ij, base.ij);
+  EXPECT_DOUBLE_EQ(t.ceff, base.ceff);
+}
+
+TEST(TechnologyScaling, LeakageGrowsDynamicShrinks) {
+  const power::Technology base = power::technology_70nm();
+  const power::Technology t = power::technology_scaled(2);
+  EXPECT_DOUBLE_EQ(t.k3, base.k3 * 25.0);
+  EXPECT_DOUBLE_EQ(t.ij, base.ij * 25.0);
+  EXPECT_NEAR(t.ceff, base.ceff * 0.49, 1e-15);
+}
+
+TEST(TechnologyScaling, StaticShareRisesWithGenerations) {
+  double prev = 0.0;
+  for (unsigned gen = 0; gen <= 3; ++gen) {
+    const power::PowerModel model(power::technology_scaled(gen));
+    const power::PowerBreakdown p = model.active_power(model.tech().vdd_nominal);
+    const double share = (p.leakage + p.intrinsic) / p.total();
+    EXPECT_GT(share, prev);
+    prev = share;
+  }
+  EXPECT_GT(prev, 0.9);  // three generations out, leakage dominates
+}
+
+TEST(TechnologyScaling, CriticalSpeedRisesWithLeakage) {
+  // More leakage makes slow execution costlier: the critical frequency
+  // climbs (paper section 1 argument in model form).
+  const power::PowerModel now{power::technology_scaled(0)};
+  const power::PowerModel later{power::technology_scaled(2)};
+  EXPECT_GT(later.critical_frequency() / later.max_frequency(),
+            now.critical_frequency() / now.max_frequency());
+}
+
+TEST(TechnologyScaling, FrequencyLadderUnchanged) {
+  // Delay model is fixed by design: same f_max, same levels.
+  const power::PowerModel a{power::technology_scaled(0)};
+  const power::PowerModel b{power::technology_scaled(3)};
+  EXPECT_DOUBLE_EQ(a.max_frequency().value(), b.max_frequency().value());
+}
+
+TEST(TechnologyScaling, RejectsImplausibleFactors) {
+  EXPECT_THROW((void)power::technology_scaled(1, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)power::technology_scaled(1, 5.0, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)power::technology_scaled(1, 5.0, 0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- memory model --
+
+class MemoryModelFixture : public ::testing::Test {
+ protected:
+  power::PowerModel model;
+  power::DvsLadder ladder{model};
+
+  struct Setup {
+    graph::TaskGraph graph;
+    sched::Schedule schedule;
+  };
+
+  [[nodiscard]] static Setup make_setup(std::uint64_t seed) {
+    stg::RandomGraphSpec spec;
+    spec.num_tasks = 40;
+    spec.method = stg::GenMethod::kLayrPred;
+    spec.seed = seed;
+    graph::TaskGraph g = stg::generate_random(spec);
+    sched::Schedule s = sched::list_schedule_edf(g, 3, 10 * g.total_work());
+    return Setup{std::move(g), std::move(s)};
+  }
+};
+
+TEST_F(MemoryModelFixture, ZeroMemoryFractionMatchesConservativeModel) {
+  const Setup su = make_setup(1);
+  const std::vector<double> zero(su.graph.num_tasks(), 0.0);
+  const auto r = energy::retime_memory_aware(su.schedule, su.graph,
+                                             ladder.critical_level(),
+                                             model.max_frequency(), zero);
+  EXPECT_NEAR(r.makespan.value(), r.conservative_makespan.value(),
+              r.conservative_makespan.value() * 1e-12);
+  EXPECT_NEAR(r.margin, 0.0, 1e-12);
+}
+
+TEST_F(MemoryModelFixture, MemoryFractionCreatesMargin) {
+  const Setup su = make_setup(2);
+  const std::vector<double> mem(su.graph.num_tasks(), 0.3);
+  const auto& lvl = ladder.critical_level();  // f < f_max: memory is "free" speedup
+  const auto r = energy::retime_memory_aware(su.schedule, su.graph, lvl,
+                                             model.max_frequency(), mem);
+  EXPECT_LT(r.makespan.value(), r.conservative_makespan.value());
+  EXPECT_GT(r.margin, 0.0);
+  // At f = f_max there is no margin regardless of the fraction.
+  const auto top = energy::retime_memory_aware(su.schedule, su.graph,
+                                               ladder.max_level(),
+                                               model.max_frequency(), mem);
+  EXPECT_NEAR(top.margin, 0.0, 1e-12);
+}
+
+TEST_F(MemoryModelFixture, MarginGrowsWithMemoryFractionAndSlowerClock) {
+  const Setup su = make_setup(3);
+  const auto margin_for = [&](double m, const power::DvsLevel& lvl) {
+    const std::vector<double> mem(su.graph.num_tasks(), m);
+    return energy::retime_memory_aware(su.schedule, su.graph, lvl,
+                                       model.max_frequency(), mem)
+        .margin;
+  };
+  const auto& crit = ladder.critical_level();
+  EXPECT_LT(margin_for(0.1, crit), margin_for(0.5, crit));
+  EXPECT_LT(margin_for(0.3, ladder.level(crit.index + 2)), margin_for(0.3, ladder.level(0)));
+}
+
+TEST_F(MemoryModelFixture, FinishTimesRespectPrecedence) {
+  const Setup su = make_setup(4);
+  const std::vector<double> mem(su.graph.num_tasks(), 0.4);
+  const auto r = energy::retime_memory_aware(su.schedule, su.graph,
+                                             ladder.critical_level(),
+                                             model.max_frequency(), mem);
+  for (graph::TaskId v = 0; v < su.graph.num_tasks(); ++v)
+    for (const graph::TaskId s : su.graph.successors(v))
+      EXPECT_LE(r.finish[v].value(),
+                r.finish[s].value() + 1e-15);  // succ finishes after its pred
+}
+
+TEST_F(MemoryModelFixture, Validation) {
+  const Setup su = make_setup(5);
+  const std::vector<double> wrong_size(3, 0.1);
+  EXPECT_THROW((void)energy::retime_memory_aware(su.schedule, su.graph,
+                                                 ladder.max_level(),
+                                                 model.max_frequency(), wrong_size),
+               std::invalid_argument);
+  std::vector<double> bad(su.graph.num_tasks(), 0.1);
+  bad[0] = 1.5;
+  EXPECT_THROW((void)energy::retime_memory_aware(su.schedule, su.graph,
+                                                 ladder.max_level(),
+                                                 model.max_frequency(), bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lamps

@@ -1,0 +1,307 @@
+// Scheduler tests: schedule container invariants, latest-finish
+// propagation, priority policies, LS-EDF behaviour on the paper's worked
+// example (Fig 4), and Gantt rendering.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "sched/deadlines.hpp"
+#include "sched/gantt.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/priorities.hpp"
+#include "sched/schedule.hpp"
+
+namespace lamps::sched {
+namespace {
+
+using graph::TaskGraph;
+using graph::TaskGraphBuilder;
+using graph::TaskId;
+
+TaskGraph fig4_graph() {
+  TaskGraphBuilder b("fig4");
+  const TaskId t1 = b.add_task(2, "T1");
+  const TaskId t2 = b.add_task(6, "T2");
+  const TaskId t3 = b.add_task(4, "T3");
+  b.add_task(4, "T4");
+  const TaskId t5 = b.add_task(2, "T5");
+  b.add_edge(t1, t2);
+  b.add_edge(t1, t3);
+  b.add_edge(t2, t5);
+  b.add_edge(t3, t5);
+  return b.build();
+}
+
+// ------------------------------------------------------------- schedule --
+
+TEST(Schedule, PlacementBookkeeping) {
+  Schedule s(2, 3);
+  s.place(0, 0, 0, 5);
+  s.place(1, 1, 0, 2);
+  s.place(2, 1, 4, 9);
+  EXPECT_EQ(s.makespan(), 9u);
+  EXPECT_EQ(s.busy_cycles(0), 5u);
+  EXPECT_EQ(s.busy_cycles(1), 7u);
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.placement(2).start, 4u);
+  EXPECT_EQ(s.proc_available(1), 9u);
+  EXPECT_EQ(s.on_proc(1).size(), 2u);
+}
+
+TEST(Schedule, RejectsOverlapDoublePlacementAndBadIds) {
+  Schedule s(1, 2);
+  s.place(0, 0, 0, 5);
+  EXPECT_THROW(s.place(1, 0, 4, 6), std::logic_error);   // overlap
+  EXPECT_THROW(s.place(0, 0, 5, 6), std::logic_error);   // already placed
+  EXPECT_THROW(s.place(1, 3, 5, 6), std::logic_error);   // bad proc
+  Schedule s2(1, 2);
+  EXPECT_THROW(s2.place(7, 0, 0, 1), std::logic_error);  // bad task
+  EXPECT_THROW(s2.place(0, 0, 2, 1), std::logic_error);  // finish < start
+  EXPECT_THROW(Schedule(0, 1), std::invalid_argument);
+}
+
+TEST(Schedule, GapsIncludeLeadingInternalTrailing) {
+  Schedule s(2, 2);
+  s.place(0, 0, 3, 5);   // leading gap [0,3)
+  s.place(1, 0, 8, 10);  // internal gap [5,8)
+  const auto gaps = s.gaps(12);
+  // proc 0: [0,3), [5,8), [10,12); proc 1: [0,12).
+  ASSERT_EQ(gaps.size(), 4u);
+  EXPECT_EQ(gaps[0].begin, 0u);
+  EXPECT_EQ(gaps[0].end, 3u);
+  EXPECT_EQ(gaps[1].begin, 5u);
+  EXPECT_EQ(gaps[1].end, 8u);
+  EXPECT_EQ(gaps[2].begin, 10u);
+  EXPECT_EQ(gaps[2].end, 12u);
+  EXPECT_EQ(gaps[3].proc, 1u);
+  EXPECT_EQ(gaps[3].length(), 12u);
+  EXPECT_THROW((void)s.gaps(9), std::invalid_argument);
+}
+
+TEST(Schedule, ValidateCatchesViolations) {
+  const TaskGraph g = fig4_graph();
+  Schedule bad(2, 5);
+  bad.place(0, 0, 0, 2);
+  bad.place(1, 0, 2, 8);
+  bad.place(2, 1, 0, 4);  // starts before its predecessor T1 finishes
+  bad.place(3, 1, 4, 8);
+  bad.place(4, 0, 8, 10);
+  EXPECT_NE(validate_schedule(bad, g), "");
+
+  Schedule incomplete(2, 5);
+  incomplete.place(0, 0, 0, 2);
+  EXPECT_NE(validate_schedule(incomplete, g), "");
+}
+
+// ------------------------------------------------------------ deadlines --
+
+TEST(Deadlines, BackwardPropagation) {
+  const TaskGraph g = fig4_graph();
+  const auto lf = latest_finish_times(g, 15);
+  EXPECT_EQ(lf[4], 15);      // sink
+  EXPECT_EQ(lf[1], 13);      // before T5
+  EXPECT_EQ(lf[2], 13);
+  EXPECT_EQ(lf[0], 7);       // min(13-6, 13-4) = 7
+  EXPECT_EQ(lf[3], 15);      // independent
+}
+
+TEST(Deadlines, CanGoNegativeWhenInfeasible) {
+  TaskGraphBuilder b;
+  const TaskId a = b.add_task(10), c = b.add_task(10);
+  b.add_edge(a, c);
+  const auto lf = latest_finish_times(b.build(), 5);
+  EXPECT_EQ(lf[1], 5);
+  EXPECT_EQ(lf[0], -5);
+}
+
+TEST(Deadlines, ExplicitDeadlineTightens) {
+  TaskGraphBuilder b;
+  const TaskId a = b.add_task(10), c = b.add_task(10);
+  b.add_edge(a, c);
+  b.set_deadline(a, Seconds{2.0});
+  // At 10 Hz reference, the explicit 2 s deadline = 20 cycles < global 100.
+  const auto lf = latest_finish_times(b.build(), 100, Hertz{10.0});
+  EXPECT_EQ(lf[0], 20);
+  EXPECT_EQ(lf[1], 100);
+}
+
+// ------------------------------------------------------------ priorities --
+
+TEST(Priorities, EdfKeysAreLatestFinishTimes) {
+  const TaskGraph g = fig4_graph();
+  PriorityOptions opts;
+  opts.global_deadline_cycles = 15;
+  const auto keys = make_priority_keys(g, opts);
+  const auto lf = latest_finish_times(g, 15);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) EXPECT_EQ(keys[v], lf[v]);
+}
+
+TEST(Priorities, BottomLevelOrdersLongestPathFirst) {
+  const TaskGraph g = fig4_graph();
+  PriorityOptions opts;
+  opts.policy = PriorityPolicy::kBottomLevel;
+  const auto keys = make_priority_keys(g, opts);
+  EXPECT_LT(keys[0], keys[1]);  // T1 (bl 10) before T2 (bl 8)
+  EXPECT_LT(keys[1], keys[3]);  // T2 (bl 8) before T4 (bl 4)
+}
+
+TEST(Priorities, FifoAndRandomAreValidPermutations) {
+  const TaskGraph g = fig4_graph();
+  PriorityOptions fifo;
+  fifo.policy = PriorityPolicy::kFifo;
+  const auto fk = make_priority_keys(g, fifo);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) EXPECT_EQ(fk[v], v);
+
+  PriorityOptions rnd;
+  rnd.policy = PriorityPolicy::kRandom;
+  rnd.seed = 99;
+  auto rk = make_priority_keys(g, rnd);
+  auto sorted = rk;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    EXPECT_EQ(sorted[i], static_cast<std::int64_t>(i));
+  // Deterministic in the seed.
+  EXPECT_EQ(rk, make_priority_keys(g, rnd));
+}
+
+TEST(Priorities, ToStringCoversAll) {
+  EXPECT_EQ(to_string(PriorityPolicy::kEdf), "edf");
+  EXPECT_EQ(to_string(PriorityPolicy::kBottomLevel), "bottom-level");
+  EXPECT_EQ(to_string(PriorityPolicy::kFifo), "fifo");
+  EXPECT_EQ(to_string(PriorityPolicy::kRandom), "random");
+}
+
+// --------------------------------------------------------- list scheduler --
+
+TEST(ListScheduler, Fig4OnThreeProcessorsMatchesPaper) {
+  // Paper Fig 4b: with 3 processors EDF produces makespan 10 (T1,T2 on P1;
+  // T3 on P2 after T1; T4 on P3; T5 after T2).
+  const TaskGraph g = fig4_graph();
+  const Schedule s = list_schedule_edf(g, 3, 15);
+  EXPECT_EQ(validate_schedule(s, g), "");
+  EXPECT_EQ(s.makespan(), 10u);
+  EXPECT_EQ(s.placement(4).start, 8u);  // T5 right after T2
+}
+
+TEST(ListScheduler, Fig4OnTwoProcessorsMatchesLampsIllustration) {
+  // Paper Fig 7a: on 2 processors the same graph still fits in makespan 10:
+  // P1: T1 T2 T5, P2: T3 T4.
+  const TaskGraph g = fig4_graph();
+  const Schedule s = list_schedule_edf(g, 2, 15);
+  EXPECT_EQ(validate_schedule(s, g), "");
+  EXPECT_EQ(s.makespan(), 10u);
+}
+
+TEST(ListScheduler, SingleProcessorSerializesAllWork) {
+  const TaskGraph g = fig4_graph();
+  const Schedule s = list_schedule_edf(g, 1, 100);
+  EXPECT_EQ(validate_schedule(s, g), "");
+  EXPECT_EQ(s.makespan(), g.total_work());
+}
+
+TEST(ListScheduler, AmpleProcessorsReachCriticalPath) {
+  const TaskGraph g = fig4_graph();
+  const Schedule s = list_schedule_edf(g, g.num_tasks(), 100);
+  EXPECT_EQ(s.makespan(), graph::critical_path_length(g));
+}
+
+TEST(ListScheduler, MakespanNeverBelowCriticalPathOrWorkBound) {
+  const TaskGraph g = fig4_graph();
+  for (std::size_t n = 1; n <= 5; ++n) {
+    const Schedule s = list_schedule_edf(g, n, 100);
+    EXPECT_GE(s.makespan(), graph::critical_path_length(g));
+    EXPECT_GE(s.makespan() * n, g.total_work());
+    EXPECT_EQ(validate_schedule(s, g), "");
+  }
+}
+
+TEST(ListScheduler, EdfPrefersUrgentTask) {
+  // Two independent tasks, one processor: the one with the tighter
+  // explicit deadline must run first even though it has the larger id.
+  TaskGraphBuilder b;
+  (void)b.add_task(5, "late");
+  const TaskId urgent = b.add_task(5, "urgent");
+  b.set_deadline(urgent, Seconds{6.0});
+  const TaskGraph g = b.build();
+  // Reference frequency 1 Hz: 6 s = 6 cycles < global 100.
+  const Schedule s = list_schedule_edf(g, 1, 100, Hertz{1.0});
+  EXPECT_EQ(s.placement(urgent).start, 0u);
+  EXPECT_EQ(s.placement(0).start, 5u);
+}
+
+TEST(ListScheduler, DeterministicTieBreakBySmallerId) {
+  TaskGraphBuilder b;
+  for (int i = 0; i < 4; ++i) (void)b.add_task(2);
+  const TaskGraph g = b.build();
+  const Schedule s = list_schedule_edf(g, 2, 100);
+  // Same deadline everywhere: tasks 0,1 first on procs 0,1, then 2,3.
+  EXPECT_EQ(s.placement(0).proc, 0u);
+  EXPECT_EQ(s.placement(1).proc, 1u);
+  EXPECT_EQ(s.placement(2).start, 2u);
+  EXPECT_EQ(s.placement(3).start, 2u);
+}
+
+TEST(ListScheduler, HandlesZeroWeightTasks) {
+  TaskGraphBuilder b;
+  const TaskId a = b.add_task(0), c = b.add_task(3), d = b.add_task(0);
+  b.add_edge(a, c);
+  b.add_edge(c, d);
+  const TaskGraph g = b.build();
+  const Schedule s = list_schedule_edf(g, 2, 10);
+  EXPECT_EQ(validate_schedule(s, g), "");
+  EXPECT_EQ(s.makespan(), 3u);
+}
+
+TEST(ListScheduler, RejectsBadArguments) {
+  const TaskGraph g = fig4_graph();
+  EXPECT_THROW((void)list_schedule_edf(g, 0, 10), std::invalid_argument);
+  const std::vector<std::int64_t> short_keys(2, 0);
+  EXPECT_THROW((void)list_schedule(g, 1, short_keys), std::invalid_argument);
+}
+
+TEST(ListScheduler, MoreProcessorsNeverUsedThanTasks) {
+  const TaskGraph g = fig4_graph();
+  const Schedule s = list_schedule_edf(g, 50, 100);
+  EXPECT_EQ(validate_schedule(s, g), "");
+  std::size_t used = 0;
+  for (ProcId p = 0; p < s.num_procs(); ++p) used += !s.on_proc(p).empty();
+  EXPECT_LE(used, g.num_tasks());
+}
+
+// ---------------------------------------------------------------- gantt --
+
+TEST(Gantt, AsciiShowsAllProcessorsAndLabels) {
+  const TaskGraph g = fig4_graph();
+  const Schedule s = list_schedule_edf(g, 3, 15);
+  const std::string art = to_ascii_gantt(s, g);
+  EXPECT_NE(art.find("P0 |"), std::string::npos);
+  EXPECT_NE(art.find("P2 |"), std::string::npos);
+  EXPECT_NE(art.find("T1"), std::string::npos);
+  EXPECT_NE(art.find("T5"), std::string::npos);
+}
+
+TEST(Gantt, SvgIsWellFormedEnough) {
+  const TaskGraph g = fig4_graph();
+  const Schedule s = list_schedule_edf(g, 2, 15);
+  std::ostringstream os;
+  write_svg_gantt(s, g, os);
+  const std::string svg = os.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+}
+
+TEST(Gantt, HorizonExtendsAxis) {
+  const TaskGraph g = fig4_graph();
+  const Schedule s = list_schedule_edf(g, 3, 15);
+  GanttOptions opts;
+  opts.width = 40;
+  opts.horizon = 20;  // twice the makespan: bars occupy the left half only
+  const std::string art = to_ascii_gantt(s, g, opts);
+  // The last characters of the P0 row must be idle dots.
+  const auto line_end = art.find('\n');
+  const std::string row0 = art.substr(0, line_end);
+  EXPECT_EQ(row0[row0.size() - 2], '.');
+}
+
+}  // namespace
+}  // namespace lamps::sched

@@ -1,0 +1,87 @@
+// Schedule JSON round-trip tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule_io.hpp"
+#include "stg/random_gen.hpp"
+
+namespace lamps::sched {
+namespace {
+
+TEST(ScheduleIo, RoundTripPreservesEverything) {
+  stg::RandomGraphSpec spec;
+  spec.num_tasks = 40;
+  spec.method = stg::GenMethod::kLayrPred;
+  spec.seed = 9;
+  const graph::TaskGraph g = stg::generate_random(spec);
+  const Schedule a = list_schedule_edf(g, 4, 10 * g.total_work());
+
+  std::stringstream ss;
+  write_schedule_json(a, ss);
+  const Schedule b = read_schedule_json(ss);
+
+  ASSERT_EQ(b.num_procs(), a.num_procs());
+  ASSERT_EQ(b.num_tasks(), a.num_tasks());
+  EXPECT_EQ(b.makespan(), a.makespan());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(b.placement(v).proc, a.placement(v).proc);
+    EXPECT_EQ(b.placement(v).start, a.placement(v).start);
+    EXPECT_EQ(b.placement(v).finish, a.placement(v).finish);
+  }
+  EXPECT_EQ(validate_schedule(b, g), "");
+}
+
+TEST(ScheduleIo, EmptyScheduleRoundTrips) {
+  const Schedule a(3, 0);
+  std::stringstream ss;
+  write_schedule_json(a, ss);
+  const Schedule b = read_schedule_json(ss);
+  EXPECT_EQ(b.num_procs(), 3u);
+  EXPECT_EQ(b.num_tasks(), 0u);
+  EXPECT_EQ(b.makespan(), 0u);
+}
+
+TEST(ScheduleIo, AcceptsReorderedPlacements) {
+  std::istringstream is(
+      R"({"num_procs": 2, "num_tasks": 2, "placements": [
+           {"task": 1, "proc": 0, "start": 5, "finish": 9},
+           {"task": 0, "proc": 0, "start": 0, "finish": 5}]})");
+  const Schedule s = read_schedule_json(is);
+  EXPECT_EQ(s.placement(0).start, 0u);
+  EXPECT_EQ(s.placement(1).start, 5u);
+}
+
+TEST(ScheduleIo, RejectsMalformedInput) {
+  const auto expect_fail = [](const std::string& text) {
+    std::istringstream is(text);
+    EXPECT_THROW((void)read_schedule_json(is), std::runtime_error) << text;
+  };
+  expect_fail("");
+  expect_fail("{}");  // num_procs missing
+  expect_fail(R"({"num_procs": 0, "num_tasks": 0, "placements": []})");
+  expect_fail(R"({"num_procs": 1, "bogus": 3})");
+  expect_fail(R"({"num_procs": 1, "num_tasks": 1, "placements": [{"task": 0)");
+  // Overlapping placements on one processor.
+  expect_fail(
+      R"({"num_procs": 1, "num_tasks": 2, "placements": [
+           {"task": 0, "proc": 0, "start": 0, "finish": 5},
+           {"task": 1, "proc": 0, "start": 3, "finish": 6}]})");
+  // Duplicate task.
+  expect_fail(
+      R"({"num_procs": 2, "num_tasks": 1, "placements": [
+           {"task": 0, "proc": 0, "start": 0, "finish": 5},
+           {"task": 0, "proc": 1, "start": 0, "finish": 5}]})");
+}
+
+TEST(ScheduleIo, ToStringHelper) {
+  Schedule s(1, 1);
+  s.place(0, 0, 2, 4);
+  const std::string json = to_schedule_json(s);
+  EXPECT_NE(json.find("\"task\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"start\": 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lamps::sched

@@ -1,0 +1,169 @@
+// Power-trace simulator tests, including the key cross-validation: the
+// discrete-event trace integrates to exactly the analytic evaluator's
+// energy for the same (schedule, level, PS policy).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "energy/evaluator.hpp"
+#include "graph/transform.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/power_trace.hpp"
+#include "stg/random_gen.hpp"
+
+namespace lamps::sim {
+namespace {
+
+using energy::PsOptions;
+using graph::TaskGraph;
+using graph::TaskGraphBuilder;
+
+class SimFixture : public ::testing::Test {
+ protected:
+  power::PowerModel model;
+  power::DvsLadder ladder{model};
+  power::SleepModel sleep{model};
+
+  [[nodiscard]] static TaskGraph two_proc_graph() {
+    TaskGraphBuilder b("g");
+    const auto a = b.add_task(4'000'000, "A");
+    const auto c = b.add_task(9'000'000, "C");
+    const auto d = b.add_task(2'000'000, "D");
+    b.add_edge(a, d);
+    (void)c;
+    return b.build();
+  }
+};
+
+TEST_F(SimFixture, SegmentsTileTheHorizonPerProcessor) {
+  const TaskGraph g = two_proc_graph();
+  const sched::Schedule s = sched::list_schedule_edf(g, 2, 20'000'000);
+  const auto& lvl = ladder.max_level();
+  const Seconds horizon = cycles_to_time(s.makespan(), lvl.f) * 2.0;
+  const PowerTrace trace = simulate(s, g, lvl, horizon, sleep);
+
+  std::vector<double> covered(s.num_procs(), 0.0);
+  for (const TraceSegment& seg : trace.segments) {
+    EXPECT_GE(seg.duration().value(), 0.0);
+    EXPECT_GE(seg.power.value(), 0.0);
+    covered[seg.proc] += seg.duration().value();
+  }
+  for (const double c : covered) EXPECT_NEAR(c, horizon.value(), horizon.value() * 1e-12);
+}
+
+TEST_F(SimFixture, ExecutingSegmentsMatchPlacements) {
+  const TaskGraph g = two_proc_graph();
+  const sched::Schedule s = sched::list_schedule_edf(g, 2, 20'000'000);
+  const auto& lvl = ladder.critical_level();
+  const Seconds horizon = cycles_to_time(s.makespan(), lvl.f);
+  const PowerTrace trace = simulate(s, g, lvl, horizon, sleep);
+
+  std::size_t exec_segments = 0;
+  for (const TraceSegment& seg : trace.segments)
+    if (seg.state == ProcState::kExecuting) {
+      ++exec_segments;
+      ASSERT_NE(seg.task, graph::kInvalidTask);
+      const sched::Placement& pl = s.placement(seg.task);
+      EXPECT_NEAR(seg.begin.value(), cycles_to_time(pl.start, lvl.f).value(), 1e-15);
+      EXPECT_NEAR(seg.end.value(), cycles_to_time(pl.finish, lvl.f).value(), 1e-15);
+      EXPECT_DOUBLE_EQ(seg.power.value(), lvl.active.total().value());
+    }
+  EXPECT_EQ(exec_segments, g.num_tasks());
+}
+
+TEST_F(SimFixture, TraceEnergyEqualsAnalyticEvaluator) {
+  // The decisive property, across levels x PS settings x random graphs.
+  stg::RandomGraphSpec spec;
+  spec.num_tasks = 60;
+  spec.method = stg::GenMethod::kLayrPred;
+  spec.seed = 21;
+  const TaskGraph g =
+      graph::scale_weights(stg::generate_random(spec), 3'100'000);
+  const sched::Schedule s = sched::list_schedule_edf(g, 4, 10 * g.total_work());
+
+  for (const std::size_t lvl_idx : {std::size_t{0}, ladder.critical_level().index,
+                                    ladder.size() - 1}) {
+    const auto& lvl = ladder.level(lvl_idx);
+    const Seconds horizon = cycles_to_time(s.makespan(), lvl.f) * 2.5;
+    for (const bool ps : {false, true}) {
+      const PsOptions po{ps, true};
+      const auto analytic = energy::evaluate_energy(s, lvl, horizon, sleep, po);
+      const PowerTrace trace = simulate(s, g, lvl, horizon, sleep, po);
+      EXPECT_NEAR(trace.total_energy().value(), analytic.total().value(),
+                  analytic.total().value() * 1e-12)
+          << "level " << lvl_idx << " ps " << ps;
+      EXPECT_EQ(trace.wakeups, analytic.shutdowns);
+      EXPECT_NEAR(trace.energy_in_state(ProcState::kSleeping).value(),
+                  analytic.sleep.value(), analytic.total().value() * 1e-12);
+    }
+  }
+}
+
+TEST_F(SimFixture, SleepSegmentsOnlyWithPs) {
+  const TaskGraph g = two_proc_graph();
+  const sched::Schedule s = sched::list_schedule_edf(g, 2, 20'000'000);
+  const auto& lvl = ladder.max_level();
+  const Seconds horizon = cycles_to_time(s.makespan(), lvl.f) * 50.0;  // huge tail
+
+  const PowerTrace no_ps = simulate(s, g, lvl, horizon, sleep, PsOptions{false, true});
+  EXPECT_EQ(no_ps.wakeups, 0u);
+  EXPECT_DOUBLE_EQ(no_ps.energy_in_state(ProcState::kSleeping).value(), 0.0);
+
+  const PowerTrace with_ps = simulate(s, g, lvl, horizon, sleep, PsOptions{true, true});
+  EXPECT_GT(with_ps.wakeups, 0u);
+  EXPECT_LT(with_ps.total_energy().value(), no_ps.total_energy().value());
+}
+
+TEST_F(SimFixture, PowerAtAndSampling) {
+  const TaskGraph g = two_proc_graph();
+  const sched::Schedule s = sched::list_schedule_edf(g, 2, 20'000'000);
+  const auto& lvl = ladder.max_level();
+  const Seconds horizon = cycles_to_time(s.makespan(), lvl.f);
+  const PowerTrace trace = simulate(s, g, lvl, horizon, sleep);
+
+  // At t=0 both processors execute (A on one, C on the other).
+  EXPECT_NEAR(trace.power_at(Seconds{0.0}).value(), 2.0 * lvl.active.total().value(),
+              1e-12);
+  const auto samples = trace.sample_power(16);
+  ASSERT_EQ(samples.size(), 16u);
+  for (const auto& [t, p] : samples) {
+    EXPECT_GE(p.value(), 0.0);
+    EXPECT_LE(p.value(), 2.0 * lvl.active.total().value() + 1e-12);
+  }
+}
+
+TEST_F(SimFixture, CsvOutput) {
+  const TaskGraph g = two_proc_graph();
+  const sched::Schedule s = sched::list_schedule_edf(g, 2, 20'000'000);
+  const auto& lvl = ladder.max_level();
+  const PowerTrace trace =
+      simulate(s, g, lvl, cycles_to_time(s.makespan(), lvl.f), sleep);
+  std::ostringstream os;
+  write_trace_csv(trace, os);
+  EXPECT_NE(os.str().find("proc,state,begin_s,end_s,power_w,task"), std::string::npos);
+  EXPECT_NE(os.str().find("exec"), std::string::npos);
+}
+
+TEST_F(SimFixture, RejectsOversizedScheduleAndMismatchedGraph) {
+  const TaskGraph g = two_proc_graph();
+  const sched::Schedule s = sched::list_schedule_edf(g, 2, 20'000'000);
+  const auto& lvl = ladder.max_level();
+  EXPECT_THROW((void)simulate(s, g, lvl, Seconds{1e-9}, sleep), std::invalid_argument);
+
+  graph::TaskGraphBuilder b;
+  (void)b.add_task(1);
+  const TaskGraph other = b.build();
+  EXPECT_THROW(
+      (void)simulate(s, other, lvl, cycles_to_time(s.makespan(), lvl.f), sleep),
+      std::invalid_argument);
+}
+
+TEST_F(SimFixture, StateNames) {
+  EXPECT_STREQ(to_string(ProcState::kOff), "off");
+  EXPECT_STREQ(to_string(ProcState::kPoweredIdle), "idle");
+  EXPECT_STREQ(to_string(ProcState::kExecuting), "exec");
+  EXPECT_STREQ(to_string(ProcState::kSleeping), "sleep");
+}
+
+}  // namespace
+}  // namespace lamps::sim

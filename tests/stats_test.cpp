@@ -1,0 +1,98 @@
+// Schedule-statistics tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/analysis.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/stats.hpp"
+
+namespace lamps::sched {
+namespace {
+
+using graph::TaskGraph;
+using graph::TaskGraphBuilder;
+
+TaskGraph balanced_graph() {
+  TaskGraphBuilder b;
+  for (int i = 0; i < 4; ++i) (void)b.add_task(10);
+  return b.build();
+}
+
+TEST(Stats, PerfectlyBalancedIndependentTasks) {
+  const TaskGraph g = balanced_graph();
+  const Schedule s = list_schedule_edf(g, 2, 100);
+  const ScheduleStats st = compute_stats(s, g);
+  EXPECT_EQ(st.num_procs, 2u);
+  EXPECT_EQ(st.procs_used, 2u);
+  EXPECT_EQ(st.makespan, 20u);
+  EXPECT_EQ(st.total_work, 40u);
+  EXPECT_DOUBLE_EQ(st.utilization, 1.0);
+  EXPECT_DOUBLE_EQ(st.speedup, 2.0);
+  EXPECT_DOUBLE_EQ(st.load_imbalance, 1.0);
+  EXPECT_EQ(st.idle_cycles, 0u);
+}
+
+TEST(Stats, UnusedProcessorLowersUtilization) {
+  const TaskGraph g = balanced_graph();
+  const Schedule s = list_schedule_edf(g, 8, 100);
+  const ScheduleStats st = compute_stats(s, g);
+  EXPECT_EQ(st.procs_used, 4u);
+  EXPECT_EQ(st.makespan, 10u);
+  EXPECT_DOUBLE_EQ(st.utilization, 0.5);  // 40 work over 8 x 10 capacity
+  EXPECT_EQ(st.idle_cycles, 4u * 10u);    // the 4 empty processors
+}
+
+TEST(Stats, ImbalanceAndGaps) {
+  TaskGraphBuilder b;
+  const auto a = b.add_task(30);
+  const auto c = b.add_task(10);
+  const auto d = b.add_task(10);
+  b.add_edge(c, d);
+  (void)a;
+  const TaskGraph g = b.build();
+  const Schedule s = list_schedule_edf(g, 2, 100);
+  const ScheduleStats st = compute_stats(s, g);
+  // One proc runs 30 cycles, the other 20: imbalance 30/25 = 1.2.
+  EXPECT_NEAR(st.load_imbalance, 1.2, 1e-12);
+  EXPECT_EQ(st.idle_cycles, 10u);
+  EXPECT_EQ(st.longest_internal_gap, 10u);
+}
+
+TEST(Stats, EmptyScheduleIsZeroed) {
+  TaskGraphBuilder b;
+  const TaskGraph g = b.build();
+  const Schedule s(3, 0);
+  const ScheduleStats st = compute_stats(s, g);
+  EXPECT_EQ(st.procs_used, 0u);
+  EXPECT_DOUBLE_EQ(st.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(st.load_imbalance, 0.0);
+}
+
+TEST(Stats, GapHistogramBucketsByPowersOfTwo) {
+  Schedule s(1, 2);
+  s.place(0, 0, 5, 10);    // leading gap of 5 -> bucket 2 ([4,8))
+  s.place(1, 0, 26, 30);   // internal gap of 16 -> bucket 4 ([16,32))
+  const auto hist = gap_histogram(s);
+  ASSERT_GE(hist.size(), 5u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[4], 1u);
+  EXPECT_EQ(hist[0] + hist[1] + hist[3], 0u);
+}
+
+TEST(Stats, GapHistogramEmptyForEmptySchedule) {
+  const Schedule s(2, 0);
+  EXPECT_TRUE(gap_histogram(s).empty());
+}
+
+TEST(Stats, PrintStatsMentionsKeyNumbers) {
+  const TaskGraph g = balanced_graph();
+  const Schedule s = list_schedule_edf(g, 2, 100);
+  std::ostringstream os;
+  print_stats(compute_stats(s, g), os);
+  EXPECT_NE(os.str().find("utilization: 1"), std::string::npos);
+  EXPECT_NE(os.str().find("makespan: 20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lamps::sched

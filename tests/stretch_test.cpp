@@ -1,0 +1,139 @@
+// Direct unit tests for the stretch/level-selection helpers shared by all
+// strategies (core/stretch.hpp).
+#include <gtest/gtest.h>
+
+#include "core/stretch.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace lamps::core {
+namespace {
+
+using graph::TaskGraph;
+using graph::TaskGraphBuilder;
+
+class StretchFixture : public ::testing::Test {
+ protected:
+  power::PowerModel model;
+  power::DvsLadder ladder{model};
+
+  [[nodiscard]] Problem make_problem(const TaskGraph& g, Seconds deadline) const {
+    Problem p;
+    p.graph = &g;
+    p.model = &model;
+    p.ladder = &ladder;
+    p.deadline = deadline;
+    return p;
+  }
+};
+
+TEST_F(StretchFixture, MinFeasibleFrequencyIsMakespanOverDeadline) {
+  TaskGraphBuilder b;
+  (void)b.add_task(6'200'000);
+  const TaskGraph g = b.build();
+  const sched::Schedule s = sched::list_schedule_edf(g, 1, 100'000'000);
+  // 6.2e6 cycles in 4 ms -> 1.55 GHz.
+  const Hertz f = min_feasible_frequency(s, g, Seconds{0.004});
+  EXPECT_NEAR(f.value(), 6.2e6 / 0.004, 1e-3);
+}
+
+TEST_F(StretchFixture, ExplicitDeadlineDominatesWhenTighter) {
+  TaskGraphBuilder b;
+  const auto a = b.add_task(3'100'000);
+  const auto c = b.add_task(3'100'000);
+  b.add_edge(a, c);
+  b.set_deadline(a, Seconds{0.001});  // first task due at 1 ms
+  const TaskGraph g = b.build();
+  const sched::Schedule s = sched::list_schedule_edf(g, 1, 100'000'000);
+  // Global deadline is lavish, but task a must finish its 3.1e6 cycles in
+  // 1 ms -> at least 3.1 GHz.
+  const Hertz f = min_feasible_frequency(s, g, Seconds{1.0});
+  EXPECT_NEAR(f.value(), 3.1e9, 1e3);
+}
+
+TEST_F(StretchFixture, LowestFeasibleLevelRoundsUpToLadder) {
+  TaskGraphBuilder b;
+  (void)b.add_task(3'100'000);
+  const TaskGraph g = b.build();
+  const sched::Schedule s = sched::list_schedule_edf(g, 1, 10'000'000);
+  // Need >= half of f_max: the chosen level is the slowest with f >= need.
+  const Problem prob = make_problem(
+      g, Seconds{static_cast<double>(s.makespan()) / (0.5 * model.max_frequency().value())});
+  const power::DvsLevel* lvl = lowest_feasible_level(s, prob);
+  ASSERT_NE(lvl, nullptr);
+  EXPECT_GE(lvl->f_norm, 0.5);
+  if (lvl->index > 0) {
+    EXPECT_LT(ladder.level(lvl->index - 1).f_norm, 0.5);
+  }
+}
+
+TEST_F(StretchFixture, LowestFeasibleLevelNullWhenImpossible) {
+  TaskGraphBuilder b;
+  (void)b.add_task(31'000'000);
+  const TaskGraph g = b.build();
+  const sched::Schedule s = sched::list_schedule_edf(g, 1, 100'000'000);
+  const Problem prob = make_problem(g, Seconds{1e-6});  // ~31x too tight
+  EXPECT_EQ(lowest_feasible_level(s, prob), nullptr);
+}
+
+TEST_F(StretchFixture, StretchedEnergyMatchesEvaluator) {
+  TaskGraphBuilder b;
+  (void)b.add_task(10'000'000);
+  (void)b.add_task(5'000'000);
+  const TaskGraph g = b.build();
+  const sched::Schedule s = sched::list_schedule_edf(g, 2, 100'000'000);
+  const Problem prob = make_problem(g, Seconds{0.02});
+  const auto& lvl = ladder.critical_level();
+  const auto via_helper = stretched_energy(s, lvl, prob);
+  const auto direct = energy::evaluate_energy(s, lvl, prob.deadline,
+                                              power::SleepModel(model), {});
+  EXPECT_DOUBLE_EQ(via_helper.total().value(), direct.total().value());
+}
+
+TEST_F(StretchFixture, BestLevelWithPsBeatsEveryFixedLevel) {
+  // The sweep's result must equal the min over levels of the PS-evaluated
+  // energy (it IS that minimum — guard against off-by-one sweep bounds).
+  TaskGraphBuilder b;
+  (void)b.add_task(50'000'000);
+  (void)b.add_task(10'000'000);
+  const TaskGraph g = b.build();
+  const sched::Schedule s = sched::list_schedule_edf(g, 2, 1'000'000'000);
+  const Problem prob = make_problem(g, Seconds{0.1});
+  const LevelChoice choice = best_level_with_ps(s, prob);
+  ASSERT_NE(choice.level, nullptr);
+
+  const power::SleepModel sleep(model);
+  double manual_best = 1e300;
+  for (const auto& lvl : ladder.levels()) {
+    if (static_cast<double>(s.makespan()) / lvl.f.value() > prob.deadline.value()) continue;
+    manual_best = std::min(manual_best,
+                           energy::evaluate_energy(s, lvl, prob.deadline, sleep,
+                                                   energy::PsOptions{true, true})
+                               .total()
+                               .value());
+  }
+  EXPECT_NEAR(choice.breakdown.total().value(), manual_best, manual_best * 1e-12);
+}
+
+TEST_F(StretchFixture, BestLevelNullOnImpossibleDeadline) {
+  TaskGraphBuilder b;
+  (void)b.add_task(31'000'000);
+  const TaskGraph g = b.build();
+  const sched::Schedule s = sched::list_schedule_edf(g, 1, 100'000'000);
+  const Problem prob = make_problem(g, Seconds{1e-6});
+  EXPECT_EQ(best_level_with_ps(s, prob).level, nullptr);
+}
+
+TEST_F(StretchFixture, DeadlineCyclesAtFmaxRounding) {
+  TaskGraphBuilder b;
+  (void)b.add_task(1);
+  const TaskGraph g = b.build();
+  const Problem prob = make_problem(g, Seconds{1.0});
+  // One second at f_max, within 1 cycle of f_max itself.
+  const double f_max = model.max_frequency().value();
+  EXPECT_NEAR(static_cast<double>(prob.deadline_cycles_at_fmax()), f_max, 2.0);
+}
+
+}  // namespace
+}  // namespace lamps::core

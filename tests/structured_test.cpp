@@ -1,0 +1,104 @@
+// Structured task-graph family tests: sizes, shapes, critical paths and
+// parallelism of the classic families.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "stg/structured.hpp"
+
+namespace lamps::stg {
+namespace {
+
+using graph::TaskGraph;
+
+TEST(Structured, GaussianEliminationShape) {
+  const std::size_t n = 6;
+  const TaskGraph g = gaussian_elimination(n, 2, 1);
+  // n-1 pivots + sum_{k=0}^{n-2} (n-1-k) updates = 5 + (5+4+3+2+1).
+  EXPECT_EQ(g.num_tasks(), 5u + 15u);
+  // One source (first pivot), narrowing fronts.
+  EXPECT_EQ(g.sources().size(), 1u);
+  // Critical path: alternating pivot/update chain = (n-1)*(2+1).
+  EXPECT_EQ(graph::critical_path_length(g), 15u);
+  EXPECT_GT(graph::average_parallelism(g), 1.0);
+  EXPECT_LT(graph::average_parallelism(g), static_cast<double>(n));
+}
+
+TEST(Structured, GaussianEliminationRejectsTiny) {
+  EXPECT_THROW((void)gaussian_elimination(1), std::invalid_argument);
+}
+
+TEST(Structured, FftButterflyShape) {
+  const TaskGraph g = fft_butterfly(3, 1);  // n = 8, 3 ranks
+  EXPECT_EQ(g.num_tasks(), 8u * 4u);        // inputs + 3 ranks
+  // Every non-input node has exactly 2 predecessors.
+  for (graph::TaskId v = 8; v < g.num_tasks(); ++v) EXPECT_EQ(g.in_degree(v), 2u);
+  // Constant width: parallelism = n * (stages+1) / (stages+1) = 8.
+  EXPECT_DOUBLE_EQ(graph::average_parallelism(g), 8.0);
+  EXPECT_EQ(graph::critical_path_length(g), 4u);
+  EXPECT_EQ(graph::asap_max_concurrency(g), 8u);
+}
+
+TEST(Structured, TreesAreMirrors) {
+  const TaskGraph out = out_tree(4, 3);
+  const TaskGraph in = in_tree(4, 3);
+  EXPECT_EQ(out.num_tasks(), 15u);
+  EXPECT_EQ(in.num_tasks(), 15u);
+  EXPECT_EQ(out.num_edges(), 14u);
+  EXPECT_EQ(in.num_edges(), 14u);
+  EXPECT_EQ(out.sources().size(), 1u);
+  EXPECT_EQ(out.sinks().size(), 8u);
+  EXPECT_EQ(in.sources().size(), 8u);
+  EXPECT_EQ(in.sinks().size(), 1u);
+  EXPECT_EQ(graph::critical_path_length(out), 4u * 3u);
+  EXPECT_EQ(graph::critical_path_length(in), 4u * 3u);
+}
+
+TEST(Structured, DivideAndConquerForkJoin) {
+  const TaskGraph g = divide_and_conquer(3, 1, 4);
+  // Split tree 7 + merge tree 7.
+  EXPECT_EQ(g.num_tasks(), 14u);
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  // CPL: 2 splits + leaf(4) + leaf-merge(0) + 2 merges = 1+1+4+0+1+1 = 8.
+  EXPECT_EQ(graph::critical_path_length(g), 8u);
+  // 4 leaves can run in parallel.
+  EXPECT_GE(graph::asap_max_concurrency(g), 4u);
+}
+
+TEST(Structured, WavefrontGrid) {
+  const TaskGraph g = wavefront(4, 3, 2);
+  EXPECT_EQ(g.num_tasks(), 12u);
+  // Edges: (w-1)*h horizontal + w*(h-1) vertical.
+  EXPECT_EQ(g.num_edges(), 3u * 3u + 4u * 2u);
+  // CPL: monotone path of length w + h - 1 cells.
+  EXPECT_EQ(graph::critical_path_length(g), (4u + 3u - 1u) * 2u);
+  // Peak wavefront width = min(w, h).
+  EXPECT_EQ(graph::asap_max_concurrency(g), 3u);
+}
+
+TEST(Structured, WavefrontDegenerateIsChain) {
+  const TaskGraph g = wavefront(5, 1, 1);
+  EXPECT_DOUBLE_EQ(graph::average_parallelism(g), 1.0);
+}
+
+TEST(Structured, AllFamiliesValidateAsDags) {
+  // build() throws on any cycle; instantiating is the check.
+  EXPECT_NO_THROW((void)gaussian_elimination(10));
+  EXPECT_NO_THROW((void)fft_butterfly(5));
+  EXPECT_NO_THROW((void)out_tree(6));
+  EXPECT_NO_THROW((void)in_tree(6));
+  EXPECT_NO_THROW((void)divide_and_conquer(5));
+  EXPECT_NO_THROW((void)wavefront(8, 8));
+}
+
+TEST(Structured, RejectsOutOfRangeParameters) {
+  EXPECT_THROW((void)fft_butterfly(0), std::invalid_argument);
+  EXPECT_THROW((void)fft_butterfly(25), std::invalid_argument);
+  EXPECT_THROW((void)out_tree(0), std::invalid_argument);
+  EXPECT_THROW((void)in_tree(30), std::invalid_argument);
+  EXPECT_THROW((void)divide_and_conquer(0), std::invalid_argument);
+  EXPECT_THROW((void)wavefront(0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lamps::stg

@@ -1,0 +1,77 @@
+// Descriptive-statistics utility tests.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/summary.hpp"
+
+namespace lamps {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  const std::array<double, 5> xs{2.0, 4.0, 4.0, 4.0, 6.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt((4.0 + 0 + 0 + 0 + 4.0) / 4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.0);
+}
+
+TEST(Summary, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const std::array<double, 1> one{7.5};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+}
+
+TEST(Summary, QuantileInterpolates) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_NEAR(quantile(xs, 0.25), 1.75, 1e-12);
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Summary, QuantileIsOrderInvariant) {
+  const std::array<double, 5> shuffled{3.0, 1.0, 5.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(shuffled, 0.5), 3.0);
+}
+
+TEST(Summary, BootstrapCiBracketsMeanAndIsDeterministic) {
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(10.0 + (i % 7));
+  const BootstrapCi a = bootstrap_mean_ci(xs);
+  const BootstrapCi b = bootstrap_mean_ci(xs);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+  const double mean = summarize(xs).mean;
+  EXPECT_LE(a.lo, mean);
+  EXPECT_GE(a.hi, mean);
+  EXPECT_LT(a.hi - a.lo, 2.0);  // tight-ish for 50 low-variance samples
+}
+
+TEST(Summary, BootstrapValidation) {
+  const std::array<double, 3> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)bootstrap_mean_ci({}, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci(xs, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci(xs, 0.95, 3), std::invalid_argument);
+}
+
+TEST(Summary, WiderConfidenceWiderInterval) {
+  std::vector<double> xs;
+  for (int i = 0; i < 40; ++i) xs.push_back(static_cast<double>(i));
+  const BootstrapCi c90 = bootstrap_mean_ci(xs, 0.90);
+  const BootstrapCi c99 = bootstrap_mean_ci(xs, 0.99);
+  EXPECT_LE(c99.lo, c90.lo);
+  EXPECT_GE(c99.hi, c90.hi);
+}
+
+}  // namespace
+}  // namespace lamps

@@ -1,0 +1,112 @@
+// Uniprocessor critical-speed DVS tests (Jejurikar et al. [13] setting).
+#include <gtest/gtest.h>
+
+#include "apps/uniproc_dvs.hpp"
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+
+namespace lamps::apps {
+namespace {
+
+using namespace lamps::unit_literals;
+
+class UniprocFixture : public ::testing::Test {
+ protected:
+  power::PowerModel model;
+  power::DvsLadder ladder{model};
+
+  /// Utilization at f_max roughly `target` spread over three tasks.
+  [[nodiscard]] PeriodicTaskSet set_with_utilization(double target) const {
+    const double f_max = model.max_frequency().value();
+    PeriodicTaskSet ts;
+    (void)ts.add_task({"a", static_cast<Cycles>(0.5 * target * 0.010 * f_max), 10.0_ms,
+                       Seconds{0}, Seconds{0}});
+    (void)ts.add_task({"b", static_cast<Cycles>(0.3 * target * 0.020 * f_max), 20.0_ms,
+                       Seconds{0}, Seconds{0}});
+    (void)ts.add_task({"c", static_cast<Cycles>(0.2 * target * 0.040 * f_max), 40.0_ms,
+                       Seconds{0}, Seconds{0}});
+    return ts;
+  }
+};
+
+TEST_F(UniprocFixture, LowUtilizationRunsAtCriticalSpeed) {
+  // Paper/[13]: never slow below the critical speed even if feasibility
+  // would allow it.
+  const PeriodicTaskSet ts = set_with_utilization(0.10);
+  const UniprocDvsResult r = uniproc_critical_speed_dvs(ts, model, ladder);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.level_index, ladder.critical_level().index);
+  EXPECT_NEAR(r.density_fmax, 0.10, 0.02);
+}
+
+TEST_F(UniprocFixture, HighUtilizationForcesFasterLevel) {
+  const PeriodicTaskSet ts = set_with_utilization(0.80);
+  const UniprocDvsResult r = uniproc_critical_speed_dvs(ts, model, ladder);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.level_index, ladder.critical_level().index);
+  // The level just below the chosen one must be infeasible (density > 1).
+  const double density_hz = r.density_fmax * model.max_frequency().value();
+  EXPECT_LT(ladder.level(r.level_index - 1).f.value(), density_hz);
+  EXPECT_GE(ladder.level(r.level_index).f.value(), density_hz * (1.0 - 1e-9));
+}
+
+TEST_F(UniprocFixture, OverloadedSetInfeasible) {
+  const PeriodicTaskSet ts = set_with_utilization(1.30);
+  const UniprocDvsResult r = uniproc_critical_speed_dvs(ts, model, ladder);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_GT(r.density_fmax, 1.0);
+}
+
+TEST_F(UniprocFixture, PsSleepsTheIdleResidueWhenWorthwhile) {
+  // 10% utilization leaves ~36 ms idle per 40 ms hyperperiod — far above
+  // the ~3 ms breakeven at the critical level.
+  const PeriodicTaskSet ts = set_with_utilization(0.10);
+  const UniprocDvsResult with_ps = uniproc_critical_speed_dvs(ts, model, ladder, true);
+  const UniprocDvsResult no_ps = uniproc_critical_speed_dvs(ts, model, ladder, false);
+  ASSERT_TRUE(with_ps.feasible && no_ps.feasible);
+  EXPECT_TRUE(with_ps.sleeps_idle);
+  EXPECT_FALSE(no_ps.sleeps_idle);
+  EXPECT_LT(with_ps.energy().value(), no_ps.energy().value());
+  EXPECT_EQ(with_ps.breakdown.shutdowns, 1u);
+}
+
+TEST_F(UniprocFixture, ConstrainedDeadlineRaisesDensity) {
+  PeriodicTaskSet implicit;
+  (void)implicit.add_task({"t", 30'000'000, 20.0_ms, Seconds{0}, Seconds{0}});
+  PeriodicTaskSet constrained;
+  (void)constrained.add_task({"t", 30'000'000, 20.0_ms, 10.0_ms, Seconds{0}});
+  const auto ri = uniproc_critical_speed_dvs(implicit, model, ladder);
+  const auto rc = uniproc_critical_speed_dvs(constrained, model, ladder);
+  ASSERT_TRUE(ri.feasible && rc.feasible);
+  EXPECT_NEAR(rc.density_fmax, 2.0 * ri.density_fmax, 1e-9);
+  EXPECT_GE(rc.level_index, ri.level_index);
+}
+
+TEST_F(UniprocFixture, AgreesWithDagPipelineOnSingleProcessor) {
+  // The same task set pushed through the frame-based DAG translation and
+  // LAMPS (which may also use 1 processor) must land in the same energy
+  // regime — the DAG route can only do better or equal since it may use
+  // more processors and per-gap (not aggregate) shutdown decisions.
+  const PeriodicTaskSet ts = set_with_utilization(0.30);
+  const UniprocDvsResult uni = uniproc_critical_speed_dvs(ts, model, ladder);
+  ASSERT_TRUE(uni.feasible);
+
+  const graph::TaskGraph g = ts.to_task_graph(1);
+  core::Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = ts.hyperperiod();
+  const core::StrategyResult dag = core::lamps_schedule_ps(prob);
+  ASSERT_TRUE(dag.feasible);
+  EXPECT_LE(dag.energy().value(), uni.energy().value() * 1.02);
+  EXPECT_GE(dag.energy().value(), uni.energy().value() * 0.5);
+}
+
+TEST_F(UniprocFixture, EmptySetRejected) {
+  const PeriodicTaskSet ts;
+  EXPECT_THROW((void)uniproc_critical_speed_dvs(ts, model, ladder), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lamps::apps

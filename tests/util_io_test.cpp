@@ -1,0 +1,85 @@
+// Coverage for the small util pieces not exercised elsewhere: logging,
+// stopwatch, file-backed CSV output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lamps {
+namespace {
+
+TEST(Log, LevelFilterGates) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  // Below-threshold messages are cheap no-ops; above-threshold ones write
+  // to stderr — we only verify the filter state machine here, the actual
+  // sink is stderr by design.
+  log_debug("not shown ", 1);
+  log_info("not shown ", 2);
+  log_warn("shown ", 3);
+  log_error("shown ", 4);
+  set_log_level(saved);
+}
+
+TEST(Log, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug), static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo), static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn), static_cast<int>(LogLevel::kError));
+}
+
+TEST(Log, ConcurrentLoggingDoesNotCrash) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);  // keep the test output quiet
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) log_warn("thread ", t, " line ", i);
+    });
+  for (auto& th : threads) th.join();
+  set_log_level(saved);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  const double t0 = sw.elapsed_seconds();
+  EXPECT_GE(t0, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const double t1 = sw.elapsed_seconds();
+  EXPECT_GT(t1, t0);
+  EXPECT_GE(t1, 0.010);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_seconds(), t1);
+}
+
+TEST(CsvFile, OpenWriteReadBack) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lamps_csv_test.csv").string();
+  {
+    std::ofstream os = open_csv(path);
+    CsvWriter w(os);
+    w.row("a", "b");
+    w.row(1, 2.5);
+  }
+  std::ifstream is(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "a,b");
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "1,2.5");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, OpenFailureThrows) {
+  EXPECT_THROW((void)open_csv("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lamps

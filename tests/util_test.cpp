@@ -1,0 +1,259 @@
+// Unit tests for the util substrate: units, RNG, CSV, tables, CLI parsing,
+// thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace lamps {
+namespace {
+
+using namespace lamps::unit_literals;
+
+// ---------------------------------------------------------------- units --
+
+TEST(Units, ArithmeticPreservesDimension) {
+  const Watts p = 2.0_W + 0.5_W;
+  EXPECT_DOUBLE_EQ(p.value(), 2.5);
+  EXPECT_DOUBLE_EQ((p - 0.5_W).value(), 2.0);
+  EXPECT_DOUBLE_EQ((p * 2.0).value(), 5.0);
+  EXPECT_DOUBLE_EQ((2.0 * p).value(), 5.0);
+  EXPECT_DOUBLE_EQ((p / 2.0).value(), 1.25);
+}
+
+TEST(Units, SameDimensionRatioIsDimensionless) {
+  const double ratio = 3.0_J / 1.5_J;
+  EXPECT_DOUBLE_EQ(ratio, 2.0);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Joules e = 2.0_W * 3.0_s;
+  EXPECT_DOUBLE_EQ(e.value(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0_s * 2.0_W).value(), 6.0);
+  EXPECT_DOUBLE_EQ((e / 3.0_s).value(), 2.0);
+  EXPECT_DOUBLE_EQ((e / 2.0_W).value(), 3.0);
+}
+
+TEST(Units, CycleConversions) {
+  EXPECT_DOUBLE_EQ(cycles_to_time(3'100'000'000ULL, 3.1_GHz).value(), 1.0);
+  EXPECT_DOUBLE_EQ(required_frequency(1000, 1.0_us).value(), 1e9);
+  EXPECT_DOUBLE_EQ(1.0_s * 2.0_Hz, 2.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(1.0_V, 1.1_V);
+  EXPECT_EQ(1.0_V, 1.0_V);
+  EXPECT_GT(50.0_uW * 2.0, 90.0_uW);
+}
+
+TEST(Units, CompoundAssignment) {
+  Joules e{1.0};
+  e += Joules{2.0};
+  e -= Joules{0.5};
+  EXPECT_DOUBLE_EQ(e.value(), 2.5);
+}
+
+// ------------------------------------------------------------------ rng --
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntegerBoundsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng.uniform(3, 7);
+    ASSERT_GE(x, 3u);
+    ASSERT_LE(x, 7u);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntegerSingleton) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, Uniform01InRangeAndRoughlyCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> xs(50);
+  std::iota(xs.begin(), xs.end(), 0);
+  auto copy = xs;
+  rng.shuffle(std::span<int>(xs));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_EQ(xs, copy);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng base(23);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (f1() == f2());
+  EXPECT_LT(same, 2);
+}
+
+// ------------------------------------------------------------------ csv --
+
+TEST(Csv, PlainRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row("a", 1, 2.5);
+  EXPECT_EQ(os.str(), "a,1,2.5\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row("plain", "with,comma", "with\"quote", "with\nnewline");
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(Csv, RowStrings) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row_strings({"x", "y"});
+  EXPECT_EQ(os.str(), "x,y\n");
+}
+
+// ---------------------------------------------------------------- table --
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.row("alpha", 1);
+  t.row("b", 22);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(s.find("| b     |    22 |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, FormattingHelpers) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(18.116, 3), "18.116");
+  EXPECT_EQ(fmt_percent(0.4637), "46.4%");
+}
+
+// ------------------------------------------------------------------ cli --
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  int n = 5;
+  double x = 1.5;
+  bool flag = false;
+  std::string name = "default";
+  CliParser p("test");
+  p.add_option("n", "count", &n);
+  p.add_option("x", "ratio", &x);
+  p.add_flag("fast", "go fast", &flag);
+  p.add_option("name", "a name", &name);
+
+  const char* argv[] = {"prog", "--n=7", "--x", "2.25", "--fast", "--name=zed"};
+  std::ostringstream err;
+  ASSERT_TRUE(p.parse(6, argv, err)) << err.str();
+  EXPECT_EQ(n, 7);
+  EXPECT_DOUBLE_EQ(x, 2.25);
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(name, "zed");
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliParser p("test");
+  const char* argv[] = {"prog", "--bogus=1"};
+  std::ostringstream err;
+  EXPECT_FALSE(p.parse(2, argv, err));
+  EXPECT_NE(err.str().find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, RejectsBadNumber) {
+  int n = 0;
+  CliParser p("test");
+  p.add_option("n", "count", &n);
+  const char* argv[] = {"prog", "--n=abc"};
+  std::ostringstream err;
+  EXPECT_FALSE(p.parse(2, argv, err));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser p("test");
+  const char* argv[] = {"prog", "--help"};
+  std::ostringstream err;
+  EXPECT_FALSE(p.parse(2, argv, err));
+  EXPECT_NE(err.str().find("Usage"), std::string::npos);
+}
+
+// ---------------------------------------------------------- thread pool --
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for_index(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lamps

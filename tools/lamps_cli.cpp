@@ -1,0 +1,388 @@
+// lamps — command-line front end to the library.
+//
+// Subcommands:
+//   lamps ladder                      print the DVS operating points
+//   lamps gen [opts]                  generate a task graph, write .stg
+//   lamps schedule [opts]             schedule an .stg file, report energy
+//   lamps sweep [opts]                energy vs processor count for a file
+//   lamps simulate [opts]             execute a plan under exec-time variability
+//   lamps pareto [opts]               energy/deadline trade-off curve (CSV)
+//
+// Every subcommand accepts --help.  Output is plain text / CSV so the tool
+// composes with shell pipelines.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string_view>
+
+#include "core/lamps.hpp"
+#include "core/multifreq.hpp"
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "power/sleep_model.hpp"
+#include "sched/gantt.hpp"
+#include "sched/stats.hpp"
+#include "sim/online.hpp"
+#include "stg/app_synth.hpp"
+#include "stg/format.hpp"
+#include "stg/random_gen.hpp"
+#include "stg/structured.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lamps;
+
+int cmd_ladder(int argc, const char* const* argv) {
+  CliParser cli("Print the discrete DVS operating points of the 70 nm model");
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const power::SleepModel sleep(model);
+  TextTable t({"idx", "Vdd [V]", "f [GHz]", "f/f_max", "P_act [W]", "P_idle [W]",
+               "E/cyc [nJ]", "breakeven [Mcyc]"});
+  for (const auto& lvl : ladder.levels())
+    t.row(lvl.index, fmt_fixed(lvl.vdd.value(), 2), fmt_fixed(lvl.f.value() / 1e9, 3),
+          fmt_fixed(lvl.f_norm, 3), fmt_fixed(lvl.active.total().value(), 3),
+          fmt_fixed(lvl.idle.value(), 3),
+          fmt_fixed(lvl.energy_per_cycle.value() * 1e9, 4),
+          fmt_fixed(sleep.breakeven_cycles(lvl.idle, lvl.f) / 1e6, 2));
+  t.print(std::cout);
+  std::cout << "critical level: index " << ladder.critical_level().index << " ("
+            << ladder.critical_level().vdd.value() << " V)\n";
+  return 0;
+}
+
+int cmd_gen(int argc, const char* const* argv) {
+  std::string kind = "random";  // random | fpppp | robot | sparse
+  std::string method = "layrpred";
+  std::size_t tasks = 100;
+  std::size_t layers = 0;
+  double degree = 2.0;
+  std::size_t max_weight = 50;
+  std::size_t seed = 1;
+  std::string out;
+  CliParser cli("Generate a task graph and write it in STG format");
+  cli.add_option("kind",
+                 "random | fpppp | robot | sparse | gauss | fft | outtree | intree | "
+                 "dnc | wavefront",
+                 &kind);
+  std::size_t size_param = 8;
+  cli.add_option("size", "family size parameter (gauss n / fft stages / tree depth / "
+                         "wavefront side)", &size_param);
+  cli.add_option("method", "random method: sameprob|samepred|layrprob|layrpred", &method);
+  cli.add_option("tasks", "number of tasks (random)", &tasks);
+  cli.add_option("layers", "layer count, 0 = sqrt(n) (layered methods)", &layers);
+  cli.add_option("degree", "average degree", &degree);
+  cli.add_option("max-weight", "max task weight (min is 1)", &max_weight);
+  cli.add_option("seed", "RNG seed", &seed);
+  cli.add_option("out", "output file (default: stdout)", &out);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+
+  graph::TaskGraph g = [&]() -> graph::TaskGraph {
+    if (kind == "fpppp") return stg::synthesize_app_graph(stg::fpppp_spec());
+    if (kind == "robot") return stg::synthesize_app_graph(stg::robot_spec());
+    if (kind == "sparse") return stg::synthesize_app_graph(stg::sparse_spec());
+    if (kind == "gauss") return stg::gaussian_elimination(size_param);
+    if (kind == "fft") return stg::fft_butterfly(size_param);
+    if (kind == "outtree") return stg::out_tree(size_param);
+    if (kind == "intree") return stg::in_tree(size_param);
+    if (kind == "dnc") return stg::divide_and_conquer(size_param);
+    if (kind == "wavefront") return stg::wavefront(size_param, size_param);
+    stg::RandomGraphSpec spec;
+    spec.name = "cli-random";
+    spec.num_tasks = tasks;
+    spec.num_layers = layers;
+    spec.avg_degree = degree;
+    spec.max_weight = max_weight;
+    spec.seed = seed;
+    if (method == "sameprob")
+      spec.method = stg::GenMethod::kSameProb;
+    else if (method == "samepred")
+      spec.method = stg::GenMethod::kSamePred;
+    else if (method == "layrprob")
+      spec.method = stg::GenMethod::kLayrProb;
+    else if (method == "layrpred")
+      spec.method = stg::GenMethod::kLayrPred;
+    else
+      throw std::invalid_argument("unknown method: " + method);
+    return stg::generate_random(spec);
+  }();
+
+  std::cerr << "# " << g.name() << ": " << g.num_tasks() << " tasks, " << g.num_edges()
+            << " edges, work " << g.total_work() << ", CPL "
+            << graph::critical_path_length(g) << ", parallelism "
+            << fmt_fixed(graph::average_parallelism(g), 2) << '\n';
+  if (out.empty()) {
+    stg::write_stg(g, std::cout);
+  } else {
+    std::ofstream os(out);
+    if (!os) {
+      std::cerr << "cannot write " << out << '\n';
+      return 1;
+    }
+    stg::write_stg(g, os);
+  }
+  return 0;
+}
+
+struct InstanceOptions {
+  std::string file;
+  double unit = 3'100'000.0;
+  double factor = 2.0;
+
+  void register_flags(CliParser& cli) {
+    cli.add_option("file", "input .stg file", &file);
+    cli.add_option("unit", "cycles per STG weight unit", &unit);
+    cli.add_option("deadline-factor", "deadline as a multiple of the CPL", &factor);
+  }
+
+  [[nodiscard]] graph::TaskGraph load() const {
+    if (file.empty()) throw std::invalid_argument("--file is required");
+    return graph::scale_weights(stg::read_stg_file(file), static_cast<Cycles>(unit));
+  }
+};
+
+int cmd_schedule(int argc, const char* const* argv) {
+  InstanceOptions inst;
+  bool gantt = false;
+  bool csv = false;
+  CliParser cli("Schedule an .stg file with every approach and report energy");
+  inst.register_flags(cli);
+  cli.add_flag("gantt", "print the LAMPS+PS Gantt chart", &gantt);
+  cli.add_flag("csv", "emit CSV instead of a table", &csv);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+
+  const graph::TaskGraph g = inst.load();
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  core::Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                          model.max_frequency().value() * inst.factor};
+
+  TextTable table({"approach", "energy [mJ]", "procs", "f/f_max", "shutdowns"});
+  if (csv) std::cout << "approach,energy_j,procs,f_norm,shutdowns,feasible\n";
+  for (const core::StrategyKind k : core::kAllStrategies) {
+    const core::StrategyResult r = core::run_strategy(k, prob);
+    if (csv) {
+      std::cout << core::to_string(k) << ',' << (r.feasible ? r.energy().value() : 0.0)
+                << ',' << r.num_procs << ','
+                << (r.feasible ? ladder.level(r.level_index).f_norm : 0.0) << ','
+                << r.breakdown.shutdowns << ',' << (r.feasible ? 1 : 0) << '\n';
+      continue;
+    }
+    if (!r.feasible) {
+      table.row(core::to_string(k), "infeasible", "-", "-", "-");
+      continue;
+    }
+    table.row(core::to_string(k), fmt_fixed(r.energy().value() * 1e3, 3),
+              std::to_string(r.num_procs),
+              fmt_fixed(ladder.level(r.level_index).f_norm, 3), r.breakdown.shutdowns);
+  }
+  const core::MultiFreqResult mf = core::lamps_multifreq(prob);
+  if (csv) {
+    std::cout << "LAMPS+MF," << (mf.feasible ? mf.energy().value() : 0.0) << ','
+              << mf.num_procs << ",," << mf.breakdown.shutdowns << ','
+              << (mf.feasible ? 1 : 0) << '\n';
+  } else {
+    if (mf.feasible)
+      table.row("LAMPS+MF", fmt_fixed(mf.energy().value() * 1e3, 3),
+                std::to_string(mf.num_procs), "per-task", mf.breakdown.shutdowns);
+    table.print(std::cout);
+  }
+
+  if (gantt) {
+    const core::StrategyResult best =
+        core::run_strategy(core::StrategyKind::kLampsPs, prob);
+    if (best.feasible && best.schedule.has_value()) {
+      sched::GanttOptions gopts;
+      gopts.horizon = static_cast<Cycles>(prob.deadline.value() *
+                                          ladder.level(best.level_index).f.value());
+      sched::write_ascii_gantt(*best.schedule, g, std::cout, gopts);
+      sched::print_stats(sched::compute_stats(*best.schedule, g), std::cout);
+    }
+  }
+  return 0;
+}
+
+int cmd_pareto(int argc, const char* const* argv) {
+  InstanceOptions inst;
+  double min_factor = 1.05;
+  double max_factor = 8.0;
+  std::size_t steps = 12;
+  CliParser cli(
+      "Energy/deadline Pareto curve: sweep the deadline and report each "
+      "approach's energy (CSV)");
+  inst.register_flags(cli);
+  cli.add_option("min-factor", "smallest deadline factor (x CPL)", &min_factor);
+  cli.add_option("max-factor", "largest deadline factor (x CPL)", &max_factor);
+  cli.add_option("steps", "number of sweep points (log-spaced)", &steps);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+  if (steps < 2 || min_factor <= 0.0 || max_factor <= min_factor) {
+    std::cerr << "invalid sweep range\n";
+    return 1;
+  }
+
+  const graph::TaskGraph g = inst.load();
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const Cycles cpl = graph::critical_path_length(g);
+
+  std::cout << "deadline_factor,deadline_ms";
+  for (const core::StrategyKind k : core::kAllStrategies)
+    std::cout << ',' << core::to_string(k) << "_mj";
+  std::cout << '\n';
+  const double ratio = max_factor / min_factor;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double factor =
+        min_factor * std::pow(ratio, static_cast<double>(i) /
+                                         static_cast<double>(steps - 1));
+    core::Problem prob;
+    prob.graph = &g;
+    prob.model = &model;
+    prob.ladder = &ladder;
+    prob.deadline =
+        Seconds{static_cast<double>(cpl) / model.max_frequency().value() * factor};
+    std::cout << fmt_fixed(factor, 3) << ',' << fmt_fixed(prob.deadline.value() * 1e3, 3);
+    for (const core::StrategyKind k : core::kAllStrategies) {
+      const core::StrategyResult r = core::run_strategy(k, prob);
+      std::cout << ',';
+      if (r.feasible) std::cout << fmt_fixed(r.energy().value() * 1e3, 4);
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  InstanceOptions inst;
+  double bcet = 0.7;
+  std::size_t runs = 5;
+  std::size_t seed = 1;
+  CliParser cli(
+      "Plan with LAMPS+PS, then execute under BCET/WCET variability with and "
+      "without online slack reclamation");
+  inst.register_flags(cli);
+  cli.add_option("bcet", "BCET/WCET ratio in (0, 1]", &bcet);
+  cli.add_option("runs", "number of variability draws", &runs);
+  cli.add_option("seed", "base RNG seed", &seed);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+
+  const graph::TaskGraph g = inst.load();
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const power::SleepModel sleep(model);
+  core::Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                          model.max_frequency().value() * inst.factor};
+  const core::StrategyResult plan = core::lamps_schedule_ps(prob);
+  if (!plan.feasible || !plan.schedule.has_value()) {
+    std::cerr << "instance infeasible before the deadline\n";
+    return 1;
+  }
+  const auto& lvl = ladder.level(plan.level_index);
+  std::cout << "plan: " << plan.num_procs << " procs at " << fmt_fixed(lvl.f_norm, 3)
+            << " x f_max, predicted " << fmt_fixed(plan.energy().value() * 1e3, 3)
+            << " mJ\n";
+  std::cout << "run,seed,static_mj,reclaim_mj,reclaim_vs_static\n";
+  for (std::size_t r = 0; r < runs; ++r) {
+    sim::OnlineOptions opts;
+    opts.bcet_ratio = bcet;
+    opts.seed = seed + r;
+    opts.reclaim = false;
+    const auto st = sim::simulate_online(*plan.schedule, g, ladder, lvl, prob.deadline,
+                                         sleep, opts);
+    opts.reclaim = true;
+    const auto rc = sim::simulate_online(*plan.schedule, g, ladder, lvl, prob.deadline,
+                                         sleep, opts);
+    std::cout << r << ',' << opts.seed << ','
+              << fmt_fixed(st.breakdown.total().value() * 1e3, 3) << ','
+              << fmt_fixed(rc.breakdown.total().value() * 1e3, 3) << ','
+              << fmt_percent(rc.breakdown.total().value() /
+                             st.breakdown.total().value())
+              << '\n';
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  InstanceOptions inst;
+  std::size_t max_procs = 16;
+  CliParser cli("Energy vs processor count (Fig 6 style) for an .stg file");
+  inst.register_flags(cli);
+  cli.add_option("max-procs", "largest processor count", &max_procs);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+
+  const graph::TaskGraph g = inst.load();
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  core::Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                          model.max_frequency().value() * inst.factor};
+
+  std::cout << "procs,makespan_cycles,feasible,energy_nops_j,energy_ps_j\n";
+  const auto plain = core::processor_sweep(prob, max_procs, false);
+  const auto ps = core::processor_sweep(prob, max_procs, true);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    std::cout << plain[i].num_procs << ',' << plain[i].makespan << ','
+              << (plain[i].feasible ? 1 : 0) << ',';
+    if (plain[i].feasible) std::cout << plain[i].energy.value();
+    std::cout << ',';
+    if (ps[i].feasible) std::cout << ps[i].energy.value();
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+void print_root_usage(std::ostream& os) {
+  os << "lamps — leakage-aware multiprocessor scheduling toolkit\n\n"
+        "Usage: lamps <command> [options]\n\n"
+        "Commands:\n"
+        "  ladder     print the DVS operating points\n"
+        "  gen        generate a task graph, write .stg\n"
+        "  schedule   schedule an .stg file, report energy per approach\n"
+        "  sweep      energy vs processor count for an .stg file\n"
+        "  simulate   execute a LAMPS+PS plan under execution-time variability\n"
+        "  pareto     energy/deadline trade-off curve for an .stg file\n\n"
+        "Run 'lamps <command> --help' for the command's options.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_root_usage(std::cerr);
+    return 1;
+  }
+  const std::string_view cmd = argv[1];
+  try {
+    if (cmd == "ladder") return cmd_ladder(argc - 1, argv + 1);
+    if (cmd == "gen") return cmd_gen(argc - 1, argv + 1);
+    if (cmd == "schedule") return cmd_schedule(argc - 1, argv + 1);
+    if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (cmd == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (cmd == "pareto") return cmd_pareto(argc - 1, argv + 1);
+    if (cmd == "--help" || cmd == "-h") {
+      print_root_usage(std::cout);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  std::cerr << "unknown command: " << cmd << "\n\n";
+  print_root_usage(std::cerr);
+  return 1;
+}

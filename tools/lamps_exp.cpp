@@ -1,0 +1,36 @@
+// lamps_exp — run a declarative experiment described by an INI file.
+//
+// Usage: lamps_exp --config experiment.ini
+//        lamps_exp --config - < experiment.ini
+//
+// See src/exp/experiment.hpp for the configuration schema and
+// data/experiment.ini for a ready-to-run example.
+#include <fstream>
+#include <iostream>
+
+#include "exp/experiment.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lamps;
+
+  std::string config = "data/experiment.ini";
+  CliParser cli("Run a config-driven scheduling experiment");
+  cli.add_option("config", "INI file describing the experiment ('-' = stdin)", &config);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+
+  try {
+    exp::Ini ini = [&] {
+      if (config == "-") return exp::Ini::parse(std::cin);
+      std::ifstream is(config);
+      if (!is) throw std::runtime_error("cannot open config: " + config);
+      return exp::Ini::parse(is);
+    }();
+    const exp::ExperimentSpec spec = exp::ExperimentSpec::from_ini(ini);
+    (void)exp::run_experiment(spec, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
