@@ -17,6 +17,7 @@
 #include "stg/suite.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
       for (std::size_t run = 0; run < runs; ++run) {
         sim::OnlineOptions opts;
         opts.bcet_ratio = ratio;
-        opts.seed = 1000 * i + run + 1;
+        opts.seed = child_seed(child_seed(0x57ac4, i), run);
         opts.reclaim = false;
         const auto st = sim::simulate_online(*plan.schedule, g, ladder, lvl,
                                              prob.deadline, sleep, opts);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "graph/analysis.hpp"
+#include "util/stopwatch.hpp"
 #include "util/summary.hpp"
 #include "util/thread_pool.hpp"
 
@@ -41,7 +42,9 @@ std::vector<InstanceResult> run_sweep(const std::vector<SuiteEntry>& entries,
     prob.deadline =
         Seconds{static_cast<double>(job.cpl) / model.max_frequency().value() * job.factor};
 
+    const Stopwatch watch;
     const StrategyResult r = run_strategy(job.strategy, prob);
+    const double elapsed = watch.elapsed_seconds();
 
     InstanceResult& out = results[i];
     out.group = job.entry->group;
@@ -55,6 +58,7 @@ std::vector<InstanceResult> run_sweep(const std::vector<SuiteEntry>& entries,
     out.schedules_computed = r.schedules_computed;
     out.parallelism = job.parallelism;
     out.total_work = job.entry->graph.total_work();
+    out.seconds = elapsed;
   });
   return results;
 }

@@ -43,6 +43,8 @@ struct InstanceResult {
   std::size_t schedules_computed{0};
   double parallelism{0.0};  ///< graph's W / CPL
   Cycles total_work{0};
+  /// Wall-clock time spent scheduling this instance (one run_strategy call).
+  double seconds{0.0};
 };
 
 /// Runs the sweep.  `entries` must outlive the call.  Results are in a

@@ -3,9 +3,12 @@
 #include <ostream>
 #include <stdexcept>
 
+#include <map>
+
 #include "graph/transform.hpp"
 #include "stg/suite.hpp"
 #include "util/csv.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 namespace lamps::exp {
@@ -59,11 +62,11 @@ void write_instances_csv(const std::vector<core::InstanceResult>& results,
   std::ofstream os = open_csv(path);
   CsvWriter csv(os);
   csv.row("granularity", "group", "graph", "deadline_factor", "strategy", "feasible",
-          "energy_j", "procs", "level", "parallelism", "schedules");
+          "energy_j", "procs", "level", "parallelism", "schedules", "seconds");
   for (const auto& r : results)
     csv.row(tag, r.group, r.graph_name, r.deadline_factor, core::to_string(r.strategy),
             r.feasible ? 1 : 0, r.energy.value(), r.num_procs, r.level_index,
-            fmt_fixed(r.parallelism, 4), r.schedules_computed);
+            fmt_fixed(r.parallelism, 4), r.schedules_computed, r.seconds);
 }
 
 void write_aggregate_csv(const std::vector<core::GroupRelative>& agg,
@@ -79,6 +82,24 @@ void write_aggregate_csv(const std::vector<core::GroupRelative>& agg,
             g.num_graphs, g.num_skipped);
 }
 
+/// Phase wall-clocks plus per-strategy scheduling totals (summed over the
+/// pass's instances; CPU seconds, so the sum can exceed the sweep's wall
+/// clock when run on multiple threads).
+void write_timing_csv(const std::vector<core::InstanceResult>& results,
+                      const PhaseTiming& timing, const std::string& path,
+                      const std::string& tag) {
+  std::ofstream os = open_csv(path);
+  CsvWriter csv(os);
+  csv.row("granularity", "kind", "name", "seconds");
+  csv.row(tag, "phase", "suite", timing.suite_seconds);
+  csv.row(tag, "phase", "sweep", timing.sweep_seconds);
+  csv.row(tag, "phase", "aggregate", timing.aggregate_seconds);
+  csv.row(tag, "phase", "write", timing.write_seconds);
+  std::map<core::StrategyKind, double> per_strategy;
+  for (const auto& r : results) per_strategy[r.strategy] += r.seconds;
+  for (const auto& [k, s] : per_strategy) csv.row(tag, "strategy", core::to_string(k), s);
+}
+
 }  // namespace
 
 ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os) {
@@ -88,6 +109,9 @@ ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os) {
 
   for (const Cycles unit : spec.granularities) {
     const std::string tag = granularity_tag(unit);
+    PhaseTiming timing;
+    timing.tag = tag;
+    Stopwatch watch;
     std::vector<core::SuiteEntry> entries;
     for (const std::size_t size : spec.sizes)
       for (auto& g : stg::make_random_group(size, spec.graphs_per_group, spec.seed))
@@ -99,13 +123,20 @@ ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os) {
         entries.push_back(core::SuiteEntry{group, graph::scale_weights(g, unit)});
       }
 
+    timing.suite_seconds = watch.elapsed_seconds();
+
     core::SweepConfig cfg;
     cfg.deadline_factors = spec.deadline_factors;
     cfg.strategies = spec.strategies;
     cfg.threads = spec.threads;
+    watch.reset();
     const auto results = core::run_sweep(entries, model, ladder, cfg);
+    timing.sweep_seconds = watch.elapsed_seconds();
+    watch.reset();
     const auto agg = core::aggregate_relative(results);
+    timing.aggregate_seconds = watch.elapsed_seconds();
 
+    watch.reset();
     os << "== " << tag << " grain: " << entries.size() << " graphs x "
        << spec.deadline_factors.size() << " deadlines x " << spec.strategies.size()
        << " strategies ==\n";
@@ -125,9 +156,22 @@ ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os) {
       out.csv_files_written.push_back(agg_path);
       os << "wrote " << inst_path << " and " << agg_path << "\n";
     }
+    timing.write_seconds = watch.elapsed_seconds();
+
+    os << "timing: suite " << fmt_fixed(timing.suite_seconds, 3) << " s, sweep "
+       << fmt_fixed(timing.sweep_seconds, 3) << " s, aggregate "
+       << fmt_fixed(timing.aggregate_seconds, 3) << " s, write "
+       << fmt_fixed(timing.write_seconds, 3) << " s\n";
+    if (!spec.csv_prefix.empty()) {
+      const std::string timing_path = spec.csv_prefix + "_" + tag + "_timing.csv";
+      write_timing_csv(results, timing, timing_path, tag);
+      out.csv_files_written.push_back(timing_path);
+      os << "wrote " << timing_path << "\n";
+    }
 
     out.instances.insert(out.instances.end(), results.begin(), results.end());
     out.aggregated.insert(out.aggregated.end(), agg.begin(), agg.end());
+    out.timings.push_back(timing);
   }
   return out;
 }

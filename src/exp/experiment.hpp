@@ -52,10 +52,20 @@ struct ExperimentSpec {
 /// core::to_string).  Throws on unknown names.
 [[nodiscard]] core::StrategyKind strategy_from_name(const std::string& name);
 
+/// Wall-clock cost of one granularity pass, by pipeline phase.
+struct PhaseTiming {
+  std::string tag;            ///< granularity tag ("coarse"/"fine")
+  double suite_seconds{0.0};  ///< graph generation + weight scaling
+  double sweep_seconds{0.0};  ///< run_sweep (wall clock, all threads)
+  double aggregate_seconds{0.0};
+  double write_seconds{0.0};  ///< report + CSV emission
+};
+
 struct ExperimentOutput {
   std::vector<core::InstanceResult> instances;
   std::vector<core::GroupRelative> aggregated;
   std::vector<std::string> csv_files_written;
+  std::vector<PhaseTiming> timings;  ///< one entry per granularity pass
 };
 
 /// Runs the experiment, printing a human-readable report to `os` and

@@ -1,0 +1,66 @@
+#include "robust/montecarlo.hpp"
+
+#include <algorithm>
+
+namespace lamps::robust {
+
+RobustnessStats aggregate(std::span<const TrialOutcome> trials) {
+  RobustnessStats stats;
+  stats.trials = trials.size();
+  if (trials.empty()) return stats;
+
+  std::vector<double> energy;
+  std::vector<double> tard;
+  energy.reserve(trials.size());
+  tard.reserve(trials.size());
+  std::size_t misses = 0;
+  double shutdowns = 0.0;
+  double faults = 0.0;
+  for (const TrialOutcome& t : trials) {
+    energy.push_back(t.energy_j);
+    tard.push_back(t.tardiness_s);
+    if (!t.met_deadline) ++misses;
+    shutdowns += static_cast<double>(t.shutdowns);
+    faults += static_cast<double>(t.wake_faults);
+  }
+  const auto count = static_cast<double>(trials.size());
+  stats.miss_rate = static_cast<double>(misses) / count;
+  stats.energy = summarize(energy);
+  stats.energy_p95 = quantile(energy, 0.95);
+  stats.energy_p99 = quantile(energy, 0.99);
+  stats.tardiness = summarize(tard);
+  stats.mean_shutdowns = shutdowns / count;
+  stats.mean_wake_faults = faults / count;
+  return stats;
+}
+
+std::vector<TrialOutcome> run_trials(ThreadPool& pool, const sched::Schedule& plan,
+                                     const graph::TaskGraph& g, const power::DvsLevel& lvl,
+                                     Seconds deadline, const power::SleepModel& sleep,
+                                     const energy::PsOptions& ps, const McConfig& cfg) {
+  cfg.perturb.validate();
+  // Pre-sized, written by trial index: the result never depends on which
+  // worker ran which trial.
+  std::vector<TrialOutcome> out(cfg.trials);
+  parallel_for_index(pool, cfg.trials, [&](std::size_t t) {
+    const Rng trial_rng = child_rng(cfg.seed, t);
+    const PerturbSample sample = draw_sample(cfg.perturb, g, plan.num_procs(), trial_rng);
+    const ReplayResult r =
+        replay_schedule(plan, g, lvl, deadline, sleep, ps, cfg.perturb, sample);
+    out[t] = TrialOutcome{r.breakdown.total().value(), r.met_deadline,
+                          r.tardiness.value(), r.breakdown.shutdowns, r.wake_faults};
+  });
+  return out;
+}
+
+RobustnessStats run_montecarlo(const sched::Schedule& plan, const graph::TaskGraph& g,
+                               const power::DvsLevel& lvl, Seconds deadline,
+                               const power::SleepModel& sleep, const energy::PsOptions& ps,
+                               const McConfig& cfg) {
+  ThreadPool pool(cfg.threads);
+  const std::vector<TrialOutcome> trials =
+      run_trials(pool, plan, g, lvl, deadline, sleep, ps, cfg);
+  return aggregate(trials);
+}
+
+}  // namespace lamps::robust

@@ -1,0 +1,67 @@
+// Parallel Monte-Carlo driver over robust/replay.
+//
+// Runs N independent trials of one (schedule, level, deadline) under a
+// PerturbSpec and aggregates them into distributional statistics: deadline
+// miss rate, energy mean/p50/p95/p99, tardiness.  Trial t draws all of its
+// randomness from child_rng(seed, t), so results are a pure function of
+// (problem, spec, trials, seed) — byte-identical at any thread count
+// (test-enforced).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "robust/replay.hpp"
+#include "util/summary.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lamps::robust {
+
+struct McConfig {
+  std::size_t trials{1000};
+  std::uint64_t seed{1};
+  /// Worker threads; 0 selects hardware concurrency.
+  std::size_t threads{0};
+  PerturbSpec perturb{};
+};
+
+/// One trial's outcome, indexed by trial id.
+struct TrialOutcome {
+  double energy_j{0.0};
+  bool met_deadline{false};
+  double tardiness_s{0.0};
+  std::size_t shutdowns{0};
+  std::size_t wake_faults{0};
+};
+
+struct RobustnessStats {
+  std::size_t trials{0};
+  /// Fraction of trials that missed the deadline.
+  double miss_rate{0.0};
+  Summary energy{};       ///< total energy per trial [J]
+  double energy_p95{0.0};
+  double energy_p99{0.0};
+  Summary tardiness{};    ///< per-trial tardiness [s] (0 when met)
+  double mean_shutdowns{0.0};
+  double mean_wake_faults{0.0};
+};
+
+[[nodiscard]] RobustnessStats aggregate(std::span<const TrialOutcome> trials);
+
+/// Runs cfg.trials replays of `plan` on `pool` and returns the per-trial
+/// outcomes in trial order (deterministic: trial t uses child_rng(cfg.seed,
+/// t) regardless of which worker executes it).
+[[nodiscard]] std::vector<TrialOutcome> run_trials(
+    ThreadPool& pool, const sched::Schedule& plan, const graph::TaskGraph& g,
+    const power::DvsLevel& lvl, Seconds deadline, const power::SleepModel& sleep,
+    const energy::PsOptions& ps, const McConfig& cfg);
+
+/// run_trials + aggregate with an internally-owned pool of cfg.threads.
+[[nodiscard]] RobustnessStats run_montecarlo(const sched::Schedule& plan,
+                                             const graph::TaskGraph& g,
+                                             const power::DvsLevel& lvl, Seconds deadline,
+                                             const power::SleepModel& sleep,
+                                             const energy::PsOptions& ps,
+                                             const McConfig& cfg);
+
+}  // namespace lamps::robust

@@ -1,0 +1,126 @@
+#include "robust/perturb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace lamps::robust {
+
+namespace {
+
+// Stream ids for the per-component forks of the trial RNG.  Fixed so that
+// enabling one component never changes another component's draws.
+constexpr std::uint64_t kJitterStream = 0x11;
+constexpr std::uint64_t kLeakStream = 0x22;
+constexpr std::uint64_t kStallStream = 0x33;
+constexpr std::uint64_t kWakeStreamBase = 0x1000;
+
+/// Scale factors below this are clamped: a task can speed up, but not
+/// finish in (nearly) zero time, and leakage cannot go negative.
+constexpr double kScaleFloor = 0.05;
+
+double jitter_factor(Rng& rng, const PerturbSpec& spec) {
+  switch (spec.jitter_kind) {
+    case JitterKind::kUniform:
+      return 1.0 + spec.jitter * rng.uniform_real(-1.0, 1.0);
+    case JitterKind::kNormal:
+      return 1.0 + spec.jitter * rng.normal01();
+    case JitterKind::kHeavyTail:
+      return std::exp(spec.jitter * rng.normal01());
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+const char* to_string(JitterKind k) {
+  switch (k) {
+    case JitterKind::kUniform:
+      return "uniform";
+    case JitterKind::kNormal:
+      return "normal";
+    case JitterKind::kHeavyTail:
+      return "heavytail";
+  }
+  return "?";
+}
+
+JitterKind jitter_kind_from_name(const std::string& name) {
+  if (name == "uniform") return JitterKind::kUniform;
+  if (name == "normal") return JitterKind::kNormal;
+  if (name == "heavytail") return JitterKind::kHeavyTail;
+  throw std::invalid_argument("unknown jitter kind: '" + name +
+                              "' (uniform|normal|heavytail)");
+}
+
+bool PerturbSpec::is_zero() const {
+  return jitter == 0.0 && leak_spread == 0.0 && wake_fault_prob == 0.0 &&
+         stall_prob == 0.0;
+}
+
+bool PerturbSpec::wake_delays_possible() const {
+  return wake_fault_prob > 0.0 && wake_latency.value() > 0.0 && wake_fault_scale > 1.0;
+}
+
+void PerturbSpec::validate() const {
+  if (jitter < 0.0) throw std::invalid_argument("PerturbSpec: jitter must be >= 0");
+  if (leak_spread < 0.0)
+    throw std::invalid_argument("PerturbSpec: leak_spread must be >= 0");
+  if (wake_fault_prob < 0.0 || wake_fault_prob > 1.0)
+    throw std::invalid_argument("PerturbSpec: wake_fault_prob must be in [0, 1]");
+  if (wake_fault_scale < 1.0)
+    throw std::invalid_argument("PerturbSpec: wake_fault_scale must be >= 1");
+  if (wake_latency.value() < 0.0)
+    throw std::invalid_argument("PerturbSpec: wake_latency must be >= 0");
+  if (stall_prob < 0.0 || stall_prob > 1.0)
+    throw std::invalid_argument("PerturbSpec: stall_prob must be in [0, 1]");
+  if (stall_scale < 0.0)
+    throw std::invalid_argument("PerturbSpec: stall_scale must be >= 0");
+}
+
+PerturbSample draw_sample(const PerturbSpec& spec, const graph::TaskGraph& g,
+                          std::size_t num_procs, const Rng& trial_rng) {
+  spec.validate();
+  PerturbSample sample;
+  const std::size_t n = g.num_tasks();
+
+  sample.actual_cycles.resize(n);
+  Rng jitter_rng = trial_rng.fork(kJitterStream);
+  Rng stall_rng = trial_rng.fork(kStallStream);
+  for (graph::TaskId v = 0; v < n; ++v) {
+    const Cycles wcet = g.weight(v);
+    if (spec.jitter == 0.0 && spec.stall_prob == 0.0) {
+      sample.actual_cycles[v] = wcet;
+      continue;
+    }
+    double scale = spec.jitter > 0.0 ? jitter_factor(jitter_rng, spec) : 1.0;
+    if (spec.stall_prob > 0.0 && stall_rng.bernoulli(spec.stall_prob)) {
+      scale += spec.stall_scale;
+      ++sample.stalled_tasks;
+    }
+    scale = std::max(scale, kScaleFloor);
+    const auto cycles =
+        static_cast<Cycles>(std::llround(static_cast<double>(wcet) * scale));
+    sample.actual_cycles[v] = wcet == 0 ? 0 : std::max<Cycles>(1, cycles);
+  }
+
+  sample.leak_scale.assign(num_procs, 1.0);
+  if (spec.leak_spread > 0.0) {
+    Rng leak_rng = trial_rng.fork(kLeakStream);
+    for (double& s : sample.leak_scale)
+      s = std::max(kScaleFloor, 1.0 + spec.leak_spread * leak_rng.normal01());
+  }
+
+  sample.wake_streams.reserve(num_procs);
+  for (std::size_t p = 0; p < num_procs; ++p)
+    sample.wake_streams.push_back(trial_rng.fork(kWakeStreamBase + p));
+  return sample;
+}
+
+double draw_wake_scale(Rng& stream, const PerturbSpec& spec) {
+  if (spec.wake_fault_prob <= 0.0) return 1.0;
+  return stream.bernoulli(spec.wake_fault_prob) ? spec.wake_fault_scale : 1.0;
+}
+
+}  // namespace lamps::robust

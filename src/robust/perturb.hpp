@@ -1,0 +1,107 @@
+// Composable perturbation models for variation-aware schedule evaluation.
+//
+// The paper evaluates every strategy assuming WCET-exact execution and the
+// nominal 70 nm technology.  Its own conclusions push schedules towards the
+// regimes where that assumption is most fragile: near-critical-frequency
+// operation leaves little timing margin, and aggressive shutdown bets on
+// the 483 uJ wakeup always costing its nominal price.  This module draws
+// randomized deviations from the nominal model — per-task execution-time
+// jitter, per-processor leakage spread (process variation), sleep
+// wake-latency/energy faults and transient stalls — which robust/replay
+// then injects into a fixed static schedule.
+//
+// Every component is optional and zero by default: a default PerturbSpec
+// draws the identity sample, under which replay reproduces the static
+// evaluator bit for bit (test-enforced).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace lamps::robust {
+
+/// Distribution family of the per-task execution-time scale factor.
+enum class JitterKind {
+  kUniform,    ///< s = 1 + j * U[-1, 1]      (bounded, symmetric)
+  kNormal,     ///< s = 1 + j * N(0, 1)       (unbounded, symmetric)
+  kHeavyTail,  ///< s = exp(j * N(0, 1))      (lognormal: median 1, heavy right tail)
+};
+
+[[nodiscard]] const char* to_string(JitterKind k);
+
+/// Parses "uniform" | "normal" | "heavytail"; throws std::invalid_argument.
+[[nodiscard]] JitterKind jitter_kind_from_name(const std::string& name);
+
+struct PerturbSpec {
+  // --- Execution-time jitter (per task) --------------------------------
+  JitterKind jitter_kind{JitterKind::kUniform};
+  /// Relative magnitude j of the scale-factor distribution; 0 = exact WCET.
+  double jitter{0.0};
+
+  // --- Leakage spread (per processor) ----------------------------------
+  /// Sigma of the per-processor leakage multiplier 1 + sigma * N(0, 1)
+  /// (clamped to >= 0.1), modeling die-to-die process variation of the
+  /// sub-threshold currents (Technology K3 / Ij scale linearly into P_DC,
+  /// so one multiplier on the leakage power term captures both).
+  double leak_spread{0.0};
+
+  // --- Sleep wake faults (per shutdown event) --------------------------
+  /// Probability that one wakeup misbehaves (cold caches, PLL relock, ...).
+  double wake_fault_prob{0.0};
+  /// A faulted wakeup costs wake_fault_scale x the nominal E_wake and
+  /// takes wake_fault_scale x the nominal wake latency.
+  double wake_fault_scale{4.0};
+  /// Nominal wake latency.  The runtime is assumed to initiate wakeups
+  /// early enough that a nominal wakeup completes exactly on time, so only
+  /// the *excess* latency of a faulted wakeup, (scale - 1) * wake_latency,
+  /// delays the next task.  The paper's model is latency-free (0).
+  Seconds wake_latency{0.0};
+
+  // --- Transient processor stalls (per task) ---------------------------
+  /// Probability that a task suffers a transient stall (memory contention,
+  /// thermal throttling burst, ...).
+  double stall_prob{0.0};
+  /// A stalled task executes for an extra stall_scale x WCET cycles.
+  double stall_scale{1.0};
+
+  /// True when every component is inactive (the identity perturbation).
+  [[nodiscard]] bool is_zero() const;
+  /// True when wake faults can delay task starts (prob > 0 and latency > 0).
+  [[nodiscard]] bool wake_delays_possible() const;
+
+  /// Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+};
+
+/// One concrete draw from a PerturbSpec, for one (graph, processor count).
+/// Task-indexed and processor-indexed so replay outcomes are independent of
+/// event interleaving.
+struct PerturbSample {
+  /// Actual execution cycles per task (jitter + stall applied to WCET).
+  std::vector<Cycles> actual_cycles;
+  /// Per-processor leakage power multiplier (1.0 = nominal).
+  std::vector<double> leak_scale;
+  /// Per-processor wake-fault streams, consumed once per slept gap in
+  /// per-processor time order (leading/internal gaps first, trailing last).
+  std::vector<Rng> wake_streams;
+  /// Number of tasks that drew a transient stall.
+  std::size_t stalled_tasks{0};
+};
+
+/// Draws one sample.  All randomness derives from `trial_rng` through
+/// per-component forks, so enabling one component never shifts the draws of
+/// another.  With a zero spec the sample is exactly the identity: actual
+/// cycles equal the WCET weights and every leak_scale is 1.0.
+[[nodiscard]] PerturbSample draw_sample(const PerturbSpec& spec, const graph::TaskGraph& g,
+                                        std::size_t num_procs, const Rng& trial_rng);
+
+/// Draws the energy/latency scale of the next wakeup on `stream`: 1.0 with
+/// probability 1 - wake_fault_prob, else wake_fault_scale.  Does not touch
+/// the stream when wake_fault_prob <= 0 (keeps the zero case bit-exact).
+[[nodiscard]] double draw_wake_scale(Rng& stream, const PerturbSpec& spec);
+
+}  // namespace lamps::robust

@@ -1,0 +1,173 @@
+#include "robust/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace lamps::robust {
+
+namespace {
+
+/// Augmented successors (graph edges + next-task-on-same-processor edges)
+/// and a deterministic topological order over them — the same construction
+/// core/multifreq and sim/online use to re-time a fixed (mapping, order).
+struct AugmentedDag {
+  std::vector<std::vector<graph::TaskId>> succs;
+  std::vector<graph::TaskId> topo;
+
+  AugmentedDag(const sched::Schedule& s, const graph::TaskGraph& g) : succs(g.num_tasks()) {
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      const auto gs = g.successors(v);
+      succs[v].assign(gs.begin(), gs.end());
+    }
+    for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
+      const auto row = s.on_proc(p);
+      for (std::size_t i = 0; i + 1 < row.size(); ++i)
+        succs[row[i].task].push_back(row[i + 1].task);
+    }
+    std::vector<std::size_t> in_deg(g.num_tasks(), 0);
+    for (const auto& ss : succs)
+      for (const graph::TaskId t : ss) ++in_deg[t];
+    std::priority_queue<graph::TaskId, std::vector<graph::TaskId>, std::greater<>> ready;
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+      if (in_deg[v] == 0) ready.push(v);
+    topo.reserve(g.num_tasks());
+    while (!ready.empty()) {
+      const graph::TaskId v = ready.top();
+      ready.pop();
+      topo.push_back(v);
+      for (const graph::TaskId t : succs[v])
+        if (--in_deg[t] == 0) ready.push(t);
+    }
+  }
+};
+
+}  // namespace
+
+ReplayResult replay_schedule(const sched::Schedule& plan, const graph::TaskGraph& g,
+                             const power::DvsLevel& lvl, Seconds deadline,
+                             const power::SleepModel& sleep, const energy::PsOptions& ps,
+                             const PerturbSpec& spec, const PerturbSample& sample) {
+  const std::size_t n = g.num_tasks();
+  const std::size_t procs = plan.num_procs();
+  if (plan.num_tasks() != n)
+    throw std::invalid_argument("replay_schedule: plan/graph task count mismatch");
+  if (sample.actual_cycles.size() != n)
+    throw std::invalid_argument("replay_schedule: sample sized for a different graph");
+  if (sample.leak_scale.size() != procs || sample.wake_streams.size() != procs)
+    throw std::invalid_argument("replay_schedule: sample sized for a different machine");
+  if (!plan.complete())
+    throw std::invalid_argument("replay_schedule: plan is incomplete");
+
+  const Hertz f = lvl.f;
+  // Per-processor leakage power under the sample's process-variation
+  // multiplier.  The identity multiplier keeps the nominal doubles
+  // bit-exact (x * 1.0 == x; idle taken straight from the ladder).
+  std::vector<Watts> leak_w(procs);
+  std::vector<Watts> idle_w(procs);
+  for (std::size_t p = 0; p < procs; ++p) {
+    leak_w[p] = lvl.active.leakage * sample.leak_scale[p];
+    idle_w[p] = sample.leak_scale[p] == 1.0 ? lvl.idle : leak_w[p] + lvl.active.intrinsic;
+  }
+
+  // --- Phase A: re-time the plan under the sample ------------------------
+  // Time-triggered dispatch: start = max(planned start, latest graph
+  // predecessor finish, processor free time), plus the excess latency of a
+  // faulted wakeup when the preceding gap is slept.  Sleep decisions here
+  // mirror phase B's (the delay only lengthens the gap, and the breakeven
+  // rule is monotone in gap length, so both phases agree on every gap).
+  const AugmentedDag dag(plan, g);
+  const bool delays = spec.wake_delays_possible();
+  std::vector<Rng> streams_a = sample.wake_streams;
+  std::vector<Cycles> ready_at(n, 0);
+  std::vector<Cycles> cursor(procs, 0);
+  ReplayResult result{sched::Schedule(procs, n)};
+  for (const graph::TaskId v : dag.topo) {
+    const sched::Placement& planned = plan.placement(v);
+    const sched::ProcId p = planned.proc;
+    const Cycles tentative = std::max({planned.start, ready_at[v], cursor[p]});
+    Cycles start = tentative;
+    if (delays) {
+      const Cycles gap = tentative - cursor[p];
+      const bool may_sleep = ps.enabled && (ps.allow_leading_gaps || cursor[p] != 0);
+      if (gap > 0 && may_sleep &&
+          sleep.decide(cycles_to_time(gap, f), idle_w[p]).shutdown) {
+        const double k = draw_wake_scale(streams_a[p], spec);
+        if (k > 1.0)
+          start += static_cast<Cycles>(
+              std::ceil((k - 1.0) * spec.wake_latency.value() * f.value()));
+      }
+    }
+    const Cycles finish = start + sample.actual_cycles[v];
+    result.schedule.place(v, p, start, finish);
+    cursor[p] = finish;
+    for (const graph::TaskId t : dag.succs[v])
+      ready_at[t] = std::max(ready_at[t], finish);
+  }
+
+  // --- Deadlines ---------------------------------------------------------
+  result.completion = cycles_to_time(result.schedule.makespan(), f);
+  result.met_deadline = result.completion.value() <= deadline.value() * (1.0 + 1e-9);
+  double tard = result.completion.value() - deadline.value();
+  if (g.has_explicit_deadlines()) {
+    for (graph::TaskId v = 0; v < n; ++v) {
+      if (const auto own = g.explicit_deadline(v)) {
+        const Seconds fin = cycles_to_time(result.schedule.placement(v).finish, f);
+        if (fin.value() > own->value() * (1.0 + 1e-9)) result.met_deadline = false;
+        tard = std::max(tard, fin.value() - own->value());
+      }
+    }
+  }
+  result.tardiness = Seconds{std::max(0.0, tard)};
+
+  // --- Phase B: energy accounting ----------------------------------------
+  // Mirrors energy::evaluate_energy's loop structure exactly (active energy
+  // per processor first, then the per-gap walk in per-processor time order)
+  // so the identity sample reproduces the analytic evaluator bit for bit.
+  // An overrunning schedule stays powered to its own completion.
+  const Seconds horizon = result.completion > deadline ? result.completion : deadline;
+  energy::EnergyBreakdown& e = result.breakdown;
+  for (sched::ProcId p = 0; p < procs; ++p) {
+    const Seconds busy = cycles_to_time(result.schedule.busy_cycles(p), f);
+    e.dynamic += lvl.active.dynamic * busy;
+    e.leakage += leak_w[p] * busy;
+    e.intrinsic += lvl.active.intrinsic * busy;
+  }
+  std::vector<Rng> streams_b = sample.wake_streams;
+  for (sched::ProcId p = 0; p < procs; ++p) {
+    const auto charge_gap = [&](Seconds gap, bool leading) {
+      const bool may_sleep = ps.enabled && (ps.allow_leading_gaps || !leading);
+      if (may_sleep) {
+        const auto d = sleep.decide(gap, idle_w[p]);
+        if (d.shutdown) {
+          const double k = draw_wake_scale(streams_b[p], spec);
+          e.sleep += sleep.sleep_power() * gap;
+          e.wakeup += sleep.wakeup_energy() * k;
+          ++e.shutdowns;
+          if (k > 1.0) ++result.wake_faults;
+          return;
+        }
+      }
+      e.leakage += leak_w[p] * gap;
+      e.intrinsic += lvl.active.intrinsic * gap;
+    };
+    Cycles cur = 0;
+    for (const sched::Placement& pl : result.schedule.on_proc(p)) {
+      if (pl.start > cur) charge_gap(cycles_to_time(pl.start - cur, f), cur == 0);
+      cur = pl.finish;
+    }
+    const Seconds tail = horizon - cycles_to_time(cur, f);
+    if (tail.value() > 0.0) charge_gap(tail, cur == 0);
+  }
+  return result;
+}
+
+sim::PowerTrace replay_trace(const ReplayResult& r, const graph::TaskGraph& g,
+                             const power::DvsLevel& lvl, Seconds deadline,
+                             const power::SleepModel& sleep, const energy::PsOptions& ps) {
+  const Seconds horizon = r.completion > deadline ? r.completion : deadline;
+  return sim::simulate(r.schedule, g, lvl, horizon, sleep, ps);
+}
+
+}  // namespace lamps::robust

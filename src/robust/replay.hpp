@@ -1,0 +1,68 @@
+// Event-driven replay of a fixed static schedule under one perturbation
+// sample.
+//
+// The static plan fixes the task-to-processor mapping, the per-processor
+// order and the single DVS level; replay re-executes it with the sample's
+// actual cycle counts and faults, recomputing start/finish times, idle
+// gaps, sleep decisions and the full energy breakdown.  Dispatch is
+// time-triggered: a task never starts before its planned slot (a static
+// schedule table is dispatched at planned times), and starts late when its
+// predecessors overrun, its processor is still busy, or a faulted wakeup
+// delays it.  Precedence and assignment are always preserved.
+//
+// With the identity sample the replayed schedule equals the plan and the
+// energy accounting reproduces energy::evaluate_energy bit for bit — the
+// per-gap walk mirrors the evaluator's loop structure exactly, and every
+// perturbation multiplier degenerates to an exact * 1.0 (test-enforced).
+// The replayed schedule is an ordinary cycle-domain sched::Schedule, so
+// sim/power_trace can integrate it numerically (replay_trace below) for
+// cross-validation and plotting.
+#pragma once
+
+#include "energy/evaluator.hpp"
+#include "power/dvs_ladder.hpp"
+#include "power/sleep_model.hpp"
+#include "robust/perturb.hpp"
+#include "sched/schedule.hpp"
+#include "sim/power_trace.hpp"
+
+namespace lamps::robust {
+
+struct ReplayResult {
+  /// The perturbed execution as a cycle-domain schedule (actual durations).
+  sched::Schedule schedule;
+  energy::EnergyBreakdown breakdown{};
+  /// Wall-clock finish of the last task at the replay level.
+  Seconds completion{0.0};
+  /// Global deadline met AND every explicit per-task deadline met.
+  bool met_deadline{false};
+  /// Largest deadline overrun over the global and all explicit deadlines
+  /// (0 when met).
+  Seconds tardiness{0.0};
+  /// Wakeups that drew a fault (each also counted in breakdown.shutdowns).
+  std::size_t wake_faults{0};
+};
+
+/// Replays `plan` at level `lvl` under `sample`.  `deadline` is the global
+/// deadline; energy is charged on [0, max(deadline, completion)] — an
+/// overrunning schedule keeps its processors powered until the work
+/// completes.  `ps` selects the per-gap shutdown policy exactly as in the
+/// static evaluator.  Throws std::invalid_argument on plan/graph/sample
+/// size mismatches.
+[[nodiscard]] ReplayResult replay_schedule(const sched::Schedule& plan,
+                                           const graph::TaskGraph& g,
+                                           const power::DvsLevel& lvl, Seconds deadline,
+                                           const power::SleepModel& sleep,
+                                           const energy::PsOptions& ps,
+                                           const PerturbSpec& spec,
+                                           const PerturbSample& sample);
+
+/// Numerically integrates a replay outcome with sim/power_trace at the
+/// nominal power model (valid cross-check whenever the sample carries no
+/// leakage spread; wake-fault energy is not part of the trace).
+[[nodiscard]] sim::PowerTrace replay_trace(const ReplayResult& r, const graph::TaskGraph& g,
+                                           const power::DvsLevel& lvl, Seconds deadline,
+                                           const power::SleepModel& sleep,
+                                           const energy::PsOptions& ps);
+
+}  // namespace lamps::robust

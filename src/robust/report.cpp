@@ -1,0 +1,94 @@
+#include "robust/report.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace lamps::robust {
+
+namespace {
+
+/// Gap-shutdown policy a strategy's schedule is evaluated under — must
+/// match what the strategy itself assumed when picking its level (see
+/// core/stretch.cpp): plain S&S/LAMPS never power down, the +PS variants
+/// shut down per gap with the problem's leading-gap setting.
+energy::PsOptions ps_options_for(core::StrategyKind kind, const core::Problem& prob) {
+  if (kind == core::StrategyKind::kSnsPs || kind == core::StrategyKind::kLampsPs)
+    return energy::PsOptions{true, prob.ps_allow_leading_gaps};
+  return energy::PsOptions{};
+}
+
+}  // namespace
+
+std::vector<StrategyRobustness> evaluate_robustness(const core::Problem& prob,
+                                                    std::span<const core::StrategyKind> kinds,
+                                                    const McConfig& cfg) {
+  std::vector<StrategyRobustness> rows;
+  rows.reserve(kinds.size());
+  const power::SleepModel sleep = prob.sleep();
+  for (const core::StrategyKind kind : kinds) {
+    const core::StrategyResult res = core::run_strategy(kind, prob);
+    StrategyRobustness row;
+    row.kind = kind;
+    row.feasible = res.feasible;
+    row.replayable = res.feasible && res.schedule.has_value();
+    row.nominal = res.breakdown.total();
+    row.num_procs = res.num_procs;
+    row.level_index = res.level_index;
+    if (row.replayable) {
+      const power::DvsLevel& lvl = prob.ladder->level(res.level_index);
+      row.stats = run_montecarlo(*res.schedule, *prob.graph, lvl, prob.deadline, sleep,
+                                 ps_options_for(kind, prob), cfg);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_robustness_report(std::ostream& os, std::span<const StrategyRobustness> rows,
+                             const McConfig& cfg) {
+  const PerturbSpec& s = cfg.perturb;
+  os << "Monte-Carlo robustness: " << cfg.trials << " trials, seed " << cfg.seed
+     << "\n  jitter " << fmt_percent(s.jitter, 1) << " (" << to_string(s.jitter_kind)
+     << "), leak spread " << fmt_percent(s.leak_spread, 1) << ", wake faults "
+     << fmt_percent(s.wake_fault_prob, 1) << " x" << fmt_fixed(s.wake_fault_scale, 1)
+     << ", stalls " << fmt_percent(s.stall_prob, 1) << "\n\n";
+  TextTable table({"strategy", "nominal mJ", "mean mJ", "p95 mJ", "p99 mJ", "miss",
+                   "shutdowns", "wake faults"});
+  for (const StrategyRobustness& r : rows) {
+    const std::string name{core::to_string(r.kind)};
+    if (!r.feasible) {
+      table.row(name, "infeasible", "-", "-", "-", "-", "-", "-");
+      continue;
+    }
+    if (!r.replayable) {
+      table.row(name, fmt_fixed(r.nominal.value() * 1e3, 3), "(bound)", "-", "-", "-", "-",
+                "-");
+      continue;
+    }
+    table.row(name, fmt_fixed(r.nominal.value() * 1e3, 3),
+              fmt_fixed(r.stats.energy.mean * 1e3, 3),
+              fmt_fixed(r.stats.energy_p95 * 1e3, 3),
+              fmt_fixed(r.stats.energy_p99 * 1e3, 3), fmt_percent(r.stats.miss_rate, 1),
+              fmt_fixed(r.stats.mean_shutdowns, 2), fmt_fixed(r.stats.mean_wake_faults, 2));
+  }
+  table.print(os);
+}
+
+void write_robustness_csv(const std::string& path, std::span<const StrategyRobustness> rows) {
+  std::ofstream file = open_csv(path);
+  CsvWriter csv(file);
+  csv.row("strategy", "feasible", "replayable", "nominal_j", "trials", "miss_rate",
+          "mean_j", "p50_j", "p95_j", "p99_j", "stddev_j", "mean_tardiness_s",
+          "max_tardiness_s", "mean_shutdowns", "mean_wake_faults");
+  for (const StrategyRobustness& r : rows) {
+    csv.row(core::to_string(r.kind), r.feasible ? 1 : 0, r.replayable ? 1 : 0,
+            r.nominal.value(), r.stats.trials, r.stats.miss_rate, r.stats.energy.mean,
+            r.stats.energy.median, r.stats.energy_p95, r.stats.energy_p99,
+            r.stats.energy.stddev, r.stats.tardiness.mean, r.stats.tardiness.max,
+            r.stats.mean_shutdowns, r.stats.mean_wake_faults);
+  }
+}
+
+}  // namespace lamps::robust

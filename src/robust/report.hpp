@@ -1,0 +1,47 @@
+// Robustness comparison across scheduling strategies.
+//
+// Runs each strategy once on the nominal problem, then Monte-Carlo-replays
+// its winning schedule under a PerturbSpec, producing the comparison the
+// paper cannot: which strategy's energy advantage survives execution-time
+// jitter, leakage spread and wake faults, and at what deadline-miss risk.
+// The LIMIT bounds have no schedule to replay and appear nominal-only.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "robust/montecarlo.hpp"
+
+namespace lamps::robust {
+
+struct StrategyRobustness {
+  core::StrategyKind kind{};
+  bool feasible{false};
+  /// True when the strategy produced a schedule to replay (false for the
+  /// LIMIT bounds and infeasible results — stats are then all zero).
+  bool replayable{false};
+  Joules nominal{0.0};
+  std::size_t num_procs{0};
+  std::size_t level_index{0};
+  RobustnessStats stats{};
+};
+
+/// Runs each strategy on `prob` and Monte-Carlo-evaluates its schedule
+/// under `cfg`.  Entries come back in the order of `kinds`.
+[[nodiscard]] std::vector<StrategyRobustness> evaluate_robustness(
+    const core::Problem& prob, std::span<const core::StrategyKind> kinds,
+    const McConfig& cfg);
+
+/// Human-readable comparison table (nominal mJ, mean/p95/p99 mJ, miss rate,
+/// shutdowns, wake faults).
+void print_robustness_report(std::ostream& os, std::span<const StrategyRobustness> rows,
+                             const McConfig& cfg);
+
+/// One CSV row per strategy: strategy,feasible,replayable,nominal_j,
+/// trials,miss_rate,mean_j,p50_j,p95_j,p99_j,stddev_j,mean_tardiness_s,
+/// max_tardiness_s,mean_shutdowns,mean_wake_faults.
+void write_robustness_csv(const std::string& path, std::span<const StrategyRobustness> rows);
+
+}  // namespace lamps::robust

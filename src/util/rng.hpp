@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -85,6 +86,16 @@ class Rng {
     return r;
   }
 
+  /// Gaussian N(0, 1) via Box-Muller on our own uniforms (std::normal_
+  /// distribution differs across standard libraries).  Consumes two draws.
+  double normal01() {
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    const double u1 = uniform01();
+    const double u2 = uniform01();
+    // 1 - u1 in (0, 1] keeps the log argument away from zero.
+    return std::sqrt(-2.0 * std::log(1.0 - u1)) * std::cos(two_pi * u2);
+  }
+
   /// Fisher-Yates shuffle.
   template <typename T>
   constexpr void shuffle(std::span<T> xs) {
@@ -102,5 +113,28 @@ class Rng {
 
   std::array<std::uint64_t, 4> state_{};
 };
+
+/// Derives the seed of an independent child stream for fan-out work item
+/// `index` under master `seed`.
+///
+/// Parallel loops (Monte-Carlo trials, per-run variability draws) must NOT
+/// share one Rng across work items — results would depend on thread
+/// interleaving — and must not derive child seeds by cheap arithmetic
+/// (`seed + i`, `1000 * i + run`): consecutive xoshiro seeds produce
+/// correlated early outputs and collide between nested fan-outs.  Seeding
+/// each work item with child_seed(seed, index) gives every item a
+/// statistically independent stream that depends only on (seed, index), so
+/// results are reproducible at any thread count.
+[[nodiscard]] constexpr std::uint64_t child_seed(std::uint64_t seed, std::uint64_t index) {
+  SplitMix64 sm(seed);
+  const std::uint64_t mixed = sm.next() ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  SplitMix64 sm2(mixed);
+  return sm2.next();
+}
+
+/// Convenience: an Rng seeded with child_seed(seed, index).
+[[nodiscard]] constexpr Rng child_rng(std::uint64_t seed, std::uint64_t index) {
+  return Rng(child_seed(seed, index));
+}
 
 }  // namespace lamps

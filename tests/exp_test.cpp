@@ -124,7 +124,7 @@ TEST(Experiment, RunsAndWritesCsv) {
   const ExperimentOutput out = run_experiment(spec, report);
   EXPECT_EQ(out.instances.size(), 2u * 1u * 2u);
   EXPECT_FALSE(out.aggregated.empty());
-  ASSERT_EQ(out.csv_files_written.size(), 2u);
+  ASSERT_EQ(out.csv_files_written.size(), 3u);  // instances, groups, timing
   for (const std::string& path : out.csv_files_written) {
     std::ifstream is(path);
     EXPECT_TRUE(is.good()) << path;
@@ -135,6 +135,10 @@ TEST(Experiment, RunsAndWritesCsv) {
   }
   EXPECT_NE(report.str().find("coarse grain"), std::string::npos);
   EXPECT_NE(report.str().find("LAMPS+PS"), std::string::npos);
+  ASSERT_EQ(out.timings.size(), 1u);
+  EXPECT_EQ(out.timings[0].tag, "coarse");
+  EXPECT_GE(out.timings[0].sweep_seconds, 0.0);
+  EXPECT_NE(report.str().find("timing:"), std::string::npos);
 }
 
 TEST(Experiment, ReportOnlyWhenNoPrefix) {

@@ -1,0 +1,398 @@
+// Robustness-subsystem tests: identity-sample exactness (the replay must
+// reproduce the static evaluator bit for bit), thread-count determinism of
+// the Monte-Carlo driver, perturbation-model invariants, and the wake-fault
+// energy accounting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "robust/montecarlo.hpp"
+#include "robust/report.hpp"
+#include "stg/format.hpp"
+#include "stg/suite.hpp"
+#include "util/rng.hpp"
+
+namespace lamps::robust {
+namespace {
+
+// data/fork_join.stg and data/pipeline.stg, embedded so the tests do not
+// depend on the working directory.
+constexpr const char* kForkJoinStg =
+    "8\n"
+    "0 0 0\n"
+    "1 5 1 0\n"
+    "2 40 1 1\n"
+    "3 35 1 1\n"
+    "4 30 1 1\n"
+    "5 25 1 1\n"
+    "6 20 1 1\n"
+    "7 15 1 1\n"
+    "8 5 6 2 3 4 5 6 7\n"
+    "9 0 1 8\n";
+
+constexpr const char* kPipelineStg =
+    "8\n"
+    "0 0 0\n"
+    "1 12 1 0\n"
+    "2 30 1 1\n"
+    "3 18 1 1\n"
+    "4 26 1 2\n"
+    "5 22 2 2 3\n"
+    "6 14 1 3\n"
+    "7 20 3 4 5 6\n"
+    "8 10 1 7\n"
+    "9 0 1 8\n";
+
+graph::TaskGraph load(const char* text) {
+  std::istringstream is(text);
+  return graph::scale_weights(stg::read_stg(is), stg::kCoarseGrainCyclesPerUnit);
+}
+
+core::Problem make_problem(const graph::TaskGraph& g, const power::PowerModel& model,
+                           const power::DvsLadder& ladder, double factor) {
+  core::Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                          model.max_frequency().value() * factor};
+  return prob;
+}
+
+energy::PsOptions ps_for(core::StrategyKind kind, const core::Problem& prob) {
+  if (kind == core::StrategyKind::kSnsPs || kind == core::StrategyKind::kLampsPs)
+    return energy::PsOptions{true, prob.ps_allow_leading_gaps};
+  return energy::PsOptions{};
+}
+
+// ---------------------------------------------------------------- rng --
+
+TEST(ChildSeed, DistinctAndStable) {
+  EXPECT_EQ(child_seed(1, 0), child_seed(1, 0));
+  EXPECT_NE(child_seed(1, 0), child_seed(1, 1));
+  EXPECT_NE(child_seed(1, 0), child_seed(2, 0));
+  // Consecutive indices must not produce consecutive (correlated) seeds.
+  EXPECT_NE(child_seed(7, 1), child_seed(7, 0) + 1);
+}
+
+TEST(Perturb, IdentitySampleIsExactlyNominal) {
+  const graph::TaskGraph g = load(kPipelineStg);
+  const PerturbSample s = draw_sample(PerturbSpec{}, g, 4, Rng(42));
+  ASSERT_EQ(s.actual_cycles.size(), g.num_tasks());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    EXPECT_EQ(s.actual_cycles[v], g.weight(v));
+  for (const double l : s.leak_scale) EXPECT_EQ(l, 1.0);
+  EXPECT_EQ(s.stalled_tasks, 0u);
+}
+
+TEST(Perturb, ValidationRejectsBadParameters) {
+  PerturbSpec spec;
+  spec.jitter = -0.1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = PerturbSpec{};
+  spec.wake_fault_prob = 1.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = PerturbSpec{};
+  spec.wake_fault_scale = 0.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  EXPECT_THROW((void)jitter_kind_from_name("bogus"), std::invalid_argument);
+  EXPECT_EQ(jitter_kind_from_name("heavytail"), JitterKind::kHeavyTail);
+}
+
+// ------------------------------------------------- zero-perturbation --
+
+// The headline guarantee: with a zero spec, replay reproduces the static
+// evaluator's energy breakdown and the planned start/finish times exactly
+// (bitwise double equality), for every heuristic on both example graphs.
+TEST(Replay, ZeroPerturbationMatchesEvaluatorBitForBit) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const power::SleepModel sleep(model);
+  for (const char* text : {kForkJoinStg, kPipelineStg}) {
+    const graph::TaskGraph g = load(text);
+    const core::Problem prob = make_problem(g, model, ladder, 2.0);
+    for (const core::StrategyKind kind : core::kHeuristics) {
+      const core::StrategyResult plan = core::run_strategy(kind, prob);
+      ASSERT_TRUE(plan.feasible) << core::to_string(kind);
+      ASSERT_TRUE(plan.schedule.has_value()) << core::to_string(kind);
+
+      const PerturbSpec spec;  // identity
+      const PerturbSample sample = draw_sample(spec, g, plan.schedule->num_procs(), Rng(7));
+      const ReplayResult r =
+          replay_schedule(*plan.schedule, g, ladder.level(plan.level_index), prob.deadline,
+                          sleep, ps_for(kind, prob), spec, sample);
+
+      const std::string tag{core::to_string(kind)};
+      EXPECT_EQ(r.breakdown.dynamic.value(), plan.breakdown.dynamic.value()) << tag;
+      EXPECT_EQ(r.breakdown.leakage.value(), plan.breakdown.leakage.value()) << tag;
+      EXPECT_EQ(r.breakdown.intrinsic.value(), plan.breakdown.intrinsic.value()) << tag;
+      EXPECT_EQ(r.breakdown.sleep.value(), plan.breakdown.sleep.value()) << tag;
+      EXPECT_EQ(r.breakdown.wakeup.value(), plan.breakdown.wakeup.value()) << tag;
+      EXPECT_EQ(r.breakdown.shutdowns, plan.breakdown.shutdowns) << tag;
+      EXPECT_EQ(r.breakdown.total().value(), plan.breakdown.total().value()) << tag;
+      EXPECT_EQ(r.completion.value(), plan.completion.value()) << tag;
+      EXPECT_TRUE(r.met_deadline) << tag;
+      EXPECT_EQ(r.tardiness.value(), 0.0) << tag;
+      EXPECT_EQ(r.wake_faults, 0u) << tag;
+      for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+        const sched::Placement& got = r.schedule.placement(v);
+        const sched::Placement& want = plan.schedule->placement(v);
+        EXPECT_EQ(got.proc, want.proc) << tag << " task " << v;
+        EXPECT_EQ(got.start, want.start) << tag << " task " << v;
+        EXPECT_EQ(got.finish, want.finish) << tag << " task " << v;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- perturbed runs --
+
+PerturbSpec full_spec() {
+  PerturbSpec spec;
+  spec.jitter = 0.2;
+  spec.jitter_kind = JitterKind::kNormal;
+  spec.leak_spread = 0.1;
+  spec.wake_fault_prob = 0.1;
+  spec.wake_fault_scale = 4.0;
+  spec.wake_latency = Seconds{100e-6};
+  spec.stall_prob = 0.05;
+  spec.stall_scale = 0.5;
+  return spec;
+}
+
+TEST(Replay, PreservesPrecedenceAssignmentAndPlannedStarts) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const power::SleepModel sleep(model);
+  const graph::TaskGraph g = load(kPipelineStg);
+  const core::Problem prob = make_problem(g, model, ladder, 2.0);
+  const core::StrategyResult plan =
+      core::run_strategy(core::StrategyKind::kLampsPs, prob);
+  ASSERT_TRUE(plan.feasible && plan.schedule.has_value());
+
+  PerturbSpec spec = full_spec();
+  spec.jitter = 0.5;
+  spec.jitter_kind = JitterKind::kHeavyTail;
+  const energy::PsOptions ps = ps_for(core::StrategyKind::kLampsPs, prob);
+  for (std::uint64_t trial = 0; trial < 32; ++trial) {
+    const PerturbSample sample =
+        draw_sample(spec, g, plan.schedule->num_procs(), child_rng(99, trial));
+    const ReplayResult r = replay_schedule(*plan.schedule, g,
+                                           ladder.level(plan.level_index), prob.deadline,
+                                           sleep, ps, spec, sample);
+    for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+      const sched::Placement& got = r.schedule.placement(v);
+      const sched::Placement& want = plan.schedule->placement(v);
+      EXPECT_EQ(got.proc, want.proc);
+      EXPECT_GE(got.start, want.start);  // time-triggered: never early
+      for (const graph::TaskId u : g.predecessors(v))
+        EXPECT_LE(r.schedule.placement(u).finish, got.start);
+    }
+    // Per-processor execution order matches the plan.
+    for (sched::ProcId p = 0; p < r.schedule.num_procs(); ++p) {
+      const auto got_row = r.schedule.on_proc(p);
+      const auto want_row = plan.schedule->on_proc(p);
+      ASSERT_EQ(got_row.size(), want_row.size());
+      for (std::size_t i = 0; i < got_row.size(); ++i)
+        EXPECT_EQ(got_row[i].task, want_row[i].task);
+    }
+  }
+}
+
+TEST(Replay, WakeFaultMultipliesWakeupEnergy) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const power::SleepModel sleep(model);
+  const graph::TaskGraph g = load(kForkJoinStg);
+  const core::Problem prob = make_problem(g, model, ladder, 2.0);
+  const core::StrategyResult plan =
+      core::run_strategy(core::StrategyKind::kLampsPs, prob);
+  ASSERT_TRUE(plan.feasible && plan.schedule.has_value());
+  ASSERT_GT(plan.breakdown.shutdowns, 0u) << "fixture must exercise shutdowns";
+  const energy::PsOptions ps = ps_for(core::StrategyKind::kLampsPs, prob);
+
+  // Every wakeup faults at 3 x the nominal energy, with zero extra latency:
+  // the schedule and all non-wakeup terms stay exactly nominal, and the
+  // wakeup term triples.
+  PerturbSpec spec;
+  spec.wake_fault_prob = 1.0;
+  spec.wake_fault_scale = 3.0;
+  const PerturbSample sample = draw_sample(spec, g, plan.schedule->num_procs(), Rng(3));
+  const ReplayResult r =
+      replay_schedule(*plan.schedule, g, ladder.level(plan.level_index), prob.deadline,
+                      sleep, ps, spec, sample);
+  EXPECT_EQ(r.breakdown.shutdowns, plan.breakdown.shutdowns);
+  EXPECT_EQ(r.wake_faults, plan.breakdown.shutdowns);
+  EXPECT_EQ(r.breakdown.dynamic.value(), plan.breakdown.dynamic.value());
+  EXPECT_EQ(r.breakdown.leakage.value(), plan.breakdown.leakage.value());
+  EXPECT_EQ(r.breakdown.intrinsic.value(), plan.breakdown.intrinsic.value());
+  EXPECT_EQ(r.breakdown.sleep.value(), plan.breakdown.sleep.value());
+  EXPECT_DOUBLE_EQ(r.breakdown.wakeup.value(), 3.0 * plan.breakdown.wakeup.value());
+}
+
+TEST(Replay, TraceCrossCheckUnderJitter) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const power::SleepModel sleep(model);
+  const graph::TaskGraph g = load(kPipelineStg);
+  const core::Problem prob = make_problem(g, model, ladder, 2.0);
+  const core::StrategyResult plan =
+      core::run_strategy(core::StrategyKind::kSnsPs, prob);
+  ASSERT_TRUE(plan.feasible && plan.schedule.has_value());
+  const energy::PsOptions ps = ps_for(core::StrategyKind::kSnsPs, prob);
+
+  // Jitter-only sample: nominal leakage, so the nominal-power trace must
+  // integrate to the replay's closed-form energy.
+  PerturbSpec spec;
+  spec.jitter = 0.3;
+  const auto& lvl = ladder.level(plan.level_index);
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    const PerturbSample sample =
+        draw_sample(spec, g, plan.schedule->num_procs(), child_rng(5, trial));
+    const ReplayResult r = replay_schedule(*plan.schedule, g, lvl, prob.deadline, sleep,
+                                           ps, spec, sample);
+    const sim::PowerTrace trace = replay_trace(r, g, lvl, prob.deadline, sleep, ps);
+    EXPECT_NEAR(trace.total_energy().value(), r.breakdown.total().value(),
+                1e-9 * r.breakdown.total().value());
+  }
+}
+
+// ------------------------------------------------------------ montecarlo --
+
+TEST(MonteCarlo, ByteIdenticalAcrossThreadCounts) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const power::SleepModel sleep(model);
+  const graph::TaskGraph g = load(kPipelineStg);
+  const core::Problem prob = make_problem(g, model, ladder, 2.0);
+  const core::StrategyResult plan =
+      core::run_strategy(core::StrategyKind::kLampsPs, prob);
+  ASSERT_TRUE(plan.feasible && plan.schedule.has_value());
+  const energy::PsOptions ps = ps_for(core::StrategyKind::kLampsPs, prob);
+  const auto& lvl = ladder.level(plan.level_index);
+
+  McConfig cfg;
+  cfg.trials = 256;
+  cfg.seed = 2026;
+  cfg.perturb = full_spec();
+
+  ThreadPool serial(1);
+  ThreadPool wide(0);  // hardware concurrency
+  const auto a = run_trials(serial, *plan.schedule, g, lvl, prob.deadline, sleep, ps, cfg);
+  const auto b = run_trials(wide, *plan.schedule, g, lvl, prob.deadline, sleep, ps, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t].energy_j, b[t].energy_j) << "trial " << t;
+    EXPECT_EQ(a[t].met_deadline, b[t].met_deadline) << "trial " << t;
+    EXPECT_EQ(a[t].tardiness_s, b[t].tardiness_s) << "trial " << t;
+    EXPECT_EQ(a[t].shutdowns, b[t].shutdowns) << "trial " << t;
+    EXPECT_EQ(a[t].wake_faults, b[t].wake_faults) << "trial " << t;
+  }
+  const RobustnessStats sa = aggregate(a);
+  const RobustnessStats sb = aggregate(b);
+  EXPECT_EQ(sa.miss_rate, sb.miss_rate);
+  EXPECT_EQ(sa.energy.mean, sb.energy.mean);
+  EXPECT_EQ(sa.energy_p95, sb.energy_p95);
+  EXPECT_EQ(sa.energy_p99, sb.energy_p99);
+}
+
+TEST(MonteCarlo, SeedChangesDrawsAndStatsAreOrdered) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const power::SleepModel sleep(model);
+  const graph::TaskGraph g = load(kForkJoinStg);
+  const core::Problem prob = make_problem(g, model, ladder, 2.0);
+  const core::StrategyResult plan =
+      core::run_strategy(core::StrategyKind::kLampsPs, prob);
+  ASSERT_TRUE(plan.feasible && plan.schedule.has_value());
+  const energy::PsOptions ps = ps_for(core::StrategyKind::kLampsPs, prob);
+  const auto& lvl = ladder.level(plan.level_index);
+
+  McConfig cfg;
+  cfg.trials = 128;
+  cfg.seed = 1;
+  cfg.threads = 2;
+  cfg.perturb = full_spec();
+  const RobustnessStats s1 =
+      run_montecarlo(*plan.schedule, g, lvl, prob.deadline, sleep, ps, cfg);
+  cfg.seed = 2;
+  const RobustnessStats s2 =
+      run_montecarlo(*plan.schedule, g, lvl, prob.deadline, sleep, ps, cfg);
+  EXPECT_NE(s1.energy.mean, s2.energy.mean);
+
+  EXPECT_EQ(s1.trials, 128u);
+  EXPECT_GE(s1.miss_rate, 0.0);
+  EXPECT_LE(s1.miss_rate, 1.0);
+  EXPECT_LE(s1.energy.median, s1.energy_p95);
+  EXPECT_LE(s1.energy_p95, s1.energy_p99);
+  EXPECT_LE(s1.energy_p99, s1.energy.max);
+}
+
+TEST(MonteCarlo, TightDeadlinePlusJitterMissesSometimes) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const power::SleepModel sleep(model);
+  const graph::TaskGraph g = load(kPipelineStg);
+  const core::Problem prob = make_problem(g, model, ladder, 1.1);
+  const core::StrategyResult plan = core::run_strategy(core::StrategyKind::kSns, prob);
+  ASSERT_TRUE(plan.feasible && plan.schedule.has_value());
+
+  McConfig cfg;
+  cfg.trials = 200;
+  cfg.seed = 11;
+  cfg.threads = 2;
+  cfg.perturb.jitter = 0.5;
+  cfg.perturb.jitter_kind = JitterKind::kNormal;
+  const RobustnessStats s =
+      run_montecarlo(*plan.schedule, g, ladder.level(plan.level_index), prob.deadline,
+                     sleep, ps_for(core::StrategyKind::kSns, prob), cfg);
+  EXPECT_GT(s.miss_rate, 0.0);
+  EXPECT_GT(s.tardiness.max, 0.0);
+
+  // Without jitter the plan always meets its deadline.
+  cfg.perturb = PerturbSpec{};
+  const RobustnessStats exact =
+      run_montecarlo(*plan.schedule, g, ladder.level(plan.level_index), prob.deadline,
+                     sleep, ps_for(core::StrategyKind::kSns, prob), cfg);
+  EXPECT_EQ(exact.miss_rate, 0.0);
+  // Every zero-perturbation trial is bit-identical.
+  EXPECT_EQ(exact.energy.min, exact.energy.max);
+}
+
+// ---------------------------------------------------------------- report --
+
+TEST(Report, EvaluatesAllStrategiesAndMarksBounds) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const graph::TaskGraph g = load(kPipelineStg);
+  const core::Problem prob = make_problem(g, model, ladder, 2.0);
+
+  McConfig cfg;
+  cfg.trials = 32;
+  cfg.seed = 3;
+  cfg.threads = 2;
+  cfg.perturb.jitter = 0.1;
+  const auto rows = evaluate_robustness(prob, core::kAllStrategies, cfg);
+  ASSERT_EQ(rows.size(), core::kAllStrategies.size());
+  for (const StrategyRobustness& r : rows) {
+    EXPECT_TRUE(r.feasible) << core::to_string(r.kind);
+    const bool is_bound = r.kind == core::StrategyKind::kLimitSf ||
+                          r.kind == core::StrategyKind::kLimitMf;
+    EXPECT_EQ(r.replayable, !is_bound) << core::to_string(r.kind);
+    if (r.replayable) {
+      EXPECT_EQ(r.stats.trials, 32u);
+      EXPECT_GT(r.stats.energy.mean, 0.0);
+    }
+  }
+
+  std::ostringstream os;
+  print_robustness_report(os, rows, cfg);
+  EXPECT_NE(os.str().find("LAMPS+PS"), std::string::npos);
+  EXPECT_NE(os.str().find("(bound)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lamps::robust

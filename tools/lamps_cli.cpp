@@ -6,6 +6,7 @@
 //   lamps schedule [opts]             schedule an .stg file, report energy
 //   lamps sweep [opts]                energy vs processor count for a file
 //   lamps simulate [opts]             execute a plan under exec-time variability
+//   lamps robust [opts]               Monte-Carlo robustness report per strategy
 //   lamps pareto [opts]               energy/deadline trade-off curve (CSV)
 //
 // Every subcommand accepts --help.  Output is plain text / CSV so the tool
@@ -21,6 +22,7 @@
 #include "graph/analysis.hpp"
 #include "graph/transform.hpp"
 #include "power/sleep_model.hpp"
+#include "robust/report.hpp"
 #include "sched/gantt.hpp"
 #include "sched/stats.hpp"
 #include "sim/online.hpp"
@@ -29,6 +31,7 @@
 #include "stg/random_gen.hpp"
 #include "stg/structured.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -297,7 +300,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   for (std::size_t r = 0; r < runs; ++r) {
     sim::OnlineOptions opts;
     opts.bcet_ratio = bcet;
-    opts.seed = seed + r;
+    opts.seed = child_seed(seed, r);
     opts.reclaim = false;
     const auto st = sim::simulate_online(*plan.schedule, g, ladder, lvl, prob.deadline,
                                          sleep, opts);
@@ -310,6 +313,69 @@ int cmd_simulate(int argc, const char* const* argv) {
               << fmt_percent(rc.breakdown.total().value() /
                              st.breakdown.total().value())
               << '\n';
+  }
+  return 0;
+}
+
+int cmd_robust(int argc, const char* const* argv) {
+  InstanceOptions inst;
+  robust::McConfig cfg;
+  std::size_t trials = 1000;
+  std::size_t seed = 1;
+  std::size_t threads = 0;
+  std::string jitter_kind = "uniform";
+  double wake_latency_us = 0.0;
+  std::string csv_path;
+  CliParser cli(
+      "Monte-Carlo robustness: replay each strategy's schedule under "
+      "execution-time jitter, leakage spread and wake faults; report miss "
+      "rate and the energy distribution");
+  inst.register_flags(cli);
+  cli.add_option("trials", "Monte-Carlo trials per strategy", &trials);
+  cli.add_option("seed", "master RNG seed (trial t uses child_seed(seed, t))", &seed);
+  cli.add_option("threads", "worker threads, 0 = hardware concurrency", &threads);
+  cli.add_option("jitter", "execution-time jitter magnitude (relative)",
+                 &cfg.perturb.jitter);
+  cli.add_option("jitter-kind", "uniform | normal | heavytail", &jitter_kind);
+  cli.add_option("leak-spread", "per-processor leakage sigma (relative)",
+                 &cfg.perturb.leak_spread);
+  cli.add_option("wake-fault-prob", "probability a wakeup misbehaves",
+                 &cfg.perturb.wake_fault_prob);
+  cli.add_option("wake-fault-scale", "energy/latency multiple of a faulted wakeup",
+                 &cfg.perturb.wake_fault_scale);
+  cli.add_option("wake-latency", "nominal wake latency [us]", &wake_latency_us);
+  cli.add_option("stall-prob", "probability a task stalls transiently",
+                 &cfg.perturb.stall_prob);
+  cli.add_option("stall-scale", "extra execution of a stalled task (x WCET)",
+                 &cfg.perturb.stall_scale);
+  cli.add_option("csv", "also write the report to this CSV file", &csv_path);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+  if (trials == 0) {
+    std::cerr << "--trials must be >= 1\n";
+    return 1;
+  }
+  cfg.trials = trials;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  cfg.perturb.jitter_kind = robust::jitter_kind_from_name(jitter_kind);
+  cfg.perturb.wake_latency = Seconds{wake_latency_us * 1e-6};
+  cfg.perturb.validate();
+
+  const graph::TaskGraph g = inst.load();
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  core::Problem prob;
+  prob.graph = &g;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                          model.max_frequency().value() * inst.factor};
+
+  const auto rows = robust::evaluate_robustness(prob, core::kAllStrategies, cfg);
+  robust::print_robustness_report(std::cout, rows, cfg);
+  if (!csv_path.empty()) {
+    robust::write_robustness_csv(csv_path, rows);
+    std::cout << "wrote " << csv_path << '\n';
   }
   return 0;
 }
@@ -355,6 +421,7 @@ void print_root_usage(std::ostream& os) {
         "  schedule   schedule an .stg file, report energy per approach\n"
         "  sweep      energy vs processor count for an .stg file\n"
         "  simulate   execute a LAMPS+PS plan under execution-time variability\n"
+        "  robust     Monte-Carlo robustness report (jitter/leakage/wake faults)\n"
         "  pareto     energy/deadline trade-off curve for an .stg file\n\n"
         "Run 'lamps <command> --help' for the command's options.\n";
 }
@@ -373,6 +440,7 @@ int main(int argc, char** argv) {
     if (cmd == "schedule") return cmd_schedule(argc - 1, argv + 1);
     if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (cmd == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (cmd == "robust") return cmd_robust(argc - 1, argv + 1);
     if (cmd == "pareto") return cmd_pareto(argc - 1, argv + 1);
     if (cmd == "--help" || cmd == "-h") {
       print_root_usage(std::cout);

@@ -10,6 +10,8 @@
 
 #include "exp/experiment.hpp"
 #include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace lamps;
@@ -27,7 +29,9 @@ int main(int argc, char** argv) {
       return exp::Ini::parse(is);
     }();
     const exp::ExperimentSpec spec = exp::ExperimentSpec::from_ini(ini);
+    const Stopwatch watch;
     (void)exp::run_experiment(spec, std::cout);
+    std::cout << "total wall clock: " << fmt_fixed(watch.elapsed_seconds(), 3) << " s\n";
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
