@@ -8,6 +8,8 @@
 #include <benchmark/benchmark.h>
 
 #include "core/strategy.hpp"
+#include "energy/evaluator.hpp"
+#include "energy/gap_profile.hpp"
 #include "graph/analysis.hpp"
 #include "graph/transform.hpp"
 #include "sched/list_scheduler.hpp"
@@ -82,6 +84,65 @@ void BM_LampsPsApplicationGraph(benchmark::State& state) {
   state.SetLabel(g.name());
 }
 BENCHMARK(BM_LampsPsApplicationGraph)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+// ---- Paired level-sweep benches: the naive per-level gap walk vs the
+// GapProfile (built once per schedule, each level answered from the sorted
+// gap lengths).  Both produce bit-identical EnergyBreakdowns — see
+// tests/gap_profile_test.cpp — so the pair isolates the representation's
+// speedup at identical results.
+
+sched::Schedule sweep_schedule(const graph::TaskGraph& g) {
+  const Cycles deadline = 2 * graph::critical_path_length(g);
+  return sched::list_schedule_edf(g, 8, deadline);
+}
+
+Seconds sweep_horizon(const sched::Schedule& s) {
+  // Generous horizon: the makespan at the slowest ladder level plus 10%,
+  // so every level of the sweep fits.
+  const power::DvsLevel& slowest = ladder().level(0);
+  return Seconds{cycles_to_time(s.makespan(), slowest.f).value() * 1.1};
+}
+
+void BM_LevelSweepNaive(benchmark::State& state) {
+  const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
+  const sched::Schedule s = sweep_schedule(g);
+  const Seconds horizon = sweep_horizon(s);
+  const power::SleepModel sleep{model()};
+  const energy::PsOptions ps{true, true};
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < ladder().size(); ++i)
+      acc += energy::evaluate_energy(s, ladder().level(i), horizon, sleep, ps).total().value();
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_LevelSweepNaive)->Arg(1000)->Arg(5000)->Unit(benchmark::kMicrosecond);
+
+void BM_LevelSweepGapProfile(benchmark::State& state) {
+  const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
+  const sched::Schedule s = sweep_schedule(g);
+  const Seconds horizon = sweep_horizon(s);
+  const power::SleepModel sleep{model()};
+  const energy::PsOptions ps{true, true};
+  for (auto _ : state) {
+    const energy::GapProfile prof(s);  // include the build: one per schedule
+    double acc = 0.0;
+    for (std::size_t i = 0; i < ladder().size(); ++i)
+      acc += prof.evaluate(ladder().level(i), horizon, sleep, ps).total().value();
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_LevelSweepGapProfile)->Arg(1000)->Arg(5000)->Unit(benchmark::kMicrosecond);
+
+void BM_LampsPsSearchParallel(benchmark::State& state) {
+  const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
+  core::Problem prob = make_problem(g, 2.0);
+  prob.search_threads = 0;  // hardware concurrency
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::lamps_schedule_ps(prob));
+  }
+}
+BENCHMARK(BM_LampsPsSearchParallel)->Arg(5000)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_SnsSearch(benchmark::State& state) {
   const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run the scheduler micro-benchmarks and store machine-readable results.
+#
+# Usage: scripts/run_perf_bench.sh [output.json]
+#   output.json  destination file (default: results/BENCH_scheduler.json)
+#
+# The JSON is google-benchmark's --benchmark_out format; see
+# docs/performance.md for how to read it and compare against
+# results/BENCH_scheduler_baseline.json (the pre-optimization numbers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-results/BENCH_scheduler.json}"
+
+if [[ ! -x build/bench/perf_scheduler ]]; then
+  echo "build/bench/perf_scheduler not found — configure and build first:" >&2
+  echo "  cmake -B build && cmake --build build -j" >&2
+  exit 1
+fi
+
+mkdir -p "$(dirname "$OUT")"
+./build/bench/perf_scheduler \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${LAMPS_BENCH_REPS:-1}"
+
+# Record the pre-optimization numbers alongside the fresh ones so one file
+# carries both: each benchmark entry gains baseline_real_time and
+# speedup_vs_baseline when the baseline knows its name.
+if [[ -f results/BENCH_scheduler_baseline.json ]]; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+out = sys.argv[1]
+cur = json.load(open(out))
+base = json.load(open('results/BENCH_scheduler_baseline.json'))
+by_name = {b['name']: b for b in base.get('benchmarks', [])}
+for b in cur.get('benchmarks', []):
+    ref = by_name.get(b['name'])
+    if ref and ref.get('time_unit') == b.get('time_unit'):
+        b['baseline_real_time'] = ref['real_time']
+        if ref['real_time'] > 0 and b['real_time'] > 0:
+            b['speedup_vs_baseline'] = round(ref['real_time'] / b['real_time'], 3)
+with open(out, 'w') as f:
+    json.dump(cur, f, indent=1)
+    f.write('\n')
+EOF
+fi
+
+echo "wrote $OUT"

@@ -78,39 +78,24 @@ StrategyResult genetic_schedule(const Problem& prob, const GeneticOptions& opts)
   schedules += speedup.schedules_computed;
   const std::size_t n_max = std::max(n_lwb, speedup.num_procs);
 
+  sched::ListScheduleWorkspace ws;
   const auto evaluate = [&](Individual& ind) {
     const auto keys = keys_from_order(ind.order);
-    const sched::Schedule s = sched::list_schedule(g, ind.num_procs, keys);
+    const sched::Schedule s = sched::list_schedule(g, ind.num_procs, keys, ws);
     ++schedules;
     ind.feasible = false;
     ind.energy = std::numeric_limits<double>::infinity();
-    if (opts.ps) {
-      const LevelChoice choice = best_level_with_ps(s, prob);
-      if (choice.level == nullptr) return;
-      ind.feasible = true;
-      ind.energy = choice.breakdown.total().value();
-      if (!best.feasible || ind.energy < best.energy().value()) {
-        best.feasible = true;
-        best.num_procs = ind.num_procs;
-        best.level_index = choice.level->index;
-        best.breakdown = choice.breakdown;
-        best.completion = cycles_to_time(s.makespan(), choice.level->f);
-        best.schedule = s;
-      }
-    } else {
-      const power::DvsLevel* lvl = lowest_feasible_level(s, prob);
-      if (lvl == nullptr) return;
-      const energy::EnergyBreakdown e = stretched_energy(s, *lvl, prob);
-      ind.feasible = true;
-      ind.energy = e.total().value();
-      if (!best.feasible || ind.energy < best.energy().value()) {
-        best.feasible = true;
-        best.num_procs = ind.num_procs;
-        best.level_index = lvl->index;
-        best.breakdown = e;
-        best.completion = cycles_to_time(s.makespan(), lvl->f);
-        best.schedule = s;
-      }
+    const ConfigEval ev = evaluate_schedule_config(s, prob, opts.ps);
+    if (!ev.feasible) return;
+    ind.feasible = true;
+    ind.energy = ev.breakdown.total().value();
+    if (!best.feasible || ind.energy < best.energy().value()) {
+      best.feasible = true;
+      best.num_procs = ind.num_procs;
+      best.level_index = ev.level_index;
+      best.breakdown = ev.breakdown;
+      best.completion = ev.completion;
+      best.schedule = s;
     }
   };
 

@@ -1,21 +1,57 @@
 #include "core/lamps.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/priority_keys.hpp"
+#include "core/schedule_cache.hpp"
 #include "core/sns.hpp"
 #include "core/stretch.hpp"
+#include "energy/gap_profile.hpp"
 #include "graph/analysis.hpp"
 #include "sched/list_scheduler.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lamps::core {
 
 namespace {
 
+/// One scheduling workspace per thread, shared by every configuration
+/// search that runs on it (phase 1 + speedup via the ScheduleCache, the
+/// phase-2 fan-out, processor_sweep).  Persisting it across calls means
+/// the priority ranking is re-sorted only when the keys actually change,
+/// and the scratch buffers stop being reallocated per call.
+sched::ListScheduleWorkspace& tls_workspace() {
+  thread_local sched::ListScheduleWorkspace ws;
+  return ws;
+}
+
 /// Feasibility at the maximum frequency, honoring explicit deadlines too.
 bool feasible_at_fmax(const sched::Schedule& s, const Problem& prob) {
   const Hertz f_min = min_feasible_frequency(s, *prob.graph, prob.deadline);
   return f_min.value() <= prob.model->max_frequency().value() * (1.0 + 1e-12);
+}
+
+/// Runs body(i) for i in [0, count), serially when the resolved thread
+/// count is 1 (no pool is spun up) and across a transient thread pool
+/// otherwise.  Callers own determinism: each index must be independent and
+/// any reduction must happen serially afterwards, in index order.
+void run_indexed(std::size_t threads, std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+  std::size_t resolved =
+      threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency()) : threads;
+  resolved = std::min(resolved, count);
+  if (resolved <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(resolved);
+  parallel_for_index(pool, count, body);
 }
 
 StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
@@ -25,9 +61,15 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
 
   const auto keys = problem_priority_keys(prob);
   const Cycles deadline_cycles = prob.deadline_cycles_at_fmax();
+  const std::size_t width = std::max<std::size_t>(
+      1, std::min(g.num_tasks(), graph::asap_max_concurrency(g)));
+  ScheduleCache cache(g, keys, width, &tls_workspace());
 
   // ---- Phase 1: binary search for the minimal feasible processor count
-  // on [N_lwb = ceil(W / D), N_upb = |V|].
+  // on [N_lwb = ceil(W / D), N_upb = |V|].  The probe sequence is the
+  // historical one; the cache clamps probes above the ASAP width to the
+  // width-processor schedule, which has identical placements (see
+  // schedule_cache.hpp), and memoizes every probe for phase 2.
   const std::size_t n_upb = g.num_tasks();
   std::size_t n_lwb = deadline_cycles == 0
                           ? n_upb
@@ -35,15 +77,43 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
                                 (g.total_work() + deadline_cycles - 1) / deadline_cycles);
   n_lwb = std::clamp<std::size_t>(n_lwb, 1, n_upb);
 
-  std::size_t schedules = 0;
+  // Probe short-circuit: for a single global deadline the feasibility
+  // predicate is `required_frequency(makespan, D) <= f_max * (1 + 1e-12)`,
+  // which is monotone non-increasing in the (integer) makespan.  The
+  // list scheduler is greedy/work-conserving, so Graham's bound applies:
+  //   max(CPL, ceil(W/n))  <=  makespan(n)  <=  ceil((W + (n-1)*CPL) / n).
+  // Evaluating the *original* predicate at those integer bounds therefore
+  // decides most probes without scheduling at all, with a boolean that is
+  // identical to what the real schedule would produce; only probes whose
+  // deadline falls between the two bounds compute a schedule.
+  const bool bounds_ok = !g.has_explicit_deadlines() && prob.deadline.value() > 0.0;
+  const Cycles total_work = g.total_work();
+  const Cycles cpl = bounds_ok ? graph::critical_path_length(g) : 0;
+  const double f_cap = prob.model->max_frequency().value() * (1.0 + 1e-12);
+  const auto feasible_ms = [&](Cycles ms) {
+    return required_frequency(ms, prob.deadline).value() <= f_cap;
+  };
   const auto feasible_with = [&](std::size_t n) {
-    sched::Schedule s = sched::list_schedule(g, n, keys);
-    ++schedules;
-    return feasible_at_fmax(s, prob);
+    if (bounds_ok) {
+      constexpr Cycles kMax = std::numeric_limits<Cycles>::max();
+      const auto nc = static_cast<Cycles>(n);
+      if (nc == 1 || cpl <= (kMax - total_work) / (nc - 1)) {
+        const Cycles upper = (total_work + (nc - 1) * cpl + (nc - 1)) / nc;
+        if (feasible_ms(upper)) return true;
+      }
+      Cycles lower = cpl;
+      if (total_work <= kMax - nc) lower = std::max(lower, (total_work + nc - 1) / nc);
+      if (!feasible_ms(lower)) return false;
+      // Bounds inconclusive: the verdict needs the real makespan, but not
+      // the placements — the gap-profile probe memoizes the idle structure
+      // for phase 2 to reuse.
+      return feasible_ms(cache.profile_at(n).makespan());
+    }
+    return feasible_at_fmax(cache.at(n), prob);
   };
 
   if (!feasible_with(n_upb)) {
-    best.schedules_computed = schedules;
+    best.schedules_computed = cache.computed();
     return best;  // not schedulable before the deadline at all
   }
   std::size_t lo = n_lwb, hi = n_upb;
@@ -60,40 +130,69 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
   // the processor count beyond which the makespan cannot improve (the
   // count S&S employs).  The scan is exhaustive because the energy curve
   // has local minima (paper Fig 6: "a full search must be performed").
-  const MaxSpeedupSchedule speedup = schedule_max_speedup(prob);
-  schedules += speedup.schedules_computed;
-  const std::size_t n_max = std::max(n_min, speedup.num_procs);
+  const std::size_t n_max = std::max(n_min, max_speedup_procs(cache));
 
-  for (std::size_t n = n_min; n <= n_max; ++n) {
-    sched::Schedule s = sched::list_schedule(g, n, keys);
-    ++schedules;
-
-    if (with_ps) {
-      const LevelChoice choice = best_level_with_ps(s, prob);
-      if (choice.level == nullptr) continue;  // this N infeasible (EDF anomaly)
-      if (!best.feasible || choice.breakdown.total() < best.breakdown.total()) {
-        best.feasible = true;
-        best.num_procs = n;
-        best.level_index = choice.level->index;
-        best.breakdown = choice.breakdown;
-        best.completion = cycles_to_time(s.makespan(), choice.level->f);
-        best.schedule = std::move(s);
-      }
-    } else {
-      const power::DvsLevel* lvl = lowest_feasible_level(s, prob);
-      if (lvl == nullptr) continue;
-      const energy::EnergyBreakdown e = stretched_energy(s, *lvl, prob);
-      if (!best.feasible || e.total() < best.breakdown.total()) {
-        best.feasible = true;
-        best.num_procs = n;
-        best.level_index = lvl->index;
-        best.breakdown = e;
-        best.completion = cycles_to_time(s.makespan(), lvl->f);
-        best.schedule = std::move(s);
-      }
-    }
+  // The N evaluations are independent; fan them out over
+  // prob.search_threads workers.  Results are bit-identical at any thread
+  // count: each slot's schedule and ConfigEval depend only on its own N,
+  // and the argmin reduction below runs serially in ascending-N order.
+  // Candidates are evaluated from idle-gap profiles wherever possible: the
+  // energy and feasibility of a configuration depend on the schedule only
+  // through its idle structure and makespan (when deadlines are global),
+  // and all but one candidate's placements are discarded anyway.  Profiles
+  // memoized by the phase-1/speedup probes are moved out and reused; the
+  // rest come from gap-only scheduler runs.  Only the winning count's
+  // schedule is materialized, afterwards, by re-running the (deterministic)
+  // scheduler once.  Per-task explicit deadlines need real finish times,
+  // so that path still schedules fully.
+  const bool profile_ok = !g.has_explicit_deadlines();
+  const std::size_t count = n_max - n_min + 1;
+  std::vector<std::optional<sched::Schedule>> slots(count);
+  std::vector<std::optional<energy::GapProfile>> profs(count);
+  std::vector<ConfigEval> evals(count);
+  std::size_t phase2_computed = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t n = n_min + i;
+    if (cache.has(n))
+      slots[i].emplace(cache.take(n));
+    else if (profile_ok && cache.has_profile(n))
+      profs[i].emplace(cache.take_profile(n));
+    else
+      ++phase2_computed;
   }
-  best.schedules_computed = schedules;
+  run_indexed(prob.search_threads, count, [&](std::size_t i) {
+    if (slots[i]) {
+      evals[i] = evaluate_schedule_config(*slots[i], prob, with_ps);
+      return;
+    }
+    if (!profile_ok) {
+      slots[i].emplace(sched::list_schedule(g, n_min + i, keys, tls_workspace()));
+      evals[i] = evaluate_schedule_config(*slots[i], prob, with_ps);
+      return;
+    }
+    if (!profs[i])
+      profs[i].emplace(sched::list_schedule_gaps(g, n_min + i, keys, tls_workspace()));
+    evals[i] = evaluate_profile_config(*profs[i], prob, with_ps);
+  });
+
+  std::size_t best_i = count;  // sentinel: none feasible yet
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!evals[i].feasible) continue;  // this N infeasible (EDF anomaly)
+    if (best_i == count ||
+        evals[i].breakdown.total() < evals[best_i].breakdown.total())
+      best_i = i;
+  }
+  if (best_i != count) {
+    best.feasible = true;
+    best.num_procs = n_min + best_i;
+    best.level_index = evals[best_i].level_index;
+    best.breakdown = evals[best_i].breakdown;
+    best.completion = evals[best_i].completion;
+    if (!slots[best_i])
+      slots[best_i].emplace(sched::list_schedule(g, n_min + best_i, keys, tls_workspace()));
+    best.schedule = std::move(*slots[best_i]);
+  }
+  best.schedules_computed = cache.computed() + phase2_computed;
   return best;
 }
 
@@ -107,30 +206,21 @@ std::vector<SweepPoint> processor_sweep(const Problem& prob, std::size_t max_pro
                                         bool with_ps) {
   const graph::TaskGraph& g = *prob.graph;
   const auto keys = problem_priority_keys(prob);
-  std::vector<SweepPoint> out;
-  out.reserve(max_procs);
-  for (std::size_t n = 1; n <= max_procs; ++n) {
-    sched::Schedule s = sched::list_schedule(g, n, keys);
+  std::vector<SweepPoint> out(max_procs);
+  run_indexed(prob.search_threads, max_procs, [&](std::size_t i) {
+    const std::size_t n = i + 1;
+    const sched::Schedule s = sched::list_schedule(g, n, keys, tls_workspace());
     SweepPoint pt;
     pt.num_procs = n;
     pt.makespan = s.makespan();
-    if (with_ps) {
-      const LevelChoice choice = best_level_with_ps(s, prob);
-      if (choice.level != nullptr) {
-        pt.feasible = true;
-        pt.level_index = choice.level->index;
-        pt.energy = choice.breakdown.total();
-      }
-    } else {
-      const power::DvsLevel* lvl = lowest_feasible_level(s, prob);
-      if (lvl != nullptr) {
-        pt.feasible = true;
-        pt.level_index = lvl->index;
-        pt.energy = stretched_energy(s, *lvl, prob).total();
-      }
+    const ConfigEval ev = evaluate_schedule_config(s, prob, with_ps);
+    if (ev.feasible) {
+      pt.feasible = true;
+      pt.level_index = ev.level_index;
+      pt.energy = ev.breakdown.total();
     }
-    out.push_back(pt);
-  }
+    out[i] = pt;
+  });
   return out;
 }
 

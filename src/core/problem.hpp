@@ -32,6 +32,13 @@ struct Problem {
   /// Seed for the kRandom priority policy.
   std::uint64_t priority_seed{0};
 
+  /// Worker threads for the LAMPS phase-2 / processor_sweep fan-out over
+  /// independent processor counts.  1 (default) runs serially — the
+  /// experiment pipeline already parallelizes across instances — and 0
+  /// selects the hardware concurrency.  Results are bit-identical at any
+  /// thread count (deterministic index-ordered reduction).
+  std::size_t search_threads{1};
+
   [[nodiscard]] power::SleepModel sleep() const { return power::SleepModel(*model); }
 
   /// Deadline expressed in cycles at the maximum frequency: a schedule is

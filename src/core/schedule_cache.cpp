@@ -1,0 +1,49 @@
+#include "core/schedule_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lamps::core {
+
+const sched::Schedule& ScheduleCache::at(std::size_t n) {
+  const std::size_t key = clamp(n);
+  if (const auto it = by_n_.find(key); it != by_n_.end()) return it->second;
+  ++computed_;
+  return by_n_.emplace(key, sched::list_schedule(*g_, key, keys_, *ws_)).first->second;
+}
+
+const energy::GapProfile& ScheduleCache::profile_at(std::size_t n) {
+  const std::size_t key = clamp(n);
+  if (const auto it = profile_by_n_.find(key); it != profile_by_n_.end()) return it->second;
+  if (const auto it = by_n_.find(key); it != by_n_.end())
+    return profile_by_n_.emplace(key, energy::GapProfile(it->second)).first->second;
+  ++computed_;
+  return profile_by_n_
+      .emplace(key, energy::GapProfile(sched::list_schedule_gaps(*g_, key, keys_, *ws_)))
+      .first->second;
+}
+
+Cycles ScheduleCache::makespan_at(std::size_t n) {
+  const std::size_t key = clamp(n);
+  if (const auto it = by_n_.find(key); it != by_n_.end()) return it->second.makespan();
+  return profile_at(key).makespan();
+}
+
+sched::Schedule ScheduleCache::take(std::size_t n) {
+  const auto it = by_n_.find(clamp(n));
+  if (it == by_n_.end()) throw std::logic_error("ScheduleCache::take: count not cached");
+  sched::Schedule s = std::move(it->second);
+  by_n_.erase(it);
+  return s;
+}
+
+energy::GapProfile ScheduleCache::take_profile(std::size_t n) {
+  const auto it = profile_by_n_.find(clamp(n));
+  if (it == profile_by_n_.end())
+    throw std::logic_error("ScheduleCache::take_profile: count not cached");
+  energy::GapProfile p = std::move(it->second);
+  profile_by_n_.erase(it);
+  return p;
+}
+
+}  // namespace lamps::core

@@ -1,0 +1,92 @@
+// Memoized list scheduling for the configuration searches.
+//
+// LAMPS phase 1, schedule_max_speedup and LAMPS phase 2 all invoke the
+// list scheduler on the same (graph, priority keys) with overlapping
+// processor counts; the cache computes each count once, shares one
+// ListScheduleWorkspace across the computations, and clamps counts at the
+// graph's ASAP concurrency width:
+//
+//   With num_procs >= width, the dispatch loop never runs out of free
+//   processors (at most width tasks are ever simultaneously runnable, and
+//   at the instant a task is dispatched fewer than width others are
+//   running), so every task starts at its ASAP time and the
+//   smallest-free-id rule assigns it a processor id < width.  By induction
+//   the placements are therefore *identical* for every num_procs >= width
+//   — probing N = 2|V| and N = width produce the same makespan and finish
+//   times, so feasibility verdicts are unchanged by the clamp.
+//
+// Callers that need per-processor-count *energy* (which does depend on the
+// employed processor count, since every employed processor is powered over
+// the horizon) only ever evaluate counts <= width, where the clamp is the
+// identity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "energy/gap_profile.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace lamps::core {
+
+class ScheduleCache {
+ public:
+  /// `width` is the clamp point (normally the graph's ASAP concurrency,
+  /// clamped to [1, |V|]).  `keys` must outlive the cache.  An external
+  /// `ws` (which must outlive the cache and not be used concurrently)
+  /// lets a caller share one workspace — and thus the cached priority
+  /// ranking — across successive caches for the same problem; by default
+  /// the cache owns a private workspace.
+  ScheduleCache(const graph::TaskGraph& g, std::span<const std::int64_t> keys,
+                std::size_t width, sched::ListScheduleWorkspace* ws = nullptr)
+      : g_(&g), keys_(keys), width_(width), ws_(ws != nullptr ? ws : &owned_ws_) {}
+
+  /// Schedule for `n` processors (computed on first use).  For n >= width
+  /// the returned schedule is the width-processor one (see file header).
+  const sched::Schedule& at(std::size_t n);
+
+  /// Idle-gap profile of the schedule for `n` processors, without
+  /// materializing the schedule: the probe runs the event loop with a
+  /// gap-recording sink (sched::list_schedule_gaps) instead of placement
+  /// storage.  Derived from the full schedule instead when one is already
+  /// cached.  Bit-identical either way, and everything a feasibility test
+  /// (makespan) or energy evaluation needs — so search probes memoized
+  /// here are reusable by the phase-2 energy scan.
+  const energy::GapProfile& profile_at(std::size_t n);
+
+  /// Makespan for `n` processors via the cheapest cached artifact
+  /// (schedule, else profile, else a fresh gap-only run).
+  Cycles makespan_at(std::size_t n);
+
+  [[nodiscard]] bool has(std::size_t n) const { return by_n_.contains(clamp(n)); }
+  [[nodiscard]] bool has_profile(std::size_t n) const {
+    return profile_by_n_.contains(clamp(n));
+  }
+
+  /// Moves the schedule for `n` out of the cache (it must be present).
+  sched::Schedule take(std::size_t n);
+
+  /// Moves the profile for `n` out of the cache (it must be present).
+  energy::GapProfile take_profile(std::size_t n);
+
+  /// Number of list-scheduler invocations actually performed.
+  [[nodiscard]] std::size_t computed() const { return computed_; }
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] const graph::TaskGraph& graph() const { return *g_; }
+
+ private:
+  [[nodiscard]] std::size_t clamp(std::size_t n) const { return n < width_ ? n : width_; }
+
+  const graph::TaskGraph* g_;
+  std::span<const std::int64_t> keys_;
+  std::size_t width_;
+  sched::ListScheduleWorkspace owned_ws_;
+  sched::ListScheduleWorkspace* ws_;
+  std::unordered_map<std::size_t, sched::Schedule> by_n_;
+  std::unordered_map<std::size_t, energy::GapProfile> profile_by_n_;
+  std::size_t computed_{0};
+};
+
+}  // namespace lamps::core

@@ -1,8 +1,10 @@
 #include "core/sns.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "core/priority_keys.hpp"
+#include "core/schedule_cache.hpp"
 #include "core/stretch.hpp"
 #include "graph/analysis.hpp"
 #include "sched/list_scheduler.hpp"
@@ -18,23 +20,72 @@ StrategyResult stretch_result(const Problem& prob, sched::Schedule schedule,
   r.num_procs = num_procs;
   r.schedules_computed = schedules_computed;
 
-  if (with_ps) {
-    const LevelChoice choice = best_level_with_ps(schedule, prob);
-    if (choice.level == nullptr) return r;  // infeasible even at f_max
-    r.feasible = true;
-    r.level_index = choice.level->index;
-    r.breakdown = choice.breakdown;
-    r.completion = cycles_to_time(schedule.makespan(), choice.level->f);
-  } else {
-    const power::DvsLevel* lvl = lowest_feasible_level(schedule, prob);
-    if (lvl == nullptr) return r;
-    r.feasible = true;
-    r.level_index = lvl->index;
-    r.breakdown = stretched_energy(schedule, *lvl, prob);
-    r.completion = cycles_to_time(schedule.makespan(), lvl->f);
-  }
+  const ConfigEval ev = evaluate_schedule_config(schedule, prob, with_ps);
+  if (!ev.feasible) return r;  // infeasible even at f_max
+  r.feasible = true;
+  r.level_index = ev.level_index;
+  r.breakdown = ev.breakdown;
+  r.completion = ev.completion;
   r.schedule = std::move(schedule);
   return r;
+}
+
+struct SpeedupSearch {
+  std::size_t num_procs;
+  std::size_t computed;
+};
+
+/// With width processors every task starts at its ASAP time, so the
+/// makespan cannot improve further; binary-search the smallest count that
+/// already reaches that makespan.
+///
+/// Probe short-circuit (pure integer arithmetic, so the branch taken is
+/// identical to what the real schedule would decide): the list scheduler
+/// is greedy, so Graham's bound brackets its makespan,
+///   max(CPL, ceil(W/n)) <= makespan(n) <= ceil((W + (n-1)*CPL) / n);
+/// when the lower bound already exceeds ms_min the probe cannot reach it,
+/// and when the upper bound is within ms_min it certainly does — either
+/// way the schedule need not be computed.
+SpeedupSearch speedup_search(ScheduleCache& cache) {
+  const graph::TaskGraph& g = cache.graph();
+  const std::size_t width = cache.width();
+  const std::size_t before = cache.computed();
+  std::size_t num_procs = width;
+  constexpr Cycles kMax = std::numeric_limits<Cycles>::max();
+  const Cycles total_work = g.total_work();
+  const Cycles cpl = graph::critical_path_length(g);
+  // With `width` processors every task starts at its ASAP time (the cache's
+  // width-clamp induction), so the minimal makespan is the critical path
+  // length exactly — no schedule needs to be computed to know the target.
+  const Cycles ms_min = cpl;
+
+  const auto reaches_ms_min = [&](std::size_t n) {
+    const auto nc = static_cast<Cycles>(n);
+    Cycles lower = cpl;
+    if (total_work <= kMax - nc) lower = std::max(lower, (total_work + nc - 1) / nc);
+    if (lower > ms_min) return false;
+    if (nc == 1 || cpl <= (kMax - total_work) / (nc - 1)) {
+      const Cycles upper = (total_work + (nc - 1) * cpl + (nc - 1)) / nc;
+      if (upper <= ms_min) return true;
+    }
+    return cache.makespan_at(n) <= ms_min;
+  };
+
+  std::size_t lo = 1, hi = width;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (reaches_ms_min(mid)) {
+      hi = mid;
+      num_procs = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return SpeedupSearch{num_procs, cache.computed() - before};
+}
+
+std::size_t concurrency_width(const graph::TaskGraph& g) {
+  return std::max<std::size_t>(1, std::min(g.num_tasks(), graph::asap_max_concurrency(g)));
 }
 
 }  // namespace
@@ -42,30 +93,15 @@ StrategyResult stretch_result(const Problem& prob, sched::Schedule schedule,
 MaxSpeedupSchedule schedule_max_speedup(const Problem& prob) {
   const graph::TaskGraph& g = *prob.graph;
   const auto keys = problem_priority_keys(prob);
-  const std::size_t width =
-      std::max<std::size_t>(1, std::min(g.num_tasks(), graph::asap_max_concurrency(g)));
-
-  // With width processors every task starts at its ASAP time, so the
-  // makespan cannot improve further; binary-search the smallest count that
-  // already reaches that makespan.
-  MaxSpeedupSchedule out{width, sched::list_schedule(g, width, keys), 1};
-  const Cycles ms_min = out.schedule.makespan();
-
-  std::size_t lo = 1, hi = width;
-  while (lo < hi) {
-    const std::size_t mid = lo + (hi - lo) / 2;
-    sched::Schedule s = sched::list_schedule(g, mid, keys);
-    ++out.schedules_computed;
-    if (s.makespan() <= ms_min) {
-      hi = mid;
-      out.num_procs = mid;
-      out.schedule = std::move(s);
-    } else {
-      lo = mid + 1;
-    }
-  }
-  return out;
+  ScheduleCache cache(g, keys, concurrency_width(g));
+  const SpeedupSearch s = speedup_search(cache);
+  // The Graham-bound short-circuit may have decided the winning probe
+  // without scheduling it; materialize the winner before taking it.
+  cache.at(s.num_procs);
+  return MaxSpeedupSchedule{s.num_procs, cache.take(s.num_procs), cache.computed()};
 }
+
+std::size_t max_speedup_procs(ScheduleCache& cache) { return speedup_search(cache).num_procs; }
 
 StrategyResult schedule_and_stretch(const Problem& prob) {
   MaxSpeedupSchedule ms = schedule_max_speedup(prob);

@@ -11,6 +11,8 @@
 
 namespace lamps::core {
 
+class ScheduleCache;
+
 /// Determines S&S's processor count: the smallest count achieving the
 /// minimal list-schedule makespan ("as many processors as possible to
 /// reduce the makespan", paper section 4.1).  With N >= the graph's ASAP
@@ -24,6 +26,12 @@ struct MaxSpeedupSchedule {
   std::size_t schedules_computed{0};
 };
 [[nodiscard]] MaxSpeedupSchedule schedule_max_speedup(const Problem& prob);
+
+/// Same search through a shared ScheduleCache, returning only the chosen
+/// processor count (LAMPS needs nothing else — its phase 2 re-reads the
+/// cached probe schedules directly).  The cache's width clamp must be the
+/// graph's ASAP concurrency width (it is what pins the minimal makespan).
+[[nodiscard]] std::size_t max_speedup_procs(ScheduleCache& cache);
 
 /// Schedule & Stretch.  Infeasible results carry feasible = false and no
 /// schedule.

@@ -10,6 +10,10 @@
 
 #include "core/problem.hpp"
 
+namespace lamps::energy {
+class GapProfile;
+}
+
 namespace lamps::core {
 
 /// Minimum clock frequency at which every task of `s` meets its deadline:
@@ -32,11 +36,47 @@ namespace lamps::core {
 struct LevelChoice {
   const power::DvsLevel* level{nullptr};
   energy::EnergyBreakdown breakdown{};
+  /// Levels actually evaluated by the sweep (< the feasible range when the
+  /// active-energy lower bound proves the remaining levels cannot win).
+  std::size_t levels_evaluated{0};
 };
 
 /// Sweeps every feasible ladder level and returns the one minimizing total
 /// energy with per-gap shutdown decisions (the +PS inner loop).  Returns
 /// level == nullptr when no level is feasible.
+///
+/// The sweep builds a GapProfile once and answers each level in O(P log G);
+/// it stops early as soon as the exact active-energy lower bound of every
+/// remaining level is >= the incumbent total, which cannot change the
+/// returned optimum (idle charges only add energy, and a tie never
+/// replaces the incumbent).  Results are bit-identical to evaluating
+/// energy::evaluate_energy at every feasible level.
 [[nodiscard]] LevelChoice best_level_with_ps(const sched::Schedule& s, const Problem& prob);
+
+/// One processor-count configuration fully evaluated: the level/energy
+/// choice LAMPS(+PS), S&S(+PS), the GA fitness and the sweep all share.
+/// `feasible == false` when the schedule misses its deadline(s) even at
+/// the fastest level.
+struct ConfigEval {
+  bool feasible{false};
+  std::size_t level_index{0};
+  energy::EnergyBreakdown breakdown{};
+  Seconds completion{0.0};
+  std::size_t levels_evaluated{0};
+};
+
+/// Evaluates a schedule as one candidate configuration: with PS the full
+/// best_level_with_ps sweep, without PS the lowest feasible level and the
+/// stretched (no-shutdown) energy.
+[[nodiscard]] ConfigEval evaluate_schedule_config(const sched::Schedule& s,
+                                                  const Problem& prob, bool with_ps);
+
+/// Same evaluation from a GapProfile alone, for candidates whose schedule
+/// was never materialized (sched::list_schedule_gaps).  Only valid when the
+/// graph has no explicit per-task deadlines — feasibility is then a pure
+/// makespan test, and the profile carries the makespan.  Bit-identical to
+/// evaluate_schedule_config on the schedule the profile was taken from.
+[[nodiscard]] ConfigEval evaluate_profile_config(const energy::GapProfile& prof,
+                                                 const Problem& prob, bool with_ps);
 
 }  // namespace lamps::core

@@ -36,28 +36,42 @@ EnergyBreakdown evaluate_energy(const sched::Schedule& s, const power::DvsLevel&
     throw std::invalid_argument("evaluate_energy: schedule does not fit in horizon");
 
   EnergyBreakdown e{};
-  for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
-    const Seconds busy = cycles_to_time(s.busy_cycles(p), lvl.f);
-    e.dynamic += lvl.active.dynamic * busy;
-    e.leakage += lvl.active.leakage * busy;
-    e.intrinsic += lvl.active.intrinsic * busy;
-  }
+  for (sched::ProcId p = 0; p < s.num_procs(); ++p)
+    detail::charge_active(e, lvl, cycles_to_time(s.busy_cycles(p), lvl.f));
 
-  for_each_gap(s, lvl.f, horizon,
-               [&](sched::ProcId, Seconds gap, bool leading, Cycles, Cycles) {
-                 const bool may_sleep = ps.enabled && (ps.allow_leading_gaps || !leading);
-                 if (may_sleep) {
-                   const auto d = sleep.decide(gap, lvl.idle);
-                   if (d.shutdown) {
-                     e.sleep += sleep.sleep_power() * gap;
-                     e.wakeup += sleep.wakeup_energy();
-                     ++e.shutdowns;
-                     return;
-                   }
-                 }
-                 e.leakage += lvl.active.leakage * gap;
-                 e.intrinsic += lvl.active.intrinsic * gap;
-               });
+  // Per processor: accumulate integral gap cycles (exact, order-independent)
+  // split by the shutdown decision, plus the single fractional trailing gap,
+  // then charge the totals through the shared canonical composition.  The
+  // GapProfile fast path computes the very same ProcIdleTotals via sorted
+  // gaps + prefix sums, so both evaluators agree bit for bit.
+  for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
+    ProcIdleTotals t;
+    Cycles cursor = 0;
+    for (const sched::Placement& pl : s.on_proc(p)) {
+      if (pl.start > cursor) {
+        const Cycles c = pl.start - cursor;
+        const bool may_sleep = ps.enabled && (ps.allow_leading_gaps || cursor != 0);
+        if (may_sleep && sleep.decide(cycles_to_time(c, lvl.f), lvl.idle).shutdown) {
+          t.slept_idle += c;
+          ++t.shutdowns;
+        } else {
+          t.powered_idle += c;
+        }
+      }
+      cursor = pl.finish;
+    }
+    const Seconds tail = horizon - cycles_to_time(cursor, lvl.f);
+    if (tail.value() > 0.0) {
+      const bool may_sleep = ps.enabled && (ps.allow_leading_gaps || cursor != 0);
+      if (may_sleep && sleep.decide(tail, lvl.idle).shutdown) {
+        t.tail_slept = tail;
+        ++t.shutdowns;
+      } else {
+        t.tail_powered = tail;
+      }
+    }
+    detail::charge_idle(e, lvl, sleep, t);
+  }
   return e;
 }
 

@@ -8,6 +8,15 @@
 // choosing per gap whichever of {stay powered, shut down} is cheaper.
 // Every *employed* processor is accounted from t = 0 to the horizon;
 // processors beyond the schedule's processor count are unused and free.
+//
+// Canonical composition: per processor, idle time is accumulated as exact
+// integer cycle totals (powered vs slept, which are order-independent) plus
+// the single fractional trailing gap in seconds, and each category is
+// converted to seconds and multiplied by its power rail exactly once
+// (detail::charge_active / detail::charge_idle below).  Both the per-gap
+// walk here and the O(log G) fast path in energy/gap_profile.hpp reduce to
+// this composition, which is what makes their results bit-identical;
+// robust/replay.cpp mirrors it with per-processor leakage weights.
 #pragma once
 
 #include <vector>
@@ -45,6 +54,42 @@ struct PsOptions {
   /// DESIGN.md section 7 records this choice.
   bool allow_leading_gaps{true};
 };
+
+/// Exact idle accounting for one processor at one DVS level: integral idle
+/// cycles split by the per-gap shutdown decision, plus the (generally
+/// fractional in cycles) trailing gap in seconds.  At most one trailing gap
+/// exists per processor, so the tail fields hold a single value, not a sum.
+struct ProcIdleTotals {
+  Cycles powered_idle{0};   ///< integral gap cycles staying powered on
+  Cycles slept_idle{0};     ///< integral gap cycles spent shut down
+  Seconds tail_powered{0.0};///< trailing gap, if it stays powered
+  Seconds tail_slept{0.0};  ///< trailing gap, if it is slept
+  std::size_t shutdowns{0};
+};
+
+namespace detail {
+
+/// Active-power charge for one processor's busy time.
+inline void charge_active(EnergyBreakdown& e, const power::DvsLevel& lvl, Seconds busy) {
+  e.dynamic += lvl.active.dynamic * busy;
+  e.leakage += lvl.active.leakage * busy;
+  e.intrinsic += lvl.active.intrinsic * busy;
+}
+
+/// Idle/sleep charge for one processor's gap totals — the canonical
+/// composition both evaluate_energy overloads share (see the file header).
+inline void charge_idle(EnergyBreakdown& e, const power::DvsLevel& lvl,
+                        const power::SleepModel& sleep, const ProcIdleTotals& t) {
+  const Seconds powered = cycles_to_time(t.powered_idle, lvl.f) + t.tail_powered;
+  const Seconds slept = cycles_to_time(t.slept_idle, lvl.f) + t.tail_slept;
+  e.leakage += lvl.active.leakage * powered;
+  e.intrinsic += lvl.active.intrinsic * powered;
+  e.sleep += sleep.sleep_power() * slept;
+  e.wakeup += sleep.wakeup_energy() * static_cast<double>(t.shutdowns);
+  e.shutdowns += t.shutdowns;
+}
+
+}  // namespace detail
 
 /// Evaluates the total energy of running `s` at operating point `lvl`, with
 /// all employed processors powered on [0, horizon] except for gaps removed

@@ -1,0 +1,116 @@
+#include "energy/gap_profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lamps::energy {
+
+namespace {
+
+/// Sorts the internal gaps ascending and builds their exact prefix sums —
+/// the shape both constructors leave every processor row in.
+void finalize_proc(std::vector<Cycles>& gaps, std::vector<Cycles>& prefix) {
+  std::sort(gaps.begin(), gaps.end());
+  prefix.resize(gaps.size() + 1);
+  prefix[0] = 0;
+  for (std::size_t i = 0; i < gaps.size(); ++i) prefix[i + 1] = prefix[i] + gaps[i];
+}
+
+}  // namespace
+
+GapProfile::GapProfile(const sched::Schedule& s) : makespan_(s.makespan()) {
+  procs_.resize(s.num_procs());
+  for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
+    ProcProfile& pp = procs_[p];
+    pp.busy = s.busy_cycles(p);
+    total_busy_ += pp.busy;
+    Cycles cursor = 0;
+    for (const sched::Placement& pl : s.on_proc(p)) {
+      if (pl.start > cursor) {
+        if (cursor == 0)
+          pp.leading = pl.start;
+        else
+          pp.gaps.push_back(pl.start - cursor);
+      }
+      cursor = pl.finish;
+    }
+    pp.tail_start = cursor;
+    pp.tail_leading = cursor == 0;
+    finalize_proc(pp.gaps, pp.prefix);
+  }
+}
+
+GapProfile::GapProfile(sched::GapRun&& run) : makespan_(run.makespan) {
+  procs_.resize(run.procs.size());
+  for (std::size_t p = 0; p < procs_.size(); ++p) {
+    ProcProfile& pp = procs_[p];
+    sched::GapRun::Proc& rp = run.procs[p];
+    pp.busy = rp.busy;
+    total_busy_ += pp.busy;
+    pp.leading = rp.leading;
+    pp.tail_start = rp.tail;
+    pp.tail_leading = rp.tail == 0;
+    pp.gaps = std::move(rp.gaps);
+    finalize_proc(pp.gaps, pp.prefix);
+  }
+}
+
+EnergyBreakdown GapProfile::evaluate(const power::DvsLevel& lvl, Seconds horizon,
+                                     const power::SleepModel& sleep,
+                                     const PsOptions& ps) const {
+  const Seconds span = cycles_to_time(makespan_, lvl.f);
+  // Same fit tolerance as evaluate_energy.
+  if (span.value() > horizon.value() * (1.0 + 1e-12) + 1e-15)
+    throw std::invalid_argument("GapProfile::evaluate: schedule does not fit in horizon");
+
+  EnergyBreakdown e{};
+  for (const ProcProfile& pp : procs_)
+    detail::charge_active(e, lvl, cycles_to_time(pp.busy, lvl.f));
+
+  for (const ProcProfile& pp : procs_) {
+    ProcIdleTotals t;
+    // Internal gaps: the shutdown decision is monotone in gap length, so
+    // the sorted array splits at one point — everything before it stays
+    // powered, everything after sleeps.  Integer prefix sums make both
+    // cycle totals exact regardless of how the naive walk ordered them.
+    std::size_t k = pp.gaps.size();
+    if (ps.enabled && !pp.gaps.empty()) {
+      k = static_cast<std::size_t>(
+          std::partition_point(pp.gaps.begin(), pp.gaps.end(),
+                               [&](Cycles c) {
+                                 return !sleep.decide(cycles_to_time(c, lvl.f), lvl.idle)
+                                             .shutdown;
+                               }) -
+          pp.gaps.begin());
+    }
+    t.powered_idle += pp.prefix[k];
+    t.slept_idle += pp.prefix.back() - pp.prefix[k];
+    t.shutdowns += pp.gaps.size() - k;
+
+    if (pp.leading != 0) {
+      const bool may_sleep = ps.enabled && ps.allow_leading_gaps;
+      if (may_sleep &&
+          sleep.decide(cycles_to_time(pp.leading, lvl.f), lvl.idle).shutdown) {
+        t.slept_idle += pp.leading;
+        ++t.shutdowns;
+      } else {
+        t.powered_idle += pp.leading;
+      }
+    }
+
+    const Seconds tail = horizon - cycles_to_time(pp.tail_start, lvl.f);
+    if (tail.value() > 0.0) {
+      const bool may_sleep = ps.enabled && (ps.allow_leading_gaps || !pp.tail_leading);
+      if (may_sleep && sleep.decide(tail, lvl.idle).shutdown) {
+        t.tail_slept = tail;
+        ++t.shutdowns;
+      } else {
+        t.tail_powered = tail;
+      }
+    }
+    detail::charge_idle(e, lvl, sleep, t);
+  }
+  return e;
+}
+
+}  // namespace lamps::energy

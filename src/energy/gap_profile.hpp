@@ -1,0 +1,71 @@
+// Gap-profile energy evaluation: answer "energy of this schedule at level
+// L?" for many levels without re-walking the schedule each time.
+//
+// A schedule's idle structure is frequency-independent when expressed in
+// cycles: stretching to a slower level scales every gap duration by the
+// same 1/f, so the *order* of gaps by length never changes and the per-gap
+// shutdown decision (sleep iff gap > breakeven time) partitions the sorted
+// gap array at a single threshold.  GapProfile is built once per schedule
+// in O(V + G log G) and stores, per processor:
+//   * the busy-cycle total,
+//   * internal gap lengths sorted ascending with exact integer prefix sums,
+//   * the single leading gap (its shutdown eligibility is policy-gated),
+//   * the trailing-gap start (the tail runs to the wall-clock horizon and
+//     is generally fractional in cycles).
+// evaluate() then answers one DVS level in O(P log G): a binary search
+// (std::partition_point) locates the powered/slept split, the integer
+// prefix sums give both cycle totals exactly, and the result is composed
+// through the same detail::charge_active / detail::charge_idle helpers as
+// the naive walk in evaluator.cpp — which is why the two agree bit for bit
+// (see docs/performance.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "energy/evaluator.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace lamps::energy {
+
+class GapProfile {
+ public:
+  explicit GapProfile(const sched::Schedule& s);
+
+  /// Builds the profile straight from a gap-only scheduler run
+  /// (sched::list_schedule_gaps), bit-identical to profiling the full
+  /// schedule of the same run — the configuration searches use this to
+  /// evaluate candidates whose placements would be discarded anyway.
+  explicit GapProfile(sched::GapRun&& run);
+
+  /// Energy at operating point `lvl`, bit-identical to
+  /// evaluate_energy(s, lvl, horizon, sleep, ps) for the profiled schedule.
+  [[nodiscard]] EnergyBreakdown evaluate(const power::DvsLevel& lvl, Seconds horizon,
+                                         const power::SleepModel& sleep,
+                                         const PsOptions& ps = {}) const;
+
+  [[nodiscard]] Cycles makespan() const { return makespan_; }
+  [[nodiscard]] std::size_t num_procs() const { return procs_.size(); }
+  [[nodiscard]] Cycles busy_cycles(std::size_t p) const { return procs_[p].busy; }
+  /// Sum of busy cycles over all processors (= graph total work).
+  [[nodiscard]] Cycles total_busy_cycles() const { return total_busy_; }
+
+ private:
+  struct ProcProfile {
+    Cycles busy{0};
+    /// Idle cycles before the first placement (0 = starts at cycle 0).
+    /// Kept out of `gaps` because its shutdown eligibility is gated by
+    /// PsOptions::allow_leading_gaps.
+    Cycles leading{0};
+    std::vector<Cycles> gaps;    ///< internal gap lengths, ascending
+    std::vector<Cycles> prefix;  ///< prefix[i] = gaps[0] + .. + gaps[i-1]
+    Cycles tail_start{0};        ///< finish of the last placement
+    bool tail_leading{false};    ///< empty row: the tail is a leading gap
+  };
+
+  std::vector<ProcProfile> procs_;
+  Cycles makespan_{0};
+  Cycles total_busy_{0};
+};
+
+}  // namespace lamps::energy

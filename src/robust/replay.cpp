@@ -122,9 +122,13 @@ ReplayResult replay_schedule(const sched::Schedule& plan, const graph::TaskGraph
   result.tardiness = Seconds{std::max(0.0, tard)};
 
   // --- Phase B: energy accounting ----------------------------------------
-  // Mirrors energy::evaluate_energy's loop structure exactly (active energy
-  // per processor first, then the per-gap walk in per-processor time order)
-  // so the identity sample reproduces the analytic evaluator bit for bit.
+  // Mirrors energy::evaluate_energy's canonical composition exactly (active
+  // energy per processor first, then per-processor ProcIdleTotals charged
+  // in one step — see energy/evaluator.hpp), with the nominal power rails
+  // replaced by the sample's per-processor leakage.  The identity sample
+  // therefore reproduces the analytic evaluator bit for bit.  Faulted
+  // wakeups add a separate surcharge term of E_wake * sum(k - 1), which is
+  // exactly 0.0 under the identity sample and is skipped then.
   // An overrunning schedule stays powered to its own completion.
   const Seconds horizon = result.completion > deadline ? result.completion : deadline;
   energy::EnergyBreakdown& e = result.breakdown;
@@ -136,29 +140,47 @@ ReplayResult replay_schedule(const sched::Schedule& plan, const graph::TaskGraph
   }
   std::vector<Rng> streams_b = sample.wake_streams;
   for (sched::ProcId p = 0; p < procs; ++p) {
-    const auto charge_gap = [&](Seconds gap, bool leading) {
+    energy::ProcIdleTotals t;
+    double wake_extra = 0.0;  // sum of (k - 1) over faulted wakeups
+    // Decisions and RNG draws happen in per-processor row order so the
+    // wake streams advance exactly as phase A's.
+    const auto classify_gap = [&](Seconds gap, bool leading, Cycles cyc) {
       const bool may_sleep = ps.enabled && (ps.allow_leading_gaps || !leading);
-      if (may_sleep) {
-        const auto d = sleep.decide(gap, idle_w[p]);
-        if (d.shutdown) {
-          const double k = draw_wake_scale(streams_b[p], spec);
-          e.sleep += sleep.sleep_power() * gap;
-          e.wakeup += sleep.wakeup_energy() * k;
-          ++e.shutdowns;
-          if (k > 1.0) ++result.wake_faults;
-          return;
-        }
+      if (may_sleep && sleep.decide(gap, idle_w[p]).shutdown) {
+        const double k = draw_wake_scale(streams_b[p], spec);
+        if (cyc != 0)
+          t.slept_idle += cyc;
+        else
+          t.tail_slept = gap;
+        ++t.shutdowns;
+        wake_extra += k - 1.0;
+        if (k > 1.0) ++result.wake_faults;
+      } else {
+        if (cyc != 0)
+          t.powered_idle += cyc;
+        else
+          t.tail_powered = gap;
       }
-      e.leakage += leak_w[p] * gap;
-      e.intrinsic += lvl.active.intrinsic * gap;
     };
     Cycles cur = 0;
     for (const sched::Placement& pl : result.schedule.on_proc(p)) {
-      if (pl.start > cur) charge_gap(cycles_to_time(pl.start - cur, f), cur == 0);
+      if (pl.start > cur)
+        classify_gap(cycles_to_time(pl.start - cur, f), cur == 0, pl.start - cur);
       cur = pl.finish;
     }
     const Seconds tail = horizon - cycles_to_time(cur, f);
-    if (tail.value() > 0.0) charge_gap(tail, cur == 0);
+    if (tail.value() > 0.0) classify_gap(tail, cur == 0, Cycles{0});
+
+    // Same composition order as energy::detail::charge_idle, with leak_w[p]
+    // standing in for the nominal leakage rail.
+    const Seconds powered = cycles_to_time(t.powered_idle, f) + t.tail_powered;
+    const Seconds slept = cycles_to_time(t.slept_idle, f) + t.tail_slept;
+    e.leakage += leak_w[p] * powered;
+    e.intrinsic += lvl.active.intrinsic * powered;
+    e.sleep += sleep.sleep_power() * slept;
+    e.wakeup += sleep.wakeup_energy() * static_cast<double>(t.shutdowns);
+    e.shutdowns += t.shutdowns;
+    if (wake_extra != 0.0) e.wakeup += sleep.wakeup_energy() * wake_extra;
   }
   return result;
 }

@@ -1,6 +1,7 @@
 #include "sched/list_scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <queue>
 #include <stdexcept>
@@ -19,67 +20,207 @@ struct ReadyEntry {
   }
 };
 
-struct RunningEntry {
-  Cycles finish;
-  graph::TaskId task;
-  ProcId proc;
-  bool operator>(const RunningEntry& o) const {
-    return finish != o.finish ? finish > o.finish : task > o.task;
-  }
-};
-
 }  // namespace
 
-Schedule list_schedule(const graph::TaskGraph& g, std::size_t num_procs,
-                       std::span<const std::int64_t> priority_keys) {
+void ListScheduleWorkspace::IndexSet::reset(std::size_t n) {
+  words.assign((n + 63) / 64, 0);
+  top.assign((words.size() + 63) / 64, 0);
+  count = 0;
+}
+
+void ListScheduleWorkspace::IndexSet::fill_all(std::size_t n) {
+  reset(n);
+  if (n == 0) return;
+  for (std::size_t w = 0; w < words.size(); ++w) words[w] = ~std::uint64_t{0};
+  if (n % 64 != 0) words.back() = (std::uint64_t{1} << (n % 64)) - 1;
+  for (std::size_t w = 0; w < words.size(); ++w) top[w / 64] |= std::uint64_t{1} << (w % 64);
+  count = n;
+}
+
+void ListScheduleWorkspace::Calendar::configure(Cycles total_work, std::size_t num_tasks,
+                                                std::size_t num_procs) {
+  // Bucket resolution: the coarsest shift that keeps the slot count within
+  // ~4 tasks per bucket on average.  The makespan of any schedule is at
+  // most the total work, so finish >> shift always lands in range.
+  const std::size_t cap = std::max<std::size_t>(4 * num_tasks, 1024);
+  unsigned k = 0;
+  while ((total_work >> k) > cap) ++k;
+  const std::size_t need = static_cast<std::size_t>(total_work >> k) + 2;
+  if (dirty || k != shift || need > slots) {
+    shift = k;
+    slots = need;
+    head.assign(slots, -1);
+    nonempty.assign((slots + 63) / 64, 0);
+    dirty = false;
+  }
+  next.resize(num_procs);
+  finish_of.resize(num_procs);
+  task_of.resize(num_procs);
+  count = 0;
+}
+
+std::size_t ListScheduleWorkspace::Calendar::next_slot(std::size_t from) const {
+  std::size_t w = from / 64;
+  std::uint64_t bits = nonempty[w] & (~std::uint64_t{0} << (from % 64));
+  while (bits == 0) bits = nonempty[++w];
+  return w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+}
+
+void ListScheduleWorkspace::prepare(const graph::TaskGraph& g,
+                                    std::span<const std::int64_t> priority_keys) {
+  const std::size_t n = g.num_tasks();
+  const bool same_keys = prepared_ && prepared_keys_.size() == n &&
+                         std::equal(prepared_keys_.begin(), prepared_keys_.end(),
+                                    priority_keys.begin());
+  if (!same_keys) {
+    prepared_keys_.assign(priority_keys.begin(), priority_keys.end());
+    task_of_rank_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) task_of_rank_[i] = static_cast<graph::TaskId>(i);
+    std::sort(task_of_rank_.begin(), task_of_rank_.end(),
+              [&](graph::TaskId a, graph::TaskId b) {
+                return prepared_keys_[a] != prepared_keys_[b]
+                           ? prepared_keys_[a] < prepared_keys_[b]
+                           : a < b;
+              });
+    rank_of_task_.resize(n);
+    for (std::size_t r = 0; r < n; ++r)
+      rank_of_task_[task_of_rank_[r]] = static_cast<std::uint32_t>(r);
+    prepared_ = true;
+  }
+  missing_preds_.resize(n);
+  ready_.reset(n);
+}
+
+template <typename PlaceFn>
+Cycles ListScheduleWorkspace::run_event_loop(const graph::TaskGraph& g, std::size_t num_procs,
+                                             ListScheduleWorkspace& ws, PlaceFn&& place) {
+  auto& cal = ws.running_;
+  cal.configure(g.total_work(), g.num_tasks(), num_procs);
+  cal.dirty = true;  // cleared on normal return; forces a re-init after aborts
+
+  ws.free_procs_.fill_all(num_procs);
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    ws.missing_preds_[v] = g.in_degree(v);
+    if (ws.missing_preds_[v] == 0) ws.ready_.insert(ws.rank_of_task_[v]);
+  }
+
+  Cycles now = 0;
+  Cycles makespan = 0;
+  std::size_t cur_slot = 0;
+  std::size_t scheduled = 0;
+  // Keep retiring past the last dispatch (scheduled == num_tasks) until the
+  // calendar is empty again: the workspace contract is that every bucket and
+  // every occupancy bit is clean when the run returns, so the next run can
+  // skip the O(slots) re-initialization.
+  while (scheduled < g.num_tasks() || cal.count > 0) {
+    // Dispatch greedily while both a ready task and a free processor exist.
+    while (!ws.ready_.empty() && !ws.free_procs_.empty()) {
+      const graph::TaskId v = ws.task_of_rank_[ws.ready_.pop_min()];
+      const ProcId p = static_cast<ProcId>(ws.free_procs_.pop_min());
+      const Cycles finish = now + g.weight(v);
+      place(v, p, now, finish);
+      if (finish > makespan) makespan = finish;
+      cal.insert(p, v, finish);
+      ++scheduled;
+    }
+    if (cal.count == 0) break;  // all done (or nothing dispatchable — impossible for a DAG)
+
+    // Advance to the next completion instant and retire everything that
+    // finishes there, releasing successors and processors before the next
+    // dispatch round.  The earliest outstanding finish always lives in the
+    // first non-empty bucket at or after the current one (finishes are
+    // monotone), and the exact minimum is found by scanning that bucket's
+    // chain — within-instant retirement order never affects placements
+    // because the ready/free sets are order-insensitive bitmaps.
+    cur_slot = cal.next_slot(cur_slot);
+    now = std::numeric_limits<Cycles>::max();
+    for (std::int32_t p = cal.head[cur_slot]; p >= 0; p = cal.next[static_cast<std::size_t>(p)])
+      now = std::min(now, cal.finish_of[static_cast<std::size_t>(p)]);
+    std::int32_t keep = -1;
+    for (std::int32_t p = cal.head[cur_slot]; p >= 0;) {
+      const auto pi = static_cast<std::size_t>(p);
+      const std::int32_t nx = cal.next[pi];
+      if (cal.finish_of[pi] == now) {
+        --cal.count;
+        ws.free_procs_.insert(pi);
+        for (const graph::TaskId s : g.successors(cal.task_of[pi]))
+          if (--ws.missing_preds_[s] == 0) ws.ready_.insert(ws.rank_of_task_[s]);
+      } else {
+        cal.next[pi] = keep;
+        keep = p;
+      }
+      p = nx;
+    }
+    cal.head[cur_slot] = keep;
+    if (keep < 0) cal.nonempty[cur_slot / 64] &= ~(std::uint64_t{1} << (cur_slot % 64));
+  }
+
+  cal.dirty = false;
+  return makespan;
+}
+
+namespace {
+
+void check_list_schedule_args(const graph::TaskGraph& g, std::size_t num_procs,
+                              std::span<const std::int64_t> priority_keys) {
   if (num_procs == 0)
     throw std::invalid_argument("list_schedule: need at least one processor");
   if (priority_keys.size() != g.num_tasks())
     throw std::invalid_argument("list_schedule: priority key count mismatch");
+}
 
+}  // namespace
+
+Schedule list_schedule(const graph::TaskGraph& g, std::size_t num_procs,
+                       std::span<const std::int64_t> priority_keys,
+                       ListScheduleWorkspace& ws) {
+  check_list_schedule_args(g, num_procs, priority_keys);
+  ws.prepare(g, priority_keys);
   Schedule schedule(num_procs, g.num_tasks());
-
-  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, std::greater<>> ready;
-  std::priority_queue<RunningEntry, std::vector<RunningEntry>, std::greater<>> running;
-  std::priority_queue<ProcId, std::vector<ProcId>, std::greater<>> free_procs;
-  for (ProcId p = 0; p < num_procs; ++p) free_procs.push(p);
-
-  std::vector<std::size_t> missing_preds(g.num_tasks());
-  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
-    missing_preds[v] = g.in_degree(v);
-    if (missing_preds[v] == 0) ready.push(ReadyEntry{priority_keys[v], v});
-  }
-
-  Cycles now = 0;
-  std::size_t scheduled = 0;
-  while (scheduled < g.num_tasks()) {
-    // Dispatch greedily while both a ready task and a free processor exist.
-    while (!ready.empty() && !free_procs.empty()) {
-      const graph::TaskId v = ready.top().task;
-      ready.pop();
-      const ProcId p = free_procs.top();
-      free_procs.pop();
-      const Cycles finish = now + g.weight(v);
-      schedule.place(v, p, now, finish);
-      running.push(RunningEntry{finish, v, p});
-      ++scheduled;
-    }
-    if (running.empty()) break;  // all done (or nothing dispatchable — impossible for a DAG)
-
-    // Advance to the next completion instant and retire everything that
-    // finishes there, releasing successors and processors before the next
-    // dispatch round.
-    now = running.top().finish;
-    while (!running.empty() && running.top().finish == now) {
-      const RunningEntry done = running.top();
-      running.pop();
-      free_procs.push(done.proc);
-      for (const graph::TaskId s : g.successors(done.task))
-        if (--missing_preds[s] == 0) ready.push(ReadyEntry{priority_keys[s], s});
-    }
-  }
-
+  ListScheduleWorkspace::run_event_loop(g, num_procs, ws,
+                 [&schedule](graph::TaskId v, ProcId p, Cycles start, Cycles finish) {
+                   schedule.place(v, p, start, finish);
+                 });
   return schedule;
+}
+
+Cycles list_schedule_makespan(const graph::TaskGraph& g, std::size_t num_procs,
+                              std::span<const std::int64_t> priority_keys,
+                              ListScheduleWorkspace& ws) {
+  check_list_schedule_args(g, num_procs, priority_keys);
+  ws.prepare(g, priority_keys);
+  return ListScheduleWorkspace::run_event_loop(g, num_procs, ws, [](graph::TaskId, ProcId, Cycles, Cycles) {});
+}
+
+GapRun list_schedule_gaps(const graph::TaskGraph& g, std::size_t num_procs,
+                          std::span<const std::int64_t> priority_keys,
+                          ListScheduleWorkspace& ws) {
+  check_list_schedule_args(g, num_procs, priority_keys);
+  ws.prepare(g, priority_keys);
+  GapRun run;
+  run.procs.resize(num_procs);
+  // Per processor the placements arrive in start order (each processor runs
+  // one task at a time and `now` is monotone), so the gap structure streams:
+  // `tail` doubles as the cursor GapProfile walks a finished row with.
+  run.makespan = ListScheduleWorkspace::run_event_loop(
+      g, num_procs, ws, [&run](graph::TaskId, ProcId p, Cycles start, Cycles finish) {
+        GapRun::Proc& pp = run.procs[p];
+        if (start > pp.tail) {
+          if (pp.tail == 0)
+            pp.leading = start;
+          else
+            pp.gaps.push_back(start - pp.tail);
+        }
+        pp.busy += finish - start;
+        pp.tail = finish;
+      });
+  return run;
+}
+
+Schedule list_schedule(const graph::TaskGraph& g, std::size_t num_procs,
+                       std::span<const std::int64_t> priority_keys) {
+  ListScheduleWorkspace ws;
+  return list_schedule(g, num_procs, priority_keys, ws);
 }
 
 Schedule list_schedule_insertion(const graph::TaskGraph& g, std::size_t num_procs,

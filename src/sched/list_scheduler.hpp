@@ -7,11 +7,15 @@
 // task-completion event otherwise.  Determinism: ready ties break on
 // smaller task id, free processors are taken in ascending id order.
 //
-// Complexity: O((V + E) log V).
+// Complexity: O((V + E) log V) standalone; the workspace overload runs in
+// O(V + E) amortized per call once the priority ranking is cached (bitmap
+// ready/free sets, calendar-bucketed completion events).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "graph/task_graph.hpp"
 #include "sched/priorities.hpp"
@@ -19,12 +23,174 @@
 
 namespace lamps::sched {
 
+class ListScheduleWorkspace;
+
+/// Raw idle-structure of one list-schedule run, recorded by
+/// list_schedule_gaps without materializing a Schedule.  Exactly the data
+/// energy::GapProfile derives from a full Schedule: per processor the busy
+/// cycle total, the leading gap, the finish of the last placement and the
+/// internal gap lengths (in placement order; the profile sorts them).
+struct GapRun {
+  struct Proc {
+    Cycles busy{0};
+    Cycles leading{0};          ///< idle cycles before the first placement
+    Cycles tail{0};             ///< finish of the last placement (0 = none)
+    std::vector<Cycles> gaps;   ///< internal gap lengths, placement order
+  };
+  std::vector<Proc> procs;
+  Cycles makespan{0};
+};
+
+/// Reusable scratch state for list_schedule.  The configuration searches
+/// (LAMPS phases 1+2, schedule_max_speedup, processor_sweep) invoke the
+/// scheduler dozens of times with the same graph and priority keys but
+/// different processor counts; a workspace threaded through those calls
+/// eliminates the per-call allocations and — the larger win — computes the
+/// priority ranking (tasks sorted by (key, id)) only once, turning the
+/// ready queue into an O(1) find-first-set over a bitmap instead of a
+/// binary heap.  A workspace may be reused across different graphs/keys
+/// (it re-prepares itself when they change); it is not thread-safe, so
+/// parallel sweeps use one workspace per worker thread.
+class ListScheduleWorkspace {
+ public:
+  ListScheduleWorkspace() = default;
+
+ private:
+  friend Schedule list_schedule(const graph::TaskGraph& g, std::size_t num_procs,
+                                std::span<const std::int64_t> priority_keys,
+                                ListScheduleWorkspace& ws);
+  friend Cycles list_schedule_makespan(const graph::TaskGraph& g, std::size_t num_procs,
+                                       std::span<const std::int64_t> priority_keys,
+                                       ListScheduleWorkspace& ws);
+  friend GapRun list_schedule_gaps(const graph::TaskGraph& g, std::size_t num_procs,
+                                   std::span<const std::int64_t> priority_keys,
+                                   ListScheduleWorkspace& ws);
+
+  /// Two-level bitmap over dense indices with O(1) amortized insert /
+  /// erase / pop-min.  Level 1 marks 64-index blocks with any member; a
+  /// pop scans level 1 for the first non-empty block (a handful of words
+  /// even for 5000 tasks) and finishes with count-trailing-zeros.
+  struct IndexSet {
+    std::vector<std::uint64_t> words, top;
+    std::size_t count{0};
+
+    void reset(std::size_t n);
+    void fill_all(std::size_t n);
+    [[nodiscard]] bool empty() const { return count == 0; }
+    // insert/pop_min run once per task per scheduling probe; defined inline
+    // because the call overhead is measurable across a configuration search.
+    void insert(std::size_t i) {
+      const std::size_t w = i / 64;
+      words[w] |= std::uint64_t{1} << (i % 64);
+      top[w / 64] |= std::uint64_t{1} << (w % 64);
+      ++count;
+    }
+    std::size_t pop_min() {
+      std::size_t t = 0;
+      while (top[t] == 0) ++t;
+      const std::size_t w = t * 64 + static_cast<std::size_t>(std::countr_zero(top[t]));
+      const std::size_t b = static_cast<std::size_t>(std::countr_zero(words[w]));
+      const std::size_t i = w * 64 + b;
+      words[w] &= words[w] - 1;  // clear lowest set bit
+      if (words[w] == 0) top[t] &= ~(std::uint64_t{1} << (w % 64));
+      --count;
+      return i;
+    }
+  };
+
+  /// Calendar queue over task-completion events.  Buckets index
+  /// `finish >> shift`, with `shift` sized per graph so the bucket count
+  /// stays O(num_tasks) regardless of the cycle magnitudes; because the
+  /// makespan never exceeds the total work, every finish maps in range.
+  /// Each bucket chains the (at most one per processor) running entries
+  /// through `next`, and retirement scans the chain for the exact minimum
+  /// finish — so placements do not depend on the bucket resolution.  The
+  /// structure is monotone (a dispatched finish is never below the current
+  /// instant), which makes the non-empty scan a single forward pass over
+  /// the bitmap for the whole run.  Buckets drain back to empty by the end
+  /// of every complete run; `dirty` forces a full re-init if a prior run
+  /// was abandoned mid-way (e.g. by an exception).
+  struct Calendar {
+    std::vector<std::int32_t> head;       // slot -> first proc in bucket, -1 none
+    std::vector<std::uint64_t> nonempty;  // bitmap over slots
+    std::vector<std::int32_t> next;       // proc -> next proc in same bucket
+    std::vector<Cycles> finish_of;        // proc -> finish instant
+    std::vector<graph::TaskId> task_of;   // proc -> running task
+    unsigned shift{0};
+    std::size_t slots{0};
+    std::size_t count{0};
+    bool dirty{true};
+
+    void configure(Cycles total_work, std::size_t num_tasks, std::size_t num_procs);
+    void insert(ProcId p, graph::TaskId v, Cycles finish) {
+      const std::size_t s = static_cast<std::size_t>(finish >> shift);
+      if (head[s] < 0) nonempty[s / 64] |= std::uint64_t{1} << (s % 64);
+      next[p] = head[s];
+      head[s] = static_cast<std::int32_t>(p);
+      finish_of[p] = finish;
+      task_of[p] = v;
+      ++count;
+    }
+    /// First slot >= `from` with any entry; precondition: count > 0.
+    [[nodiscard]] std::size_t next_slot(std::size_t from) const;
+  };
+
+  void prepare(const graph::TaskGraph& g, std::span<const std::int64_t> priority_keys);
+
+  /// The shared event loop behind list_schedule and list_schedule_makespan.
+  /// `place(v, p, start, finish)` records a placement — a no-op functor
+  /// turns the run into a makespan-only probe with zero materialization
+  /// cost.  Returns the makespan.  Defined (and only instantiated) in
+  /// list_scheduler.cpp.
+  template <typename PlaceFn>
+  static Cycles run_event_loop(const graph::TaskGraph& g, std::size_t num_procs,
+                               ListScheduleWorkspace& ws, PlaceFn&& place);
+
+  // Priority ranking, cached across calls until the keys change.
+  std::vector<std::int64_t> prepared_keys_;
+  std::vector<graph::TaskId> task_of_rank_;
+  std::vector<std::uint32_t> rank_of_task_;
+  bool prepared_{false};
+
+  // Per-call scratch.
+  std::vector<std::size_t> missing_preds_;
+  IndexSet ready_;      // over ranks
+  IndexSet free_procs_; // over processor ids
+  Calendar running_;    // completion-event calendar
+};
+
 /// Schedules every task of `g` on `num_procs` processors using the given
 /// priority keys (see make_priority_keys).  Always succeeds (a list
 /// schedule exists for any DAG); deadline feasibility is judged afterwards
 /// by the caller.
 [[nodiscard]] Schedule list_schedule(const graph::TaskGraph& g, std::size_t num_procs,
                                      std::span<const std::int64_t> priority_keys);
+
+/// Same, reusing `ws` for scratch storage and the cached priority ranking.
+/// Placements are identical to the workspace-free overload.
+[[nodiscard]] Schedule list_schedule(const graph::TaskGraph& g, std::size_t num_procs,
+                                     std::span<const std::int64_t> priority_keys,
+                                     ListScheduleWorkspace& ws);
+
+/// Runs the identical event loop but records no placements, returning only
+/// the makespan.  For search probes that compare makespans (e.g. the
+/// schedule_max_speedup binary search) this skips the entire Schedule
+/// materialization cost.  Equal by construction to
+/// `list_schedule(g, num_procs, priority_keys, ws).makespan()`.
+[[nodiscard]] Cycles list_schedule_makespan(const graph::TaskGraph& g, std::size_t num_procs,
+                                            std::span<const std::int64_t> priority_keys,
+                                            ListScheduleWorkspace& ws);
+
+/// Runs the identical event loop but records only the idle structure
+/// (busy totals, leading/internal/trailing gaps) instead of placements.
+/// Everything an energy evaluation needs — and nothing a configuration
+/// search throws away when the candidate loses.  The returned data equals
+/// what energy::GapProfile would derive from the full schedule:
+/// `GapProfile(list_schedule_gaps(...))` is bit-identical to
+/// `GapProfile(list_schedule(...))`.
+[[nodiscard]] GapRun list_schedule_gaps(const graph::TaskGraph& g, std::size_t num_procs,
+                                        std::span<const std::int64_t> priority_keys,
+                                        ListScheduleWorkspace& ws);
 
 /// Convenience: build EDF keys for `deadline_cycles` and schedule.
 [[nodiscard]] Schedule list_schedule_edf(const graph::TaskGraph& g, std::size_t num_procs,

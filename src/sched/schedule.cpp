@@ -10,20 +10,8 @@ Schedule::Schedule(std::size_t num_procs, std::size_t num_tasks)
   if (num_procs == 0) throw std::invalid_argument("Schedule: need at least one processor");
 }
 
-void Schedule::place(graph::TaskId task, ProcId proc, Cycles start, Cycles finish) {
-  if (task >= task_index_.size()) throw std::logic_error("Schedule::place: unknown task");
-  if (proc >= proc_rows_.size()) throw std::logic_error("Schedule::place: unknown processor");
-  if (finish < start) throw std::logic_error("Schedule::place: finish before start");
-  if (task_index_[task].placed) throw std::logic_error("Schedule::place: task placed twice");
-  auto& row = proc_rows_[proc];
-  if (!row.empty() && start < row.back().finish)
-    throw std::logic_error("Schedule::place: overlapping placement on processor");
-
-  task_index_[task] = Ref{proc, static_cast<std::uint32_t>(row.size()), true};
-  row.push_back(Placement{task, proc, start, finish});
-  busy_[proc] += finish - start;
-  if (finish > makespan_) makespan_ = finish;
-  ++placed_;
+void Schedule::throw_place_error(const char* what) {
+  throw std::logic_error(std::string("Schedule::place: ") + what);
 }
 
 const Placement& Schedule::placement(graph::TaskId task) const {

@@ -44,8 +44,24 @@ class Schedule {
 
   /// Records a task placement.  Placements on one processor must be added
   /// in non-decreasing start order and must not overlap; each task may be
-  /// placed exactly once.  Violations throw std::logic_error.
-  void place(graph::TaskId task, ProcId proc, Cycles start, Cycles finish);
+  /// placed exactly once.  Violations throw std::logic_error.  Defined
+  /// inline: the list scheduler calls this once per task per probe, and the
+  /// call overhead is measurable across a configuration search.
+  void place(graph::TaskId task, ProcId proc, Cycles start, Cycles finish) {
+    if (task >= task_index_.size()) throw_place_error("unknown task");
+    if (proc >= proc_rows_.size()) throw_place_error("unknown processor");
+    if (finish < start) throw_place_error("finish before start");
+    if (task_index_[task].placed) throw_place_error("task placed twice");
+    auto& row = proc_rows_[proc];
+    if (!row.empty() && start < row.back().finish)
+      throw_place_error("overlapping placement on processor");
+
+    task_index_[task] = Ref{proc, static_cast<std::uint32_t>(row.size()), true};
+    row.push_back(Placement{task, proc, start, finish});
+    busy_[proc] += finish - start;
+    if (finish > makespan_) makespan_ = finish;
+    ++placed_;
+  }
 
   [[nodiscard]] std::size_t num_procs() const { return proc_rows_.size(); }
   [[nodiscard]] std::size_t num_tasks() const { return task_index_.size(); }
@@ -78,6 +94,8 @@ class Schedule {
   }
 
  private:
+  [[noreturn]] static void throw_place_error(const char* what);
+
   std::vector<std::vector<Placement>> proc_rows_;
   // Index into proc_rows_[proc][pos] per task; {kInvalid, 0} if unplaced.
   struct Ref {

@@ -1,0 +1,164 @@
+// GapProfile equivalence tests: the profile-based energy evaluation must
+// reproduce the naive per-gap walk bit for bit (every EnergyBreakdown
+// field, not just the total), for every ladder level, with and without
+// processor shutdown, across the random STG suite.  Also covers the
+// level-sweep early-exit guard: best_level_with_ps must pick exactly the
+// level a full naive scan picks while evaluating fewer levels.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/stretch.hpp"
+#include "energy/evaluator.hpp"
+#include "energy/gap_profile.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "sched/list_scheduler.hpp"
+#include "stg/suite.hpp"
+
+namespace lamps {
+namespace {
+
+const power::PowerModel& model() {
+  static const power::PowerModel m;
+  return m;
+}
+const power::DvsLadder& ladder() {
+  static const power::DvsLadder l{model()};
+  return l;
+}
+
+std::vector<graph::TaskGraph> test_graphs() {
+  std::vector<graph::TaskGraph> out;
+  for (const std::size_t size : {50UL, 100UL, 500UL}) {
+    auto group = stg::make_random_group(size, 3);
+    for (auto& g : group)
+      out.push_back(graph::scale_weights(g, stg::kCoarseGrainCyclesPerUnit));
+  }
+  return out;
+}
+
+/// Horizon generous enough that the schedule fits at every ladder level.
+Seconds fits_all_levels_horizon(const sched::Schedule& s) {
+  return Seconds{cycles_to_time(s.makespan(), ladder().level(0).f).value() * 1.1};
+}
+
+void expect_identical(const energy::EnergyBreakdown& a, const energy::EnergyBreakdown& b) {
+  // EXPECT_EQ on doubles on purpose: the contract is bit-exactness, not
+  // tolerance.  GapProfile::evaluate composes the very same FP expression
+  // sequence as evaluate_energy, so even the rounding must agree.
+  EXPECT_EQ(a.dynamic.value(), b.dynamic.value());
+  EXPECT_EQ(a.leakage.value(), b.leakage.value());
+  EXPECT_EQ(a.intrinsic.value(), b.intrinsic.value());
+  EXPECT_EQ(a.sleep.value(), b.sleep.value());
+  EXPECT_EQ(a.wakeup.value(), b.wakeup.value());
+  EXPECT_EQ(a.transition.value(), b.transition.value());
+  EXPECT_EQ(a.shutdowns, b.shutdowns);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.total().value(), b.total().value());
+}
+
+TEST(GapProfileTest, MatchesNaiveEvaluatorBitForBit) {
+  const power::SleepModel sleep{model()};
+  std::size_t cases = 0;
+  for (const graph::TaskGraph& g : test_graphs()) {
+    const Cycles deadline = 2 * graph::critical_path_length(g);
+    for (const std::size_t procs : {1UL, 2UL, 5UL, 13UL}) {
+      const sched::Schedule s = sched::list_schedule_edf(g, procs, deadline);
+      const Seconds horizon = fits_all_levels_horizon(s);
+      const energy::GapProfile prof(s);
+      EXPECT_EQ(prof.makespan(), s.makespan());
+      EXPECT_EQ(prof.num_procs(), s.num_procs());
+      for (std::size_t i = 0; i < ladder().size(); ++i) {
+        const power::DvsLevel& lvl = ladder().level(i);
+        for (const bool ps_on : {false, true}) {
+          for (const bool leading : {false, true}) {
+            const energy::PsOptions ps{ps_on, leading};
+            expect_identical(prof.evaluate(lvl, horizon, sleep, ps),
+                             energy::evaluate_energy(s, lvl, horizon, sleep, ps));
+            ++cases;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(cases, 1000u);  // the sweep actually ran
+}
+
+TEST(GapProfileTest, ZeroWeightAndSingleTaskEdgeCases) {
+  const power::SleepModel sleep{model()};
+  graph::TaskGraphBuilder b;
+  b.add_task(0);                  // zero-weight source
+  b.add_task(5'000'000);
+  b.add_task(0);                  // zero-weight sink
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const graph::TaskGraph g = b.build();
+  const sched::Schedule s = sched::list_schedule_edf(g, 3, 2 * graph::critical_path_length(g));
+  const Seconds horizon = fits_all_levels_horizon(s);
+  const energy::GapProfile prof(s);
+  for (std::size_t i = 0; i < ladder().size(); ++i)
+    for (const bool ps_on : {false, true})
+      for (const bool leading : {false, true}) {
+        const energy::PsOptions ps{ps_on, leading};
+        expect_identical(prof.evaluate(ladder().level(i), horizon, sleep, ps),
+                         energy::evaluate_energy(s, ladder().level(i), horizon, sleep, ps));
+      }
+}
+
+/// Reference for the early-exit guard: the historical full scan from the
+/// lowest feasible level upward using the naive evaluator, keeping the
+/// slowest level on ties.
+struct NaiveChoice {
+  const power::DvsLevel* level{nullptr};
+  energy::EnergyBreakdown breakdown{};
+  std::size_t levels_evaluated{0};
+};
+
+NaiveChoice naive_best_level_with_ps(const sched::Schedule& s, const core::Problem& prob) {
+  NaiveChoice best;
+  const power::DvsLevel* lo = core::lowest_feasible_level(s, prob);
+  if (lo == nullptr) return best;
+  const power::SleepModel sleep = prob.sleep();
+  const energy::PsOptions ps{true, prob.ps_allow_leading_gaps};
+  for (std::size_t i = lo->index; i < prob.ladder->size(); ++i) {
+    const power::DvsLevel& lvl = prob.ladder->level(i);
+    const energy::EnergyBreakdown e = energy::evaluate_energy(s, lvl, prob.deadline, sleep, ps);
+    ++best.levels_evaluated;
+    if (best.level == nullptr || e.total() < best.breakdown.total()) {
+      best.level = &lvl;
+      best.breakdown = e;
+    }
+  }
+  return best;
+}
+
+TEST(GapProfileTest, EarlyExitGuardCannotChangeTheOptimum) {
+  std::size_t exits_taken = 0;
+  for (const graph::TaskGraph& g : test_graphs()) {
+    core::Problem prob;
+    prob.graph = &g;
+    prob.model = &model();
+    prob.ladder = &ladder();
+    prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                            model().max_frequency().value() * 2.0};
+    for (const std::size_t procs : {2UL, 7UL}) {
+      const sched::Schedule s =
+          sched::list_schedule_edf(g, procs, prob.deadline_cycles_at_fmax());
+      const NaiveChoice ref = naive_best_level_with_ps(s, prob);
+      const core::LevelChoice got = core::best_level_with_ps(s, prob);
+      ASSERT_EQ(got.level != nullptr, ref.level != nullptr);
+      if (ref.level == nullptr) continue;
+      EXPECT_EQ(got.level->index, ref.level->index);
+      expect_identical(got.breakdown, ref.breakdown);
+      EXPECT_LE(got.levels_evaluated, ref.levels_evaluated);
+      if (got.levels_evaluated < ref.levels_evaluated) ++exits_taken;
+    }
+  }
+  // The guard must actually fire somewhere, otherwise it is untested.
+  EXPECT_GT(exits_taken, 0u);
+}
+
+}  // namespace
+}  // namespace lamps

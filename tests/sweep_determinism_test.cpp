@@ -1,0 +1,122 @@
+// Thread-count determinism of the parallel configuration searches: the
+// LAMPS phase-2 fan-out and processor_sweep must return bit-identical
+// results (energy fields, chosen processor count, level, completion time,
+// placements, and even the invocation count) at any search_threads
+// setting, because each slot depends only on its own processor count and
+// the argmin reduction runs serially in ascending order.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/lamps.hpp"
+#include "core/strategy.hpp"
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "stg/suite.hpp"
+
+namespace lamps::core {
+namespace {
+
+const power::PowerModel& model() {
+  static const power::PowerModel m;
+  return m;
+}
+const power::DvsLadder& ladder() {
+  static const power::DvsLadder l{model()};
+  return l;
+}
+
+Problem make_problem(const graph::TaskGraph& g, double factor) {
+  Problem prob;
+  prob.graph = &g;
+  prob.model = &model();
+  prob.ladder = &ladder();
+  prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                          model().max_frequency().value() * factor};
+  return prob;
+}
+
+void expect_identical_results(const StrategyResult& a, const StrategyResult& b) {
+  ASSERT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.num_procs, b.num_procs);
+  EXPECT_EQ(a.level_index, b.level_index);
+  EXPECT_EQ(a.schedules_computed, b.schedules_computed);
+  EXPECT_EQ(a.completion.value(), b.completion.value());
+  EXPECT_EQ(a.breakdown.dynamic.value(), b.breakdown.dynamic.value());
+  EXPECT_EQ(a.breakdown.leakage.value(), b.breakdown.leakage.value());
+  EXPECT_EQ(a.breakdown.intrinsic.value(), b.breakdown.intrinsic.value());
+  EXPECT_EQ(a.breakdown.sleep.value(), b.breakdown.sleep.value());
+  EXPECT_EQ(a.breakdown.wakeup.value(), b.breakdown.wakeup.value());
+  EXPECT_EQ(a.breakdown.shutdowns, b.breakdown.shutdowns);
+  ASSERT_EQ(a.schedule.has_value(), b.schedule.has_value());
+  if (a.schedule.has_value()) {
+    const sched::Schedule& sa = *a.schedule;
+    const sched::Schedule& sb = *b.schedule;
+    ASSERT_EQ(sa.num_procs(), sb.num_procs());
+    ASSERT_EQ(sa.num_tasks(), sb.num_tasks());
+    for (sched::ProcId p = 0; p < sa.num_procs(); ++p) {
+      const auto ra = sa.on_proc(p);
+      const auto rb = sb.on_proc(p);
+      ASSERT_EQ(ra.size(), rb.size());
+      for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].task, rb[i].task);
+        EXPECT_EQ(ra[i].start, rb[i].start);
+        EXPECT_EQ(ra[i].finish, rb[i].finish);
+      }
+    }
+  }
+}
+
+TEST(SweepDeterminismTest, LampsIdenticalAcrossThreadCounts) {
+  for (const auto& g0 : stg::make_random_group(500, 2)) {
+    const graph::TaskGraph g = graph::scale_weights(g0, stg::kCoarseGrainCyclesPerUnit);
+    for (const bool with_ps : {false, true}) {
+      Problem prob = make_problem(g, 2.0);
+      std::vector<StrategyResult> results;
+      for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+        prob.search_threads = threads;
+        results.push_back(with_ps ? lamps_schedule_ps(prob) : lamps_schedule(prob));
+      }
+      expect_identical_results(results[0], results[1]);
+      expect_identical_results(results[0], results[2]);
+      EXPECT_TRUE(results[0].feasible);
+    }
+  }
+}
+
+TEST(SweepDeterminismTest, ProcessorSweepIdenticalAcrossThreadCounts) {
+  const auto group = stg::make_random_group(200, 1);
+  const graph::TaskGraph g = graph::scale_weights(group[0], stg::kCoarseGrainCyclesPerUnit);
+  for (const bool with_ps : {false, true}) {
+    Problem prob = make_problem(g, 2.0);
+    std::vector<std::vector<SweepPoint>> sweeps;
+    for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+      prob.search_threads = threads;
+      sweeps.push_back(processor_sweep(prob, 24, with_ps));
+    }
+    for (std::size_t t = 1; t < sweeps.size(); ++t) {
+      ASSERT_EQ(sweeps[0].size(), sweeps[t].size());
+      for (std::size_t i = 0; i < sweeps[0].size(); ++i) {
+        EXPECT_EQ(sweeps[0][i].num_procs, sweeps[t][i].num_procs);
+        EXPECT_EQ(sweeps[0][i].makespan, sweeps[t][i].makespan);
+        EXPECT_EQ(sweeps[0][i].feasible, sweeps[t][i].feasible);
+        EXPECT_EQ(sweeps[0][i].level_index, sweeps[t][i].level_index);
+        EXPECT_EQ(sweeps[0][i].energy.value(), sweeps[t][i].energy.value());
+      }
+    }
+  }
+}
+
+TEST(SweepDeterminismTest, HardwareConcurrencySettingMatchesSerial) {
+  const auto group = stg::make_random_group(300, 1);
+  const graph::TaskGraph g = graph::scale_weights(group[0], stg::kCoarseGrainCyclesPerUnit);
+  Problem prob = make_problem(g, 2.0);
+  prob.search_threads = 1;
+  const StrategyResult serial = lamps_schedule_ps(prob);
+  prob.search_threads = 0;  // hardware concurrency
+  const StrategyResult parallel = lamps_schedule_ps(prob);
+  expect_identical_results(serial, parallel);
+}
+
+}  // namespace
+}  // namespace lamps::core
