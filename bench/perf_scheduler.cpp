@@ -7,17 +7,52 @@
 // verifying the bound holds with generous margin on modern hardware.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
 #include "core/strategy.hpp"
 #include "energy/evaluator.hpp"
 #include "energy/gap_profile.hpp"
 #include "graph/analysis.hpp"
 #include "graph/transform.hpp"
+#include "obs/metrics.hpp"
 #include "sched/list_scheduler.hpp"
 #include "stg/suite.hpp"
 
 namespace {
 
 using namespace lamps;
+
+// Search-side observability counters reported per iteration next to the
+// timings: they flow into --benchmark_out JSON untouched, so
+// results/BENCH_scheduler.json records how the ScheduleCache and the
+// Graham-bound short-circuits behaved during the timed runs.
+constexpr const char* kSearchCounters[] = {
+    "schedule_cache.schedule_hit",     "schedule_cache.schedule_miss",
+    "schedule_cache.profile_hit",      "schedule_cache.profile_miss",
+    "schedule_cache.profile_from_schedule",
+    "search.graham_shortcircuit_upper", "search.graham_shortcircuit_lower",
+    "search.probe_gap_only",           "search.probe_materialized",
+};
+
+std::vector<std::uint64_t> snapshot_search_counters() {
+  std::vector<std::uint64_t> v;
+  v.reserve(std::size(kSearchCounters));
+  for (const char* name : kSearchCounters)
+    v.push_back(obs::Registry::global().counter_value(name));
+  return v;
+}
+
+void report_search_counters(benchmark::State& state,
+                            const std::vector<std::uint64_t>& before) {
+  const std::vector<std::uint64_t> after = snapshot_search_counters();
+  const auto iters = static_cast<double>(state.iterations());
+  if (iters <= 0.0) return;
+  for (std::size_t i = 0; i < std::size(kSearchCounters); ++i)
+    state.counters[kSearchCounters[i]] =
+        benchmark::Counter(static_cast<double>(after[i] - before[i]) / iters);
+}
 
 const power::PowerModel& model() {
   static const power::PowerModel m;
@@ -58,18 +93,22 @@ BENCHMARK(BM_ListScheduleEdf)->Arg(100)->Arg(1000)->Arg(5000)->Unit(benchmark::k
 void BM_LampsSearch(benchmark::State& state) {
   const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
   const core::Problem prob = make_problem(g, 2.0);
+  const auto before = snapshot_search_counters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::lamps_schedule(prob));
   }
+  report_search_counters(state, before);
 }
 BENCHMARK(BM_LampsSearch)->Arg(100)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
 
 void BM_LampsPsSearch(benchmark::State& state) {
   const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
   const core::Problem prob = make_problem(g, 2.0);
+  const auto before = snapshot_search_counters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::lamps_schedule_ps(prob));
   }
+  report_search_counters(state, before);
 }
 BENCHMARK(BM_LampsPsSearch)->Arg(100)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
 
@@ -78,9 +117,11 @@ void BM_LampsPsApplicationGraph(benchmark::State& state) {
   const graph::TaskGraph g = graph::scale_weights(
       apps[static_cast<std::size_t>(state.range(0))], stg::kCoarseGrainCyclesPerUnit);
   const core::Problem prob = make_problem(g, 2.0);
+  const auto before = snapshot_search_counters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::lamps_schedule_ps(prob));
   }
+  report_search_counters(state, before);
   state.SetLabel(g.name());
 }
 BENCHMARK(BM_LampsPsApplicationGraph)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
@@ -138,18 +179,22 @@ void BM_LampsPsSearchParallel(benchmark::State& state) {
   const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
   core::Problem prob = make_problem(g, 2.0);
   prob.search_threads = 0;  // hardware concurrency
+  const auto before = snapshot_search_counters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::lamps_schedule_ps(prob));
   }
+  report_search_counters(state, before);
 }
 BENCHMARK(BM_LampsPsSearchParallel)->Arg(5000)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_SnsSearch(benchmark::State& state) {
   const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
   const core::Problem prob = make_problem(g, 2.0);
+  const auto before = snapshot_search_counters();
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::schedule_and_stretch(prob));
   }
+  report_search_counters(state, before);
 }
 BENCHMARK(BM_SnsSearch)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
 

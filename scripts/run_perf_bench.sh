@@ -7,6 +7,11 @@
 # The JSON is google-benchmark's --benchmark_out format; see
 # docs/performance.md for how to read it and compare against
 # results/BENCH_scheduler_baseline.json (the pre-optimization numbers).
+# The search benchmarks also report per-iteration observability counters
+# (schedule_cache.* hits/misses, search.graham_shortcircuit_*,
+# search.probe_*) as google-benchmark user counters, so each entry in the
+# JSON carries its cache behaviour next to its timing; the catalog is in
+# docs/observability.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

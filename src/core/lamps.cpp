@@ -14,12 +14,22 @@
 #include "core/stretch.hpp"
 #include "energy/gap_profile.hpp"
 #include "graph/analysis.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/list_scheduler.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lamps::core {
 
 namespace {
+
+// Graham-bound probe short-circuits (shared names with core/sns.cpp) and
+// the probe mix: gap-only probes skip task placements entirely, while
+// materialized probes run the full list scheduler.
+obs::Counter& c_graham_upper = obs::counter("search.graham_shortcircuit_upper");
+obs::Counter& c_graham_lower = obs::counter("search.graham_shortcircuit_lower");
+obs::Counter& c_probe_gap_only = obs::counter("search.probe_gap_only");
+obs::Counter& c_probe_materialized = obs::counter("search.probe_materialized");
 
 /// One scheduling workspace per thread, shared by every configuration
 /// search that runs on it (phase 1 + speedup via the ScheduleCache, the
@@ -55,9 +65,15 @@ void run_indexed(std::size_t threads, std::size_t count,
 }
 
 StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
+  obs::Span strategy_span(with_ps ? "lamps+ps" : "lamps");
+  obs::SearchTelemetry* tel = prob.telemetry;
+  if (tel != nullptr) tel->strategy = with_ps ? "LAMPS+PS" : "LAMPS";
   const graph::TaskGraph& g = *prob.graph;
   StrategyResult best;
-  if (g.num_tasks() == 0) return best;
+  if (g.num_tasks() == 0) {
+    if (tel != nullptr) fill_telemetry_summary(*tel, best);
+    return best;
+  }
 
   const auto keys = problem_priority_keys(prob);
   const Cycles deadline_cycles = prob.deadline_cycles_at_fmax();
@@ -93,44 +109,76 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
   const auto feasible_ms = [&](Cycles ms) {
     return required_frequency(ms, prob.deadline).value() <= f_cap;
   };
+  const auto record_p1 = [&](std::size_t n, const char* action, std::int64_t makespan,
+                             bool verdict) {
+    if (tel == nullptr) return;
+    obs::SearchProbe p;
+    p.num_procs = n;
+    p.phase = "phase1";
+    p.action = action;
+    p.makespan = makespan;
+    p.feasible = verdict ? 1 : 0;
+    tel->probes.push_back(p);
+  };
   const auto feasible_with = [&](std::size_t n) {
     if (bounds_ok) {
       constexpr Cycles kMax = std::numeric_limits<Cycles>::max();
       const auto nc = static_cast<Cycles>(n);
       if (nc == 1 || cpl <= (kMax - total_work) / (nc - 1)) {
         const Cycles upper = (total_work + (nc - 1) * cpl + (nc - 1)) / nc;
-        if (feasible_ms(upper)) return true;
+        if (feasible_ms(upper)) {
+          c_graham_upper.inc();
+          record_p1(n, "graham-upper", -1, true);
+          return true;
+        }
       }
       Cycles lower = cpl;
       if (total_work <= kMax - nc) lower = std::max(lower, (total_work + nc - 1) / nc);
-      if (!feasible_ms(lower)) return false;
+      if (!feasible_ms(lower)) {
+        c_graham_lower.inc();
+        record_p1(n, "graham-lower", -1, false);
+        return false;
+      }
       // Bounds inconclusive: the verdict needs the real makespan, but not
       // the placements — the gap-profile probe memoizes the idle structure
       // for phase 2 to reuse.
-      return feasible_ms(cache.profile_at(n).makespan());
+      c_probe_gap_only.inc();
+      const Cycles ms = cache.profile_at(n).makespan();
+      const bool ok = feasible_ms(ms);
+      record_p1(n, "profile-probe", static_cast<std::int64_t>(ms), ok);
+      return ok;
     }
-    return feasible_at_fmax(cache.at(n), prob);
+    c_probe_materialized.inc();
+    const sched::Schedule& s = cache.at(n);
+    const bool ok = feasible_at_fmax(s, prob);
+    record_p1(n, "schedule-probe", static_cast<std::int64_t>(s.makespan()), ok);
+    return ok;
   };
 
-  if (!feasible_with(n_upb)) {
-    best.schedules_computed = cache.computed();
-    return best;  // not schedulable before the deadline at all
+  std::size_t n_min = n_lwb;
+  {
+    obs::Span phase1_span("lamps/phase1");
+    if (!feasible_with(n_upb)) {
+      best.schedules_computed = cache.computed();
+      if (tel != nullptr) fill_telemetry_summary(*tel, best);
+      return best;  // not schedulable before the deadline at all
+    }
+    std::size_t lo = n_lwb, hi = n_upb;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (feasible_with(mid))
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    n_min = lo;
   }
-  std::size_t lo = n_lwb, hi = n_upb;
-  while (lo < hi) {
-    const std::size_t mid = lo + (hi - lo) / 2;
-    if (feasible_with(mid))
-      hi = mid;
-    else
-      lo = mid + 1;
-  }
-  const std::size_t n_min = lo;
 
   // ---- Phase 2: full linear search over [N_min, N_max], where N_max is
   // the processor count beyond which the makespan cannot improve (the
   // count S&S employs).  The scan is exhaustive because the energy curve
   // has local minima (paper Fig 6: "a full search must be performed").
-  const std::size_t n_max = std::max(n_min, max_speedup_procs(cache));
+  const std::size_t n_max = std::max(n_min, max_speedup_procs(cache, tel));
 
   // The N evaluations are independent; fan them out over
   // prob.search_threads workers.  Results are bit-identical at any thread
@@ -150,6 +198,10 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
   std::vector<std::optional<sched::Schedule>> slots(count);
   std::vector<std::optional<energy::GapProfile>> profs(count);
   std::vector<ConfigEval> evals(count);
+  // Per-slot probe records, written by slot index inside the fan-out and
+  // appended to the telemetry sink serially afterwards — the record order
+  // is therefore bit-identical at any search_threads setting.
+  std::vector<obs::SearchProbe> p2_probes(tel != nullptr ? count : 0);
   std::size_t phase2_computed = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t n = n_min + i;
@@ -160,20 +212,43 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
     else
       ++phase2_computed;
   }
-  run_indexed(prob.search_threads, count, [&](std::size_t i) {
-    if (slots[i]) {
-      evals[i] = evaluate_schedule_config(*slots[i], prob, with_ps);
-      return;
-    }
-    if (!profile_ok) {
-      slots[i].emplace(sched::list_schedule(g, n_min + i, keys, tls_workspace()));
-      evals[i] = evaluate_schedule_config(*slots[i], prob, with_ps);
-      return;
-    }
-    if (!profs[i])
-      profs[i].emplace(sched::list_schedule_gaps(g, n_min + i, keys, tls_workspace()));
-    evals[i] = evaluate_profile_config(*profs[i], prob, with_ps);
-  });
+  {
+    obs::Span phase2_span("lamps/phase2");
+    run_indexed(prob.search_threads, count, [&](std::size_t i) {
+      const char* action = nullptr;
+      if (slots[i]) {
+        action = "cached-schedule-eval";
+        evals[i] = evaluate_schedule_config(*slots[i], prob, with_ps);
+      } else if (!profile_ok) {
+        action = "schedule-eval";
+        c_probe_materialized.inc();
+        slots[i].emplace(sched::list_schedule(g, n_min + i, keys, tls_workspace()));
+        evals[i] = evaluate_schedule_config(*slots[i], prob, with_ps);
+      } else {
+        if (!profs[i]) {
+          action = "profile-eval";
+          c_probe_gap_only.inc();
+          profs[i].emplace(sched::list_schedule_gaps(g, n_min + i, keys, tls_workspace()));
+        } else {
+          action = "cached-profile-eval";
+        }
+        evals[i] = evaluate_profile_config(*profs[i], prob, with_ps);
+      }
+      if (tel != nullptr) {
+        obs::SearchProbe& p = p2_probes[i];
+        p.num_procs = n_min + i;
+        p.phase = "phase2";
+        p.action = action;
+        p.makespan = static_cast<std::int64_t>(slots[i] ? slots[i]->makespan()
+                                                        : profs[i]->makespan());
+        p.feasible = evals[i].feasible ? 1 : 0;
+        if (evals[i].feasible) {
+          p.level_index = static_cast<std::int64_t>(evals[i].level_index);
+          p.energy_j = evals[i].breakdown.total().value();
+        }
+      }
+    });
+  }
 
   std::size_t best_i = count;  // sentinel: none feasible yet
   for (std::size_t i = 0; i < count; ++i) {
@@ -188,11 +263,19 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
     best.level_index = evals[best_i].level_index;
     best.breakdown = evals[best_i].breakdown;
     best.completion = evals[best_i].completion;
-    if (!slots[best_i])
+    if (tel != nullptr) p2_probes[best_i].chosen = true;
+    if (!slots[best_i]) {
+      obs::Span mat_span("lamps/materialize");
+      c_probe_materialized.inc();
       slots[best_i].emplace(sched::list_schedule(g, n_min + best_i, keys, tls_workspace()));
+    }
     best.schedule = std::move(*slots[best_i]);
   }
   best.schedules_computed = cache.computed() + phase2_computed;
+  if (tel != nullptr) {
+    tel->probes.insert(tel->probes.end(), p2_probes.begin(), p2_probes.end());
+    fill_telemetry_summary(*tel, best);
+  }
   return best;
 }
 
@@ -204,6 +287,7 @@ StrategyResult lamps_schedule_ps(const Problem& prob) { return lamps_impl(prob, 
 
 std::vector<SweepPoint> processor_sweep(const Problem& prob, std::size_t max_procs,
                                         bool with_ps) {
+  obs::Span span("lamps/processor_sweep");
   const graph::TaskGraph& g = *prob.graph;
   const auto keys = problem_priority_keys(prob);
   std::vector<SweepPoint> out(max_procs);

@@ -8,6 +8,7 @@
 
 #include "energy/evaluator.hpp"
 #include "graph/task_graph.hpp"
+#include "obs/telemetry.hpp"
 #include "power/dvs_ladder.hpp"
 #include "power/power_model.hpp"
 #include "power/sleep_model.hpp"
@@ -38,6 +39,13 @@ struct Problem {
   /// selects the hardware concurrency.  Results are bit-identical at any
   /// thread count (deterministic index-ordered reduction).
   std::size_t search_threads{1};
+
+  /// Optional search-telemetry sink.  When non-null, the configuration
+  /// searches (LAMPS, LAMPS+PS, S&S, S&S+PS) record every probed
+  /// processor count and the chosen configuration into it.  Observation
+  /// only: results are bit-identical with or without a sink, at any
+  /// search_threads setting.  Not owned; must outlive the strategy call.
+  obs::SearchTelemetry* telemetry{nullptr};
 
   [[nodiscard]] power::SleepModel sleep() const { return power::SleepModel(*model); }
 
@@ -78,5 +86,21 @@ struct StrategyResult {
 
   [[nodiscard]] Joules energy() const { return breakdown.total(); }
 };
+
+/// Copies a strategy outcome into a telemetry record's summary fields
+/// (the per-probe entries are appended by the searches as they run).
+inline void fill_telemetry_summary(obs::SearchTelemetry& tel, const StrategyResult& r) {
+  tel.feasible = r.feasible;
+  tel.chosen_procs = r.num_procs;
+  tel.chosen_level = r.level_index;
+  tel.energy_total_j = r.breakdown.total().value();
+  tel.energy_dynamic_j = r.breakdown.dynamic.value();
+  tel.energy_leakage_j = r.breakdown.leakage.value();
+  tel.energy_intrinsic_j = r.breakdown.intrinsic.value();
+  tel.energy_sleep_j = r.breakdown.sleep.value();
+  tel.energy_wakeup_j = r.breakdown.wakeup.value();
+  tel.shutdowns = r.breakdown.shutdowns;
+  tel.schedules_computed = r.schedules_computed;
+}
 
 }  // namespace lamps::core

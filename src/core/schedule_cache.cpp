@@ -3,20 +3,43 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace lamps::core {
+
+namespace {
+
+// Cache traffic of the configuration searches (docs/observability.md).
+obs::Counter& c_schedule_hit = obs::counter("schedule_cache.schedule_hit");
+obs::Counter& c_schedule_miss = obs::counter("schedule_cache.schedule_miss");
+obs::Counter& c_profile_hit = obs::counter("schedule_cache.profile_hit");
+obs::Counter& c_profile_miss = obs::counter("schedule_cache.profile_miss");
+obs::Counter& c_profile_from_schedule = obs::counter("schedule_cache.profile_from_schedule");
+
+}  // namespace
 
 const sched::Schedule& ScheduleCache::at(std::size_t n) {
   const std::size_t key = clamp(n);
-  if (const auto it = by_n_.find(key); it != by_n_.end()) return it->second;
+  if (const auto it = by_n_.find(key); it != by_n_.end()) {
+    c_schedule_hit.inc();
+    return it->second;
+  }
+  c_schedule_miss.inc();
   ++computed_;
   return by_n_.emplace(key, sched::list_schedule(*g_, key, keys_, *ws_)).first->second;
 }
 
 const energy::GapProfile& ScheduleCache::profile_at(std::size_t n) {
   const std::size_t key = clamp(n);
-  if (const auto it = profile_by_n_.find(key); it != profile_by_n_.end()) return it->second;
-  if (const auto it = by_n_.find(key); it != by_n_.end())
+  if (const auto it = profile_by_n_.find(key); it != profile_by_n_.end()) {
+    c_profile_hit.inc();
+    return it->second;
+  }
+  if (const auto it = by_n_.find(key); it != by_n_.end()) {
+    c_profile_from_schedule.inc();
     return profile_by_n_.emplace(key, energy::GapProfile(it->second)).first->second;
+  }
+  c_profile_miss.inc();
   ++computed_;
   return profile_by_n_
       .emplace(key, energy::GapProfile(sched::list_schedule_gaps(*g_, key, keys_, *ws_)))

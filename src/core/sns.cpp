@@ -7,11 +7,18 @@
 #include "core/schedule_cache.hpp"
 #include "core/stretch.hpp"
 #include "graph/analysis.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/list_scheduler.hpp"
 
 namespace lamps::core {
 
 namespace {
+
+// Graham-bound probe short-circuits (shared names with core/lamps.cpp —
+// the registry aggregates the searches' decisions in one place).
+obs::Counter& c_graham_upper = obs::counter("search.graham_shortcircuit_upper");
+obs::Counter& c_graham_lower = obs::counter("search.graham_shortcircuit_lower");
 
 StrategyResult stretch_result(const Problem& prob, sched::Schedule schedule,
                               std::size_t num_procs, std::size_t schedules_computed,
@@ -21,12 +28,17 @@ StrategyResult stretch_result(const Problem& prob, sched::Schedule schedule,
   r.schedules_computed = schedules_computed;
 
   const ConfigEval ev = evaluate_schedule_config(schedule, prob, with_ps);
-  if (!ev.feasible) return r;  // infeasible even at f_max
-  r.feasible = true;
-  r.level_index = ev.level_index;
-  r.breakdown = ev.breakdown;
-  r.completion = ev.completion;
-  r.schedule = std::move(schedule);
+  if (ev.feasible) {
+    r.feasible = true;
+    r.level_index = ev.level_index;
+    r.breakdown = ev.breakdown;
+    r.completion = ev.completion;
+    r.schedule = std::move(schedule);
+  }
+  if (prob.telemetry != nullptr) {
+    prob.telemetry->strategy = with_ps ? "S&S+PS" : "S&S";
+    fill_telemetry_summary(*prob.telemetry, r);
+  }
   return r;
 }
 
@@ -46,7 +58,8 @@ struct SpeedupSearch {
 /// when the lower bound already exceeds ms_min the probe cannot reach it,
 /// and when the upper bound is within ms_min it certainly does — either
 /// way the schedule need not be computed.
-SpeedupSearch speedup_search(ScheduleCache& cache) {
+SpeedupSearch speedup_search(ScheduleCache& cache, obs::SearchTelemetry* tel) {
+  obs::Span span("sns/speedup_search");
   const graph::TaskGraph& g = cache.graph();
   const std::size_t width = cache.width();
   const std::size_t before = cache.computed();
@@ -59,16 +72,38 @@ SpeedupSearch speedup_search(ScheduleCache& cache) {
   // length exactly — no schedule needs to be computed to know the target.
   const Cycles ms_min = cpl;
 
+  const auto record = [&](std::size_t n, const char* action, std::int64_t makespan,
+                          bool reaches) {
+    if (tel == nullptr) return;
+    obs::SearchProbe p;
+    p.num_procs = n;
+    p.phase = "speedup";
+    p.action = action;
+    p.makespan = makespan;
+    p.feasible = reaches ? 1 : 0;
+    tel->probes.push_back(p);
+  };
   const auto reaches_ms_min = [&](std::size_t n) {
     const auto nc = static_cast<Cycles>(n);
     Cycles lower = cpl;
     if (total_work <= kMax - nc) lower = std::max(lower, (total_work + nc - 1) / nc);
-    if (lower > ms_min) return false;
+    if (lower > ms_min) {
+      c_graham_lower.inc();
+      record(n, "graham-lower", -1, false);
+      return false;
+    }
     if (nc == 1 || cpl <= (kMax - total_work) / (nc - 1)) {
       const Cycles upper = (total_work + (nc - 1) * cpl + (nc - 1)) / nc;
-      if (upper <= ms_min) return true;
+      if (upper <= ms_min) {
+        c_graham_upper.inc();
+        record(n, "graham-upper", -1, true);
+        return true;
+      }
     }
-    return cache.makespan_at(n) <= ms_min;
+    const Cycles ms = cache.makespan_at(n);
+    const bool reaches = ms <= ms_min;
+    record(n, "profile-probe", static_cast<std::int64_t>(ms), reaches);
+    return reaches;
   };
 
   std::size_t lo = 1, hi = width;
@@ -94,14 +129,26 @@ MaxSpeedupSchedule schedule_max_speedup(const Problem& prob) {
   const graph::TaskGraph& g = *prob.graph;
   const auto keys = problem_priority_keys(prob);
   ScheduleCache cache(g, keys, concurrency_width(g));
-  const SpeedupSearch s = speedup_search(cache);
+  const SpeedupSearch s = speedup_search(cache, prob.telemetry);
   // The Graham-bound short-circuit may have decided the winning probe
   // without scheduling it; materialize the winner before taking it.
-  cache.at(s.num_procs);
+  const sched::Schedule& winner = cache.at(s.num_procs);
+  if (prob.telemetry != nullptr) {
+    obs::SearchProbe p;
+    p.num_procs = s.num_procs;
+    p.phase = "speedup";
+    p.action = "materialize";
+    p.makespan = static_cast<std::int64_t>(winner.makespan());
+    p.feasible = 1;
+    p.chosen = true;
+    prob.telemetry->probes.push_back(p);
+  }
   return MaxSpeedupSchedule{s.num_procs, cache.take(s.num_procs), cache.computed()};
 }
 
-std::size_t max_speedup_procs(ScheduleCache& cache) { return speedup_search(cache).num_procs; }
+std::size_t max_speedup_procs(ScheduleCache& cache, obs::SearchTelemetry* telemetry) {
+  return speedup_search(cache, telemetry).num_procs;
+}
 
 StrategyResult schedule_and_stretch(const Problem& prob) {
   MaxSpeedupSchedule ms = schedule_max_speedup(prob);

@@ -31,7 +31,9 @@ struct MaxSpeedupSchedule {
 /// processor count (LAMPS needs nothing else — its phase 2 re-reads the
 /// cached probe schedules directly).  The cache's width clamp must be the
 /// graph's ASAP concurrency width (it is what pins the minimal makespan).
-[[nodiscard]] std::size_t max_speedup_procs(ScheduleCache& cache);
+/// When `telemetry` is non-null every probe is recorded (phase "speedup").
+[[nodiscard]] std::size_t max_speedup_procs(ScheduleCache& cache,
+                                            obs::SearchTelemetry* telemetry = nullptr);
 
 /// Schedule & Stretch.  Infeasible results carry feasible = false and no
 /// schedule.

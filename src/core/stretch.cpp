@@ -4,8 +4,17 @@
 #include <vector>
 
 #include "energy/gap_profile.hpp"
+#include "obs/metrics.hpp"
 
 namespace lamps::core {
+
+namespace {
+
+// +PS level-sweep effort (docs/observability.md).
+obs::Counter& c_levels_evaluated = obs::counter("energy.levels_evaluated");
+obs::Counter& c_level_early_exit = obs::counter("energy.level_sweep_early_exit");
+
+}  // namespace
 
 Hertz min_feasible_frequency(const sched::Schedule& s, const graph::TaskGraph& g,
                              Seconds global_deadline) {
@@ -89,11 +98,14 @@ LevelChoice sweep_levels_ps(const energy::GapProfile& prof, const power::DvsLeve
   }
 
   for (std::size_t i = lo.index; i < size; ++i) {
-    if (best.level != nullptr && suffix_lb[i - lo.index] >= best.breakdown.total().value())
+    if (best.level != nullptr && suffix_lb[i - lo.index] >= best.breakdown.total().value()) {
+      c_level_early_exit.inc();
       break;
+    }
     const power::DvsLevel& lvl = prob.ladder->level(i);
     const energy::EnergyBreakdown e = prof.evaluate(lvl, prob.deadline, sleep, ps);
     ++best.levels_evaluated;
+    c_levels_evaluated.inc();
     if (best.level == nullptr || e.total() < best.breakdown.total()) {
       best.level = &lvl;
       best.breakdown = e;

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace lamps::energy {
 
 namespace {
+
+// Gap-profile traffic: builds (either constructor) and energy evaluations
+// (docs/observability.md).
+obs::Counter& c_profile_builds = obs::counter("energy.gap_profile_builds");
+obs::Counter& c_profile_evals = obs::counter("energy.gap_profile_evaluations");
 
 /// Sorts the internal gaps ascending and builds their exact prefix sums —
 /// the shape both constructors leave every processor row in.
@@ -19,6 +26,7 @@ void finalize_proc(std::vector<Cycles>& gaps, std::vector<Cycles>& prefix) {
 }  // namespace
 
 GapProfile::GapProfile(const sched::Schedule& s) : makespan_(s.makespan()) {
+  c_profile_builds.inc();
   procs_.resize(s.num_procs());
   for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
     ProcProfile& pp = procs_[p];
@@ -41,6 +49,7 @@ GapProfile::GapProfile(const sched::Schedule& s) : makespan_(s.makespan()) {
 }
 
 GapProfile::GapProfile(sched::GapRun&& run) : makespan_(run.makespan) {
+  c_profile_builds.inc();
   procs_.resize(run.procs.size());
   for (std::size_t p = 0; p < procs_.size(); ++p) {
     ProcProfile& pp = procs_[p];
@@ -62,6 +71,7 @@ EnergyBreakdown GapProfile::evaluate(const power::DvsLevel& lvl, Seconds horizon
   // Same fit tolerance as evaluate_energy.
   if (span.value() > horizon.value() * (1.0 + 1e-12) + 1e-15)
     throw std::invalid_argument("GapProfile::evaluate: schedule does not fit in horizon");
+  c_profile_evals.inc();
 
   EnergyBreakdown e{};
   for (const ProcProfile& pp : procs_)

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "graph/transform.hpp"
+#include "obs/trace.hpp"
 #include "stg/suite.hpp"
 #include "util/csv.hpp"
 #include "util/stopwatch.hpp"
@@ -82,22 +83,36 @@ void write_aggregate_csv(const std::vector<core::GroupRelative>& agg,
             g.num_graphs, g.num_skipped);
 }
 
-/// Phase wall-clocks plus per-strategy scheduling totals (summed over the
-/// pass's instances; CPU seconds, so the sum can exceed the sweep's wall
-/// clock when run on multiple threads).
+/// Reads all three stopwatch clocks at the end of a phase.
+PhaseClock read_clocks(const Stopwatch& watch) {
+  PhaseClock c;
+  c.wall_seconds = watch.elapsed_seconds();
+  c.cpu_process_seconds = watch.elapsed_cpu_process_seconds();
+  c.cpu_thread_seconds = watch.elapsed_cpu_thread_seconds();
+  return c;
+}
+
+/// Phase clocks (wall, process-CPU, coordinating-thread-CPU) plus
+/// per-strategy scheduling totals (summed over the pass's instances; CPU
+/// seconds, so the sum can exceed the sweep's wall clock when run on
+/// multiple threads — strategy rows leave the CPU columns blank).
 void write_timing_csv(const std::vector<core::InstanceResult>& results,
                       const PhaseTiming& timing, const std::string& path,
                       const std::string& tag) {
   std::ofstream os = open_csv(path);
   CsvWriter csv(os);
-  csv.row("granularity", "kind", "name", "seconds");
-  csv.row(tag, "phase", "suite", timing.suite_seconds);
-  csv.row(tag, "phase", "sweep", timing.sweep_seconds);
-  csv.row(tag, "phase", "aggregate", timing.aggregate_seconds);
-  csv.row(tag, "phase", "write", timing.write_seconds);
+  csv.row("granularity", "kind", "name", "wall_seconds", "cpu_process_seconds",
+          "cpu_thread_seconds");
+  const auto phase_row = [&](const char* name, const PhaseClock& c) {
+    csv.row(tag, "phase", name, c.wall_seconds, c.cpu_process_seconds, c.cpu_thread_seconds);
+  };
+  phase_row("suite", timing.suite);
+  phase_row("sweep", timing.sweep);
+  phase_row("aggregate", timing.aggregate);
+  phase_row("write", timing.write);
   std::map<core::StrategyKind, double> per_strategy;
   for (const auto& r : results) per_strategy[r.strategy] += r.seconds;
-  for (const auto& [k, s] : per_strategy) csv.row(tag, "strategy", core::to_string(k), s);
+  for (const auto& [k, s] : per_strategy) csv.row(tag, "strategy", core::to_string(k), s, "", "");
 }
 
 }  // namespace
@@ -113,30 +128,41 @@ ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os) {
     timing.tag = tag;
     Stopwatch watch;
     std::vector<core::SuiteEntry> entries;
-    for (const std::size_t size : spec.sizes)
-      for (auto& g : stg::make_random_group(size, spec.graphs_per_group, spec.seed))
-        entries.push_back(
-            core::SuiteEntry{std::to_string(size), graph::scale_weights(g, unit)});
-    if (spec.include_apps)
-      for (auto& g : stg::application_graphs()) {
-        const std::string group = g.name();
-        entries.push_back(core::SuiteEntry{group, graph::scale_weights(g, unit)});
-      }
-
-    timing.suite_seconds = watch.elapsed_seconds();
+    {
+      obs::Span span("exp/suite");
+      for (const std::size_t size : spec.sizes)
+        for (auto& g : stg::make_random_group(size, spec.graphs_per_group, spec.seed))
+          entries.push_back(
+              core::SuiteEntry{std::to_string(size), graph::scale_weights(g, unit)});
+      if (spec.include_apps)
+        for (auto& g : stg::application_graphs()) {
+          const std::string group = g.name();
+          entries.push_back(core::SuiteEntry{group, graph::scale_weights(g, unit)});
+        }
+    }
+    timing.suite = read_clocks(watch);
 
     core::SweepConfig cfg;
     cfg.deadline_factors = spec.deadline_factors;
     cfg.strategies = spec.strategies;
     cfg.threads = spec.threads;
     watch.reset();
-    const auto results = core::run_sweep(entries, model, ladder, cfg);
-    timing.sweep_seconds = watch.elapsed_seconds();
+    std::vector<core::InstanceResult> results;
+    {
+      obs::Span span("exp/sweep");
+      results = core::run_sweep(entries, model, ladder, cfg);
+    }
+    timing.sweep = read_clocks(watch);
     watch.reset();
-    const auto agg = core::aggregate_relative(results);
-    timing.aggregate_seconds = watch.elapsed_seconds();
+    std::vector<core::GroupRelative> agg;
+    {
+      obs::Span span("exp/aggregate");
+      agg = core::aggregate_relative(results);
+    }
+    timing.aggregate = read_clocks(watch);
 
     watch.reset();
+    obs::Span write_span("exp/write");
     os << "== " << tag << " grain: " << entries.size() << " graphs x "
        << spec.deadline_factors.size() << " deadlines x " << spec.strategies.size()
        << " strategies ==\n";
@@ -156,12 +182,13 @@ ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os) {
       out.csv_files_written.push_back(agg_path);
       os << "wrote " << inst_path << " and " << agg_path << "\n";
     }
-    timing.write_seconds = watch.elapsed_seconds();
+    timing.write = read_clocks(watch);
 
-    os << "timing: suite " << fmt_fixed(timing.suite_seconds, 3) << " s, sweep "
-       << fmt_fixed(timing.sweep_seconds, 3) << " s, aggregate "
-       << fmt_fixed(timing.aggregate_seconds, 3) << " s, write "
-       << fmt_fixed(timing.write_seconds, 3) << " s\n";
+    os << "timing: suite " << fmt_fixed(timing.suite.wall_seconds, 3) << " s, sweep "
+       << fmt_fixed(timing.sweep.wall_seconds, 3) << " s (cpu "
+       << fmt_fixed(timing.sweep.cpu_process_seconds, 3) << " s), aggregate "
+       << fmt_fixed(timing.aggregate.wall_seconds, 3) << " s, write "
+       << fmt_fixed(timing.write.wall_seconds, 3) << " s\n";
     if (!spec.csv_prefix.empty()) {
       const std::string timing_path = spec.csv_prefix + "_" + tag + "_timing.csv";
       write_timing_csv(results, timing, timing_path, tag);

@@ -52,13 +52,22 @@ struct ExperimentSpec {
 /// core::to_string).  Throws on unknown names.
 [[nodiscard]] core::StrategyKind strategy_from_name(const std::string& name);
 
-/// Wall-clock cost of one granularity pass, by pipeline phase.
+/// One phase's cost on all three clocks.  Process CPU exceeding wall clock
+/// means the phase ran in parallel; thread CPU well below wall clock means
+/// the coordinating thread mostly waited (I/O or pool workers).
+struct PhaseClock {
+  double wall_seconds{0.0};
+  double cpu_process_seconds{0.0};  ///< all threads of the process
+  double cpu_thread_seconds{0.0};   ///< the coordinating thread alone
+};
+
+/// Cost of one granularity pass, by pipeline phase.
 struct PhaseTiming {
-  std::string tag;            ///< granularity tag ("coarse"/"fine")
-  double suite_seconds{0.0};  ///< graph generation + weight scaling
-  double sweep_seconds{0.0};  ///< run_sweep (wall clock, all threads)
-  double aggregate_seconds{0.0};
-  double write_seconds{0.0};  ///< report + CSV emission
+  std::string tag;    ///< granularity tag ("coarse"/"fine")
+  PhaseClock suite;   ///< graph generation + weight scaling
+  PhaseClock sweep;   ///< run_sweep (all threads)
+  PhaseClock aggregate;
+  PhaseClock write;   ///< report + CSV emission
 };
 
 struct ExperimentOutput {

@@ -1,0 +1,210 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lamps::obs {
+
+namespace {
+
+/// Shortest round-trip decimal for a double (valid JSON: no inf/nan —
+/// callers encode those separately).
+std::string fmt_double(double v) {
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << v;
+  return ss.str();
+}
+
+void write_json_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+std::size_t Histogram::bucket_index(double v) const noexcept {
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+}
+
+void Histogram::observe(double v) noexcept {
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::upper_bound(std::size_t i) const noexcept {
+  return i < bounds_.size() ? bounds_[i] : std::numeric_limits<double>::infinity();
+}
+
+double Histogram::quantile_upper_bound(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(n)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < num_buckets(); ++i) {
+    cum += bucket_count(i);
+    if (cum >= target) return upper_bound(i);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t n) {
+  if (start <= 0.0 || factor <= 1.0)
+    throw std::invalid_argument("Histogram::exponential_bounds: need start > 0, factor > 1");
+  std::vector<double> out;
+  out.reserve(n);
+  double b = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  // Leaked for the same reason as the trace registry: worker threads may
+  // touch metrics during static destruction.
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> upper_bounds) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+void Registry::reset_values() {
+  std::scoped_lock lock(mutex_);
+  for (auto& kv : counters_) kv.second->reset();
+  for (auto& kv : gauges_) kv.second->reset();
+  for (auto& kv : histograms_) kv.second->reset();
+}
+
+void Registry::write_json(std::ostream& os) const {
+  std::scoped_lock lock(mutex_);
+  os << "{\n  \"counters\": {";
+  const char* sep = "";
+  for (const auto& [name, c] : counters_) {
+    os << sep << "\n    \"";
+    write_json_escaped(os, name);
+    os << "\": " << c->value();
+    sep = ",";
+  }
+  os << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  sep = "";
+  for (const auto& [name, g] : gauges_) {
+    os << sep << "\n    \"";
+    write_json_escaped(os, name);
+    os << "\": {\"value\": " << g->value() << ", \"max\": " << g->max_value() << '}';
+    sep = ",";
+  }
+  os << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  sep = "";
+  for (const auto& [name, h] : histograms_) {
+    os << sep << "\n    \"";
+    write_json_escaped(os, name);
+    os << "\": {\"count\": " << h->count() << ", \"sum\": " << fmt_double(h->sum())
+       << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      if (i != 0) os << ", ";
+      os << "{\"le\": ";
+      if (i + 1 == h->num_buckets())
+        os << "\"inf\"";
+      else
+        os << fmt_double(h->upper_bound(i));
+      os << ", \"count\": " << h->bucket_count(i) << '}';
+    }
+    os << "]}";
+    sep = ",";
+  }
+  os << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+void Registry::write_csv(std::ostream& os) const {
+  std::scoped_lock lock(mutex_);
+  os << "kind,name,field,value\n";
+  for (const auto& [name, c] : counters_)
+    os << "counter," << name << ",value," << c->value() << '\n';
+  for (const auto& [name, g] : gauges_) {
+    os << "gauge," << name << ",value," << g->value() << '\n';
+    os << "gauge," << name << ",max," << g->max_value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "histogram," << name << ",count," << h->count() << '\n';
+    os << "histogram," << name << ",sum," << fmt_double(h->sum()) << '\n';
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      os << "histogram," << name << ",le_";
+      if (i + 1 == h->num_buckets())
+        os << "inf";
+      else
+        os << fmt_double(h->upper_bound(i));
+      os << ',' << h->bucket_count(i) << '\n';
+    }
+  }
+}
+
+Counter& counter(const std::string& name) { return Registry::global().counter(name); }
+Gauge& gauge(const std::string& name) { return Registry::global().gauge(name); }
+Histogram& histogram(const std::string& name, std::vector<double> upper_bounds) {
+  return Registry::global().histogram(name, std::move(upper_bounds));
+}
+
+bool write_metrics_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+    Registry::global().write_csv(os);
+  else
+    Registry::global().write_json(os);
+  return os.good();
+}
+
+}  // namespace lamps::obs

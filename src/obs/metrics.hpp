@@ -1,0 +1,157 @@
+// Named counters, gauges and histograms for the scheduling pipeline.
+//
+// All metric mutations are lock-free relaxed atomics: observation-only,
+// cheap enough to stay on in the configuration-search hot paths, and safe
+// to call from any thread (including thread-pool workers).  Call sites
+// resolve their metric once and keep the reference:
+//
+//   static obs::Counter& hits = obs::counter("schedule_cache.schedule_hit");
+//   hits.inc();
+//
+// Export is JSON or CSV via the global Registry; the metric catalog lives
+// in docs/observability.md.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lamps::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, active workers) with a high-water
+/// mark, since the instantaneous value is usually back to zero by the time
+/// the registry is exported.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    raise_max(v);
+  }
+  void add(std::int64_t d) noexcept {
+    const std::int64_t v = value_.fetch_add(d, std::memory_order_relaxed) + d;
+    raise_max(v);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max_value() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_max(std::int64_t v) noexcept {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bucket histogram: `upper_bounds` are the ascending inclusive
+/// bucket tops, plus one implicit overflow bucket (+inf).  observe() is a
+/// binary search and two relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  /// Index of the bucket `v` falls into: the first i with
+  /// v <= upper_bounds[i], else the overflow bucket.
+  [[nodiscard]] std::size_t bucket_index(double v) const noexcept;
+
+  [[nodiscard]] std::size_t num_buckets() const noexcept { return bounds_.size() + 1; }
+  /// Inclusive top of bucket i (+inf for the overflow bucket).
+  [[nodiscard]] double upper_bound(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  /// Upper-bound estimate of the q-quantile (0 < q <= 1): the inclusive
+  /// top of the first bucket whose cumulative count reaches ceil(q * n).
+  /// +inf when it lands in the overflow bucket; NaN-free, 0 when empty.
+  [[nodiscard]] double quantile_upper_bound(double q) const noexcept;
+
+  void reset() noexcept;
+
+  /// n bounds: start, start*factor, start*factor^2, ...
+  [[nodiscard]] static std::vector<double> exponential_bounds(double start, double factor,
+                                                              std::size_t n);
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> metric map with stable references (metrics are never removed;
+/// lookup locks, the returned reference never does).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` is consulted only when `name` is first created.
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+  /// Current value of a counter, 0 if it was never registered.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  /// Zeroes every metric (registrations are kept).
+  void reset_values();
+
+  void write_json(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthands over Registry::global().
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
+
+/// Writes the global registry to `path`: CSV when the path ends in ".csv",
+/// JSON otherwise.  Returns false if the file cannot be written.
+[[nodiscard]] bool write_metrics_file(const std::string& path);
+
+}  // namespace lamps::obs

@@ -1,0 +1,71 @@
+#include "obs/telemetry.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace lamps::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << v;
+  return ss.str();
+}
+
+void write_json_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void SearchTelemetry::write_json(std::ostream& os) const {
+  os << "{\"strategy\": \"";
+  write_json_escaped(os, strategy);
+  os << "\",\n \"feasible\": " << (feasible ? "true" : "false")
+     << ", \"chosen_procs\": " << chosen_procs << ", \"chosen_level\": " << chosen_level
+     << ",\n \"energy_j\": {\"total\": " << fmt_double(energy_total_j)
+     << ", \"dynamic\": " << fmt_double(energy_dynamic_j)
+     << ", \"leakage\": " << fmt_double(energy_leakage_j)
+     << ", \"intrinsic\": " << fmt_double(energy_intrinsic_j)
+     << ", \"sleep\": " << fmt_double(energy_sleep_j)
+     << ", \"wakeup\": " << fmt_double(energy_wakeup_j) << "}"
+     << ",\n \"shutdowns\": " << shutdowns
+     << ", \"schedules_computed\": " << schedules_computed << ",\n \"probes\": [";
+  const char* sep = "\n";
+  for (const SearchProbe& p : probes) {
+    os << sep << "  {\"procs\": " << p.num_procs << ", \"phase\": \"" << p.phase
+       << "\", \"action\": \"" << p.action << "\", \"makespan\": " << p.makespan
+       << ", \"feasible\": " << p.feasible << ", \"level\": " << p.level_index
+       << ", \"energy_j\": " << fmt_double(p.energy_j)
+       << ", \"chosen\": " << (p.chosen ? "true" : "false") << '}';
+    sep = ",\n";
+  }
+  os << "\n ]}";
+}
+
+void write_telemetry_json(std::ostream& os, const std::vector<SearchTelemetry>& records) {
+  os << '[';
+  const char* sep = "\n";
+  for (const SearchTelemetry& r : records) {
+    os << sep;
+    r.write_json(os);
+    sep = ",\n";
+  }
+  os << "\n]\n";
+}
+
+bool write_telemetry_file(const std::string& path,
+                          const std::vector<SearchTelemetry>& records) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_telemetry_json(os, records);
+  return os.good();
+}
+
+}  // namespace lamps::obs

@@ -1,0 +1,165 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace lamps::obs {
+
+namespace {
+
+struct SpanEvent {
+  const char* name;
+  std::int64_t start_ns;
+  std::int64_t dur_ns;
+};
+
+/// One per recording thread.  shared_ptr-owned by both the thread_local
+/// handle and the registry, so spans survive their thread's exit (thread
+/// pool workers die before the CLI exports the trace).
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<SpanEvent> events;
+  std::uint32_t tid{0};
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid{1};
+};
+
+TraceRegistry& registry() {
+  // Intentionally leaked: detached/pool threads may record past the end of
+  // static destruction.
+  static TraceRegistry* r = new TraceRegistry;
+  return *r;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceRegistry& r = registry();
+    std::scoped_lock lock(r.mutex);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void write_json_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+}
+
+/// Nanosecond count as a microsecond decimal ("1234.567") — fixed
+/// formatting, independent of the stream's float state.
+void write_us(std::ostream& os, std::int64_t ns) {
+  os << ns / 1000 << '.' << std::setw(3) << std::setfill('0') << ns % 1000
+     << std::setfill(' ');
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+std::int64_t trace_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns) {
+  ThreadBuffer& buf = thread_buffer();
+  std::scoped_lock lock(buf.mutex);
+  buf.events.push_back(SpanEvent{name, start_ns, end_ns - start_ns});
+}
+
+}  // namespace detail
+
+void set_tracing_enabled(bool enabled) {
+  if (enabled) (void)trace_epoch();  // pin the epoch before the first span
+  detail::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void clear_trace() {
+  TraceRegistry& r = registry();
+  std::scoped_lock lock(r.mutex);
+  for (const auto& b : r.buffers) {
+    std::scoped_lock block(b->mutex);
+    b->events.clear();
+  }
+}
+
+std::size_t trace_span_count() {
+  TraceRegistry& r = registry();
+  std::scoped_lock lock(r.mutex);
+  std::size_t n = 0;
+  for (const auto& b : r.buffers) {
+    std::scoped_lock block(b->mutex);
+    n += b->events.size();
+  }
+  return n;
+}
+
+void write_chrome_trace(std::ostream& os) {
+  struct Row {
+    std::uint32_t tid;
+    SpanEvent ev;
+  };
+  std::vector<Row> rows;
+  {
+    TraceRegistry& r = registry();
+    std::scoped_lock lock(r.mutex);
+    for (const auto& b : r.buffers) {
+      std::scoped_lock block(b->mutex);
+      for (const SpanEvent& ev : b->events) rows.push_back(Row{b->tid, ev});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.ev.start_ns != b.ev.start_ns) return a.ev.start_ns < b.ev.start_ns;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ev.dur_ns != b.ev.dur_ns) return a.ev.dur_ns > b.ev.dur_ns;  // outer first
+    return std::strcmp(a.ev.name, b.ev.name) < 0;
+  });
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  const char* sep = "\n";
+  for (const Row& row : rows) {
+    os << sep << "{\"name\":\"";
+    write_json_escaped(os, row.ev.name);
+    os << "\",\"cat\":\"lamps\",\"ph\":\"X\",\"pid\":1,\"tid\":" << row.tid << ",\"ts\":";
+    write_us(os, row.ev.start_ns);
+    os << ",\"dur\":";
+    write_us(os, row.ev.dur_ns);
+    os << '}';
+    sep = ",\n";
+  }
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return os.good();
+}
+
+}  // namespace lamps::obs

@@ -1,0 +1,89 @@
+// Scoped-span tracing with Chrome trace-event JSON export.
+//
+// Design goals, in order:
+//   1. observation-only — spans carry no data into the algorithms, so
+//      recording them can never change a scheduling result;
+//   2. near-zero cost when disabled at runtime — constructing a Span is
+//      one relaxed atomic load and a branch: no clock read, no allocation,
+//      no lock;
+//   3. thread-safe without cross-thread contention — each thread appends
+//      completed spans to its own buffer (registered once, kept alive
+//      past thread exit); the exporter takes a buffer's mutex only while
+//      copying it out.
+//
+// Span names must be string literals (or otherwise outlive the trace):
+// the buffer stores the pointer, not a copy, so the enabled-path cost is
+// two steady_clock reads plus one vector push_back.
+//
+// The exported JSON is the Chrome trace-event format ("X" complete
+// events); open it in chrome://tracing or https://ui.perfetto.dev.
+// Naming convention: "module/what" (e.g. "lamps/phase2", "exp/sweep");
+// see docs/observability.md for the catalog.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace lamps::obs {
+
+namespace detail {
+
+extern std::atomic<bool> g_tracing_enabled;
+
+/// Nanoseconds since the process-wide trace epoch (steady clock).
+[[nodiscard]] std::int64_t trace_now_ns();
+
+/// Appends one completed span to the calling thread's buffer.
+void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns);
+
+}  // namespace detail
+
+[[nodiscard]] inline bool tracing_enabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns span recording on or off process-wide.  A span opened while
+/// enabled is still recorded at close if tracing was disabled in between
+/// (so disabling just before export never loses the enclosing spans).
+void set_tracing_enabled(bool enabled);
+
+/// Discards every recorded span (thread buffers stay registered).
+void clear_trace();
+
+/// Number of spans recorded so far, across all threads.
+[[nodiscard]] std::size_t trace_span_count();
+
+/// Writes the Chrome trace-event JSON: "X" complete events with
+/// microsecond timestamps relative to the trace epoch, one tid per
+/// recording thread, sorted by start time (enclosing spans first).
+void write_chrome_trace(std::ostream& os);
+
+/// write_chrome_trace to `path`; returns false if the file cannot be
+/// opened or written.
+[[nodiscard]] bool write_chrome_trace_file(const std::string& path);
+
+/// RAII span covering [construction, destruction) on the calling thread.
+/// `name` must be a string literal (stored by pointer, see file header).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (tracing_enabled()) {
+      name_ = name;
+      start_ns_ = detail::trace_now_ns();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) detail::record_span(name_, start_ns_, detail::trace_now_ns());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_{nullptr};
+  std::int64_t start_ns_{0};
+};
+
+}  // namespace lamps::obs

@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace lamps::robust {
+
+namespace {
+
+// Monte-Carlo replay volume (docs/observability.md).
+obs::Counter& c_mc_replays = obs::counter("robust.mc_replays");
+
+}  // namespace
 
 RobustnessStats aggregate(std::span<const TrialOutcome> trials) {
   RobustnessStats stats;
@@ -39,10 +49,12 @@ std::vector<TrialOutcome> run_trials(ThreadPool& pool, const sched::Schedule& pl
                                      Seconds deadline, const power::SleepModel& sleep,
                                      const energy::PsOptions& ps, const McConfig& cfg) {
   cfg.perturb.validate();
+  obs::Span span("robust/mc_trials");
   // Pre-sized, written by trial index: the result never depends on which
   // worker ran which trial.
   std::vector<TrialOutcome> out(cfg.trials);
   parallel_for_index(pool, cfg.trials, [&](std::size_t t) {
+    c_mc_replays.inc();
     const Rng trial_rng = child_rng(cfg.seed, t);
     const PerturbSample sample = draw_sample(cfg.perturb, g, plan.num_procs(), trial_rng);
     const ReplayResult r =

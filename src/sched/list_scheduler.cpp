@@ -7,9 +7,18 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace lamps::sched {
 
 namespace {
+
+// Scheduler run mix: full placements vs makespan-only vs gap-only runs
+// (docs/observability.md).
+obs::Counter& c_runs_full = obs::counter("scheduler.runs_full");
+obs::Counter& c_runs_makespan = obs::counter("scheduler.runs_makespan");
+obs::Counter& c_runs_gaps = obs::counter("scheduler.runs_gaps");
 
 struct ReadyEntry {
   std::int64_t key;
@@ -175,6 +184,8 @@ Schedule list_schedule(const graph::TaskGraph& g, std::size_t num_procs,
                        std::span<const std::int64_t> priority_keys,
                        ListScheduleWorkspace& ws) {
   check_list_schedule_args(g, num_procs, priority_keys);
+  obs::Span span("sched/list_schedule");
+  c_runs_full.inc();
   ws.prepare(g, priority_keys);
   Schedule schedule(num_procs, g.num_tasks());
   ListScheduleWorkspace::run_event_loop(g, num_procs, ws,
@@ -188,6 +199,7 @@ Cycles list_schedule_makespan(const graph::TaskGraph& g, std::size_t num_procs,
                               std::span<const std::int64_t> priority_keys,
                               ListScheduleWorkspace& ws) {
   check_list_schedule_args(g, num_procs, priority_keys);
+  c_runs_makespan.inc();
   ws.prepare(g, priority_keys);
   return ListScheduleWorkspace::run_event_loop(g, num_procs, ws, [](graph::TaskId, ProcId, Cycles, Cycles) {});
 }
@@ -196,6 +208,7 @@ GapRun list_schedule_gaps(const graph::TaskGraph& g, std::size_t num_procs,
                           std::span<const std::int64_t> priority_keys,
                           ListScheduleWorkspace& ws) {
   check_list_schedule_args(g, num_procs, priority_keys);
+  c_runs_gaps.inc();
   ws.prepare(g, priority_keys);
   GapRun run;
   run.procs.resize(num_procs);

@@ -1,0 +1,72 @@
+#include "util/obs_cli.hpp"
+
+#include <iostream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace lamps {
+
+void ObsOptions::register_flags(CliParser& cli) {
+  cli.add_option("trace-out", "write a Chrome trace-event JSON (chrome://tracing, Perfetto)",
+                 &trace_out);
+  cli.add_option("metrics-out", "write the metrics registry (.csv = CSV, else JSON)",
+                 &metrics_out);
+  cli.add_option("log-level", "stderr log level: debug|info|warn|error", &log_level);
+}
+
+void ObsOptions::apply() const {
+  if (!log_level.empty()) {
+    if (log_level == "debug")
+      set_log_level(LogLevel::kDebug);
+    else if (log_level == "info")
+      set_log_level(LogLevel::kInfo);
+    else if (log_level == "warn")
+      set_log_level(LogLevel::kWarn);
+    else if (log_level == "error")
+      set_log_level(LogLevel::kError);
+    else
+      throw std::invalid_argument("unknown --log-level: " + log_level +
+                                  " (debug|info|warn|error)");
+  }
+  if (!trace_out.empty()) obs::set_tracing_enabled(true);
+}
+
+bool ObsOptions::finish(std::ostream& diag) const {
+  bool ok = true;
+  if (!trace_out.empty()) {
+    obs::set_tracing_enabled(false);
+    if (obs::write_chrome_trace_file(trace_out)) {
+      diag << "wrote trace " << trace_out << " (" << obs::trace_span_count()
+           << " spans)\n";
+    } else {
+      diag << "cannot write trace " << trace_out << '\n';
+      ok = false;
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (obs::write_metrics_file(metrics_out)) {
+      diag << "wrote metrics " << metrics_out << '\n';
+    } else {
+      diag << "cannot write metrics " << metrics_out << '\n';
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+int run_observed(const ObsOptions& opts, const char* span_name,
+                 const std::function<int()>& body) {
+  opts.apply();
+  int rc = 0;
+  {
+    obs::Span root(span_name);
+    rc = body();
+  }
+  if (!opts.finish(std::cerr) && rc == 0) rc = 1;
+  return rc;
+}
+
+}  // namespace lamps

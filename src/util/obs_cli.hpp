@@ -1,0 +1,40 @@
+// Shared --trace-out / --metrics-out / --log-level plumbing for the CLI
+// front ends (tools/lamps_cli.cpp, tools/lamps_exp.cpp): one struct to
+// register the flags, apply them, wrap the command body in a root span,
+// and write the requested files once the body — and its root span — have
+// finished.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "util/cli.hpp"
+
+namespace lamps {
+
+struct ObsOptions {
+  std::string trace_out;    ///< Chrome trace-event JSON path ("" = tracing stays off)
+  std::string metrics_out;  ///< metrics registry export (.csv → CSV, else JSON)
+  std::string log_level;    ///< debug | info | warn | error ("" = leave default)
+
+  void register_flags(CliParser& cli);
+
+  /// Applies --log-level and enables span recording when --trace-out is
+  /// set.  Throws std::invalid_argument on an unknown log level.
+  void apply() const;
+
+  /// Disables tracing and writes the requested files, reporting each to
+  /// `diag` (stderr by convention — stdout carries CSV/table payloads).
+  /// Returns false if any file could not be written.
+  [[nodiscard]] bool finish(std::ostream& diag) const;
+};
+
+/// apply() + a root span named `span_name` around `body` + finish().
+/// The root span closes before the trace is exported, so a trace of a
+/// healthy run always covers the whole command body.  Returns body's exit
+/// code, or 1 if body succeeded but an output file could not be written.
+int run_observed(const ObsOptions& opts, const char* span_name,
+                 const std::function<int()>& body);
+
+}  // namespace lamps

@@ -1,24 +1,65 @@
 // Monotonic wall-clock stopwatch for the scheduler-runtime measurements
-// (paper section 4.2 reports LAMPS configuration search times).
+// (paper section 4.2 reports LAMPS configuration search times), extended
+// with CPU-time readings so the experiment pipeline can report wall *and*
+// CPU seconds per phase (a parallel sweep's process-CPU total exceeds its
+// wall clock; the gap is the parallelism actually achieved).
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace lamps {
 
 class Stopwatch {
  public:
-  Stopwatch() : start_(clock::now()) {}
+  Stopwatch() { reset(); }
 
-  void reset() { start_ = clock::now(); }
+  void reset() {
+    start_ = clock::now();
+    cpu_process_start_ = cpu_process_now();
+    cpu_thread_start_ = cpu_thread_now();
+  }
 
   [[nodiscard]] double elapsed_seconds() const {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
 
+  /// CPU seconds consumed by the whole process (all threads) since reset.
+  [[nodiscard]] double elapsed_cpu_process_seconds() const {
+    return cpu_process_now() - cpu_process_start_;
+  }
+
+  /// CPU seconds consumed by the *calling* thread since reset; meaningful
+  /// only when read from the thread that constructed/reset the stopwatch.
+  /// 0 on platforms without a per-thread CPU clock.
+  [[nodiscard]] double elapsed_cpu_thread_seconds() const {
+    return cpu_thread_now() - cpu_thread_start_;
+  }
+
  private:
   using clock = std::chrono::steady_clock;
+
+  static double cpu_process_now() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0)
+      return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+    return static_cast<double>(std::clock()) / static_cast<double>(CLOCKS_PER_SEC);
+  }
+
+  static double cpu_thread_now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+      return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+    return 0.0;
+  }
+
   clock::time_point start_;
+  double cpu_process_start_{0.0};
+  double cpu_thread_start_{0.0};
 };
 
 }  // namespace lamps

@@ -1,8 +1,46 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace lamps {
+
+namespace {
+
+// Shared across pools (the registry aggregates); 1 µs .. ~4 s buckets
+// cover everything from a phase-2 gap-only probe to a full experiment
+// instance.
+obs::Histogram& wait_hist() {
+  static obs::Histogram& h = obs::histogram(
+      "threadpool.task_wait_seconds", obs::Histogram::exponential_bounds(1e-6, 4.0, 12));
+  return h;
+}
+obs::Histogram& run_hist() {
+  static obs::Histogram& h = obs::histogram(
+      "threadpool.task_run_seconds", obs::Histogram::exponential_bounds(1e-6, 4.0, 12));
+  return h;
+}
+obs::Gauge& queue_gauge() {
+  static obs::Gauge& g = obs::gauge("threadpool.queue_depth");
+  return g;
+}
+obs::Gauge& active_gauge() {
+  static obs::Gauge& g = obs::gauge("threadpool.active_workers");
+  return g;
+}
+obs::Counter& submitted_counter() {
+  static obs::Counter& c = obs::counter("threadpool.tasks_submitted");
+  return c;
+}
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -19,13 +57,29 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+std::size_t ThreadPool::queued() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::active() const {
+  std::scoped_lock lock(mutex_);
+  return in_flight_;
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
   {
     std::scoped_lock lock(mutex_);
-    if (stopping_) throw std::logic_error("ThreadPool::submit after shutdown");
-    queue_.push_back(std::move(task));
+    if (stopping_)
+      throw std::logic_error("ThreadPool::submit after shutdown (workers=" +
+                             std::to_string(workers_.size()) +
+                             ", queued=" + std::to_string(queue_.size()) +
+                             ", active=" + std::to_string(in_flight_) + ")");
+    queue_.push_back(QueuedTask{std::move(task), std::chrono::steady_clock::now()});
+    queue_gauge().set(static_cast<std::int64_t>(queue_.size()));
   }
+  submitted_counter().inc();
   cv_work_.notify_one();
 }
 
@@ -36,16 +90,22 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mutex_);
       cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_gauge().set(static_cast<std::int64_t>(queue_.size()));
       ++in_flight_;
     }
-    task();
+    const auto started = std::chrono::steady_clock::now();
+    wait_hist().observe(seconds_between(task.enqueued, started));
+    active_gauge().add(1);
+    task.fn();
+    active_gauge().add(-1);
+    run_hist().observe(seconds_between(started, std::chrono::steady_clock::now()));
     {
       std::scoped_lock lock(mutex_);
       --in_flight_;

@@ -4,8 +4,14 @@
 // embarrassingly parallel; each instance is scheduled independently.  The
 // pool uses a single mutex-protected deque — contention is irrelevant here
 // because every work item is milliseconds to seconds of scheduling work.
+//
+// The pool feeds the observability layer (observation-only, never affects
+// which task runs where): a queue-depth/active-workers gauge pair plus
+// task queue-wait and run-time histograms, all under "threadpool." in the
+// global metrics registry.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -28,21 +34,33 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+  /// Alias of num_threads(), for symmetry with queued()/active().
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+  /// Tasks waiting in the queue (submitted, not yet started).
+  [[nodiscard]] std::size_t queued() const;
+  /// Tasks currently executing on a worker.
+  [[nodiscard]] std::size_t active() const;
 
   /// Enqueues a task.  Tasks must not throw; exceptions escaping a task
   /// terminate (by design: experiment work items catch and record their own
-  /// failures).
+  /// failures).  Throws std::logic_error — reporting the pool's worker,
+  /// queued and active counts — if the pool is already shutting down.
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  std::deque<QueuedTask> queue_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_work_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_{0};

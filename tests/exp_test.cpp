@@ -137,7 +137,8 @@ TEST(Experiment, RunsAndWritesCsv) {
   EXPECT_NE(report.str().find("LAMPS+PS"), std::string::npos);
   ASSERT_EQ(out.timings.size(), 1u);
   EXPECT_EQ(out.timings[0].tag, "coarse");
-  EXPECT_GE(out.timings[0].sweep_seconds, 0.0);
+  EXPECT_GE(out.timings[0].sweep.wall_seconds, 0.0);
+  EXPECT_GE(out.timings[0].sweep.cpu_process_seconds, 0.0);
   EXPECT_NE(report.str().find("timing:"), std::string::npos);
 }
 

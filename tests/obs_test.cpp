@@ -1,0 +1,293 @@
+// Unit tests for the observability layer (src/obs): Chrome trace-event
+// export shape, histogram bucket math, metric registry export, concurrent
+// counter updates, and the search-telemetry JSON format.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace lamps::obs {
+namespace {
+
+/// Replaces the run-dependent numbers ("ts", "dur", "tid") with fixed
+/// placeholders so the trace shape can be compared against a golden file.
+std::string normalize_trace(const std::string& json) {
+  std::string out = std::regex_replace(json, std::regex{R"#("ts":[0-9]+\.[0-9]{3})#"},
+                                       "\"ts\":T");
+  out = std::regex_replace(out, std::regex{R"#("dur":[0-9]+\.[0-9]{3})#"}, "\"dur\":T");
+  out = std::regex_replace(out, std::regex{R"#("tid":[0-9]+)#"}, "\"tid\":N");
+  return out;
+}
+
+TEST(TraceTest, GoldenChromeTraceShape) {
+  set_tracing_enabled(true);
+  clear_trace();
+  {
+    Span outer("golden/outer");
+    Span inner("golden/inner");
+  }
+  set_tracing_enabled(false);
+  ASSERT_EQ(trace_span_count(), 2U);
+
+  std::ostringstream ss;
+  write_chrome_trace(ss);
+  clear_trace();
+
+  // "X" complete events sorted by start time: the enclosing span first
+  // (it starts earlier; on a start-time tie the longer duration wins).
+  const std::string golden =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"name\":\"golden/outer\",\"cat\":\"lamps\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":N,\"ts\":T,\"dur\":T},\n"
+      "{\"name\":\"golden/inner\",\"cat\":\"lamps\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":N,\"ts\":T,\"dur\":T}\n"
+      "]}\n";
+  EXPECT_EQ(normalize_trace(ss.str()), golden);
+}
+
+TEST(TraceTest, DisabledTracingRecordsNothing) {
+  set_tracing_enabled(false);
+  clear_trace();
+  {
+    Span s("never/recorded");
+    Span t("also/never");
+  }
+  EXPECT_EQ(trace_span_count(), 0U);
+}
+
+TEST(TraceTest, SpanOpenAcrossDisableIsStillRecorded) {
+  clear_trace();
+  set_tracing_enabled(true);
+  {
+    Span s("closes/after-disable");
+    set_tracing_enabled(false);
+  }
+  EXPECT_EQ(trace_span_count(), 1U);
+  clear_trace();
+}
+
+TEST(TraceTest, SpansFromMultipleThreadsAreExported) {
+  set_tracing_enabled(true);
+  clear_trace();
+  {
+    Span main_span("threads/main");
+    std::thread worker([] { Span s("threads/worker"); });
+    worker.join();
+  }
+  set_tracing_enabled(false);
+  EXPECT_EQ(trace_span_count(), 2U);
+
+  std::ostringstream ss;
+  write_chrome_trace(ss);
+  clear_trace();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("threads/main"), std::string::npos);
+  EXPECT_NE(json.find("threads/worker"), std::string::npos);
+}
+
+TEST(HistogramTest, BucketMath) {
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.num_buckets(), 4U);
+  // Inclusive upper bounds: v lands in the first bucket with v <= top.
+  EXPECT_EQ(h.bucket_index(0.5), 0U);
+  EXPECT_EQ(h.bucket_index(1.0), 0U);
+  EXPECT_EQ(h.bucket_index(1.5), 1U);
+  EXPECT_EQ(h.bucket_index(2.0), 1U);
+  EXPECT_EQ(h.bucket_index(4.0), 2U);
+  EXPECT_EQ(h.bucket_index(4.5), 3U);  // overflow
+  EXPECT_EQ(h.upper_bound(0), 1.0);
+  EXPECT_EQ(h.upper_bound(2), 4.0);
+  EXPECT_TRUE(std::isinf(h.upper_bound(3)));
+
+  for (const double v : {0.5, 1.5, 3.0, 5.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 4U);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_EQ(h.bucket_count(0), 1U);
+  EXPECT_EQ(h.bucket_count(1), 1U);
+  EXPECT_EQ(h.bucket_count(2), 1U);
+  EXPECT_EQ(h.bucket_count(3), 1U);
+
+  EXPECT_EQ(h.quantile_upper_bound(0.25), 1.0);
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 2.0);
+  EXPECT_EQ(h.quantile_upper_bound(0.75), 4.0);
+  EXPECT_TRUE(std::isinf(h.quantile_upper_bound(1.0)));
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 0.0);
+}
+
+TEST(HistogramTest, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential_bounds(0.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential_bounds(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  const std::vector<double> b = Histogram::exponential_bounds(1e-6, 4.0, 3);
+  ASSERT_EQ(b.size(), 3U);
+  EXPECT_DOUBLE_EQ(b[0], 1e-6);
+  EXPECT_DOUBLE_EQ(b[1], 4e-6);
+  EXPECT_DOUBLE_EQ(b[2], 1.6e-5);
+}
+
+TEST(MetricsTest, ConcurrentCounterIncrements) {
+  Counter& c = counter("obs_test.concurrent");
+  c.reset();
+  Histogram& h = histogram("obs_test.concurrent_hist",
+                           Histogram::exponential_bounds(1.0, 2.0, 8));
+  h.reset();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIncsPerThread = 100'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, &h, t] {
+      for (std::size_t i = 0; i < kIncsPerThread; ++i) {
+        c.inc();
+        if (i % 100 == 0) h.observe(static_cast<double>(t));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kIncsPerThread);
+  EXPECT_EQ(h.count(), kThreads * kIncsPerThread / 100);
+}
+
+TEST(MetricsTest, GaugeTracksValueAndHighWater) {
+  Gauge g;
+  g.set(2);
+  g.add(3);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.max_value(), 5);
+  g.add(-4);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.max_value(), 5);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max_value(), 0);
+}
+
+TEST(MetricsTest, RegistryJsonExport) {
+  Registry r;
+  r.counter("a.count").inc(3);
+  Gauge& g = r.gauge("b.depth");
+  g.set(2);
+  g.set(1);
+  Histogram& h = r.histogram("c.lat", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(3.0);
+
+  std::ostringstream ss;
+  r.write_json(ss);
+  const std::string golden =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"a.count\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"b.depth\": {\"value\": 1, \"max\": 2}\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"c.lat\": {\"count\": 2, \"sum\": 3.5, \"buckets\": "
+      "[{\"le\": 1, \"count\": 1}, {\"le\": 2, \"count\": 0}, "
+      "{\"le\": \"inf\", \"count\": 1}]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(ss.str(), golden);
+}
+
+TEST(MetricsTest, RegistryCsvExport) {
+  Registry r;
+  r.counter("a.count").inc(3);
+  Gauge& g = r.gauge("b.depth");
+  g.set(2);
+  g.set(1);
+  Histogram& h = r.histogram("c.lat", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(3.0);
+
+  std::ostringstream ss;
+  r.write_csv(ss);
+  const std::string golden =
+      "kind,name,field,value\n"
+      "counter,a.count,value,3\n"
+      "gauge,b.depth,value,1\n"
+      "gauge,b.depth,max,2\n"
+      "histogram,c.lat,count,2\n"
+      "histogram,c.lat,sum,3.5\n"
+      "histogram,c.lat,le_1,1\n"
+      "histogram,c.lat,le_2,0\n"
+      "histogram,c.lat,le_inf,1\n";
+  EXPECT_EQ(ss.str(), golden);
+}
+
+TEST(MetricsTest, CounterValueOfUnknownNameIsZero) {
+  const Registry r;
+  EXPECT_EQ(r.counter_value("never.registered"), 0U);
+}
+
+TEST(TelemetryTest, GoldenJson) {
+  SearchTelemetry tel;
+  tel.strategy = "LAMPS+PS";
+  tel.feasible = true;
+  tel.chosen_procs = 3;
+  tel.chosen_level = 7;
+  tel.energy_total_j = 0.25;
+  tel.energy_dynamic_j = 0.125;
+  tel.energy_leakage_j = 0.0625;
+  tel.energy_intrinsic_j = 0.03125;
+  tel.energy_sleep_j = 0.015625;
+  tel.energy_wakeup_j = 0.0;
+  tel.shutdowns = 2;
+  tel.schedules_computed = 5;
+  SearchProbe p1;
+  p1.num_procs = 4;
+  p1.phase = "phase1";
+  p1.action = "graham-upper";
+  p1.feasible = 1;
+  tel.probes.push_back(p1);
+  SearchProbe p2;
+  p2.num_procs = 3;
+  p2.phase = "phase2";
+  p2.action = "profile-eval";
+  p2.makespan = 1000;
+  p2.feasible = 1;
+  p2.level_index = 7;
+  p2.energy_j = 0.25;
+  p2.chosen = true;
+  tel.probes.push_back(p2);
+
+  std::ostringstream ss;
+  write_telemetry_json(ss, {tel});
+  const std::string golden =
+      "[\n"
+      "{\"strategy\": \"LAMPS+PS\",\n"
+      " \"feasible\": true, \"chosen_procs\": 3, \"chosen_level\": 7,\n"
+      " \"energy_j\": {\"total\": 0.25, \"dynamic\": 0.125, \"leakage\": 0.0625, "
+      "\"intrinsic\": 0.03125, \"sleep\": 0.015625, \"wakeup\": 0},\n"
+      " \"shutdowns\": 2, \"schedules_computed\": 5,\n"
+      " \"probes\": [\n"
+      "  {\"procs\": 4, \"phase\": \"phase1\", \"action\": \"graham-upper\", "
+      "\"makespan\": -1, \"feasible\": 1, \"level\": -1, \"energy_j\": -1, "
+      "\"chosen\": false},\n"
+      "  {\"procs\": 3, \"phase\": \"phase2\", \"action\": \"profile-eval\", "
+      "\"makespan\": 1000, \"feasible\": 1, \"level\": 7, \"energy_j\": 0.25, "
+      "\"chosen\": true}\n"
+      " ]}\n"
+      "]\n";
+  EXPECT_EQ(ss.str(), golden);
+}
+
+}  // namespace
+}  // namespace lamps::obs

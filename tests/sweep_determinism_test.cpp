@@ -6,12 +6,15 @@
 // the argmin reduction runs serially in ascending order.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "core/lamps.hpp"
 #include "core/strategy.hpp"
 #include "graph/analysis.hpp"
 #include "graph/transform.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "stg/suite.hpp"
 
 namespace lamps::core {
@@ -105,6 +108,61 @@ TEST(SweepDeterminismTest, ProcessorSweepIdenticalAcrossThreadCounts) {
       }
     }
   }
+}
+
+void expect_identical_telemetry(const obs::SearchTelemetry& a,
+                                const obs::SearchTelemetry& b) {
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.chosen_procs, b.chosen_procs);
+  EXPECT_EQ(a.chosen_level, b.chosen_level);
+  EXPECT_EQ(a.energy_total_j, b.energy_total_j);
+  EXPECT_EQ(a.schedules_computed, b.schedules_computed);
+  ASSERT_EQ(a.probes.size(), b.probes.size());
+  for (std::size_t i = 0; i < a.probes.size(); ++i) {
+    EXPECT_EQ(a.probes[i].num_procs, b.probes[i].num_procs);
+    EXPECT_STREQ(a.probes[i].phase, b.probes[i].phase);
+    EXPECT_STREQ(a.probes[i].action, b.probes[i].action);
+    EXPECT_EQ(a.probes[i].makespan, b.probes[i].makespan);
+    EXPECT_EQ(a.probes[i].feasible, b.probes[i].feasible);
+    EXPECT_EQ(a.probes[i].level_index, b.probes[i].level_index);
+    EXPECT_EQ(a.probes[i].energy_j, b.probes[i].energy_j);
+    EXPECT_EQ(a.probes[i].chosen, b.probes[i].chosen);
+  }
+}
+
+// The acceptance bar for the observability layer: spans, metrics and
+// telemetry are observation-only, so enabling all of them must leave
+// every result bit-identical to the dark run at any thread count.
+TEST(SweepDeterminismTest, ObservabilityOnOffBitIdentical) {
+  const auto group = stg::make_random_group(400, 1);
+  const graph::TaskGraph g = graph::scale_weights(group[0], stg::kCoarseGrainCyclesPerUnit);
+  for (const StrategyKind kind :
+       {StrategyKind::kLamps, StrategyKind::kLampsPs, StrategyKind::kSnsPs}) {
+    std::vector<obs::SearchTelemetry> records;
+    for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+      Problem prob = make_problem(g, 2.0);
+      prob.search_threads = threads;
+      const StrategyResult dark = run_strategy(kind, prob);
+
+      obs::SearchTelemetry tel;
+      tel.strategy = to_string(kind);
+      prob.telemetry = &tel;
+      obs::set_tracing_enabled(true);
+      const StrategyResult observed = run_strategy(kind, prob);
+      obs::set_tracing_enabled(false);
+      prob.telemetry = nullptr;
+
+      expect_identical_results(dark, observed);
+      EXPECT_FALSE(tel.probes.empty());
+      records.push_back(std::move(tel));
+    }
+    // The telemetry record itself is also thread-count deterministic.
+    expect_identical_telemetry(records[0], records[1]);
+    expect_identical_telemetry(records[0], records[2]);
+  }
+  EXPECT_GT(obs::trace_span_count(), 0U);
+  obs::clear_trace();
 }
 
 TEST(SweepDeterminismTest, HardwareConcurrencySettingMatchesSerial) {

@@ -15,12 +15,14 @@
 #include <fstream>
 #include <iostream>
 #include <string_view>
+#include <vector>
 
 #include "core/lamps.hpp"
 #include "core/multifreq.hpp"
 #include "core/strategy.hpp"
 #include "graph/analysis.hpp"
 #include "graph/transform.hpp"
+#include "obs/telemetry.hpp"
 #include "power/sleep_model.hpp"
 #include "robust/report.hpp"
 #include "sched/gantt.hpp"
@@ -31,6 +33,7 @@
 #include "stg/random_gen.hpp"
 #include "stg/structured.hpp"
 #include "util/cli.hpp"
+#include "util/obs_cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -151,67 +154,94 @@ struct InstanceOptions {
 
 int cmd_schedule(int argc, const char* const* argv) {
   InstanceOptions inst;
+  ObsOptions oo;
   bool gantt = false;
   bool csv = false;
+  std::string telemetry_out;
   CliParser cli("Schedule an .stg file with every approach and report energy");
   inst.register_flags(cli);
   cli.add_flag("gantt", "print the LAMPS+PS Gantt chart", &gantt);
   cli.add_flag("csv", "emit CSV instead of a table", &csv);
+  cli.add_option("telemetry-out",
+                 "write per-strategy search telemetry (probed processor counts, "
+                 "verdicts, energy breakdown) as JSON", &telemetry_out);
+  oo.register_flags(cli);
   if (!cli.parse(argc, argv, std::cerr)) return 1;
 
-  const graph::TaskGraph g = inst.load();
-  const power::PowerModel model;
-  const power::DvsLadder ladder(model);
-  core::Problem prob;
-  prob.graph = &g;
-  prob.model = &model;
-  prob.ladder = &ladder;
-  prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
-                          model.max_frequency().value() * inst.factor};
+  return run_observed(oo, "cli/schedule", [&]() -> int {
+    const graph::TaskGraph g = inst.load();
+    const power::PowerModel model;
+    const power::DvsLadder ladder(model);
+    core::Problem prob;
+    prob.graph = &g;
+    prob.model = &model;
+    prob.ladder = &ladder;
+    prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                            model.max_frequency().value() * inst.factor};
 
-  TextTable table({"approach", "energy [mJ]", "procs", "f/f_max", "shutdowns"});
-  if (csv) std::cout << "approach,energy_j,procs,f_norm,shutdowns,feasible\n";
-  for (const core::StrategyKind k : core::kAllStrategies) {
-    const core::StrategyResult r = core::run_strategy(k, prob);
+    std::vector<obs::SearchTelemetry> records;
+
+    TextTable table({"approach", "energy [mJ]", "procs", "f/f_max", "shutdowns"});
+    if (csv) std::cout << "approach,energy_j,procs,f_norm,shutdowns,feasible\n";
+    for (const core::StrategyKind k : core::kAllStrategies) {
+      obs::SearchTelemetry tel;
+      tel.strategy = core::to_string(k);
+      prob.telemetry = telemetry_out.empty() ? nullptr : &tel;
+      const core::StrategyResult r = core::run_strategy(k, prob);
+      prob.telemetry = nullptr;
+      if (!telemetry_out.empty()) {
+        if (tel.probes.empty()) core::fill_telemetry_summary(tel, r);
+        records.push_back(std::move(tel));
+      }
+      if (csv) {
+        std::cout << core::to_string(k) << ',' << (r.feasible ? r.energy().value() : 0.0)
+                  << ',' << r.num_procs << ','
+                  << (r.feasible ? ladder.level(r.level_index).f_norm : 0.0) << ','
+                  << r.breakdown.shutdowns << ',' << (r.feasible ? 1 : 0) << '\n';
+        continue;
+      }
+      if (!r.feasible) {
+        table.row(core::to_string(k), "infeasible", "-", "-", "-");
+        continue;
+      }
+      table.row(core::to_string(k), fmt_fixed(r.energy().value() * 1e3, 3),
+                std::to_string(r.num_procs),
+                fmt_fixed(ladder.level(r.level_index).f_norm, 3), r.breakdown.shutdowns);
+    }
+    const core::MultiFreqResult mf = core::lamps_multifreq(prob);
     if (csv) {
-      std::cout << core::to_string(k) << ',' << (r.feasible ? r.energy().value() : 0.0)
-                << ',' << r.num_procs << ','
-                << (r.feasible ? ladder.level(r.level_index).f_norm : 0.0) << ','
-                << r.breakdown.shutdowns << ',' << (r.feasible ? 1 : 0) << '\n';
-      continue;
+      std::cout << "LAMPS+MF," << (mf.feasible ? mf.energy().value() : 0.0) << ','
+                << mf.num_procs << ",," << mf.breakdown.shutdowns << ','
+                << (mf.feasible ? 1 : 0) << '\n';
+    } else {
+      if (mf.feasible)
+        table.row("LAMPS+MF", fmt_fixed(mf.energy().value() * 1e3, 3),
+                  std::to_string(mf.num_procs), "per-task", mf.breakdown.shutdowns);
+      table.print(std::cout);
     }
-    if (!r.feasible) {
-      table.row(core::to_string(k), "infeasible", "-", "-", "-");
-      continue;
-    }
-    table.row(core::to_string(k), fmt_fixed(r.energy().value() * 1e3, 3),
-              std::to_string(r.num_procs),
-              fmt_fixed(ladder.level(r.level_index).f_norm, 3), r.breakdown.shutdowns);
-  }
-  const core::MultiFreqResult mf = core::lamps_multifreq(prob);
-  if (csv) {
-    std::cout << "LAMPS+MF," << (mf.feasible ? mf.energy().value() : 0.0) << ','
-              << mf.num_procs << ",," << mf.breakdown.shutdowns << ','
-              << (mf.feasible ? 1 : 0) << '\n';
-  } else {
-    if (mf.feasible)
-      table.row("LAMPS+MF", fmt_fixed(mf.energy().value() * 1e3, 3),
-                std::to_string(mf.num_procs), "per-task", mf.breakdown.shutdowns);
-    table.print(std::cout);
-  }
 
-  if (gantt) {
-    const core::StrategyResult best =
-        core::run_strategy(core::StrategyKind::kLampsPs, prob);
-    if (best.feasible && best.schedule.has_value()) {
-      sched::GanttOptions gopts;
-      gopts.horizon = static_cast<Cycles>(prob.deadline.value() *
-                                          ladder.level(best.level_index).f.value());
-      sched::write_ascii_gantt(*best.schedule, g, std::cout, gopts);
-      sched::print_stats(sched::compute_stats(*best.schedule, g), std::cout);
+    if (gantt) {
+      const core::StrategyResult best =
+          core::run_strategy(core::StrategyKind::kLampsPs, prob);
+      if (best.feasible && best.schedule.has_value()) {
+        sched::GanttOptions gopts;
+        gopts.horizon = static_cast<Cycles>(prob.deadline.value() *
+                                            ladder.level(best.level_index).f.value());
+        sched::write_ascii_gantt(*best.schedule, g, std::cout, gopts);
+        sched::print_stats(sched::compute_stats(*best.schedule, g), std::cout);
+      }
     }
-  }
-  return 0;
+
+    if (!telemetry_out.empty()) {
+      if (!obs::write_telemetry_file(telemetry_out, records)) {
+        std::cerr << "cannot write telemetry " << telemetry_out << '\n';
+        return 1;
+      }
+      std::cerr << "wrote telemetry " << telemetry_out << " (" << records.size()
+                << " strategies)\n";
+    }
+    return 0;
+  });
 }
 
 int cmd_pareto(int argc, const char* const* argv) {
@@ -226,41 +256,46 @@ int cmd_pareto(int argc, const char* const* argv) {
   cli.add_option("min-factor", "smallest deadline factor (x CPL)", &min_factor);
   cli.add_option("max-factor", "largest deadline factor (x CPL)", &max_factor);
   cli.add_option("steps", "number of sweep points (log-spaced)", &steps);
+  ObsOptions oo;
+  oo.register_flags(cli);
   if (!cli.parse(argc, argv, std::cerr)) return 1;
   if (steps < 2 || min_factor <= 0.0 || max_factor <= min_factor) {
     std::cerr << "invalid sweep range\n";
     return 1;
   }
 
-  const graph::TaskGraph g = inst.load();
-  const power::PowerModel model;
-  const power::DvsLadder ladder(model);
-  const Cycles cpl = graph::critical_path_length(g);
+  return run_observed(oo, "cli/pareto", [&]() -> int {
+    const graph::TaskGraph g = inst.load();
+    const power::PowerModel model;
+    const power::DvsLadder ladder(model);
+    const Cycles cpl = graph::critical_path_length(g);
 
-  std::cout << "deadline_factor,deadline_ms";
-  for (const core::StrategyKind k : core::kAllStrategies)
-    std::cout << ',' << core::to_string(k) << "_mj";
-  std::cout << '\n';
-  const double ratio = max_factor / min_factor;
-  for (std::size_t i = 0; i < steps; ++i) {
-    const double factor =
-        min_factor * std::pow(ratio, static_cast<double>(i) /
-                                         static_cast<double>(steps - 1));
-    core::Problem prob;
-    prob.graph = &g;
-    prob.model = &model;
-    prob.ladder = &ladder;
-    prob.deadline =
-        Seconds{static_cast<double>(cpl) / model.max_frequency().value() * factor};
-    std::cout << fmt_fixed(factor, 3) << ',' << fmt_fixed(prob.deadline.value() * 1e3, 3);
-    for (const core::StrategyKind k : core::kAllStrategies) {
-      const core::StrategyResult r = core::run_strategy(k, prob);
-      std::cout << ',';
-      if (r.feasible) std::cout << fmt_fixed(r.energy().value() * 1e3, 4);
-    }
+    std::cout << "deadline_factor,deadline_ms";
+    for (const core::StrategyKind k : core::kAllStrategies)
+      std::cout << ',' << core::to_string(k) << "_mj";
     std::cout << '\n';
-  }
-  return 0;
+    const double ratio = max_factor / min_factor;
+    for (std::size_t i = 0; i < steps; ++i) {
+      const double factor =
+          min_factor * std::pow(ratio, static_cast<double>(i) /
+                                           static_cast<double>(steps - 1));
+      core::Problem prob;
+      prob.graph = &g;
+      prob.model = &model;
+      prob.ladder = &ladder;
+      prob.deadline =
+          Seconds{static_cast<double>(cpl) / model.max_frequency().value() * factor};
+      std::cout << fmt_fixed(factor, 3) << ','
+                << fmt_fixed(prob.deadline.value() * 1e3, 3);
+      for (const core::StrategyKind k : core::kAllStrategies) {
+        const core::StrategyResult r = core::run_strategy(k, prob);
+        std::cout << ',';
+        if (r.feasible) std::cout << fmt_fixed(r.energy().value() * 1e3, 4);
+      }
+      std::cout << '\n';
+    }
+    return 0;
+  });
 }
 
 int cmd_simulate(int argc, const char* const* argv) {
@@ -275,46 +310,50 @@ int cmd_simulate(int argc, const char* const* argv) {
   cli.add_option("bcet", "BCET/WCET ratio in (0, 1]", &bcet);
   cli.add_option("runs", "number of variability draws", &runs);
   cli.add_option("seed", "base RNG seed", &seed);
+  ObsOptions oo;
+  oo.register_flags(cli);
   if (!cli.parse(argc, argv, std::cerr)) return 1;
 
-  const graph::TaskGraph g = inst.load();
-  const power::PowerModel model;
-  const power::DvsLadder ladder(model);
-  const power::SleepModel sleep(model);
-  core::Problem prob;
-  prob.graph = &g;
-  prob.model = &model;
-  prob.ladder = &ladder;
-  prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
-                          model.max_frequency().value() * inst.factor};
-  const core::StrategyResult plan = core::lamps_schedule_ps(prob);
-  if (!plan.feasible || !plan.schedule.has_value()) {
-    std::cerr << "instance infeasible before the deadline\n";
-    return 1;
-  }
-  const auto& lvl = ladder.level(plan.level_index);
-  std::cout << "plan: " << plan.num_procs << " procs at " << fmt_fixed(lvl.f_norm, 3)
-            << " x f_max, predicted " << fmt_fixed(plan.energy().value() * 1e3, 3)
-            << " mJ\n";
-  std::cout << "run,seed,static_mj,reclaim_mj,reclaim_vs_static\n";
-  for (std::size_t r = 0; r < runs; ++r) {
-    sim::OnlineOptions opts;
-    opts.bcet_ratio = bcet;
-    opts.seed = child_seed(seed, r);
-    opts.reclaim = false;
-    const auto st = sim::simulate_online(*plan.schedule, g, ladder, lvl, prob.deadline,
-                                         sleep, opts);
-    opts.reclaim = true;
-    const auto rc = sim::simulate_online(*plan.schedule, g, ladder, lvl, prob.deadline,
-                                         sleep, opts);
-    std::cout << r << ',' << opts.seed << ','
-              << fmt_fixed(st.breakdown.total().value() * 1e3, 3) << ','
-              << fmt_fixed(rc.breakdown.total().value() * 1e3, 3) << ','
-              << fmt_percent(rc.breakdown.total().value() /
-                             st.breakdown.total().value())
-              << '\n';
-  }
-  return 0;
+  return run_observed(oo, "cli/simulate", [&]() -> int {
+    const graph::TaskGraph g = inst.load();
+    const power::PowerModel model;
+    const power::DvsLadder ladder(model);
+    const power::SleepModel sleep(model);
+    core::Problem prob;
+    prob.graph = &g;
+    prob.model = &model;
+    prob.ladder = &ladder;
+    prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                            model.max_frequency().value() * inst.factor};
+    const core::StrategyResult plan = core::lamps_schedule_ps(prob);
+    if (!plan.feasible || !plan.schedule.has_value()) {
+      std::cerr << "instance infeasible before the deadline\n";
+      return 1;
+    }
+    const auto& lvl = ladder.level(plan.level_index);
+    std::cout << "plan: " << plan.num_procs << " procs at " << fmt_fixed(lvl.f_norm, 3)
+              << " x f_max, predicted " << fmt_fixed(plan.energy().value() * 1e3, 3)
+              << " mJ\n";
+    std::cout << "run,seed,static_mj,reclaim_mj,reclaim_vs_static\n";
+    for (std::size_t r = 0; r < runs; ++r) {
+      sim::OnlineOptions opts;
+      opts.bcet_ratio = bcet;
+      opts.seed = child_seed(seed, r);
+      opts.reclaim = false;
+      const auto st = sim::simulate_online(*plan.schedule, g, ladder, lvl, prob.deadline,
+                                           sleep, opts);
+      opts.reclaim = true;
+      const auto rc = sim::simulate_online(*plan.schedule, g, ladder, lvl, prob.deadline,
+                                           sleep, opts);
+      std::cout << r << ',' << opts.seed << ','
+                << fmt_fixed(st.breakdown.total().value() * 1e3, 3) << ','
+                << fmt_fixed(rc.breakdown.total().value() * 1e3, 3) << ','
+                << fmt_percent(rc.breakdown.total().value() /
+                               st.breakdown.total().value())
+                << '\n';
+    }
+    return 0;
+  });
 }
 
 int cmd_robust(int argc, const char* const* argv) {
@@ -349,6 +388,8 @@ int cmd_robust(int argc, const char* const* argv) {
   cli.add_option("stall-scale", "extra execution of a stalled task (x WCET)",
                  &cfg.perturb.stall_scale);
   cli.add_option("csv", "also write the report to this CSV file", &csv_path);
+  ObsOptions oo;
+  oo.register_flags(cli);
   if (!cli.parse(argc, argv, std::cerr)) return 1;
   if (trials == 0) {
     std::cerr << "--trials must be >= 1\n";
@@ -361,55 +402,61 @@ int cmd_robust(int argc, const char* const* argv) {
   cfg.perturb.wake_latency = Seconds{wake_latency_us * 1e-6};
   cfg.perturb.validate();
 
-  const graph::TaskGraph g = inst.load();
-  const power::PowerModel model;
-  const power::DvsLadder ladder(model);
-  core::Problem prob;
-  prob.graph = &g;
-  prob.model = &model;
-  prob.ladder = &ladder;
-  prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
-                          model.max_frequency().value() * inst.factor};
+  return run_observed(oo, "cli/robust", [&]() -> int {
+    const graph::TaskGraph g = inst.load();
+    const power::PowerModel model;
+    const power::DvsLadder ladder(model);
+    core::Problem prob;
+    prob.graph = &g;
+    prob.model = &model;
+    prob.ladder = &ladder;
+    prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                            model.max_frequency().value() * inst.factor};
 
-  const auto rows = robust::evaluate_robustness(prob, core::kAllStrategies, cfg);
-  robust::print_robustness_report(std::cout, rows, cfg);
-  if (!csv_path.empty()) {
-    robust::write_robustness_csv(csv_path, rows);
-    std::cout << "wrote " << csv_path << '\n';
-  }
-  return 0;
+    const auto rows = robust::evaluate_robustness(prob, core::kAllStrategies, cfg);
+    robust::print_robustness_report(std::cout, rows, cfg);
+    if (!csv_path.empty()) {
+      robust::write_robustness_csv(csv_path, rows);
+      std::cout << "wrote " << csv_path << '\n';
+    }
+    return 0;
+  });
 }
 
 int cmd_sweep(int argc, const char* const* argv) {
   InstanceOptions inst;
+  ObsOptions oo;
   std::size_t max_procs = 16;
   CliParser cli("Energy vs processor count (Fig 6 style) for an .stg file");
   inst.register_flags(cli);
   cli.add_option("max-procs", "largest processor count", &max_procs);
+  oo.register_flags(cli);
   if (!cli.parse(argc, argv, std::cerr)) return 1;
 
-  const graph::TaskGraph g = inst.load();
-  const power::PowerModel model;
-  const power::DvsLadder ladder(model);
-  core::Problem prob;
-  prob.graph = &g;
-  prob.model = &model;
-  prob.ladder = &ladder;
-  prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
-                          model.max_frequency().value() * inst.factor};
+  return run_observed(oo, "cli/sweep", [&]() -> int {
+    const graph::TaskGraph g = inst.load();
+    const power::PowerModel model;
+    const power::DvsLadder ladder(model);
+    core::Problem prob;
+    prob.graph = &g;
+    prob.model = &model;
+    prob.ladder = &ladder;
+    prob.deadline = Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                            model.max_frequency().value() * inst.factor};
 
-  std::cout << "procs,makespan_cycles,feasible,energy_nops_j,energy_ps_j\n";
-  const auto plain = core::processor_sweep(prob, max_procs, false);
-  const auto ps = core::processor_sweep(prob, max_procs, true);
-  for (std::size_t i = 0; i < plain.size(); ++i) {
-    std::cout << plain[i].num_procs << ',' << plain[i].makespan << ','
-              << (plain[i].feasible ? 1 : 0) << ',';
-    if (plain[i].feasible) std::cout << plain[i].energy.value();
-    std::cout << ',';
-    if (ps[i].feasible) std::cout << ps[i].energy.value();
-    std::cout << '\n';
-  }
-  return 0;
+    std::cout << "procs,makespan_cycles,feasible,energy_nops_j,energy_ps_j\n";
+    const auto plain = core::processor_sweep(prob, max_procs, false);
+    const auto ps = core::processor_sweep(prob, max_procs, true);
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      std::cout << plain[i].num_procs << ',' << plain[i].makespan << ','
+                << (plain[i].feasible ? 1 : 0) << ',';
+      if (plain[i].feasible) std::cout << plain[i].energy.value();
+      std::cout << ',';
+      if (ps[i].feasible) std::cout << ps[i].energy.value();
+      std::cout << '\n';
+    }
+    return 0;
+  });
 }
 
 void print_root_usage(std::ostream& os) {

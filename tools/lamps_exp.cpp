@@ -10,6 +10,7 @@
 
 #include "exp/experiment.hpp"
 #include "util/cli.hpp"
+#include "util/obs_cli.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -17,24 +18,29 @@ int main(int argc, char** argv) {
   using namespace lamps;
 
   std::string config = "data/experiment.ini";
+  ObsOptions oo;
   CliParser cli("Run a config-driven scheduling experiment");
   cli.add_option("config", "INI file describing the experiment ('-' = stdin)", &config);
+  oo.register_flags(cli);
   if (!cli.parse(argc, argv, std::cerr)) return 1;
 
   try {
-    exp::Ini ini = [&] {
-      if (config == "-") return exp::Ini::parse(std::cin);
-      std::ifstream is(config);
-      if (!is) throw std::runtime_error("cannot open config: " + config);
-      return exp::Ini::parse(is);
-    }();
-    const exp::ExperimentSpec spec = exp::ExperimentSpec::from_ini(ini);
-    const Stopwatch watch;
-    (void)exp::run_experiment(spec, std::cout);
-    std::cout << "total wall clock: " << fmt_fixed(watch.elapsed_seconds(), 3) << " s\n";
+    return run_observed(oo, "exp/run", [&]() -> int {
+      exp::Ini ini = [&] {
+        if (config == "-") return exp::Ini::parse(std::cin);
+        std::ifstream is(config);
+        if (!is) throw std::runtime_error("cannot open config: " + config);
+        return exp::Ini::parse(is);
+      }();
+      const exp::ExperimentSpec spec = exp::ExperimentSpec::from_ini(ini);
+      const Stopwatch watch;
+      (void)exp::run_experiment(spec, std::cout);
+      std::cout << "total wall clock: " << fmt_fixed(watch.elapsed_seconds(), 3)
+                << " s\n";
+      return 0;
+    });
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
-  return 0;
 }
