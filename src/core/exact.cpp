@@ -6,6 +6,7 @@
 
 #include "graph/analysis.hpp"
 #include "sched/list_scheduler.hpp"
+#include "util/cancel.hpp"
 
 namespace lamps::core {
 
@@ -71,6 +72,7 @@ class BranchAndBound {
 
   void dfs(Cycles current_max) {
     if (nodes_ > opts_.node_budget) return;
+    cancel_checkpoint("core/exact_dfs");
     ++nodes_;
     if (ready_.empty()) {
       best_ = std::min(best_, current_max);

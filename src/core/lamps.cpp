@@ -17,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sched/list_scheduler.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lamps::core {
@@ -50,7 +51,11 @@ bool feasible_at_fmax(const sched::Schedule& s, const Problem& prob) {
 /// Runs body(i) for i in [0, count), serially when the resolved thread
 /// count is 1 (no pool is spun up) and across a transient thread pool
 /// otherwise.  Callers own determinism: each index must be independent and
-/// any reduction must happen serially afterwards, in index order.
+/// any reduction must happen serially afterwards, in index order.  The
+/// calling thread's cancellation token (the cell watchdog) is re-installed
+/// in every worker so the budget covers the parallel fan-out too; a
+/// timeout raised inside a worker propagates out of the pool via the
+/// lowest index's future (see parallel_for_index).
 void run_indexed(std::size_t threads, std::size_t count,
                  const std::function<void(std::size_t)>& body) {
   std::size_t resolved =
@@ -60,8 +65,12 @@ void run_indexed(std::size_t threads, std::size_t count,
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
+  CancelToken* const token = current_cancel_token();
   ThreadPool pool(resolved);
-  parallel_for_index(pool, count, body);
+  parallel_for_index(pool, count, [&body, token](std::size_t i) {
+    CancelScope scope(token);
+    body(i);
+  });
 }
 
 StrategyResult lamps_impl(const Problem& prob, bool with_ps) {

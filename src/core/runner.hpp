@@ -3,6 +3,7 @@
 // parallel across a thread pool, and aggregates per-group statistics.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "core/strategy.hpp"
 #include "power/dvs_ladder.hpp"
 #include "power/power_model.hpp"
+#include "util/errors.hpp"
 
 namespace lamps::core {
 
@@ -20,15 +22,18 @@ struct SuiteEntry {
   graph::TaskGraph graph;
 };
 
-struct SweepConfig {
-  /// Deadline factors relative to the critical path length at f_max
-  /// (paper: 1.5, 2, 4, 8).
-  std::vector<double> deadline_factors{1.5, 2.0, 4.0, 8.0};
-  std::vector<StrategyKind> strategies{kAllStrategies.begin(), kAllStrategies.end()};
-  sched::PriorityPolicy policy{sched::PriorityPolicy::kEdf};
-  /// Worker threads (0 = hardware concurrency).
-  std::size_t threads{0};
+/// How a sweep cell ended.  Failed/timeout cells still occupy their slot in
+/// the result vector (with zeroed result fields and a typed error code), so
+/// one bad instance never discards the rest of the sweep.
+enum class CellOutcome {
+  kOk,       ///< strategy ran to completion (feasible or not)
+  kFailed,   ///< threw: input, validation or internal error
+  kTimeout,  ///< the watchdog budget expired
+  kSkipped,  ///< not executed (skip_cell predicate, e.g. journal resume)
 };
+
+[[nodiscard]] std::string_view to_string(CellOutcome o);
+[[nodiscard]] CellOutcome cell_outcome_from_string(std::string_view name);
 
 /// One (graph, deadline, strategy) outcome.
 struct InstanceResult {
@@ -45,11 +50,59 @@ struct InstanceResult {
   Cycles total_work{0};
   /// Wall-clock time spent scheduling this instance (one run_strategy call).
   double seconds{0.0};
+
+  // -- fault-isolation fields --
+  CellOutcome outcome{CellOutcome::kOk};
+  ErrorCode error{ErrorCode::kNone};
+  std::string error_message;  ///< bare message of the failing error
+  std::uint32_t retries{0};   ///< attempts beyond the first
+  /// True when the cell was replayed from a resume journal rather than
+  /// executed (set by the experiment pipeline, never by run_sweep).
+  bool from_journal{false};
+};
+
+struct SweepConfig {
+  /// Deadline factors relative to the critical path length at f_max
+  /// (paper: 1.5, 2, 4, 8).
+  std::vector<double> deadline_factors{1.5, 2.0, 4.0, 8.0};
+  std::vector<StrategyKind> strategies{kAllStrategies.begin(), kAllStrategies.end()};
+  sched::PriorityPolicy policy{sched::PriorityPolicy::kEdf};
+  /// Worker threads (0 = hardware concurrency).
+  std::size_t threads{0};
+
+  /// Wall-clock watchdog budget per cell (0 = unlimited).  Enforced
+  /// cooperatively: the scheduling loops poll a cancellation token (see
+  /// util/cancel.hpp) and the cell is recorded as CellOutcome::kTimeout.
+  double cell_timeout_seconds{0.0};
+  /// Run sched::validate_schedule on every materialized schedule; a
+  /// violation becomes a typed ValidationError cell instead of a silent
+  /// bad data point.
+  bool validate{true};
+  /// Extra attempts for cells failing with a *retryable* error (transient
+  /// I/O, injected faults).  Deterministic failures are never retried.
+  std::size_t max_retries{2};
+  /// Backoff before retry k is retry_backoff_seconds * 2^k.
+  double retry_backoff_seconds{0.05};
+
+  /// When set and returning true for a cell (key fields group / graph_name /
+  /// deadline_factor / strategy / parallelism / total_work are filled), the
+  /// cell is not executed and records CellOutcome::kSkipped.  The resume
+  /// path uses this to replay journaled cells.
+  std::function<bool(const InstanceResult&)> skip_cell;
+  /// Called after every *executed* cell (not skipped ones), from worker
+  /// threads; the callee must be thread-safe.  The journal hooks in here.
+  std::function<void(const InstanceResult&)> on_cell_done;
+  /// Test seam: invoked before each attempt of each cell; a throw is
+  /// handled exactly like a strategy failure (fault injection for the
+  /// isolation/retry tests).
+  std::function<void(const InstanceResult&, std::size_t attempt)> fault_injector;
 };
 
 /// Runs the sweep.  `entries` must outlive the call.  Results are in a
 /// deterministic order (by entry, then deadline factor, then strategy)
-/// regardless of thread interleaving.
+/// regardless of thread interleaving.  Cells are fault-isolated: a
+/// throwing or timing-out cell is recorded in place (see CellOutcome) and
+/// the sweep continues; run_sweep itself only throws on setup errors.
 [[nodiscard]] std::vector<InstanceResult> run_sweep(const std::vector<SuiteEntry>& entries,
                                                     const power::PowerModel& model,
                                                     const power::DvsLadder& ladder,

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/cancel.hpp"
+
 namespace lamps::core {
 
 std::string_view to_string(StrategyKind k) {
@@ -23,6 +25,10 @@ std::string_view to_string(StrategyKind k) {
 }
 
 StrategyResult run_strategy(StrategyKind kind, const Problem& prob) {
+  // Even closed-form strategies (the LIMIT bounds) respect an
+  // already-expired watchdog: check the token directly once on entry.
+  if (CancelToken* token = current_cancel_token(); token != nullptr)
+    token->check("core/run_strategy");
   switch (kind) {
     case StrategyKind::kSns:
       return schedule_and_stretch(prob);

@@ -1,14 +1,15 @@
 #include "exp/experiment.hpp"
 
-#include <ostream>
-#include <stdexcept>
-
 #include <map>
+#include <ostream>
 
+#include "exp/journal.hpp"
 #include "graph/transform.hpp"
 #include "obs/trace.hpp"
+#include "stg/format.hpp"
 #include "stg/suite.hpp"
 #include "util/csv.hpp"
+#include "util/errors.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -17,7 +18,8 @@ namespace lamps::exp {
 core::StrategyKind strategy_from_name(const std::string& name) {
   for (const core::StrategyKind k : core::kAllStrategies)
     if (name == core::to_string(k)) return k;
-  throw std::runtime_error("unknown strategy name: '" + name + "'");
+  throw InputError(ErrorCode::kConfig, "unknown strategy name: '" + name + "'", {},
+                   "valid names: S&S, LAMPS, S&S+PS, LAMPS+PS, LIMIT-SF, LIMIT-MF");
 }
 
 ExperimentSpec ExperimentSpec::from_ini(const Ini& ini) {
@@ -26,10 +28,20 @@ ExperimentSpec ExperimentSpec::from_ini(const Ini& ini) {
   spec.graphs_per_group = ini.get_size("suite", "graphs_per_group", spec.graphs_per_group);
   spec.include_apps = ini.get_bool("suite", "include_apps", spec.include_apps);
   spec.seed = ini.get_size("suite", "seed", spec.seed);
+  spec.stg_files = ini.get_string_list("suite", "stg_files", spec.stg_files);
 
   spec.deadline_factors =
       ini.get_double_list("experiment", "deadline_factors", spec.deadline_factors);
   spec.threads = ini.get_size("experiment", "threads", spec.threads);
+  spec.cell_timeout_seconds =
+      ini.get_double("experiment", "cell_timeout_seconds", spec.cell_timeout_seconds);
+  spec.validate = ini.get_bool("experiment", "validate", spec.validate);
+  spec.max_retries = ini.get_size("experiment", "max_retries", spec.max_retries);
+  spec.retry_backoff_seconds =
+      ini.get_double("experiment", "retry_backoff_seconds", spec.retry_backoff_seconds);
+  if (spec.cell_timeout_seconds < 0.0)
+    throw InputError(ErrorCode::kIniValue, "cell_timeout_seconds must be >= 0",
+                     ini.source(), "use 0 for no watchdog");
 
   const std::string gran = ini.get_string("experiment", "granularity", "coarse");
   if (gran == "coarse")
@@ -39,7 +51,9 @@ ExperimentSpec ExperimentSpec::from_ini(const Ini& ini) {
   else if (gran == "both")
     spec.granularities = {stg::kCoarseGrainCyclesPerUnit, stg::kFineGrainCyclesPerUnit};
   else
-    throw std::runtime_error("unknown granularity: '" + gran + "' (coarse|fine|both)");
+    throw InputError(ErrorCode::kIniValue,
+                     "unknown granularity: '" + gran + "' (coarse|fine|both)",
+                     ini.source());
 
   if (const auto names = ini.get_string_list("experiment", "strategies", {}); !names.empty()) {
     spec.strategies.clear();
@@ -58,22 +72,30 @@ std::string granularity_tag(Cycles unit) {
   return std::to_string(unit);
 }
 
-void write_instances_csv(const std::vector<core::InstanceResult>& results,
-                         const std::string& path, const std::string& tag) {
-  std::ofstream os = open_csv(path);
-  CsvWriter csv(os);
-  csv.row("granularity", "group", "graph", "deadline_factor", "strategy", "feasible",
-          "energy_j", "procs", "level", "parallelism", "schedules", "seconds");
+void write_instances_rows(CsvWriter& csv, const std::vector<core::InstanceResult>& results,
+                          const std::string& tag) {
+  csv.row("granularity", "group", "graph", "deadline_factor", "strategy", "outcome",
+          "error", "feasible", "energy_j", "procs", "level", "parallelism", "schedules",
+          "retries", "seconds", "error_message");
   for (const auto& r : results)
     csv.row(tag, r.group, r.graph_name, r.deadline_factor, core::to_string(r.strategy),
-            r.feasible ? 1 : 0, r.energy.value(), r.num_procs, r.level_index,
-            fmt_fixed(r.parallelism, 4), r.schedules_computed, r.seconds);
+            core::to_string(r.outcome), to_string(r.error), r.feasible ? 1 : 0,
+            r.energy.value(), r.num_procs, r.level_index, fmt_fixed(r.parallelism, 4),
+            r.schedules_computed, r.retries, r.seconds, r.error_message);
+}
+
+void write_instances_csv(const std::vector<core::InstanceResult>& results,
+                         const std::string& path, const std::string& tag) {
+  AtomicFile file(path);
+  CsvWriter csv(file.stream());
+  write_instances_rows(csv, results, tag);
+  file.commit();
 }
 
 void write_aggregate_csv(const std::vector<core::GroupRelative>& agg,
                          const std::string& path, const std::string& tag) {
-  std::ofstream os = open_csv(path);
-  CsvWriter csv(os);
+  AtomicFile file(path);
+  CsvWriter csv(file.stream());
   csv.row("granularity", "group", "deadline_factor", "strategy", "mean_rel", "stddev",
           "min", "max", "graphs", "skipped");
   for (const auto& g : agg)
@@ -81,6 +103,7 @@ void write_aggregate_csv(const std::vector<core::GroupRelative>& agg,
             fmt_fixed(g.mean_relative_energy, 6), fmt_fixed(g.stddev_relative_energy, 6),
             fmt_fixed(g.min_relative_energy, 6), fmt_fixed(g.max_relative_energy, 6),
             g.num_graphs, g.num_skipped);
+  file.commit();
 }
 
 /// Reads all three stopwatch clocks at the end of a phase.
@@ -99,8 +122,8 @@ PhaseClock read_clocks(const Stopwatch& watch) {
 void write_timing_csv(const std::vector<core::InstanceResult>& results,
                       const PhaseTiming& timing, const std::string& path,
                       const std::string& tag) {
-  std::ofstream os = open_csv(path);
-  CsvWriter csv(os);
+  AtomicFile file(path);
+  CsvWriter csv(file.stream());
   csv.row("granularity", "kind", "name", "wall_seconds", "cpu_process_seconds",
           "cpu_thread_seconds");
   const auto phase_row = [&](const char* name, const PhaseClock& c) {
@@ -113,6 +136,33 @@ void write_timing_csv(const std::vector<core::InstanceResult>& results,
   std::map<core::StrategyKind, double> per_strategy;
   for (const auto& r : results) per_strategy[r.strategy] += r.seconds;
   for (const auto& [k, s] : per_strategy) csv.row(tag, "strategy", core::to_string(k), s, "", "");
+  file.commit();
+}
+
+/// An stg_files entry that failed to load this pass; its sweep cells are
+/// synthesized as FAIL rows so the failure is visible in every output.
+struct FailedFile {
+  std::string path;
+  ErrorCode error{ErrorCode::kStgParse};
+  std::string message;
+};
+
+/// One FAIL row per (deadline factor, strategy) for a file that could not
+/// be loaded: the cells the file would have contributed, made explicit.
+void synthesize_failed_cells(const FailedFile& f, const ExperimentSpec& spec,
+                             std::vector<core::InstanceResult>& results) {
+  for (const double factor : spec.deadline_factors)
+    for (const core::StrategyKind s : spec.strategies) {
+      core::InstanceResult r;
+      r.group = "stg";
+      r.graph_name = f.path;
+      r.deadline_factor = factor;
+      r.strategy = s;
+      r.outcome = core::CellOutcome::kFailed;
+      r.error = f.error;
+      r.error_message = f.message;
+      results.push_back(std::move(r));
+    }
 }
 
 }  // namespace
@@ -122,12 +172,31 @@ ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os) {
   const power::DvsLadder ladder(model);
   ExperimentOutput out;
 
+  if (spec.resume && spec.csv_prefix.empty())
+    throw InputError(ErrorCode::kConfig, "resume requires an output csv_prefix", {},
+                     "set [output] csv_prefix so the journal has a location");
+
+  // One journal for all granularity passes (records carry the pass tag).
+  // Resuming keeps the existing records and appends; a fresh run truncates
+  // so stale records can never shadow a reconfigured sweep.
+  Journal journal;
+  JournalContents previous;
+  if (!spec.csv_prefix.empty()) {
+    out.journal_path = spec.csv_prefix + ".journal.jsonl";
+    if (spec.resume) {
+      previous = Journal::load(out.journal_path);
+      out.journal_lines_dropped = previous.lines_dropped;
+    }
+    journal.open(out.journal_path, /*truncate=*/!spec.resume);
+  }
+
   for (const Cycles unit : spec.granularities) {
     const std::string tag = granularity_tag(unit);
     PhaseTiming timing;
     timing.tag = tag;
     Stopwatch watch;
     std::vector<core::SuiteEntry> entries;
+    std::vector<FailedFile> failed_files;
     {
       obs::Span span("exp/suite");
       for (const std::size_t size : spec.sizes)
@@ -139,6 +208,17 @@ ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os) {
           const std::string group = g.name();
           entries.push_back(core::SuiteEntry{group, graph::scale_weights(g, unit)});
         }
+      // Extra .stg files, isolated per file: one malformed file costs its
+      // own cells (synthesized FAIL rows below), never the experiment.
+      for (const std::string& path : spec.stg_files) {
+        try {
+          entries.push_back(
+              core::SuiteEntry{"stg", graph::scale_weights(stg::read_stg_file(path), unit)});
+        } catch (const Error& e) {
+          failed_files.push_back(FailedFile{path, e.code(), e.message()});
+          os << "warning: skipping " << path << ": " << e.what() << "\n";
+        }
+      }
     }
     timing.suite = read_clocks(watch);
 
@@ -146,11 +226,67 @@ ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os) {
     cfg.deadline_factors = spec.deadline_factors;
     cfg.strategies = spec.strategies;
     cfg.threads = spec.threads;
+    cfg.cell_timeout_seconds = spec.cell_timeout_seconds;
+    cfg.validate = spec.validate;
+    cfg.max_retries = spec.max_retries;
+    cfg.retry_backoff_seconds = spec.retry_backoff_seconds;
+    if (spec.resume && !previous.records.empty()) {
+      // Cells whose journaled outcome is OK are skipped by the sweep and
+      // replayed below; failed/timed-out/missing cells re-run.
+      const auto* records = &previous.records;
+      cfg.skip_cell = [records, tag](const core::InstanceResult& r) {
+        const auto it = records->find(journal_key(tag, r));
+        return it != records->end() && it->second.outcome == core::CellOutcome::kOk;
+      };
+    }
+    if (journal.is_open())
+      cfg.on_cell_done = [&journal, tag](const core::InstanceResult& r) {
+        journal.append(make_journal_record(tag, r));
+      };
+
     watch.reset();
     std::vector<core::InstanceResult> results;
     {
       obs::Span span("exp/sweep");
       results = core::run_sweep(entries, model, ladder, cfg);
+    }
+    // Replay journaled results into the skipped slots — the record stores
+    // doubles at %.17g, so the restored row is bit-identical to the one the
+    // interrupted run produced.
+    std::size_t replayed = 0;
+    if (spec.resume && !previous.records.empty())
+      for (core::InstanceResult& r : results)
+        if (r.outcome == core::CellOutcome::kSkipped) {
+          const auto it = previous.records.find(journal_key(tag, r));
+          if (it != previous.records.end()) {
+            r = restore_instance(it->second);
+            ++replayed;
+          }
+        }
+    out.cells.replayed += replayed;
+    // Cells lost to unloadable stg_files, appended in deterministic order
+    // (file, then factor, then strategy) and journaled like executed cells.
+    for (const FailedFile& f : failed_files) synthesize_failed_cells(f, spec, results);
+    if (journal.is_open())
+      for (std::size_t i = results.size() -
+                           failed_files.size() * spec.deadline_factors.size() *
+                               spec.strategies.size();
+           i < results.size(); ++i)
+        journal.append(make_journal_record(tag, results[i]));
+    for (const core::InstanceResult& r : results) {
+      switch (r.outcome) {
+        case core::CellOutcome::kOk:
+          ++out.cells.ok;
+          break;
+        case core::CellOutcome::kFailed:
+          ++out.cells.failed;
+          break;
+        case core::CellOutcome::kTimeout:
+          ++out.cells.timeout;
+          break;
+        case core::CellOutcome::kSkipped:
+          break;  // resume slot with no journaled record (counted nowhere)
+      }
     }
     timing.sweep = read_clocks(watch);
     watch.reset();
@@ -172,6 +308,17 @@ ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os) {
                 fmt_percent(g.mean_relative_energy),
                 fmt_fixed(g.stddev_relative_energy, 3), g.num_graphs);
     table.print(os);
+
+    // Failed cells are first-class output: list every one with its code so
+    // a bad run can never masquerade as a clean table.
+    for (const auto& r : results)
+      if (r.outcome == core::CellOutcome::kFailed ||
+          r.outcome == core::CellOutcome::kTimeout)
+        os << core::to_string(r.outcome) << " cell: " << r.graph_name << " / "
+           << core::to_string(r.strategy) << " / d=" << r.deadline_factor << ": "
+           << to_string(r.error) << " " << r.error_message << "\n";
+    if (replayed > 0) os << "replayed " << replayed << " cells from " << out.journal_path
+                         << "\n";
 
     if (!spec.csv_prefix.empty()) {
       const std::string inst_path = spec.csv_prefix + "_" + tag + "_instances.csv";
@@ -200,6 +347,12 @@ ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os) {
     out.aggregated.insert(out.aggregated.end(), agg.begin(), agg.end());
     out.timings.push_back(timing);
   }
+
+  os << "cells: " << out.cells.ok << " ok, " << out.cells.failed << " failed, "
+     << out.cells.timeout << " timeout, " << out.cells.replayed << " replayed\n";
+  if (out.journal_lines_dropped > 0)
+    os << "journal: dropped " << out.journal_lines_dropped
+       << " corrupt/truncated record(s); those cells re-ran\n";
   return out;
 }
 

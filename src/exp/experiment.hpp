@@ -8,15 +8,29 @@
 //   graphs_per_group = 12
 //   include_apps     = true        ; fpppp / robot / sparse
 //   seed             = 0x57a6 is NOT supported — decimal only
+//   stg_files        =             ; extra .stg files, comma-separated
 //
 //   [experiment]
 //   deadline_factors = 1.5, 2, 4, 8
 //   granularity      = coarse      ; coarse | fine | both
 //   strategies       = S&S, LAMPS, S&S+PS, LAMPS+PS, LIMIT-SF, LIMIT-MF
 //   threads          = 0
+//   cell_timeout_seconds  = 0      ; watchdog per cell, 0 = unlimited
+//   validate              = true   ; check every schedule post-hoc
+//   max_retries           = 2      ; extra attempts for retryable failures
+//   retry_backoff_seconds = 0.05
 //
 //   [output]
 //   csv_prefix       = results/my_experiment
+//
+// Fault tolerance (docs/robustness.md): every sweep cell is isolated — a
+// malformed input file, a validation violation or a watchdog timeout
+// becomes a typed FAIL/TIMEOUT row instead of aborting the run.  With a
+// csv_prefix set, completed cells are journaled to
+// `<csv_prefix>.journal.jsonl` (fsync'd per record) and a later run with
+// `resume = true` replays the journaled OK cells bit-exactly, re-running
+// only failed/timed-out/missing ones.  All CSVs are written atomically
+// (temp file + rename).
 #pragma once
 
 #include <iosfwd>
@@ -33,6 +47,10 @@ struct ExperimentSpec {
   std::size_t graphs_per_group{12};
   bool include_apps{true};
   std::uint64_t seed{0x57a6};
+  /// Extra .stg files added to the suite (group "stg").  A file that fails
+  /// to load does not abort the experiment: its cells are recorded as FAIL
+  /// rows carrying the parse error.
+  std::vector<std::string> stg_files;
 
   std::vector<double> deadline_factors{1.5, 2.0, 4.0, 8.0};
   std::vector<Cycles> granularities{3'100'000};  // cycles per weight unit
@@ -40,16 +58,30 @@ struct ExperimentSpec {
                                              core::kAllStrategies.end()};
   std::size_t threads{0};
 
+  /// Per-cell watchdog budget in wall-clock seconds (0 = unlimited); an
+  /// expired cell is recorded as TIMEOUT, the sweep continues.
+  double cell_timeout_seconds{0.0};
+  /// Post-validate every produced schedule (sched::validate_schedule); a
+  /// violation becomes a typed FAIL cell.
+  bool validate{true};
+  /// Retry policy for retryable cell failures (see core::SweepConfig).
+  std::size_t max_retries{2};
+  double retry_backoff_seconds{0.05};
+
   /// Prefix for CSV outputs ("" = no files, report to stream only).
   std::string csv_prefix;
+  /// Resume from `<csv_prefix>.journal.jsonl`: journaled OK cells are
+  /// replayed bit-exactly instead of re-executed.  Requires csv_prefix.
+  /// Set by lamps_exp --resume.
+  bool resume{false};
 
-  /// Parses an INI document; throws std::runtime_error on unknown strategy
+  /// Parses an INI document; throws lamps::InputError on unknown strategy
   /// or granularity names.
   static ExperimentSpec from_ini(const Ini& ini);
 };
 
 /// Parses a strategy display name ("LAMPS+PS", case-sensitive as printed by
-/// core::to_string).  Throws on unknown names.
+/// core::to_string).  Throws lamps::InputError on unknown names.
 [[nodiscard]] core::StrategyKind strategy_from_name(const std::string& name);
 
 /// One phase's cost on all three clocks.  Process CPU exceeding wall clock
@@ -70,15 +102,30 @@ struct PhaseTiming {
   PhaseClock write;   ///< report + CSV emission
 };
 
+/// Cell dispositions over the whole experiment (all granularity passes).
+struct CellStats {
+  std::size_t ok{0};
+  std::size_t failed{0};    ///< FAIL cells (input, validation, internal)
+  std::size_t timeout{0};   ///< watchdog expirations
+  std::size_t replayed{0};  ///< ok cells restored from the resume journal
+  [[nodiscard]] std::size_t bad() const { return failed + timeout; }
+};
+
 struct ExperimentOutput {
   std::vector<core::InstanceResult> instances;
   std::vector<core::GroupRelative> aggregated;
   std::vector<std::string> csv_files_written;
   std::vector<PhaseTiming> timings;  ///< one entry per granularity pass
+  CellStats cells;
+  std::string journal_path;  ///< "" when no journal was written
+  /// Journal lines dropped on resume (truncated/corrupt); those cells re-ran.
+  std::size_t journal_lines_dropped{0};
 };
 
 /// Runs the experiment, printing a human-readable report to `os` and
-/// writing CSVs when csv_prefix is set.
+/// writing CSVs when csv_prefix is set.  Cell failures are isolated (see
+/// CellStats); the call itself throws only on setup errors (bad spec,
+/// unwritable output).
 ExperimentOutput run_experiment(const ExperimentSpec& spec, std::ostream& os);
 
 }  // namespace lamps::exp

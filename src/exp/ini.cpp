@@ -4,8 +4,10 @@
 #include <cctype>
 #include <charconv>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/errors.hpp"
 
 namespace lamps::exp {
 
@@ -23,9 +25,15 @@ std::string strip_comment(const std::string& line) {
   return pos == std::string::npos ? line : line.substr(0, pos);
 }
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
-  throw std::runtime_error("INI parse error on line " + std::to_string(line_no) + ": " +
-                           what);
+[[noreturn]] void fail(const std::string& source, std::size_t line_no,
+                       const std::string& what, const std::string& hint = {}) {
+  throw InputError(ErrorCode::kIniParse, what, source + ":" + std::to_string(line_no),
+                   hint);
+}
+
+[[noreturn]] void fail_value(const std::string& source, const std::string& section,
+                             const std::string& key, const std::string& what) {
+  throw InputError(ErrorCode::kIniValue, "[" + section + "] " + key + " " + what, source);
 }
 
 std::vector<std::string> split_list(const std::string& value) {
@@ -39,58 +47,73 @@ std::vector<std::string> split_list(const std::string& value) {
   return out;
 }
 
-double parse_double(const std::string& section, const std::string& key,
-                    const std::string& value) {
+double parse_double(const std::string& source, const std::string& section,
+                    const std::string& key, const std::string& value) {
   char* end = nullptr;
   const double v = std::strtod(value.c_str(), &end);
-  if (end != value.c_str() + value.size())
-    throw std::runtime_error("INI: [" + section + "] " + key + " is not a number: '" +
-                             value + "'");
+  if (value.empty() || end != value.c_str() + value.size())
+    fail_value(source, section, key, "is not a number: '" + value + "'");
   return v;
 }
 
-std::size_t parse_size(const std::string& section, const std::string& key,
-                       const std::string& value) {
+std::size_t parse_size(const std::string& source, const std::string& section,
+                       const std::string& key, const std::string& value) {
   std::size_t v = 0;
   const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), v);
   if (ec != std::errc{} || ptr != value.data() + value.size())
-    throw std::runtime_error("INI: [" + section + "] " + key +
-                             " is not a non-negative integer: '" + value + "'");
+    fail_value(source, section, key, "is not a non-negative integer: '" + value + "'");
   return v;
 }
 
 }  // namespace
 
-Ini Ini::parse(std::istream& is) {
+Ini Ini::parse(std::istream& is, const std::string& source) {
   Ini ini;
+  ini.source_ = source;
   std::string raw;
   std::string section;
   std::size_t line_no = 0;
+  // First-definition line of every key, to report both sides of a duplicate.
+  std::map<std::string, std::map<std::string, std::size_t>> defined_at;
   while (std::getline(is, raw)) {
     ++line_no;
     const std::string line = trim(strip_comment(raw));
     if (line.empty()) continue;
     if (line.front() == '[') {
-      if (line.back() != ']') fail(line_no, "unterminated section header");
+      if (line.back() != ']') fail(source, line_no, "unterminated section header");
       section = trim(std::string_view(line).substr(1, line.size() - 2));
-      if (section.empty()) fail(line_no, "empty section name");
+      if (section.empty()) fail(source, line_no, "empty section name");
       ini.data_[section];  // register even if empty
       continue;
     }
     const auto eq = line.find('=');
-    if (eq == std::string::npos) fail(line_no, "expected key = value");
-    if (section.empty()) fail(line_no, "key outside any [section]");
+    if (eq == std::string::npos) fail(source, line_no, "expected key = value");
+    if (section.empty()) fail(source, line_no, "key outside any [section]");
     const std::string key = trim(std::string_view(line).substr(0, eq));
     const std::string value = trim(std::string_view(line).substr(eq + 1));
-    if (key.empty()) fail(line_no, "empty key");
+    if (key.empty()) fail(source, line_no, "empty key");
+    const auto [it, inserted] = defined_at[section].emplace(key, line_no);
+    if (!inserted)
+      fail(source, line_no,
+           "duplicate key '" + key + "' in [" + section + "] (first defined on line " +
+               std::to_string(it->second) + ")",
+           "remove one of the assignments; later values no longer override earlier ones");
     ini.data_[section][key] = value;
   }
   return ini;
 }
 
-Ini Ini::parse_string(const std::string& text) {
+Ini Ini::parse_string(const std::string& text, const std::string& source) {
   std::istringstream is(text);
-  return parse(is);
+  return parse(is, source);
+}
+
+Ini Ini::parse_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    throw InputError(ErrorCode::kConfig, "cannot open config file", path,
+                     "check the path passed to --config / the tool argument");
+  return parse(is, path);
 }
 
 bool Ini::has_section(const std::string& section) const {
@@ -113,13 +136,13 @@ std::string Ini::get_string(const std::string& section, const std::string& key,
 double Ini::get_double(const std::string& section, const std::string& key,
                        double fallback) const {
   const auto v = get(section, key);
-  return v ? parse_double(section, key, *v) : fallback;
+  return v ? parse_double(source_, section, key, *v) : fallback;
 }
 
 std::size_t Ini::get_size(const std::string& section, const std::string& key,
                           std::size_t fallback) const {
   const auto v = get(section, key);
-  return v ? parse_size(section, key, *v) : fallback;
+  return v ? parse_size(source_, section, key, *v) : fallback;
 }
 
 bool Ini::get_bool(const std::string& section, const std::string& key, bool fallback) const {
@@ -130,8 +153,7 @@ bool Ini::get_bool(const std::string& section, const std::string& key, bool fall
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
   if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") return true;
   if (lower == "false" || lower == "0" || lower == "no" || lower == "off") return false;
-  throw std::runtime_error("INI: [" + section + "] " + key + " is not a boolean: '" + *v +
-                           "'");
+  fail_value(source_, section, key, "is not a boolean: '" + *v + "'");
 }
 
 std::vector<double> Ini::get_double_list(const std::string& section, const std::string& key,
@@ -140,7 +162,7 @@ std::vector<double> Ini::get_double_list(const std::string& section, const std::
   if (!v) return fallback;
   std::vector<double> out;
   for (const std::string& item : split_list(*v))
-    out.push_back(parse_double(section, key, item));
+    out.push_back(parse_double(source_, section, key, item));
   return out;
 }
 
@@ -150,7 +172,8 @@ std::vector<std::size_t> Ini::get_size_list(const std::string& section,
   const auto v = get(section, key);
   if (!v) return fallback;
   std::vector<std::size_t> out;
-  for (const std::string& item : split_list(*v)) out.push_back(parse_size(section, key, item));
+  for (const std::string& item : split_list(*v))
+    out.push_back(parse_size(source_, section, key, item));
   return out;
 }
 

@@ -4,8 +4,12 @@
 //   key = value        ; or # start comments (full-line or trailing)
 //   list = 1.5, 2, 4   ; comma-separated lists
 //
-// Keys are unique per section (later assignments override), sections are
-// case-sensitive, whitespace around tokens is trimmed.
+// Keys are unique per section — a duplicate assignment is rejected (the
+// error names both lines), so a typo can never silently shadow an earlier
+// setting.  Sections are case-sensitive, whitespace around tokens is
+// trimmed.  All parse/value errors are lamps::InputError carrying the
+// source name ("experiment.ini:12") and an error code (kIniParse for
+// malformed documents, kIniValue for unparsable values).
 #pragma once
 
 #include <iosfwd>
@@ -18,17 +22,22 @@ namespace lamps::exp {
 
 class Ini {
  public:
-  /// Parses the stream; throws std::runtime_error with a line number on
-  /// malformed input (text outside any section, missing '=').
-  static Ini parse(std::istream& is);
-  static Ini parse_string(const std::string& text);
+  /// Parses the stream; throws lamps::InputError(kIniParse) with
+  /// "<source>:<line>" context on malformed input (text outside any
+  /// section, missing '=', duplicate key).  `source` is the file name used
+  /// in error messages.
+  static Ini parse(std::istream& is, const std::string& source = "<ini>");
+  static Ini parse_string(const std::string& text, const std::string& source = "<string>");
+  /// Opens and parses `path`; throws lamps::InputError(kIo... ) when the
+  /// file cannot be read, parse errors as above with the file name.
+  static Ini parse_file(const std::string& path);
 
   [[nodiscard]] bool has_section(const std::string& section) const;
   [[nodiscard]] std::optional<std::string> get(const std::string& section,
                                                const std::string& key) const;
 
   /// Typed getters returning `fallback` when the key is absent and
-  /// throwing std::runtime_error when present but unparsable.
+  /// throwing lamps::InputError(kIniValue) when present but unparsable.
   [[nodiscard]] std::string get_string(const std::string& section, const std::string& key,
                                        const std::string& fallback) const;
   [[nodiscard]] double get_double(const std::string& section, const std::string& key,
@@ -48,9 +57,12 @@ class Ini {
       std::vector<std::string> fallback) const;
 
   [[nodiscard]] std::vector<std::string> sections() const;
+  /// The name errors are reported under (file name or "<string>").
+  [[nodiscard]] const std::string& source() const { return source_; }
 
  private:
   std::map<std::string, std::map<std::string, std::string>> data_;
+  std::string source_{"<ini>"};
 };
 
 }  // namespace lamps::exp

@@ -1,0 +1,472 @@
+#include "exp/journal.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "exp/experiment.hpp"
+#include "util/errors.hpp"
+
+namespace lamps::exp {
+
+namespace {
+
+/// %.17g round-trips every finite double: parsing the text yields the same
+/// bit pattern, and re-printing the parsed value yields the same text, so a
+/// journaled payload is stable across write -> load -> re-serialize.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// The digest-covered part of a journal line: everything between the braces
+/// except the trailing digest field, in a fixed field order.
+std::string payload(const JournalRecord& r) {
+  std::string p = "\"v\":1,\"tag\":\"";
+  json_escape_into(p, r.tag);
+  p += "\",\"group\":\"";
+  json_escape_into(p, r.group);
+  p += "\",\"graph\":\"";
+  json_escape_into(p, r.graph);
+  p += "\",\"factor\":";
+  p += fmt_double(r.deadline_factor);
+  p += ",\"strategy\":\"";
+  json_escape_into(p, r.strategy);
+  p += "\",\"outcome\":\"";
+  p += std::string(core::to_string(r.outcome));
+  p += "\",\"error\":\"";
+  p += std::string(to_string(r.error));
+  p += "\",\"message\":\"";
+  json_escape_into(p, r.message);
+  p += "\",\"retries\":";
+  p += std::to_string(r.retries);
+  p += ",\"feasible\":";
+  p += r.feasible ? '1' : '0';
+  p += ",\"energy_j\":";
+  p += fmt_double(r.energy_j);
+  p += ",\"procs\":";
+  p += std::to_string(r.num_procs);
+  p += ",\"level\":";
+  p += std::to_string(r.level_index);
+  p += ",\"schedules\":";
+  p += std::to_string(r.schedules_computed);
+  p += ",\"parallelism\":";
+  p += fmt_double(r.parallelism);
+  p += ",\"total_work\":";
+  p += std::to_string(r.total_work);
+  p += ",\"seconds\":";
+  p += fmt_double(r.seconds);
+  return p;
+}
+
+// ---- minimal flat-object JSON scanning -----------------------------------
+
+struct Scanner {
+  const std::string& s;
+  std::size_t i{0};
+
+  bool at(char c) const { return i < s.size() && s[i] == c; }
+  bool eat(char c) {
+    if (!at(c)) return false;
+    ++i;
+    return true;
+  }
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  }
+
+  /// Parses a JSON string literal (opening quote already expected at i).
+  bool string_lit(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (i < s.size()) {
+      const char c = s[i++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (i >= s.size()) return false;
+      const char esc = s[i++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (i + 4 > s.size()) return false;
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s[i++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          if (code > 0xff) return false;  // journal only escapes control bytes
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  /// Parses a bare JSON number into its raw text.
+  bool number_lit(std::string& out) {
+    const std::size_t start = i;
+    while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) != 0 ||
+                            s[i] == '-' || s[i] == '+' || s[i] == '.' || s[i] == 'e' ||
+                            s[i] == 'E'))
+      ++i;
+    if (i == start) return false;
+    out = s.substr(start, i - start);
+    return true;
+  }
+};
+
+struct Field {
+  std::string value;
+  bool is_string{false};
+};
+
+/// Scans one flat JSON object into key -> field.  Rejects nesting.
+bool scan_flat_object(const std::string& line, std::map<std::string, Field>& out) {
+  Scanner sc{line};
+  sc.skip_ws();
+  if (!sc.eat('{')) return false;
+  sc.skip_ws();
+  if (sc.eat('}')) return true;
+  for (;;) {
+    sc.skip_ws();
+    std::string key;
+    if (!sc.string_lit(key)) return false;
+    sc.skip_ws();
+    if (!sc.eat(':')) return false;
+    sc.skip_ws();
+    Field f;
+    if (sc.at('"')) {
+      f.is_string = true;
+      if (!sc.string_lit(f.value)) return false;
+    } else {
+      if (!sc.number_lit(f.value)) return false;
+    }
+    out[key] = std::move(f);
+    sc.skip_ws();
+    if (sc.eat(',')) continue;
+    if (sc.eat('}')) break;
+    return false;
+  }
+  sc.skip_ws();
+  return sc.i == line.size();
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  out = v;
+  return true;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  out = v;
+  return true;
+}
+
+void throw_io(const std::string& what, const std::string& path) {
+  throw InternalError(ErrorCode::kIo, what + ": " + std::strerror(errno), path,
+                      "check free space and directory permissions", /*retryable=*/true);
+}
+
+}  // namespace
+
+std::string journal_key(const std::string& tag, const std::string& group,
+                        const std::string& graph, double deadline_factor,
+                        const std::string& strategy) {
+  std::string key = tag;
+  key += '|';
+  key += group;
+  key += '|';
+  key += graph;
+  key += '|';
+  key += fmt_double(deadline_factor);
+  key += '|';
+  key += strategy;
+  return key;
+}
+
+std::string journal_key(const std::string& tag, const core::InstanceResult& r) {
+  return journal_key(tag, r.group, r.graph_name, r.deadline_factor,
+                     std::string(core::to_string(r.strategy)));
+}
+
+JournalRecord make_journal_record(const std::string& tag, const core::InstanceResult& r) {
+  JournalRecord rec;
+  rec.tag = tag;
+  rec.group = r.group;
+  rec.graph = r.graph_name;
+  rec.deadline_factor = r.deadline_factor;
+  rec.strategy = std::string(core::to_string(r.strategy));
+  rec.outcome = r.outcome;
+  rec.error = r.error;
+  rec.message = r.error_message;
+  rec.retries = r.retries;
+  rec.feasible = r.feasible;
+  rec.energy_j = r.energy.value();
+  rec.num_procs = r.num_procs;
+  rec.level_index = r.level_index;
+  rec.schedules_computed = r.schedules_computed;
+  rec.parallelism = r.parallelism;
+  rec.total_work = r.total_work;
+  rec.seconds = r.seconds;
+  return rec;
+}
+
+core::InstanceResult restore_instance(const JournalRecord& rec) {
+  core::InstanceResult r;
+  r.group = rec.group;
+  r.graph_name = rec.graph;
+  r.deadline_factor = rec.deadline_factor;
+  r.strategy = strategy_from_name(rec.strategy);
+  r.outcome = rec.outcome;
+  r.error = rec.error;
+  r.error_message = rec.message;
+  r.retries = rec.retries;
+  r.feasible = rec.feasible;
+  r.energy = Joules{rec.energy_j};
+  r.num_procs = rec.num_procs;
+  r.level_index = rec.level_index;
+  r.schedules_computed = rec.schedules_computed;
+  r.parallelism = rec.parallelism;
+  r.total_work = rec.total_work;
+  r.seconds = rec.seconds;
+  r.from_journal = true;
+  return r;
+}
+
+std::string journal_line(const JournalRecord& rec) {
+  const std::string p = payload(rec);
+  char digest[32];
+  std::snprintf(digest, sizeof digest, "%016llx",
+                static_cast<unsigned long long>(fnv1a(p)));
+  std::string line = "{";
+  line += p;
+  line += ",\"digest\":\"";
+  line += digest;
+  line += "\"}";
+  return line;
+}
+
+std::optional<JournalRecord> parse_journal_line(const std::string& line) {
+  std::map<std::string, Field> fields;
+  if (!scan_flat_object(line, fields)) return std::nullopt;
+
+  const auto str = [&](const char* key, std::string& out) {
+    const auto it = fields.find(key);
+    if (it == fields.end() || !it->second.is_string) return false;
+    out = it->second.value;
+    return true;
+  };
+  const auto num = [&](const char* key, std::string& out) {
+    const auto it = fields.find(key);
+    if (it == fields.end() || it->second.is_string) return false;
+    out = it->second.value;
+    return true;
+  };
+
+  std::string text;
+  std::uint64_t u = 0;
+  JournalRecord rec;
+
+  if (!num("v", text) || !parse_u64(text, u) || u != 1) return std::nullopt;
+  if (!str("tag", rec.tag)) return std::nullopt;
+  if (!str("group", rec.group)) return std::nullopt;
+  if (!str("graph", rec.graph)) return std::nullopt;
+  if (!num("factor", text) || !parse_double(text, rec.deadline_factor)) return std::nullopt;
+  if (!str("strategy", rec.strategy)) return std::nullopt;
+
+  if (!str("outcome", text)) return std::nullopt;
+  rec.outcome = core::cell_outcome_from_string(text);
+  if (text != core::to_string(rec.outcome)) return std::nullopt;
+  if (!str("error", text)) return std::nullopt;
+  rec.error = error_code_from_string(text);
+  if (text != to_string(rec.error)) return std::nullopt;
+  if (!str("message", rec.message)) return std::nullopt;
+  if (!num("retries", text) || !parse_u64(text, u)) return std::nullopt;
+  rec.retries = static_cast<std::uint32_t>(u);
+
+  if (!num("feasible", text) || !parse_u64(text, u) || u > 1) return std::nullopt;
+  rec.feasible = u == 1;
+  if (!num("energy_j", text) || !parse_double(text, rec.energy_j)) return std::nullopt;
+  if (!num("procs", text) || !parse_u64(text, u)) return std::nullopt;
+  rec.num_procs = u;
+  if (!num("level", text) || !parse_u64(text, u)) return std::nullopt;
+  rec.level_index = u;
+  if (!num("schedules", text) || !parse_u64(text, u)) return std::nullopt;
+  rec.schedules_computed = u;
+  if (!num("parallelism", text) || !parse_double(text, rec.parallelism)) return std::nullopt;
+  if (!num("total_work", text) || !parse_u64(text, u)) return std::nullopt;
+  rec.total_work = u;
+  if (!num("seconds", text) || !parse_double(text, rec.seconds)) return std::nullopt;
+
+  // The digest seals the payload: re-serialize what we parsed and compare.
+  // A corrupted byte anywhere in the line fails here even when the line is
+  // still syntactically valid JSON.
+  std::string digest;
+  if (!str("digest", digest)) return std::nullopt;
+  char expected[32];
+  std::snprintf(expected, sizeof expected, "%016llx",
+                static_cast<unsigned long long>(fnv1a(payload(rec))));
+  if (digest != expected) return std::nullopt;
+  return rec;
+}
+
+Journal::~Journal() { close(); }
+
+void Journal::open(const std::string& path, bool truncate) {
+  close();
+  int flags = O_RDWR | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) throw_io("cannot open journal", path);
+  if (!truncate) {
+    // Repair a torn tail (SIGKILL mid-append leaves a half-line without a
+    // newline): terminate it so new records never glue onto it — the torn
+    // line then simply fails its digest on the next load.
+    const off_t size = ::lseek(fd, 0, SEEK_END);
+    char last = '\n';
+    if (size > 0 && ::pread(fd, &last, 1, size - 1) == 1 && last != '\n')
+      (void)::write(fd, "\n", 1);
+  }
+  path_ = path;
+  fd_ = fd;
+}
+
+void Journal::append(const JournalRecord& rec) {
+  std::string line = journal_line(rec);
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0)
+    throw InternalError(ErrorCode::kIo, "journal append on closed journal", path_);
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io("journal write failed", path_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // The fsync is the crash-safety contract: once append returns, the record
+  // survives SIGKILL / power loss.
+  if (::fsync(fd_) != 0) throw_io("journal fsync failed", path_);
+}
+
+void Journal::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+JournalContents Journal::load(const std::string& path) {
+  JournalContents out;
+  std::ifstream is(path);
+  if (!is) return out;  // no journal yet: nothing to resume
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++out.lines_total;
+    const std::optional<JournalRecord> rec = parse_journal_line(line);
+    if (!rec.has_value()) {
+      // Truncated trailing line after a crash, or corruption: drop the
+      // record, the cell simply re-runs.
+      ++out.lines_dropped;
+      continue;
+    }
+    out.records[journal_key(rec->tag, rec->group, rec->graph, rec->deadline_factor,
+                            rec->strategy)] = *rec;
+  }
+  return out;
+}
+
+}  // namespace lamps::exp

@@ -1,0 +1,107 @@
+// Crash-safe experiment journal: one JSONL record per completed sweep cell.
+//
+// The journal is the experiment pipeline's write-ahead log.  Every executed
+// cell appends one self-contained line — key fields, outcome, the full
+// result payload and an FNV-1a digest of the serialized payload — and the
+// line is fsync'd before the append returns, so a record either exists
+// completely or not at all, even across SIGKILL.  `lamps_exp --resume`
+// loads the journal, replays cells whose recorded outcome is OK
+// (bit-exactly: the payload stores doubles at %.17g, which round-trips),
+// and re-runs failed / timed-out / missing cells.
+//
+// Load is tolerant by construction: a truncated trailing line, a corrupted
+// line or a digest mismatch drops that record (counted, reported) and the
+// cell simply re-runs.  Later records win on duplicate keys, so appending
+// a re-run's outcome supersedes the earlier failure.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/runner.hpp"
+
+namespace lamps::exp {
+
+/// One journal line.  `tag` is the granularity pass ("coarse"/"fine") the
+/// cell belongs to; together with group/graph/factor/strategy it forms the
+/// resume key.
+struct JournalRecord {
+  std::string tag;
+  std::string group;
+  std::string graph;
+  double deadline_factor{0.0};
+  std::string strategy;  ///< display name, core::to_string(StrategyKind)
+
+  core::CellOutcome outcome{core::CellOutcome::kOk};
+  ErrorCode error{ErrorCode::kNone};
+  std::string message;
+  std::uint32_t retries{0};
+
+  bool feasible{false};
+  double energy_j{0.0};
+  std::size_t num_procs{0};
+  std::size_t level_index{0};
+  std::size_t schedules_computed{0};
+  double parallelism{0.0};
+  std::uint64_t total_work{0};
+  double seconds{0.0};
+};
+
+/// Canonical resume key of a cell.
+[[nodiscard]] std::string journal_key(const std::string& tag, const std::string& group,
+                                      const std::string& graph, double deadline_factor,
+                                      const std::string& strategy);
+[[nodiscard]] std::string journal_key(const std::string& tag, const core::InstanceResult& r);
+
+[[nodiscard]] JournalRecord make_journal_record(const std::string& tag,
+                                                const core::InstanceResult& r);
+
+/// Rebuilds the InstanceResult a record was made from (`from_journal` set).
+/// Throws InputError on an unknown strategy name.
+[[nodiscard]] core::InstanceResult restore_instance(const JournalRecord& rec);
+
+/// Serializes one record as a single JSON line (no trailing newline).
+[[nodiscard]] std::string journal_line(const JournalRecord& rec);
+/// Parses one line; nullopt when malformed or the digest does not match.
+[[nodiscard]] std::optional<JournalRecord> parse_journal_line(const std::string& line);
+
+/// Outcome of Journal::load.
+struct JournalContents {
+  std::map<std::string, JournalRecord> records;  ///< by journal_key, later lines win
+  std::size_t lines_total{0};
+  std::size_t lines_dropped{0};  ///< malformed / truncated / digest mismatch
+};
+
+/// Append-only writer with per-record fsync.  Thread-safe.
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens `path` for appending (`truncate` starts fresh — used when not
+  /// resuming, so stale records cannot shadow a reconfigured sweep).
+  /// Throws InternalError(kIo) on failure.
+  void open(const std::string& path, bool truncate);
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Appends one record and fsyncs.  Throws InternalError(kIo) on failure.
+  void append(const JournalRecord& rec);
+
+  void close();
+
+  /// Loads a journal; a missing file yields empty contents.
+  [[nodiscard]] static JournalContents load(const std::string& path);
+
+ private:
+  std::mutex mutex_;
+  std::string path_;
+  int fd_{-1};
+};
+
+}  // namespace lamps::exp

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/cancel.hpp"
 
 namespace lamps::sched {
 
@@ -122,6 +123,10 @@ Cycles ListScheduleWorkspace::run_event_loop(const graph::TaskGraph& g, std::siz
   // every occupancy bit is clean when the run returns, so the next run can
   // skip the O(slots) re-initialization.
   while (scheduled < g.num_tasks() || cal.count > 0) {
+    // Watchdog poll: a stride-counted no-op without an installed token
+    // (see util/cancel.hpp); the throw path leaves cal.dirty set, so an
+    // aborted run re-initializes the calendar on the next use.
+    cancel_checkpoint("sched/list_schedule");
     // Dispatch greedily while both a ready task and a free processor exist.
     while (!ws.ready_.empty() && !ws.free_procs_.empty()) {
       const graph::TaskId v = ws.task_of_rank_[ws.ready_.pop_min()];
@@ -259,6 +264,7 @@ Schedule list_schedule_insertion(const graph::TaskGraph& g, std::size_t num_proc
   }
 
   while (!ready.empty()) {
+    cancel_checkpoint("sched/list_schedule_insertion");
     const graph::TaskId v = ready.top().task;
     ready.pop();
     Cycles ready_time = 0;

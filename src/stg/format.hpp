@@ -27,10 +27,16 @@ struct ParseOptions {
   std::string name{"stg"};
 };
 
-/// Parses one .stg stream.  Throws std::runtime_error on malformed input.
+/// Parses one .stg stream with strict validation: whole-token numbers,
+/// consecutive task ids, declared predecessor counts, no duplicate or
+/// dangling predecessors, no self-loops/cycles.  Throws
+/// lamps::InputError(kStgParse) with "<name>:<line>" context on malformed
+/// input and lamps::InputError(kGraphStructure) when the file parses but
+/// is not a valid task DAG.
 [[nodiscard]] graph::TaskGraph read_stg(std::istream& is, const ParseOptions& opts = {});
 
-/// Parses an .stg file from disk.
+/// Parses an .stg file from disk.  Throws lamps::InputError when the file
+/// cannot be opened or read_stg rejects it.
 [[nodiscard]] graph::TaskGraph read_stg_file(const std::string& path,
                                              const ParseOptions& opts = {});
 

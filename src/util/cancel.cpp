@@ -1,0 +1,73 @@
+#include "util/cancel.hpp"
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/errors.hpp"
+
+namespace lamps {
+
+namespace {
+
+thread_local CancelToken* tls_token = nullptr;
+// Calls until the next real clock read.  Reset on scope entry so the first
+// checkpoint under a fresh token always consults the clock.
+thread_local unsigned tls_countdown = 0;
+
+obs::Counter& timeout_counter() {
+  static obs::Counter& c = obs::counter("watchdog.timeouts");
+  return c;
+}
+
+}  // namespace
+
+CancelToken::CancelToken(double budget_seconds) : budget_seconds_(budget_seconds) {
+  if (budget_seconds > 0.0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(budget_seconds));
+  }
+}
+
+bool CancelToken::expired() const noexcept {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+void CancelToken::check(const char* where) const {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    throw TimeoutError(ErrorCode::kCancelled, "work was cancelled", where);
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    timeout_counter().inc();
+    throw TimeoutError(ErrorCode::kCellTimeout,
+                       "watchdog budget of " + std::to_string(budget_seconds_) +
+                           " s exhausted",
+                       where, "raise cell_timeout_seconds or exclude the instance");
+  }
+}
+
+CancelToken* current_cancel_token() noexcept { return tls_token; }
+
+CancelScope::CancelScope(CancelToken* token) noexcept : previous_(tls_token) {
+  tls_token = token;
+  tls_countdown = 0;
+}
+
+CancelScope::~CancelScope() {
+  tls_token = previous_;
+  tls_countdown = 0;
+}
+
+void cancel_checkpoint(const char* where) {
+  if (tls_token == nullptr) return;
+  if (tls_countdown > 0) {
+    --tls_countdown;
+    return;
+  }
+  tls_countdown = kCancelPollStride - 1;
+  tls_token->check(where);
+}
+
+}  // namespace lamps

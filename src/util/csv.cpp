@@ -1,13 +1,70 @@
 #include "util/csv.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/errors.hpp"
+
 namespace lamps {
+
+namespace {
+
+/// fsync the file at `path` (O_WRONLY for regular files, O_RDONLY for
+/// directories).  Best-effort on file systems that reject directory fsync.
+void fsync_path(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY : O_WRONLY);
+  if (fd < 0) {
+    if (directory) return;  // some file systems refuse; rename is still atomic
+    throw InternalError(ErrorCode::kIo, "cannot reopen for fsync", path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !directory)
+    throw InternalError(ErrorCode::kIo, "fsync failed", path);
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  if (pos == std::string::npos) return ".";
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+}  // namespace
 
 std::ofstream open_csv(const std::string& path) {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("cannot open CSV output file: " + path);
   return os;
+}
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp"), os_(tmp_path_) {
+  if (!os_)
+    throw InternalError(ErrorCode::kIo, "cannot open temp output file", tmp_path_,
+                        "check that the output directory exists and is writable");
+}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) {
+    os_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void AtomicFile::commit() {
+  if (committed_) return;
+  os_.flush();
+  if (!os_) throw InternalError(ErrorCode::kIo, "write failed", tmp_path_);
+  os_.close();
+  fsync_path(tmp_path_, /*directory=*/false);
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0)
+    throw InternalError(ErrorCode::kIo, "rename failed", tmp_path_ + " -> " + path_);
+  fsync_path(parent_dir(path_), /*directory=*/true);
+  committed_ = true;
 }
 
 }  // namespace lamps

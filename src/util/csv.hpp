@@ -70,4 +70,33 @@ class CsvWriter {
 /// Convenience: open `path` for writing, throwing on failure.
 [[nodiscard]] std::ofstream open_csv(const std::string& path);
 
+/// Crash-safe output file: writes go to `<path>.tmp`, and commit() makes
+/// them visible at `path` via flush + fsync + atomic rename (the directory
+/// entry is fsync'd too).  Readers therefore only ever see either the old
+/// complete file or the new complete file — never a torn write, even
+/// across SIGKILL.  Destroying an uncommitted AtomicFile removes the temp
+/// file and leaves `path` untouched.
+class AtomicFile {
+ public:
+  /// Opens `<path>.tmp` for writing; throws InternalError(kIo) on failure.
+  explicit AtomicFile(std::string path);
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  [[nodiscard]] std::ostream& stream() { return os_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Flushes, fsyncs and renames the temp file onto `path`.  Throws
+  /// InternalError(kIo) on any failure; idempotent (second call no-ops).
+  void commit();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream os_;
+  bool committed_{false};
+};
+
 }  // namespace lamps

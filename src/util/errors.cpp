@@ -1,0 +1,96 @@
+#include "util/errors.hpp"
+
+namespace lamps {
+
+namespace {
+
+std::string compose(ErrorCode code, const std::string& message, const std::string& context,
+                    const std::string& hint) {
+  std::string out(to_string(code));
+  out += ": ";
+  out += message;
+  if (!context.empty()) {
+    out += " [";
+    out += context;
+    out += ']';
+  }
+  if (!hint.empty()) {
+    out += " (hint: ";
+    out += hint;
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone:
+      return "E_NONE";
+    case ErrorCode::kIniParse:
+      return "E_INI_PARSE";
+    case ErrorCode::kIniValue:
+      return "E_INI_VALUE";
+    case ErrorCode::kStgParse:
+      return "E_STG_PARSE";
+    case ErrorCode::kGraphStructure:
+      return "E_GRAPH_STRUCTURE";
+    case ErrorCode::kConfig:
+      return "E_CONFIG";
+    case ErrorCode::kScheduleInvalid:
+      return "E_SCHEDULE_INVALID";
+    case ErrorCode::kCellTimeout:
+      return "E_TIMEOUT";
+    case ErrorCode::kCancelled:
+      return "E_CANCELLED";
+    case ErrorCode::kIo:
+      return "E_IO";
+    case ErrorCode::kInternal:
+      return "E_INTERNAL";
+  }
+  return "E_INTERNAL";
+}
+
+ErrorCode error_code_from_string(std::string_view name) {
+  for (const ErrorCode c :
+       {ErrorCode::kNone, ErrorCode::kIniParse, ErrorCode::kIniValue, ErrorCode::kStgParse,
+        ErrorCode::kGraphStructure, ErrorCode::kConfig, ErrorCode::kScheduleInvalid,
+        ErrorCode::kCellTimeout, ErrorCode::kCancelled, ErrorCode::kIo, ErrorCode::kInternal})
+    if (name == to_string(c)) return c;
+  return ErrorCode::kInternal;
+}
+
+int exit_code_for(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone:
+      return 0;
+    case ErrorCode::kIniParse:
+    case ErrorCode::kIniValue:
+    case ErrorCode::kStgParse:
+    case ErrorCode::kGraphStructure:
+    case ErrorCode::kConfig:
+      return 2;
+    case ErrorCode::kScheduleInvalid:
+      return 3;
+    case ErrorCode::kCellTimeout:
+    case ErrorCode::kCancelled:
+      return 4;
+    case ErrorCode::kIo:
+      return 5;
+    case ErrorCode::kInternal:
+      return 1;
+  }
+  return 1;
+}
+
+Error::Error(ErrorCode code, const std::string& message, std::string context,
+             std::string hint, bool retryable)
+    : std::runtime_error(compose(code, message, context, hint)),
+      code_(code),
+      message_(message),
+      context_(std::move(context)),
+      hint_(std::move(hint)),
+      retryable_(retryable) {}
+
+}  // namespace lamps

@@ -1,0 +1,103 @@
+// Structured error taxonomy for the whole pipeline.
+//
+// Every failure the experiment driver can isolate carries (1) a stable
+// machine-readable code (rendered into CSV/journal cells and mapped to a
+// process exit code), (2) the *instance context* — which file, line, graph
+// or sweep cell failed — and (3) a remediation hint for the operator.  The
+// four categories mirror who has to act:
+//
+//   InputError       the input artifact is malformed           -> fix input
+//   ValidationError  a computed result violates an invariant   -> file a bug
+//   TimeoutError     a cell exceeded its watchdog budget       -> raise budget
+//   InternalError    anything else (logic errors, I/O)         -> file a bug
+//
+// Process exit codes (documented in docs/robustness.md and README):
+//
+//   0  success                      4  E_TIMEOUT / E_CANCELLED
+//   1  unhandled std::exception     5  E_IO
+//   2  input/config errors          6  sweep completed but some cells
+//   3  validation errors               failed (--strict only)
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace lamps {
+
+enum class ErrorCode {
+  kNone = 0,
+  // -- input --
+  kIniParse,         ///< malformed INI document
+  kIniValue,         ///< INI key present but unparsable / invalid
+  kStgParse,         ///< malformed STG file
+  kGraphStructure,   ///< parsed, but the graph is not a valid task DAG
+  kConfig,           ///< inconsistent experiment configuration
+  // -- validation --
+  kScheduleInvalid,  ///< a strategy produced an invalid schedule
+  // -- timeout --
+  kCellTimeout,      ///< watchdog budget exceeded
+  kCancelled,        ///< cooperative cancellation (not deadline-driven)
+  // -- internal --
+  kIo,               ///< file system failure (open/write/rename)
+  kInternal,         ///< unexpected condition; catch-all
+};
+
+/// Stable wire name ("E_STG_PARSE", ...).  Round-trips through
+/// error_code_from_string for journal replay.
+[[nodiscard]] std::string_view to_string(ErrorCode code);
+[[nodiscard]] ErrorCode error_code_from_string(std::string_view name);
+
+/// Process exit code for a failure of this kind (see table above).
+[[nodiscard]] int exit_code_for(ErrorCode code);
+
+/// Exit code used by --strict runs whose sweep finished but recorded at
+/// least one failed/timeout cell.
+inline constexpr int kExitPartialFailure = 6;
+
+/// Base of the taxonomy.  what() composes "<CODE>: <message> [<context>]
+/// (hint: <hint>)" so untyped catch sites still print everything.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message, std::string context = {},
+        std::string hint = {}, bool retryable = false);
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  /// Which instance failed: "file.stg:12", "graph r50-3 / LAMPS / d=1.5", ...
+  [[nodiscard]] const std::string& context() const noexcept { return context_; }
+  [[nodiscard]] const std::string& hint() const noexcept { return hint_; }
+  /// The bare message, without code/context/hint decoration.
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+  /// Whether retrying the same operation can plausibly succeed (transient
+  /// I/O, injected faults).  Deterministic failures must stay false.
+  [[nodiscard]] bool retryable() const noexcept { return retryable_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+  std::string context_;
+  std::string hint_;
+  bool retryable_;
+};
+
+class InputError : public Error {
+ public:
+  using Error::Error;
+};
+
+class ValidationError : public Error {
+ public:
+  using Error::Error;
+};
+
+class TimeoutError : public Error {
+ public:
+  using Error::Error;
+};
+
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace lamps

@@ -67,8 +67,10 @@ std::size_t ThreadPool::active() const {
   return in_flight_;
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+std::future<void> ThreadPool::submit(std::function<void()> task) {
   if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
+  std::promise<void> done;
+  std::future<void> fut = done.get_future();
   {
     std::scoped_lock lock(mutex_);
     if (stopping_)
@@ -76,11 +78,13 @@ void ThreadPool::submit(std::function<void()> task) {
                              std::to_string(workers_.size()) +
                              ", queued=" + std::to_string(queue_.size()) +
                              ", active=" + std::to_string(in_flight_) + ")");
-    queue_.push_back(QueuedTask{std::move(task), std::chrono::steady_clock::now()});
+    queue_.push_back(
+        QueuedTask{std::move(task), std::move(done), std::chrono::steady_clock::now()});
     queue_gauge().set(static_cast<std::int64_t>(queue_.size()));
   }
   submitted_counter().inc();
   cv_work_.notify_one();
+  return fut;
 }
 
 void ThreadPool::wait_idle() {
@@ -103,7 +107,14 @@ void ThreadPool::worker_loop() {
     const auto started = std::chrono::steady_clock::now();
     wait_hist().observe(seconds_between(task.enqueued, started));
     active_gauge().add(1);
-    task.fn();
+    // Exceptions are captured into the submitting future, not swallowed:
+    // the worker survives, and the caller sees the original exception.
+    try {
+      task.fn();
+      task.done.set_value();
+    } catch (...) {
+      task.done.set_exception(std::current_exception());
+    }
     active_gauge().add(-1);
     run_hist().observe(seconds_between(started, std::chrono::steady_clock::now()));
     {
@@ -116,8 +127,22 @@ void ThreadPool::worker_loop() {
 
 void parallel_for_index(ThreadPool& pool, std::size_t count,
                         const std::function<void(std::size_t)>& body) {
-  for (std::size_t i = 0; i < count; ++i) pool.submit([&body, i] { body(i); });
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    futures.push_back(pool.submit([&body, i] { body(i); }));
   pool.wait_idle();
+  // All indices have run; surface the lowest failed index's exception so
+  // the outcome is deterministic at any thread count.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace lamps

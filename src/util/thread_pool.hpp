@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -41,11 +42,13 @@ class ThreadPool {
   /// Tasks currently executing on a worker.
   [[nodiscard]] std::size_t active() const;
 
-  /// Enqueues a task.  Tasks must not throw; exceptions escaping a task
-  /// terminate (by design: experiment work items catch and record their own
-  /// failures).  Throws std::logic_error — reporting the pool's worker,
-  /// queued and active counts — if the pool is already shutting down.
-  void submit(std::function<void()> task);
+  /// Enqueues a task and returns the future observing it.  An exception
+  /// escaping the task is captured into the future (never swallowed by the
+  /// worker, never terminates the pool); callers that discard the future
+  /// accept losing it.  Throws std::logic_error — reporting the pool's
+  /// worker, queued and active counts — if the pool is already shutting
+  /// down.
+  std::future<void> submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void wait_idle();
@@ -53,6 +56,7 @@ class ThreadPool {
  private:
   struct QueuedTask {
     std::function<void()> fn;
+    std::promise<void> done;
     std::chrono::steady_clock::time_point enqueued;
   };
 
@@ -69,6 +73,9 @@ class ThreadPool {
 
 /// Runs body(i) for i in [0, count) across the pool and waits for
 /// completion.  `body` must be safe to invoke concurrently for distinct i.
+/// Every index runs to completion even when some throw; afterwards the
+/// exception of the *lowest* failed index is rethrown (deterministic
+/// regardless of thread interleaving).
 void parallel_for_index(ThreadPool& pool, std::size_t count,
                         const std::function<void(std::size_t)>& body);
 

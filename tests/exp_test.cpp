@@ -33,11 +33,43 @@ TEST(Ini, ParsesSectionsKeysAndComments) {
   EXPECT_TRUE(ini.get_bool("beta", "flag", false));
 }
 
-TEST(Ini, FallbacksAndOverrides) {
-  const Ini ini = Ini::parse_string("[s]\nk = 1\nk = 2\n");
-  EXPECT_EQ(ini.get_size("s", "k", 0), 2u);          // later wins
+TEST(Ini, FallbacksAndDuplicateKeys) {
+  // Duplicate keys are rejected (not last-write-wins) so a typo can never
+  // silently shadow an earlier setting; the error names both lines.
+  try {
+    (void)Ini::parse_string("[s]\nk = 1\nk = 2\n", "dup.ini");
+    FAIL() << "duplicate key accepted";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIniParse);
+    EXPECT_EQ(e.context(), "dup.ini:3");
+    EXPECT_NE(e.message().find("first defined on line 2"), std::string::npos) << e.what();
+  }
+  // The same key in different sections is fine.
+  const Ini ini = Ini::parse_string("[s]\nk = 1\n[t]\nk = 2\n");
+  EXPECT_EQ(ini.get_size("s", "k", 0), 1u);
+  EXPECT_EQ(ini.get_size("t", "k", 0), 2u);
   EXPECT_EQ(ini.get_size("s", "missing", 7), 7u);    // fallback
   EXPECT_EQ(ini.get_double("nope", "k", 1.5), 1.5);  // missing section
+}
+
+TEST(Ini, ErrorsCarryTheSourceName) {
+  try {
+    (void)Ini::parse_string("[s]\nno equals\n", "broken.ini");
+    FAIL() << "malformed line accepted";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIniParse);
+    EXPECT_EQ(e.context(), "broken.ini:2");
+  }
+  // Value errors report the source too (no line: values are looked up later).
+  const Ini ini = Ini::parse_string("[s]\nx = abc\n", "vals.ini");
+  try {
+    (void)ini.get_double("s", "x", 0.0);
+    FAIL() << "bad value accepted";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIniValue);
+    EXPECT_EQ(e.context(), "vals.ini");
+  }
+  EXPECT_THROW((void)Ini::parse_file("/nonexistent/lamps.ini"), InputError);
 }
 
 TEST(Ini, Lists) {
@@ -107,6 +139,21 @@ TEST(Spec, RejectsUnknownNames) {
   EXPECT_EQ(strategy_from_name("LAMPS+PS"), core::StrategyKind::kLampsPs);
 }
 
+TEST(Spec, ParsesFaultToleranceKeys) {
+  const ExperimentSpec spec = ExperimentSpec::from_ini(Ini::parse_string(
+      "[suite]\nstg_files = a.stg, b.stg\n"
+      "[experiment]\ncell_timeout_seconds = 2.5\nvalidate = false\n"
+      "max_retries = 4\nretry_backoff_seconds = 0.1\n"));
+  EXPECT_EQ(spec.stg_files, (std::vector<std::string>{"a.stg", "b.stg"}));
+  EXPECT_EQ(spec.cell_timeout_seconds, 2.5);
+  EXPECT_FALSE(spec.validate);
+  EXPECT_EQ(spec.max_retries, 4u);
+  EXPECT_EQ(spec.retry_backoff_seconds, 0.1);
+  EXPECT_THROW((void)ExperimentSpec::from_ini(Ini::parse_string(
+                   "[experiment]\ncell_timeout_seconds = -1\n")),
+               InputError);
+}
+
 // ------------------------------------------------------------ end to end --
 
 TEST(Experiment, RunsAndWritesCsv) {
@@ -133,6 +180,11 @@ TEST(Experiment, RunsAndWritesCsv) {
     EXPECT_NE(header.find("granularity"), std::string::npos);
     std::remove(path.c_str());
   }
+  EXPECT_EQ(out.journal_path, prefix + ".journal.jsonl");
+  EXPECT_TRUE(std::filesystem::exists(out.journal_path));
+  EXPECT_EQ(out.cells.ok, out.instances.size());
+  EXPECT_EQ(out.cells.bad(), 0u);
+  std::remove(out.journal_path.c_str());
   EXPECT_NE(report.str().find("coarse grain"), std::string::npos);
   EXPECT_NE(report.str().find("LAMPS+PS"), std::string::npos);
   ASSERT_EQ(out.timings.size(), 1u);

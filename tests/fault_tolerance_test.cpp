@@ -1,0 +1,304 @@
+// Fault-tolerance tests for the experiment sweep: per-cell isolation,
+// retry-with-backoff, watchdog timeouts, and crash-safe kill-and-resume
+// through the journal.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "exp/experiment.hpp"
+#include "graph/transform.hpp"
+#include "obs/metrics.hpp"
+#include "stg/suite.hpp"
+#include "util/errors.hpp"
+
+namespace lamps {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<core::SuiteEntry> tiny_suite(std::size_t graphs = 2) {
+  std::vector<core::SuiteEntry> entries;
+  for (auto& g : stg::make_random_group(20, graphs, /*seed=*/7))
+    entries.push_back(core::SuiteEntry{"20", graph::scale_weights(g, 3'100'000)});
+  return entries;
+}
+
+core::SweepConfig tiny_config() {
+  core::SweepConfig cfg;
+  cfg.deadline_factors = {2.0, 4.0};
+  cfg.strategies = {core::StrategyKind::kSns, core::StrategyKind::kLamps};
+  cfg.threads = 2;
+  cfg.retry_backoff_seconds = 0.0;  // keep retry tests fast
+  return cfg;
+}
+
+// ------------------------------------------------------- cell isolation --
+
+TEST(FaultIsolation, OneFailingCellNeverDiscardsTheSweep) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const auto entries = tiny_suite();
+  core::SweepConfig cfg = tiny_config();
+  cfg.fault_injector = [&](const core::InstanceResult& cell, std::size_t) {
+    if (cell.graph_name == entries[0].graph.name() &&
+        cell.strategy == core::StrategyKind::kLamps && cell.deadline_factor == 2.0)
+      throw InternalError(ErrorCode::kInternal, "injected fault");
+  };
+
+  const auto results = core::run_sweep(entries, model, ladder, cfg);
+  ASSERT_EQ(results.size(), 2u * 2u * 2u);
+  std::size_t failed = 0;
+  for (const auto& r : results) {
+    if (r.outcome == core::CellOutcome::kFailed) {
+      ++failed;
+      EXPECT_EQ(r.graph_name, entries[0].graph.name());
+      EXPECT_EQ(r.strategy, core::StrategyKind::kLamps);
+      EXPECT_EQ(r.error, ErrorCode::kInternal);
+      EXPECT_EQ(r.error_message, "injected fault");
+      // The payload is zeroed: a failed cell can never look like data.
+      EXPECT_FALSE(r.feasible);
+      EXPECT_EQ(r.energy.value(), 0.0);
+      EXPECT_EQ(r.num_procs, 0u);
+    } else {
+      EXPECT_EQ(r.outcome, core::CellOutcome::kOk);
+      EXPECT_EQ(r.error, ErrorCode::kNone);
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+}
+
+TEST(FaultIsolation, RetryableFailuresAreRetriedWithCountedAttempts) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const auto entries = tiny_suite(1);
+  core::SweepConfig cfg = tiny_config();
+  cfg.deadline_factors = {2.0};
+  cfg.strategies = {core::StrategyKind::kSns};
+  cfg.threads = 1;
+  cfg.max_retries = 2;
+  cfg.fault_injector = [](const core::InstanceResult&, std::size_t attempt) {
+    if (attempt < 2)
+      throw InternalError(ErrorCode::kIo, "transient", {}, {}, /*retryable=*/true);
+  };
+
+  const std::uint64_t retries_before = obs::counter("sweep.retries").value();
+  const auto results = core::run_sweep(entries, model, ladder, cfg);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].outcome, core::CellOutcome::kOk);
+  EXPECT_EQ(results[0].retries, 2u);
+  EXPECT_TRUE(results[0].feasible);
+  EXPECT_EQ(obs::counter("sweep.retries").value(), retries_before + 2);
+}
+
+TEST(FaultIsolation, RetriesStopAtTheBudgetAndDeterministicFailuresNeverRetry) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const auto entries = tiny_suite(1);
+  core::SweepConfig cfg = tiny_config();
+  cfg.deadline_factors = {2.0};
+  cfg.strategies = {core::StrategyKind::kSns, core::StrategyKind::kLamps};
+  cfg.threads = 1;
+  cfg.max_retries = 2;
+  std::size_t deterministic_attempts = 0;
+  cfg.fault_injector = [&](const core::InstanceResult& cell, std::size_t) {
+    if (cell.strategy == core::StrategyKind::kSns)
+      throw InternalError(ErrorCode::kIo, "always down", {}, {}, /*retryable=*/true);
+    ++deterministic_attempts;
+    throw ValidationError(ErrorCode::kScheduleInvalid, "broken");  // not retryable
+  };
+
+  const auto results = core::run_sweep(entries, model, ladder, cfg);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.outcome, core::CellOutcome::kFailed);
+    if (r.strategy == core::StrategyKind::kSns)
+      EXPECT_EQ(r.retries, 2u) << "retryable failure retries up to the budget";
+    else
+      EXPECT_EQ(r.retries, 0u) << "deterministic failure must not retry";
+  }
+  EXPECT_EQ(deterministic_attempts, 1u);
+}
+
+TEST(FaultIsolation, WatchdogRecordsTimeoutCells) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const auto entries = tiny_suite(1);
+  core::SweepConfig cfg = tiny_config();
+  cfg.cell_timeout_seconds = 1e-9;  // expires before any scheduling loop runs
+
+  const std::uint64_t timeouts_before = obs::counter("watchdog.timeouts").value();
+  const auto results = core::run_sweep(entries, model, ladder, cfg);
+  ASSERT_FALSE(results.empty());
+  for (const auto& r : results) {
+    EXPECT_EQ(r.outcome, core::CellOutcome::kTimeout);
+    EXPECT_EQ(r.error, ErrorCode::kCellTimeout);
+    EXPECT_FALSE(r.feasible);
+  }
+  EXPECT_GE(obs::counter("watchdog.timeouts").value(),
+            timeouts_before + results.size());
+}
+
+TEST(FaultIsolation, SkipPredicateMarksCellsSkipped) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  const auto entries = tiny_suite(1);
+  core::SweepConfig cfg = tiny_config();
+  cfg.skip_cell = [](const core::InstanceResult& r) {
+    return r.strategy == core::StrategyKind::kLamps;
+  };
+  std::size_t executed = 0;
+  cfg.on_cell_done = [&](const core::InstanceResult&) { ++executed; };
+
+  const auto results = core::run_sweep(entries, model, ladder, cfg);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results)
+    EXPECT_EQ(r.outcome, r.strategy == core::StrategyKind::kLamps
+                             ? core::CellOutcome::kSkipped
+                             : core::CellOutcome::kOk);
+  EXPECT_EQ(executed, 2u) << "on_cell_done must not fire for skipped cells";
+}
+
+// ------------------------------------------------------ kill and resume --
+
+/// Reads a CSV and blanks the wall-clock `seconds` column (15th of 16) —
+/// the one legitimately non-deterministic column for *re-executed* rows.
+std::vector<std::string> read_csv_normalized(const std::string& path) {
+  std::vector<std::string> rows;
+  std::ifstream is(path);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string f;
+    while (std::getline(ss, f, ',')) fields.push_back(f);
+    // OK rows have an empty trailing error_message, which getline drops, so
+    // the seconds column (index 14) is present at sizes 15 and 16.
+    if (fields.size() >= 15) fields[14].clear();
+    std::string joined;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) joined += ',';
+      joined += fields[i];
+    }
+    rows.push_back(std::move(joined));
+  }
+  return rows;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream is(path);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(KillAndResume, TruncatedJournalReplaysCompletedCellsBitExactly) {
+  const fs::path dir = fs::temp_directory_path() / "lamps_resume_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  exp::ExperimentSpec spec;
+  spec.sizes = {20};
+  spec.graphs_per_group = 2;
+  spec.include_apps = false;
+  spec.deadline_factors = {2.0, 4.0};
+  spec.strategies = {core::StrategyKind::kSns, core::StrategyKind::kLamps};
+  spec.threads = 2;
+  spec.csv_prefix = (dir / "run").string();
+
+  // Clean run: the ground truth.
+  std::ostringstream report1;
+  const exp::ExperimentOutput clean = exp::run_experiment(spec, report1);
+  const std::string csv_path = spec.csv_prefix + "_coarse_instances.csv";
+  const std::vector<std::string> clean_rows = read_csv_normalized(csv_path);
+  ASSERT_EQ(clean.cells.ok, 8u);
+  ASSERT_EQ(clean.cells.replayed, 0u);
+
+  // Simulate a SIGKILL mid-sweep: keep only half the journal, with the last
+  // kept line torn mid-record (as an interrupted fsync'd append would leave).
+  const std::vector<std::string> journal = read_lines(clean.journal_path);
+  ASSERT_EQ(journal.size(), 8u);
+  {
+    std::ofstream os(clean.journal_path, std::ios::trunc);
+    for (std::size_t i = 0; i < 4; ++i) os << journal[i] << '\n';
+    os << journal[4].substr(0, journal[4].size() / 2);  // torn tail
+  }
+
+  // Resume: 4 journaled cells replay, the torn one and the missing 3 re-run.
+  exp::ExperimentSpec resume_spec = spec;
+  resume_spec.resume = true;
+  std::ostringstream report2;
+  const exp::ExperimentOutput resumed = exp::run_experiment(resume_spec, report2);
+  EXPECT_EQ(resumed.cells.replayed, 4u);
+  EXPECT_EQ(resumed.cells.ok, 8u);
+  EXPECT_EQ(resumed.journal_lines_dropped, 1u);
+  EXPECT_NE(report2.str().find("replayed 4 cells"), std::string::npos);
+
+  // The resumed CSV matches the clean run everywhere but the wall-clock
+  // seconds of re-executed rows.
+  EXPECT_EQ(read_csv_normalized(csv_path), clean_rows);
+
+  // Replayed rows are bit-exact, seconds included: a second resume (full
+  // journal now) must reproduce the file byte for byte.
+  const std::vector<std::string> after_resume = read_lines(csv_path);
+  std::ostringstream report3;
+  const exp::ExperimentOutput replay_all = exp::run_experiment(resume_spec, report3);
+  EXPECT_EQ(replay_all.cells.replayed, 8u);
+  EXPECT_EQ(read_lines(csv_path), after_resume);
+
+  fs::remove_all(dir);
+}
+
+TEST(KillAndResume, CorruptStgFileBecomesFailCells) {
+  const fs::path dir = fs::temp_directory_path() / "lamps_badstg_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string bad = (dir / "bad.stg").string();
+  std::ofstream(bad) << "1\n0 0 0\n1 -5 1 0\n2 0 1 1\n";  // negative weight
+
+  exp::ExperimentSpec spec;
+  spec.sizes = {20};
+  spec.graphs_per_group = 1;
+  spec.include_apps = false;
+  spec.stg_files = {bad};
+  spec.deadline_factors = {2.0};
+  spec.strategies = {core::StrategyKind::kSns, core::StrategyKind::kLamps};
+  spec.threads = 1;
+
+  std::ostringstream report;
+  const exp::ExperimentOutput out = exp::run_experiment(spec, report);
+  // 1 generated graph x 2 strategies ok, plus 2 synthesized FAIL cells.
+  EXPECT_EQ(out.cells.ok, 2u);
+  EXPECT_EQ(out.cells.failed, 2u);
+  std::size_t fail_rows = 0;
+  for (const auto& r : out.instances)
+    if (r.outcome == core::CellOutcome::kFailed) {
+      ++fail_rows;
+      EXPECT_EQ(r.graph_name, bad);
+      EXPECT_EQ(r.error, ErrorCode::kStgParse);
+      EXPECT_FALSE(r.feasible);
+    }
+  EXPECT_EQ(fail_rows, 2u);
+  EXPECT_NE(report.str().find("FAIL cell"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(KillAndResume, ResumeWithoutPrefixIsAConfigError) {
+  exp::ExperimentSpec spec;
+  spec.resume = true;
+  spec.csv_prefix.clear();
+  std::ostringstream report;
+  try {
+    (void)exp::run_experiment(spec, report);
+    FAIL() << "resume without csv_prefix accepted";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+  }
+}
+
+}  // namespace
+}  // namespace lamps

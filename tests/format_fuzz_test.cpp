@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "graph/analysis.hpp"
 #include "sched/list_scheduler.hpp"
@@ -12,6 +14,7 @@
 #include "stg/random_gen.hpp"
 #include "stg/structured.hpp"
 #include "stg/suite.hpp"
+#include "util/errors.hpp"
 
 namespace lamps::stg {
 namespace {
@@ -93,6 +96,89 @@ TEST(FormatStructured, AppGraphsRoundTrip) {
     const graph::TaskGraph h = read_stg(ss);
     EXPECT_EQ(h.num_edges(), g.num_edges()) << g.name();
     EXPECT_EQ(h.total_work(), g.total_work()) << g.name();
+  }
+}
+
+// ------------------------------------------------- malformed-input cases --
+// Strict-validation cases: every malformed document must be rejected with a
+// typed InputError carrying the source name and line, never accepted with
+// silently-guessed values and never as an untyped exception.
+
+struct BadStgCase {
+  const char* label;
+  const char* text;
+  ErrorCode code;
+  const char* context;           ///< expected Error::context()
+  const char* message_fragment;  ///< substring of Error::message()
+};
+
+class MalformedStg : public ::testing::TestWithParam<BadStgCase> {};
+
+TEST_P(MalformedStg, RejectedWithTypedErrorAndLineContext) {
+  const BadStgCase& c = GetParam();
+  std::istringstream is(c.text);
+  ParseOptions opts;
+  opts.name = "bad.stg";
+  try {
+    (void)read_stg(is, opts);
+    FAIL() << c.label << ": malformed input accepted";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.code(), c.code) << c.label << ": " << e.what();
+    EXPECT_EQ(e.context(), c.context) << c.label << ": " << e.what();
+    EXPECT_NE(e.message().find(c.message_fragment), std::string::npos)
+        << c.label << ": " << e.what();
+  }
+}
+
+// A minimal valid document for reference (1 real task):
+//   1
+//   0 0 0        dummy entry
+//   1 5 1 0      the task, hanging off the entry
+//   2 0 1 1      dummy exit
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MalformedStg,
+    ::testing::ValuesIn(std::vector<BadStgCase>{
+        {"empty", "", ErrorCode::kStgParse, "bad.stg", "empty input"},
+        {"garbage_count", "xyz\n", ErrorCode::kStgParse, "bad.stg:1",
+         "task count is not a non-negative integer"},
+        {"count_with_trailing", "1 2 3\n", ErrorCode::kStgParse, "bad.stg:1",
+         "header line must hold exactly the task count"},
+        {"prefix_number", "1\n0 0 0\n1 12xyz 1 0\n2 0 1 1\n", ErrorCode::kStgParse,
+         "bad.stg:3", "not a non-negative integer: '12xyz'"},
+        {"negative_weight", "1\n0 0 0\n1 -5 1 0\n2 0 1 1\n", ErrorCode::kStgParse,
+         "bad.stg:3", "processing time is negative"},
+        {"duplicate_task_id", "2\n0 0 0\n1 5 1 0\n1 5 1 0\n3 0 1 1\n",
+         ErrorCode::kStgParse, "bad.stg:4", "task ids must be consecutive"},
+        {"non_consecutive_id", "2\n0 0 0\n1 5 1 0\n3 5 1 0\n3 0 1 1\n",
+         ErrorCode::kStgParse, "bad.stg:4", "task ids must be consecutive"},
+        {"missing_weight", "1\n0 0 0\n1\n2 0 1 1\n", ErrorCode::kStgParse, "bad.stg:3",
+         "missing weight/pred-count"},
+        {"pred_count_mismatch", "1\n0 0 0\n1 5 2 0\n2 0 1 1\n", ErrorCode::kStgParse,
+         "bad.stg:3", "expected 2 predecessor ids, found 1"},
+        {"duplicate_pred", "2\n0 0 0\n1 5 1 0\n2 5 2 1 1\n3 0 1 2\n",
+         ErrorCode::kStgParse, "bad.stg:4", "duplicate predecessor 1"},
+        {"self_loop", "1\n0 0 0\n1 5 1 1\n2 0 1 1\n", ErrorCode::kStgParse, "bad.stg:3",
+         "lists itself as predecessor"},
+        {"dangling_pred", "1\n0 0 0\n1 5 1 7\n2 0 1 1\n", ErrorCode::kStgParse,
+         "bad.stg:3", "dangling edge: predecessor 7"},
+        {"edge_from_dummy_exit", "2\n0 0 0\n1 5 1 3\n2 5 1 1\n3 0 1 2\n",
+         ErrorCode::kStgParse, "bad.stg:3", "edge from dummy exit"},
+        {"too_few_lines", "2\n0 0 0\n1 5 1 0\n", ErrorCode::kStgParse, "bad.stg:3",
+         "expected 4 task lines"},
+        {"too_many_lines", "1\n0 0 0\n1 5 1 0\n2 0 1 1\n3 0 1 2\n", ErrorCode::kStgParse,
+         "bad.stg:5", "more task lines than declared"},
+        {"cycle", "2\n0 0 0\n1 5 1 2\n2 5 1 1\n3 0 1 2\n", ErrorCode::kGraphStructure,
+         "bad.stg", "cycle"},
+    }),
+    [](const auto& pinfo) { return std::string(pinfo.param.label); });
+
+TEST(MalformedStgFile, MissingFileIsTypedConfigError) {
+  try {
+    (void)read_stg_file("/nonexistent/graph.stg");
+    FAIL() << "missing file accepted";
+  } catch (const InputError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+    EXPECT_EQ(e.context(), "/nonexistent/graph.stg");
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <sstream>
 
@@ -253,6 +254,42 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
 TEST(ThreadPool, RejectsEmptyTask) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.submit(std::function<void()>{}), std::invalid_argument);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> ok = pool.submit([] {});
+  std::future<void> bad =
+      pool.submit([] { throw std::runtime_error("worker exploded"); });
+  EXPECT_NO_THROW(ok.get());
+  try {
+    bad.get();
+    FAIL() << "exception was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker exploded");
+  }
+  // The worker thread survives the throw and keeps serving tasks.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 32; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestFailingIndex) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  try {
+    parallel_for_index(pool, hits.size(), [&](std::size_t i) {
+      ++hits[i];
+      if (i == 11 || i == 42) throw std::runtime_error("idx " + std::to_string(i));
+    });
+    FAIL() << "exception was swallowed";
+  } catch (const std::runtime_error& e) {
+    // Deterministic at any thread count: the lowest failing index wins.
+    EXPECT_STREQ(e.what(), "idx 11");
+  }
+  // Failure of one index never skips the others.
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 }  // namespace

@@ -33,6 +33,7 @@
 #include "stg/random_gen.hpp"
 #include "stg/structured.hpp"
 #include "util/cli.hpp"
+#include "util/errors.hpp"
 #include "util/obs_cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -493,6 +494,10 @@ int main(int argc, char** argv) {
       print_root_usage(std::cout);
       return 0;
     }
+  } catch (const lamps::Error& e) {
+    // Typed taxonomy errors map to documented exit codes (docs/robustness.md).
+    std::cerr << "error: " << e.what() << '\n';
+    return lamps::exit_code_for(e.code());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -2,14 +2,21 @@
 //
 // Usage: lamps_exp --config experiment.ini
 //        lamps_exp --config - < experiment.ini
+//        lamps_exp --config experiment.ini --resume     # continue a killed run
+//
+// Exit codes (see docs/robustness.md):
+//   0  success                      4  timeout / cancelled
+//   1  unhandled internal error     5  I/O failure
+//   2  input / configuration error  6  --strict and some cells failed
+//   3  validation error
 //
 // See src/exp/experiment.hpp for the configuration schema and
 // data/experiment.ini for a ready-to-run example.
-#include <fstream>
 #include <iostream>
 
 #include "exp/experiment.hpp"
 #include "util/cli.hpp"
+#include "util/errors.hpp"
 #include "util/obs_cli.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -18,27 +25,43 @@ int main(int argc, char** argv) {
   using namespace lamps;
 
   std::string config = "data/experiment.ini";
+  bool resume = false;
+  bool strict = false;
+  double cell_timeout = -1.0;
   ObsOptions oo;
   CliParser cli("Run a config-driven scheduling experiment");
   cli.add_option("config", "INI file describing the experiment ('-' = stdin)", &config);
+  cli.add_flag("resume",
+               "replay completed cells from <csv_prefix>.journal.jsonl and re-run "
+               "only failed/missing ones", &resume);
+  cli.add_flag("strict", "exit with code 6 when any cell failed or timed out", &strict);
+  cli.add_option("cell-timeout",
+                 "per-cell watchdog budget in seconds, overrides the INI "
+                 "(negative = use INI value, 0 = unlimited)", &cell_timeout);
   oo.register_flags(cli);
   if (!cli.parse(argc, argv, std::cerr)) return 1;
 
   try {
     return run_observed(oo, "exp/run", [&]() -> int {
-      exp::Ini ini = [&] {
-        if (config == "-") return exp::Ini::parse(std::cin);
-        std::ifstream is(config);
-        if (!is) throw std::runtime_error("cannot open config: " + config);
-        return exp::Ini::parse(is);
-      }();
-      const exp::ExperimentSpec spec = exp::ExperimentSpec::from_ini(ini);
+      const exp::Ini ini = config == "-" ? exp::Ini::parse(std::cin, "<stdin>")
+                                         : exp::Ini::parse_file(config);
+      exp::ExperimentSpec spec = exp::ExperimentSpec::from_ini(ini);
+      spec.resume = resume;
+      if (cell_timeout >= 0.0) spec.cell_timeout_seconds = cell_timeout;
       const Stopwatch watch;
-      (void)exp::run_experiment(spec, std::cout);
+      const exp::ExperimentOutput out = exp::run_experiment(spec, std::cout);
       std::cout << "total wall clock: " << fmt_fixed(watch.elapsed_seconds(), 3)
                 << " s\n";
+      if (strict && out.cells.bad() > 0) {
+        std::cerr << "strict mode: " << out.cells.bad()
+                  << " cell(s) failed or timed out\n";
+        return kExitPartialFailure;
+      }
       return 0;
     });
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return exit_code_for(e.code());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
