@@ -1,0 +1,65 @@
+#include "core/request.hpp"
+
+namespace lamps::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+struct Fnv1a {
+  std::uint64_t h{kFnvOffset};
+
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+};
+
+}  // namespace
+
+std::uint64_t service_request_digest(const ServiceRequest& req) {
+  Fnv1a h;
+  const graph::TaskGraph& g = req.graph;
+  h.u64(g.num_tasks());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    h.u64(static_cast<std::uint64_t>(g.weight(v)));
+    // Successor lists are CSR slices in ascending source order; hashing
+    // (source-count, targets...) pins the exact edge set.
+    const auto succ = g.successors(v);
+    h.u64(succ.size());
+    for (const graph::TaskId t : succ) h.u64(t);
+    if (const auto d = g.explicit_deadline(v); d.has_value())
+      h.f64(d->value());
+    else
+      h.f64(-1.0);
+  }
+  h.f64(req.deadline.value());
+  h.u64(static_cast<std::uint64_t>(req.strategy));
+  h.u64(static_cast<std::uint64_t>(req.policy));
+  return h.h;
+}
+
+StrategyResult run_service_request(const ServiceRequest& req,
+                                   const power::PowerModel& model,
+                                   const power::DvsLadder& ladder) {
+  Problem prob;
+  prob.graph = &req.graph;
+  prob.model = &model;
+  prob.ladder = &ladder;
+  prob.deadline = req.deadline;
+  prob.policy = req.policy;
+  prob.search_threads = 1;
+  return run_strategy(req.strategy, prob);
+}
+
+}  // namespace lamps::core

@@ -1,0 +1,45 @@
+// Request -> Problem adapter for the serving path (net/server) plus the
+// cross-request cache key.
+//
+// A ServiceRequest is everything a remote caller may vary: the task
+// graph (already scaled to cycles), the absolute deadline, the strategy
+// and the list-scheduling policy.  The digest hashes exactly those
+// degrees of freedom — graph structure by value, not by name — so two
+// requests collide iff run_service_request would compute the identical
+// result (strategies are deterministic pure functions of the Problem).
+// The serve layer uses it both for single-flight deduplication of
+// concurrent identical requests and as the LRU key for completed ones.
+#pragma once
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+#include "core/strategy.hpp"
+
+namespace lamps::core {
+
+/// One remote scheduling request, normalized: the deadline is absolute
+/// seconds (the protocol's deadline-factor form is resolved against the
+/// graph's critical path before this struct is built).
+struct ServiceRequest {
+  graph::TaskGraph graph;
+  Seconds deadline{0.0};
+  StrategyKind strategy{StrategyKind::kLampsPs};
+  sched::PriorityPolicy policy{sched::PriorityPolicy::kEdf};
+};
+
+/// FNV-1a digest over the request's semantic content: task weights,
+/// explicit deadlines, edge set, global deadline, strategy and policy.
+/// Graph name/labels are cosmetic and excluded.  Stable across processes
+/// (no pointers, no iteration-order dependence: CSR arrays are in fixed
+/// task-id order).
+[[nodiscard]] std::uint64_t service_request_digest(const ServiceRequest& req);
+
+/// Builds the Problem over `req` (the model/ladder pair must outlive the
+/// call) and runs the strategy.  Single-threaded search on purpose: the
+/// serving layer parallelizes across requests, not within one.
+[[nodiscard]] StrategyResult run_service_request(const ServiceRequest& req,
+                                                 const power::PowerModel& model,
+                                                 const power::DvsLadder& ladder);
+
+}  // namespace lamps::core

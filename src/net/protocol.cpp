@@ -1,0 +1,140 @@
+#include "net/protocol.hpp"
+
+#include <sstream>
+
+#include "graph/analysis.hpp"
+#include "graph/transform.hpp"
+#include "net/jsonv.hpp"
+#include "stg/format.hpp"
+#include "util/errors.hpp"
+#include "util/json.hpp"
+
+namespace lamps::net {
+
+namespace {
+
+core::StrategyKind strategy_from_wire(const std::string& name) {
+  for (const core::StrategyKind k : core::kAllStrategies)
+    if (name == core::to_string(k)) return k;
+  throw InputError(ErrorCode::kConfig, "unknown strategy: '" + name + "'", {},
+                   "valid: S&S, LAMPS, S&S+PS, LAMPS+PS, LIMIT-SF, LIMIT-MF");
+}
+
+}  // namespace
+
+ParsedRequest parse_schedule_request(const std::string& line,
+                                     const power::PowerModel& model) {
+  const JsonValue doc = JsonValue::parse(line);
+  if (!doc.is_object())
+    throw InputError(ErrorCode::kJsonParse, "request must be a JSON object");
+
+  std::string id_json{"null"};
+  if (const JsonValue* id = doc.get("id"); id != nullptr) {
+    if (id->is_string()) {
+      std::ostringstream ss;
+      write_json_string(ss, id->as_string());
+      id_json = ss.str();
+    } else if (id->is_number()) {
+      id_json = json_double(id->as_number());
+    } else if (!id->is_null()) {
+      throw InputError(ErrorCode::kJsonParse, "id must be a string or number");
+    }
+  }
+
+  const JsonValue* stg_text = doc.get("stg");
+  const JsonValue* stg_file = doc.get("file");
+  if ((stg_text != nullptr) == (stg_file != nullptr))
+    throw InputError(ErrorCode::kConfig,
+                     "request needs exactly one of \"stg\" (inline) or \"file\" (path)");
+
+  stg::ParseOptions popts;
+  popts.name = stg_text != nullptr ? "inline" : stg_file->as_string();
+  graph::TaskGraph raw = [&] {
+    if (stg_text != nullptr) {
+      std::istringstream is(stg_text->as_string());
+      return stg::read_stg(is, popts);
+    }
+    return stg::read_stg_file(stg_file->as_string(), popts);
+  }();
+
+  const double unit = doc.get_number("unit", 3'100'000.0);
+  if (unit < 1.0)
+    throw InputError(ErrorCode::kConfig, "unit must be >= 1 cycle per weight unit");
+  graph::TaskGraph scaled = graph::scale_weights(raw, static_cast<Cycles>(unit));
+
+  const double deadline_s = doc.get_number("deadline_s", 0.0);
+  const double factor = doc.get_number("deadline_factor", 2.0);
+  Seconds deadline{0.0};
+  if (deadline_s > 0.0) {
+    deadline = Seconds{deadline_s};
+  } else {
+    if (factor <= 0.0)
+      throw InputError(ErrorCode::kConfig, "deadline_factor must be > 0");
+    deadline = Seconds{static_cast<double>(graph::critical_path_length(scaled)) /
+                       model.max_frequency().value() * factor};
+  }
+
+  const core::StrategyKind strategy =
+      strategy_from_wire(doc.get_string("strategy", "LAMPS+PS"));
+  return ParsedRequest{std::move(id_json),
+                       core::ServiceRequest{std::move(scaled), deadline, strategy,
+                                            sched::PriorityPolicy::kEdf}};
+}
+
+std::string result_json(const core::StrategyResult& r, const power::DvsLadder& ladder) {
+  std::ostringstream os;
+  const double f_norm = r.feasible ? ladder.level(r.level_index).f_norm : 0.0;
+  os << "{\"feasible\":" << (r.feasible ? "true" : "false") << ",\"procs\":" << r.num_procs
+     << ",\"level\":" << r.level_index << ",\"f_norm\":";
+  write_json_double(os, f_norm);
+  os << ",\"energy_j\":";
+  write_json_double(os, r.feasible ? r.breakdown.total().value() : 0.0);
+  os << ",\"dynamic_j\":";
+  write_json_double(os, r.breakdown.dynamic.value());
+  os << ",\"leakage_j\":";
+  write_json_double(os, r.breakdown.leakage.value());
+  os << ",\"intrinsic_j\":";
+  write_json_double(os, r.breakdown.intrinsic.value());
+  os << ",\"sleep_j\":";
+  write_json_double(os, r.breakdown.sleep.value());
+  os << ",\"wakeup_j\":";
+  write_json_double(os, r.breakdown.wakeup.value());
+  os << ",\"shutdowns\":" << r.breakdown.shutdowns << ",\"completion_s\":";
+  write_json_double(os, r.completion.value());
+  os << ",\"schedules_computed\":" << r.schedules_computed << '}';
+  return os.str();
+}
+
+std::string extract_result_json(const std::string& response_line) {
+  static constexpr std::string_view kKey = "\"result\":";
+  const auto pos = response_line.find(kKey);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + kKey.size();
+  // The payload is flat by construction: the first '}' closes it.
+  const auto end = response_line.find('}', start);
+  if (end == std::string::npos) return {};
+  return response_line.substr(start, end - start + 1);
+}
+
+std::string ok_response(const std::string& id_json, const std::string& result_payload,
+                        bool cached, double elapsed_ms) {
+  std::ostringstream os;
+  os << "{\"id\":" << id_json << ",\"ok\":true,\"cached\":" << (cached ? "true" : "false")
+     << ",\"result\":" << result_payload << ",\"elapsed_ms\":";
+  write_json_double(os, elapsed_ms);
+  os << "}\n";
+  return os.str();
+}
+
+std::string error_response(const std::string& id_json, std::string_view kind,
+                           std::string_view message) {
+  std::ostringstream os;
+  os << "{\"id\":" << id_json << ",\"ok\":false,\"error\":";
+  write_json_string(os, kind);
+  os << ",\"message\":";
+  write_json_string(os, message);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lamps::net

@@ -1,0 +1,64 @@
+// JSON-lines wire protocol of `lamps serve` (one object per line).
+//
+// Request (client -> server):
+//   {"id": <string|number>,            optional; echoed back verbatim
+//    "stg": "<inline STG text>" |      exactly one graph source
+//    "file": "<server-side .stg path>",
+//    "unit": 3100000,                  cycles per STG weight unit
+//    "deadline_factor": 2.0,           x critical path length at f_max
+//    "deadline_s": 0.0,                absolute seconds; overrides factor when > 0
+//    "strategy": "LAMPS+PS"}           S&S | LAMPS | S&S+PS | LAMPS+PS |
+//                                      LIMIT-SF | LIMIT-MF
+//
+// Success (server -> client):
+//   {"id": ..., "ok": true, "cached": <bool>, "result": {...}, "elapsed_ms": ...}
+// where "result" is the flat deterministic payload built by result_json()
+// — byte-identical for identical requests no matter which worker, cache
+// hit or single-flight follower produced it (the bit-exactness contract
+// lamps_loadgen --check verifies against direct run_strategy calls).
+//
+// Failure:
+//   {"id": ..., "ok": false, "error": "<kind>", "message": "..."}
+// with kind one of bad_request | overloaded | draining | internal.
+// Full schema and semantics: docs/serving.md.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/request.hpp"
+#include "power/dvs_ladder.hpp"
+#include "power/power_model.hpp"
+
+namespace lamps::net {
+
+/// A parsed request line: the normalized core request plus the raw JSON
+/// token ("\"abc\"", "17", or "null") to echo back as the response id.
+struct ParsedRequest {
+  std::string id_json{"null"};
+  core::ServiceRequest request;
+};
+
+/// Parses and validates one request line, resolving deadline_factor
+/// against the graph's critical path at f_max.  Throws InputError
+/// (kJsonParse / kStgParse / kConfig) on malformed input.
+[[nodiscard]] ParsedRequest parse_schedule_request(const std::string& line,
+                                                   const power::PowerModel& model);
+
+/// Canonical deterministic result payload: a flat JSON object (no nested
+/// braces, so it can be sliced back out of a response line verbatim).
+[[nodiscard]] std::string result_json(const core::StrategyResult& r,
+                                      const power::DvsLadder& ladder);
+
+/// Extracts the "result" object substring from a success line, empty
+/// string when absent.  Exact-match companion to result_json().
+[[nodiscard]] std::string extract_result_json(const std::string& response_line);
+
+[[nodiscard]] std::string ok_response(const std::string& id_json,
+                                      const std::string& result_payload, bool cached,
+                                      double elapsed_ms);
+
+[[nodiscard]] std::string error_response(const std::string& id_json,
+                                         std::string_view kind, std::string_view message);
+
+}  // namespace lamps::net

@@ -1,0 +1,78 @@
+#include "net/result_cache.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace lamps::net {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::size_t ResultCache::size() const {
+  std::scoped_lock lock(mutex_);
+  return lru_.size();
+}
+
+void ResultCache::insert_locked(std::uint64_t key, const std::string& payload) {
+  lru_.emplace_front(key, payload);
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::vector<ResultCache::Waiter> ResultCache::take_waiters_locked(std::uint64_t key) {
+  const auto it = in_flight_.find(key);
+  if (it == in_flight_.end()) return {};
+  std::vector<Waiter> waiters = std::move(it->second);
+  in_flight_.erase(it);
+  return waiters;
+}
+
+bool ResultCache::subscribe(std::uint64_t key, Consumer consumer) {
+  static obs::Counter& hits = obs::counter("serve.cache_hits");
+  static obs::Counter& misses = obs::counter("serve.cache_misses");
+  static obs::Counter& joined = obs::counter("serve.singleflight_hits");
+
+  std::string payload;
+  {
+    std::scoped_lock lock(mutex_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      hits.inc();
+      payload = it->second->second;
+    } else if (const auto fit = in_flight_.find(key); fit != in_flight_.end()) {
+      joined.inc();
+      fit->second.push_back(Waiter{std::move(consumer), true});
+      return false;
+    } else {
+      misses.inc();
+      in_flight_[key].push_back(Waiter{std::move(consumer), false});
+      return true;
+    }
+  }
+  consumer(payload, true, {});  // LRU hit, delivered outside the lock
+  return false;
+}
+
+void ResultCache::complete(std::uint64_t key, const std::string& payload) {
+  std::vector<Waiter> waiters;
+  {
+    std::scoped_lock lock(mutex_);
+    insert_locked(key, payload);
+    waiters = take_waiters_locked(key);
+  }
+  for (const Waiter& w : waiters) w.consumer(payload, w.joined, {});
+}
+
+void ResultCache::fail(std::uint64_t key, const std::string& error) {
+  std::vector<Waiter> waiters;
+  {
+    std::scoped_lock lock(mutex_);
+    waiters = take_waiters_locked(key);
+  }
+  for (const Waiter& w : waiters) w.consumer({}, w.joined, error);
+}
+
+}  // namespace lamps::net

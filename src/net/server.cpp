@@ -1,0 +1,285 @@
+#include "net/server.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <optional>
+#include <utility>
+
+#include "core/request.hpp"
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/errors.hpp"
+
+namespace lamps::net {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter& requests_total = obs::counter("serve.requests_total");
+  obs::Counter& requests_ok = obs::counter("serve.requests_ok");
+  obs::Counter& requests_bad = obs::counter("serve.requests_bad_request");
+  obs::Counter& requests_overloaded = obs::counter("serve.requests_overloaded");
+  obs::Counter& requests_internal = obs::counter("serve.requests_internal_error");
+  obs::Counter& connections_total = obs::counter("serve.connections_total");
+  obs::Gauge& connections = obs::gauge("serve.connections");
+  obs::Gauge& pending = obs::gauge("serve.pending");
+  obs::Histogram& latency = obs::histogram(
+      "serve.request_seconds",
+      {0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0});
+};
+
+ServeMetrics& metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+}  // namespace
+
+/// Per-client state: the socket, a reader thread parsing and admitting
+/// request lines, and a writer thread emitting the responses strictly in
+/// arrival order (futures queue in the order the reader admitted them, so
+/// pipelined clients see ordered replies even though compute is
+/// concurrent).
+struct Server::Connection {
+  Socket socket;
+  std::thread reader;
+  std::thread writer;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::future<std::string>> responses;
+  bool reader_done{false};
+  std::atomic<bool> finished{false};
+
+  void push(std::future<std::string> fut) {
+    {
+      std::scoped_lock lock(mutex);
+      responses.push_back(std::move(fut));
+    }
+    cv.notify_one();
+  }
+
+  void push_immediate(std::string response) {
+    std::promise<std::string> p;
+    p.set_value(std::move(response));
+    push(p.get_future());
+  }
+};
+
+Server::Server(const ServerConfig& config)
+    : config_(config), ladder_(model_), cache_(config.cache_capacity) {}
+
+Server::~Server() {
+  request_drain();
+  wait();
+  for (int fd : drain_pipe_)
+    if (fd >= 0) ::close(fd);
+}
+
+void Server::start() {
+  if (::pipe(drain_pipe_) != 0)
+    throw InternalError(ErrorCode::kIo, "pipe() for drain notification failed");
+  for (int fd : drain_pipe_) ::fcntl(fd, F_SETFL, O_NONBLOCK);
+
+  pool_ = std::make_unique<ThreadPool>(config_.threads);
+  max_pending_ =
+      config_.max_pending > 0 ? config_.max_pending : pool_->num_threads() * 4;
+  listener_ = std::make_unique<ListenSocket>(config_.port);
+  port_ = listener_->port();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_drain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  if (drain_pipe_[1] >= 0) {
+    const char byte = 1;
+    // Level-triggered wake-up for every poller; the byte is never read.
+    [[maybe_unused]] const auto n = ::write(drain_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::scoped_lock lock(connections_mutex_);
+      if (connections_.empty()) break;
+      conn = std::move(connections_.front());
+      connections_.pop_front();
+    }
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+  if (pool_) pool_->wait_idle();
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      if ((*it)->writer.joinable()) (*it)->writer.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    if (draining()) break;
+    const unsigned ready = poll_readable(listener_->fd(), drain_pipe_[0], 250);
+    if (draining() || (ready & 2u) != 0) break;
+    {
+      std::scoped_lock lock(connections_mutex_);
+      reap_finished_locked();
+    }
+    if ((ready & 1u) == 0) continue;
+    std::optional<Socket> accepted = listener_->accept();
+    if (!accepted) continue;
+
+    metrics().connections_total.inc();
+    metrics().connections.add(1);
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(*accepted);
+    Connection& ref = *conn;
+    ref.reader = std::thread([this, &ref] { reader_loop(ref); });
+    ref.writer = std::thread([this, &ref] { writer_loop(ref); });
+    std::scoped_lock lock(connections_mutex_);
+    connections_.push_back(std::move(conn));
+  }
+  // Refuse new connections from the first moment of the drain; in-flight
+  // ones finish on their own threads.
+  listener_->close();
+}
+
+void Server::reader_loop(Connection& conn) {
+  obs::Span span("serve/connection");
+  LineReader reader(conn.socket.fd());
+  std::string line;
+  for (;;) {
+    if (!reader.has_buffered_line()) {
+      if (draining()) {
+        // Drain contract: consume only what already reached us.  A poll
+        // with zero timeout picks up bytes on the wire; once the socket
+        // is quiet the connection is done.
+        if ((poll_readable(conn.socket.fd(), -1, 0) & 1u) == 0) break;
+      } else {
+        const unsigned ready =
+            poll_readable(conn.socket.fd(), drain_pipe_[0], -1);
+        if ((ready & 1u) == 0) continue;  // drain wake-up or EINTR
+      }
+    }
+    const LineReader::Status status = reader.read_line(line);
+    if (status != LineReader::Status::kLine) break;
+    if (line.empty()) continue;
+    handle_line(conn, line);
+  }
+  {
+    std::scoped_lock lock(conn.mutex);
+    conn.reader_done = true;
+  }
+  conn.cv.notify_one();
+}
+
+void Server::handle_line(Connection& conn, const std::string& line) {
+  obs::Span span("serve/request");
+  metrics().requests_total.inc();
+
+  std::optional<ParsedRequest> parsed;
+  try {
+    parsed.emplace(parse_schedule_request(line, model_));
+  } catch (const Error& e) {
+    metrics().requests_bad.inc();
+    conn.push_immediate(error_response("null", "bad_request", e.what()));
+    return;
+  }
+
+  if (pending_.fetch_add(1, std::memory_order_acq_rel) >= max_pending_) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics().requests_overloaded.inc();
+    conn.push_immediate(error_response(
+        parsed->id_json, "overloaded",
+        "admission queue full (" + std::to_string(max_pending_) +
+            " requests pending); retry with backoff"));
+    return;
+  }
+  metrics().pending.set(static_cast<std::int64_t>(pending_.load(std::memory_order_relaxed)));
+
+  auto request = std::make_shared<ParsedRequest>(std::move(*parsed));
+  auto response = std::make_shared<std::promise<std::string>>();
+  conn.push(response->get_future());
+
+  // Exactly-once completion for this request, from whichever thread
+  // resolves it: the reader (LRU hit), a worker (leader compute), or the
+  // leader's failure path fanning out to the joined followers.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto consumer = [this, response, id_json = request->id_json, t0](
+                      const std::string& payload, bool cached, const std::string& error) {
+    std::string out;
+    if (error.empty()) {
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      metrics().requests_ok.inc();
+      metrics().latency.observe(elapsed_s);
+      out = ok_response(id_json, payload, cached, elapsed_s * 1e3);
+    } else {
+      metrics().requests_internal.inc();
+      out = error_response(id_json, "internal", error);
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics().pending.set(
+        static_cast<std::int64_t>(pending_.load(std::memory_order_relaxed)));
+    response->set_value(std::move(out));
+  };
+
+  const std::uint64_t key = core::service_request_digest(request->request);
+  if (!cache_.subscribe(key, std::move(consumer))) return;  // hit or joined a leader
+
+  try {
+    pool_->submit([this, request, key] {
+      try {
+        obs::Span compute_span("serve/compute");
+        obs::counter("serve.requests_computed").inc();
+        cache_.complete(key, result_json(core::run_service_request(request->request,
+                                                                   model_, ladder_),
+                                         ladder_));
+      } catch (const std::exception& e) {
+        cache_.fail(key, e.what());
+      }
+    });
+  } catch (const std::exception& e) {
+    // Pool already stopping — answer instead of abandoning the flight.
+    cache_.fail(key, e.what());
+  }
+}
+
+void Server::writer_loop(Connection& conn) {
+  bool peer_alive = true;
+  for (;;) {
+    std::future<std::string> next;
+    {
+      std::unique_lock lock(conn.mutex);
+      conn.cv.wait(lock, [&] { return !conn.responses.empty() || conn.reader_done; });
+      if (conn.responses.empty()) break;
+      next = std::move(conn.responses.front());
+      conn.responses.pop_front();
+    }
+    // Even when the peer vanished, keep draining futures so every compute
+    // job's promise is consumed before the connection is reaped.
+    const std::string response = next.get();
+    if (peer_alive && !conn.socket.send_all(response)) peer_alive = false;
+  }
+  if (peer_alive) conn.socket.shutdown_write();
+  metrics().connections.add(-1);
+  conn.finished.store(true, std::memory_order_release);
+}
+
+}  // namespace lamps::net

@@ -1,0 +1,110 @@
+// `lamps serve` — persistent TCP JSON-lines scheduling daemon.
+//
+// Threading model:
+//   - one accept loop (poll on the listen socket + an internal drain
+//     pipe), spawning a reader/writer thread pair per connection;
+//   - requests parsed by the reader are admitted into the shared
+//     util::ThreadPool (batching: any number of connections fan into the
+//     same workers, pipelined requests on one connection run
+//     concurrently) behind a bounded admission count — beyond
+//     max_pending the request is answered immediately with an
+//     "overloaded" error instead of queueing without bound;
+//   - identical requests are deduplicated by net::ResultCache
+//     (single-flight + cross-request LRU keyed by
+//     core::service_request_digest);
+//   - the writer emits responses strictly in request order per
+//     connection, so clients may pipeline naively.
+//
+// Drain (SIGTERM/SIGINT via request_drain()): the listen socket closes
+// (new connections are refused), readers consume only what is already
+// buffered or on the wire, every admitted request still computes and its
+// response is written, then write sides half-close and the daemon
+// finishes.  Zero accepted requests are dropped.
+//
+// Observability: per-connection/request/compute spans and a "serve.*"
+// metric family (catalog in docs/observability.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "net/result_cache.hpp"
+#include "power/dvs_ladder.hpp"
+#include "power/power_model.hpp"
+#include "util/socket.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lamps::net {
+
+struct ServerConfig {
+  /// TCP port; 0 binds an ephemeral one (read it back via port()).
+  std::uint16_t port{0};
+  /// Compute pool workers; 0 = hardware concurrency.
+  std::size_t threads{0};
+  /// Admission bound: requests in flight (queued + computing) beyond
+  /// which new ones get an "overloaded" response.  0 = 4x pool size.
+  std::size_t max_pending{0};
+  /// Completed-result LRU entries.
+  std::size_t cache_capacity{512};
+};
+
+class Server {
+ public:
+  explicit Server(const ServerConfig& config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept loop.  Throws
+  /// InternalError(kIo) when the port cannot be bound.
+  void start();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Begins a graceful drain (idempotent, callable from any thread; the
+  /// CLI bridges SIGTERM/SIGINT here).
+  void request_drain();
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the drain finished: accept loop joined, every
+  /// connection answered and closed, compute pool idle.
+  void wait();
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void reader_loop(Connection& conn);
+  void writer_loop(Connection& conn);
+  void handle_line(Connection& conn, const std::string& line);
+  void reap_finished_locked();
+
+  ServerConfig config_;
+  power::PowerModel model_;
+  power::DvsLadder ladder_;
+  ResultCache cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::size_t max_pending_{0};
+
+  std::unique_ptr<ListenSocket> listener_;
+  std::uint16_t port_{0};
+  std::thread accept_thread_;
+
+  std::atomic<bool> draining_{false};
+  int drain_pipe_[2]{-1, -1};
+
+  std::atomic<std::size_t> pending_{0};
+
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace lamps::net

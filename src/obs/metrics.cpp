@@ -8,24 +8,20 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace lamps::obs {
 
 namespace {
 
-/// Shortest round-trip decimal for a double (valid JSON: no inf/nan —
-/// callers encode those separately).
+/// Round-trip decimal for the CSV export, which has no token grammar to
+/// violate: non-finite values print as the platform's "inf"/"nan".  The
+/// JSON export goes through write_json_double (null for non-finite).
 std::string fmt_double(double v) {
   std::ostringstream ss;
   ss.precision(17);
   ss << v;
   return ss.str();
-}
-
-void write_json_escaped(std::ostream& os, const std::string& s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
-  }
 }
 
 }  // namespace
@@ -38,6 +34,10 @@ Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper
 }
 
 std::size_t Histogram::bucket_index(double v) const noexcept {
+  // NaN compares false against every bound, which would let lower_bound
+  // file it anywhere its branch order happens to land (bucket 0 in
+  // practice) — pin it to the overflow bucket explicitly.
+  if (std::isnan(v)) return bounds_.size();
   return static_cast<std::size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
 }
@@ -45,7 +45,11 @@ std::size_t Histogram::bucket_index(double v) const noexcept {
 void Histogram::observe(double v) noexcept {
   counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
   total_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+  // NaN is excluded from the sum: one poisoned observation would turn the
+  // whole aggregate into NaN forever.  ±inf observations do flow into the
+  // sum (they are "real" extreme values); the JSON export renders a
+  // non-finite sum as null so the document still parses strictly.
+  if (!std::isnan(v)) sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
 double Histogram::upper_bound(std::size_t i) const noexcept {
@@ -151,15 +155,16 @@ void Registry::write_json(std::ostream& os) const {
   for (const auto& [name, h] : histograms_) {
     os << sep << "\n    \"";
     write_json_escaped(os, name);
-    os << "\": {\"count\": " << h->count() << ", \"sum\": " << fmt_double(h->sum())
-       << ", \"buckets\": [";
+    os << "\": {\"count\": " << h->count() << ", \"sum\": ";
+    write_json_double(os, h->sum());
+    os << ", \"buckets\": [";
     for (std::size_t i = 0; i < h->num_buckets(); ++i) {
       if (i != 0) os << ", ";
       os << "{\"le\": ";
       if (i + 1 == h->num_buckets())
         os << "\"inf\"";
       else
-        os << fmt_double(h->upper_bound(i));
+        write_json_double(os, h->upper_bound(i));
       os << ", \"count\": " << h->bucket_count(i) << '}';
     }
     os << "]}";

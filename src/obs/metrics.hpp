@@ -75,6 +75,13 @@ class Gauge {
 /// Fixed-bucket histogram: `upper_bounds` are the ascending inclusive
 /// bucket tops, plus one implicit overflow bucket (+inf).  observe() is a
 /// binary search and two relaxed atomic adds.
+///
+/// Non-finite observations (policy, see docs/observability.md): NaN is
+/// counted in the overflow bucket and excluded from sum(), so a single
+/// poisoned measurement can neither vanish nor corrupt the aggregate;
+/// +inf counts in the overflow bucket, -inf in bucket 0, both flow into
+/// sum().  The JSON export emits `null` for a non-finite sum as a
+/// backstop, keeping the document strictly parseable.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);

@@ -2,25 +2,17 @@
 
 #include <fstream>
 #include <ostream>
-#include <sstream>
+
+#include "util/json.hpp"
 
 namespace lamps::obs {
 
 namespace {
 
-std::string fmt_double(double v) {
-  std::ostringstream ss;
-  ss.precision(17);
-  ss << v;
-  return ss.str();
-}
-
-void write_json_escaped(std::ostream& os, const std::string& s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
-  }
-}
+// Energy values are finite by construction, but a strategy bug must not
+// yield an unparseable telemetry file — route every double through the
+// null-for-non-finite JSON formatter.
+std::string fmt_double(double v) { return json_double(v); }
 
 }  // namespace
 

@@ -10,6 +10,8 @@
 #include <ostream>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace lamps::obs {
 
 namespace {
@@ -58,13 +60,6 @@ std::chrono::steady_clock::time_point trace_epoch() {
   static const std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
   return epoch;
-}
-
-void write_json_escaped(std::ostream& os, const char* s) {
-  for (; *s != '\0'; ++s) {
-    if (*s == '"' || *s == '\\') os << '\\';
-    os << *s;
-  }
 }
 
 /// Nanosecond count as a microsecond decimal ("1234.567") — fixed

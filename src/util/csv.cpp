@@ -1,5 +1,6 @@
 #include "util/csv.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <stdexcept>
 
@@ -12,18 +13,18 @@ namespace lamps {
 
 namespace {
 
-/// fsync the file at `path` (O_WRONLY for regular files, O_RDONLY for
-/// directories).  Best-effort on file systems that reject directory fsync.
-void fsync_path(const std::string& path, bool directory) {
-  const int fd = ::open(path.c_str(), directory ? O_RDONLY : O_WRONLY);
-  if (fd < 0) {
-    if (directory) return;  // some file systems refuse; rename is still atomic
-    throw InternalError(ErrorCode::kIo, "cannot reopen for fsync", path);
-  }
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0 && !directory)
-    throw InternalError(ErrorCode::kIo, "fsync failed", path);
+/// Whether an fsync/open errno means "this file system or permission
+/// setup cannot durably sync here" rather than "the data did not reach
+/// the disk".  EINVAL is how special files and some network/tmpfs mounts
+/// refuse fsync entirely, EROFS/EACCES/EPERM are permission shapes (a
+/// read-only file or directory), ENOTSUP mirrors EINVAL on other libcs.
+/// All of these are deterministic — retrying or failing the commit would
+/// not make the bytes any more durable, and the rename is atomic either
+/// way — so they downgrade to best-effort uniformly for files and
+/// directories alike.  Real I/O failures (EIO, EBADF, ...) still throw.
+bool fsync_unsupported(int err) {
+  return err == EINVAL || err == EROFS || err == EACCES || err == EPERM ||
+         err == ENOTSUP;
 }
 
 std::string parent_dir(const std::string& path) {
@@ -34,6 +35,25 @@ std::string parent_dir(const std::string& path) {
 }
 
 }  // namespace
+
+void fsync_path(const std::string& path, bool directory) {
+  // O_WRONLY is the portable way to fsync a regular file, but it is
+  // refused (EACCES) for a read-only file — e.g. a journal committed from
+  // a signal-driven shutdown path after the operator locked the artifact
+  // tree down.  Fall back to O_RDONLY, which Linux happily fsyncs.
+  int fd = ::open(path.c_str(), directory ? O_RDONLY : O_WRONLY);
+  if (fd < 0 && !directory && errno == EACCES) fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (directory || fsync_unsupported(errno)) return;
+    throw InternalError(ErrorCode::kIo, "cannot reopen for fsync", path);
+  }
+  errno = 0;
+  const int rc = ::fsync(fd);
+  const int fsync_errno = errno;
+  ::close(fd);
+  if (rc != 0 && !directory && !fsync_unsupported(fsync_errno))
+    throw InternalError(ErrorCode::kIo, "fsync failed", path);
+}
 
 std::ofstream open_csv(const std::string& path) {
   std::ofstream os(path);

@@ -70,6 +70,15 @@ class CsvWriter {
 /// Convenience: open `path` for writing, throwing on failure.
 [[nodiscard]] std::ofstream open_csv(const std::string& path);
 
+/// fsyncs the file (or, with `directory`, the directory entry) at `path`.
+/// Deterministic "cannot sync here" conditions — read-only files or
+/// directories (EACCES/EPERM/EROFS) and file systems that reject fsync
+/// outright (EINVAL/ENOTSUP) — degrade to best-effort uniformly instead
+/// of throwing, so AtomicFile::commit() stays usable from signal-driven
+/// shutdown paths (the rename is atomic regardless).  Genuine I/O errors
+/// on a file still throw InternalError(kIo).
+void fsync_path(const std::string& path, bool directory);
+
 /// Crash-safe output file: writes go to `<path>.tmp`, and commit() makes
 /// them visible at `path` via flush + fsync + atomic rename (the directory
 /// entry is fsync'd too).  Readers therefore only ever see either the old

@@ -38,6 +38,8 @@ std::string_view to_string(ErrorCode code) {
       return "E_GRAPH_STRUCTURE";
     case ErrorCode::kConfig:
       return "E_CONFIG";
+    case ErrorCode::kJsonParse:
+      return "E_JSON_PARSE";
     case ErrorCode::kScheduleInvalid:
       return "E_SCHEDULE_INVALID";
     case ErrorCode::kCellTimeout:
@@ -55,7 +57,8 @@ std::string_view to_string(ErrorCode code) {
 ErrorCode error_code_from_string(std::string_view name) {
   for (const ErrorCode c :
        {ErrorCode::kNone, ErrorCode::kIniParse, ErrorCode::kIniValue, ErrorCode::kStgParse,
-        ErrorCode::kGraphStructure, ErrorCode::kConfig, ErrorCode::kScheduleInvalid,
+        ErrorCode::kGraphStructure, ErrorCode::kConfig, ErrorCode::kJsonParse,
+        ErrorCode::kScheduleInvalid,
         ErrorCode::kCellTimeout, ErrorCode::kCancelled, ErrorCode::kIo, ErrorCode::kInternal})
     if (name == to_string(c)) return c;
   return ErrorCode::kInternal;
@@ -70,6 +73,7 @@ int exit_code_for(ErrorCode code) {
     case ErrorCode::kStgParse:
     case ErrorCode::kGraphStructure:
     case ErrorCode::kConfig:
+    case ErrorCode::kJsonParse:
       return 2;
     case ErrorCode::kScheduleInvalid:
       return 3;

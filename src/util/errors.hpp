@@ -33,6 +33,7 @@ enum class ErrorCode {
   kStgParse,         ///< malformed STG file
   kGraphStructure,   ///< parsed, but the graph is not a valid task DAG
   kConfig,           ///< inconsistent experiment configuration
+  kJsonParse,        ///< malformed JSON document (serve protocol)
   // -- validation --
   kScheduleInvalid,  ///< a strategy produced an invalid schedule
   // -- timeout --

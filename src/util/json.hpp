@@ -1,0 +1,101 @@
+// Shared JSON encoding primitives for every exporter that hand-writes
+// JSON (obs/metrics, obs/telemetry, obs/trace, net/protocol).
+//
+// The escaper used to be copy-pasted per exporter and only handled `"`
+// and `\` — a metric/strategy/span name carrying a control character (a
+// tab pasted into an INI field, a newline inside an inline STG payload)
+// produced invalid JSON and broke every strict parser downstream.  This
+// header is the single implementation: RFC 8259 string escaping with the
+// short forms \b \f \n \r \t and \u00XX for the remaining control
+// characters.  Bytes >= 0x20 (including multi-byte UTF-8 sequences) pass
+// through untouched.
+//
+// Header-only on purpose: lamps_util links against lamps_obs, so the obs
+// exporters can include this without creating a library cycle.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lamps {
+
+/// Writes `s` with JSON string escaping (quotes not included): `"` `\`
+/// and all control characters below 0x20 are escaped; everything else —
+/// UTF-8 continuation bytes included — is emitted verbatim.
+inline void write_json_escaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// json_escape("a\tb") == "a\\tb": the escaped body, without quotes.
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::ostringstream ss;
+  write_json_escaped(ss, s);
+  return ss.str();
+}
+
+/// Writes `s` as a complete JSON string token, quotes included.
+inline void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  write_json_escaped(os, s);
+  os << '"';
+}
+
+/// Shortest round-trip decimal for a finite double.  JSON has no
+/// inf/nan tokens, so non-finite values are emitted as `null` — the
+/// documented backstop for aggregates (e.g. a histogram sum poisoned by
+/// +inf observations) that must still parse strictly.
+inline void write_json_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  std::ostringstream ss;
+  ss.precision(17);
+  ss << v;
+  os << ss.str();
+}
+
+[[nodiscard]] inline std::string json_double(double v) {
+  std::ostringstream ss;
+  write_json_double(ss, v);
+  return ss.str();
+}
+
+}  // namespace lamps

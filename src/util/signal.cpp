@@ -1,0 +1,70 @@
+#include "util/signal.hpp"
+
+#include <atomic>
+#include <csignal>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace lamps {
+
+namespace {
+
+std::atomic<bool> g_drain_pending{false};
+std::atomic<int> g_pipe_read{-1};
+std::atomic<int> g_pipe_write{-1};
+
+void notify() noexcept {
+  g_drain_pending.store(true, std::memory_order_release);
+  const int fd = g_pipe_write.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const char byte = 1;
+    // A full pipe already wakes every poller; the return value is moot.
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &byte, 1);
+  }
+}
+
+extern "C" void drain_signal_handler(int) { notify(); }
+
+}  // namespace
+
+int install_drain_signal_handlers() {
+  int expected = -1;
+  if (g_pipe_read.load(std::memory_order_acquire) < 0) {
+    int fds[2];
+    if (::pipe(fds) == 0) {
+      ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+      ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+      g_pipe_write.store(fds[1], std::memory_order_release);
+      // Publish the read end last; expected stays -1 on the first call.
+      g_pipe_read.compare_exchange_strong(expected, fds[0], std::memory_order_acq_rel);
+    }
+  }
+  struct sigaction sa{};
+  sa.sa_handler = drain_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking accept/read must wake
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  return g_pipe_read.load(std::memory_order_acquire);
+}
+
+bool drain_signal_pending() noexcept {
+  return g_drain_pending.load(std::memory_order_acquire);
+}
+
+int drain_signal_fd() noexcept { return g_pipe_read.load(std::memory_order_acquire); }
+
+void request_drain_signal() noexcept { notify(); }
+
+void reset_drain_signal_for_testing() noexcept {
+  g_drain_pending.store(false, std::memory_order_release);
+  const int fd = g_pipe_read.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    char buf[64];
+    while (::read(fd, buf, sizeof buf) > 0) {
+    }
+  }
+}
+
+}  // namespace lamps

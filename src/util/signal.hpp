@@ -1,0 +1,33 @@
+// Async-signal-safe shutdown notification for the serve daemon.
+//
+// A signal handler may only touch lock-free primitives, so the classic
+// self-pipe trick carries the event into ordinary control flow: SIGTERM/
+// SIGINT set a process-wide atomic flag and write one byte into a pipe
+// whose read end any poll loop (the server's accept loop, the connection
+// readers) can multiplex with its sockets.  Installation is idempotent;
+// the pipe is created once and intentionally never closed (handlers may
+// fire during static destruction).
+#pragma once
+
+namespace lamps {
+
+/// Installs SIGTERM + SIGINT handlers that request a drain.  Returns the
+/// pipe read end to poll; safe to call more than once.
+int install_drain_signal_handlers();
+
+/// True once a drain signal arrived (or request_drain_signal was called).
+[[nodiscard]] bool drain_signal_pending() noexcept;
+
+/// Readable fd that becomes ready when a drain is requested; -1 until
+/// install_drain_signal_handlers() ran.
+[[nodiscard]] int drain_signal_fd() noexcept;
+
+/// Raises the drain flag from ordinary code (tests, an admin endpoint),
+/// waking every poller exactly like a real signal.
+void request_drain_signal() noexcept;
+
+/// Testing backdoor: clears the flag and drains the pipe so one process
+/// can exercise several drain cycles.
+void reset_drain_signal_for_testing() noexcept;
+
+}  // namespace lamps

@@ -1,0 +1,156 @@
+#include "util/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/errors.hpp"
+
+namespace lamps {
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::send_all(std::string_view data) const {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not kill the
+    // daemon with SIGPIPE.
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::shutdown_write() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+ListenSocket::ListenSocket(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw InternalError(ErrorCode::kIo, "cannot create socket");
+  Socket sock(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    throw InternalError(ErrorCode::kIo,
+                        std::string("cannot bind port: ") + std::strerror(errno),
+                        "port " + std::to_string(port));
+  if (::listen(fd, backlog) != 0)
+    throw InternalError(ErrorCode::kIo,
+                        std::string("cannot listen: ") + std::strerror(errno));
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throw InternalError(ErrorCode::kIo, "cannot read bound address");
+  port_ = ntohs(addr.sin_port);
+  socket_ = std::move(sock);
+}
+
+std::optional<Socket> ListenSocket::accept() const {
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  const int one = 1;
+  // Responses are one small JSON line each; Nagle would add 40 ms stalls.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+Socket connect_tcp(std::uint16_t port, const std::string& host) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw InternalError(ErrorCode::kIo, "cannot create socket");
+  Socket sock(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw InternalError(ErrorCode::kIo, "invalid IPv4 address", host);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    throw InternalError(ErrorCode::kIo,
+                        std::string("cannot connect: ") + std::strerror(errno),
+                        host + ":" + std::to_string(port));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+unsigned poll_readable(int fd1, int fd2, int timeout_ms) {
+  pollfd fds[2];
+  nfds_t n = 0;
+  fds[n++] = pollfd{fd1, POLLIN, 0};
+  if (fd2 >= 0) fds[n++] = pollfd{fd2, POLLIN, 0};
+  const int rc = ::poll(fds, n, timeout_ms);
+  if (rc <= 0) return 0;  // timeout or EINTR
+  unsigned mask = 0;
+  if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) mask |= 1u;
+  if (n > 1 && (fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) mask |= 2u;
+  return mask;
+}
+
+bool LineReader::has_buffered_line() const {
+  return buffer_.find('\n') != std::string::npos;
+}
+
+LineReader::Status LineReader::read_line(std::string& out) {
+  for (;;) {
+    const auto pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      out.assign(buffer_, 0, pos);
+      buffer_.erase(0, pos + 1);
+      return Status::kLine;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return Status::kEof;
+      out = std::move(buffer_);  // final unterminated line
+      buffer_.clear();
+      return Status::kLine;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::kError;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace lamps

@@ -1,0 +1,98 @@
+// Thin POSIX TCP helpers for the serving path (net/server, lamps_loadgen).
+//
+// Deliberately minimal: blocking sockets, IPv4 loopback-style addressing,
+// RAII fd ownership, and a buffered line reader — everything the
+// JSON-lines protocol needs and nothing more.  Readiness multiplexing
+// (accept loops, drain wake-ups) goes through poll_readable so callers
+// can mix a socket with a signal self-pipe.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lamps {
+
+/// Move-only owner of a connected socket (or any) file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Writes the whole buffer (retrying partial writes / EINTR).  Returns
+  /// false once the peer is gone (EPIPE/ECONNRESET) or on any other error.
+  bool send_all(std::string_view data) const;
+
+  /// Half-closes the write side so the peer sees EOF after the last
+  /// response while we can still drain its final bytes.
+  void shutdown_write() const;
+
+  void close();
+
+ private:
+  int fd_{-1};
+};
+
+/// Listening IPv4 TCP socket.  `port == 0` binds an ephemeral port;
+/// `port()` reports the actual one.  Throws InternalError(kIo) when the
+/// socket cannot be bound.
+class ListenSocket {
+ public:
+  explicit ListenSocket(std::uint16_t port, int backlog = 128);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int fd() const { return socket_.fd(); }
+
+  /// Accepts one connection; empty optional on EINTR or a transient
+  /// accept failure (callers poll first, so no connection pending means
+  /// "try again").
+  [[nodiscard]] std::optional<Socket> accept() const;
+
+  void close() { socket_.close(); }
+
+ private:
+  Socket socket_;
+  std::uint16_t port_{0};
+};
+
+/// Connects to 127.0.0.1:`port` (or `host` when given).  Throws
+/// InternalError(kIo) on failure.
+[[nodiscard]] Socket connect_tcp(std::uint16_t port, const std::string& host = "127.0.0.1");
+
+/// poll(2) on up to two fds (`fd2 < 0` = only one).  Returns a bitmask:
+/// bit 0 set when fd1 is readable/EOF, bit 1 for fd2.  0 on timeout;
+/// `timeout_ms < 0` blocks indefinitely.  EINTR reports as timeout.
+[[nodiscard]] unsigned poll_readable(int fd1, int fd2, int timeout_ms);
+
+/// Buffered newline-delimited reader over a socket fd (does not own it).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  enum class Status { kLine, kEof, kError };
+
+  /// Blocks until one full line is available (the trailing '\n' is
+  /// stripped).  kEof after the final, possibly unterminated, line.
+  Status read_line(std::string& out);
+
+  /// True when a complete buffered line can be returned without touching
+  /// the socket.
+  [[nodiscard]] bool has_buffered_line() const;
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_{false};
+};
+
+}  // namespace lamps

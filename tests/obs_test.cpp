@@ -127,6 +127,45 @@ TEST(HistogramTest, BucketMath) {
   EXPECT_EQ(h.quantile_upper_bound(0.5), 0.0);
 }
 
+TEST(HistogramTest, NanGoesToOverflowBucketAndNotIntoSum) {
+  Histogram h({1.0, 2.0});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Regression: NaN compares false against every bound, so the old
+  // lower_bound classification silently filed it in bucket 0 and poisoned
+  // sum() for the rest of the process.
+  EXPECT_EQ(h.bucket_index(nan), 2U);
+  h.observe(0.5);
+  h.observe(nan);
+  h.observe(nan);
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_EQ(h.bucket_count(0), 1U);
+  EXPECT_EQ(h.bucket_count(2), 2U);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5);  // NaN observations are excluded
+  EXPECT_FALSE(std::isnan(h.quantile_upper_bound(0.5)));
+}
+
+TEST(HistogramTest, InfinitiesCountAtTheEdgesAndFlowIntoSum) {
+  Histogram h({1.0, 2.0});
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(h.bucket_index(inf), 2U);
+  EXPECT_EQ(h.bucket_index(-inf), 0U);
+  h.observe(inf);
+  h.observe(-inf);
+  EXPECT_EQ(h.count(), 2U);
+  EXPECT_EQ(h.bucket_count(0), 1U);
+  EXPECT_EQ(h.bucket_count(2), 1U);
+  EXPECT_TRUE(std::isnan(h.sum()));  // +inf + -inf; the JSON export emits null
+}
+
+TEST(MetricsTest, JsonExportEmitsNullForNonFiniteSum) {
+  Registry r;
+  Histogram& h = r.histogram("inf.lat", {1.0});
+  h.observe(std::numeric_limits<double>::infinity());
+  std::ostringstream ss;
+  r.write_json(ss);
+  EXPECT_NE(ss.str().find("\"sum\": null"), std::string::npos) << ss.str();
+}
+
 TEST(HistogramTest, RejectsUnsortedBounds) {
   EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
   EXPECT_THROW(Histogram::exponential_bounds(0.0, 2.0, 4), std::invalid_argument);

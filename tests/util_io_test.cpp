@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "util/csv.hpp"
+#include "util/errors.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 
@@ -79,6 +80,76 @@ TEST(CsvFile, OpenWriteReadBack) {
 
 TEST(CsvFile, OpenFailureThrows) {
   EXPECT_THROW((void)open_csv("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+TEST(FsyncPath, ReadOnlyFileDegradesToBestEffort) {
+  // Regression: fsync_path opened files O_WRONLY, so a chmod 0444 artifact
+  // (e.g. a journal committed after the operator locked the results tree
+  // down) made the reopen fail with EACCES and the commit throw, even
+  // though the bytes were fine and the rename would have been atomic.
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "lamps_fsync_ro.txt";
+  {
+    std::ofstream os(path);
+    os << "locked down\n";
+  }
+  fs::permissions(path, fs::perms::owner_read, fs::perm_options::replace);
+  EXPECT_NO_THROW(fsync_path(path.string(), /*directory=*/false));
+  fs::permissions(path, fs::perms::owner_all, fs::perm_options::replace);
+  fs::remove(path);
+}
+
+TEST(FsyncPath, MissingFileStillThrowsMissingDirectoryDoesNot) {
+  EXPECT_THROW(fsync_path("/nonexistent_dir_xyz/file.txt", /*directory=*/false),
+               InternalError);
+  // Directory syncs are best-effort everywhere: they only harden the
+  // rename's durability, never its atomicity.
+  EXPECT_NO_THROW(fsync_path("/nonexistent_dir_xyz", /*directory=*/true));
+}
+
+TEST(AtomicFileTest, CommitIntoDirectoryWithReadOnlyTarget) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "lamps_atomic_ro_dir";
+  fs::create_directories(dir);
+  const fs::path target = dir / "out.txt";
+  {
+    std::ofstream os(target);
+    os << "old\n";
+  }
+  // A read-only *previous* artifact must not block the atomic replace.
+  fs::permissions(target, fs::perms::owner_read, fs::perm_options::replace);
+  {
+    AtomicFile f(target.string());
+    f.stream() << "new\n";
+    EXPECT_NO_THROW(f.commit());
+  }
+  std::ifstream is(target);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "new");
+  is.close();
+  fs::permissions(target, fs::perms::owner_all, fs::perm_options::replace);
+  fs::remove_all(dir);
+}
+
+TEST(AtomicFileTest, UncommittedFileLeavesTargetUntouched) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "lamps_atomic_abandon.txt";
+  {
+    std::ofstream os(path);
+    os << "original\n";
+  }
+  {
+    AtomicFile f(path.string());
+    f.stream() << "half-written\n";
+    // no commit: destructor must discard the temp file
+  }
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+  std::ifstream is(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "original");
+  fs::remove(path);
 }
 
 }  // namespace

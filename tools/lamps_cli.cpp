@@ -8,9 +8,11 @@
 //   lamps simulate [opts]             execute a plan under exec-time variability
 //   lamps robust [opts]               Monte-Carlo robustness report per strategy
 //   lamps pareto [opts]               energy/deadline trade-off curve (CSV)
+//   lamps serve [opts]                JSON-lines scheduling daemon (docs/serving.md)
 //
 // Every subcommand accepts --help.  Output is plain text / CSV so the tool
 // composes with shell pipelines.
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -22,6 +24,8 @@
 #include "core/strategy.hpp"
 #include "graph/analysis.hpp"
 #include "graph/transform.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "power/sleep_model.hpp"
 #include "robust/report.hpp"
@@ -36,6 +40,8 @@
 #include "util/errors.hpp"
 #include "util/obs_cli.hpp"
 #include "util/rng.hpp"
+#include "util/signal.hpp"
+#include "util/socket.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -460,6 +466,71 @@ int cmd_sweep(int argc, const char* const* argv) {
   });
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  std::size_t port = 0;
+  std::size_t threads = 0;
+  std::size_t max_pending = 0;
+  std::size_t cache_capacity = 512;
+  double max_runtime_s = 0.0;
+  ObsOptions oo;
+  CliParser cli(
+      "Run the scheduling daemon: JSON-lines requests over TCP, answered "
+      "from a shared worker pool with a single-flight result cache; "
+      "SIGTERM/SIGINT drain gracefully (docs/serving.md)");
+  cli.add_option("port", "TCP port, 0 = ephemeral (printed on stdout)", &port);
+  cli.add_option("threads", "compute workers, 0 = hardware concurrency", &threads);
+  cli.add_option("max-pending",
+                 "admission bound before \"overloaded\" responses, 0 = 4x threads",
+                 &max_pending);
+  cli.add_option("cache-capacity", "completed-result LRU entries", &cache_capacity);
+  cli.add_option("max-runtime-s",
+                 "self-drain after this many seconds, 0 = run until signalled "
+                 "(CI smoke harnesses)", &max_runtime_s);
+  oo.register_flags(cli);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+  if (port > 65535) {
+    std::cerr << "--port must be <= 65535\n";
+    return 1;
+  }
+
+  return run_observed(oo, "cli/serve", [&]() -> int {
+    const int signal_fd = install_drain_signal_handlers();
+    net::ServerConfig cfg;
+    cfg.port = static_cast<std::uint16_t>(port);
+    cfg.threads = threads;
+    cfg.max_pending = max_pending;
+    cfg.cache_capacity = cache_capacity;
+    net::Server server(cfg);
+    server.start();
+    // Scripted callers parse this line for the ephemeral port.
+    std::cout << "lamps serve: listening on 127.0.0.1:" << server.port() << std::endl;
+
+    const auto started = std::chrono::steady_clock::now();
+    while (!drain_signal_pending()) {
+      (void)poll_readable(signal_fd, -1, 250);
+      if (max_runtime_s > 0.0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                  .count() >= max_runtime_s) {
+        request_drain_signal();
+      }
+    }
+    std::cout << "lamps serve: draining (in-flight requests finish, new "
+                 "connections are refused)"
+              << std::endl;
+    server.request_drain();
+    server.wait();
+
+    const auto& reg = obs::Registry::global();
+    std::cout << "lamps serve: done — " << reg.counter_value("serve.requests_total")
+              << " requests (" << reg.counter_value("serve.requests_ok") << " ok, "
+              << reg.counter_value("serve.cache_hits") << " cache hits, "
+              << reg.counter_value("serve.singleflight_hits") << " single-flight joins, "
+              << reg.counter_value("serve.requests_overloaded") << " shed)"
+              << std::endl;
+    return 0;
+  });
+}
+
 void print_root_usage(std::ostream& os) {
   os << "lamps — leakage-aware multiprocessor scheduling toolkit\n\n"
         "Usage: lamps <command> [options]\n\n"
@@ -470,7 +541,8 @@ void print_root_usage(std::ostream& os) {
         "  sweep      energy vs processor count for an .stg file\n"
         "  simulate   execute a LAMPS+PS plan under execution-time variability\n"
         "  robust     Monte-Carlo robustness report (jitter/leakage/wake faults)\n"
-        "  pareto     energy/deadline trade-off curve for an .stg file\n\n"
+        "  pareto     energy/deadline trade-off curve for an .stg file\n"
+        "  serve      JSON-lines scheduling daemon over TCP (docs/serving.md)\n\n"
         "Run 'lamps <command> --help' for the command's options.\n";
 }
 
@@ -490,6 +562,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (cmd == "robust") return cmd_robust(argc - 1, argv + 1);
     if (cmd == "pareto") return cmd_pareto(argc - 1, argv + 1);
+    if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
     if (cmd == "--help" || cmd == "-h") {
       print_root_usage(std::cout);
       return 0;

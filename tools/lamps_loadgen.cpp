@@ -1,0 +1,325 @@
+// lamps_loadgen — concurrent load generator and correctness checker for
+// `lamps serve` (docs/serving.md).
+//
+// Generates a corpus of random STG graphs, fires them as inline JSON-lines
+// requests over N parallel connections (closed-loop by default, open-loop
+// paced with --rate), and measures the end-to-end latency distribution and
+// throughput.  With --check (default on) every response's "result" object
+// is compared byte-for-byte against a direct in-process
+// core::run_service_request call on the identical request — the serve
+// path's bit-exactness contract.
+//
+// By default it self-hosts a net::Server on an ephemeral loopback port so
+// a single binary benchmarks the full TCP round trip; --port targets an
+// already-running daemon instead.  A JSON report (--json-out, e.g.
+// results/BENCH_serve.json) captures the run for CI trending.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/request.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "stg/format.hpp"
+#include "stg/random_gen.hpp"
+#include "util/cli.hpp"
+#include "util/errors.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+
+namespace {
+
+using namespace lamps;
+using Clock = std::chrono::steady_clock;
+
+struct RequestSpec {
+  std::string line;      ///< the JSON-lines request, newline-terminated
+  std::string expected;  ///< result_json of the direct computation
+};
+
+struct ConnStats {
+  std::vector<double> latencies_s;
+  std::size_t ok{0};
+  std::size_t cached{0};
+  std::size_t errors{0};
+  std::size_t mismatches{0};
+};
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                       std::ceil(q * static_cast<double>(sorted.size())) - 1.0));
+  return sorted[idx];
+}
+
+/// One client connection: sends its request sequence (paced when
+/// `interval_s > 0`, pipelined open-loop; otherwise closed-loop) and
+/// validates the in-order responses.
+void run_connection(std::uint16_t port, const std::vector<RequestSpec>& corpus,
+                    std::size_t first, std::size_t count, bool check,
+                    double interval_s, ConnStats& stats) {
+  const Socket sock = connect_tcp(port);
+  LineReader reader(sock.fd());
+  std::vector<Clock::time_point> send_times(count);
+  std::string response;
+
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  const auto t0 = Clock::now();
+  auto consume_response = [&](std::size_t i) {
+    if (reader.read_line(response) != LineReader::Status::kLine) {
+      ++stats.errors;
+      return false;
+    }
+    stats.latencies_s.push_back(
+        std::chrono::duration<double>(Clock::now() - send_times[i]).count());
+    if (response.find("\"ok\":true") == std::string::npos) {
+      ++stats.errors;
+      return true;
+    }
+    ++stats.ok;
+    if (response.find("\"cached\":true") != std::string::npos) ++stats.cached;
+    if (check &&
+        net::extract_result_json(response) != corpus[(first + i) % corpus.size()].expected)
+      ++stats.mismatches;
+    return true;
+  };
+
+  bool alive = true;
+  while (sent < count && alive) {
+    if (interval_s > 0.0) {
+      // Open-loop: hold the schedule even when responses lag behind.
+      const auto due = t0 + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(
+                                    static_cast<double>(sent) * interval_s));
+      std::this_thread::sleep_until(due);
+    }
+    send_times[sent] = Clock::now();
+    if (!sock.send_all(corpus[(first + sent) % corpus.size()].line)) {
+      stats.errors += count - sent;
+      alive = false;
+      break;
+    }
+    ++sent;
+    if (interval_s <= 0.0) {  // closed-loop: one in flight per connection
+      if (!consume_response(received)) {
+        stats.errors += sent - received - 1;
+        alive = false;
+        break;
+      }
+      ++received;
+    }
+  }
+  while (alive && received < sent) {
+    if (!consume_response(received)) {
+      stats.errors += sent - received - 1;
+      break;
+    }
+    ++received;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t port = 0;
+  std::size_t connections = 8;
+  std::size_t requests = 256;
+  std::size_t tasks = 100;
+  std::size_t corpus_size = 8;
+  std::size_t server_threads = 0;
+  double rate = 0.0;
+  double deadline_factor = 2.0;
+  bool no_check = false;
+  std::string json_out;
+  CliParser cli(
+      "Concurrent load generator for `lamps serve`: random-STG corpus, "
+      "latency histogram, throughput, and a bit-exactness check against "
+      "direct in-process scheduling");
+  cli.add_option("port", "target daemon port; 0 self-hosts a server in-process", &port);
+  cli.add_option("connections", "parallel client connections", &connections);
+  cli.add_option("requests", "total requests across all connections", &requests);
+  cli.add_option("tasks", "tasks per corpus graph", &tasks);
+  cli.add_option("corpus", "distinct graphs in the corpus (cache/single-flight "
+                           "pressure rises as this shrinks)", &corpus_size);
+  cli.add_option("server-threads",
+                 "self-hosted server workers, 0 = hardware concurrency", &server_threads);
+  cli.add_option("rate", "open-loop request rate per connection [req/s], 0 = closed-loop",
+                 &rate);
+  cli.add_option("deadline-factor", "deadline as a multiple of the CPL", &deadline_factor);
+  cli.add_flag("no-check", "skip the bit-exactness comparison", &no_check);
+  cli.add_option("json-out", "write the benchmark report JSON here", &json_out);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+  if (connections == 0 || requests == 0 || corpus_size == 0) {
+    std::cerr << "connections, requests and corpus must be >= 1\n";
+    return 1;
+  }
+
+  try {
+    const power::PowerModel model;
+    const power::DvsLadder ladder(model);
+
+    // Corpus: every (graph, strategy) pair is prepared once — the JSON
+    // line the clients send and the expected result payload computed
+    // directly, bypassing the network.
+    std::vector<RequestSpec> corpus;
+    corpus.reserve(corpus_size);
+    for (std::size_t i = 0; i < corpus_size; ++i) {
+      stg::RandomGraphSpec spec;
+      spec.name = "loadgen-" + std::to_string(i);
+      spec.num_tasks = tasks;
+      spec.seed = i + 1;
+      const graph::TaskGraph g = stg::generate_random(spec);
+      std::ostringstream stg_text;
+      stg::write_stg(g, stg_text);
+      const core::StrategyKind strategy = core::kAllStrategies[i % core::kAllStrategies.size()];
+
+      std::ostringstream line;
+      line << "{\"id\":" << i << ",\"stg\":";
+      write_json_string(line, stg_text.str());
+      line << ",\"strategy\":";
+      write_json_string(line, core::to_string(strategy));
+      line << ",\"deadline_factor\":" << json_double(deadline_factor) << "}\n";
+
+      RequestSpec rs;
+      rs.line = line.str();
+      if (!no_check) {
+        const net::ParsedRequest parsed =
+            net::parse_schedule_request(rs.line, model);  // the server's own code path
+        rs.expected = net::result_json(
+            core::run_service_request(parsed.request, model, ladder), ladder);
+      }
+      corpus.push_back(std::move(rs));
+    }
+
+    std::unique_ptr<net::Server> self_hosted;
+    auto target_port = static_cast<std::uint16_t>(port);
+    if (port == 0) {
+      net::ServerConfig cfg;
+      cfg.threads = server_threads;
+      self_hosted = std::make_unique<net::Server>(cfg);
+      self_hosted->start();
+      target_port = self_hosted->port();
+      std::cerr << "self-hosted lamps serve on 127.0.0.1:" << target_port << '\n';
+    }
+
+    const double interval_s = rate > 0.0 ? 1.0 / rate : 0.0;
+    const std::size_t per_conn = (requests + connections - 1) / connections;
+    std::vector<ConnStats> stats(connections);
+    std::vector<std::thread> clients;
+    clients.reserve(connections);
+    const auto t0 = Clock::now();
+    for (std::size_t c = 0; c < connections; ++c) {
+      const std::size_t begin = c * per_conn;
+      const std::size_t count = std::min(per_conn, requests - std::min(requests, begin));
+      if (count == 0) break;
+      clients.emplace_back([&, c, begin, count] {
+        run_connection(target_port, corpus, begin, count, !no_check, interval_s,
+                       stats[c]);
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    std::uint64_t singleflight = 0;
+    std::uint64_t cache_hits = 0;
+    if (self_hosted) {
+      self_hosted->request_drain();
+      self_hosted->wait();
+      singleflight = obs::Registry::global().counter_value("serve.singleflight_hits");
+      cache_hits = obs::Registry::global().counter_value("serve.cache_hits");
+      self_hosted.reset();
+    }
+
+    ConnStats total;
+    for (const auto& s : stats) {
+      total.ok += s.ok;
+      total.cached += s.cached;
+      total.errors += s.errors;
+      total.mismatches += s.mismatches;
+      total.latencies_s.insert(total.latencies_s.end(), s.latencies_s.begin(),
+                               s.latencies_s.end());
+    }
+    std::sort(total.latencies_s.begin(), total.latencies_s.end());
+    double sum = 0.0;
+    for (const double v : total.latencies_s) sum += v;
+    const double mean_s =
+        total.latencies_s.empty()
+            ? 0.0
+            : sum / static_cast<double>(total.latencies_s.size());
+    const double throughput =
+        elapsed_s > 0.0 ? static_cast<double>(total.ok) / elapsed_s : 0.0;
+
+    std::cout << "requests: " << requests << " over " << clients.size()
+              << " connections (" << (interval_s > 0.0 ? "open" : "closed")
+              << "-loop)\n"
+              << "ok: " << total.ok << "  cached: " << total.cached
+              << "  errors: " << total.errors << "  mismatches: " << total.mismatches
+              << '\n'
+              << "throughput: " << throughput << " req/s  elapsed: " << elapsed_s
+              << " s\n"
+              << "latency ms  mean " << mean_s * 1e3 << "  p50 "
+              << quantile(total.latencies_s, 0.5) * 1e3 << "  p90 "
+              << quantile(total.latencies_s, 0.9) * 1e3 << "  p99 "
+              << quantile(total.latencies_s, 0.99) * 1e3 << "  max "
+              << (total.latencies_s.empty() ? 0.0 : total.latencies_s.back()) * 1e3
+              << '\n';
+    if (self_hosted != nullptr || port == 0)
+      std::cout << "server: cache_hits " << cache_hits << "  singleflight_hits "
+                << singleflight << '\n';
+
+    if (!json_out.empty()) {
+      std::ofstream os(json_out);
+      if (!os) {
+        std::cerr << "cannot write " << json_out << '\n';
+        return 1;
+      }
+      os << "{\n"
+         << "  \"bench\": \"serve\",\n"
+         << "  \"requests\": " << requests << ",\n"
+         << "  \"connections\": " << clients.size() << ",\n"
+         << "  \"corpus\": " << corpus_size << ",\n"
+         << "  \"tasks_per_graph\": " << tasks << ",\n"
+         << "  \"mode\": \"" << (interval_s > 0.0 ? "open" : "closed") << "-loop\",\n"
+         << "  \"ok\": " << total.ok << ",\n"
+         << "  \"cached\": " << total.cached << ",\n"
+         << "  \"errors\": " << total.errors << ",\n"
+         << "  \"check_mismatches\": " << total.mismatches << ",\n"
+         << "  \"cache_hits\": " << cache_hits << ",\n"
+         << "  \"singleflight_hits\": " << singleflight << ",\n"
+         << "  \"elapsed_s\": " << json_double(elapsed_s) << ",\n"
+         << "  \"throughput_rps\": " << json_double(throughput) << ",\n"
+         << "  \"latency_ms\": {\n"
+         << "    \"mean\": " << json_double(mean_s * 1e3) << ",\n"
+         << "    \"p50\": " << json_double(quantile(total.latencies_s, 0.5) * 1e3)
+         << ",\n"
+         << "    \"p90\": " << json_double(quantile(total.latencies_s, 0.9) * 1e3)
+         << ",\n"
+         << "    \"p99\": " << json_double(quantile(total.latencies_s, 0.99) * 1e3)
+         << ",\n"
+         << "    \"max\": "
+         << json_double(
+                (total.latencies_s.empty() ? 0.0 : total.latencies_s.back()) * 1e3)
+         << "\n  }\n}\n";
+      std::cerr << "wrote " << json_out << '\n';
+    }
+
+    if (total.mismatches > 0 || total.errors > 0) return 3;
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return exit_code_for(e.code());
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
