@@ -11,6 +11,8 @@
 #include <iterator>
 #include <vector>
 
+#include "core/incremental.hpp"
+#include "core/request.hpp"
 #include "core/strategy.hpp"
 #include "energy/evaluator.hpp"
 #include "energy/gap_profile.hpp"
@@ -32,6 +34,7 @@ constexpr const char* kSearchCounters[] = {
     "schedule_cache.schedule_hit",     "schedule_cache.schedule_miss",
     "schedule_cache.profile_hit",      "schedule_cache.profile_miss",
     "schedule_cache.profile_from_schedule",
+    "schedule_cache.store_schedule_hit", "schedule_cache.store_profile_hit",
     "search.graham_shortcircuit_upper", "search.graham_shortcircuit_lower",
     "search.probe_gap_only",           "search.probe_materialized",
 };
@@ -88,7 +91,9 @@ void BM_ListScheduleEdf(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(g.num_tasks()));
 }
-BENCHMARK(BM_ListScheduleEdf)->Arg(100)->Arg(1000)->Arg(5000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ListScheduleEdf)
+    ->Arg(100)->Arg(1000)->Arg(5000)->Arg(50000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_LampsSearch(benchmark::State& state) {
   const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
@@ -186,6 +191,57 @@ void BM_LampsPsSearchParallel(benchmark::State& state) {
   report_search_counters(state, before);
 }
 BENCHMARK(BM_LampsPsSearchParallel)->Arg(5000)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---- Incremental rescheduling: the dominant serve shape is one graph
+// asked about at many deadlines.  The pair below times the identical
+// request cycle with and without a ScheduleBank; with one, every
+// iteration's schedules come from the structure's ProfileStore (the
+// warm-up paid the from-scratch cost once per deadline) and only the
+// deadline-dependent arithmetic reruns.  Responses are bit-identical
+// either way — see tests/incremental_test.cpp.
+
+std::vector<core::ServiceRequest> reschedule_cycle(const graph::TaskGraph& g) {
+  std::vector<core::ServiceRequest> reqs;
+  for (const double factor : {1.7, 2.0, 2.3, 2.6}) {
+    reqs.push_back(core::ServiceRequest{
+        g,
+        Seconds{static_cast<double>(graph::critical_path_length(g)) /
+                model().max_frequency().value() * factor},
+        core::StrategyKind::kLampsPs});
+  }
+  return reqs;
+}
+
+void BM_IncrementalReschedule(benchmark::State& state) {
+  const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
+  const std::vector<core::ServiceRequest> reqs = reschedule_cycle(g);
+  core::ScheduleBank bank;
+  for (const core::ServiceRequest& req : reqs)  // warm the structure's store
+    benchmark::DoNotOptimize(core::run_service_request(req, model(), ladder(), &bank));
+  const auto before = snapshot_search_counters();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_service_request(reqs[i], model(), ladder(), &bank));
+    i = (i + 1) % reqs.size();
+  }
+  report_search_counters(state, before);
+}
+BENCHMARK(BM_IncrementalReschedule)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalRescheduleScratch(benchmark::State& state) {
+  const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));
+  const std::vector<core::ServiceRequest> reqs = reschedule_cycle(g);
+  const auto before = snapshot_search_counters();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_service_request(reqs[i], model(), ladder()));
+    i = (i + 1) % reqs.size();
+  }
+  report_search_counters(state, before);
+}
+BENCHMARK(BM_IncrementalRescheduleScratch)
+    ->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
 
 void BM_SnsSearch(benchmark::State& state) {
   const graph::TaskGraph g = random_graph(static_cast<std::size_t>(state.range(0)));

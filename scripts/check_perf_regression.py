@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Gate scheduler benchmark results against the committed Release baseline.
+
+Usage: scripts/check_perf_regression.py CURRENT.json [BASELINE.json]
+                                        [--tolerance FRAC]
+
+Both files are google-benchmark --benchmark_out JSON.  A raw wall-time
+comparison would be meaningless across machines (the committed baseline
+and a CI runner differ in clock speed), so the gate is *normalized*: for
+every benchmark present in both files it computes the ratio
+current/baseline, takes the median ratio as the machine-speed factor, and
+flags any benchmark whose ratio exceeds the median by more than
+--tolerance (default 0.50).  A benchmark that regressed uniformly with
+the rest of the suite therefore still fails — the median moves with it —
+while one that merely ran on a slower machine does not.
+
+Exit codes: 0 ok, 1 regression detected, 2 usage/input error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_benchmarks(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_perf_regression: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # aggregate rows (mean/median/stddev from --benchmark_repetitions)
+        # would double-count; keep only plain iteration rows.
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline", nargs="?", default="results/BENCH_scheduler_baseline.json")
+    ap.add_argument("--tolerance", type=float, default=0.50,
+                    help="allowed fractional slowdown beyond the median ratio")
+    args = ap.parse_args()
+
+    cur = load_benchmarks(args.current)
+    base = load_benchmarks(args.baseline)
+
+    common = [n for n in cur if n in base and cur[n][1] == base[n][1]
+              and base[n][0] > 0 and cur[n][0] > 0]
+    if len(common) < 3:
+        print(f"check_perf_regression: only {len(common)} comparable benchmarks — "
+              "refusing to gate on that little signal", file=sys.stderr)
+        sys.exit(2)
+
+    ratios = {n: cur[n][0] / base[n][0] for n in common}
+    speed = statistics.median(ratios.values())
+    limit = speed * (1.0 + args.tolerance)
+
+    print(f"machine-speed factor (median current/baseline ratio): {speed:.3f}")
+    print(f"per-benchmark limit: {limit:.3f}x baseline "
+          f"(median + {args.tolerance:.0%} tolerance)\n")
+    print(f"{'benchmark':55s} {'ratio':>8s}  verdict")
+
+    failed = []
+    for n in sorted(common, key=lambda n: -ratios[n]):
+        verdict = "REGRESSED" if ratios[n] > limit else "ok"
+        if verdict == "REGRESSED":
+            failed.append(n)
+        print(f"{n:55s} {ratios[n]:8.3f}  {verdict}")
+
+    new = sorted(set(cur) - set(base))
+    if new:
+        print(f"\nnot in baseline (skipped): {', '.join(new)}")
+    gone = sorted(set(base) - set(cur))
+    if gone:
+        print(f"missing from current run: {', '.join(gone)}", file=sys.stderr)
+
+    if failed:
+        print(f"\n{len(failed)} benchmark(s) regressed beyond tolerance: "
+              + ", ".join(failed), file=sys.stderr)
+        sys.exit(1)
+    print("\nno regressions beyond tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,14 @@
 # Usage: scripts/run_perf_bench.sh [output.json]
 #   output.json  destination file (default: results/BENCH_scheduler.json)
 #
+# Refuses to benchmark a non-Release build: numbers from -O0 binaries are
+# meaningless and have polluted committed baselines before.  Note the
+# "library_build_type" field google-benchmark writes into the JSON refers
+# to the *benchmark library*, not this project — the guard below checks
+# the project's own CMAKE_BUILD_TYPE.  Set LAMPS_BENCH_ALLOW_DEBUG=1 to
+# override (results are then stamped onto stderr as untrusted), and
+# BUILD_DIR to point at a non-default build tree.
+#
 # The JSON is google-benchmark's --benchmark_out format; see
 # docs/performance.md for how to read it and compare against
 # results/BENCH_scheduler_baseline.json (the pre-optimization numbers).
@@ -16,15 +24,30 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-results/BENCH_scheduler.json}"
+BUILD_DIR="${BUILD_DIR:-build}"
 
-if [[ ! -x build/bench/perf_scheduler ]]; then
-  echo "build/bench/perf_scheduler not found — configure and build first:" >&2
-  echo "  cmake -B build && cmake --build build -j" >&2
+if [[ ! -x "$BUILD_DIR/bench/perf_scheduler" ]]; then
+  echo "$BUILD_DIR/bench/perf_scheduler not found — configure and build first:" >&2
+  echo "  cmake -B $BUILD_DIR -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
   exit 1
 fi
 
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+if [[ "$BUILD_TYPE" != "Release" && "$BUILD_TYPE" != "RelWithDebInfo" ]]; then
+  if [[ "${LAMPS_BENCH_ALLOW_DEBUG:-0}" == "1" ]]; then
+    echo "WARNING: benchmarking a '${BUILD_TYPE:-unknown}' build" \
+         "(LAMPS_BENCH_ALLOW_DEBUG=1) — do NOT commit these numbers" >&2
+  else
+    echo "refusing to benchmark a '${BUILD_TYPE:-unknown}' build" \
+         "($BUILD_DIR/CMakeCache.txt): reconfigure with" >&2
+    echo "  cmake -B $BUILD_DIR -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+    echo "or set LAMPS_BENCH_ALLOW_DEBUG=1 to override." >&2
+    exit 2
+  fi
+fi
+
 mkdir -p "$(dirname "$OUT")"
-./build/bench/perf_scheduler \
+"$BUILD_DIR/bench/perf_scheduler" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
   --benchmark_repetitions="${LAMPS_BENCH_REPS:-1}"

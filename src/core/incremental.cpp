@@ -1,0 +1,59 @@
+#include "core/incremental.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace lamps::core {
+
+namespace {
+
+// Bank traffic: a "hit" lease found an existing store for the structure
+// (docs/observability.md).
+obs::Counter& c_bank_lease_hit = obs::counter("schedule_bank.lease_hit");
+obs::Counter& c_bank_lease_miss = obs::counter("schedule_bank.lease_miss");
+obs::Counter& c_bank_evictions = obs::counter("schedule_bank.evictions");
+
+}  // namespace
+
+struct ScheduleBank::Lease::Entry {
+  std::mutex m;
+  ProfileStore store;
+};
+
+ScheduleBank::Lease::Lease(std::shared_ptr<Entry> e)
+    : entry_(std::move(e)), store_(&entry_->store), lock_(entry_->m) {}
+
+ScheduleBank::Lease ScheduleBank::lease(std::uint64_t structure_digest) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (const auto it = map_.find(structure_digest); it != map_.end()) {
+      c_bank_lease_hit.inc();
+      lru_.splice(lru_.begin(), lru_, it->second.pos);
+      entry = it->second.entry;
+    } else {
+      c_bank_lease_miss.inc();
+      while (capacity_ != 0 && map_.size() >= capacity_) {
+        // Evict the least-recently leased store.  An in-flight lease keeps
+        // its entry alive through the shared_ptr; only the map forgets it.
+        c_bank_evictions.inc();
+        map_.erase(lru_.back());
+        lru_.pop_back();
+      }
+      lru_.push_front(structure_digest);
+      entry = std::make_shared<Entry>();
+      map_.emplace(structure_digest, Slot{entry, lru_.begin()});
+    }
+  }
+  // Entry lock acquired outside the bank mutex: a long-running request
+  // never blocks unrelated structures from leasing.
+  return Lease(std::move(entry));
+}
+
+std::size_t ScheduleBank::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return map_.size();
+}
+
+}  // namespace lamps::core

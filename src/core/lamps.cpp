@@ -88,7 +88,11 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
   const Cycles deadline_cycles = prob.deadline_cycles_at_fmax();
   const std::size_t width = std::max<std::size_t>(
       1, std::min(g.num_tasks(), graph::asap_max_concurrency(g)));
-  ScheduleCache cache(g, keys, width, &tls_workspace());
+  // An attached ProfileStore (serve's ScheduleBank lease) supplies
+  // deadline-invariant schedules/profiles from earlier requests on the
+  // same graph structure; results and even schedules_computed stay
+  // bit-identical to a from-scratch run (see schedule_cache.hpp).
+  ScheduleCache cache(g, keys, width, &tls_workspace(), prob.profile_store);
 
   // ---- Phase 1: binary search for the minimal feasible processor count
   // on [N_lwb = ceil(W / D), N_upb = |V|].  The probe sequence is the
@@ -204,8 +208,11 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
   // so that path still schedules fully.
   const bool profile_ok = !g.has_explicit_deadlines();
   const std::size_t count = n_max - n_min + 1;
-  std::vector<std::optional<sched::Schedule>> slots(count);
-  std::vector<std::optional<energy::GapProfile>> profs(count);
+  std::vector<std::shared_ptr<const sched::Schedule>> slots(count);
+  std::vector<std::shared_ptr<const energy::GapProfile>> profs(count);
+  // Slots computed fresh inside the fan-out; published to the cache/store
+  // serially afterwards (the store is not touched concurrently).
+  std::vector<std::uint8_t> fresh(count, 0);
   std::vector<ConfigEval> evals(count);
   // Per-slot probe records, written by slot index inside the fan-out and
   // appended to the telemetry sink serially afterwards — the record order
@@ -214,10 +221,10 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
   std::size_t phase2_computed = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t n = n_min + i;
-    if (cache.has(n))
-      slots[i].emplace(cache.take(n));
-    else if (profile_ok && cache.has_profile(n))
-      profs[i].emplace(cache.take_profile(n));
+    if ((slots[i] = cache.schedule_ptr(n)) != nullptr)
+      ;  // memoized by a phase-1/speedup probe
+    else if (profile_ok && (profs[i] = cache.profile_lookup(n)) != nullptr)
+      ;  // memoized probe or store reuse (counted inside the cache)
     else
       ++phase2_computed;
   }
@@ -231,13 +238,18 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
       } else if (!profile_ok) {
         action = "schedule-eval";
         c_probe_materialized.inc();
-        slots[i].emplace(sched::list_schedule(g, n_min + i, keys, tls_workspace()));
+        fresh[i] = 1;
+        slots[i] = std::make_shared<const sched::Schedule>(
+            sched::list_schedule(g, n_min + i, keys, tls_workspace()));
         evals[i] = evaluate_schedule_config(*slots[i], prob, with_ps);
       } else {
         if (!profs[i]) {
           action = "profile-eval";
           c_probe_gap_only.inc();
-          profs[i].emplace(sched::list_schedule_gaps(g, n_min + i, keys, tls_workspace()));
+          fresh[i] = 1;
+          profs[i] = std::make_shared<const energy::GapProfile>(
+              energy::GapProfile(sched::list_schedule_gaps(g, n_min + i, keys,
+                                                           tls_workspace())));
         } else {
           action = "cached-profile-eval";
         }
@@ -259,6 +271,16 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
     });
   }
 
+  // Publish fan-out results serially: the cache (and any attached store)
+  // is single-threaded by contract.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!fresh[i]) continue;
+    if (slots[i])
+      cache.adopt_schedule(n_min + i, slots[i]);
+    else
+      cache.adopt_profile(n_min + i, profs[i]);
+  }
+
   std::size_t best_i = count;  // sentinel: none feasible yet
   for (std::size_t i = 0; i < count; ++i) {
     if (!evals[i].feasible) continue;  // this N infeasible (EDF anomaly)
@@ -274,11 +296,14 @@ StrategyResult lamps_impl(const Problem& prob, bool with_ps) {
     best.completion = evals[best_i].completion;
     if (tel != nullptr) p2_probes[best_i].chosen = true;
     if (!slots[best_i]) {
+      // Winner materialization: a store-held schedule short-circuits the
+      // re-run; either way this stays uncounted, like the from-scratch
+      // search's materialization re-run.
       obs::Span mat_span("lamps/materialize");
       c_probe_materialized.inc();
-      slots[best_i].emplace(sched::list_schedule(g, n_min + best_i, keys, tls_workspace()));
+      slots[best_i] = cache.materialize(n_min + best_i);
     }
-    best.schedule = std::move(*slots[best_i]);
+    best.schedule = *slots[best_i];
   }
   best.schedules_computed = cache.computed() + phase2_computed;
   if (tel != nullptr) {

@@ -17,6 +17,8 @@
 
 namespace lamps::core {
 
+struct ProfileStore;
+
 /// One scheduling problem instance.  The referenced graph/model/ladder must
 /// outlive the Problem (strategies are pure functions over it).
 struct Problem {
@@ -46,6 +48,15 @@ struct Problem {
   /// only: results are bit-identical with or without a sink, at any
   /// search_threads setting.  Not owned; must outlive the strategy call.
   obs::SearchTelemetry* telemetry{nullptr};
+
+  /// Optional cross-request store of deadline-invariant schedules and
+  /// idle-gap profiles (core/incremental.hpp), normally a ScheduleBank
+  /// lease held by the serving path.  Results — including
+  /// schedules_computed — are bit-identical with or without one.  Only
+  /// attach for graphs without explicit per-task deadlines (their EDF
+  /// ranking depends on the global deadline).  Externally synchronized;
+  /// not owned; must outlive the strategy call.
+  ProfileStore* profile_store{nullptr};
 
   [[nodiscard]] power::SleepModel sleep() const { return power::SleepModel(*model); }
 

@@ -1,5 +1,7 @@
 #include "core/request.hpp"
 
+#include "core/incremental.hpp"
+
 namespace lamps::core {
 
 namespace {
@@ -25,10 +27,9 @@ struct Fnv1a {
   }
 };
 
-}  // namespace
-
-std::uint64_t service_request_digest(const ServiceRequest& req) {
-  Fnv1a h;
+// Hashes the deadline-invariant part shared by both digests: weights, edge
+// set, explicit deadlines and priority policy.
+void hash_structure(Fnv1a& h, const ServiceRequest& req) {
   const graph::TaskGraph& g = req.graph;
   h.u64(g.num_tasks());
   for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
@@ -43,15 +44,35 @@ std::uint64_t service_request_digest(const ServiceRequest& req) {
     else
       h.f64(-1.0);
   }
+  h.u64(static_cast<std::uint64_t>(req.policy));
+}
+
+}  // namespace
+
+std::uint64_t service_request_digest(const ServiceRequest& req) {
+  Fnv1a h;
+  hash_structure(h, req);
   h.f64(req.deadline.value());
   h.u64(static_cast<std::uint64_t>(req.strategy));
-  h.u64(static_cast<std::uint64_t>(req.policy));
+  return h.h;
+}
+
+std::uint64_t service_request_structure_digest(const ServiceRequest& req) {
+  Fnv1a h;
+  hash_structure(h, req);
   return h.h;
 }
 
 StrategyResult run_service_request(const ServiceRequest& req,
                                    const power::PowerModel& model,
                                    const power::DvsLadder& ladder) {
+  return run_service_request(req, model, ladder, nullptr);
+}
+
+StrategyResult run_service_request(const ServiceRequest& req,
+                                   const power::PowerModel& model,
+                                   const power::DvsLadder& ladder,
+                                   ScheduleBank* bank) {
   Problem prob;
   prob.graph = &req.graph;
   prob.model = &model;
@@ -59,6 +80,13 @@ StrategyResult run_service_request(const ServiceRequest& req,
   prob.deadline = req.deadline;
   prob.policy = req.policy;
   prob.search_threads = 1;
+  if (bank != nullptr && !req.graph.has_explicit_deadlines()) {
+    // Lease held for the whole strategy run: same-structure requests
+    // serialize on the store, distinct structures proceed in parallel.
+    ScheduleBank::Lease lease = bank->lease(service_request_structure_digest(req));
+    prob.profile_store = lease.store();
+    return run_strategy(req.strategy, prob);
+  }
   return run_strategy(req.strategy, prob);
 }
 

@@ -35,11 +35,33 @@ struct ServiceRequest {
 /// task-id order).
 [[nodiscard]] std::uint64_t service_request_digest(const ServiceRequest& req);
 
+/// Digest over only the deadline-invariant degrees of freedom: weights,
+/// edge set, explicit deadlines and priority policy.  The global deadline
+/// and the strategy are deliberately excluded — requests differing only in
+/// those produce identical schedules and idle-gap profiles (see
+/// core/incremental.hpp), so they share one ScheduleBank store; LAMPS and
+/// S&S probes cross-pollinate the same artifacts.
+[[nodiscard]] std::uint64_t service_request_structure_digest(const ServiceRequest& req);
+
+class ScheduleBank;
+
 /// Builds the Problem over `req` (the model/ladder pair must outlive the
 /// call) and runs the strategy.  Single-threaded search on purpose: the
 /// serving layer parallelizes across requests, not within one.
 [[nodiscard]] StrategyResult run_service_request(const ServiceRequest& req,
                                                  const power::PowerModel& model,
                                                  const power::DvsLadder& ladder);
+
+/// Same, with incremental rescheduling: leases `bank`'s ProfileStore for
+/// the request's structure digest so deadline-invariant schedules/profiles
+/// carry over between requests on the same graph.  Results are
+/// bit-identical to the 3-argument overload.  The store is only attached
+/// when the graph has no explicit per-task deadlines (their EDF ranking
+/// depends on the global deadline, breaking the invariance); `bank` may be
+/// null, which degrades to the plain overload.
+[[nodiscard]] StrategyResult run_service_request(const ServiceRequest& req,
+                                                 const power::PowerModel& model,
+                                                 const power::DvsLadder& ladder,
+                                                 ScheduleBank* bank);
 
 }  // namespace lamps::core

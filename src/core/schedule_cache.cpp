@@ -10,11 +10,14 @@ namespace lamps::core {
 namespace {
 
 // Cache traffic of the configuration searches (docs/observability.md).
+// store_* counters track the incremental-rescheduling reuse path.
 obs::Counter& c_schedule_hit = obs::counter("schedule_cache.schedule_hit");
 obs::Counter& c_schedule_miss = obs::counter("schedule_cache.schedule_miss");
 obs::Counter& c_profile_hit = obs::counter("schedule_cache.profile_hit");
 obs::Counter& c_profile_miss = obs::counter("schedule_cache.profile_miss");
 obs::Counter& c_profile_from_schedule = obs::counter("schedule_cache.profile_from_schedule");
+obs::Counter& c_store_schedule_hit = obs::counter("schedule_cache.store_schedule_hit");
+obs::Counter& c_store_profile_hit = obs::counter("schedule_cache.store_profile_hit");
 
 }  // namespace
 
@@ -22,51 +25,128 @@ const sched::Schedule& ScheduleCache::at(std::size_t n) {
   const std::size_t key = clamp(n);
   if (const auto it = by_n_.find(key); it != by_n_.end()) {
     c_schedule_hit.inc();
-    return it->second;
+    return *it->second;
+  }
+  if (store_ != nullptr) {
+    if (const auto it = store_->schedules.find(key); it != store_->schedules.end()) {
+      c_store_schedule_hit.inc();
+      ++store_hits_;
+      return *by_n_.emplace(key, it->second).first->second;
+    }
   }
   c_schedule_miss.inc();
   ++computed_;
-  return by_n_.emplace(key, sched::list_schedule(*g_, key, keys_, *ws_)).first->second;
+  auto s = std::make_shared<const sched::Schedule>(
+      sched::list_schedule(*g_, key, keys_, *ws_));
+  if (store_ != nullptr) store_->schedules.try_emplace(key, s);
+  return *by_n_.emplace(key, std::move(s)).first->second;
 }
 
 const energy::GapProfile& ScheduleCache::profile_at(std::size_t n) {
   const std::size_t key = clamp(n);
   if (const auto it = profile_by_n_.find(key); it != profile_by_n_.end()) {
     c_profile_hit.inc();
-    return it->second;
+    return *it->second;
   }
   if (const auto it = by_n_.find(key); it != by_n_.end()) {
+    // Derivation from a locally held schedule is free scheduling-wise; the
+    // cold path takes this same branch at the same point, so it stays
+    // uncounted even when the schedule originally came from the store.
     c_profile_from_schedule.inc();
-    return profile_by_n_.emplace(key, energy::GapProfile(it->second)).first->second;
+    auto p = std::make_shared<const energy::GapProfile>(*it->second);
+    if (store_ != nullptr) store_->profiles.try_emplace(key, p);
+    return *profile_by_n_.emplace(key, std::move(p)).first->second;
+  }
+  if (store_ != nullptr) {
+    if (const auto it = store_->profiles.find(key); it != store_->profiles.end()) {
+      c_store_profile_hit.inc();
+      ++store_hits_;
+      return *profile_by_n_.emplace(key, it->second).first->second;
+    }
+    if (const auto it = store_->schedules.find(key); it != store_->schedules.end()) {
+      // The cold path would run the scheduler here; deriving from the
+      // store's schedule replaces that run, so it counts.
+      c_store_schedule_hit.inc();
+      ++store_hits_;
+      auto p = std::make_shared<const energy::GapProfile>(*it->second);
+      store_->profiles.try_emplace(key, p);
+      return *profile_by_n_.emplace(key, std::move(p)).first->second;
+    }
   }
   c_profile_miss.inc();
   ++computed_;
-  return profile_by_n_
-      .emplace(key, energy::GapProfile(sched::list_schedule_gaps(*g_, key, keys_, *ws_)))
-      .first->second;
+  auto p = std::make_shared<const energy::GapProfile>(
+      energy::GapProfile(sched::list_schedule_gaps(*g_, key, keys_, *ws_)));
+  if (store_ != nullptr) store_->profiles.try_emplace(key, p);
+  return *profile_by_n_.emplace(key, std::move(p)).first->second;
 }
 
 Cycles ScheduleCache::makespan_at(std::size_t n) {
   const std::size_t key = clamp(n);
-  if (const auto it = by_n_.find(key); it != by_n_.end()) return it->second.makespan();
+  if (const auto it = by_n_.find(key); it != by_n_.end()) return it->second->makespan();
   return profile_at(key).makespan();
+}
+
+std::shared_ptr<const sched::Schedule> ScheduleCache::schedule_ptr(std::size_t n) const {
+  const auto it = by_n_.find(clamp(n));
+  return it != by_n_.end() ? it->second : nullptr;
+}
+
+std::shared_ptr<const energy::GapProfile> ScheduleCache::profile_lookup(std::size_t n) {
+  const std::size_t key = clamp(n);
+  if (const auto it = profile_by_n_.find(key); it != profile_by_n_.end()) return it->second;
+  if (store_ != nullptr) {
+    if (const auto it = store_->profiles.find(key); it != store_->profiles.end()) {
+      c_store_profile_hit.inc();
+      ++store_hits_;
+      return profile_by_n_.emplace(key, it->second).first->second;
+    }
+    if (const auto it = store_->schedules.find(key); it != store_->schedules.end()) {
+      c_store_schedule_hit.inc();
+      ++store_hits_;
+      auto p = std::make_shared<const energy::GapProfile>(*it->second);
+      store_->profiles.try_emplace(key, p);
+      return profile_by_n_.emplace(key, std::move(p)).first->second;
+    }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const sched::Schedule> ScheduleCache::materialize(std::size_t n) {
+  const std::size_t key = clamp(n);
+  if (const auto it = by_n_.find(key); it != by_n_.end()) return it->second;
+  if (store_ != nullptr) {
+    if (const auto it = store_->schedules.find(key); it != store_->schedules.end()) {
+      c_store_schedule_hit.inc();
+      return by_n_.emplace(key, it->second).first->second;
+    }
+  }
+  auto s = std::make_shared<const sched::Schedule>(
+      sched::list_schedule(*g_, key, keys_, *ws_));
+  if (store_ != nullptr) store_->schedules.try_emplace(key, s);
+  return by_n_.emplace(key, std::move(s)).first->second;
+}
+
+void ScheduleCache::adopt_schedule(std::size_t n,
+                                   std::shared_ptr<const sched::Schedule> s) {
+  const std::size_t key = clamp(n);
+  if (store_ != nullptr) store_->schedules.try_emplace(key, s);
+  by_n_.try_emplace(key, std::move(s));
+}
+
+void ScheduleCache::adopt_profile(std::size_t n,
+                                  std::shared_ptr<const energy::GapProfile> p) {
+  const std::size_t key = clamp(n);
+  if (store_ != nullptr) store_->profiles.try_emplace(key, p);
+  profile_by_n_.try_emplace(key, std::move(p));
 }
 
 sched::Schedule ScheduleCache::take(std::size_t n) {
   const auto it = by_n_.find(clamp(n));
   if (it == by_n_.end()) throw std::logic_error("ScheduleCache::take: count not cached");
-  sched::Schedule s = std::move(it->second);
+  sched::Schedule s = *it->second;
   by_n_.erase(it);
   return s;
-}
-
-energy::GapProfile ScheduleCache::take_profile(std::size_t n) {
-  const auto it = profile_by_n_.find(clamp(n));
-  if (it == profile_by_n_.end())
-    throw std::logic_error("ScheduleCache::take_profile: count not cached");
-  energy::GapProfile p = std::move(it->second);
-  profile_by_n_.erase(it);
-  return p;
 }
 
 }  // namespace lamps::core

@@ -19,12 +19,26 @@
 // employed processor count, since every employed processor is powered over
 // the horizon) only ever evaluate counts <= width, where the clamp is the
 // identity.
+//
+// Incremental rescheduling: an optional ProfileStore (core/incremental.hpp)
+// backs the cache with deadline-invariant artifacts from earlier requests
+// on the same graph structure.  Lookup order is always local maps first,
+// then the store, then a fresh scheduler run — and because the local maps
+// evolve identically whether or not a store is attached (every acquisition
+// lands in them at the same point of the search), the store can only be
+// consulted exactly where the from-scratch path would have run the
+// scheduler.  computed() counts store hits alongside fresh runs for the
+// same reason: it reports the scheduling work the search *required*, which
+// is what StrategyResult.schedules_computed means, and stays bit-identical
+// to a cold run — the serve byte-exactness gate depends on that.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 
+#include "core/incremental.hpp"
 #include "energy/gap_profile.hpp"
 #include "graph/task_graph.hpp"
 #include "sched/list_scheduler.hpp"
@@ -38,10 +52,16 @@ class ScheduleCache {
   /// `ws` (which must outlive the cache and not be used concurrently)
   /// lets a caller share one workspace — and thus the cached priority
   /// ranking — across successive caches for the same problem; by default
-  /// the cache owns a private workspace.
+  /// the cache owns a private workspace.  An external `store` (externally
+  /// synchronized, e.g. a ScheduleBank lease) supplies and receives
+  /// deadline-invariant schedules/profiles across requests; the caller
+  /// must guarantee the store was built with an identical priority
+  /// *ranking* (see core/incremental.hpp).
   ScheduleCache(const graph::TaskGraph& g, std::span<const std::int64_t> keys,
-                std::size_t width, sched::ListScheduleWorkspace* ws = nullptr)
-      : g_(&g), keys_(keys), width_(width), ws_(ws != nullptr ? ws : &owned_ws_) {}
+                std::size_t width, sched::ListScheduleWorkspace* ws = nullptr,
+                ProfileStore* store = nullptr)
+      : g_(&g), keys_(keys), width_(width), ws_(ws != nullptr ? ws : &owned_ws_),
+        store_(store) {}
 
   /// Schedule for `n` processors (computed on first use).  For n >= width
   /// the returned schedule is the width-processor one (see file header).
@@ -60,19 +80,46 @@ class ScheduleCache {
   /// (schedule, else profile, else a fresh gap-only run).
   Cycles makespan_at(std::size_t n);
 
+  /// Locally cached artifacts only (what this search has already paid
+  /// for); deliberately blind to the store so callers branch identically
+  /// with and without one.
   [[nodiscard]] bool has(std::size_t n) const { return by_n_.contains(clamp(n)); }
   [[nodiscard]] bool has_profile(std::size_t n) const {
     return profile_by_n_.contains(clamp(n));
   }
 
-  /// Moves the schedule for `n` out of the cache (it must be present).
+  /// Locally cached schedule for `n`, or nullptr.  Never consults the
+  /// store and never counts.
+  [[nodiscard]] std::shared_ptr<const sched::Schedule> schedule_ptr(std::size_t n) const;
+
+  /// Profile for `n` from the local maps (silent) or the store (counted —
+  /// it replaces the fresh run the cold path would do here); nullptr when
+  /// neither has it.  Never runs the scheduler.
+  [[nodiscard]] std::shared_ptr<const energy::GapProfile> profile_lookup(std::size_t n);
+
+  /// Schedule for `n` for winner materialization: local map, else store,
+  /// else a fresh run (published to the store).  Never counts — matching
+  /// the from-scratch search, which does not count the winner's
+  /// materialization re-run either.
+  [[nodiscard]] std::shared_ptr<const sched::Schedule> materialize(std::size_t n);
+
+  /// Publishes an artifact computed outside the cache (the phase-2
+  /// fan-out) into the local map and the store.  Counting happened when
+  /// the caller decided to compute it.
+  void adopt_schedule(std::size_t n, std::shared_ptr<const sched::Schedule> s);
+  void adopt_profile(std::size_t n, std::shared_ptr<const energy::GapProfile> p);
+
+  /// Copy of the schedule for `n` (it must be locally cached); drops the
+  /// local entry.  Store-backed artifacts stay in the store.
   sched::Schedule take(std::size_t n);
 
-  /// Moves the profile for `n` out of the cache (it must be present).
-  energy::GapProfile take_profile(std::size_t n);
-
-  /// Number of list-scheduler invocations actually performed.
-  [[nodiscard]] std::size_t computed() const { return computed_; }
+  /// Scheduling work the search required: fresh list-scheduler runs plus
+  /// store hits that each replaced exactly one such run.  Bit-identical
+  /// with and without a store (see file header).
+  [[nodiscard]] std::size_t computed() const { return computed_ + store_hits_; }
+  /// Fresh list-scheduler invocations actually performed by this cache.
+  [[nodiscard]] std::size_t fresh_runs() const { return computed_; }
+  [[nodiscard]] std::size_t store_hits() const { return store_hits_; }
   [[nodiscard]] std::size_t width() const { return width_; }
   [[nodiscard]] const graph::TaskGraph& graph() const { return *g_; }
 
@@ -84,9 +131,11 @@ class ScheduleCache {
   std::size_t width_;
   sched::ListScheduleWorkspace owned_ws_;
   sched::ListScheduleWorkspace* ws_;
-  std::unordered_map<std::size_t, sched::Schedule> by_n_;
-  std::unordered_map<std::size_t, energy::GapProfile> profile_by_n_;
+  ProfileStore* store_;
+  std::unordered_map<std::size_t, std::shared_ptr<const sched::Schedule>> by_n_;
+  std::unordered_map<std::size_t, std::shared_ptr<const energy::GapProfile>> profile_by_n_;
   std::size_t computed_{0};
+  std::size_t store_hits_{0};
 };
 
 }  // namespace lamps::core

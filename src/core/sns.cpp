@@ -128,7 +128,10 @@ std::size_t concurrency_width(const graph::TaskGraph& g) {
 MaxSpeedupSchedule schedule_max_speedup(const Problem& prob) {
   const graph::TaskGraph& g = *prob.graph;
   const auto keys = problem_priority_keys(prob);
-  ScheduleCache cache(g, keys, concurrency_width(g));
+  // An attached ProfileStore reuses deadline-invariant probes from earlier
+  // same-structure requests; counting stays cold-identical (see
+  // schedule_cache.hpp).
+  ScheduleCache cache(g, keys, concurrency_width(g), nullptr, prob.profile_store);
   const SpeedupSearch s = speedup_search(cache, prob.telemetry);
   // The Graham-bound short-circuit may have decided the winning probe
   // without scheduling it; materialize the winner before taking it.

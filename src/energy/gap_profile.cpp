@@ -14,54 +14,75 @@ namespace {
 obs::Counter& c_profile_builds = obs::counter("energy.gap_profile_builds");
 obs::Counter& c_profile_evals = obs::counter("energy.gap_profile_evaluations");
 
-/// Sorts the internal gaps ascending and builds their exact prefix sums —
-/// the shape both constructors leave every processor row in.
-void finalize_proc(std::vector<Cycles>& gaps, std::vector<Cycles>& prefix) {
-  std::sort(gaps.begin(), gaps.end());
-  prefix.resize(gaps.size() + 1);
-  prefix[0] = 0;
-  for (std::size_t i = 0; i < gaps.size(); ++i) prefix[i + 1] = prefix[i] + gaps[i];
-}
-
 }  // namespace
+
+void GapProfile::finalize_rows() {
+  const std::size_t num_procs = busy_.size();
+  prefix_.resize(gaps_.size() + num_procs);
+  std::size_t out = 0;
+  for (std::size_t p = 0; p < num_procs; ++p) {
+    auto* const begin = gaps_.data() + gap_off_[p];
+    auto* const end = gaps_.data() + gap_off_[p + 1];
+    std::sort(begin, end);
+    prefix_[out] = 0;
+    for (auto* it = begin; it != end; ++it, ++out) prefix_[out + 1] = prefix_[out] + *it;
+    ++out;
+  }
+}
 
 GapProfile::GapProfile(const sched::Schedule& s) : makespan_(s.makespan()) {
   c_profile_builds.inc();
-  procs_.resize(s.num_procs());
-  for (sched::ProcId p = 0; p < s.num_procs(); ++p) {
-    ProcProfile& pp = procs_[p];
-    pp.busy = s.busy_cycles(p);
-    total_busy_ += pp.busy;
+  const std::size_t num_procs = s.num_procs();
+  busy_.resize(num_procs);
+  leading_.assign(num_procs, 0);
+  tail_start_.resize(num_procs);
+  tail_leading_.resize(num_procs);
+  gap_off_.resize(num_procs + 1);
+  gap_off_[0] = 0;
+  for (sched::ProcId p = 0; p < num_procs; ++p) {
+    busy_[p] = s.busy_cycles(p);
+    total_busy_ += busy_[p];
     Cycles cursor = 0;
     for (const sched::Placement& pl : s.on_proc(p)) {
       if (pl.start > cursor) {
         if (cursor == 0)
-          pp.leading = pl.start;
+          leading_[p] = pl.start;
         else
-          pp.gaps.push_back(pl.start - cursor);
+          gaps_.push_back(pl.start - cursor);
       }
       cursor = pl.finish;
     }
-    pp.tail_start = cursor;
-    pp.tail_leading = cursor == 0;
-    finalize_proc(pp.gaps, pp.prefix);
+    tail_start_[p] = cursor;
+    tail_leading_[p] = cursor == 0 ? 1 : 0;
+    gap_off_[p + 1] = static_cast<std::uint32_t>(gaps_.size());
   }
+  finalize_rows();
 }
 
-GapProfile::GapProfile(sched::GapRun&& run) : makespan_(run.makespan) {
+GapProfile::GapProfile(const sched::GapRun& run) : makespan_(run.makespan) {
   c_profile_builds.inc();
-  procs_.resize(run.procs.size());
-  for (std::size_t p = 0; p < procs_.size(); ++p) {
-    ProcProfile& pp = procs_[p];
-    sched::GapRun::Proc& rp = run.procs[p];
-    pp.busy = rp.busy;
-    total_busy_ += pp.busy;
-    pp.leading = rp.leading;
-    pp.tail_start = rp.tail;
-    pp.tail_leading = rp.tail == 0;
-    pp.gaps = std::move(rp.gaps);
-    finalize_proc(pp.gaps, pp.prefix);
+  const std::size_t num_procs = run.num_procs();
+  busy_.assign(run.busy.begin(), run.busy.end());
+  leading_.assign(run.leading.begin(), run.leading.end());
+  tail_start_.assign(run.tail.begin(), run.tail.end());
+  tail_leading_.resize(num_procs);
+  for (std::size_t p = 0; p < num_procs; ++p) {
+    total_busy_ += busy_[p];
+    tail_leading_[p] = run.tail[p] == 0 ? 1 : 0;
   }
+  // Counting-sort the flat (proc, length) event list into per-processor
+  // rows; finalize_rows() sorts each row afterwards, so scatter order is
+  // irrelevant — the rows end up identical to the Schedule constructor's.
+  gap_off_.assign(num_procs + 1, 0);
+  for (const std::uint32_t p : run.gap_proc) ++gap_off_[p + 1];
+  for (std::size_t p = 0; p < num_procs; ++p) gap_off_[p + 1] += gap_off_[p];
+  gaps_.resize(run.gap_len.size());
+  {
+    std::vector<std::uint32_t> cursor(gap_off_.begin(), gap_off_.end() - 1);
+    for (std::size_t i = 0; i < run.gap_proc.size(); ++i)
+      gaps_[cursor[run.gap_proc[i]]++] = run.gap_len[i];
+  }
+  finalize_rows();
 }
 
 EnergyBreakdown GapProfile::evaluate(const power::DvsLevel& lvl, Seconds horizon,
@@ -73,44 +94,47 @@ EnergyBreakdown GapProfile::evaluate(const power::DvsLevel& lvl, Seconds horizon
     throw std::invalid_argument("GapProfile::evaluate: schedule does not fit in horizon");
   c_profile_evals.inc();
 
+  const std::size_t num_procs = busy_.size();
   EnergyBreakdown e{};
-  for (const ProcProfile& pp : procs_)
-    detail::charge_active(e, lvl, cycles_to_time(pp.busy, lvl.f));
+  for (std::size_t p = 0; p < num_procs; ++p)
+    detail::charge_active(e, lvl, cycles_to_time(busy_[p], lvl.f));
 
-  for (const ProcProfile& pp : procs_) {
+  for (std::size_t p = 0; p < num_procs; ++p) {
+    const std::span<const Cycles> gaps = row_gaps(p);
+    const std::span<const Cycles> prefix = row_prefix(p);
     ProcIdleTotals t;
     // Internal gaps: the shutdown decision is monotone in gap length, so
     // the sorted array splits at one point — everything before it stays
     // powered, everything after sleeps.  Integer prefix sums make both
     // cycle totals exact regardless of how the naive walk ordered them.
-    std::size_t k = pp.gaps.size();
-    if (ps.enabled && !pp.gaps.empty()) {
+    std::size_t k = gaps.size();
+    if (ps.enabled && !gaps.empty()) {
       k = static_cast<std::size_t>(
-          std::partition_point(pp.gaps.begin(), pp.gaps.end(),
+          std::partition_point(gaps.begin(), gaps.end(),
                                [&](Cycles c) {
                                  return !sleep.decide(cycles_to_time(c, lvl.f), lvl.idle)
                                              .shutdown;
                                }) -
-          pp.gaps.begin());
+          gaps.begin());
     }
-    t.powered_idle += pp.prefix[k];
-    t.slept_idle += pp.prefix.back() - pp.prefix[k];
-    t.shutdowns += pp.gaps.size() - k;
+    t.powered_idle += prefix[k];
+    t.slept_idle += prefix.back() - prefix[k];
+    t.shutdowns += gaps.size() - k;
 
-    if (pp.leading != 0) {
+    if (leading_[p] != 0) {
       const bool may_sleep = ps.enabled && ps.allow_leading_gaps;
       if (may_sleep &&
-          sleep.decide(cycles_to_time(pp.leading, lvl.f), lvl.idle).shutdown) {
-        t.slept_idle += pp.leading;
+          sleep.decide(cycles_to_time(leading_[p], lvl.f), lvl.idle).shutdown) {
+        t.slept_idle += leading_[p];
         ++t.shutdowns;
       } else {
-        t.powered_idle += pp.leading;
+        t.powered_idle += leading_[p];
       }
     }
 
-    const Seconds tail = horizon - cycles_to_time(pp.tail_start, lvl.f);
+    const Seconds tail = horizon - cycles_to_time(tail_start_[p], lvl.f);
     if (tail.value() > 0.0) {
-      const bool may_sleep = ps.enabled && (ps.allow_leading_gaps || !pp.tail_leading);
+      const bool may_sleep = ps.enabled && (ps.allow_leading_gaps || tail_leading_[p] == 0);
       if (may_sleep && sleep.decide(tail, lvl.idle).shutdown) {
         t.tail_slept = tail;
         ++t.shutdowns;

@@ -18,9 +18,18 @@
 // through the same detail::charge_active / detail::charge_idle helpers as
 // the naive walk in evaluator.cpp — which is why the two agree bit for bit
 // (see docs/performance.md).
+//
+// Storage is structure-of-arrays: per-processor scalars live in parallel
+// dense arrays and all gap rows share one flat CSR-style buffer (gap_off_
+// delimits rows), so a level sweep streams a handful of contiguous arrays
+// instead of chasing a vector-of-structs with two heap blocks per
+// processor.  The sorted rows are plain integer arrays, so the re-layout
+// cannot change any evaluation result.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "energy/evaluator.hpp"
@@ -36,7 +45,8 @@ class GapProfile {
   /// (sched::list_schedule_gaps), bit-identical to profiling the full
   /// schedule of the same run — the configuration searches use this to
   /// evaluate candidates whose placements would be discarded anyway.
-  explicit GapProfile(sched::GapRun&& run);
+  /// Copies what it keeps; the run's buffers stay with the workspace.
+  explicit GapProfile(const sched::GapRun& run);
 
   /// Energy at operating point `lvl`, bit-identical to
   /// evaluate_energy(s, lvl, horizon, sleep, ps) for the profiled schedule.
@@ -45,25 +55,36 @@ class GapProfile {
                                          const PsOptions& ps = {}) const;
 
   [[nodiscard]] Cycles makespan() const { return makespan_; }
-  [[nodiscard]] std::size_t num_procs() const { return procs_.size(); }
-  [[nodiscard]] Cycles busy_cycles(std::size_t p) const { return procs_[p].busy; }
+  [[nodiscard]] std::size_t num_procs() const { return busy_.size(); }
+  [[nodiscard]] Cycles busy_cycles(std::size_t p) const { return busy_[p]; }
   /// Sum of busy cycles over all processors (= graph total work).
   [[nodiscard]] Cycles total_busy_cycles() const { return total_busy_; }
 
  private:
-  struct ProcProfile {
-    Cycles busy{0};
-    /// Idle cycles before the first placement (0 = starts at cycle 0).
-    /// Kept out of `gaps` because its shutdown eligibility is gated by
-    /// PsOptions::allow_leading_gaps.
-    Cycles leading{0};
-    std::vector<Cycles> gaps;    ///< internal gap lengths, ascending
-    std::vector<Cycles> prefix;  ///< prefix[i] = gaps[0] + .. + gaps[i-1]
-    Cycles tail_start{0};        ///< finish of the last placement
-    bool tail_leading{false};    ///< empty row: the tail is a leading gap
-  };
+  /// Sorts each row of gaps_ ascending and builds prefix_; called by both
+  /// constructors once gap_off_/gaps_ hold the raw rows.
+  void finalize_rows();
 
-  std::vector<ProcProfile> procs_;
+  [[nodiscard]] std::span<const Cycles> row_gaps(std::size_t p) const {
+    return {gaps_.data() + gap_off_[p], static_cast<std::size_t>(gap_off_[p + 1] - gap_off_[p])};
+  }
+  /// Prefix-sum row for processor p: length row_gaps(p).size() + 1.  Rows
+  /// are packed back to back, so row p starts at gap_off_[p] + p.
+  [[nodiscard]] std::span<const Cycles> row_prefix(std::size_t p) const {
+    return {prefix_.data() + gap_off_[p] + p,
+            static_cast<std::size_t>(gap_off_[p + 1] - gap_off_[p]) + 1};
+  }
+
+  // Per-processor scalars, parallel arrays.
+  std::vector<Cycles> busy_;
+  std::vector<Cycles> leading_;     ///< idle cycles before the first placement
+  std::vector<Cycles> tail_start_;  ///< finish of the last placement
+  std::vector<std::uint8_t> tail_leading_;  ///< empty row: the tail is a leading gap
+  // Internal gaps, flat CSR: row p at gaps_[gap_off_[p] .. gap_off_[p+1]),
+  // sorted ascending; prefix_ holds each row's exact integer prefix sums.
+  std::vector<std::uint32_t> gap_off_;
+  std::vector<Cycles> gaps_;
+  std::vector<Cycles> prefix_;
   Cycles makespan_{0};
   Cycles total_busy_{0};
 };

@@ -50,6 +50,8 @@ TaskGraph TaskGraphBuilder::build() {
   // Coalesce duplicate edges.
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  if (edges_.size() >= static_cast<std::size_t>(kInvalidTask))
+    throw std::length_error("TaskGraphBuilder: too many edges for 32-bit CSR offsets");
 
   TaskGraph g;
   g.name_ = std::move(name_);

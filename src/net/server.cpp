@@ -73,7 +73,8 @@ struct Server::Connection {
 };
 
 Server::Server(const ServerConfig& config)
-    : config_(config), ladder_(model_), cache_(config.cache_capacity) {}
+    : config_(config), ladder_(model_), cache_(config.cache_capacity),
+      bank_(config.bank_capacity) {}
 
 Server::~Server() {
   request_drain();
@@ -248,8 +249,12 @@ void Server::handle_line(Connection& conn, const std::string& line) {
       try {
         obs::Span compute_span("serve/compute");
         obs::counter("serve.requests_computed").inc();
+        // Incremental rescheduling: the bank carries deadline-invariant
+        // artifacts between same-structure requests (response bytes are
+        // unchanged — see core/incremental.hpp).
+        core::ScheduleBank* bank = config_.bank_capacity != 0 ? &bank_ : nullptr;
         cache_.complete(key, result_json(core::run_service_request(request->request,
-                                                                   model_, ladder_),
+                                                                   model_, ladder_, bank),
                                          ladder_));
       } catch (const std::exception& e) {
         cache_.fail(key, e.what());

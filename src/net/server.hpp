@@ -32,6 +32,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/incremental.hpp"
 #include "net/result_cache.hpp"
 #include "power/dvs_ladder.hpp"
 #include "power/power_model.hpp"
@@ -50,6 +51,12 @@ struct ServerConfig {
   std::size_t max_pending{0};
   /// Completed-result LRU entries.
   std::size_t cache_capacity{512};
+  /// ScheduleBank stores for incremental rescheduling: per graph
+  /// *structure*, deadline-invariant schedules/profiles are reused across
+  /// requests that differ only in deadline or strategy (see
+  /// core/incremental.hpp).  Responses are byte-identical either way.
+  /// 0 disables the bank.
+  std::size_t bank_capacity{128};
 };
 
 class Server {
@@ -91,6 +98,7 @@ class Server {
   power::PowerModel model_;
   power::DvsLadder ladder_;
   ResultCache cache_;
+  core::ScheduleBank bank_;
   std::unique_ptr<ThreadPool> pool_;
   std::size_t max_pending_{0};
 

@@ -1,0 +1,102 @@
+// Monotonic per-request arena for hot-path scratch storage.
+//
+// The scheduling core carves all of its per-run scratch arrays (ready/free
+// bitmaps, missing-predecessor counters, calendar event slots) out of one
+// of these instead of holding a dozen separately-allocated vectors: a
+// reset() + sequence of make<T>() calls lays the arrays out back to back
+// in a single block, so the event loop's working set is contiguous and —
+// once the arena has grown to the request's high-water mark — completely
+// allocation-free.
+//
+// Properties:
+//   * make<T>(n) returns an *uninitialized* span (trivial T only); callers
+//     fill it.  Blocks never move, so spans stay valid until reset().
+//   * reset() rewinds without freeing.  When a run overflowed into
+//     multiple blocks, the next reset() coalesces them into one block
+//     sized for the observed total, restoring contiguity.
+//   * Not thread-safe; the scheduler keeps one arena per workspace and
+//     one workspace per thread.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace lamps::util {
+
+class Arena {
+ public:
+  Arena() = default;
+
+  /// Rewinds the arena; previously returned spans become invalid.  Keeps
+  /// (or coalesces) capacity so steady-state request handling allocates
+  /// nothing.
+  void reset() {
+    if (blocks_.size() > 1) {
+      // The last run spilled over: replace the fragments with one block
+      // big enough for everything they held together.
+      std::size_t total = 0;
+      for (const Block& b : blocks_) total += b.size;
+      blocks_.clear();
+      blocks_.push_back(Block{std::make_unique<std::byte[]>(total), total});
+    }
+    block_ = 0;
+    offset_ = 0;
+  }
+
+  /// Carves `n` objects of trivial type T (uninitialized).
+  template <typename T>
+  [[nodiscard]] std::span<T> make(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                  std::is_trivially_default_constructible_v<T>);
+    if (n == 0) return {};
+    return {static_cast<T*>(raw(n * sizeof(T), alignof(T))), n};
+  }
+
+  /// Bytes currently reserved across all blocks (diagnostics).
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size{0};
+  };
+
+  void* raw(std::size_t bytes, std::size_t align) {
+    for (;;) {
+      if (block_ < blocks_.size()) {
+        Block& b = blocks_[block_];
+        const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= b.size) {
+          offset_ = aligned + bytes;
+          return b.data.get() + aligned;
+        }
+        // Current block exhausted: move on (its tail is wasted until the
+        // next reset() coalesces).
+        ++block_;
+        offset_ = 0;
+        continue;
+      }
+      // Need a fresh block: geometric growth over the largest block so a
+      // ramp of graph sizes settles quickly.
+      std::size_t grow = kMinBlock;
+      for (const Block& b : blocks_) grow = std::max(grow, 2 * b.size);
+      grow = std::max(grow, bytes + align);
+      blocks_.push_back(Block{std::make_unique<std::byte[]>(grow), grow});
+    }
+  }
+
+  static constexpr std::size_t kMinBlock = 4096;
+
+  std::vector<Block> blocks_;
+  std::size_t block_{0};
+  std::size_t offset_{0};
+};
+
+}  // namespace lamps::util

@@ -86,6 +86,41 @@ TEST(GapProfileTest, MatchesNaiveEvaluatorBitForBit) {
   EXPECT_GT(cases, 1000u);  // the sweep actually ran
 }
 
+TEST(GapProfileTest, GapRunProfileMatchesScheduleProfileBitForBit) {
+  // The SoA core exposes two routes to a profile: from a materialized
+  // Schedule, and directly from the gap-recording event loop (GapRun,
+  // which never builds placements).  Both must evaluate bit-identically
+  // across the random STG suite — the configuration searches mix them
+  // freely and assume interchangeability.
+  const power::SleepModel sleep{model()};
+  sched::ListScheduleWorkspace ws;
+  std::size_t cases = 0;
+  for (const graph::TaskGraph& g : test_graphs()) {
+    const Cycles deadline = 2 * graph::critical_path_length(g);
+    const auto keys =
+        sched::make_priority_keys(g, {sched::PriorityPolicy::kEdf, deadline});
+    for (const std::size_t procs : {1UL, 3UL, 8UL, 21UL}) {
+      const sched::Schedule s = sched::list_schedule(g, procs, keys, ws);
+      const energy::GapProfile from_schedule(s);
+      const energy::GapProfile from_run(sched::list_schedule_gaps(g, procs, keys, ws));
+      EXPECT_EQ(from_run.makespan(), from_schedule.makespan());
+      ASSERT_EQ(from_run.num_procs(), from_schedule.num_procs());
+      for (sched::ProcId p = 0; p < from_run.num_procs(); ++p)
+        EXPECT_EQ(from_run.busy_cycles(p), from_schedule.busy_cycles(p));
+      const Seconds horizon = fits_all_levels_horizon(s);
+      for (const std::size_t i : {std::size_t{0}, ladder().size() - 1})
+        for (const bool ps_on : {false, true})
+          for (const bool leading : {false, true}) {
+            const energy::PsOptions ps{ps_on, leading};
+            expect_identical(from_run.evaluate(ladder().level(i), horizon, sleep, ps),
+                             from_schedule.evaluate(ladder().level(i), horizon, sleep, ps));
+            ++cases;
+          }
+    }
+  }
+  EXPECT_GT(cases, 200u);  // the sweep actually ran
+}
+
 TEST(GapProfileTest, ZeroWeightAndSingleTaskEdgeCases) {
   const power::SleepModel sleep{model()};
   graph::TaskGraphBuilder b;

@@ -1,0 +1,242 @@
+// Incremental rescheduling must be invisible in results: a ScheduleBank
+// reusing deadline-invariant schedules/profiles across requests has to
+// produce StrategyResults — placements, energies, and even the
+// schedules_computed diagnostic — bit-identical to scheduling every
+// request from scratch.  These tests fuzz the dominant serve shapes
+// (deadline sweeps over one graph, weight deltas that flip the priority
+// order) across every strategy, plus the supporting pieces: the
+// structure digest, the bank's LRU, the store-aware ScheduleCache
+// accounting, and the workspace's shifted-keys ranking fast path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "core/request.hpp"
+#include "core/schedule_cache.hpp"
+#include "graph/analysis.hpp"
+#include "graph/task_graph.hpp"
+#include "power/power_model.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/priorities.hpp"
+#include "stg/random_gen.hpp"
+
+namespace lamps::core {
+namespace {
+
+graph::TaskGraph random_graph(std::size_t seed, std::size_t tasks) {
+  stg::RandomGraphSpec spec;
+  spec.name = "inc-test-" + std::to_string(seed);
+  spec.num_tasks = tasks;
+  spec.seed = seed;
+  return stg::generate_random(spec);
+}
+
+/// Rebuilds `g` with each weight multiplied by a per-task fuzz factor.
+/// Large enough deltas reorder bottom levels, i.e. flip the EDF/bottom-
+/// level priority ranking — the hard case for any caching layer.
+graph::TaskGraph perturb_weights(const graph::TaskGraph& g, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Cycles> mul(1, 5);
+  graph::TaskGraphBuilder b(std::string(g.name()));
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    b.add_task(g.weight(v) * mul(rng), std::string(g.label(v)));
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v)
+    for (const graph::TaskId t : g.successors(v)) b.add_edge(v, t);
+  return b.build();
+}
+
+ServiceRequest make_request(const graph::TaskGraph& g, const power::PowerModel& model,
+                            double deadline_factor, StrategyKind strategy) {
+  return ServiceRequest{g,
+                        Seconds{deadline_factor *
+                                static_cast<double>(graph::critical_path_length(g)) /
+                                model.max_frequency().value()},
+                        strategy};
+}
+
+void expect_identical(const StrategyResult& banked, const StrategyResult& scratch) {
+  EXPECT_EQ(banked.feasible, scratch.feasible);
+  EXPECT_EQ(banked.num_procs, scratch.num_procs);
+  EXPECT_EQ(banked.level_index, scratch.level_index);
+  EXPECT_EQ(banked.breakdown.dynamic.value(), scratch.breakdown.dynamic.value());
+  EXPECT_EQ(banked.breakdown.leakage.value(), scratch.breakdown.leakage.value());
+  EXPECT_EQ(banked.breakdown.intrinsic.value(), scratch.breakdown.intrinsic.value());
+  EXPECT_EQ(banked.breakdown.sleep.value(), scratch.breakdown.sleep.value());
+  EXPECT_EQ(banked.breakdown.wakeup.value(), scratch.breakdown.wakeup.value());
+  EXPECT_EQ(banked.breakdown.shutdowns, scratch.breakdown.shutdowns);
+  EXPECT_EQ(banked.completion.value(), scratch.completion.value());
+  // The serve responses embed this diagnostic; the byte-exactness gate
+  // needs it identical, not merely the energies.
+  EXPECT_EQ(banked.schedules_computed, scratch.schedules_computed);
+  ASSERT_EQ(banked.schedule.has_value(), scratch.schedule.has_value());
+  if (!banked.schedule.has_value()) return;
+  const sched::Schedule& a = *banked.schedule;
+  const sched::Schedule& b = *scratch.schedule;
+  ASSERT_EQ(a.num_procs(), b.num_procs());
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  EXPECT_EQ(a.makespan(), b.makespan());
+  for (sched::ProcId p = 0; p < a.num_procs(); ++p) {
+    const auto ra = a.on_proc(p);
+    const auto rb = b.on_proc(p);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].task, rb[i].task);
+      EXPECT_EQ(ra[i].start, rb[i].start);
+      EXPECT_EQ(ra[i].finish, rb[i].finish);
+    }
+  }
+}
+
+constexpr StrategyKind kAllStrategies[] = {StrategyKind::kSns, StrategyKind::kLamps,
+                                           StrategyKind::kSnsPs, StrategyKind::kLampsPs};
+
+TEST(Incremental, DeadlineSweepMatchesScratchBitForBit) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  ScheduleBank bank;
+  std::mt19937_64 rng(0x1eaf);
+  std::uniform_real_distribution<double> factor(1.02, 3.2);
+  for (const std::size_t seed : {11U, 12U}) {
+    const graph::TaskGraph g = random_graph(seed, seed == 11U ? 60 : 120);
+    for (int round = 0; round < 6; ++round) {
+      const double f = factor(rng);
+      for (const StrategyKind strategy : kAllStrategies) {
+        const ServiceRequest req = make_request(g, model, f, strategy);
+        expect_identical(run_service_request(req, model, ladder, &bank),
+                         run_service_request(req, model, ladder));
+      }
+    }
+  }
+  // One store per (graph structure, policy): both graphs leased theirs.
+  EXPECT_EQ(bank.size(), 2U);
+}
+
+TEST(Incremental, WeightDeltasWithPriorityFlipsMatchScratch) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  ScheduleBank bank;
+  const graph::TaskGraph base = random_graph(21, 48);
+  for (std::uint64_t delta_seed = 1; delta_seed <= 4; ++delta_seed) {
+    const graph::TaskGraph g = perturb_weights(base, delta_seed);
+    for (const double f : {1.4, 2.1}) {
+      for (const StrategyKind strategy : kAllStrategies) {
+        const ServiceRequest req = make_request(g, model, f, strategy);
+        expect_identical(run_service_request(req, model, ladder, &bank),
+                         run_service_request(req, model, ladder));
+      }
+    }
+  }
+  // Every weight delta is a distinct structure, and artifacts must never
+  // leak between structures.
+  EXPECT_EQ(bank.size(), 4U);
+}
+
+TEST(Incremental, ExplicitDeadlineGraphsBypassTheBank) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+  graph::TaskGraphBuilder b("explicit");
+  const auto a = b.add_task(40);
+  const auto c = b.add_task(60);
+  const auto d = b.add_task(50);
+  b.add_edge(a, c);
+  b.add_edge(a, d);
+  b.set_deadline(d, Seconds{1e-6});
+  ServiceRequest req{b.build(), Seconds{2e-6}, StrategyKind::kLampsPs};
+  ASSERT_TRUE(req.graph.has_explicit_deadlines());
+
+  ScheduleBank bank;
+  expect_identical(run_service_request(req, model, ladder, &bank),
+                   run_service_request(req, model, ladder));
+  // The EDF ranking of an explicit-deadline graph depends on the global
+  // deadline, so no store may be leased for it.
+  EXPECT_EQ(bank.size(), 0U);
+}
+
+TEST(Incremental, StructureDigestIgnoresDeadlineAndStrategyOnly) {
+  const power::PowerModel model;
+  const graph::TaskGraph g = random_graph(31, 30);
+  const ServiceRequest a = make_request(g, model, 1.5, StrategyKind::kLamps);
+
+  ServiceRequest b = a;
+  b.deadline = Seconds{a.deadline.value() * 2.0};
+  b.strategy = StrategyKind::kSnsPs;
+  EXPECT_EQ(service_request_structure_digest(a), service_request_structure_digest(b));
+  EXPECT_NE(service_request_digest(a), service_request_digest(b));
+
+  ServiceRequest other_policy = a;
+  other_policy.policy = sched::PriorityPolicy::kBottomLevel;
+  EXPECT_NE(service_request_structure_digest(a),
+            service_request_structure_digest(other_policy));
+
+  ServiceRequest other_weights = a;
+  other_weights.graph = perturb_weights(g, 7);
+  EXPECT_NE(service_request_structure_digest(a),
+            service_request_structure_digest(other_weights));
+}
+
+TEST(Incremental, BankEvictsLeastRecentlyLeased) {
+  ScheduleBank bank(2);
+  (void)bank.lease(1);
+  (void)bank.lease(2);
+  (void)bank.lease(1);  // refresh 1
+  (void)bank.lease(3);  // evicts 2
+  EXPECT_EQ(bank.size(), 2U);
+  (void)bank.lease(2);  // re-created, evicting 1
+  EXPECT_EQ(bank.size(), 2U);
+}
+
+TEST(Incremental, StoreBackedCacheCountsLikeCold) {
+  const graph::TaskGraph g = random_graph(41, 80);
+  const auto keys = sched::make_priority_keys(g, {});
+  const std::size_t width =
+      std::max<std::size_t>(1, std::min(g.num_tasks(), graph::asap_max_concurrency(g)));
+
+  ProfileStore store;
+  ScheduleCache first(g, keys, width, nullptr, &store);
+  (void)first.profile_at(2);
+  (void)first.at(3);
+  EXPECT_EQ(first.computed(), 2U);
+  EXPECT_EQ(first.fresh_runs(), 2U);
+  EXPECT_EQ(first.store_hits(), 0U);
+
+  // A later request's cache over the same store reports the same
+  // computed() a cold cache would, without invoking the scheduler.
+  ScheduleCache warm(g, keys, width, nullptr, &store);
+  EXPECT_EQ(warm.profile_at(2).makespan(), first.profile_at(2).makespan());
+  (void)warm.at(3);
+  EXPECT_EQ(warm.computed(), 2U);
+  EXPECT_EQ(warm.fresh_runs(), 0U);
+  EXPECT_EQ(warm.store_hits(), 2U);
+
+  ScheduleCache cold(g, keys, width);
+  (void)cold.profile_at(2);
+  (void)cold.at(3);
+  EXPECT_EQ(cold.computed(), warm.computed());
+}
+
+TEST(Incremental, ShiftedPriorityKeysReuseTheCachedRanking) {
+  const graph::TaskGraph g = random_graph(51, 64);
+  const std::vector<std::int64_t> keys = sched::make_priority_keys(g, {});
+  std::vector<std::int64_t> shifted(keys.begin(), keys.end());
+  for (std::int64_t& k : shifted) k += 12345;  // a new global deadline
+
+  sched::ListScheduleWorkspace ws;
+  const sched::Schedule warm_up = sched::list_schedule(g, 4, keys, ws);
+  // Same workspace, uniformly shifted keys: the ranking fast path must
+  // still produce the exact schedule a fresh workspace computes.
+  const sched::Schedule via_shift = sched::list_schedule(g, 4, shifted, ws);
+  const sched::Schedule fresh = sched::list_schedule(g, 4, shifted);
+  ASSERT_EQ(via_shift.num_tasks(), fresh.num_tasks());
+  EXPECT_EQ(via_shift.makespan(), fresh.makespan());
+  for (graph::TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(via_shift.placement(v).proc, fresh.placement(v).proc);
+    EXPECT_EQ(via_shift.placement(v).start, fresh.placement(v).start);
+  }
+  EXPECT_EQ(warm_up.makespan(), sched::list_schedule(g, 4, keys).makespan());
+}
+
+}  // namespace
+}  // namespace lamps::core

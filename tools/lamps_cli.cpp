@@ -471,6 +471,7 @@ int cmd_serve(int argc, const char* const* argv) {
   std::size_t threads = 0;
   std::size_t max_pending = 0;
   std::size_t cache_capacity = 512;
+  std::size_t bank_capacity = 128;
   double max_runtime_s = 0.0;
   ObsOptions oo;
   CliParser cli(
@@ -483,6 +484,10 @@ int cmd_serve(int argc, const char* const* argv) {
                  "admission bound before \"overloaded\" responses, 0 = 4x threads",
                  &max_pending);
   cli.add_option("cache-capacity", "completed-result LRU entries", &cache_capacity);
+  cli.add_option("bank-capacity",
+                 "schedule-bank stores for incremental rescheduling across "
+                 "deadlines of one graph, 0 = disable",
+                 &bank_capacity);
   cli.add_option("max-runtime-s",
                  "self-drain after this many seconds, 0 = run until signalled "
                  "(CI smoke harnesses)", &max_runtime_s);
@@ -500,6 +505,7 @@ int cmd_serve(int argc, const char* const* argv) {
     cfg.threads = threads;
     cfg.max_pending = max_pending;
     cfg.cache_capacity = cache_capacity;
+    cfg.bank_capacity = bank_capacity;
     net::Server server(cfg);
     server.start();
     // Scripted callers parse this line for the ephemeral port.
