@@ -79,6 +79,8 @@ class ScheduleBank {
   /// Number of resident stores (diagnostics).
   [[nodiscard]] std::size_t size() const;
 
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
  private:
   using Entry = Lease::Entry;
 

@@ -20,7 +20,77 @@ core::StrategyKind strategy_from_wire(const std::string& name) {
                    "valid: S&S, LAMPS, S&S+PS, LAMPS+PS, LIMIT-SF, LIMIT-MF");
 }
 
+std::string_view trimmed(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::optional<AdminCommand> admin_command_from_name(std::string_view name) {
+  if (name == "statsz") return AdminCommand::kStatsz;
+  if (name == "healthz") return AdminCommand::kHealthz;
+  if (name == "cachez") return AdminCommand::kCachez;
+  if (name == "flightz") return AdminCommand::kFlightz;
+  if (name == "quitquitquit") return AdminCommand::kQuit;
+  return std::nullopt;
+}
+
 }  // namespace
+
+const char* to_string(AdminCommand cmd) {
+  switch (cmd) {
+    case AdminCommand::kStatsz:
+      return "statsz";
+    case AdminCommand::kHealthz:
+      return "healthz";
+    case AdminCommand::kCachez:
+      return "cachez";
+    case AdminCommand::kFlightz:
+      return "flightz";
+    case AdminCommand::kQuit:
+      return "quitquitquit";
+  }
+  return "?";
+}
+
+std::optional<AdminRequest> parse_admin_request(const std::string& line) {
+  const std::string_view word = trimmed(line);
+  if (const auto bare = admin_command_from_name(word); bare.has_value()) {
+    AdminRequest req;
+    req.cmd = *bare;
+    return req;
+  }
+  // Cheap pre-filter: a schedule request has no top-level "cmd", so skip
+  // the JSON parse entirely unless the token appears somewhere.
+  if (line.find("\"cmd\"") == std::string::npos) return std::nullopt;
+  const JsonValue doc = JsonValue::parse(line);
+  if (!doc.is_object()) return std::nullopt;
+  const JsonValue* cmd = doc.get("cmd");
+  if (cmd == nullptr) return std::nullopt;  // "cmd" was inside a payload string
+  const auto named = admin_command_from_name(cmd->as_string());
+  if (!named.has_value())
+    throw InputError(ErrorCode::kConfig, "unknown admin cmd: '" + cmd->as_string() + "'",
+                     {}, "valid: statsz, healthz, cachez, flightz, quitquitquit");
+  AdminRequest req;
+  req.cmd = *named;
+  if (const JsonValue* id = doc.get("id"); id != nullptr && !id->is_null()) {
+    std::ostringstream ss;
+    if (id->is_string())
+      write_json_string(ss, id->as_string());
+    else if (id->is_number())
+      ss << json_double(id->as_number());
+    else
+      throw InputError(ErrorCode::kJsonParse, "id must be a string or number");
+    req.id_json = ss.str();
+  }
+  const double limit = doc.get_number("limit", static_cast<double>(req.limit));
+  if (limit < 1.0 || limit > 4096.0)
+    throw InputError(ErrorCode::kConfig, "flightz limit must be in [1, 4096]");
+  req.limit = static_cast<std::size_t>(limit);
+  return req;
+}
 
 ParsedRequest parse_schedule_request(const std::string& line,
                                      const power::PowerModel& model) {

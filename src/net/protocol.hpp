@@ -23,6 +23,7 @@
 // Full schema and semantics: docs/serving.md.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -31,6 +32,28 @@
 #include "power/power_model.hpp"
 
 namespace lamps::net {
+
+/// Admin introspection commands, answered by the connection reader itself
+/// on a lane that bypasses bounded admission and the compute pool — they
+/// stay responsive while every worker is saturated.  Wire forms: a bare
+/// command word per line ("statsz\n", nc-friendly) or a JSON object
+/// {"cmd":"statsz","id":...} ({"cmd":"flightz","limit":N} caps the record
+/// count).  Reference: docs/observability.md "Admin surface".
+enum class AdminCommand { kStatsz, kHealthz, kCachez, kFlightz, kQuit };
+
+[[nodiscard]] const char* to_string(AdminCommand cmd);
+
+struct AdminRequest {
+  AdminCommand cmd{AdminCommand::kHealthz};
+  std::string id_json{"null"};
+  std::size_t limit{32};  ///< flightz only: max records returned
+};
+
+/// Recognizes an admin line (bare word or {"cmd":...} object).  Returns
+/// nullopt for anything that is not admin-shaped — schedule requests fall
+/// through without a JSON parse.  Throws InputError on a JSON object
+/// whose "cmd" is present but unknown or malformed.
+[[nodiscard]] std::optional<AdminRequest> parse_admin_request(const std::string& line);
 
 /// A parsed request line: the normalized core request plus the raw JSON
 /// token ("\"abc\"", "17", or "null") to echo back as the response id.

@@ -61,6 +61,8 @@ class ResultCache {
 
   [[nodiscard]] std::size_t size() const;
 
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
  private:
   struct Waiter {
     Consumer consumer;

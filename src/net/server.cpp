@@ -8,13 +8,18 @@
 #include <deque>
 #include <future>
 #include <optional>
+#include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "core/request.hpp"
 #include "net/protocol.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/errors.hpp"
+#include "util/json.hpp"
+#include "util/signal.hpp"
 
 namespace lamps::net {
 
@@ -26,12 +31,26 @@ struct ServeMetrics {
   obs::Counter& requests_bad = obs::counter("serve.requests_bad_request");
   obs::Counter& requests_overloaded = obs::counter("serve.requests_overloaded");
   obs::Counter& requests_internal = obs::counter("serve.requests_internal_error");
+  obs::Counter& admin_requests = obs::counter("serve.admin_requests");
   obs::Counter& connections_total = obs::counter("serve.connections_total");
   obs::Gauge& connections = obs::gauge("serve.connections");
   obs::Gauge& pending = obs::gauge("serve.pending");
   obs::Histogram& latency = obs::histogram(
       "serve.request_seconds",
       {0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0});
+  // Phase breakdown of the same requests: admission->worker pickup,
+  // worker compute, and payload-resolved->socket-write.  Queue and write
+  // waits are often microseconds, so these start two decades lower than
+  // serve.request_seconds.
+  obs::Histogram& queue_seconds = obs::histogram(
+      "serve.queue_seconds",
+      {5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0});
+  obs::Histogram& compute_seconds = obs::histogram(
+      "serve.compute_seconds",
+      {5e-5, 1e-4, 5e-4, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1.0, 5.0});
+  obs::Histogram& write_seconds = obs::histogram(
+      "serve.write_seconds",
+      {5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0});
 };
 
 ServeMetrics& metrics() {
@@ -43,38 +62,47 @@ ServeMetrics& metrics() {
 
 /// Per-client state: the socket, a reader thread parsing and admitting
 /// request lines, and a writer thread emitting the responses strictly in
-/// arrival order (futures queue in the order the reader admitted them, so
+/// arrival order (entries queue in the order the reader admitted them, so
 /// pipelined clients see ordered replies even though compute is
-/// concurrent).
+/// concurrent).  Each entry optionally carries the request's flight
+/// record; the writer is the single commit point that stamps the write
+/// phase and publishes the record to the ring.
 struct Server::Connection {
   Socket socket;
   std::thread reader;
   std::thread writer;
 
+  struct PendingResponse {
+    std::future<std::string> response;
+    std::shared_ptr<obs::FlightRecord> flight;  ///< nullptr: admin, unrecorded
+  };
+
   std::mutex mutex;
   std::condition_variable cv;
-  std::deque<std::future<std::string>> responses;
+  std::deque<PendingResponse> responses;
   bool reader_done{false};
   std::atomic<bool> finished{false};
 
-  void push(std::future<std::string> fut) {
+  void push(std::future<std::string> fut, std::shared_ptr<obs::FlightRecord> flight) {
     {
       std::scoped_lock lock(mutex);
-      responses.push_back(std::move(fut));
+      responses.push_back({std::move(fut), std::move(flight)});
     }
     cv.notify_one();
   }
 
-  void push_immediate(std::string response) {
+  void push_immediate(std::string response,
+                      std::shared_ptr<obs::FlightRecord> flight = nullptr) {
     std::promise<std::string> p;
     p.set_value(std::move(response));
-    push(p.get_future());
+    push(p.get_future(), std::move(flight));
   }
 };
 
 Server::Server(const ServerConfig& config)
     : config_(config), ladder_(model_), cache_(config.cache_capacity),
-      bank_(config.bank_capacity) {}
+      bank_(config.bank_capacity),
+      flights_(config.flight_capacity, config.slow_request_s) {}
 
 Server::~Server() {
   request_drain();
@@ -93,11 +121,34 @@ void Server::start() {
       config_.max_pending > 0 ? config_.max_pending : pool_->num_threads() * 4;
   listener_ = std::make_unique<ListenSocket>(config_.port);
   port_ = listener_->port();
+  start_ns_ = obs::monotonic_ns();
+
+  if (config_.metrics_interval_s > 0.0) {
+    obs::MetricsFlusher::Options fopts;
+    fopts.interval_s = config_.metrics_interval_s;
+    fopts.path = config_.metrics_jsonl;
+    fopts.hook = config_.metrics_hook;
+    flusher_ = std::make_unique<obs::MetricsFlusher>(std::move(fopts));
+    try {
+      flusher_->start();
+    } catch (const std::runtime_error& e) {
+      throw InternalError(ErrorCode::kIo, e.what());
+    }
+  }
+
+  obs::LogEvent(obs::LogSeverity::kInfo, "serve.listening")
+      .u64("port", port_)
+      .u64("threads", pool_->num_threads())
+      .u64("max_pending", max_pending_)
+      .u64("flight_capacity", flights_.capacity())
+      .num("slow_request_s", flights_.slow_threshold_s());
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
 void Server::request_drain() {
   if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  obs::LogEvent(obs::LogSeverity::kInfo, "serve.drain_requested")
+      .u64("pending", pending_.load(std::memory_order_relaxed));
   if (drain_pipe_[1] >= 0) {
     const char byte = 1;
     // Level-triggered wake-up for every poller; the byte is never read.
@@ -119,6 +170,8 @@ void Server::wait() {
     if (conn->writer.joinable()) conn->writer.join();
   }
   if (pool_) pool_->wait_idle();
+  // The final flusher sample then captures the fully drained state.
+  if (flusher_) flusher_->stop();
 }
 
 void Server::reap_finished_locked() {
@@ -148,6 +201,8 @@ void Server::accept_loop() {
 
     metrics().connections_total.inc();
     metrics().connections.add(1);
+    obs::LogEvent(obs::LogSeverity::kDebug, "serve.connection_accepted")
+        .i64("open", obs::gauge("serve.connections").value());
     auto conn = std::make_unique<Connection>();
     conn->socket = std::move(*accepted);
     Connection& ref = *conn;
@@ -190,39 +245,168 @@ void Server::reader_loop(Connection& conn) {
   conn.cv.notify_one();
 }
 
+bool Server::handle_admin_line(Connection& conn, const std::string& line) {
+  std::optional<AdminRequest> admin;
+  try {
+    admin = parse_admin_request(line);
+  } catch (const Error& e) {
+    // Admin-shaped but broken ({"cmd":"bogus"}): a bad request, but one
+    // that never reaches admission.
+    metrics().requests_bad.inc();
+    conn.push_immediate(error_response("null", "bad_request", e.what()));
+    return true;
+  }
+  if (!admin.has_value()) return false;
+
+  metrics().admin_requests.inc();
+  conn.push_immediate(admin_response(*admin));
+  if (admin->cmd == AdminCommand::kQuit) {
+    obs::LogEvent(obs::LogSeverity::kInfo, "serve.quitquitquit");
+    request_drain();
+    // Bridge to the CLI's signal loop so the process exits like on
+    // SIGTERM (no-op when no handler machinery is installed, e.g. tests).
+    lamps::request_drain_signal();
+  }
+  return true;
+}
+
+std::string Server::admin_response(const AdminRequest& req) {
+  const double uptime_s =
+      static_cast<double>(obs::monotonic_ns() - start_ns_) / 1e9;
+  std::ostringstream os;
+  os << "{\"id\":" << req.id_json << ",\"ok\":true,\"cmd\":\"" << to_string(req.cmd)
+     << '"';
+  switch (req.cmd) {
+    case AdminCommand::kStatsz: {
+      // Snapshot outside the scrape lock (counter reads are lock-free),
+      // diff under it so concurrent scrapers see disjoint deltas.
+      std::map<std::string, std::uint64_t> snapshot =
+          obs::Registry::global().counter_snapshot();
+      std::scoped_lock lock(scrape_mutex_);
+      os << ",\"uptime_s\":";
+      write_json_double(os, uptime_s);
+      os << ",\"scrape_seq\":" << scrape_seq_++
+         << ",\"draining\":" << (draining() ? "true" : "false") << ",\"deltas\":{";
+      const char* sep = "";
+      for (const auto& [name, value] : snapshot) {
+        const auto it = last_scrape_.find(name);
+        const std::uint64_t prev = it == last_scrape_.end() ? 0 : it->second;
+        if (value <= prev) continue;
+        os << sep;
+        write_json_string(os, name);
+        os << ':' << (value - prev);
+        sep = ",";
+      }
+      os << "},\"metrics\":";
+      obs::Registry::global().write_json_compact(os);
+      last_scrape_ = std::move(snapshot);
+      break;
+    }
+    case AdminCommand::kHealthz:
+      os << ",\"draining\":" << (draining() ? "true" : "false")
+         << ",\"accepting\":" << (draining() ? "false" : "true") << ",\"uptime_s\":";
+      write_json_double(os, uptime_s);
+      os << ",\"pool_size\":" << pool_->size() << ",\"pool_queued\":" << pool_->queued()
+         << ",\"pool_active\":" << pool_->active()
+         << ",\"pending\":" << pending_.load(std::memory_order_relaxed)
+         << ",\"max_pending\":" << max_pending_
+         << ",\"connections\":" << obs::gauge("serve.connections").value();
+      break;
+    case AdminCommand::kCachez: {
+      const obs::Registry& reg = obs::Registry::global();
+      os << ",\"result_cache\":{\"size\":" << cache_.size()
+         << ",\"capacity\":" << cache_.capacity()
+         << ",\"hits\":" << reg.counter_value("serve.cache_hits")
+         << ",\"misses\":" << reg.counter_value("serve.cache_misses")
+         << ",\"coalesced\":" << reg.counter_value("serve.singleflight_hits")
+         << "},\"schedule_bank\":{\"enabled\":"
+         << (config_.bank_capacity != 0 ? "true" : "false")
+         << ",\"size\":" << bank_.size() << ",\"capacity\":" << bank_.capacity()
+         << ",\"lease_hits\":" << reg.counter_value("schedule_bank.lease_hit")
+         << ",\"lease_misses\":" << reg.counter_value("schedule_bank.lease_miss")
+         << ",\"evictions\":" << reg.counter_value("schedule_bank.evictions") << '}';
+      break;
+    }
+    case AdminCommand::kFlightz: {
+      os << ",\"total\":" << flights_.total_recorded()
+         << ",\"capacity\":" << flights_.capacity() << ",\"slow_threshold_ms\":";
+      write_json_double(os, flights_.slow_threshold_s() * 1e3);
+      os << ",\"records\":[";
+      const char* sep = "";
+      for (const obs::FlightRecord& rec : flights_.last(req.limit)) {
+        os << sep;
+        obs::FlightRecorder::write_json(os, rec);
+        sep = ",";
+      }
+      os << ']';
+      break;
+    }
+    case AdminCommand::kQuit:
+      os << ",\"draining\":true";
+      break;
+  }
+  os << "}\n";
+  return os.str();
+}
+
 void Server::handle_line(Connection& conn, const std::string& line) {
+  // Admin lane first: answered inline by this reader, untouched by
+  // admission control or the pool, and kept out of the flight ring.
+  if (handle_admin_line(conn, line)) return;
+
   obs::Span span("serve/request");
   metrics().requests_total.inc();
+
+  auto flight = std::make_shared<obs::FlightRecord>();
+  flight->request_id = obs::next_request_id();
+  flight->arrival_ns = obs::monotonic_ns();
 
   std::optional<ParsedRequest> parsed;
   try {
     parsed.emplace(parse_schedule_request(line, model_));
   } catch (const Error& e) {
     metrics().requests_bad.inc();
-    conn.push_immediate(error_response("null", "bad_request", e.what()));
+    flight->outcome = obs::FlightOutcome::kBadRequest;
+    flight->finish_ns = obs::monotonic_ns();
+    obs::LogEvent(obs::LogSeverity::kWarn, "serve.bad_request")
+        .u64("req", flight->request_id)
+        .str("error", e.what());
+    conn.push_immediate(error_response("null", "bad_request", e.what()), flight);
     return;
   }
+  flight->digest = core::service_request_digest(parsed->request);
 
   if (pending_.fetch_add(1, std::memory_order_acq_rel) >= max_pending_) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     metrics().requests_overloaded.inc();
-    conn.push_immediate(error_response(
-        parsed->id_json, "overloaded",
-        "admission queue full (" + std::to_string(max_pending_) +
-            " requests pending); retry with backoff"));
+    flight->outcome = obs::FlightOutcome::kOverloaded;
+    flight->finish_ns = obs::monotonic_ns();
+    obs::LogEvent(obs::LogSeverity::kWarn, "serve.overloaded")
+        .u64("req", flight->request_id)
+        .u64("max_pending", max_pending_);
+    conn.push_immediate(
+        error_response(parsed->id_json, "overloaded",
+                       "admission queue full (" + std::to_string(max_pending_) +
+                           " requests pending); retry with backoff"),
+        flight);
     return;
   }
+  flight->admit_ns = obs::monotonic_ns();
   metrics().pending.set(static_cast<std::int64_t>(pending_.load(std::memory_order_relaxed)));
 
   auto request = std::make_shared<ParsedRequest>(std::move(*parsed));
   auto response = std::make_shared<std::promise<std::string>>();
-  conn.push(response->get_future());
+  conn.push(response->get_future(), flight);
 
   // Exactly-once completion for this request, from whichever thread
   // resolves it: the reader (LRU hit), a worker (leader compute), or the
-  // leader's failure path fanning out to the joined followers.
+  // leader's failure path fanning out to the joined followers.  The
+  // outcome classification leans on that: a cached payload delivered on
+  // the admitting thread is an inline LRU hit, on any other thread a
+  // single-flight join.
   const auto t0 = std::chrono::steady_clock::now();
-  auto consumer = [this, response, id_json = request->id_json, t0](
+  const std::thread::id admit_tid = std::this_thread::get_id();
+  auto consumer = [this, response, flight, admit_tid, id_json = request->id_json, t0](
                       const std::string& payload, bool cached, const std::string& error) {
     std::string out;
     if (error.empty()) {
@@ -231,10 +415,19 @@ void Server::handle_line(Connection& conn, const std::string& line) {
       metrics().requests_ok.inc();
       metrics().latency.observe(elapsed_s);
       out = ok_response(id_json, payload, cached, elapsed_s * 1e3);
+      flight->outcome = !cached ? obs::FlightOutcome::kComputed
+                        : std::this_thread::get_id() == admit_tid
+                            ? obs::FlightOutcome::kCacheHit
+                            : obs::FlightOutcome::kCoalesced;
     } else {
       metrics().requests_internal.inc();
       out = error_response(id_json, "internal", error);
+      flight->outcome = obs::FlightOutcome::kInternalError;
     }
+    flight->finish_ns = obs::monotonic_ns();
+    obs::LogEvent(obs::LogSeverity::kDebug, "serve.request")
+        .u64("req", flight->request_id)
+        .str("outcome", obs::to_string(flight->outcome));
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     metrics().pending.set(
         static_cast<std::int64_t>(pending_.load(std::memory_order_relaxed)));
@@ -245,18 +438,21 @@ void Server::handle_line(Connection& conn, const std::string& line) {
   if (!cache_.subscribe(key, std::move(consumer))) return;  // hit or joined a leader
 
   try {
-    pool_->submit([this, request, key] {
+    pool_->submit([this, request, key, flight] {
       try {
         obs::Span compute_span("serve/compute");
         obs::counter("serve.requests_computed").inc();
+        flight->compute_start_ns = obs::monotonic_ns();
         // Incremental rescheduling: the bank carries deadline-invariant
         // artifacts between same-structure requests (response bytes are
         // unchanged — see core/incremental.hpp).
         core::ScheduleBank* bank = config_.bank_capacity != 0 ? &bank_ : nullptr;
-        cache_.complete(key, result_json(core::run_service_request(request->request,
-                                                                   model_, ladder_, bank),
-                                         ladder_));
+        const std::string payload = result_json(
+            core::run_service_request(request->request, model_, ladder_, bank), ladder_);
+        flight->compute_end_ns = obs::monotonic_ns();
+        cache_.complete(key, payload);
       } catch (const std::exception& e) {
+        flight->compute_end_ns = obs::monotonic_ns();
         cache_.fail(key, e.what());
       }
     });
@@ -269,7 +465,7 @@ void Server::handle_line(Connection& conn, const std::string& line) {
 void Server::writer_loop(Connection& conn) {
   bool peer_alive = true;
   for (;;) {
-    std::future<std::string> next;
+    Connection::PendingResponse next;
     {
       std::unique_lock lock(conn.mutex);
       conn.cv.wait(lock, [&] { return !conn.responses.empty() || conn.reader_done; });
@@ -279,11 +475,31 @@ void Server::writer_loop(Connection& conn) {
     }
     // Even when the peer vanished, keep draining futures so every compute
     // job's promise is consumed before the connection is reaped.
-    const std::string response = next.get();
+    const std::string response = next.response.get();
     if (peer_alive && !conn.socket.send_all(response)) peer_alive = false;
+    if (next.flight) {
+      // Single commit point: by here every other phase stamp happened
+      // before the promise was fulfilled, so the record is complete and
+      // raceless when it enters the ring.
+      obs::FlightRecord& rec = *next.flight;
+      rec.write_ns = obs::monotonic_ns();
+      rec.response_bytes = static_cast<std::uint32_t>(response.size());
+      if (rec.compute_start_ns > 0) {
+        metrics().queue_seconds.observe(
+            static_cast<double>(rec.compute_start_ns - rec.admit_ns) / 1e9);
+        metrics().compute_seconds.observe(
+            static_cast<double>(rec.compute_end_ns - rec.compute_start_ns) / 1e9);
+      }
+      if (rec.finish_ns > 0)
+        metrics().write_seconds.observe(
+            static_cast<double>(rec.write_ns - rec.finish_ns) / 1e9);
+      flights_.record(rec);
+    }
   }
   if (peer_alive) conn.socket.shutdown_write();
   metrics().connections.add(-1);
+  obs::LogEvent(obs::LogSeverity::kDebug, "serve.connection_closed")
+      .i64("open", obs::gauge("serve.connections").value());
   conn.finished.store(true, std::memory_order_release);
 }
 

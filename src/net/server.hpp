@@ -21,25 +21,35 @@
 // response is written, then write sides half-close and the daemon
 // finishes.  Zero accepted requests are dropped.
 //
-// Observability: per-connection/request/compute spans and a "serve.*"
-// metric family (catalog in docs/observability.md).
+// Observability: per-connection/request/compute spans, a "serve.*"
+// metric family (catalog in docs/observability.md), a lock-free flight
+// recorder of per-request phase timelines, and an admin lane — statsz /
+// healthz / cachez / flightz / quitquitquit lines are answered by the
+// connection reader itself, bypassing both bounded admission and the
+// compute pool, so introspection stays responsive under full saturation.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "core/incremental.hpp"
 #include "net/result_cache.hpp"
+#include "obs/flight.hpp"
+#include "obs/flush.hpp"
 #include "power/dvs_ladder.hpp"
 #include "power/power_model.hpp"
 #include "util/socket.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lamps::net {
+
+struct AdminRequest;  // net/protocol.hpp
 
 struct ServerConfig {
   /// TCP port; 0 binds an ephemeral one (read it back via port()).
@@ -57,6 +67,17 @@ struct ServerConfig {
   /// core/incremental.hpp).  Responses are byte-identical either way.
   /// 0 disables the bank.
   std::size_t bank_capacity{128};
+  /// Flight-recorder ring slots (per-request phase timelines, flightz).
+  std::size_t flight_capacity{1024};
+  /// Requests whose arrival->write latency reaches this are promoted to a
+  /// warn-level span dump and counted in serve.slow_requests.  <= 0
+  /// disables promotion.
+  double slow_request_s{1.0};
+  /// > 0 starts a background obs::MetricsFlusher appending one registry
+  /// snapshot per interval to `metrics_jsonl` and/or `metrics_hook`.
+  double metrics_interval_s{0.0};
+  std::string metrics_jsonl;
+  obs::MetricsFlusher::SampleHook metrics_hook;
 };
 
 class Server {
@@ -85,6 +106,9 @@ class Server {
   /// connection answered and closed, compute pool idle.
   void wait();
 
+  /// The flight recorder backing flightz (read access for tests).
+  [[nodiscard]] const obs::FlightRecorder& flights() const { return flights_; }
+
  private:
   struct Connection;
 
@@ -92,6 +116,10 @@ class Server {
   void reader_loop(Connection& conn);
   void writer_loop(Connection& conn);
   void handle_line(Connection& conn, const std::string& line);
+  /// Admin lane: recognizes and answers an admin line inline on the
+  /// reader thread.  Returns false when the line is not admin-shaped.
+  bool handle_admin_line(Connection& conn, const std::string& line);
+  [[nodiscard]] std::string admin_response(const AdminRequest& req);
   void reap_finished_locked();
 
   ServerConfig config_;
@@ -99,8 +127,15 @@ class Server {
   power::DvsLadder ladder_;
   ResultCache cache_;
   core::ScheduleBank bank_;
+  obs::FlightRecorder flights_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<obs::MetricsFlusher> flusher_;
   std::size_t max_pending_{0};
+  std::int64_t start_ns_{0};
+
+  std::mutex scrape_mutex_;
+  std::map<std::string, std::uint64_t> last_scrape_;
+  std::uint64_t scrape_seq_{0};
 
   std::unique_ptr<ListenSocket> listener_;
   std::uint16_t port_{0};

@@ -1,0 +1,121 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace lamps::obs {
+
+namespace {
+
+double ms_between(std::int64_t from_ns, std::int64_t to_ns) {
+  if (from_ns <= 0 || to_ns <= 0 || to_ns < from_ns) return 0.0;
+  return static_cast<double>(to_ns - from_ns) * 1e-6;
+}
+
+/// arrival -> last stamped phase, the latency the slow threshold judges.
+std::int64_t end_ns(const FlightRecord& rec) {
+  if (rec.write_ns > 0) return rec.write_ns;
+  if (rec.finish_ns > 0) return rec.finish_ns;
+  return rec.arrival_ns;
+}
+
+}  // namespace
+
+const char* to_string(FlightOutcome outcome) {
+  switch (outcome) {
+    case FlightOutcome::kComputed:
+      return "computed";
+    case FlightOutcome::kCacheHit:
+      return "cache_hit";
+    case FlightOutcome::kCoalesced:
+      return "coalesced";
+    case FlightOutcome::kBadRequest:
+      return "bad_request";
+    case FlightOutcome::kOverloaded:
+      return "overloaded";
+    case FlightOutcome::kInternalError:
+      return "internal_error";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity, double slow_threshold_s)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      slow_threshold_s_(slow_threshold_s),
+      slots_(new Slot[capacity_]) {}
+
+void FlightRecorder::record(const FlightRecord& rec) {
+  static Counter& dropped = counter("flight.dropped_records");
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[ticket % capacity_];
+  std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  // Lock-free publish: an odd seq (or a lost CAS) means another writer
+  // lapped the whole ring and owns this slot right now — newer data, so
+  // dropping ours is the correct resolution.
+  if ((seq & 1U) != 0 ||
+      !slot.seq.compare_exchange_strong(seq, seq + 1, std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+    dropped.inc();
+    return;
+  }
+  slot.rec = rec;
+  slot.seq.store(seq + 2, std::memory_order_release);
+
+  const double total_s = ms_between(rec.arrival_ns, end_ns(rec)) * 1e-3;
+  if (slow_threshold_s_ > 0.0 && total_s >= slow_threshold_s_) {
+    static Counter& slow = counter("serve.slow_requests");
+    slow.inc();
+    // Promotion to a full span dump: the whole phase breakdown in one
+    // structured record, emitted even when nobody polls flightz.
+    LogEvent(LogSeverity::kWarn, "serve.slow_request")
+        .u64("req", rec.request_id)
+        .u64("digest", rec.digest)
+        .str("outcome", to_string(rec.outcome))
+        .num("total_ms", total_s * 1e3)
+        .num("queue_ms", ms_between(rec.admit_ns, rec.compute_start_ns))
+        .num("compute_ms", ms_between(rec.compute_start_ns, rec.compute_end_ns))
+        .num("write_ms", ms_between(rec.finish_ns, rec.write_ns))
+        .u64("bytes", rec.response_bytes);
+  }
+}
+
+std::vector<FlightRecord> FlightRecorder::last(std::size_t n) const {
+  const std::uint64_t total = next_.load(std::memory_order_acquire);
+  const std::uint64_t available = std::min<std::uint64_t>(total, capacity_);
+  std::vector<FlightRecord> out;
+  out.reserve(std::min<std::uint64_t>(n, available));
+  for (std::uint64_t back = 0; back < available && out.size() < n; ++back) {
+    const Slot& slot = slots_[(total - 1 - back) % capacity_];
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1U) != 0) continue;  // empty or mid-write
+    FlightRecord copy = slot.rec;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != before) continue;  // torn
+    out.push_back(copy);
+  }
+  return out;
+}
+
+void FlightRecorder::write_json(std::ostream& os, const FlightRecord& rec) {
+  // The digest is a full 64-bit FNV value; JSON numbers are doubles, so it
+  // goes out as a hex string to survive every strict parser bit-exactly.
+  char digest_hex[17];
+  std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                static_cast<unsigned long long>(rec.digest));
+  os << "{\"req\":" << rec.request_id << ",\"digest\":\"" << digest_hex
+     << "\",\"outcome\":\"" << to_string(rec.outcome) << "\",\"arrival_ns\":"
+     << rec.arrival_ns << ",\"total_ms\":"
+     << json_double(ms_between(rec.arrival_ns, end_ns(rec))) << ",\"queue_ms\":"
+     << json_double(ms_between(rec.admit_ns, rec.compute_start_ns))
+     << ",\"compute_ms\":"
+     << json_double(ms_between(rec.compute_start_ns, rec.compute_end_ns))
+     << ",\"write_ms\":" << json_double(ms_between(rec.finish_ns, rec.write_ns))
+     << ",\"bytes\":" << rec.response_bytes << '}';
+}
+
+}  // namespace lamps::obs

@@ -1,0 +1,107 @@
+// Request flight recorder: a fixed-size lock-free ring of per-request
+// telemetry records for the serve daemon.
+//
+// Every request that touches `lamps serve` leaves one FlightRecord — the
+// request id and digest, the monotonic timestamps of each lifecycle phase
+// (arrival, admission, compute start/end, completion, socket write), the
+// cache outcome and the response size.  The ring keeps the newest
+// `capacity` records; `flightz` (docs/observability.md) returns the last
+// N so an operator can see *which* requests are slow and *where* (queue
+// vs compute vs write) while the daemon is live, without any log volume
+// in the steady state.
+//
+// Concurrency: writers claim a slot with one fetch_add and publish
+// through a per-slot seqlock (odd = being written).  Writers never block
+// — a writer that catches a slot mid-write (only possible when more than
+// `capacity` requests complete simultaneously) drops its record and
+// counts `flight.dropped_records`.  Readers (the flightz scrape) copy
+// slots optimistically and skip any that change underneath them, so a
+// scrape can never stall the request path.
+//
+// Slow-request promotion: records whose arrival->write latency reaches
+// `slow_threshold_s` are promoted to a full span dump — one structured
+// warn-level log record carrying the whole phase breakdown — and counted
+// in `serve.slow_requests`, so tail outliers surface even when nobody is
+// watching flightz.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace lamps::obs {
+
+enum class FlightOutcome : std::uint8_t {
+  kComputed = 0,     ///< leader: a pool worker ran the search
+  kCacheHit = 1,     ///< answered inline from the completed-result LRU
+  kCoalesced = 2,    ///< single-flight join onto an in-flight leader
+  kBadRequest = 3,   ///< malformed line, no computation
+  kOverloaded = 4,   ///< shed at admission
+  kInternalError = 5 ///< the search threw
+};
+
+[[nodiscard]] const char* to_string(FlightOutcome outcome);
+
+/// Plain data on purpose: records are copied through a seqlock, so they
+/// must stay trivially copyable (no strings, no pointers).
+struct FlightRecord {
+  std::uint64_t request_id{0};
+  std::uint64_t digest{0};          ///< 0 for requests that never parsed
+  std::int64_t arrival_ns{0};       ///< obs::monotonic_ns at line receipt
+  std::int64_t admit_ns{0};         ///< passed admission (0 = never admitted)
+  std::int64_t compute_start_ns{0}; ///< pool worker began (0 = not computed)
+  std::int64_t compute_end_ns{0};
+  std::int64_t finish_ns{0};        ///< response payload resolved
+  std::int64_t write_ns{0};         ///< response bytes handed to the socket
+  std::uint32_t response_bytes{0};
+  FlightOutcome outcome{FlightOutcome::kComputed};
+};
+static_assert(std::is_trivially_copyable_v<FlightRecord>);
+
+class FlightRecorder {
+ public:
+  /// `capacity` is clamped to >= 1.  `slow_threshold_s <= 0` disables
+  /// slow-request promotion.
+  explicit FlightRecorder(std::size_t capacity, double slow_threshold_s = 0.0);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one completed record (and promotes it when slow).  Wait-free
+  /// apart from the slow-path log write.
+  void record(const FlightRecord& rec);
+
+  /// The most recent `n` consistently-readable records, newest first.
+  [[nodiscard]] std::vector<FlightRecord> last(std::size_t n) const;
+
+  /// Records ever offered to record() (monotonic; >= capacity() means the
+  /// ring has wrapped).
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    return next_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] double slow_threshold_s() const { return slow_threshold_s_; }
+
+  /// One record as a flat JSON object (the flightz wire format): ids,
+  /// outcome, and the phase breakdown in milliseconds.
+  static void write_json(std::ostream& os, const FlightRecord& rec);
+
+ private:
+  struct Slot {
+    /// Seqlock: even = stable, odd = write in progress; bumped twice per
+    /// publish so readers detect torn copies.
+    std::atomic<std::uint64_t> seq{0};
+    FlightRecord rec;
+  };
+
+  std::size_t capacity_;
+  double slow_threshold_s_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+}  // namespace lamps::obs

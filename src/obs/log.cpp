@@ -1,0 +1,142 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace lamps::obs {
+
+namespace {
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+std::atomic<bool> g_structured{false};
+std::atomic<std::ostream*> g_sink{nullptr};
+std::atomic<std::uint64_t> g_request_id{0};
+
+// Intentionally leaked (like the metric/trace registries) so worker
+// threads may log during static destruction.
+std::mutex& sink_mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+void write_line(const std::string& line) {
+  std::ostream* os = g_sink.load(std::memory_order_acquire);
+  std::scoped_lock lock(sink_mutex());
+  if (os == nullptr) os = &std::cerr;
+  *os << line << '\n';
+  os->flush();
+}
+
+}  // namespace
+
+const char* severity_name(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kDebug:
+      return "debug";
+    case LogSeverity::kInfo:
+      return "info";
+    case LogSeverity::kWarn:
+      return "warn";
+    case LogSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void set_min_severity(LogSeverity s) {
+  g_min_severity.store(static_cast<int>(s), std::memory_order_relaxed);
+}
+
+LogSeverity min_severity() {
+  return static_cast<LogSeverity>(g_min_severity.load(std::memory_order_relaxed));
+}
+
+void set_structured_logging(bool on) { g_structured.store(on, std::memory_order_relaxed); }
+
+bool structured_logging() { return g_structured.load(std::memory_order_relaxed); }
+
+void set_log_sink(std::ostream* sink) { g_sink.store(sink, std::memory_order_release); }
+
+void emit_plain(LogSeverity s, std::string_view message) {
+  if (static_cast<int>(s) < g_min_severity.load(std::memory_order_relaxed)) return;
+  std::ostringstream os;
+  if (structured_logging()) {
+    os << "{\"ts_ns\":" << monotonic_ns() << ",\"level\":\"" << severity_name(s)
+       << "\",\"event\":\"log\",\"msg\":";
+    write_json_string(os, message);
+    os << '}';
+  } else {
+    os << '[' << severity_name(s) << "] " << message;
+  }
+  write_line(os.str());
+}
+
+std::uint64_t next_request_id() {
+  return g_request_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+LogEvent::LogEvent(LogSeverity severity, std::string_view event) : severity_(severity) {
+  if (static_cast<int>(severity) < g_min_severity.load(std::memory_order_relaxed)) return;
+  body_.emplace();
+  *body_ << "{\"ts_ns\":" << monotonic_ns() << ",\"level\":\"" << severity_name(severity)
+         << "\",\"event\":";
+  write_json_string(*body_, event);
+}
+
+LogEvent::~LogEvent() {
+  if (!body_.has_value()) return;
+  *body_ << '}';
+  write_line(body_->str());
+}
+
+LogEvent& LogEvent::str(std::string_view key, std::string_view value) {
+  if (body_.has_value()) {
+    *body_ << ',';
+    write_json_string(*body_, key);
+    *body_ << ':';
+    write_json_string(*body_, value);
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::num(std::string_view key, double value) {
+  if (body_.has_value()) {
+    *body_ << ',';
+    write_json_string(*body_, key);
+    *body_ << ':' << json_double(value);
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::u64(std::string_view key, std::uint64_t value) {
+  if (body_.has_value()) {
+    *body_ << ',';
+    write_json_string(*body_, key);
+    *body_ << ':' << value;
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::i64(std::string_view key, std::int64_t value) {
+  if (body_.has_value()) {
+    *body_ << ',';
+    write_json_string(*body_, key);
+    *body_ << ':' << value;
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::boolean(std::string_view key, bool value) {
+  if (body_.has_value()) {
+    *body_ << ',';
+    write_json_string(*body_, key);
+    *body_ << ':' << (value ? "true" : "false");
+  }
+  return *this;
+}
+
+}  // namespace lamps::obs

@@ -125,6 +125,13 @@ std::uint64_t Registry::counter_value(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second->value();
 }
 
+std::map<std::string, std::uint64_t> Registry::counter_snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
 void Registry::reset_values() {
   std::scoped_lock lock(mutex_);
   for (auto& kv : counters_) kv.second->reset();
@@ -132,45 +139,82 @@ void Registry::reset_values() {
   for (auto& kv : histograms_) kv.second->reset();
 }
 
-void Registry::write_json(std::ostream& os) const {
+void Registry::reset_gauge_maxes() {
   std::scoped_lock lock(mutex_);
-  os << "{\n  \"counters\": {";
+  for (auto& kv : gauges_) kv.second->reset_max();
+}
+
+namespace {
+
+/// Shared body of the pretty and compact JSON exports.  `nl`/`ind`/`sp`
+/// are the newline, per-level indent and post-colon space — empty in
+/// compact mode, so both flavors stay byte-equivalent after whitespace
+/// stripping.
+struct JsonLayout {
+  const char* nl;
+  const char* ind;
+  const char* sp;
+};
+
+void write_registry_json(std::ostream& os, const JsonLayout& L,
+                         const std::map<std::string, std::unique_ptr<Counter>>& counters,
+                         const std::map<std::string, std::unique_ptr<Gauge>>& gauges,
+                         const std::map<std::string, std::unique_ptr<Histogram>>& histograms) {
+  os << '{' << L.nl << L.ind << "\"counters\":" << L.sp << '{';
   const char* sep = "";
-  for (const auto& [name, c] : counters_) {
-    os << sep << "\n    \"";
+  for (const auto& [name, c] : counters) {
+    os << sep << L.nl << L.ind << L.ind << '"';
     write_json_escaped(os, name);
-    os << "\": " << c->value();
+    os << "\":" << L.sp << c->value();
     sep = ",";
   }
-  os << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  if (!counters.empty()) os << L.nl << L.ind;
+  os << "}," << L.nl << L.ind << "\"gauges\":" << L.sp << '{';
   sep = "";
-  for (const auto& [name, g] : gauges_) {
-    os << sep << "\n    \"";
+  for (const auto& [name, g] : gauges) {
+    os << sep << L.nl << L.ind << L.ind << '"';
     write_json_escaped(os, name);
-    os << "\": {\"value\": " << g->value() << ", \"max\": " << g->max_value() << '}';
+    os << "\":" << L.sp << "{\"value\":" << L.sp << g->value() << "," << L.sp
+       << "\"max\":" << L.sp << g->max_value() << '}';
     sep = ",";
   }
-  os << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  if (!gauges.empty()) os << L.nl << L.ind;
+  os << "}," << L.nl << L.ind << "\"histograms\":" << L.sp << '{';
   sep = "";
-  for (const auto& [name, h] : histograms_) {
-    os << sep << "\n    \"";
+  for (const auto& [name, h] : histograms) {
+    os << sep << L.nl << L.ind << L.ind << '"';
     write_json_escaped(os, name);
-    os << "\": {\"count\": " << h->count() << ", \"sum\": ";
+    os << "\":" << L.sp << "{\"count\":" << L.sp << h->count() << "," << L.sp
+       << "\"sum\":" << L.sp;
     write_json_double(os, h->sum());
-    os << ", \"buckets\": [";
+    os << "," << L.sp << "\"buckets\":" << L.sp << '[';
     for (std::size_t i = 0; i < h->num_buckets(); ++i) {
-      if (i != 0) os << ", ";
-      os << "{\"le\": ";
+      if (i != 0) os << ',' << L.sp;
+      os << "{\"le\":" << L.sp;
       if (i + 1 == h->num_buckets())
         os << "\"inf\"";
       else
         write_json_double(os, h->upper_bound(i));
-      os << ", \"count\": " << h->bucket_count(i) << '}';
+      os << "," << L.sp << "\"count\":" << L.sp << h->bucket_count(i) << '}';
     }
     os << "]}";
     sep = ",";
   }
-  os << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";
+  if (!histograms.empty()) os << L.nl << L.ind;
+  os << '}' << L.nl << '}';
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os) const {
+  std::scoped_lock lock(mutex_);
+  write_registry_json(os, JsonLayout{"\n", "  ", " "}, counters_, gauges_, histograms_);
+  os << '\n';
+}
+
+void Registry::write_json_compact(std::ostream& os) const {
+  std::scoped_lock lock(mutex_);
+  write_registry_json(os, JsonLayout{"", "", ""}, counters_, gauges_, histograms_);
 }
 
 void Registry::write_csv(std::ostream& os) const {

@@ -60,6 +60,14 @@ class Gauge {
     value_.store(0, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
   }
+  /// Re-arms the high-water mark at the *current* value without touching
+  /// the value itself, so periodic scrapes can report per-interval peaks
+  /// of a live level (queue depth, in-flight requests) that is rarely
+  /// zero.  reset() would lie: a gauge holding 7 would report max=0 even
+  /// though the level never dropped below 7.
+  void reset_max() noexcept {
+    max_.store(value_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
 
  private:
   void raise_max(std::int64_t v) noexcept {
@@ -139,10 +147,22 @@ class Registry {
   /// Current value of a counter, 0 if it was never registered.
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
 
+  /// Point-in-time snapshot of every counter — the statsz endpoint and the
+  /// periodic flusher diff two of these to report deltas per scrape.
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_snapshot() const;
+
   /// Zeroes every metric (registrations are kept).
   void reset_values();
 
+  /// Gauge::reset_max() on every gauge: the periodic flusher calls this
+  /// after exporting so each JSONL sample carries the peak *since the
+  /// previous sample* while live values stay untouched.
+  void reset_gauge_maxes();
+
   void write_json(std::ostream& os) const;
+  /// Same document as write_json on a single line with no whitespace —
+  /// for JSON-lines consumers (statsz responses, the metrics time series).
+  void write_json_compact(std::ostream& os) const;
   void write_csv(std::ostream& os) const;
 
  private:

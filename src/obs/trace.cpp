@@ -10,6 +10,7 @@
 #include <ostream>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 
 namespace lamps::obs {
@@ -27,9 +28,16 @@ struct SpanEvent {
 /// pool workers die before the CLI exports the trace).
 struct ThreadBuffer {
   std::mutex mutex;
+  /// A ring once `events` reaches the process-wide capacity: the oldest
+  /// entry (at `overwrite_idx`) is replaced and `trace.dropped_spans`
+  /// counts the loss.  Export order does not matter — the writer sorts by
+  /// start time.
   std::vector<SpanEvent> events;
+  std::size_t overwrite_idx{0};
   std::uint32_t tid{0};
 };
+
+std::atomic<std::size_t> g_trace_capacity{65536};
 
 struct TraceRegistry {
   std::mutex mutex;
@@ -82,9 +90,19 @@ std::int64_t trace_now_ns() {
 }
 
 void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns) {
+  static Counter& dropped = counter("trace.dropped_spans");
+  const std::size_t capacity =
+      std::max<std::size_t>(1, g_trace_capacity.load(std::memory_order_relaxed));
   ThreadBuffer& buf = thread_buffer();
   std::scoped_lock lock(buf.mutex);
-  buf.events.push_back(SpanEvent{name, start_ns, end_ns - start_ns});
+  if (buf.events.size() < capacity) {
+    buf.events.push_back(SpanEvent{name, start_ns, end_ns - start_ns});
+    return;
+  }
+  // Full (or over-full after a capacity shrink): recycle the oldest slot.
+  buf.events[buf.overwrite_idx] = SpanEvent{name, start_ns, end_ns - start_ns};
+  buf.overwrite_idx = (buf.overwrite_idx + 1) % buf.events.size();
+  dropped.inc();
 }
 
 }  // namespace detail
@@ -100,8 +118,16 @@ void clear_trace() {
   for (const auto& b : r.buffers) {
     std::scoped_lock block(b->mutex);
     b->events.clear();
+    b->overwrite_idx = 0;
   }
 }
+
+void set_trace_capacity(std::size_t spans_per_thread) {
+  g_trace_capacity.store(std::max<std::size_t>(1, spans_per_thread),
+                         std::memory_order_relaxed);
+}
+
+std::size_t trace_capacity() { return g_trace_capacity.load(std::memory_order_relaxed); }
 
 std::size_t trace_span_count() {
   TraceRegistry& r = registry();

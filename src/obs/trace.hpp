@@ -45,6 +45,11 @@ void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns);
   return detail::g_tracing_enabled.load(std::memory_order_relaxed);
 }
 
+/// Monotonic nanoseconds on the process-wide trace clock — the shared
+/// time axis of spans, structured log records (obs/log) and metric
+/// samples (obs/flush), so all three correlate without conversion.
+[[nodiscard]] inline std::int64_t monotonic_ns() { return detail::trace_now_ns(); }
+
 /// Turns span recording on or off process-wide.  A span opened while
 /// enabled is still recorded at close if tracing was disabled in between
 /// (so disabling just before export never loses the enclosing spans).
@@ -52,6 +57,15 @@ void set_tracing_enabled(bool enabled);
 
 /// Discards every recorded span (thread buffers stay registered).
 void clear_trace();
+
+/// Per-thread span buffer bound (default 65536 spans).  Long-running
+/// daemons record unboundedly otherwise; once a thread's buffer is full
+/// the oldest span is overwritten and the `trace.dropped_spans` counter
+/// increments, so `--trace-out` in `lamps serve` keeps the *latest*
+/// window instead of growing without limit.  Takes effect per thread the
+/// next time that thread's buffer would grow.
+void set_trace_capacity(std::size_t spans_per_thread);
+[[nodiscard]] std::size_t trace_capacity();
 
 /// Number of spans recorded so far, across all threads.
 [[nodiscard]] std::size_t trace_span_count();

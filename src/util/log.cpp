@@ -1,39 +1,22 @@
 #include "util/log.hpp"
 
-#include <atomic>
-#include <iostream>
+#include "obs/log.hpp"
+
+// The canonical level filter and sink live in obs/log.cpp so the plain
+// and structured logging paths share one configuration; this file only
+// adapts the historical lamps:: API onto them (the enumerators are
+// value-identical by construction).
 
 namespace lamps {
 
-namespace {
-
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
-
-constexpr std::string_view level_name(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug:
-      return "debug";
-    case LogLevel::kInfo:
-      return "info";
-    case LogLevel::kWarn:
-      return "warn";
-    case LogLevel::kError:
-      return "error";
-  }
-  return "?";
+void set_log_level(LogLevel level) {
+  obs::set_min_severity(static_cast<obs::LogSeverity>(level));
 }
 
-}  // namespace
-
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
-
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() { return static_cast<LogLevel>(obs::min_severity()); }
 
 void log_line(LogLevel level, std::string_view message) {
-  if (level < log_level()) return;
-  std::scoped_lock lock(g_mutex);
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  obs::emit_plain(static_cast<obs::LogSeverity>(level), message);
 }
 
 }  // namespace lamps

@@ -1,8 +1,9 @@
 #include "util/obs_cli.hpp"
 
-#include <iostream>
 #include <stdexcept>
+#include <string>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -15,6 +16,8 @@ void ObsOptions::register_flags(CliParser& cli) {
   cli.add_option("metrics-out", "write the metrics registry (.csv = CSV, else JSON)",
                  &metrics_out);
   cli.add_option("log-level", "stderr log level: debug|info|warn|error", &log_level);
+  cli.add_flag("log-json", "structured JSON-lines log records instead of plain text",
+               &log_json);
 }
 
 void ObsOptions::apply() const {
@@ -31,26 +34,30 @@ void ObsOptions::apply() const {
       throw std::invalid_argument("unknown --log-level: " + log_level +
                                   " (debug|info|warn|error)");
   }
+  if (log_json) obs::set_structured_logging(true);
   if (!trace_out.empty()) obs::set_tracing_enabled(true);
 }
 
-bool ObsOptions::finish(std::ostream& diag) const {
+bool ObsOptions::finish() const {
+  // Through the log layer, not a raw stream: under --log-json these lines
+  // wrap as structured records, keeping stderr pure JSON end to end.
   bool ok = true;
   if (!trace_out.empty()) {
     obs::set_tracing_enabled(false);
     if (obs::write_chrome_trace_file(trace_out)) {
-      diag << "wrote trace " << trace_out << " (" << obs::trace_span_count()
-           << " spans)\n";
+      obs::emit_plain(obs::LogSeverity::kInfo,
+                      "wrote trace " + trace_out + " (" +
+                          std::to_string(obs::trace_span_count()) + " spans)");
     } else {
-      diag << "cannot write trace " << trace_out << '\n';
+      obs::emit_plain(obs::LogSeverity::kError, "cannot write trace " + trace_out);
       ok = false;
     }
   }
   if (!metrics_out.empty()) {
     if (obs::write_metrics_file(metrics_out)) {
-      diag << "wrote metrics " << metrics_out << '\n';
+      obs::emit_plain(obs::LogSeverity::kInfo, "wrote metrics " + metrics_out);
     } else {
-      diag << "cannot write metrics " << metrics_out << '\n';
+      obs::emit_plain(obs::LogSeverity::kError, "cannot write metrics " + metrics_out);
       ok = false;
     }
   }
@@ -65,7 +72,7 @@ int run_observed(const ObsOptions& opts, const char* span_name,
     obs::Span root(span_name);
     rc = body();
   }
-  if (!opts.finish(std::cerr) && rc == 0) rc = 1;
+  if (!opts.finish() && rc == 0) rc = 1;
   return rc;
 }
 

@@ -17,6 +17,7 @@ struct ObsOptions {
   std::string trace_out;    ///< Chrome trace-event JSON path ("" = tracing stays off)
   std::string metrics_out;  ///< metrics registry export (.csv → CSV, else JSON)
   std::string log_level;    ///< debug | info | warn | error ("" = leave default)
+  bool log_json{false};     ///< emit structured JSON-lines log records
 
   void register_flags(CliParser& cli);
 
@@ -24,10 +25,11 @@ struct ObsOptions {
   /// set.  Throws std::invalid_argument on an unknown log level.
   void apply() const;
 
-  /// Disables tracing and writes the requested files, reporting each to
-  /// `diag` (stderr by convention — stdout carries CSV/table payloads).
-  /// Returns false if any file could not be written.
-  [[nodiscard]] bool finish(std::ostream& diag) const;
+  /// Disables tracing and writes the requested files, reporting each
+  /// through the log layer (stderr by default, structured records under
+  /// --log-json — stdout carries CSV/table payloads).  Returns false if
+  /// any file could not be written.
+  [[nodiscard]] bool finish() const;
 };
 
 /// apply() + a root span named `span_name` around `body` + finish().

@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/request.hpp"
@@ -24,6 +25,7 @@
 #include "net/protocol.hpp"
 #include "net/result_cache.hpp"
 #include "net/server.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "stg/format.hpp"
 #include "stg/random_gen.hpp"
@@ -432,6 +434,255 @@ TEST(ServeIntegration, DrainLosesZeroAcceptedRequests) {
                 reg.counter_value("serve.requests_overloaded") -
                 reg.counter_value("serve.requests_internal_error"),
             reg.counter_value("serve.requests_ok"));
+}
+
+TEST(Protocol, ParsesAdminRequestsAndIgnoresScheduleLines) {
+  // Bare-word form, whitespace-tolerant.
+  for (const auto& [word, cmd] :
+       {std::pair<const char*, AdminCommand>{"statsz", AdminCommand::kStatsz},
+        {"healthz", AdminCommand::kHealthz},
+        {"cachez", AdminCommand::kCachez},
+        {"flightz", AdminCommand::kFlightz},
+        {"quitquitquit", AdminCommand::kQuit}}) {
+    const auto req = parse_admin_request(std::string("  ") + word + " \r");
+    ASSERT_TRUE(req.has_value()) << word;
+    EXPECT_EQ(req->cmd, cmd);
+    EXPECT_EQ(req->id_json, "null");
+    EXPECT_STREQ(to_string(req->cmd), word);
+  }
+
+  // JSON form carries an id (echoed verbatim) and a flightz limit.
+  const auto req =
+      parse_admin_request("{\"cmd\":\"flightz\",\"id\":\"scrape-9\",\"limit\":2}");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->cmd, AdminCommand::kFlightz);
+  EXPECT_EQ(req->id_json, "\"scrape-9\"");
+  EXPECT_EQ(req->limit, 2U);
+
+  // Schedule requests — including ones that merely *mention* "cmd" inside
+  // a string — fall through to the normal request path.
+  EXPECT_FALSE(parse_admin_request(request_line(small_stg(1), "LAMPS", "1")));
+  EXPECT_FALSE(parse_admin_request("{\"id\":1,\"note\":\"a \\\"cmd\\\" string\"}"));
+
+  // Admin-shaped but invalid lines fail loudly instead of being computed.
+  EXPECT_THROW((void)parse_admin_request("{\"cmd\":\"bogus\"}"), InputError);
+  EXPECT_THROW((void)parse_admin_request("{\"cmd\":\"flightz\",\"limit\":0}"),
+               InputError);
+  EXPECT_THROW((void)parse_admin_request("{\"cmd\":\"flightz\",\"limit\":100000}"),
+               InputError);
+}
+
+TEST(ServeIntegration, AdminLaneAnswersAllCommandsWhilePoolIsSaturated) {
+  ServerConfig cfg;
+  cfg.threads = 1;  // one worker: a pipelined batch keeps it busy for a while
+  cfg.max_pending = 64;  // roomy: the whole batch must queue, not shed
+  Server server(cfg);
+  server.start();
+
+  // Conn B first, so the admin lane is ready before the backlog window
+  // opens.
+  const Socket admin = connect_tcp(server.port());
+  LineReader admin_reader(admin.fd());
+
+  // Conn A: two large "plug" requests occupy the single worker for tens of
+  // milliseconds each (compute outgrows parse superlinearly), while small
+  // requests pile up behind them — a real, long-lived backlog.
+  const Socket work = connect_tcp(server.port());
+  std::string batch;
+  constexpr std::size_t kWork = 8;
+  batch += request_line(small_stg(70, /*tasks=*/3000), "LAMPS+PS", "0");
+  batch += request_line(small_stg(71, /*tasks=*/3000), "LAMPS+PS", "1");
+  for (std::size_t i = 2; i < kWork; ++i)
+    batch += request_line(small_stg(70 + i), "LAMPS+PS", std::to_string(i));
+  ASSERT_TRUE(work.send_all(batch));
+
+  // In-process: wait until the backlog is deep before scraping.
+  obs::Gauge& pending = obs::gauge("serve.pending");
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (pending.value() < static_cast<std::int64_t>(kWork) / 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "never observed a compute backlog";
+    std::this_thread::yield();
+  }
+  const auto query = [&](const std::string& line) {
+    EXPECT_TRUE(admin.send_all(line + "\n"));
+    std::string response;
+    EXPECT_EQ(admin_reader.read_line(response), LineReader::Status::kLine);
+    const JsonValue doc = JsonValue::parse(response);
+    EXPECT_TRUE(doc.get("ok")->as_bool()) << response;
+    return doc;
+  };
+
+  const JsonValue health = query("healthz");
+  EXPECT_EQ(health.get_string("cmd", ""), "healthz");
+  EXPECT_GE(health.get_number("pending", 0.0), 1.0);  // scraped mid-backlog
+  EXPECT_DOUBLE_EQ(health.get_number("pool_size", 0.0), 1.0);
+  EXPECT_FALSE(health.get("draining")->as_bool());
+
+  const JsonValue stats = query("statsz");
+  EXPECT_EQ(stats.get_string("cmd", ""), "statsz");
+  ASSERT_NE(stats.get("metrics"), nullptr);
+  ASSERT_NE(stats.get("deltas"), nullptr);
+  EXPECT_GE(stats.get("metrics")->get("counters")->get_number(
+                "serve.requests_total", 0.0),
+            1.0);
+
+  // A second scrape's deltas cover only what moved since the first.
+  const JsonValue stats2 = query("{\"cmd\":\"statsz\",\"id\":\"s2\"}");
+  EXPECT_EQ(stats2.get_string("id", ""), "s2");
+  EXPECT_GT(stats2.get_number("scrape_seq", 0.0),
+            stats.get_number("scrape_seq", 0.0));
+
+  const JsonValue cache = query("cachez");
+  ASSERT_NE(cache.get("result_cache"), nullptr);
+  EXPECT_GT(cache.get("result_cache")->get_number("capacity", 0.0), 0.0);
+  ASSERT_NE(cache.get("schedule_bank"), nullptr);
+
+  const JsonValue flights = query("{\"cmd\":\"flightz\",\"limit\":4}");
+  ASSERT_NE(flights.get("records"), nullptr);
+  EXPECT_LE(flights.get("records")->items().size(), 4U);
+  EXPECT_GT(flights.get_number("capacity", 0.0), 0.0);
+
+  // The batch itself is unharmed by the scrapes.
+  LineReader work_reader(work.fd());
+  for (std::size_t i = 0; i < kWork; ++i) {
+    std::string line;
+    ASSERT_EQ(work_reader.read_line(line), LineReader::Status::kLine);
+    const JsonValue doc = JsonValue::parse(line);
+    EXPECT_TRUE(doc.get("ok")->as_bool() ||
+                doc.get_string("error", "") == "overloaded")
+        << line;
+  }
+  server.request_drain();
+  server.wait();
+}
+
+TEST(ServeIntegration, ResponsesStayBitIdenticalWithFullTelemetryOn) {
+  const power::PowerModel model;
+  const power::DvsLadder ladder(model);
+
+  std::vector<std::string> lines;
+  std::vector<std::string> expected;
+  for (std::size_t g = 0; g < 4; ++g) {
+    const std::string stg_text = small_stg(80 + g);
+    for (const char* strategy : {"LAMPS+PS", "S&S"}) {
+      lines.push_back(request_line(stg_text, strategy,
+                                   std::to_string(lines.size())));
+      const ParsedRequest parsed = parse_schedule_request(lines.back(), model);
+      expected.push_back(result_json(
+          core::run_service_request(parsed.request, model, ladder), ladder));
+    }
+  }
+
+  // Every telemetry feature on and turned up: a tiny flight ring (forced
+  // wraparound), promotion of *every* request to a slow-request span dump,
+  // a fast metrics flusher, and structured logging — none of it may change
+  // a single response byte.
+  std::atomic<std::size_t> samples{0};
+  ServerConfig cfg;
+  cfg.threads = 2;
+  cfg.max_pending = 64;
+  cfg.flight_capacity = 4;
+  cfg.slow_request_s = 1e-9;
+  cfg.metrics_interval_s = 0.02;
+  cfg.metrics_hook = [&samples](const std::string&) { samples.fetch_add(1); };
+
+  std::ostringstream log_sink;  // keep the promoted warn records off stderr
+  obs::set_log_sink(&log_sink);
+  obs::set_structured_logging(true);
+
+  Server server(cfg);
+  server.start();
+  const Socket sock = connect_tcp(server.port());
+  std::string batch;
+  for (const std::string& line : lines) batch += line;
+  batch += batch;  // send the set twice: cache hits must also be identical
+  ASSERT_TRUE(sock.send_all(batch));
+
+  LineReader reader(sock.fd());
+  for (std::size_t i = 0; i < 2 * lines.size(); ++i) {
+    std::string response;
+    ASSERT_EQ(reader.read_line(response), LineReader::Status::kLine);
+    EXPECT_EQ(extract_result_json(response), expected[i % expected.size()])
+        << "request " << i;
+  }
+  server.request_drain();
+  server.wait();
+  obs::set_structured_logging(false);
+  obs::set_log_sink(nullptr);
+
+  EXPECT_GE(samples.load(), 1U);  // the flusher ran (stop() emits a final one)
+  EXPECT_GE(server.flights().total_recorded(), 2 * lines.size());
+  EXPECT_EQ(server.flights().last(100).size(), 4U);  // the ring wrapped
+
+  // Every promoted span dump is a parseable structured record.
+  std::istringstream log_lines(log_sink.str());
+  std::string log_line;
+  std::size_t promoted = 0;
+  while (std::getline(log_lines, log_line)) {
+    const JsonValue doc = JsonValue::parse(log_line);
+    if (doc.get_string("event", "") == "serve.slow_request") ++promoted;
+  }
+  EXPECT_GE(promoted, 2 * lines.size());
+}
+
+TEST(ServeIntegration, QuitQuitQuitDrainsTheDaemon) {
+  reset_drain_signal_for_testing();
+  ServerConfig cfg;
+  cfg.threads = 1;
+  Server server(cfg);
+  server.start();
+
+  const Socket sock = connect_tcp(server.port());
+  ASSERT_TRUE(sock.send_all("quitquitquit\n"));
+  LineReader reader(sock.fd());
+  std::string response;
+  ASSERT_EQ(reader.read_line(response), LineReader::Status::kLine);
+  const JsonValue doc = JsonValue::parse(response);
+  EXPECT_TRUE(doc.get("ok")->as_bool());
+  EXPECT_EQ(doc.get_string("cmd", ""), "quitquitquit");
+  EXPECT_TRUE(doc.get("draining")->as_bool());
+
+  // The daemon actually drains — wait() returns instead of blocking.
+  server.wait();
+  EXPECT_TRUE(server.draining());
+  // quitquitquit also pulses the process drain signal (so a CLI wrapper
+  // waiting on it wakes up); clear it for later tests.
+  EXPECT_TRUE(drain_signal_pending());
+  reset_drain_signal_for_testing();
+}
+
+TEST(ServeIntegration, DrainDuringAScrapeLoopEndsCleanly) {
+  ServerConfig cfg;
+  cfg.threads = 1;
+  Server server(cfg);
+  server.start();
+
+  // A monitoring client scrapes in a tight loop while the daemon is told
+  // to drain out from under it: every response it *does* receive must be
+  // well-formed, and the connection must end with a clean EOF, not a hang.
+  std::atomic<std::size_t> scrapes{0};
+  std::atomic<bool> clean_end{false};
+  std::thread scraper([&] {
+    const Socket sock = connect_tcp(server.port());
+    LineReader reader(sock.fd());
+    for (int i = 0; i < 100000; ++i) {
+      if (!sock.send_all("statsz\n")) break;
+      std::string line;
+      if (reader.read_line(line) != LineReader::Status::kLine) break;
+      const JsonValue parsed = JsonValue::parse(line);
+      EXPECT_TRUE(parsed.get("ok")->as_bool());
+      scrapes.fetch_add(1);
+    }
+    clean_end.store(true);
+  });
+
+  while (scrapes.load() < 20) std::this_thread::yield();
+  server.request_drain();
+  server.wait();
+  scraper.join();
+  EXPECT_TRUE(clean_end.load());
+  EXPECT_GE(scrapes.load(), 20U);
 }
 
 }  // namespace

@@ -328,5 +328,74 @@ TEST(TelemetryTest, GoldenJson) {
   EXPECT_EQ(ss.str(), golden);
 }
 
+TEST(MetricsTest, GaugeResetMaxKeepsValueAndReArmsHighWater) {
+  Gauge g;
+  g.set(7);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max_value(), 7);  // high-water survives the drop
+
+  g.reset_max();
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max_value(), 3);  // re-armed at the *current* level, not 0
+
+  g.set(5);
+  EXPECT_EQ(g.max_value(), 5);  // and it keeps tracking new peaks
+}
+
+TEST(MetricsTest, CounterSnapshotSeesEveryRegisteredCounter) {
+  Counter& a = counter("snaptest.alpha");
+  Counter& b = counter("snaptest.beta");
+  a.inc(11);
+  b.inc(2);
+  const std::map<std::string, std::uint64_t> snap =
+      Registry::global().counter_snapshot();
+  ASSERT_TRUE(snap.count("snaptest.alpha"));
+  ASSERT_TRUE(snap.count("snaptest.beta"));
+  EXPECT_EQ(snap.at("snaptest.alpha"), a.value());
+  EXPECT_EQ(snap.at("snaptest.beta"), b.value());
+  EXPECT_EQ(Registry::global().counter_value("snaptest.alpha"), a.value());
+  EXPECT_EQ(Registry::global().counter_value("snaptest.never_registered"), 0U);
+}
+
+TEST(MetricsTest, CompactJsonIsOneLineAndMatchesThePrettyDocument) {
+  counter("compacttest.events").inc(4);
+  gauge("compacttest.level").set(9);
+  histogram("compacttest.lat", {0.1, 1.0}).observe(0.05);
+
+  std::ostringstream compact;
+  Registry::global().write_json_compact(compact);
+  const std::string line = compact.str();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"compacttest.events\":4"), std::string::npos);
+  EXPECT_NE(line.find("\"compacttest.level\""), std::string::npos);
+  EXPECT_NE(line.find("\"compacttest.lat\""), std::string::npos);
+  EXPECT_NE(line.find("\"counters\""), std::string::npos);
+  EXPECT_NE(line.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(line.find("\"histograms\""), std::string::npos);
+}
+
+TEST(TraceTest, SpanRingIsBoundedAndCountsDrops) {
+  const std::size_t saved = trace_capacity();
+  set_trace_capacity(16);
+  const std::uint64_t dropped_before =
+      Registry::global().counter_value("trace.dropped_spans");
+
+  set_tracing_enabled(true);
+  clear_trace();
+  for (int i = 0; i < 100; ++i) {
+    Span s("bounded-span");
+  }
+  set_tracing_enabled(false);
+
+  EXPECT_LE(trace_span_count(), 16U);
+  const std::uint64_t dropped =
+      Registry::global().counter_value("trace.dropped_spans") - dropped_before;
+  EXPECT_GE(dropped, 100U - 16U);
+
+  set_trace_capacity(saved);
+  clear_trace();
+}
+
 }  // namespace
 }  // namespace lamps::obs

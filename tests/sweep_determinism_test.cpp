@@ -7,12 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <sstream>
 #include <vector>
 
 #include "core/lamps.hpp"
 #include "core/strategy.hpp"
 #include "graph/analysis.hpp"
 #include "graph/transform.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "stg/suite.hpp"
@@ -162,6 +165,62 @@ TEST(SweepDeterminismTest, ObservabilityOnOffBitIdentical) {
     expect_identical_telemetry(records[0], records[2]);
   }
   EXPECT_GT(obs::trace_span_count(), 0U);
+  obs::clear_trace();
+}
+
+// The live telemetry plane extends the same bar: structured logging (with
+// a redirected sink and the filter wide open) and an actively-promoting
+// flight recorder run *alongside* the search without perturbing a single
+// bit of its output.  The log/flight machinery is process-global state
+// shared with the serve daemon, so this is the cheap in-process proof of
+// the byte-exactness contract the loadgen gate checks over the wire.
+TEST(SweepDeterminismTest, LoggingAndFlightRecorderOnOffBitIdentical) {
+  const auto group = stg::make_random_group(400, 1);
+  const graph::TaskGraph g = graph::scale_weights(group[0], stg::kCoarseGrainCyclesPerUnit);
+  for (const StrategyKind kind :
+       {StrategyKind::kLamps, StrategyKind::kLampsPs, StrategyKind::kSnsPs}) {
+    Problem prob = make_problem(g, 2.0);
+    prob.search_threads = 2;
+    const StrategyResult dark = run_strategy(kind, prob);
+
+    std::ostringstream sink;
+    obs::set_log_sink(&sink);
+    obs::set_structured_logging(true);
+    obs::set_min_severity(obs::LogSeverity::kDebug);
+    obs::set_tracing_enabled(true);
+    // Threshold far below the record's latency: every record() promotes a
+    // warn-level span dump through the structured sink mid-search.
+    obs::FlightRecorder flights(16, 1e-9);
+    obs::FlightRecord rec;
+    rec.request_id = obs::next_request_id();
+    rec.digest = 0x5eedULL;
+    rec.arrival_ns = 1'000;
+    rec.admit_ns = 2'000;
+    rec.compute_start_ns = 3'000;
+    rec.compute_end_ns = 1'500'000;
+    rec.finish_ns = 1'600'000;
+    rec.write_ns = 2'001'000;
+    rec.response_bytes = 256;
+    rec.outcome = obs::FlightOutcome::kComputed;
+
+    flights.record(rec);
+    obs::LogEvent(obs::LogSeverity::kInfo, "test.sweep_start")
+        .str("strategy", to_string(kind));
+    const StrategyResult lit = run_strategy(kind, prob);
+    rec.request_id = obs::next_request_id();
+    flights.record(rec);
+
+    obs::set_tracing_enabled(false);
+    obs::set_min_severity(obs::LogSeverity::kInfo);
+    obs::set_structured_logging(false);
+    obs::set_log_sink(nullptr);
+
+    expect_identical_results(dark, lit);
+    // The observability plane really was live, not silently disabled.
+    EXPECT_EQ(flights.total_recorded(), 2U);
+    EXPECT_NE(sink.str().find("serve.slow_request"), std::string::npos);
+    EXPECT_NE(sink.str().find("test.sweep_start"), std::string::npos);
+  }
   obs::clear_trace();
 }
 

@@ -9,14 +9,23 @@
 //   lamps robust [opts]               Monte-Carlo robustness report per strategy
 //   lamps pareto [opts]               energy/deadline trade-off curve (CSV)
 //   lamps serve [opts]                JSON-lines scheduling daemon (docs/serving.md)
+//   lamps top [opts]                  live dashboard over a running daemon's
+//                                     admin endpoints (docs/observability.md)
 //
 // Every subcommand accepts --help.  Output is plain text / CSV so the tool
 // composes with shell pipelines.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/lamps.hpp"
@@ -24,6 +33,7 @@
 #include "core/strategy.hpp"
 #include "graph/analysis.hpp"
 #include "graph/transform.hpp"
+#include "net/jsonv.hpp"
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
@@ -472,6 +482,10 @@ int cmd_serve(int argc, const char* const* argv) {
   std::size_t max_pending = 0;
   std::size_t cache_capacity = 512;
   std::size_t bank_capacity = 128;
+  std::size_t flight_capacity = 1024;
+  double slow_ms = 1000.0;
+  double metrics_interval = 0.0;
+  std::string metrics_jsonl;
   double max_runtime_s = 0.0;
   ObsOptions oo;
   CliParser cli(
@@ -488,6 +502,17 @@ int cmd_serve(int argc, const char* const* argv) {
                  "schedule-bank stores for incremental rescheduling across "
                  "deadlines of one graph, 0 = disable",
                  &bank_capacity);
+  cli.add_option("flight-capacity",
+                 "flight-recorder ring slots (per-request phase timelines, "
+                 "served by the flightz admin query)", &flight_capacity);
+  cli.add_option("slow-ms",
+                 "promote requests slower than this to warn-level span dumps, "
+                 "0 = disable", &slow_ms);
+  cli.add_option("metrics-interval",
+                 "append a metrics snapshot to --metrics-jsonl every this many "
+                 "seconds, 0 = off", &metrics_interval);
+  cli.add_option("metrics-jsonl", "metrics time-series file (JSON lines, appended)",
+                 &metrics_jsonl);
   cli.add_option("max-runtime-s",
                  "self-drain after this many seconds, 0 = run until signalled "
                  "(CI smoke harnesses)", &max_runtime_s);
@@ -506,6 +531,10 @@ int cmd_serve(int argc, const char* const* argv) {
     cfg.max_pending = max_pending;
     cfg.cache_capacity = cache_capacity;
     cfg.bank_capacity = bank_capacity;
+    cfg.flight_capacity = flight_capacity;
+    cfg.slow_request_s = slow_ms / 1e3;
+    cfg.metrics_interval_s = metrics_interval;
+    cfg.metrics_jsonl = metrics_jsonl;
     net::Server server(cfg);
     server.start();
     // Scripted callers parse this line for the ephemeral port.
@@ -537,6 +566,277 @@ int cmd_serve(int argc, const char* const* argv) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// lamps top — terminal dashboard over a running daemon's admin lane.
+
+/// One scraped histogram: parallel per-bucket upper bounds and counts
+/// (counts are per-bucket, not cumulative, matching the registry export).
+struct HistSnap {
+  std::vector<double> le;  ///< +inf for the overflow bucket
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total{0};
+};
+
+/// Everything one top sample needs, pulled from statsz in one scrape.
+struct TopSample {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistSnap> hists;
+  double uptime_s{0.0};
+  bool draining{false};
+  std::chrono::steady_clock::time_point taken;
+  double scrape_rtt_ms{0.0};
+};
+
+net::JsonValue admin_query(const Socket& sock, LineReader& reader,
+                           const std::string& line) {
+  if (!sock.send_all(line + "\n"))
+    throw InternalError(ErrorCode::kIo, "server closed the connection mid-query");
+  std::string resp;
+  if (reader.read_line(resp) != LineReader::Status::kLine)
+    throw InternalError(ErrorCode::kIo, "no response to admin query '" + line + "'");
+  net::JsonValue doc = net::JsonValue::parse(resp);
+  const net::JsonValue* ok = doc.get("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool())
+    throw InternalError(ErrorCode::kIo, "admin query '" + line + "' failed: " + resp);
+  return doc;
+}
+
+TopSample scrape_statsz(const Socket& sock, LineReader& reader) {
+  TopSample s;
+  const auto t0 = std::chrono::steady_clock::now();
+  const net::JsonValue statsz = admin_query(sock, reader, "statsz");
+  s.scrape_rtt_ms =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() * 1e3;
+  s.taken = t0;
+  s.uptime_s = statsz.get_number("uptime_s", 0.0);
+  if (const net::JsonValue* d = statsz.get("draining"); d != nullptr && d->is_bool())
+    s.draining = d->as_bool();
+
+  const net::JsonValue* metrics = statsz.get("metrics");
+  if (metrics == nullptr) return s;
+  if (const net::JsonValue* counters = metrics->get("counters");
+      counters != nullptr && counters->is_object()) {
+    // The object accessor walks pairs; reparse via known serve.* names is
+    // fragile, so lift everything through get() on a fixed name list plus
+    // the full object when available.
+    for (const char* name :
+         {"serve.requests_total", "serve.requests_ok", "serve.requests_bad_request",
+          "serve.requests_overloaded", "serve.requests_internal_error",
+          "serve.requests_computed", "serve.cache_hits", "serve.cache_misses",
+          "serve.singleflight_hits", "serve.slow_requests", "serve.admin_requests",
+          "serve.connections_total", "flight.dropped_records"}) {
+      if (const net::JsonValue* v = counters->get(name); v != nullptr && v->is_number())
+        s.counters[name] = static_cast<std::uint64_t>(v->as_number());
+    }
+  }
+  if (const net::JsonValue* hists = metrics->get("histograms");
+      hists != nullptr && hists->is_object()) {
+    for (const char* name : {"serve.request_seconds", "serve.queue_seconds",
+                             "serve.compute_seconds", "serve.write_seconds"}) {
+      const net::JsonValue* h = hists->get(name);
+      if (h == nullptr) continue;
+      HistSnap snap;
+      snap.total = static_cast<std::uint64_t>(h->get_number("count", 0.0));
+      if (const net::JsonValue* buckets = h->get("buckets");
+          buckets != nullptr && buckets->is_array()) {
+        for (const net::JsonValue& b : buckets->items()) {
+          const net::JsonValue* le = b.get("le");
+          snap.le.push_back(le != nullptr && le->is_number()
+                                ? le->as_number()
+                                : std::numeric_limits<double>::infinity());
+          snap.counts.push_back(static_cast<std::uint64_t>(b.get_number("count", 0.0)));
+        }
+      }
+      s.hists[name] = std::move(snap);
+    }
+  }
+  return s;
+}
+
+std::uint64_t counter_delta(const TopSample& cur, const TopSample& prev,
+                            const std::string& name) {
+  const auto c = cur.counters.find(name);
+  if (c == cur.counters.end()) return 0;
+  const auto p = prev.counters.find(name);
+  const std::uint64_t before = p == prev.counters.end() ? 0 : p->second;
+  return c->second > before ? c->second - before : 0;
+}
+
+/// Upper-bound estimate of the q-quantile of the observations that landed
+/// between two scrapes of one histogram (bucket-wise count deltas).
+double delta_quantile(const HistSnap& cur, const HistSnap& prev, double q) {
+  if (cur.le.empty()) return 0.0;
+  std::uint64_t n = 0;
+  std::vector<std::uint64_t> delta(cur.le.size(), 0);
+  for (std::size_t i = 0; i < cur.le.size(); ++i) {
+    const std::uint64_t before = i < prev.counts.size() ? prev.counts[i] : 0;
+    if (cur.counts[i] > before) delta[i] = cur.counts[i] - before;
+    n += delta[i];
+  }
+  if (n == 0) return 0.0;
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(std::clamp(q, 0.0, 1.0) * static_cast<double>(n)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    cum += delta[i];
+    if (cum >= target) return cur.le[i];
+  }
+  return cur.le.back();
+}
+
+std::string fmt_ms(double seconds) {
+  std::ostringstream ss;
+  if (std::isinf(seconds)) return ">5s";
+  ss << std::fixed << std::setprecision(seconds * 1e3 < 10 ? 2 : 1) << seconds * 1e3;
+  return ss.str();
+}
+
+std::string phase_quantiles(const TopSample& cur, const TopSample& prev,
+                            const std::string& hist) {
+  const auto c = cur.hists.find(hist);
+  if (c == cur.hists.end()) return "-";
+  static const HistSnap kEmpty;
+  const auto p = prev.hists.find(hist);
+  const HistSnap& before = p == prev.hists.end() ? kEmpty : p->second;
+  return fmt_ms(delta_quantile(c->second, before, 0.50)) + "/" +
+         fmt_ms(delta_quantile(c->second, before, 0.95)) + "/" +
+         fmt_ms(delta_quantile(c->second, before, 0.99));
+}
+
+void print_top_sample(std::ostream& os, const std::string& host, std::size_t port,
+                      const TopSample& cur, const TopSample& prev,
+                      const net::JsonValue& healthz, const net::JsonValue& cachez,
+                      const net::JsonValue& flightz) {
+  const double dt =
+      std::max(std::chrono::duration<double>(cur.taken - prev.taken).count(), 1e-9);
+  const auto rate = [&](const std::string& name) {
+    return static_cast<double>(counter_delta(cur, prev, name)) / dt;
+  };
+
+  os << "lamps top — " << host << ':' << port << "   uptime " << std::fixed
+     << std::setprecision(1) << cur.uptime_s << "s   "
+     << (cur.draining ? "DRAINING" : "accepting") << "   scrape "
+     << std::setprecision(2) << cur.scrape_rtt_ms << " ms\n\n";
+
+  os << std::setprecision(1) << "  req/s " << rate("serve.requests_total") << "   ok/s "
+     << rate("serve.requests_ok") << "   computed/s " << rate("serve.requests_computed")
+     << "   shed/s " << rate("serve.requests_overloaded") << "   errors/s "
+     << rate("serve.requests_bad_request") + rate("serve.requests_internal_error")
+     << '\n';
+
+  const std::uint64_t hits = counter_delta(cur, prev, "serve.cache_hits") +
+                             counter_delta(cur, prev, "serve.singleflight_hits");
+  const std::uint64_t lookups = hits + counter_delta(cur, prev, "serve.cache_misses");
+  os << "  cache hit " << (lookups > 0 ? 100.0 * static_cast<double>(hits) /
+                                             static_cast<double>(lookups)
+                                       : 0.0)
+     << "% of " << lookups << " lookups   slow "
+     << counter_delta(cur, prev, "serve.slow_requests") << "   flight drops "
+     << counter_delta(cur, prev, "flight.dropped_records") << '\n';
+
+  os << "  p50/p95/p99 ms   total " << phase_quantiles(cur, prev, "serve.request_seconds")
+     << "   queue " << phase_quantiles(cur, prev, "serve.queue_seconds") << "   compute "
+     << phase_quantiles(cur, prev, "serve.compute_seconds") << "   write "
+     << phase_quantiles(cur, prev, "serve.write_seconds") << '\n';
+
+  const double pool_size = healthz.get_number("pool_size", 0.0);
+  const double pool_active = healthz.get_number("pool_active", 0.0);
+  os << "  pool " << pool_active << '/' << pool_size << " active, "
+     << healthz.get_number("pool_queued", 0.0) << " queued   pending "
+     << healthz.get_number("pending", 0.0) << '/' << healthz.get_number("max_pending", 0.0)
+     << "   connections " << healthz.get_number("connections", 0.0) << '\n';
+
+  if (const net::JsonValue* rc = cachez.get("result_cache"); rc != nullptr) {
+    os << "  result cache " << rc->get_number("size", 0.0) << '/'
+       << rc->get_number("capacity", 0.0);
+  }
+  if (const net::JsonValue* bank = cachez.get("schedule_bank"); bank != nullptr) {
+    os << "   schedule bank " << bank->get_number("size", 0.0) << '/'
+       << bank->get_number("capacity", 0.0) << " (lease hits "
+       << bank->get_number("lease_hits", 0.0) << ")";
+  }
+  os << "\n\n";
+
+  if (const net::JsonValue* records = flightz.get("records");
+      records != nullptr && records->is_array() && !records->items().empty()) {
+    os << "  recent flights (newest first):\n  " << std::left << std::setw(8) << "req"
+       << std::setw(14) << "outcome" << std::right << std::setw(10) << "total_ms"
+       << std::setw(10) << "queue_ms" << std::setw(12) << "compute_ms" << std::setw(9)
+       << "bytes" << '\n';
+    for (const net::JsonValue& r : records->items()) {
+      os << "  " << std::left << std::setw(8)
+         << static_cast<std::uint64_t>(r.get_number("req", 0.0)) << std::setw(14)
+         << r.get_string("outcome", "?") << std::right << std::fixed
+         << std::setprecision(2) << std::setw(10) << r.get_number("total_ms", 0.0)
+         << std::setw(10) << r.get_number("queue_ms", 0.0) << std::setw(12)
+         << r.get_number("compute_ms", 0.0) << std::setw(9)
+         << static_cast<std::uint64_t>(r.get_number("bytes", 0.0)) << '\n';
+    }
+  }
+  os.flush();
+}
+
+int cmd_top(int argc, const char* const* argv) {
+  std::size_t port = 0;
+  std::string host = "127.0.0.1";
+  double interval = 2.0;
+  std::size_t samples = 0;
+  std::size_t flights = 5;
+  bool once = false;
+  CliParser cli(
+      "Live dashboard over a running `lamps serve`: polls the statsz / "
+      "healthz / cachez / flightz admin queries and renders req/s, phase "
+      "latency quantiles, cache hit rates and pool saturation "
+      "(docs/observability.md)");
+  cli.add_option("port", "daemon TCP port (required)", &port);
+  cli.add_option("host", "daemon host", &host);
+  cli.add_option("interval", "seconds between scrapes", &interval);
+  cli.add_option("samples", "stop after this many dashboard frames, 0 = until ^C",
+                 &samples);
+  cli.add_option("flights", "recent flight-recorder rows to show", &flights);
+  cli.add_flag("once",
+               "print a single plain-text scrape (no rates; includes "
+               "scrape_rtt_ms) and exit", &once);
+  if (!cli.parse(argc, argv, std::cerr)) return 1;
+  if (port == 0 || port > 65535) {
+    std::cerr << "--port is required (1..65535)\n";
+    return 1;
+  }
+  interval = std::max(interval, 0.1);
+
+  const Socket sock = connect_tcp(static_cast<std::uint16_t>(port), host);
+  LineReader reader(sock.fd());
+
+  TopSample prev = scrape_statsz(sock, reader);
+  if (once) {
+    const net::JsonValue healthz = admin_query(sock, reader, "healthz");
+    const net::JsonValue cachez = admin_query(sock, reader, "cachez");
+    const net::JsonValue flightz = admin_query(
+        sock, reader, "{\"cmd\":\"flightz\",\"limit\":" + std::to_string(flights) + "}");
+    // Rates need two scrapes; a one-shot prints absolutes against an
+    // empty baseline plus the machine-greppable scrape RTT line.
+    print_top_sample(std::cout, host, port, prev, TopSample{}, healthz, cachez, flightz);
+    std::cout << "scrape_rtt_ms " << std::fixed << std::setprecision(3)
+              << prev.scrape_rtt_ms << '\n';
+    return 0;
+  }
+
+  for (std::size_t frame = 0; samples == 0 || frame < samples; ++frame) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    TopSample cur = scrape_statsz(sock, reader);
+    const net::JsonValue healthz = admin_query(sock, reader, "healthz");
+    const net::JsonValue cachez = admin_query(sock, reader, "cachez");
+    const net::JsonValue flightz = admin_query(
+        sock, reader, "{\"cmd\":\"flightz\",\"limit\":" + std::to_string(flights) + "}");
+    std::cout << "\033[2J\033[H";  // clear + home: a live refreshing frame
+    print_top_sample(std::cout, host, port, cur, prev, healthz, cachez, flightz);
+    const bool draining = cur.draining;
+    prev = std::move(cur);
+    if (draining) break;
+  }
+  return 0;
+}
+
 void print_root_usage(std::ostream& os) {
   os << "lamps — leakage-aware multiprocessor scheduling toolkit\n\n"
         "Usage: lamps <command> [options]\n\n"
@@ -548,7 +848,8 @@ void print_root_usage(std::ostream& os) {
         "  simulate   execute a LAMPS+PS plan under execution-time variability\n"
         "  robust     Monte-Carlo robustness report (jitter/leakage/wake faults)\n"
         "  pareto     energy/deadline trade-off curve for an .stg file\n"
-        "  serve      JSON-lines scheduling daemon over TCP (docs/serving.md)\n\n"
+        "  serve      JSON-lines scheduling daemon over TCP (docs/serving.md)\n"
+        "  top        live dashboard over a running daemon's admin endpoints\n\n"
         "Run 'lamps <command> --help' for the command's options.\n";
 }
 
@@ -569,6 +870,7 @@ int main(int argc, char** argv) {
     if (cmd == "robust") return cmd_robust(argc - 1, argv + 1);
     if (cmd == "pareto") return cmd_pareto(argc - 1, argv + 1);
     if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
+    if (cmd == "top") return cmd_top(argc - 1, argv + 1);
     if (cmd == "--help" || cmd == "-h") {
       print_root_usage(std::cout);
       return 0;

@@ -19,6 +19,8 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -47,6 +49,9 @@ struct RequestSpec {
 
 struct ConnStats {
   std::vector<double> latencies_s;
+  /// Completion time of each response relative to the shared run start —
+  /// parallel to latencies_s; the per-second timeline buckets on this.
+  std::vector<double> completed_at_s;
   std::size_t ok{0};
   std::size_t cached{0};
   std::size_t errors{0};
@@ -66,7 +71,7 @@ double quantile(std::vector<double>& sorted, double q) {
 /// validates the in-order responses.
 void run_connection(std::uint16_t port, const std::vector<RequestSpec>& corpus,
                     std::size_t first, std::size_t count, bool check,
-                    double interval_s, ConnStats& stats) {
+                    double interval_s, Clock::time_point run_t0, ConnStats& stats) {
   const Socket sock = connect_tcp(port);
   LineReader reader(sock.fd());
   std::vector<Clock::time_point> send_times(count);
@@ -80,8 +85,11 @@ void run_connection(std::uint16_t port, const std::vector<RequestSpec>& corpus,
       ++stats.errors;
       return false;
     }
+    const auto now = Clock::now();
     stats.latencies_s.push_back(
-        std::chrono::duration<double>(Clock::now() - send_times[i]).count());
+        std::chrono::duration<double>(now - send_times[i]).count());
+    stats.completed_at_s.push_back(
+        std::chrono::duration<double>(now - run_t0).count());
     if (response.find("\"ok\":true") == std::string::npos) {
       ++stats.errors;
       return true;
@@ -140,6 +148,7 @@ int main(int argc, char** argv) {
   double rate = 0.0;
   double deadline_factor = 2.0;
   bool no_check = false;
+  bool serve_telemetry = false;
   std::string json_out;
   CliParser cli(
       "Concurrent load generator for `lamps serve`: random-STG corpus, "
@@ -157,6 +166,11 @@ int main(int argc, char** argv) {
                  &rate);
   cli.add_option("deadline-factor", "deadline as a multiple of the CPL", &deadline_factor);
   cli.add_flag("no-check", "skip the bit-exactness comparison", &no_check);
+  cli.add_flag("serve-telemetry",
+               "run the self-hosted server with the full telemetry plane on "
+               "(1 s metrics flusher embedded in --json-out as "
+               "metrics_timeline, flight recorder, slow-request promotion)",
+               &serve_telemetry);
   cli.add_option("json-out", "write the benchmark report JSON here", &json_out);
   if (!cli.parse(argc, argv, std::cerr)) return 1;
   if (connections == 0 || requests == 0 || corpus_size == 0) {
@@ -202,14 +216,25 @@ int main(int argc, char** argv) {
     }
 
     std::unique_ptr<net::Server> self_hosted;
+    std::vector<std::string> metric_samples;
+    std::mutex metric_samples_mutex;
     auto target_port = static_cast<std::uint16_t>(port);
     if (port == 0) {
       net::ServerConfig cfg;
       cfg.threads = server_threads;
+      if (serve_telemetry) {
+        cfg.metrics_interval_s = 1.0;
+        cfg.slow_request_s = 0.25;
+        cfg.metrics_hook = [&](const std::string& line) {
+          std::scoped_lock lock(metric_samples_mutex);
+          metric_samples.push_back(line);
+        };
+      }
       self_hosted = std::make_unique<net::Server>(cfg);
       self_hosted->start();
       target_port = self_hosted->port();
-      std::cerr << "self-hosted lamps serve on 127.0.0.1:" << target_port << '\n';
+      std::cerr << "self-hosted lamps serve on 127.0.0.1:" << target_port
+                << (serve_telemetry ? " (telemetry on)" : "") << '\n';
     }
 
     const double interval_s = rate > 0.0 ? 1.0 / rate : 0.0;
@@ -223,7 +248,7 @@ int main(int argc, char** argv) {
       const std::size_t count = std::min(per_conn, requests - std::min(requests, begin));
       if (count == 0) break;
       clients.emplace_back([&, c, begin, count] {
-        run_connection(target_port, corpus, begin, count, !no_check, interval_s,
+        run_connection(target_port, corpus, begin, count, !no_check, interval_s, t0,
                        stats[c]);
       });
     }
@@ -249,6 +274,15 @@ int main(int argc, char** argv) {
       total.latencies_s.insert(total.latencies_s.end(), s.latencies_s.begin(),
                                s.latencies_s.end());
     }
+    // Per-second timeline: responses bucketed by the wall-clock second of
+    // the run they completed in — correlates with the server-side
+    // metrics_timeline samples when --serve-telemetry is on.
+    std::map<std::size_t, std::vector<double>> timeline;
+    for (const auto& s : stats)
+      for (std::size_t i = 0; i < s.completed_at_s.size(); ++i)
+        timeline[static_cast<std::size_t>(std::max(0.0, s.completed_at_s[i]))]
+            .push_back(s.latencies_s[i]);
+
     std::sort(total.latencies_s.begin(), total.latencies_s.end());
     double sum = 0.0;
     for (const double v : total.latencies_s) sum += v;
@@ -309,7 +343,29 @@ int main(int argc, char** argv) {
          << "    \"max\": "
          << json_double(
                 (total.latencies_s.empty() ? 0.0 : total.latencies_s.back()) * 1e3)
-         << "\n  }\n}\n";
+         << "\n  },\n"
+         << "  \"telemetry\": " << (serve_telemetry ? "true" : "false") << ",\n"
+         << "  \"timeline\": [";
+      {
+        const char* sep = "\n";
+        for (auto& [sec, lats] : timeline) {
+          std::sort(lats.begin(), lats.end());
+          os << sep << "    {\"t_s\": " << sec << ", \"requests\": " << lats.size()
+             << ", \"p50_ms\": " << json_double(quantile(lats, 0.5) * 1e3)
+             << ", \"p99_ms\": " << json_double(quantile(lats, 0.99) * 1e3) << "}";
+          sep = ",\n";
+        }
+      }
+      os << "\n  ],\n"
+         << "  \"metrics_timeline\": [";
+      {
+        const char* sep = "\n";
+        for (const std::string& sample : metric_samples) {
+          os << sep << "    " << sample;
+          sep = ",\n";
+        }
+      }
+      os << "\n  ]\n}\n";
       std::cerr << "wrote " << json_out << '\n';
     }
 
