@@ -33,6 +33,7 @@ std::optional<AdminCommand> admin_command_from_name(std::string_view name) {
   if (name == "healthz") return AdminCommand::kHealthz;
   if (name == "cachez") return AdminCommand::kCachez;
   if (name == "flightz") return AdminCommand::kFlightz;
+  if (name == "chaosz") return AdminCommand::kChaosz;
   if (name == "quitquitquit") return AdminCommand::kQuit;
   return std::nullopt;
 }
@@ -49,6 +50,8 @@ const char* to_string(AdminCommand cmd) {
       return "cachez";
     case AdminCommand::kFlightz:
       return "flightz";
+    case AdminCommand::kChaosz:
+      return "chaosz";
     case AdminCommand::kQuit:
       return "quitquitquit";
   }
@@ -72,7 +75,7 @@ std::optional<AdminRequest> parse_admin_request(const std::string& line) {
   const auto named = admin_command_from_name(cmd->as_string());
   if (!named.has_value())
     throw InputError(ErrorCode::kConfig, "unknown admin cmd: '" + cmd->as_string() + "'",
-                     {}, "valid: statsz, healthz, cachez, flightz, quitquitquit");
+                     {}, "valid: statsz, healthz, cachez, flightz, chaosz, quitquitquit");
   AdminRequest req;
   req.cmd = *named;
   if (const JsonValue* id = doc.get("id"); id != nullptr && !id->is_null()) {
@@ -144,11 +147,16 @@ ParsedRequest parse_schedule_request(const std::string& line,
                        model.max_frequency().value() * factor};
   }
 
+  const double deadline_ms = doc.get_number("deadline_ms", 0.0);
+  if (doc.get("deadline_ms") != nullptr && deadline_ms <= 0.0)
+    throw InputError(ErrorCode::kConfig, "deadline_ms must be > 0 when present");
+
   const core::StrategyKind strategy =
       strategy_from_wire(doc.get_string("strategy", "LAMPS+PS"));
   return ParsedRequest{std::move(id_json),
                        core::ServiceRequest{std::move(scaled), deadline, strategy,
-                                            sched::PriorityPolicy::kEdf}};
+                                            sched::PriorityPolicy::kEdf},
+                       deadline_ms};
 }
 
 std::string result_json(const core::StrategyResult& r, const power::DvsLadder& ladder) {

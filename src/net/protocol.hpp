@@ -7,6 +7,9 @@
 //    "unit": 3100000,                  cycles per STG weight unit
 //    "deadline_factor": 2.0,           x critical path length at f_max
 //    "deadline_s": 0.0,                absolute seconds; overrides factor when > 0
+//    "deadline_ms": 250,               optional wall-clock budget for THIS
+//                                      request (transport-level; not part of
+//                                      the cache digest)
 //    "strategy": "LAMPS+PS"}           S&S | LAMPS | S&S+PS | LAMPS+PS |
 //                                      LIMIT-SF | LIMIT-MF
 //
@@ -19,7 +22,8 @@
 //
 // Failure:
 //   {"id": ..., "ok": false, "error": "<kind>", "message": "..."}
-// with kind one of bad_request | overloaded | draining | internal.
+// with kind one of bad_request | overloaded | draining | internal |
+// too_large | deadline_exceeded.
 // Full schema and semantics: docs/serving.md.
 #pragma once
 
@@ -39,7 +43,7 @@ namespace lamps::net {
 /// command word per line ("statsz\n", nc-friendly) or a JSON object
 /// {"cmd":"statsz","id":...} ({"cmd":"flightz","limit":N} caps the record
 /// count).  Reference: docs/observability.md "Admin surface".
-enum class AdminCommand { kStatsz, kHealthz, kCachez, kFlightz, kQuit };
+enum class AdminCommand { kStatsz, kHealthz, kCachez, kFlightz, kChaosz, kQuit };
 
 [[nodiscard]] const char* to_string(AdminCommand cmd);
 
@@ -60,6 +64,10 @@ struct AdminRequest {
 struct ParsedRequest {
   std::string id_json{"null"};
   core::ServiceRequest request;
+  /// Wall-clock budget for this request in milliseconds (0 = none).
+  /// Deliberately outside ServiceRequest: two requests for the same graph
+  /// with different budgets must share one digest / cache entry.
+  double deadline_budget_ms{0.0};
 };
 
 /// Parses and validates one request line, resolving deadline_factor

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -17,7 +18,9 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/cancel.hpp"
 #include "util/errors.hpp"
+#include "util/faultinject.hpp"
 #include "util/json.hpp"
 #include "util/signal.hpp"
 
@@ -31,6 +34,13 @@ struct ServeMetrics {
   obs::Counter& requests_bad = obs::counter("serve.requests_bad_request");
   obs::Counter& requests_overloaded = obs::counter("serve.requests_overloaded");
   obs::Counter& requests_internal = obs::counter("serve.requests_internal_error");
+  obs::Counter& requests_too_large = obs::counter("serve.requests_too_large");
+  obs::Counter& requests_deadline = obs::counter("serve.requests_deadline_exceeded");
+  obs::Counter& read_timeouts = obs::counter("serve.read_timeouts");
+  obs::Counter& idle_reaped = obs::counter("serve.idle_reaped");
+  obs::Counter& slow_client_disconnects =
+      obs::counter("serve.slow_client_disconnects");
+  obs::Counter& write_queue_overflow = obs::counter("serve.write_queue_overflow");
   obs::Counter& admin_requests = obs::counter("serve.admin_requests");
   obs::Counter& connections_total = obs::counter("serve.connections_total");
   obs::Gauge& connections = obs::gauge("serve.connections");
@@ -122,6 +132,15 @@ void Server::start() {
   listener_ = std::make_unique<ListenSocket>(config_.port);
   port_ = listener_->port();
   start_ns_ = obs::monotonic_ns();
+  {
+    // Baseline for healthz interval deltas: counters are process-global,
+    // so without this an earlier server's sheds would mark us degraded.
+    std::scoped_lock lock(health_mutex_);
+    health_prev_ = obs::Registry::global().counter_snapshot();
+  }
+  if (config_.chaos && config_.chaos->spec().any())
+    obs::LogEvent(obs::LogSeverity::kWarn, "serve.chaos_enabled")
+        .str("spec", to_string(config_.chaos->spec()));
 
   if (config_.metrics_interval_s > 0.0) {
     obs::MetricsFlusher::Options fopts;
@@ -196,6 +215,11 @@ void Server::accept_loop() {
       reap_finished_locked();
     }
     if ((ready & 1u) == 0) continue;
+    if (FaultInjector* chaos = config_.chaos.get(); chaos != nullptr) {
+      const int stall = chaos->accept_stall_ms();
+      if (stall > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+    }
     std::optional<Socket> accepted = listener_->accept();
     if (!accepted) continue;
 
@@ -205,6 +229,7 @@ void Server::accept_loop() {
         .i64("open", obs::gauge("serve.connections").value());
     auto conn = std::make_unique<Connection>();
     conn->socket = std::move(*accepted);
+    conn->socket.set_fault_injector(config_.chaos.get());
     Connection& ref = *conn;
     ref.reader = std::thread([this, &ref] { reader_loop(ref); });
     ref.writer = std::thread([this, &ref] { writer_loop(ref); });
@@ -218,25 +243,123 @@ void Server::accept_loop() {
 
 void Server::reader_loop(Connection& conn) {
   obs::Span span("serve/connection");
-  LineReader reader(conn.socket.fd());
+  LineReader reader(conn.socket.fd(), config_.max_request_bytes,
+                    config_.chaos.get());
   std::string line;
+
+  const auto to_ns = [](double s) -> std::int64_t {
+    return s > 0.0 ? static_cast<std::int64_t>(s * 1e9) : 0;
+  };
+  const std::int64_t read_timeout_ns = to_ns(config_.read_timeout_s);
+  const std::int64_t idle_timeout_ns = to_ns(config_.idle_timeout_s);
+  // Poll tick: a quarter of the tighter enabled timeout, clamped to
+  // [10 ms, 250 ms] so the stall clocks are judged promptly without
+  // spinning.  With both timeouts off the poll blocks indefinitely as
+  // before (the drain pipe still wakes it).
+  int tick_ms = -1;
+  {
+    std::int64_t tightest = 0;
+    if (read_timeout_ns > 0) tightest = read_timeout_ns;
+    if (idle_timeout_ns > 0 && (tightest == 0 || idle_timeout_ns < tightest))
+      tightest = idle_timeout_ns;
+    if (tightest > 0)
+      tick_ms = static_cast<int>(
+          std::clamp<std::int64_t>(tightest / 4'000'000, 10, 250));
+  }
+
+  std::int64_t last_progress_ns = obs::monotonic_ns();  // any bytes arrived
+  std::int64_t last_line_ns = last_progress_ns;         // complete lines
   for (;;) {
-    if (!reader.has_buffered_line()) {
-      if (draining()) {
-        // Drain contract: consume only what already reached us.  A poll
-        // with zero timeout picks up bytes on the wire; once the socket
-        // is quiet the connection is done.
-        if ((poll_readable(conn.socket.fd(), -1, 0) & 1u) == 0) break;
-      } else {
-        const unsigned ready =
-            poll_readable(conn.socket.fd(), drain_pipe_[0], -1);
-        if ((ready & 1u) == 0) continue;  // drain wake-up or EINTR
+    // Drain every complete buffered line before touching the socket.
+    LineReader::Status status;
+    bool stop = false;
+    for (;;) {
+      status = reader.next_line(line);
+      if (status == LineReader::Status::kLine) {
+        last_line_ns = last_progress_ns = obs::monotonic_ns();
+        if (line.empty()) continue;
+        if (config_.max_write_queue > 0) {
+          std::size_t queued = 0;
+          {
+            std::scoped_lock lock(conn.mutex);
+            queued = conn.responses.size();
+          }
+          // A client that pipelines faster than it drains responses is
+          // bounded here: stop reading, let the writer flush what was
+          // admitted, disconnect.  Nothing admitted is ever dropped.
+          if (queued >= config_.max_write_queue) {
+            metrics().write_queue_overflow.inc();
+            obs::LogEvent(obs::LogSeverity::kWarn, "serve.write_queue_overflow")
+                .u64("queued", queued)
+                .u64("max_write_queue", config_.max_write_queue);
+            stop = true;
+            break;
+          }
+        }
+        handle_line(conn, line);
+        continue;
+      }
+      if (status == LineReader::Status::kOverflow) {
+        // The oversize line never parsed, so it gets the typed error with
+        // a null id; the stream already resynced at the next '\n'.
+        metrics().requests_total.inc();
+        metrics().requests_too_large.inc();
+        auto flight = std::make_shared<obs::FlightRecord>();
+        flight->request_id = obs::next_request_id();
+        flight->arrival_ns = obs::monotonic_ns();
+        flight->finish_ns = flight->arrival_ns;
+        flight->outcome = obs::FlightOutcome::kTooLarge;
+        obs::LogEvent(obs::LogSeverity::kWarn, "serve.request_too_large")
+            .u64("req", flight->request_id)
+            .u64("max_request_bytes", config_.max_request_bytes);
+        conn.push_immediate(
+            error_response("null", "too_large",
+                           "request line exceeds max_request_bytes (" +
+                               std::to_string(config_.max_request_bytes) + ")"),
+            flight);
+        last_line_ns = last_progress_ns = obs::monotonic_ns();
+        continue;
+      }
+      break;  // kAgain, kEof or kError
+    }
+    if (stop || status == LineReader::Status::kEof ||
+        status == LineReader::Status::kError)
+      break;
+
+    // status == kAgain: more bytes needed.
+    if (draining()) {
+      // Drain contract: consume only what already reached us.  A poll
+      // with zero timeout picks up bytes on the wire; once the socket
+      // is quiet the connection is done.
+      if ((poll_readable(conn.socket.fd(), -1, 0) & 1u) == 0) break;
+    } else {
+      const unsigned ready =
+          poll_readable(conn.socket.fd(), drain_pipe_[0], tick_ms);
+      if ((ready & 1u) == 0) {
+        // Tick or drain wake-up: judge the stall clocks, then re-poll.
+        const std::int64_t now = obs::monotonic_ns();
+        if (read_timeout_ns > 0 && reader.has_partial_line() &&
+            now - last_progress_ns > read_timeout_ns) {
+          metrics().read_timeouts.inc();
+          obs::LogEvent(obs::LogSeverity::kWarn, "serve.read_timeout")
+              .num("read_timeout_s", config_.read_timeout_s);
+          break;
+        }
+        if (idle_timeout_ns > 0 && !reader.has_partial_line() &&
+            now - last_line_ns > idle_timeout_ns) {
+          metrics().idle_reaped.inc();
+          obs::LogEvent(obs::LogSeverity::kInfo, "serve.idle_reaped")
+              .num("idle_timeout_s", config_.idle_timeout_s);
+          break;
+        }
+        continue;
       }
     }
-    const LineReader::Status status = reader.read_line(line);
-    if (status != LineReader::Status::kLine) break;
-    if (line.empty()) continue;
-    handle_line(conn, line);
+    const LineReader::Status filled = reader.fill();
+    if (filled == LineReader::Status::kError) break;
+    if (filled == LineReader::Status::kAgain)
+      last_progress_ns = obs::monotonic_ns();
+    // kEof loops once more so next_line can flush the final line.
   }
   {
     std::scoped_lock lock(conn.mutex);
@@ -302,16 +425,52 @@ std::string Server::admin_response(const AdminRequest& req) {
       last_scrape_ = std::move(snapshot);
       break;
     }
-    case AdminCommand::kHealthz:
-      os << ",\"draining\":" << (draining() ? "true" : "false")
+    case AdminCommand::kHealthz: {
+      // Degradation is judged over the window since the previous healthz
+      // (seeded at start()), so a single ancient shed does not poison the
+      // report forever.
+      std::map<std::string, std::uint64_t> snapshot =
+          obs::Registry::global().counter_snapshot();
+      std::scoped_lock hlock(health_mutex_);
+      const auto delta = [&](const char* name) -> std::uint64_t {
+        const auto now_it = snapshot.find(name);
+        const std::uint64_t now_v = now_it == snapshot.end() ? 0 : now_it->second;
+        const auto prev_it = health_prev_.find(name);
+        const std::uint64_t prev_v =
+            prev_it == health_prev_.end() ? 0 : prev_it->second;
+        return now_v > prev_v ? now_v - prev_v : 0;
+      };
+      const std::uint64_t d_total = delta("serve.requests_total");
+      const std::uint64_t d_shed = delta("serve.requests_overloaded");
+      const std::uint64_t d_deadline = delta("serve.requests_deadline_exceeded");
+      const std::uint64_t d_idle = delta("serve.idle_reaped");
+      const std::uint64_t d_read_to = delta("serve.read_timeouts");
+      const std::uint64_t d_slow = delta("serve.slow_client_disconnects");
+      const std::uint64_t d_wq = delta("serve.write_queue_overflow");
+      health_prev_ = std::move(snapshot);
+      const bool degraded =
+          d_shed + d_deadline + d_idle + d_read_to + d_slow + d_wq > 0;
+      const char* status = draining() ? "draining" : degraded ? "degraded" : "ok";
+      const double denom = d_total > 0 ? static_cast<double>(d_total) : 1.0;
+      os << ",\"status\":\"" << status << '"'
+         << ",\"draining\":" << (draining() ? "true" : "false")
          << ",\"accepting\":" << (draining() ? "false" : "true") << ",\"uptime_s\":";
       write_json_double(os, uptime_s);
       os << ",\"pool_size\":" << pool_->size() << ",\"pool_queued\":" << pool_->queued()
          << ",\"pool_active\":" << pool_->active()
          << ",\"pending\":" << pending_.load(std::memory_order_relaxed)
          << ",\"max_pending\":" << max_pending_
-         << ",\"connections\":" << obs::gauge("serve.connections").value();
+         << ",\"connections\":" << obs::gauge("serve.connections").value()
+         << ",\"interval\":{\"requests\":" << d_total << ",\"shed\":" << d_shed
+         << ",\"deadline_exceeded\":" << d_deadline << ",\"idle_reaped\":" << d_idle
+         << ",\"read_timeouts\":" << d_read_to
+         << ",\"slow_client_disconnects\":" << d_slow
+         << ",\"write_queue_overflow\":" << d_wq << "},\"shed_rate\":";
+      write_json_double(os, static_cast<double>(d_shed) / denom);
+      os << ",\"deadline_miss_rate\":";
+      write_json_double(os, static_cast<double>(d_deadline) / denom);
       break;
+    }
     case AdminCommand::kCachez: {
       const obs::Registry& reg = obs::Registry::global();
       os << ",\"result_cache\":{\"size\":" << cache_.size()
@@ -341,6 +500,14 @@ std::string Server::admin_response(const AdminRequest& req) {
       os << ']';
       break;
     }
+    case AdminCommand::kChaosz:
+      if (config_.chaos) {
+        os << ",\"enabled\":true,";
+        config_.chaos->write_json(os);
+      } else {
+        os << ",\"enabled\":false";
+      }
+      break;
     case AdminCommand::kQuit:
       os << ",\"draining\":true";
       break;
@@ -394,6 +561,17 @@ void Server::handle_line(Connection& conn, const std::string& line) {
   flight->admit_ns = obs::monotonic_ns();
   metrics().pending.set(static_cast<std::int64_t>(pending_.load(std::memory_order_relaxed)));
 
+  // Wall-clock budget, anchored at arrival so queue time counts against
+  // it.  Transport-level on purpose: the digest (and thus the cache key)
+  // ignores it, and the leader's budget governs a single-flight group.
+  const double budget_ms = parsed->deadline_budget_ms > 0.0
+                               ? parsed->deadline_budget_ms
+                               : config_.default_deadline_ms;
+  const std::int64_t deadline_ns =
+      budget_ms > 0.0
+          ? flight->arrival_ns + static_cast<std::int64_t>(budget_ms * 1e6)
+          : 0;
+
   auto request = std::make_shared<ParsedRequest>(std::move(*parsed));
   auto response = std::make_shared<std::promise<std::string>>();
   conn.push(response->get_future(), flight);
@@ -419,6 +597,13 @@ void Server::handle_line(Connection& conn, const std::string& line) {
                         : std::this_thread::get_id() == admit_tid
                             ? obs::FlightOutcome::kCacheHit
                             : obs::FlightOutcome::kCoalesced;
+    } else if (error.rfind("deadline_exceeded", 0) == 0) {
+      // Deadline misses fan out to single-flight followers too: whoever
+      // joined a leader that ran out of budget gets the same retryable
+      // typed error (docs/serving.md "Failure modes & guarantees").
+      metrics().requests_deadline.inc();
+      out = error_response(id_json, "deadline_exceeded", error);
+      flight->outcome = obs::FlightOutcome::kDeadlineExceeded;
     } else {
       metrics().requests_internal.inc();
       out = error_response(id_json, "internal", error);
@@ -438,11 +623,34 @@ void Server::handle_line(Connection& conn, const std::string& line) {
   if (!cache_.subscribe(key, std::move(consumer))) return;  // hit or joined a leader
 
   try {
-    pool_->submit([this, request, key, flight] {
+    pool_->submit([this, request, key, flight, deadline_ns] {
       try {
         obs::Span compute_span("serve/compute");
         obs::counter("serve.requests_computed").inc();
+        // Chaos queue aging happens before the deadline check so an
+        // injected dispatch delay can produce real deadline misses.
+        if (FaultInjector* chaos = config_.chaos.get(); chaos != nullptr) {
+          const int delay = chaos->dispatch_delay_ms();
+          if (delay > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        }
         flight->compute_start_ns = obs::monotonic_ns();
+        if (deadline_ns > 0 && flight->compute_start_ns >= deadline_ns) {
+          flight->compute_end_ns = flight->compute_start_ns;
+          cache_.fail(key, "deadline_exceeded: budget spent in queue before "
+                           "compute started; retry with backoff");
+          return;
+        }
+        // The remaining budget rides the same cooperative-cancellation
+        // rail the sweep runner uses: the scheduler hot loops poll
+        // cancel_checkpoint() and abandon the search mid-compute.
+        std::optional<CancelToken> token;
+        std::optional<CancelScope> scope;
+        if (deadline_ns > 0) {
+          token.emplace(
+              static_cast<double>(deadline_ns - flight->compute_start_ns) * 1e-9);
+          scope.emplace(&*token);
+        }
         // Incremental rescheduling: the bank carries deadline-invariant
         // artifacts between same-structure requests (response bytes are
         // unchanged — see core/incremental.hpp).
@@ -451,6 +659,9 @@ void Server::handle_line(Connection& conn, const std::string& line) {
             core::run_service_request(request->request, model_, ladder_, bank), ladder_);
         flight->compute_end_ns = obs::monotonic_ns();
         cache_.complete(key, payload);
+      } catch (const TimeoutError& e) {
+        flight->compute_end_ns = obs::monotonic_ns();
+        cache_.fail(key, std::string("deadline_exceeded: ") + e.what());
       } catch (const std::exception& e) {
         flight->compute_end_ns = obs::monotonic_ns();
         cache_.fail(key, e.what());
@@ -463,6 +674,10 @@ void Server::handle_line(Connection& conn, const std::string& line) {
 }
 
 void Server::writer_loop(Connection& conn) {
+  const int write_timeout_ms =
+      config_.write_timeout_s > 0.0
+          ? static_cast<int>(config_.write_timeout_s * 1e3)
+          : -1;
   bool peer_alive = true;
   for (;;) {
     Connection::PendingResponse next;
@@ -476,7 +691,22 @@ void Server::writer_loop(Connection& conn) {
     // Even when the peer vanished, keep draining futures so every compute
     // job's promise is consumed before the connection is reaped.
     const std::string response = next.response.get();
-    if (peer_alive && !conn.socket.send_all(response)) peer_alive = false;
+    if (peer_alive) {
+      const Socket::SendStatus sent =
+          conn.socket.send_all_deadline(response, write_timeout_ms);
+      if (sent != Socket::SendStatus::kOk) {
+        peer_alive = false;
+        if (sent == Socket::SendStatus::kTimeout) {
+          metrics().slow_client_disconnects.inc();
+          obs::LogEvent(obs::LogSeverity::kWarn, "serve.slow_client_disconnect")
+              .num("write_timeout_s", config_.write_timeout_s);
+        }
+        // Shut both directions (without closing: the reader thread still
+        // polls this fd) so the reader wakes with EOF instead of parsing
+        // more requests for a peer that stopped draining.
+        conn.socket.shutdown_both();
+      }
+    }
     if (next.flight) {
       // Single commit point: by here every other phase stamp happened
       // before the promise was fulfilled, so the record is complete and

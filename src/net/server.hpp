@@ -78,6 +78,32 @@ struct ServerConfig {
   double metrics_interval_s{0.0};
   std::string metrics_jsonl;
   obs::MetricsFlusher::SampleHook metrics_hook;
+  /// Mid-line stall bound: a connection whose request line stops making
+  /// byte progress for this long is closed (serve.read_timeouts).
+  /// <= 0 disables.
+  double read_timeout_s{30.0};
+  /// Idle bound between complete request lines; exceeded connections are
+  /// reaped (serve.idle_reaped).  <= 0 disables.
+  double idle_timeout_s{300.0};
+  /// Per-line byte cap.  An oversize line is answered with a typed
+  /// "too_large" error and the stream resynchronizes at the next '\n'.
+  /// 0 = unbounded.
+  std::size_t max_request_bytes{32ull << 20};
+  /// Per-connection response queue bound: once this many responses are
+  /// admitted but unwritten, the reader stops and the client is
+  /// disconnected after the admitted ones drain (serve.write_queue_overflow).
+  /// 0 = unbounded.
+  std::size_t max_write_queue{256};
+  /// Per-response write stall bound: a peer that accepts no bytes for this
+  /// long is disconnected (serve.slow_client_disconnects).  <= 0 disables.
+  double write_timeout_s{30.0};
+  /// Default wall-clock budget (ms) for requests carrying no
+  /// "deadline_ms" field; expired requests get a typed
+  /// "deadline_exceeded" error.  0 = none.
+  double default_deadline_ms{0.0};
+  /// Deterministic fault injection over the accepted sockets, the accept
+  /// loop and pool dispatch (util/faultinject.hpp).  nullptr = chaos off.
+  std::shared_ptr<FaultInjector> chaos;
 };
 
 class Server {
@@ -109,6 +135,10 @@ class Server {
   /// The flight recorder backing flightz (read access for tests).
   [[nodiscard]] const obs::FlightRecorder& flights() const { return flights_; }
 
+  /// The fault injector behind chaosz, nullptr when chaos is off (read
+  /// access for tests and harnesses).
+  [[nodiscard]] FaultInjector* chaos() const { return config_.chaos.get(); }
+
  private:
   struct Connection;
 
@@ -136,6 +166,12 @@ class Server {
   std::mutex scrape_mutex_;
   std::map<std::string, std::uint64_t> last_scrape_;
   std::uint64_t scrape_seq_{0};
+
+  /// healthz degradation window: counter snapshot at the previous healthz
+  /// (seeded at start()), diffed per scrape so "degraded" reflects the
+  /// interval, not all time.
+  std::mutex health_mutex_;
+  std::map<std::string, std::uint64_t> health_prev_;
 
   std::unique_ptr<ListenSocket> listener_;
   std::uint16_t port_{0};

@@ -40,6 +40,10 @@ const char* to_string(FlightOutcome outcome) {
       return "overloaded";
     case FlightOutcome::kInternalError:
       return "internal_error";
+    case FlightOutcome::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case FlightOutcome::kTooLarge:
+      return "too_large";
   }
   return "?";
 }

@@ -40,7 +40,9 @@ enum class FlightOutcome : std::uint8_t {
   kCoalesced = 2,    ///< single-flight join onto an in-flight leader
   kBadRequest = 3,   ///< malformed line, no computation
   kOverloaded = 4,   ///< shed at admission
-  kInternalError = 5 ///< the search threw
+  kInternalError = 5,///< the search threw
+  kDeadlineExceeded = 6, ///< the request's deadline_ms budget expired
+  kTooLarge = 7      ///< the request line exceeded max_request_bytes
 };
 
 [[nodiscard]] const char* to_string(FlightOutcome outcome);

@@ -1,0 +1,233 @@
+#include "util/faultinject.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace lamps {
+
+namespace {
+
+/// Distinct salt per site so the per-site streams are independent even
+/// though they share one seed.
+constexpr std::array<std::uint64_t, kNumFaultSites> kSiteSalt = {
+    0x73686f72745f7264ULL,  // "short_rd"
+    0x72645f7265736574ULL,  // "rd_reset"
+    0x73686f72745f7772ULL,  // "short_wr"
+    0x77725f7265736574ULL,  // "wr_reset"
+    0x746f726e5f777269ULL,  // "torn_wri"
+    0x61636370745f7374ULL,  // "accpt_st"
+    0x64697370745f646cULL,  // "dispt_dl"
+};
+
+constexpr double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool parse_double(std::string_view value, double& out) {
+  const std::string s(value);
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && !s.empty();
+}
+
+}  // namespace
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kShortRead:
+      return "short_read";
+    case FaultSite::kReadReset:
+      return "read_reset";
+    case FaultSite::kShortWrite:
+      return "short_write";
+    case FaultSite::kWriteReset:
+      return "write_reset";
+    case FaultSite::kTornWrite:
+      return "torn_write";
+    case FaultSite::kAcceptStall:
+      return "accept_stall";
+    case FaultSite::kDispatchDelay:
+      return "dispatch_delay";
+  }
+  return "?";
+}
+
+bool FaultSpec::any() const {
+  return short_read > 0.0 || read_reset > 0.0 || short_write > 0.0 ||
+         write_reset > 0.0 || torn_write > 0.0 || accept_stall > 0.0 ||
+         dispatch_delay > 0.0;
+}
+
+FaultSpec parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos)
+      throw InputError(ErrorCode::kConfig,
+                       "chaos spec item '" + std::string(item) + "' is not key=value",
+                       {}, "e.g. seed=42,short_read=0.2");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    double num = 0.0;
+    if (!parse_double(value, num))
+      throw InputError(ErrorCode::kConfig,
+                       "chaos spec value for '" + std::string(key) + "' is not a number",
+                       std::string(value));
+
+    const auto prob = [&](double* field) {
+      if (num < 0.0 || num > 1.0)
+        throw InputError(ErrorCode::kConfig,
+                         "chaos probability '" + std::string(key) + "' must be in [0, 1]");
+      *field = num;
+    };
+    const auto delay = [&](int* field) {
+      if (num < 0.0)
+        throw InputError(ErrorCode::kConfig,
+                         "chaos delay '" + std::string(key) + "' must be >= 0 ms");
+      *field = static_cast<int>(num);
+    };
+    if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(num);
+    } else if (key == "short_read") {
+      prob(&spec.short_read);
+    } else if (key == "read_reset") {
+      prob(&spec.read_reset);
+    } else if (key == "short_write") {
+      prob(&spec.short_write);
+    } else if (key == "write_reset") {
+      prob(&spec.write_reset);
+    } else if (key == "torn_write") {
+      prob(&spec.torn_write);
+    } else if (key == "accept_stall") {
+      prob(&spec.accept_stall);
+    } else if (key == "dispatch_delay") {
+      prob(&spec.dispatch_delay);
+    } else if (key == "accept_stall_ms") {
+      delay(&spec.accept_stall_ms);
+    } else if (key == "dispatch_delay_ms") {
+      delay(&spec.dispatch_delay_ms);
+    } else {
+      throw InputError(ErrorCode::kConfig,
+                       "unknown chaos spec key: '" + std::string(key) + "'", {},
+                       "valid: seed, short_read, read_reset, short_write, "
+                       "write_reset, torn_write, accept_stall, accept_stall_ms, "
+                       "dispatch_delay, dispatch_delay_ms");
+    }
+  }
+  return spec;
+}
+
+std::string to_string(const FaultSpec& spec) {
+  std::ostringstream os;
+  os << "seed=" << spec.seed;
+  const auto prob = [&](const char* key, double v) {
+    if (v > 0.0) os << ',' << key << '=' << v;
+  };
+  prob("short_read", spec.short_read);
+  prob("read_reset", spec.read_reset);
+  prob("short_write", spec.short_write);
+  prob("write_reset", spec.write_reset);
+  prob("torn_write", spec.torn_write);
+  if (spec.accept_stall > 0.0)
+    os << ",accept_stall=" << spec.accept_stall
+       << ",accept_stall_ms=" << spec.accept_stall_ms;
+  if (spec.dispatch_delay > 0.0)
+    os << ",dispatch_delay=" << spec.dispatch_delay
+       << ",dispatch_delay_ms=" << spec.dispatch_delay_ms;
+  return os.str();
+}
+
+bool FaultInjector::roll(FaultSite site, double p, std::uint64_t* draw) {
+  if (p <= 0.0) return false;
+  const auto idx = static_cast<std::size_t>(site);
+  const std::uint64_t n = seq_[idx].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = child_seed(spec_.seed ^ kSiteSalt[idx], n);
+  if (to_unit(h) >= p) return false;
+  hits_[idx].fetch_add(1, std::memory_order_relaxed);
+  // Re-mix so the sizing bits are independent of the accept threshold.
+  if (draw != nullptr) *draw = SplitMix64(h).next();
+  return true;
+}
+
+FaultInjector::ReadPlan FaultInjector::plan_read() {
+  ReadPlan plan;
+  if (roll(FaultSite::kReadReset, spec_.read_reset)) {
+    plan.reset = true;
+    return plan;
+  }
+  std::uint64_t draw = 0;
+  if (roll(FaultSite::kShortRead, spec_.short_read, &draw))
+    plan.max_bytes = 1 + static_cast<std::size_t>(draw % 7);
+  return plan;
+}
+
+FaultInjector::WritePlan FaultInjector::plan_write(std::size_t remaining) {
+  WritePlan plan;
+  if (roll(FaultSite::kWriteReset, spec_.write_reset)) {
+    plan.reset = true;
+    return plan;
+  }
+  std::uint64_t draw = 0;
+  if (roll(FaultSite::kShortWrite, spec_.short_write, &draw)) {
+    plan.chunk = 1 + static_cast<std::size_t>(draw % 7);
+    return plan;
+  }
+  if (roll(FaultSite::kTornWrite, spec_.torn_write, &draw)) {
+    // Tear the buffer roughly in half and stall before the fragment, so a
+    // peer reading this line sees it arrive in pieces with a gap between.
+    plan.chunk = std::max<std::size_t>(1, remaining / 2);
+    plan.pause_us = 200 + static_cast<int>(draw % 800);
+  }
+  return plan;
+}
+
+int FaultInjector::accept_stall_ms() {
+  return roll(FaultSite::kAcceptStall, spec_.accept_stall) ? spec_.accept_stall_ms : 0;
+}
+
+int FaultInjector::dispatch_delay_ms() {
+  return roll(FaultSite::kDispatchDelay, spec_.dispatch_delay) ? spec_.dispatch_delay_ms
+                                                               : 0;
+}
+
+std::uint64_t FaultInjector::decisions(FaultSite site) const {
+  return seq_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::injected(FaultSite site) const {
+  return hits_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const auto& h : hits_) total += h.load(std::memory_order_relaxed);
+  return total;
+}
+
+void FaultInjector::write_json(std::ostream& os) const {
+  os << "\"seed\":" << spec_.seed << ",\"spec\":\"" << to_string(spec_)
+     << "\",\"injected_total\":" << injected_total() << ",\"sites\":{";
+  const char* sep = "";
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    os << sep << '"' << to_string(site) << "\":{\"decisions\":" << decisions(site)
+       << ",\"injected\":" << injected(site) << '}';
+    sep = ",";
+  }
+  os << '}';
+}
+
+}  // namespace lamps

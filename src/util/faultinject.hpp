@@ -1,0 +1,133 @@
+// Deterministic, seeded fault injection for the serving plane.
+//
+// Chaos testing only works when a failure found at seed 42 can be
+// replayed at seed 42: every injection decision here is a pure function
+// of (seed, site, per-site operation index).  Each site keeps an atomic
+// operation counter; the n-th decision at a site hashes
+// (seed ^ site_salt, n) through the same SplitMix construction as
+// util::child_seed, so the schedule of which operations fault is fixed
+// per seed no matter how threads interleave (interleaving only changes
+// which connection draws which ticket, not the ticket sequence itself).
+//
+// Sites cover the failure surfaces the daemon must survive:
+//
+//   short_read       recv clamped to 1..7 bytes (fragmented/torn input)
+//   read_reset       recv fails as if the peer reset the connection
+//   short_write      send clamped to 1..7 bytes (partial-write retry path)
+//   write_reset      send fails as if the peer vanished (EPIPE)
+//   torn_write       a response goes out in two fragments with a pause
+//                    between them (slow-drain / torn-line output)
+//   accept_stall     the accept loop sleeps before taking a connection
+//   dispatch_delay   a pool worker sleeps before computing (queue aging,
+//                    deadline pressure)
+//
+// The injector is wired by pointer (Socket::set_fault_injector,
+// LineReader's constructor, net::ServerConfig::chaos) — never globally —
+// so chaos applies exactly to the sockets a harness opted in, and a
+// daemon without a spec carries zero overhead (one null check per hook).
+// `lamps serve --chaos-spec` / LAMPS_CHAOS enable it; the `chaosz` admin
+// verb reports the spec and per-site decision/injection counts live.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace lamps {
+
+/// One injection site == one independent deterministic decision stream.
+enum class FaultSite : int {
+  kShortRead = 0,
+  kReadReset,
+  kShortWrite,
+  kWriteReset,
+  kTornWrite,
+  kAcceptStall,
+  kDispatchDelay,
+};
+inline constexpr int kNumFaultSites = 7;
+
+[[nodiscard]] const char* to_string(FaultSite site);
+
+/// Parsed `--chaos-spec`: probabilities in [0, 1] per site plus the
+/// magnitudes of the time-shaped faults.  Defaults are all-off.
+struct FaultSpec {
+  std::uint64_t seed{1};
+  double short_read{0.0};
+  double read_reset{0.0};
+  double short_write{0.0};
+  double write_reset{0.0};
+  double torn_write{0.0};
+  double accept_stall{0.0};
+  double dispatch_delay{0.0};
+  int accept_stall_ms{20};
+  int dispatch_delay_ms{10};
+
+  /// True when any probability is positive (an all-zero spec injects
+  /// nothing and is treated as "chaos off").
+  [[nodiscard]] bool any() const;
+};
+
+/// Parses "seed=42,short_read=0.2,read_reset=0.05,..." (keys are the
+/// FaultSpec fields).  Throws InputError(kConfig) on unknown keys,
+/// unparsable values, probabilities outside [0, 1] or negative delays.
+[[nodiscard]] FaultSpec parse_fault_spec(const std::string& text);
+
+/// Canonical round-trippable rendering (only non-default fields, sorted
+/// field order; an empty spec renders as "seed=<seed>").
+[[nodiscard]] std::string to_string(const FaultSpec& spec);
+
+/// Thread-safe deterministic injector over a FaultSpec.  All state is a
+/// pair of atomic counters per site; decisions are lock-free.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec) : spec_(spec) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+  struct ReadPlan {
+    bool reset{false};
+    std::size_t max_bytes{static_cast<std::size_t>(-1)};
+  };
+  /// Decision for one recv call.
+  [[nodiscard]] ReadPlan plan_read();
+
+  struct WritePlan {
+    bool reset{false};
+    std::size_t chunk{static_cast<std::size_t>(-1)};  ///< clamp for this send
+    int pause_us{0};                                  ///< sleep before sending
+  };
+  /// Decision for one send call over `remaining` unsent bytes.
+  [[nodiscard]] WritePlan plan_write(std::size_t remaining);
+
+  /// Milliseconds to stall before accepting the next connection (0 = none).
+  [[nodiscard]] int accept_stall_ms();
+
+  /// Milliseconds to sleep before a pool worker computes (0 = none).
+  [[nodiscard]] int dispatch_delay_ms();
+
+  /// Total decisions drawn / faults injected at `site` so far.
+  [[nodiscard]] std::uint64_t decisions(FaultSite site) const;
+  [[nodiscard]] std::uint64_t injected(FaultSite site) const;
+  [[nodiscard]] std::uint64_t injected_total() const;
+
+  /// The chaosz payload fragment: {"seed":...,"spec":"...","sites":{...}}.
+  void write_json(std::ostream& os) const;
+
+ private:
+  /// Draws the next ticket for `site`; returns true (inject) with
+  /// probability `p`.  `*draw` receives independent uniform bits for
+  /// sizing the fault.
+  bool roll(FaultSite site, double p, std::uint64_t* draw = nullptr);
+
+  FaultSpec spec_;
+  std::array<std::atomic<std::uint64_t>, kNumFaultSites> seq_{};
+  std::array<std::atomic<std::uint64_t>, kNumFaultSites> hits_{};
+};
+
+}  // namespace lamps

@@ -1,10 +1,13 @@
 #include "util/socket.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -12,17 +15,20 @@
 #include <unistd.h>
 
 #include "util/errors.hpp"
+#include "util/faultinject.hpp"
 
 namespace lamps {
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), fault_(std::exchange(other.fault_, nullptr)) {}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    fault_ = std::exchange(other.fault_, nullptr);
   }
   return *this;
 }
@@ -34,25 +40,46 @@ void Socket::close() {
   }
 }
 
-bool Socket::send_all(std::string_view data) const {
+Socket::SendStatus Socket::send_all_deadline(std::string_view data,
+                                             int timeout_ms) const {
   const char* p = data.data();
   std::size_t left = data.size();
   while (left > 0) {
+    std::size_t chunk = left;
+    if (fault_ != nullptr) {
+      const FaultInjector::WritePlan plan = fault_->plan_write(left);
+      if (plan.reset) {
+        errno = EPIPE;
+        return SendStatus::kError;
+      }
+      chunk = std::min(left, plan.chunk);
+      if (plan.pause_us > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(plan.pause_us));
+    }
     // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not kill the
-    // daemon with SIGPIPE.
-    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    // daemon with SIGPIPE.  MSG_DONTWAIT + poll bounds how long a full
+    // peer receive window may stall us.
+    const ssize_t n = ::send(fd_, p, chunk, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!poll_writable(fd_, timeout_ms)) return SendStatus::kTimeout;
+        continue;
+      }
+      return SendStatus::kError;
     }
     p += n;
     left -= static_cast<std::size_t>(n);
   }
-  return true;
+  return SendStatus::kOk;
 }
 
 void Socket::shutdown_write() const {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::shutdown_both() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 ListenSocket::ListenSocket(std::uint16_t port, int backlog) {
@@ -90,22 +117,48 @@ std::optional<Socket> ListenSocket::accept() const {
   return Socket(fd);
 }
 
-Socket connect_tcp(std::uint16_t port, const std::string& host) {
+std::optional<Socket> try_connect_tcp(std::uint16_t port, const std::string& host,
+                                      int timeout_ms, std::string* error) {
+  const auto fail = [&](const std::string& what) -> std::optional<Socket> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw InternalError(ErrorCode::kIo, "cannot create socket");
+  if (fd < 0) return fail("cannot create socket");
   Socket sock(fd);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
-    throw InternalError(ErrorCode::kIo, "invalid IPv4 address", host);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
-    throw InternalError(ErrorCode::kIo,
-                        std::string("cannot connect: ") + std::strerror(errno),
-                        host + ":" + std::to_string(port));
+    return fail("invalid IPv4 address: " + host);
+
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (timeout_ms >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno == EINPROGRESS && timeout_ms >= 0) {
+    if (!poll_writable(fd, timeout_ms))
+      return fail("connect timed out after " + std::to_string(timeout_ms) + " ms");
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 || so_error != 0)
+      return fail(std::string("cannot connect: ") +
+                  std::strerror(so_error != 0 ? so_error : errno));
+    rc = 0;
+  }
+  if (rc != 0) return fail(std::string("cannot connect: ") + std::strerror(errno));
+  if (timeout_ms >= 0) ::fcntl(fd, F_SETFL, flags);  // back to blocking
+
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return sock;
+}
+
+Socket connect_tcp(std::uint16_t port, const std::string& host) {
+  std::string error;
+  std::optional<Socket> sock = try_connect_tcp(port, host, -1, &error);
+  if (!sock.has_value())
+    throw InternalError(ErrorCode::kIo, error, host + ":" + std::to_string(port));
+  return std::move(*sock);
 }
 
 unsigned poll_readable(int fd1, int fd2, int timeout_ms) {
@@ -121,35 +174,103 @@ unsigned poll_readable(int fd1, int fd2, int timeout_ms) {
   return mask;
 }
 
+bool poll_writable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLOUT, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc <= 0) return false;
+  return (pfd.revents & (POLLOUT | POLLHUP | POLLERR)) != 0;
+}
+
 bool LineReader::has_buffered_line() const {
   return buffer_.find('\n') != std::string::npos;
 }
 
-LineReader::Status LineReader::read_line(std::string& out) {
-  for (;;) {
-    const auto pos = buffer_.find('\n');
-    if (pos != std::string::npos) {
-      out.assign(buffer_, 0, pos);
+bool LineReader::has_partial_line() const {
+  return !buffer_.empty() && !has_buffered_line();
+}
+
+LineReader::Status LineReader::next_line(std::string& out) {
+  if (overflow_pending_) {
+    overflow_pending_ = false;
+    return Status::kOverflow;
+  }
+  const auto pos = buffer_.find('\n');
+  if (pos != std::string::npos) {
+    // A complete line can exceed the cap too (it may have arrived whole
+    // in one recv, never tripping fill()'s tail check).
+    if (max_line_bytes_ > 0 && pos > max_line_bytes_) {
       buffer_.erase(0, pos + 1);
-      return Status::kLine;
+      return Status::kOverflow;
     }
-    if (eof_) {
-      if (buffer_.empty()) return Status::kEof;
-      out = std::move(buffer_);  // final unterminated line
+    out.assign(buffer_, 0, pos);
+    buffer_.erase(0, pos + 1);
+    return Status::kLine;
+  }
+  if (eof_) {
+    if (buffer_.empty() || discarding_) return Status::kEof;
+    if (max_line_bytes_ > 0 && buffer_.size() > max_line_bytes_) {
       buffer_.clear();
-      return Status::kLine;
+      return Status::kOverflow;
     }
-    char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    out = std::move(buffer_);  // final unterminated line
+    buffer_.clear();
+    return Status::kLine;
+  }
+  return Status::kAgain;
+}
+
+LineReader::Status LineReader::fill() {
+  if (eof_) return Status::kEof;
+  char chunk[4096];
+  std::size_t want = sizeof chunk;
+  if (fault_ != nullptr) {
+    const FaultInjector::ReadPlan plan = fault_->plan_read();
+    if (plan.reset) {
+      errno = ECONNRESET;
+      return Status::kError;
+    }
+    want = std::min(want, plan.max_bytes);
+  }
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, want, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::kError;
     }
     if (n == 0) {
       eof_ = true;
-      continue;
+      return Status::kEof;
     }
-    buffer_.append(chunk, static_cast<std::size_t>(n));
+    if (discarding_) {
+      // Resynchronize: drop everything through the oversize line's '\n'.
+      const char* nl = static_cast<const char*>(
+          std::memchr(chunk, '\n', static_cast<std::size_t>(n)));
+      if (nl != nullptr) {
+        discarding_ = false;
+        buffer_.append(nl + 1, static_cast<std::size_t>(chunk + n - (nl + 1)));
+      }
+    } else {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    // The cap applies to an unterminated tail only — complete lines are
+    // already poppable and callers drain them before filling again.
+    if (max_line_bytes_ > 0 && !discarding_ && buffer_.size() > max_line_bytes_ &&
+        !has_buffered_line()) {
+      buffer_.clear();
+      discarding_ = true;
+      overflow_pending_ = true;
+    }
+    return Status::kAgain;
+  }
+}
+
+LineReader::Status LineReader::read_line(std::string& out) {
+  for (;;) {
+    const Status popped = next_line(out);
+    if (popped != Status::kAgain) return popped;
+    const Status filled = fill();
+    if (filled == Status::kError) return filled;
+    // kEof loops once more so next_line can flush the final line.
   }
 }
 

@@ -5,6 +5,15 @@
 // JSON-lines protocol needs and nothing more.  Readiness multiplexing
 // (accept loops, drain wake-ups) goes through poll_readable so callers
 // can mix a socket with a signal self-pipe.
+//
+// Robustness hooks (all opt-in, zero cost when unused):
+//   - send_all_deadline bounds how long a write may stall on a slow peer;
+//   - try_connect_tcp bounds the connect handshake;
+//   - LineReader can cap the per-line buffer (oversize lines surface as
+//     Status::kOverflow and the stream resynchronizes at the next '\n');
+//   - a FaultInjector attached to a Socket/LineReader injects short
+//     reads/writes, resets and torn writes on a deterministic per-seed
+//     schedule (util/faultinject.hpp) for chaos testing.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +22,8 @@
 #include <string_view>
 
 namespace lamps {
+
+class FaultInjector;  // util/faultinject.hpp
 
 /// Move-only owner of a connected socket (or any) file descriptor.
 class Socket {
@@ -29,18 +40,39 @@ class Socket {
   [[nodiscard]] bool valid() const { return fd_ >= 0; }
   [[nodiscard]] int fd() const { return fd_; }
 
-  /// Writes the whole buffer (retrying partial writes / EINTR).  Returns
-  /// false once the peer is gone (EPIPE/ECONNRESET) or on any other error.
-  bool send_all(std::string_view data) const;
+  /// Attaches a fault injector to the write path (nullptr detaches).  The
+  /// injector must outlive the socket's sends.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+
+  enum class SendStatus { kOk, kTimeout, kError };
+
+  /// Writes the whole buffer (retrying partial writes / EINTR), giving up
+  /// once the peer's receive window stalls progress for `timeout_ms`
+  /// (-1 = never; the stall clock resets on every successful chunk).
+  /// kError once the peer is gone (EPIPE/ECONNRESET) or on any other
+  /// failure.
+  [[nodiscard]] SendStatus send_all_deadline(std::string_view data,
+                                             int timeout_ms) const;
+
+  /// send_all_deadline without a stall bound.  Returns false on error.
+  bool send_all(std::string_view data) const {
+    return send_all_deadline(data, -1) == SendStatus::kOk;
+  }
 
   /// Half-closes the write side so the peer sees EOF after the last
   /// response while we can still drain its final bytes.
   void shutdown_write() const;
 
+  /// Full shutdown (both directions) without closing the fd: safe to call
+  /// while another thread polls this socket — its poll wakes with EOF and
+  /// the fd number cannot be reused underneath it.
+  void shutdown_both() const;
+
   void close();
 
  private:
   int fd_{-1};
+  FaultInjector* fault_{nullptr};
 };
 
 /// Listening IPv4 TCP socket.  `port == 0` binds an ephemeral port;
@@ -65,6 +97,14 @@ class ListenSocket {
   std::uint16_t port_{0};
 };
 
+/// Connects to `host`:`port` with a handshake bound of `timeout_ms`
+/// (-1 = kernel default).  Returns nullopt on failure or timeout; when
+/// `error` is non-null it receives a description.  Never throws.
+[[nodiscard]] std::optional<Socket> try_connect_tcp(std::uint16_t port,
+                                                    const std::string& host = "127.0.0.1",
+                                                    int timeout_ms = -1,
+                                                    std::string* error = nullptr);
+
 /// Connects to 127.0.0.1:`port` (or `host` when given).  Throws
 /// InternalError(kIo) on failure.
 [[nodiscard]] Socket connect_tcp(std::uint16_t port, const std::string& host = "127.0.0.1");
@@ -74,25 +114,65 @@ class ListenSocket {
 /// `timeout_ms < 0` blocks indefinitely.  EINTR reports as timeout.
 [[nodiscard]] unsigned poll_readable(int fd1, int fd2, int timeout_ms);
 
+/// poll(2) for writability on one fd.  True when writable (or the peer
+/// hung up — the next send surfaces the error); false on timeout/EINTR.
+[[nodiscard]] bool poll_writable(int fd, int timeout_ms);
+
 /// Buffered newline-delimited reader over a socket fd (does not own it).
+///
+/// Two usage styles:
+///   - read_line(): blocks until one full line is available (clients);
+///   - next_line() + fill(): incremental, never blocks beyond one recv
+///     that the caller polled for (the server's reader loop, which
+///     interleaves timeout accounting between fills).
 class LineReader {
  public:
-  explicit LineReader(int fd) : fd_(fd) {}
+  /// `max_line_bytes` caps the unterminated tail the reader buffers; a
+  /// line exceeding it is discarded through its terminating '\n' and
+  /// reported once as Status::kOverflow (0 = unbounded).  `fault` injects
+  /// read-side chaos (nullptr = none; must outlive the reader).
+  explicit LineReader(int fd, std::size_t max_line_bytes = 0,
+                      FaultInjector* fault = nullptr)
+      : fd_(fd), max_line_bytes_(max_line_bytes), fault_(fault) {}
 
-  enum class Status { kLine, kEof, kError };
+  enum class Status {
+    kLine,      ///< one complete line in `out` (trailing '\n' stripped)
+    kEof,       ///< stream ended, nothing buffered
+    kError,     ///< recv failed (including injected resets)
+    kAgain,     ///< no complete line buffered yet — fill() for more
+    kOverflow,  ///< an oversize line was discarded (stream resynced)
+  };
 
-  /// Blocks until one full line is available (the trailing '\n' is
-  /// stripped).  kEof after the final, possibly unterminated, line.
+  /// Blocks until one full line is available.  kEof after the final,
+  /// possibly unterminated, line; kOverflow surfaces oversize lines.
   Status read_line(std::string& out);
+
+  /// Non-blocking: pops a buffered line (or the final unterminated line
+  /// once EOF was seen, or a pending kOverflow report).  kAgain when more
+  /// bytes are needed, kEof at end of stream.
+  Status next_line(std::string& out);
+
+  /// One recv into the buffer (the caller polls for readability first,
+  /// so this blocks at most for one ready read).  kAgain = bytes
+  /// buffered, kEof = peer half-closed, kError = failure/injected reset.
+  Status fill();
 
   /// True when a complete buffered line can be returned without touching
   /// the socket.
   [[nodiscard]] bool has_buffered_line() const;
 
+  /// True while an incomplete (not yet terminated) line sits in the
+  /// buffer — the condition a read timeout judges.
+  [[nodiscard]] bool has_partial_line() const;
+
  private:
   int fd_;
+  std::size_t max_line_bytes_;
+  FaultInjector* fault_;
   std::string buffer_;
   bool eof_{false};
+  bool overflow_pending_{false};
+  bool discarding_{false};
 };
 
 }  // namespace lamps

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -48,6 +49,7 @@
 #include "stg/structured.hpp"
 #include "util/cli.hpp"
 #include "util/errors.hpp"
+#include "util/faultinject.hpp"
 #include "util/obs_cli.hpp"
 #include "util/rng.hpp"
 #include "util/signal.hpp"
@@ -487,6 +489,13 @@ int cmd_serve(int argc, const char* const* argv) {
   double metrics_interval = 0.0;
   std::string metrics_jsonl;
   double max_runtime_s = 0.0;
+  double read_timeout_ms = 30'000.0;
+  double idle_timeout_s = 300.0;
+  std::size_t max_request_bytes = 32ull << 20;
+  std::size_t max_write_queue = 256;
+  double write_timeout_ms = 30'000.0;
+  double default_deadline_ms = 0.0;
+  std::string chaos_spec;
   ObsOptions oo;
   CliParser cli(
       "Run the scheduling daemon: JSON-lines requests over TCP, answered "
@@ -516,6 +525,28 @@ int cmd_serve(int argc, const char* const* argv) {
   cli.add_option("max-runtime-s",
                  "self-drain after this many seconds, 0 = run until signalled "
                  "(CI smoke harnesses)", &max_runtime_s);
+  cli.add_option("read-timeout-ms",
+                 "close connections whose request line stalls mid-line this "
+                 "long, 0 = off", &read_timeout_ms);
+  cli.add_option("idle-timeout-s",
+                 "reap connections idle (no complete line) this long, 0 = off",
+                 &idle_timeout_s);
+  cli.add_option("max-request-bytes",
+                 "per-line byte cap; oversize lines get a typed \"too_large\" "
+                 "error, 0 = unbounded", &max_request_bytes);
+  cli.add_option("max-write-queue",
+                 "per-connection admitted-but-unwritten response bound before "
+                 "disconnect, 0 = unbounded", &max_write_queue);
+  cli.add_option("write-timeout-ms",
+                 "disconnect peers that accept no response bytes for this "
+                 "long, 0 = off", &write_timeout_ms);
+  cli.add_option("default-deadline-ms",
+                 "wall-clock budget for requests without \"deadline_ms\", "
+                 "0 = none", &default_deadline_ms);
+  cli.add_option("chaos-spec",
+                 "deterministic fault injection, e.g. "
+                 "\"seed=42,short_read=0.3,write_reset=0.05\" (falls back to "
+                 "the LAMPS_CHAOS env var; docs/serving.md)", &chaos_spec);
   oo.register_flags(cli);
   if (!cli.parse(argc, argv, std::cerr)) return 1;
   if (port > 65535) {
@@ -535,6 +566,18 @@ int cmd_serve(int argc, const char* const* argv) {
     cfg.slow_request_s = slow_ms / 1e3;
     cfg.metrics_interval_s = metrics_interval;
     cfg.metrics_jsonl = metrics_jsonl;
+    cfg.read_timeout_s = read_timeout_ms / 1e3;
+    cfg.idle_timeout_s = idle_timeout_s;
+    cfg.max_request_bytes = max_request_bytes;
+    cfg.max_write_queue = max_write_queue;
+    cfg.write_timeout_s = write_timeout_ms / 1e3;
+    cfg.default_deadline_ms = default_deadline_ms;
+    if (chaos_spec.empty()) {
+      if (const char* env = std::getenv("LAMPS_CHAOS"); env != nullptr)
+        chaos_spec = env;
+    }
+    if (!chaos_spec.empty())
+      cfg.chaos = std::make_shared<FaultInjector>(parse_fault_spec(chaos_spec));
     net::Server server(cfg);
     server.start();
     // Scripted callers parse this line for the ephemeral port.

@@ -9,10 +9,20 @@
 // core::run_service_request call on the identical request — the serve
 // path's bit-exactness contract.
 //
+// The closed-loop client is a well-behaved retrying client: bounded
+// connect timeouts, reconnects on transport failures, and exponential
+// backoff + jitter on retryable typed errors (overloaded /
+// deadline_exceeded / draining).  Eventual success is reported separately
+// from first-try success, which is what the chaos soak (CI) gates on: a
+// daemon under seeded fault injection must still answer ≥ 99 % of
+// requests byte-identically once clients retry.
+//
 // By default it self-hosts a net::Server on an ephemeral loopback port so
 // a single binary benchmarks the full TCP round trip; --port targets an
-// already-running daemon instead.  A JSON report (--json-out, e.g.
-// results/BENCH_serve.json) captures the run for CI trending.
+// already-running daemon instead (probed with bounded retries first — a
+// dead daemon is a clean E_IO exit, not a hang).  A JSON report
+// (--json-out, e.g. results/BENCH_serve.json) captures the run for CI
+// trending.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -21,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -34,7 +45,9 @@
 #include "stg/random_gen.hpp"
 #include "util/cli.hpp"
 #include "util/errors.hpp"
+#include "util/faultinject.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 #include "util/socket.hpp"
 
 namespace {
@@ -53,9 +66,24 @@ struct ConnStats {
   /// parallel to latencies_s; the per-second timeline buckets on this.
   std::vector<double> completed_at_s;
   std::size_t ok{0};
+  std::size_t first_try_ok{0};
+  std::size_t retried_ok{0};
   std::size_t cached{0};
-  std::size_t errors{0};
+  std::size_t errors{0};      ///< permanent typed errors (bad_request, internal)
+  std::size_t gave_up{0};     ///< retry budget exhausted
+  std::size_t retries_total{0};
+  std::size_t reconnects{0};
   std::size_t mismatches{0};
+};
+
+/// Retry/transport knobs of the closed-loop client.
+struct RetryOptions {
+  int connect_timeout_ms{2000};
+  std::size_t connect_retries{5};
+  double backoff_ms{25.0};     ///< base; attempt k sleeps base * 2^k + jitter
+  std::size_t retries{4};      ///< extra attempts per request
+  int response_timeout_ms{30'000};
+  std::uint64_t seed{1};       ///< jitter stream master seed
 };
 
 double quantile(std::vector<double>& sorted, double q) {
@@ -66,12 +94,148 @@ double quantile(std::vector<double>& sorted, double q) {
   return sorted[idx];
 }
 
-/// One client connection: sends its request sequence (paced when
-/// `interval_s > 0`, pipelined open-loop; otherwise closed-loop) and
-/// validates the in-order responses.
-void run_connection(std::uint16_t port, const std::vector<RequestSpec>& corpus,
-                    std::size_t first, std::size_t count, bool check,
-                    double interval_s, Clock::time_point run_t0, ConnStats& stats) {
+void backoff_sleep(Rng& rng, double base_ms, std::size_t attempt) {
+  // Full jitter on top of the exponential term: retrying clients must not
+  // re-converge on the daemon in lockstep after a shared overload event.
+  const double exp_ms = base_ms * static_cast<double>(std::uint64_t{1} << std::min<std::size_t>(attempt, 10));
+  const double sleep_ms = exp_ms + rng.uniform_real(0.0, exp_ms);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(sleep_ms));
+}
+
+enum class RecvResult { kOk, kTimeout, kClosed };
+
+/// Reads one response line with a wall-clock bound (-1 = none).  kClosed
+/// covers EOF and transport errors (including server-injected resets).
+RecvResult recv_line(LineReader& reader, int fd, int timeout_ms, std::string& out) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    // Only newline-terminated lines count as responses.  The server always
+    // terminates what it sends, so a fragment followed by EOF is a torn
+    // response from a dying connection — it must surface as a transport
+    // failure (retry), never as data (LineReader's final-line flush would
+    // otherwise hand us a truncated payload that can even carry "ok":true).
+    if (reader.has_buffered_line()) {
+      const LineReader::Status status = reader.next_line(out);
+      if (status == LineReader::Status::kLine) return RecvResult::kOk;
+      if (status != LineReader::Status::kAgain) return RecvResult::kClosed;
+      continue;
+    }
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) return RecvResult::kTimeout;
+      wait_ms = static_cast<int>(left.count());
+    }
+    if ((poll_readable(fd, -1, wait_ms) & 1u) == 0) {
+      if (timeout_ms >= 0 && Clock::now() >= deadline) return RecvResult::kTimeout;
+      continue;  // EINTR
+    }
+    const LineReader::Status filled = reader.fill();
+    // kEof here means the buffer holds no complete line (checked above):
+    // whatever remains is an unterminated fragment, i.e. a torn response.
+    if (filled != LineReader::Status::kAgain) return RecvResult::kClosed;
+  }
+}
+
+bool is_retryable_error(const std::string& response) {
+  return response.find("\"error\":\"overloaded\"") != std::string::npos ||
+         response.find("\"error\":\"deadline_exceeded\"") != std::string::npos ||
+         response.find("\"error\":\"draining\"") != std::string::npos;
+}
+
+/// Closed-loop retrying client: one request in flight, transport failures
+/// reconnect, retryable typed errors back off and resend.  Latency is
+/// measured per successful attempt (service latency, not retry queueing).
+void run_connection_closed(std::uint16_t port, const std::vector<RequestSpec>& corpus,
+                           std::size_t first, std::size_t count, bool check,
+                           const RetryOptions& opts, Clock::time_point run_t0,
+                           ConnStats& stats) {
+  Rng rng = child_rng(opts.seed, first + 1);
+  std::optional<Socket> sock;
+  std::optional<LineReader> reader;
+  std::string response;
+  bool ever_connected = false;
+
+  const auto ensure_connected = [&]() -> bool {
+    if (sock.has_value()) return true;
+    std::string error;
+    for (std::size_t a = 0;; ++a) {
+      sock = try_connect_tcp(port, "127.0.0.1", opts.connect_timeout_ms, &error);
+      if (sock.has_value()) {
+        reader.emplace(sock->fd());
+        if (ever_connected) ++stats.reconnects;
+        ever_connected = true;
+        return true;
+      }
+      if (a + 1 >= opts.connect_retries) return false;
+      backoff_sleep(rng, opts.backoff_ms, a);
+    }
+  };
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const RequestSpec& spec = corpus[(first + i) % corpus.size()];
+    bool done = false;
+    for (std::size_t attempt = 0; attempt <= opts.retries; ++attempt) {
+      const auto retry_or_break = [&]() -> bool {  // true = another attempt follows
+        if (attempt >= opts.retries) return false;
+        ++stats.retries_total;
+        backoff_sleep(rng, opts.backoff_ms, attempt);
+        return true;
+      };
+      if (!ensure_connected()) {
+        // The daemon is unreachable; everything left would just burn the
+        // connect budget again per request.
+        stats.gave_up += count - i;
+        return;
+      }
+      const auto sent_at = Clock::now();
+      bool transport_ok = sock->send_all(spec.line);
+      if (transport_ok) {
+        transport_ok = recv_line(*reader, sock->fd(), opts.response_timeout_ms,
+                                 response) == RecvResult::kOk;
+      }
+      if (!transport_ok) {
+        sock.reset();
+        reader.reset();
+        if (retry_or_break()) continue;
+        break;
+      }
+      const auto now = Clock::now();
+      if (response.find("\"ok\":true") != std::string::npos) {
+        stats.latencies_s.push_back(
+            std::chrono::duration<double>(now - sent_at).count());
+        stats.completed_at_s.push_back(
+            std::chrono::duration<double>(now - run_t0).count());
+        ++stats.ok;
+        if (attempt == 0)
+          ++stats.first_try_ok;
+        else
+          ++stats.retried_ok;
+        if (response.find("\"cached\":true") != std::string::npos) ++stats.cached;
+        if (check && net::extract_result_json(response) != spec.expected)
+          ++stats.mismatches;
+        done = true;
+        break;
+      }
+      if (is_retryable_error(response)) {
+        if (retry_or_break()) continue;
+        break;
+      }
+      ++stats.errors;  // bad_request / too_large / internal: retrying won't help
+      done = true;
+      break;
+    }
+    if (!done) ++stats.gave_up;
+  }
+}
+
+/// Open-loop (--rate) legacy client: pipelined sends on a fixed schedule,
+/// no retries — measures what the daemon does under a fixed offered load.
+void run_connection_open(std::uint16_t port, const std::vector<RequestSpec>& corpus,
+                         std::size_t first, std::size_t count, bool check,
+                         double interval_s, Clock::time_point run_t0,
+                         ConnStats& stats) {
   const Socket sock = connect_tcp(port);
   LineReader reader(sock.fd());
   std::vector<Clock::time_point> send_times(count);
@@ -95,6 +259,7 @@ void run_connection(std::uint16_t port, const std::vector<RequestSpec>& corpus,
       return true;
     }
     ++stats.ok;
+    ++stats.first_try_ok;
     if (response.find("\"cached\":true") != std::string::npos) ++stats.cached;
     if (check &&
         net::extract_result_json(response) != corpus[(first + i) % corpus.size()].expected)
@@ -104,13 +269,11 @@ void run_connection(std::uint16_t port, const std::vector<RequestSpec>& corpus,
 
   bool alive = true;
   while (sent < count && alive) {
-    if (interval_s > 0.0) {
-      // Open-loop: hold the schedule even when responses lag behind.
-      const auto due = t0 + std::chrono::duration_cast<Clock::duration>(
-                                std::chrono::duration<double>(
-                                    static_cast<double>(sent) * interval_s));
-      std::this_thread::sleep_until(due);
-    }
+    // Open-loop: hold the schedule even when responses lag behind.
+    const auto due = t0 + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  static_cast<double>(sent) * interval_s));
+    std::this_thread::sleep_until(due);
     send_times[sent] = Clock::now();
     if (!sock.send_all(corpus[(first + sent) % corpus.size()].line)) {
       stats.errors += count - sent;
@@ -118,14 +281,6 @@ void run_connection(std::uint16_t port, const std::vector<RequestSpec>& corpus,
       break;
     }
     ++sent;
-    if (interval_s <= 0.0) {  // closed-loop: one in flight per connection
-      if (!consume_response(received)) {
-        stats.errors += sent - received - 1;
-        alive = false;
-        break;
-      }
-      ++received;
-    }
   }
   while (alive && received < sent) {
     if (!consume_response(received)) {
@@ -150,10 +305,18 @@ int main(int argc, char** argv) {
   bool no_check = false;
   bool serve_telemetry = false;
   std::string json_out;
+  double connect_timeout_ms = 2000.0;
+  std::size_t connect_retries = 5;
+  double retry_backoff_ms = 25.0;
+  std::size_t retries = 4;
+  double response_timeout_ms = 30'000.0;
+  double request_deadline_ms = 0.0;
+  std::size_t jitter_seed = 1;
+  std::string chaos_spec;
   CliParser cli(
       "Concurrent load generator for `lamps serve`: random-STG corpus, "
-      "latency histogram, throughput, and a bit-exactness check against "
-      "direct in-process scheduling");
+      "latency histogram, throughput, a retrying closed-loop client, and a "
+      "bit-exactness check against direct in-process scheduling");
   cli.add_option("port", "target daemon port; 0 self-hosts a server in-process", &port);
   cli.add_option("connections", "parallel client connections", &connections);
   cli.add_option("requests", "total requests across all connections", &requests);
@@ -172,15 +335,58 @@ int main(int argc, char** argv) {
                "metrics_timeline, flight recorder, slow-request promotion)",
                &serve_telemetry);
   cli.add_option("json-out", "write the benchmark report JSON here", &json_out);
+  cli.add_option("connect-timeout-ms", "TCP connect handshake bound", &connect_timeout_ms);
+  cli.add_option("connect-retries",
+                 "connection attempts (startup probe and reconnects) before "
+                 "giving up", &connect_retries);
+  cli.add_option("retry-backoff-ms",
+                 "base retry backoff; attempt k sleeps base * 2^k + jitter",
+                 &retry_backoff_ms);
+  cli.add_option("retries",
+                 "extra attempts per request on retryable errors "
+                 "(overloaded / deadline_exceeded / transport), closed-loop only",
+                 &retries);
+  cli.add_option("response-timeout-ms",
+                 "per-response wait bound in the closed-loop client, 0 = none",
+                 &response_timeout_ms);
+  cli.add_option("request-deadline-ms",
+                 "attach this \"deadline_ms\" budget to every request, 0 = none",
+                 &request_deadline_ms);
+  cli.add_option("jitter-seed", "master seed of the deterministic backoff jitter",
+                 &jitter_seed);
+  cli.add_option("chaos-spec",
+                 "self-hosted server fault-injection spec, e.g. "
+                 "\"seed=3,short_read=0.3,write_reset=0.05\" (docs/serving.md)",
+                 &chaos_spec);
   if (!cli.parse(argc, argv, std::cerr)) return 1;
   if (connections == 0 || requests == 0 || corpus_size == 0) {
     std::cerr << "connections, requests and corpus must be >= 1\n";
     return 1;
   }
+  if (connect_retries == 0) connect_retries = 1;
 
   try {
     const power::PowerModel model;
     const power::DvsLadder ladder(model);
+
+    // A dead daemon must be a clean failure, not a hang: probe the target
+    // with bounded connects before doing any expensive corpus work.
+    if (port != 0) {
+      std::string probe_error;
+      std::optional<Socket> probe;
+      Rng probe_rng = child_rng(jitter_seed, 0);
+      for (std::size_t a = 0; a < connect_retries && !probe; ++a) {
+        if (a > 0) backoff_sleep(probe_rng, retry_backoff_ms, a - 1);
+        probe = try_connect_tcp(static_cast<std::uint16_t>(port), "127.0.0.1",
+                                static_cast<int>(connect_timeout_ms), &probe_error);
+      }
+      if (!probe) {
+        std::cerr << "error: no daemon reachable on 127.0.0.1:" << port << " ("
+                  << probe_error << " after " << connect_retries
+                  << " attempts); is `lamps serve` running?\n";
+        return exit_code_for(ErrorCode::kIo);
+      }
+    }
 
     // Corpus: every (graph, strategy) pair is prepared once — the JSON
     // line the clients send and the expected result payload computed
@@ -202,7 +408,10 @@ int main(int argc, char** argv) {
       write_json_string(line, stg_text.str());
       line << ",\"strategy\":";
       write_json_string(line, core::to_string(strategy));
-      line << ",\"deadline_factor\":" << json_double(deadline_factor) << "}\n";
+      line << ",\"deadline_factor\":" << json_double(deadline_factor);
+      if (request_deadline_ms > 0.0)
+        line << ",\"deadline_ms\":" << json_double(request_deadline_ms);
+      line << "}\n";
 
       RequestSpec rs;
       rs.line = line.str();
@@ -230,12 +439,28 @@ int main(int argc, char** argv) {
           metric_samples.push_back(line);
         };
       }
+      if (!chaos_spec.empty())
+        cfg.chaos = std::make_shared<FaultInjector>(parse_fault_spec(chaos_spec));
       self_hosted = std::make_unique<net::Server>(cfg);
       self_hosted->start();
       target_port = self_hosted->port();
       std::cerr << "self-hosted lamps serve on 127.0.0.1:" << target_port
-                << (serve_telemetry ? " (telemetry on)" : "") << '\n';
+                << (serve_telemetry ? " (telemetry on)" : "")
+                << (cfg.chaos ? " (chaos on)" : "") << '\n';
+    } else if (!chaos_spec.empty()) {
+      std::cerr << "--chaos-spec only applies to the self-hosted server "
+                   "(--port 0); pass it to `lamps serve` instead\n";
+      return 1;
     }
+
+    RetryOptions ropts;
+    ropts.connect_timeout_ms = static_cast<int>(connect_timeout_ms);
+    ropts.connect_retries = connect_retries;
+    ropts.backoff_ms = retry_backoff_ms;
+    ropts.retries = retries;
+    ropts.response_timeout_ms =
+        response_timeout_ms > 0.0 ? static_cast<int>(response_timeout_ms) : -1;
+    ropts.seed = jitter_seed;
 
     const double interval_s = rate > 0.0 ? 1.0 / rate : 0.0;
     const std::size_t per_conn = (requests + connections - 1) / connections;
@@ -248,8 +473,12 @@ int main(int argc, char** argv) {
       const std::size_t count = std::min(per_conn, requests - std::min(requests, begin));
       if (count == 0) break;
       clients.emplace_back([&, c, begin, count] {
-        run_connection(target_port, corpus, begin, count, !no_check, interval_s, t0,
-                       stats[c]);
+        if (interval_s > 0.0)
+          run_connection_open(target_port, corpus, begin, count, !no_check,
+                              interval_s, t0, stats[c]);
+        else
+          run_connection_closed(target_port, corpus, begin, count, !no_check,
+                                ropts, t0, stats[c]);
       });
     }
     for (auto& t : clients) t.join();
@@ -257,19 +486,27 @@ int main(int argc, char** argv) {
 
     std::uint64_t singleflight = 0;
     std::uint64_t cache_hits = 0;
+    std::uint64_t chaos_injected = 0;
     if (self_hosted) {
       self_hosted->request_drain();
       self_hosted->wait();
       singleflight = obs::Registry::global().counter_value("serve.singleflight_hits");
       cache_hits = obs::Registry::global().counter_value("serve.cache_hits");
+      if (self_hosted->chaos() != nullptr)
+        chaos_injected = self_hosted->chaos()->injected_total();
       self_hosted.reset();
     }
 
     ConnStats total;
     for (const auto& s : stats) {
       total.ok += s.ok;
+      total.first_try_ok += s.first_try_ok;
+      total.retried_ok += s.retried_ok;
       total.cached += s.cached;
       total.errors += s.errors;
+      total.gave_up += s.gave_up;
+      total.retries_total += s.retries_total;
+      total.reconnects += s.reconnects;
       total.mismatches += s.mismatches;
       total.latencies_s.insert(total.latencies_s.end(), s.latencies_s.begin(),
                                s.latencies_s.end());
@@ -292,13 +529,19 @@ int main(int argc, char** argv) {
             : sum / static_cast<double>(total.latencies_s.size());
     const double throughput =
         elapsed_s > 0.0 ? static_cast<double>(total.ok) / elapsed_s : 0.0;
+    const double denom = requests > 0 ? static_cast<double>(requests) : 1.0;
 
     std::cout << "requests: " << requests << " over " << clients.size()
               << " connections (" << (interval_s > 0.0 ? "open" : "closed")
               << "-loop)\n"
               << "ok: " << total.ok << "  cached: " << total.cached
-              << "  errors: " << total.errors << "  mismatches: " << total.mismatches
-              << '\n'
+              << "  errors: " << total.errors << "  gave_up: " << total.gave_up
+              << "  mismatches: " << total.mismatches << '\n'
+              << "eventual success: " << (static_cast<double>(total.ok) / denom) * 1e2
+              << "%  first-try: "
+              << (static_cast<double>(total.first_try_ok) / denom) * 1e2
+              << "%  retries: " << total.retries_total
+              << "  reconnects: " << total.reconnects << '\n'
               << "throughput: " << throughput << " req/s  elapsed: " << elapsed_s
               << " s\n"
               << "latency ms  mean " << mean_s * 1e3 << "  p50 "
@@ -307,9 +550,13 @@ int main(int argc, char** argv) {
               << quantile(total.latencies_s, 0.99) * 1e3 << "  max "
               << (total.latencies_s.empty() ? 0.0 : total.latencies_s.back()) * 1e3
               << '\n';
-    if (self_hosted != nullptr || port == 0)
+    if (self_hosted != nullptr || port == 0) {
       std::cout << "server: cache_hits " << cache_hits << "  singleflight_hits "
-                << singleflight << '\n';
+                << singleflight;
+      if (!chaos_spec.empty())
+        std::cout << "  chaos_injected " << chaos_injected;
+      std::cout << '\n';
+    }
 
     if (!json_out.empty()) {
       std::ofstream os(json_out);
@@ -325,11 +572,20 @@ int main(int argc, char** argv) {
          << "  \"tasks_per_graph\": " << tasks << ",\n"
          << "  \"mode\": \"" << (interval_s > 0.0 ? "open" : "closed") << "-loop\",\n"
          << "  \"ok\": " << total.ok << ",\n"
+         << "  \"first_try_ok\": " << total.first_try_ok << ",\n"
+         << "  \"retried_ok\": " << total.retried_ok << ",\n"
          << "  \"cached\": " << total.cached << ",\n"
          << "  \"errors\": " << total.errors << ",\n"
+         << "  \"gave_up\": " << total.gave_up << ",\n"
+         << "  \"retries\": " << total.retries_total << ",\n"
+         << "  \"reconnects\": " << total.reconnects << ",\n"
          << "  \"check_mismatches\": " << total.mismatches << ",\n"
          << "  \"cache_hits\": " << cache_hits << ",\n"
          << "  \"singleflight_hits\": " << singleflight << ",\n"
+         << "  \"chaos_spec\": ";
+      write_json_string(os, chaos_spec);
+      os << ",\n"
+         << "  \"chaos_injected\": " << chaos_injected << ",\n"
          << "  \"elapsed_s\": " << json_double(elapsed_s) << ",\n"
          << "  \"throughput_rps\": " << json_double(throughput) << ",\n"
          << "  \"latency_ms\": {\n"
@@ -369,7 +625,7 @@ int main(int argc, char** argv) {
       std::cerr << "wrote " << json_out << '\n';
     }
 
-    if (total.mismatches > 0 || total.errors > 0) return 3;
+    if (total.mismatches > 0 || total.errors > 0 || total.gave_up > 0) return 3;
     return 0;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';
