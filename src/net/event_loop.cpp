@@ -1,0 +1,270 @@
+#include "net/event_loop.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/errors.hpp"
+
+namespace lamps::net {
+
+namespace {
+
+// Loop health counters (docs/observability.md).  Process-global like the
+// rest of the serve.* family; a daemon hosts one loop.
+struct LoopMetrics {
+  obs::Counter& wakeups = obs::counter("serve.loop_wakeups");
+  obs::Counter& fd_events = obs::counter("serve.loop_fd_events");
+  obs::Counter& tasks = obs::counter("serve.loop_tasks");
+  obs::Counter& timers_fired = obs::counter("serve.loop_timers_fired");
+};
+
+LoopMetrics& loop_metrics() {
+  static LoopMetrics m;
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TimerWheel
+
+TimerWheel::TimerWheel(std::int64_t tick_ns, std::size_t slots)
+    : tick_ns_(tick_ns), slots_(slots) {}
+
+std::size_t TimerWheel::slot_for(std::int64_t deadline_ns) const {
+  const auto tick = static_cast<std::uint64_t>(deadline_ns / tick_ns_);
+  return static_cast<std::size_t>(tick % slots_.size());
+}
+
+std::uint64_t TimerWheel::arm(std::int64_t deadline_ns, std::function<void()> fn) {
+  const std::uint64_t id = next_id_++;
+  slots_[slot_for(deadline_ns)].push_back(Timer{id, deadline_ns, std::move(fn)});
+  ++armed_;
+  return id;
+}
+
+void TimerWheel::cancel(std::uint64_t id) {
+  // Ids are dense and recent, but a cancelled timer can sit in any slot;
+  // a linear scan of one bucket is O(timers in that bucket).  Without
+  // the slot hint we scan all buckets — still fine at serve scale where
+  // a connection owns at most two timers, but keep it honest: scan until
+  // found.
+  for (auto& bucket : slots_) {
+    for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+      if (it->id == id) {
+        bucket.erase(it);
+        --armed_;
+        return;
+      }
+    }
+  }
+}
+
+std::size_t TimerWheel::advance(std::int64_t now_ns) {
+  if (armed_ == 0) {
+    last_advance_ns_ = now_ns;
+    return 0;
+  }
+  const std::int64_t from_tick = last_advance_ns_ / tick_ns_;
+  const std::int64_t to_tick = now_ns / tick_ns_;
+  // Visit each bucket at most once even if we slept through several full
+  // wheel rotations.
+  const std::int64_t ticks =
+      std::min<std::int64_t>(to_tick - from_tick, static_cast<std::int64_t>(slots_.size()));
+  std::vector<std::function<void()>> due;
+  for (std::int64_t t = 0; t <= ticks; ++t) {
+    auto& bucket = slots_[static_cast<std::size_t>((from_tick + t) %
+                                                   static_cast<std::int64_t>(slots_.size()))];
+    for (auto it = bucket.begin(); it != bucket.end();) {
+      if (it->deadline_ns <= now_ns) {
+        due.push_back(std::move(it->fn));
+        it = bucket.erase(it);
+        --armed_;
+      } else {
+        ++it;
+      }
+    }
+  }
+  last_advance_ns_ = now_ns;
+  // Fire after the scan: callbacks may arm new timers (possibly into the
+  // buckets being iterated) or cancel pending ones.
+  for (auto& fn : due) fn();
+  return due.size();
+}
+
+int TimerWheel::next_timeout_ms(std::int64_t now_ns) const {
+  if (armed_ == 0) return -1;
+  const std::int64_t next_boundary = (now_ns / tick_ns_ + 1) * tick_ns_;
+  const std::int64_t ms = (next_boundary - now_ns + 999'999) / 1'000'000;
+  return static_cast<int>(ms < 1 ? 1 : ms);
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop
+
+namespace {
+
+std::uint64_t pack(int fd, std::uint64_t gen) {
+  return (gen << 32) | static_cast<std::uint32_t>(fd);
+}
+
+std::uint32_t interest(bool want_read, bool want_write) {
+  std::uint32_t ev = EPOLLRDHUP;
+  if (want_read) ev |= EPOLLIN;
+  if (want_write) ev |= EPOLLOUT;
+  return ev;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0)
+    throw InternalError(ErrorCode::kIo,
+                        std::string("epoll_create1: ") + std::strerror(errno));
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw InternalError(ErrorCode::kIo,
+                        std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = pack(wake_fd_, 0);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  now_ns_ = obs::monotonic_ns();
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, bool want_read, bool want_write, FdCallback cb) {
+  const std::uint64_t gen = next_gen_++;
+  const std::uint32_t events = interest(want_read, want_write);
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = pack(fd, gen);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+    throw InternalError(ErrorCode::kIo,
+                        std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  fds_[fd] = Registration{std::move(cb), gen, events};
+}
+
+void EventLoop::modify_fd(int fd, bool want_read, bool want_write) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  const std::uint32_t events = interest(want_read, want_write);
+  if (events == it->second.events) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = pack(fd, it->second.gen);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0) it->second.events = events;
+}
+
+void EventLoop::remove_fd(int fd) {
+  if (fds_.erase(fd) > 0) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::scoped_lock lock(tasks_mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::drain_wakeups() {
+  std::uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof count) > 0) {
+  }
+}
+
+void EventLoop::run_posted_tasks() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::scoped_lock lock(tasks_mutex_);
+    batch.swap(tasks_);
+  }
+  if (!batch.empty()) loop_metrics().tasks.inc(batch.size());
+  for (auto& task : batch) task();
+}
+
+void EventLoop::run() {
+  LoopMetrics& metrics = loop_metrics();
+  epoll_event events[128];
+  while (!stop_.load(std::memory_order_acquire)) {
+    run_posted_tasks();
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    now_ns_ = obs::monotonic_ns();
+    const std::size_t fired = timers_.advance(now_ns_);
+    if (fired > 0) metrics.timers_fired.inc(fired);
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    // If a task or timer callback queued more work, don't sleep on it.
+    int timeout_ms = timers_.next_timeout_ms(obs::monotonic_ns());
+    {
+      std::scoped_lock lock(tasks_mutex_);
+      if (!tasks_.empty()) timeout_ms = 0;
+    }
+
+    const int n = ::epoll_wait(epoll_fd_, events,
+                               static_cast<int>(std::size(events)), timeout_ms);
+    metrics.wakeups.inc();
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw InternalError(ErrorCode::kIo,
+                          std::string("epoll_wait: ") + std::strerror(errno));
+    }
+    now_ns_ = obs::monotonic_ns();
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t data = events[i].data.u64;
+      const int fd = static_cast<int>(data & 0xffffffffu);
+      const std::uint64_t gen = data >> 32;
+      if (fd == wake_fd_) {
+        drain_wakeups();
+        continue;
+      }
+      auto it = fds_.find(fd);
+      // Stale event: the registration was removed (and possibly the fd
+      // number recycled by a newer one) earlier in this same batch.
+      if (it == fds_.end() || it->second.gen != gen) continue;
+      unsigned mask = 0;
+      const std::uint32_t ev = events[i].events;
+      if ((ev & EPOLLIN) != 0) mask |= kReadable;
+      if ((ev & EPOLLOUT) != 0) mask |= kWritable;
+      if ((ev & (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) != 0) mask |= kHangup;
+      metrics.fd_events.inc();
+      // The callback is looked up fresh (not cached) so remove_fd from
+      // inside it stays safe; copy the handle in case the callback
+      // replaces its own registration.
+      const FdCallback cb = it->second.cb;
+      cb(mask);
+    }
+  }
+  // One final drain so tasks posted concurrently with request_stop()
+  // (e.g. late compute completions) are not silently dropped.
+  run_posted_tasks();
+}
+
+}  // namespace lamps::net

@@ -1,0 +1,148 @@
+// Single-threaded epoll reactor for the serving plane.
+//
+// One EventLoop instance owns every connection fd of a `lamps serve`
+// daemon: the listener, the eventfd other threads use to wake it, and a
+// hashed timer wheel that carries the read/idle/write-stall clocks.  The
+// loop thread is the only thread that touches fd registrations, timers
+// and the callback table; the two cross-thread entry points are post()
+// (run a closure on the loop thread) and wake()/request_stop(), which
+// are safe from anywhere.
+//
+// Design notes:
+//   - level-triggered epoll: callbacks read/write until EAGAIN but a
+//     missed edge can never wedge a connection;
+//   - every registration carries a generation number packed next to the
+//     fd in epoll_event.data.u64, so an event dispatched in the same
+//     epoll_wait batch as a remove_fd()+add_fd() pair on a recycled fd
+//     number is recognized as stale and dropped (level-triggering
+//     re-reports anything real);
+//   - the timer wheel is hashed (slots x tick); far-out deadlines simply
+//     survive a few bucket visits, which keeps arm/cancel O(1) without a
+//     heap.  Resolution is one tick (default 10 ms) — timeouts in this
+//     daemon are 10s-of-ms to minutes, never microseconds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace lamps::net {
+
+/// Hashed timer wheel.  Loop-thread only (no locks).  Timer ids are
+/// never reused; 0 is the "no timer" sentinel callers can keep around.
+class TimerWheel {
+ public:
+  explicit TimerWheel(std::int64_t tick_ns = 10'000'000, std::size_t slots = 512);
+
+  /// Arms a one-shot timer firing at `deadline_ns` (obs::monotonic_ns
+  /// clock).  Deadlines in the past fire on the next advance().
+  std::uint64_t arm(std::int64_t deadline_ns, std::function<void()> fn);
+
+  /// Cancels a pending timer; unknown/already-fired ids are a no-op.
+  void cancel(std::uint64_t id);
+
+  /// Fires every timer whose deadline is <= now.  Callbacks may arm or
+  /// cancel other timers.  Returns the number fired.
+  std::size_t advance(std::int64_t now_ns);
+
+  [[nodiscard]] bool empty() const { return armed_ == 0; }
+  [[nodiscard]] std::size_t armed() const { return armed_; }
+
+  /// Milliseconds until the next tick worth waking for (>= 1), or -1
+  /// when no timer is armed.  The wheel only promises tick resolution,
+  /// so this is "time to the next bucket boundary", not to the exact
+  /// earliest deadline.
+  [[nodiscard]] int next_timeout_ms(std::int64_t now_ns) const;
+
+ private:
+  struct Timer {
+    std::uint64_t id;
+    std::int64_t deadline_ns;
+    std::function<void()> fn;
+  };
+
+  [[nodiscard]] std::size_t slot_for(std::int64_t deadline_ns) const;
+
+  std::int64_t tick_ns_;
+  std::vector<std::vector<Timer>> slots_;
+  std::uint64_t next_id_{1};
+  std::size_t armed_{0};
+  std::int64_t last_advance_ns_{0};
+};
+
+/// epoll + eventfd reactor.  Construct, register fds, then run() on the
+/// thread that will own all I/O.  post()/wake()/request_stop() are the
+/// only members callable from other threads.
+class EventLoop {
+ public:
+  // Event bitmask handed to fd callbacks.
+  static constexpr unsigned kReadable = 1u << 0;
+  static constexpr unsigned kWritable = 1u << 1;
+  static constexpr unsigned kHangup = 1u << 2;  ///< EPOLLHUP/EPOLLERR/RDHUP
+
+  using FdCallback = std::function<void(unsigned events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` (loop thread only).  The callback stays owned by the
+  /// loop until remove_fd().
+  void add_fd(int fd, bool want_read, bool want_write, FdCallback cb);
+
+  /// Changes the interest set of a registered fd (loop thread only).
+  void modify_fd(int fd, bool want_read, bool want_write);
+
+  /// Deregisters `fd` and drops its callback (loop thread only).  Safe
+  /// to call from inside a callback, including for fds with events still
+  /// queued in the current dispatch batch.
+  void remove_fd(int fd);
+
+  /// Runs closures on the loop thread in post order.  Thread-safe; wakes
+  /// the loop.  Tasks posted after run() returns are never executed.
+  void post(std::function<void()> task);
+
+  /// Wakes epoll_wait without queueing work.  Thread-safe.
+  void wake();
+
+  /// Makes run() return after the current iteration.  Thread-safe.
+  void request_stop();
+
+  /// The loop body: dispatch posted tasks, expire timers, wait for fd
+  /// events.  Returns once request_stop() was observed.
+  void run();
+
+  /// Timer wheel (loop thread only).
+  TimerWheel& timers() { return timers_; }
+
+  /// Nanosecond timestamp of the current iteration's dispatch, refreshed
+  /// once per wake-up (obs::monotonic_ns clock).
+  [[nodiscard]] std::int64_t now_ns() const { return now_ns_; }
+
+ private:
+  struct Registration {
+    FdCallback cb;
+    std::uint64_t gen;
+    std::uint32_t events;
+  };
+
+  void drain_wakeups();
+  void run_posted_tasks();
+
+  int epoll_fd_{-1};
+  int wake_fd_{-1};
+  std::unordered_map<int, Registration> fds_;
+  std::uint64_t next_gen_{1};
+  TimerWheel timers_;
+  std::int64_t now_ns_{0};
+
+  std::mutex tasks_mutex_;
+  std::vector<std::function<void()>> tasks_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace lamps::net

@@ -1,16 +1,14 @@
 #include "net/server.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
+#include <sys/socket.h>
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <future>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "core/request.hpp"
@@ -68,68 +66,79 @@ ServeMetrics& metrics() {
   return m;
 }
 
+std::int64_t seconds_to_ns(double s) {
+  return s > 0.0 ? static_cast<std::int64_t>(s * 1e9) : 0;
+}
+
 }  // namespace
 
-/// Per-client state: the socket, a reader thread parsing and admitting
-/// request lines, and a writer thread emitting the responses strictly in
-/// arrival order (entries queue in the order the reader admitted them, so
-/// pipelined clients see ordered replies even though compute is
-/// concurrent).  Each entry optionally carries the request's flight
-/// record; the writer is the single commit point that stamps the write
-/// phase and publishes the record to the ring.
+/// Per-client state, owned by the event loop (all fields loop-thread
+/// only except ResponseSlot, see below).  Pipelined responses are kept
+/// strictly in admission order: each admitted request appends a slot to
+/// `responses`; whichever thread resolves the request fills the slot's
+/// text, flips `ready` (release) and posts a flush; the loop only ever
+/// writes the *head* slot, so completion order never reorders the wire.
+/// The loop is the single commit point that stamps the write phase and
+/// publishes the flight record to the ring.
 struct Server::Connection {
   Socket socket;
-  std::thread reader;
-  std::thread writer;
+  int fd{-1};
+  std::optional<LineReader> reader;
+  std::optional<obs::Span> span;  ///< "serve/connection", accept->close
 
-  struct PendingResponse {
-    std::future<std::string> response;
+  /// Filled by compute workers (or inline by the loop for cache hits and
+  /// typed errors).  `text` is written before `ready` is released; the
+  /// loop reads it only after acquiring `ready`.
+  struct ResponseSlot {
+    std::atomic<bool> ready{false};
+    std::string text;
     std::shared_ptr<obs::FlightRecord> flight;  ///< nullptr: admin, unrecorded
   };
 
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<PendingResponse> responses;
-  bool reader_done{false};
-  std::atomic<bool> finished{false};
+  std::deque<std::shared_ptr<ResponseSlot>> responses;
 
-  void push(std::future<std::string> fut, std::shared_ptr<obs::FlightRecord> flight) {
-    {
-      std::scoped_lock lock(mutex);
-      responses.push_back({std::move(fut), std::move(flight)});
-    }
-    cv.notify_one();
-  }
+  // Write side: the head response currently flushing.  `out`/`out_off`
+  // hold its unsent tail; the slot stays referenced until committed.
+  std::string out;
+  std::size_t out_off{0};
+  std::shared_ptr<ResponseSlot> out_slot;
+  std::int64_t write_start_ns{0};  ///< stall-deadline anchor (cumulative)
 
-  void push_immediate(std::string response,
-                      std::shared_ptr<obs::FlightRecord> flight = nullptr) {
-    std::promise<std::string> p;
-    p.set_value(std::move(response));
-    push(p.get_future(), std::move(flight));
+  bool reading{true};      ///< EPOLLIN subscribed
+  bool want_write{false};  ///< EPOLLOUT subscribed
+  bool peer_alive{true};
+  bool input_done{false};
+  bool closed{false};
+  std::int64_t last_progress_ns{0};  ///< any bytes arrived
+  std::int64_t last_line_ns{0};      ///< complete lines
+  std::uint64_t input_timer{0};
+  std::uint64_t write_timer{0};
+
+  [[nodiscard]] std::size_t queued_responses() const {
+    return responses.size() + (out_slot != nullptr ? 1 : 0);
   }
 };
 
 Server::Server(const ServerConfig& config)
     : config_(config), ladder_(model_), cache_(config.cache_capacity),
       bank_(config.bank_capacity),
-      flights_(config.flight_capacity, config.slow_request_s) {}
+      flights_(config.flight_capacity, config.slow_request_s) {
+  read_timeout_ns_ = seconds_to_ns(config_.read_timeout_s);
+  idle_timeout_ns_ = seconds_to_ns(config_.idle_timeout_s);
+  write_timeout_ns_ = seconds_to_ns(config_.write_timeout_s);
+}
 
 Server::~Server() {
   request_drain();
   wait();
-  for (int fd : drain_pipe_)
-    if (fd >= 0) ::close(fd);
 }
 
 void Server::start() {
-  if (::pipe(drain_pipe_) != 0)
-    throw InternalError(ErrorCode::kIo, "pipe() for drain notification failed");
-  for (int fd : drain_pipe_) ::fcntl(fd, F_SETFL, O_NONBLOCK);
-
   pool_ = std::make_unique<ThreadPool>(config_.threads);
   max_pending_ =
       config_.max_pending > 0 ? config_.max_pending : pool_->num_threads() * 4;
-  listener_ = std::make_unique<ListenSocket>(config_.port);
+  listener_ = std::make_unique<ListenSocket>(config_.port, config_.listen_backlog);
+  listener_->set_nonblocking(true);
   port_ = listener_->port();
   start_ns_ = obs::monotonic_ns();
   {
@@ -155,220 +164,184 @@ void Server::start() {
     }
   }
 
+  loop_ = std::make_unique<EventLoop>();
+  // Registered before the loop thread exists, so the "loop thread only"
+  // contract holds trivially.
+  loop_->add_fd(listener_->fd(), /*want_read=*/true, /*want_write=*/false,
+                [this](unsigned) { on_accept_ready(); });
+
   obs::LogEvent(obs::LogSeverity::kInfo, "serve.listening")
       .u64("port", port_)
       .u64("threads", pool_->num_threads())
       .u64("max_pending", max_pending_)
       .u64("flight_capacity", flights_.capacity())
       .num("slow_request_s", flights_.slow_threshold_s());
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  loop_thread_ = std::thread([this] { loop_->run(); });
+  // request_drain() raced ahead of start(): make sure the drain actually
+  // begins now that the loop exists.
+  if (draining()) loop_->post([this] { begin_drain(); });
 }
 
 void Server::request_drain() {
   if (draining_.exchange(true, std::memory_order_acq_rel)) return;
   obs::LogEvent(obs::LogSeverity::kInfo, "serve.drain_requested")
       .u64("pending", pending_.load(std::memory_order_relaxed));
-  if (drain_pipe_[1] >= 0) {
-    const char byte = 1;
-    // Level-triggered wake-up for every poller; the byte is never read.
-    [[maybe_unused]] const auto n = ::write(drain_pipe_[1], &byte, 1);
-  }
+  if (loop_) loop_->post([this] { begin_drain(); });
 }
 
 void Server::wait() {
-  if (accept_thread_.joinable()) accept_thread_.join();
-  for (;;) {
-    std::unique_ptr<Connection> conn;
-    {
-      std::scoped_lock lock(connections_mutex_);
-      if (connections_.empty()) break;
-      conn = std::move(connections_.front());
-      connections_.pop_front();
-    }
-    if (conn->reader.joinable()) conn->reader.join();
-    if (conn->writer.joinable()) conn->writer.join();
-  }
+  // The loop thread exits only once the drain finished: listener closed,
+  // every admitted response flushed, every connection closed.
+  if (loop_thread_.joinable()) loop_thread_.join();
   if (pool_) pool_->wait_idle();
   // The final flusher sample then captures the fully drained state.
   if (flusher_) flusher_->stop();
 }
 
-void Server::reap_finished_locked() {
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->finished.load(std::memory_order_acquire)) {
-      if ((*it)->reader.joinable()) (*it)->reader.join();
-      if ((*it)->writer.joinable()) (*it)->writer.join();
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
+void Server::begin_drain() {
+  if (drain_begun_) return;
+  drain_begun_ = true;
+  // Refuse new connections from the first moment of the drain.
+  if (listener_) {
+    loop_->remove_fd(listener_->fd());
+    listener_->close();
   }
+  // Drain contract: consume only what already reached us.  A final
+  // non-blocking read sweep picks up bytes on the wire; once a socket is
+  // quiet its input side is done.
+  std::vector<ConnPtr> open;
+  open.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) open.push_back(conn);
+  for (const ConnPtr& conn : open) {
+    if (conn->closed) continue;
+    if (!conn->input_done) process_input(conn);
+    if (conn->closed) continue;
+    stop_input(conn);
+    maybe_close(conn);
+  }
+  if (connections_.empty()) loop_->request_stop();
 }
 
-void Server::accept_loop() {
-  for (;;) {
-    if (draining()) break;
-    const unsigned ready = poll_readable(listener_->fd(), drain_pipe_[0], 250);
-    if (draining() || (ready & 2u) != 0) break;
-    {
-      std::scoped_lock lock(connections_mutex_);
-      reap_finished_locked();
-    }
-    if ((ready & 1u) == 0) continue;
-    if (FaultInjector* chaos = config_.chaos.get(); chaos != nullptr) {
-      const int stall = chaos->accept_stall_ms();
-      if (stall > 0)
-        std::this_thread::sleep_for(std::chrono::milliseconds(stall));
-    }
-    std::optional<Socket> accepted = listener_->accept();
-    if (!accepted) continue;
-
-    metrics().connections_total.inc();
-    metrics().connections.add(1);
-    obs::LogEvent(obs::LogSeverity::kDebug, "serve.connection_accepted")
-        .i64("open", obs::gauge("serve.connections").value());
-    auto conn = std::make_unique<Connection>();
-    conn->socket = std::move(*accepted);
-    conn->socket.set_fault_injector(config_.chaos.get());
-    Connection& ref = *conn;
-    ref.reader = std::thread([this, &ref] { reader_loop(ref); });
-    ref.writer = std::thread([this, &ref] { writer_loop(ref); });
-    std::scoped_lock lock(connections_mutex_);
-    connections_.push_back(std::move(conn));
+void Server::on_accept_ready() {
+  if (drain_begun_ || draining()) return;
+  // One accept per event: level-triggered epoll re-reports a non-empty
+  // backlog immediately, and the one-at-a-time cadence keeps the chaos
+  // accept_stall decision schedule identical to the threaded server's.
+  if (FaultInjector* chaos = config_.chaos.get(); chaos != nullptr) {
+    const int stall = chaos->accept_stall_ms();
+    if (stall > 0) std::this_thread::sleep_for(std::chrono::milliseconds(stall));
   }
-  // Refuse new connections from the first moment of the drain; in-flight
-  // ones finish on their own threads.
-  listener_->close();
+  std::optional<Socket> accepted = listener_->accept();
+  if (!accepted) return;
+
+  metrics().connections_total.inc();
+  metrics().connections.add(1);
+  obs::LogEvent(obs::LogSeverity::kDebug, "serve.connection_accepted")
+      .i64("open", obs::gauge("serve.connections").value());
+
+  auto conn = std::make_shared<Connection>();
+  conn->socket = std::move(*accepted);
+  conn->socket.set_fault_injector(config_.chaos.get());
+  conn->socket.set_nonblocking(true);
+  conn->fd = conn->socket.fd();
+  if (config_.sndbuf_bytes > 0)
+    ::setsockopt(conn->fd, SOL_SOCKET, SO_SNDBUF, &config_.sndbuf_bytes,
+                 sizeof config_.sndbuf_bytes);
+  conn->span.emplace("serve/connection");
+  conn->reader.emplace(conn->fd, config_.max_request_bytes, config_.chaos.get());
+  conn->last_progress_ns = conn->last_line_ns = obs::monotonic_ns();
+  connections_[conn->fd] = conn;
+  loop_->add_fd(conn->fd, /*want_read=*/true, /*want_write=*/false,
+                [this, conn](unsigned events) { on_connection_event(conn, events); });
+  schedule_input_timer(conn);
 }
 
-void Server::reader_loop(Connection& conn) {
-  obs::Span span("serve/connection");
-  LineReader reader(conn.socket.fd(), config_.max_request_bytes,
-                    config_.chaos.get());
+void Server::on_connection_event(const ConnPtr& conn, unsigned events) {
+  if (conn->closed) return;
+  // Flush first: draining the write buffer may re-open read capacity
+  // (max_write_queue) and cancels the stall timer before new reads
+  // re-anchor clocks.
+  if ((events & EventLoop::kWritable) != 0 && conn->want_write)
+    flush_connection(conn);
+  if (conn->closed) return;
+  if ((events & (EventLoop::kReadable | EventLoop::kHangup)) != 0 &&
+      conn->reading && !conn->input_done)
+    process_input(conn);
+}
+
+void Server::process_input(const ConnPtr& conn) {
+  LineReader& reader = *conn->reader;
   std::string line;
-
-  const auto to_ns = [](double s) -> std::int64_t {
-    return s > 0.0 ? static_cast<std::int64_t>(s * 1e9) : 0;
-  };
-  const std::int64_t read_timeout_ns = to_ns(config_.read_timeout_s);
-  const std::int64_t idle_timeout_ns = to_ns(config_.idle_timeout_s);
-  // Poll tick: a quarter of the tighter enabled timeout, clamped to
-  // [10 ms, 250 ms] so the stall clocks are judged promptly without
-  // spinning.  With both timeouts off the poll blocks indefinitely as
-  // before (the drain pipe still wakes it).
-  int tick_ms = -1;
-  {
-    std::int64_t tightest = 0;
-    if (read_timeout_ns > 0) tightest = read_timeout_ns;
-    if (idle_timeout_ns > 0 && (tightest == 0 || idle_timeout_ns < tightest))
-      tightest = idle_timeout_ns;
-    if (tightest > 0)
-      tick_ms = static_cast<int>(
-          std::clamp<std::int64_t>(tightest / 4'000'000, 10, 250));
-  }
-
-  std::int64_t last_progress_ns = obs::monotonic_ns();  // any bytes arrived
-  std::int64_t last_line_ns = last_progress_ns;         // complete lines
   for (;;) {
-    // Drain every complete buffered line before touching the socket.
-    LineReader::Status status;
-    bool stop = false;
-    for (;;) {
-      status = reader.next_line(line);
-      if (status == LineReader::Status::kLine) {
-        last_line_ns = last_progress_ns = obs::monotonic_ns();
-        if (line.empty()) continue;
-        if (config_.max_write_queue > 0) {
-          std::size_t queued = 0;
-          {
-            std::scoped_lock lock(conn.mutex);
-            queued = conn.responses.size();
-          }
-          // A client that pipelines faster than it drains responses is
-          // bounded here: stop reading, let the writer flush what was
-          // admitted, disconnect.  Nothing admitted is ever dropped.
-          if (queued >= config_.max_write_queue) {
-            metrics().write_queue_overflow.inc();
-            obs::LogEvent(obs::LogSeverity::kWarn, "serve.write_queue_overflow")
-                .u64("queued", queued)
-                .u64("max_write_queue", config_.max_write_queue);
-            stop = true;
-            break;
-          }
-        }
-        handle_line(conn, line);
-        continue;
+    if (conn->closed || conn->input_done) return;
+    const LineReader::Status status = reader.next_line(line);
+    if (status == LineReader::Status::kLine) {
+      conn->last_line_ns = conn->last_progress_ns = obs::monotonic_ns();
+      if (line.empty()) continue;
+      if (config_.max_write_queue > 0 &&
+          conn->queued_responses() >= config_.max_write_queue) {
+        // A client that pipelines faster than it drains responses is
+        // bounded here: stop reading, flush what was admitted,
+        // disconnect.  Nothing admitted is ever dropped.  (The line that
+        // tripped the bound is dropped unanswered, exactly like the
+        // threaded server's reader stopping before handle_line.)
+        metrics().write_queue_overflow.inc();
+        obs::LogEvent(obs::LogSeverity::kWarn, "serve.write_queue_overflow")
+            .u64("queued", conn->queued_responses())
+            .u64("max_write_queue", config_.max_write_queue);
+        stop_input(conn);
+        maybe_close(conn);
+        return;
       }
-      if (status == LineReader::Status::kOverflow) {
-        // The oversize line never parsed, so it gets the typed error with
-        // a null id; the stream already resynced at the next '\n'.
-        metrics().requests_total.inc();
-        metrics().requests_too_large.inc();
-        auto flight = std::make_shared<obs::FlightRecord>();
-        flight->request_id = obs::next_request_id();
-        flight->arrival_ns = obs::monotonic_ns();
-        flight->finish_ns = flight->arrival_ns;
-        flight->outcome = obs::FlightOutcome::kTooLarge;
-        obs::LogEvent(obs::LogSeverity::kWarn, "serve.request_too_large")
-            .u64("req", flight->request_id)
-            .u64("max_request_bytes", config_.max_request_bytes);
-        conn.push_immediate(
-            error_response("null", "too_large",
-                           "request line exceeds max_request_bytes (" +
-                               std::to_string(config_.max_request_bytes) + ")"),
-            flight);
-        last_line_ns = last_progress_ns = obs::monotonic_ns();
-        continue;
-      }
-      break;  // kAgain, kEof or kError
+      handle_line(conn, line);
+      continue;
     }
-    if (stop || status == LineReader::Status::kEof ||
-        status == LineReader::Status::kError)
-      break;
-
-    // status == kAgain: more bytes needed.
-    if (draining()) {
-      // Drain contract: consume only what already reached us.  A poll
-      // with zero timeout picks up bytes on the wire; once the socket
-      // is quiet the connection is done.
-      if ((poll_readable(conn.socket.fd(), -1, 0) & 1u) == 0) break;
-    } else {
-      const unsigned ready =
-          poll_readable(conn.socket.fd(), drain_pipe_[0], tick_ms);
-      if ((ready & 1u) == 0) {
-        // Tick or drain wake-up: judge the stall clocks, then re-poll.
-        const std::int64_t now = obs::monotonic_ns();
-        if (read_timeout_ns > 0 && reader.has_partial_line() &&
-            now - last_progress_ns > read_timeout_ns) {
-          metrics().read_timeouts.inc();
-          obs::LogEvent(obs::LogSeverity::kWarn, "serve.read_timeout")
-              .num("read_timeout_s", config_.read_timeout_s);
-          break;
-        }
-        if (idle_timeout_ns > 0 && !reader.has_partial_line() &&
-            now - last_line_ns > idle_timeout_ns) {
-          metrics().idle_reaped.inc();
-          obs::LogEvent(obs::LogSeverity::kInfo, "serve.idle_reaped")
-              .num("idle_timeout_s", config_.idle_timeout_s);
-          break;
-        }
+    if (status == LineReader::Status::kOverflow) {
+      // The oversize line never parsed, so it gets the typed error with
+      // a null id; the stream already resynced at the next '\n'.
+      metrics().requests_total.inc();
+      metrics().requests_too_large.inc();
+      auto flight = std::make_shared<obs::FlightRecord>();
+      flight->request_id = obs::next_request_id();
+      flight->arrival_ns = obs::monotonic_ns();
+      flight->finish_ns = flight->arrival_ns;
+      flight->outcome = obs::FlightOutcome::kTooLarge;
+      obs::LogEvent(obs::LogSeverity::kWarn, "serve.request_too_large")
+          .u64("req", flight->request_id)
+          .u64("max_request_bytes", config_.max_request_bytes);
+      enqueue_ready(conn,
+                    error_response("null", "too_large",
+                                   "request line exceeds max_request_bytes (" +
+                                       std::to_string(config_.max_request_bytes) + ")"),
+                    std::move(flight));
+      if (conn->closed || conn->input_done) return;
+      conn->last_line_ns = conn->last_progress_ns = obs::monotonic_ns();
+      continue;
+    }
+    if (status == LineReader::Status::kAgain) {
+      const LineReader::Status filled = reader.fill();
+      if (filled == LineReader::Status::kAgain) {
+        conn->last_progress_ns = obs::monotonic_ns();
         continue;
       }
+      if (filled == LineReader::Status::kWouldBlock) {
+        // Socket drained; wait for the next EPOLLIN and re-judge the
+        // stall clocks from the freshest progress stamps.
+        schedule_input_timer(conn);
+        return;
+      }
+      if (filled == LineReader::Status::kError) break;
+      continue;  // kEof: loop once more so next_line flushes the final line
     }
-    const LineReader::Status filled = reader.fill();
-    if (filled == LineReader::Status::kError) break;
-    if (filled == LineReader::Status::kAgain)
-      last_progress_ns = obs::monotonic_ns();
-    // kEof loops once more so next_line can flush the final line.
+    break;  // kEof or kError
   }
-  {
-    std::scoped_lock lock(conn.mutex);
-    conn.reader_done = true;
-  }
-  conn.cv.notify_one();
+  // Input ended (EOF or transport error).  Admitted responses still
+  // flush; the connection closes once they have.
+  stop_input(conn);
+  maybe_close(conn);
 }
 
-bool Server::handle_admin_line(Connection& conn, const std::string& line) {
+bool Server::handle_admin_line(const ConnPtr& conn, const std::string& line) {
   std::optional<AdminRequest> admin;
   try {
     admin = parse_admin_request(line);
@@ -376,13 +349,13 @@ bool Server::handle_admin_line(Connection& conn, const std::string& line) {
     // Admin-shaped but broken ({"cmd":"bogus"}): a bad request, but one
     // that never reaches admission.
     metrics().requests_bad.inc();
-    conn.push_immediate(error_response("null", "bad_request", e.what()));
+    enqueue_ready(conn, error_response("null", "bad_request", e.what()), nullptr);
     return true;
   }
   if (!admin.has_value()) return false;
 
   metrics().admin_requests.inc();
-  conn.push_immediate(admin_response(*admin));
+  enqueue_ready(conn, admin_response(*admin), nullptr);
   if (admin->cmd == AdminCommand::kQuit) {
     obs::LogEvent(obs::LogSeverity::kInfo, "serve.quitquitquit");
     request_drain();
@@ -401,11 +374,15 @@ std::string Server::admin_response(const AdminRequest& req) {
      << '"';
   switch (req.cmd) {
     case AdminCommand::kStatsz: {
-      // Snapshot outside the scrape lock (counter reads are lock-free),
-      // diff under it so concurrent scrapers see disjoint deltas.
+      // Snapshot *under* the scrape lock (counter reads are lock-free, so
+      // the hold is short).  Taken outside, two racing scrapers could
+      // each snapshot, then assign out of order — the older snapshot
+      // overwrites the newer baseline and the next scrape double-counts
+      // its deltas.  Under the lock, baselines are monotonic: summed
+      // deltas across any set of scrapers telescope to the counter total.
+      std::scoped_lock lock(scrape_mutex_);
       std::map<std::string, std::uint64_t> snapshot =
           obs::Registry::global().counter_snapshot();
-      std::scoped_lock lock(scrape_mutex_);
       os << ",\"uptime_s\":";
       write_json_double(os, uptime_s);
       os << ",\"scrape_seq\":" << scrape_seq_++
@@ -428,10 +405,11 @@ std::string Server::admin_response(const AdminRequest& req) {
     case AdminCommand::kHealthz: {
       // Degradation is judged over the window since the previous healthz
       // (seeded at start()), so a single ancient shed does not poison the
-      // report forever.
+      // report forever.  Snapshot under the lock for the same baseline-
+      // monotonicity reason as statsz.
+      std::scoped_lock hlock(health_mutex_);
       std::map<std::string, std::uint64_t> snapshot =
           obs::Registry::global().counter_snapshot();
-      std::scoped_lock hlock(health_mutex_);
       const auto delta = [&](const char* name) -> std::uint64_t {
         const auto now_it = snapshot.find(name);
         const std::uint64_t now_v = now_it == snapshot.end() ? 0 : now_it->second;
@@ -516,8 +494,8 @@ std::string Server::admin_response(const AdminRequest& req) {
   return os.str();
 }
 
-void Server::handle_line(Connection& conn, const std::string& line) {
-  // Admin lane first: answered inline by this reader, untouched by
+void Server::handle_line(const ConnPtr& conn, const std::string& line) {
+  // Admin lane first: answered inline by the loop, untouched by
   // admission control or the pool, and kept out of the flight ring.
   if (handle_admin_line(conn, line)) return;
 
@@ -538,7 +516,8 @@ void Server::handle_line(Connection& conn, const std::string& line) {
     obs::LogEvent(obs::LogSeverity::kWarn, "serve.bad_request")
         .u64("req", flight->request_id)
         .str("error", e.what());
-    conn.push_immediate(error_response("null", "bad_request", e.what()), flight);
+    enqueue_ready(conn, error_response("null", "bad_request", e.what()),
+                  std::move(flight));
     return;
   }
   flight->digest = core::service_request_digest(parsed->request);
@@ -551,11 +530,11 @@ void Server::handle_line(Connection& conn, const std::string& line) {
     obs::LogEvent(obs::LogSeverity::kWarn, "serve.overloaded")
         .u64("req", flight->request_id)
         .u64("max_pending", max_pending_);
-    conn.push_immediate(
-        error_response(parsed->id_json, "overloaded",
-                       "admission queue full (" + std::to_string(max_pending_) +
-                           " requests pending); retry with backoff"),
-        flight);
+    enqueue_ready(conn,
+                  error_response(parsed->id_json, "overloaded",
+                                 "admission queue full (" + std::to_string(max_pending_) +
+                                     " requests pending); retry with backoff"),
+                  std::move(flight));
     return;
   }
   flight->admit_ns = obs::monotonic_ns();
@@ -573,18 +552,20 @@ void Server::handle_line(Connection& conn, const std::string& line) {
           : 0;
 
   auto request = std::make_shared<ParsedRequest>(std::move(*parsed));
-  auto response = std::make_shared<std::promise<std::string>>();
-  conn.push(response->get_future(), flight);
+  auto slot = std::make_shared<Connection::ResponseSlot>();
+  slot->flight = flight;
+  conn->responses.push_back(slot);
 
   // Exactly-once completion for this request, from whichever thread
-  // resolves it: the reader (LRU hit), a worker (leader compute), or the
+  // resolves it: the loop (LRU hit), a worker (leader compute), or the
   // leader's failure path fanning out to the joined followers.  The
   // outcome classification leans on that: a cached payload delivered on
   // the admitting thread is an inline LRU hit, on any other thread a
-  // single-flight join.
+  // single-flight join.  The consumer fills the connection's response
+  // slot and hands the flush to the loop thread.
   const auto t0 = std::chrono::steady_clock::now();
   const std::thread::id admit_tid = std::this_thread::get_id();
-  auto consumer = [this, response, flight, admit_tid, id_json = request->id_json, t0](
+  auto consumer = [this, slot, conn, flight, admit_tid, id_json = request->id_json, t0](
                       const std::string& payload, bool cached, const std::string& error) {
     std::string out;
     if (error.empty()) {
@@ -616,7 +597,9 @@ void Server::handle_line(Connection& conn, const std::string& line) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     metrics().pending.set(
         static_cast<std::int64_t>(pending_.load(std::memory_order_relaxed)));
-    response->set_value(std::move(out));
+    slot->text = std::move(out);
+    slot->ready.store(true, std::memory_order_release);
+    loop_->post([this, conn] { flush_connection(conn); });
   };
 
   const std::uint64_t key = core::service_request_digest(request->request);
@@ -673,64 +656,226 @@ void Server::handle_line(Connection& conn, const std::string& line) {
   }
 }
 
-void Server::writer_loop(Connection& conn) {
-  const int write_timeout_ms =
-      config_.write_timeout_s > 0.0
-          ? static_cast<int>(config_.write_timeout_s * 1e3)
-          : -1;
-  bool peer_alive = true;
-  for (;;) {
-    Connection::PendingResponse next;
-    {
-      std::unique_lock lock(conn.mutex);
-      conn.cv.wait(lock, [&] { return !conn.responses.empty() || conn.reader_done; });
-      if (conn.responses.empty()) break;
-      next = std::move(conn.responses.front());
-      conn.responses.pop_front();
+void Server::enqueue_ready(const ConnPtr& conn, std::string response,
+                           std::shared_ptr<obs::FlightRecord> flight) {
+  auto slot = std::make_shared<Connection::ResponseSlot>();
+  slot->text = std::move(response);
+  slot->flight = std::move(flight);
+  slot->ready.store(true, std::memory_order_release);
+  conn->responses.push_back(std::move(slot));
+  flush_connection(conn);
+}
+
+void Server::commit_response(const ConnPtr& conn) {
+  if (conn->out_slot && conn->out_slot->flight) {
+    // Single commit point: by here every other phase stamp happened
+    // before the slot's ready flag was released, so the record is
+    // complete and raceless when it enters the ring.
+    obs::FlightRecord& rec = *conn->out_slot->flight;
+    rec.write_ns = obs::monotonic_ns();
+    rec.response_bytes = static_cast<std::uint32_t>(conn->out.size());
+    if (rec.compute_start_ns > 0) {
+      metrics().queue_seconds.observe(
+          static_cast<double>(rec.compute_start_ns - rec.admit_ns) / 1e9);
+      metrics().compute_seconds.observe(
+          static_cast<double>(rec.compute_end_ns - rec.compute_start_ns) / 1e9);
     }
-    // Even when the peer vanished, keep draining futures so every compute
-    // job's promise is consumed before the connection is reaped.
-    const std::string response = next.response.get();
-    if (peer_alive) {
-      const Socket::SendStatus sent =
-          conn.socket.send_all_deadline(response, write_timeout_ms);
-      if (sent != Socket::SendStatus::kOk) {
-        peer_alive = false;
-        if (sent == Socket::SendStatus::kTimeout) {
-          metrics().slow_client_disconnects.inc();
-          obs::LogEvent(obs::LogSeverity::kWarn, "serve.slow_client_disconnect")
-              .num("write_timeout_s", config_.write_timeout_s);
-        }
-        // Shut both directions (without closing: the reader thread still
-        // polls this fd) so the reader wakes with EOF instead of parsing
-        // more requests for a peer that stopped draining.
-        conn.socket.shutdown_both();
-      }
-    }
-    if (next.flight) {
-      // Single commit point: by here every other phase stamp happened
-      // before the promise was fulfilled, so the record is complete and
-      // raceless when it enters the ring.
-      obs::FlightRecord& rec = *next.flight;
-      rec.write_ns = obs::monotonic_ns();
-      rec.response_bytes = static_cast<std::uint32_t>(response.size());
-      if (rec.compute_start_ns > 0) {
-        metrics().queue_seconds.observe(
-            static_cast<double>(rec.compute_start_ns - rec.admit_ns) / 1e9);
-        metrics().compute_seconds.observe(
-            static_cast<double>(rec.compute_end_ns - rec.compute_start_ns) / 1e9);
-      }
-      if (rec.finish_ns > 0)
-        metrics().write_seconds.observe(
-            static_cast<double>(rec.write_ns - rec.finish_ns) / 1e9);
-      flights_.record(rec);
-    }
+    if (rec.finish_ns > 0)
+      metrics().write_seconds.observe(
+          static_cast<double>(rec.write_ns - rec.finish_ns) / 1e9);
+    flights_.record(rec);
   }
-  if (peer_alive) conn.socket.shutdown_write();
+  conn->out_slot = nullptr;
+  conn->out.clear();
+  conn->out_off = 0;
+}
+
+void Server::flush_connection(const ConnPtr& conn) {
+  if (conn->closed) return;
+  for (;;) {
+    if (conn->out_slot == nullptr) {
+      // Strict per-connection ordering: only the head slot may flush,
+      // and only once its resolver released the text.
+      if (conn->responses.empty() ||
+          !conn->responses.front()->ready.load(std::memory_order_acquire))
+        break;
+      conn->out_slot = conn->responses.front();
+      conn->responses.pop_front();
+      conn->out = std::move(conn->out_slot->text);
+      conn->out_off = 0;
+      // The stall clock anchors when the response *starts* flushing and
+      // is never reset by partial progress: the budget is cumulative per
+      // response, so a peer draining one byte per window still times out.
+      conn->write_start_ns = loop_->now_ns();
+    }
+    if (!conn->peer_alive) {
+      // Peer gone: consume (and record) the response without writing so
+      // every compute completion is accounted before the close.
+      conn->out_off = conn->out.size();
+      commit_response(conn);
+      continue;
+    }
+    if (conn->out_off < conn->out.size()) {
+      std::size_t sent = 0;
+      const Socket::IoStatus st = conn->socket.send_some(
+          std::string_view(conn->out).substr(conn->out_off), &sent);
+      if (st == Socket::IoStatus::kOk && sent > 0) {
+        conn->out_off += sent;
+        continue;
+      }
+      if (st == Socket::IoStatus::kError) {
+        mark_peer_dead(conn, /*slow=*/false);
+        continue;
+      }
+      // kWouldBlock (or a zero-byte chaos chunk): wait for EPOLLOUT with
+      // the per-response stall budget running.
+      set_want_write(conn, true);
+      arm_write_timer(conn);
+      return;
+    }
+    commit_response(conn);
+  }
+  // Nothing flushable right now.
+  set_want_write(conn, false);
+  if (conn->out_slot == nullptr && conn->write_timer != 0) {
+    loop_->timers().cancel(conn->write_timer);
+    conn->write_timer = 0;
+  }
+  maybe_close(conn);
+}
+
+void Server::mark_peer_dead(const ConnPtr& conn, bool slow) {
+  if (!conn->peer_alive) return;
+  conn->peer_alive = false;
+  if (slow) {
+    metrics().slow_client_disconnects.inc();
+    obs::LogEvent(obs::LogSeverity::kWarn, "serve.slow_client_disconnect")
+        .num("write_timeout_s", config_.write_timeout_s);
+  }
+  if (conn->write_timer != 0) {
+    loop_->timers().cancel(conn->write_timer);
+    conn->write_timer = 0;
+  }
+  // Stop parsing requests for a peer that stopped draining; shutdown
+  // both directions so the kernel tears the stream down promptly.
+  conn->socket.shutdown_both();
+  stop_input(conn);
+}
+
+void Server::arm_write_timer(const ConnPtr& conn) {
+  if (write_timeout_ns_ <= 0 || conn->write_timer != 0) return;
+  const std::int64_t deadline = conn->write_start_ns + write_timeout_ns_;
+  conn->write_timer = loop_->timers().arm(deadline, [this, conn] {
+    conn->write_timer = 0;
+    if (conn->closed || !conn->peer_alive || conn->out_slot == nullptr) return;
+    const std::int64_t now = obs::monotonic_ns();
+    if (now - conn->write_start_ns < write_timeout_ns_) {
+      // The wheel fired early relative to this response's anchor (a
+      // later response re-used the armed timer slot); re-arm for the
+      // remainder.
+      arm_write_timer(conn);
+      return;
+    }
+    mark_peer_dead(conn, /*slow=*/true);
+    flush_connection(conn);  // consume remaining slots, then maybe_close
+  });
+}
+
+void Server::set_want_write(const ConnPtr& conn, bool on) {
+  if (conn->want_write == on || conn->closed) return;
+  conn->want_write = on;
+  loop_->modify_fd(conn->fd, conn->reading, conn->want_write);
+}
+
+void Server::stop_input(const ConnPtr& conn) {
+  if (conn->input_done) return;
+  conn->input_done = true;
+  if (conn->input_timer != 0) {
+    loop_->timers().cancel(conn->input_timer);
+    conn->input_timer = 0;
+  }
+  if (conn->reading && !conn->closed) {
+    conn->reading = false;
+    loop_->modify_fd(conn->fd, conn->reading, conn->want_write);
+  }
+}
+
+void Server::schedule_input_timer(const ConnPtr& conn) {
+  if (conn->input_timer != 0) {
+    loop_->timers().cancel(conn->input_timer);
+    conn->input_timer = 0;
+  }
+  if (conn->closed || conn->input_done) return;
+  // Mid-line stalls and quiet connections are judged separately: an
+  // incomplete line runs on the read clock, an empty buffer on the idle
+  // clock.
+  const bool partial = conn->reader->has_partial_line();
+  std::int64_t deadline = 0;
+  if (partial && read_timeout_ns_ > 0)
+    deadline = conn->last_progress_ns + read_timeout_ns_;
+  else if (!partial && idle_timeout_ns_ > 0)
+    deadline = conn->last_line_ns + idle_timeout_ns_;
+  if (deadline == 0) return;
+  conn->input_timer = loop_->timers().arm(deadline, [this, conn] {
+    conn->input_timer = 0;
+    on_input_deadline(conn);
+  });
+}
+
+void Server::on_input_deadline(const ConnPtr& conn) {
+  if (conn->closed || conn->input_done) return;
+  const std::int64_t now = obs::monotonic_ns();
+  const bool partial = conn->reader->has_partial_line();
+  if (read_timeout_ns_ > 0 && partial &&
+      now - conn->last_progress_ns > read_timeout_ns_) {
+    metrics().read_timeouts.inc();
+    obs::LogEvent(obs::LogSeverity::kWarn, "serve.read_timeout")
+        .num("read_timeout_s", config_.read_timeout_s);
+    stop_input(conn);
+    maybe_close(conn);
+    return;
+  }
+  if (idle_timeout_ns_ > 0 && !partial && now - conn->last_line_ns > idle_timeout_ns_) {
+    metrics().idle_reaped.inc();
+    obs::LogEvent(obs::LogSeverity::kInfo, "serve.idle_reaped")
+        .num("idle_timeout_s", config_.idle_timeout_s);
+    stop_input(conn);
+    maybe_close(conn);
+    return;
+  }
+  // Progress happened since arming (or the buffer switched between the
+  // partial and idle regimes): re-judge at the fresh deadline.
+  schedule_input_timer(conn);
+}
+
+void Server::maybe_close(const ConnPtr& conn) {
+  if (conn->closed || !conn->input_done) return;
+  if (conn->out_slot != nullptr || !conn->responses.empty()) return;
+  close_connection(conn);
+}
+
+void Server::close_connection(const ConnPtr& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  if (conn->input_timer != 0) {
+    loop_->timers().cancel(conn->input_timer);
+    conn->input_timer = 0;
+  }
+  if (conn->write_timer != 0) {
+    loop_->timers().cancel(conn->write_timer);
+    conn->write_timer = 0;
+  }
+  // Half-close the write side so the peer sees EOF after the last
+  // response while its final bytes can still sit in our receive queue.
+  if (conn->peer_alive) conn->socket.shutdown_write();
+  loop_->remove_fd(conn->fd);
+  connections_.erase(conn->fd);
+  conn->socket.close();
+  conn->span.reset();
   metrics().connections.add(-1);
   obs::LogEvent(obs::LogSeverity::kDebug, "serve.connection_closed")
       .i64("open", obs::gauge("serve.connections").value());
-  conn.finished.store(true, std::memory_order_release);
+  if (drain_begun_ && connections_.empty()) loop_->request_stop();
 }
 
 }  // namespace lamps::net

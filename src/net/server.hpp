@@ -1,44 +1,56 @@
 // `lamps serve` — persistent TCP JSON-lines scheduling daemon.
 //
-// Threading model:
-//   - one accept loop (poll on the listen socket + an internal drain
-//     pipe), spawning a reader/writer thread pair per connection;
-//   - requests parsed by the reader are admitted into the shared
-//     util::ThreadPool (batching: any number of connections fan into the
-//     same workers, pipelined requests on one connection run
-//     concurrently) behind a bounded admission count — beyond
-//     max_pending the request is answered immediately with an
-//     "overloaded" error instead of queueing without bound;
+// Threading model (event loop; see docs/serving.md for the diagram):
+//   - ONE event-loop thread (net::EventLoop: epoll + eventfd wake-up +
+//     timer wheel) owns the listener and every connection fd.  It
+//     accepts, feeds non-blocking reads into the per-connection
+//     LineReader, parses and admits request lines, answers the admin
+//     lane inline, and flushes responses — thread count is O(pool), not
+//     O(connections);
+//   - requests admitted by the loop run on the shared util::ThreadPool
+//     (any number of connections fan into the same workers; pipelined
+//     requests on one connection compute concurrently) behind a bounded
+//     admission count — beyond max_pending the request is answered
+//     immediately with an "overloaded" error instead of queueing without
+//     bound;
 //   - identical requests are deduplicated by net::ResultCache
 //     (single-flight + cross-request LRU keyed by
 //     core::service_request_digest);
-//   - the writer emits responses strictly in request order per
-//     connection, so clients may pipeline naively.
+//   - workers deliver completed payloads into per-connection response
+//     slots and wake the loop; the loop writes responses strictly in
+//     request order per connection, buffering what the peer's window
+//     refuses and finishing on EPOLLOUT, so clients may pipeline naively;
+//   - read/idle/write-stall clocks live on the loop's timer wheel: a
+//     mid-line stall, a quiet connection, or a peer that stops draining
+//     its responses is disconnected without a dedicated thread watching
+//     it.
 //
 // Drain (SIGTERM/SIGINT via request_drain()): the listen socket closes
-// (new connections are refused), readers consume only what is already
-// buffered or on the wire, every admitted request still computes and its
-// response is written, then write sides half-close and the daemon
-// finishes.  Zero accepted requests are dropped.
+// (new connections are refused), the loop consumes only the bytes each
+// connection already has on the wire, every admitted request still
+// computes and its response is written, then write sides half-close and
+// the daemon finishes.  Zero accepted requests are dropped.
 //
 // Observability: per-connection/request/compute spans, a "serve.*"
-// metric family (catalog in docs/observability.md), a lock-free flight
-// recorder of per-request phase timelines, and an admin lane — statsz /
-// healthz / cachez / flightz / quitquitquit lines are answered by the
-// connection reader itself, bypassing both bounded admission and the
-// compute pool, so introspection stays responsive under full saturation.
+// metric family incl. loop health counters (catalog in
+// docs/observability.md), a lock-free flight recorder of per-request
+// phase timelines, and an admin lane — statsz / healthz / cachez /
+// flightz / chaosz / quitquitquit lines are answered inline by the loop,
+// bypassing both bounded admission and the compute pool, so
+// introspection stays responsive under full saturation.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "core/incremental.hpp"
+#include "net/event_loop.hpp"
 #include "net/result_cache.hpp"
 #include "obs/flight.hpp"
 #include "obs/flush.hpp"
@@ -90,19 +102,29 @@ struct ServerConfig {
   /// 0 = unbounded.
   std::size_t max_request_bytes{32ull << 20};
   /// Per-connection response queue bound: once this many responses are
-  /// admitted but unwritten, the reader stops and the client is
-  /// disconnected after the admitted ones drain (serve.write_queue_overflow).
-  /// 0 = unbounded.
+  /// admitted but unwritten, the loop stops reading that connection and
+  /// disconnects it after the admitted ones drain
+  /// (serve.write_queue_overflow).  0 = unbounded.
   std::size_t max_write_queue{256};
-  /// Per-response write stall bound: a peer that accepts no bytes for this
-  /// long is disconnected (serve.slow_client_disconnects).  <= 0 disables.
+  /// Per-response write stall bound, cumulative: a response that is not
+  /// fully accepted by the peer within this budget of starting to flush
+  /// gets the connection disconnected (serve.slow_client_disconnects) —
+  /// a slow-loris peer draining one byte per window cannot reset the
+  /// clock.  <= 0 disables.
   double write_timeout_s{30.0};
   /// Default wall-clock budget (ms) for requests carrying no
   /// "deadline_ms" field; expired requests get a typed
   /// "deadline_exceeded" error.  0 = none.
   double default_deadline_ms{0.0};
+  /// listen(2) backlog — sized for event-loop accept bursts (hundreds of
+  /// clients connecting at once are absorbed by the kernel queue).
+  int listen_backlog{1024};
+  /// SO_SNDBUF for accepted sockets, bytes (0 = kernel default).  Bounds
+  /// per-connection kernel memory and makes write-stall handling
+  /// observable in tests.
+  int sndbuf_bytes{0};
   /// Deterministic fault injection over the accepted sockets, the accept
-  /// loop and pool dispatch (util/faultinject.hpp).  nullptr = chaos off.
+  /// path and pool dispatch (util/faultinject.hpp).  nullptr = chaos off.
   std::shared_ptr<FaultInjector> chaos;
 };
 
@@ -114,7 +136,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and starts the accept loop.  Throws
+  /// Binds, listens and starts the event loop.  Throws
   /// InternalError(kIo) when the port cannot be bound.
   void start();
 
@@ -128,7 +150,7 @@ class Server {
     return draining_.load(std::memory_order_acquire);
   }
 
-  /// Blocks until the drain finished: accept loop joined, every
+  /// Blocks until the drain finished: event loop joined, every
   /// connection answered and closed, compute pool idle.
   void wait();
 
@@ -141,16 +163,42 @@ class Server {
 
  private:
   struct Connection;
+  using ConnPtr = std::shared_ptr<Connection>;
 
-  void accept_loop();
-  void reader_loop(Connection& conn);
-  void writer_loop(Connection& conn);
-  void handle_line(Connection& conn, const std::string& line);
-  /// Admin lane: recognizes and answers an admin line inline on the
-  /// reader thread.  Returns false when the line is not admin-shaped.
-  bool handle_admin_line(Connection& conn, const std::string& line);
+  // Everything below (except admin_response's locked snapshot diffs,
+  // which are thread-safe on their own) runs on the loop thread.
+  void on_accept_ready();
+  void on_connection_event(const ConnPtr& conn, unsigned events);
+  void process_input(const ConnPtr& conn);
+  void handle_line(const ConnPtr& conn, const std::string& line);
+  /// Admin lane: recognizes and answers an admin line inline on the loop
+  /// thread.  Returns false when the line is not admin-shaped.
+  bool handle_admin_line(const ConnPtr& conn, const std::string& line);
   [[nodiscard]] std::string admin_response(const AdminRequest& req);
-  void reap_finished_locked();
+  /// Pushes an already-resolved response (admin, typed errors) and
+  /// flushes.
+  void enqueue_ready(const ConnPtr& conn, std::string response,
+                     std::shared_ptr<obs::FlightRecord> flight);
+  /// Writes ready responses in order until the peer's window refuses
+  /// bytes; arms EPOLLOUT + the write-stall timer on a partial flush.
+  void flush_connection(const ConnPtr& conn);
+  /// Stamps the flushed response's flight record and publishes it.
+  void commit_response(const ConnPtr& conn);
+  void mark_peer_dead(const ConnPtr& conn, bool slow);
+  /// Stops reading (EOF, error, timeout, overflow stop or drain).
+  void stop_input(const ConnPtr& conn);
+  /// Re-arms the connection's read/idle deadline on the timer wheel.
+  void schedule_input_timer(const ConnPtr& conn);
+  void on_input_deadline(const ConnPtr& conn);
+  void arm_write_timer(const ConnPtr& conn);
+  void set_want_write(const ConnPtr& conn, bool on);
+  /// Closes once input ended and every admitted response was flushed
+  /// (or consumed, for a dead peer).
+  void maybe_close(const ConnPtr& conn);
+  void close_connection(const ConnPtr& conn);
+  /// Drain, on the loop thread: close the listener, consume only the
+  /// bytes already on the wire, finish once all connections flushed.
+  void begin_drain();
 
   ServerConfig config_;
   power::PowerModel model_;
@@ -162,7 +210,15 @@ class Server {
   std::unique_ptr<obs::MetricsFlusher> flusher_;
   std::size_t max_pending_{0};
   std::int64_t start_ns_{0};
+  std::int64_t read_timeout_ns_{0};
+  std::int64_t idle_timeout_ns_{0};
+  std::int64_t write_timeout_ns_{0};
 
+  // Scrape baselines.  The admin lane is single-threaded on the loop
+  // today, but the snapshot is still taken *under* these locks: a
+  // snapshot captured outside and assigned later can overwrite a newer
+  // baseline (double-counting the next scrape's deltas) the moment two
+  // scrapers race — keep the invariant locked in, not incidental.
   std::mutex scrape_mutex_;
   std::map<std::string, std::uint64_t> last_scrape_;
   std::uint64_t scrape_seq_{0};
@@ -175,15 +231,15 @@ class Server {
 
   std::unique_ptr<ListenSocket> listener_;
   std::uint16_t port_{0};
-  std::thread accept_thread_;
+
+  std::unique_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
+  /// Loop-thread only; keyed by fd.
+  std::unordered_map<int, ConnPtr> connections_;
+  bool drain_begun_{false};  ///< loop-thread view of the drain
 
   std::atomic<bool> draining_{false};
-  int drain_pipe_[2]{-1, -1};
-
   std::atomic<std::size_t> pending_{0};
-
-  std::mutex connections_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
 };
 
 }  // namespace lamps::net

@@ -40,8 +40,29 @@ void Socket::close() {
   }
 }
 
+namespace {
+
+// Milliseconds left until `deadline` (clamped to >= 0).  Shared by the
+// deadline-aware send/poll loops below so EINTR and partial progress
+// always re-arm with the *remaining* budget, never a fresh one.
+int remaining_ms(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - std::chrono::steady_clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  return static_cast<int>(std::min<long long>(left, 1000 * 60 * 60 * 24));
+}
+
+}  // namespace
+
 Socket::SendStatus Socket::send_all_deadline(std::string_view data,
                                              int timeout_ms) const {
+  // The deadline is cumulative: anchored once here, not per chunk.  A
+  // peer draining one byte per poll window makes progress but must still
+  // finish the whole buffer inside the budget.
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeout_ms : 0);
   const char* p = data.data();
   std::size_t left = data.size();
   while (left > 0) {
@@ -63,7 +84,12 @@ Socket::SendStatus Socket::send_all_deadline(std::string_view data,
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        if (!poll_writable(fd_, timeout_ms)) return SendStatus::kTimeout;
+        int wait_ms = -1;
+        if (bounded) {
+          wait_ms = remaining_ms(deadline);
+          if (wait_ms == 0) return SendStatus::kTimeout;
+        }
+        if (!poll_writable(fd_, wait_ms)) return SendStatus::kTimeout;
         continue;
       }
       return SendStatus::kError;
@@ -72,6 +98,39 @@ Socket::SendStatus Socket::send_all_deadline(std::string_view data,
     left -= static_cast<std::size_t>(n);
   }
   return SendStatus::kOk;
+}
+
+Socket::IoStatus Socket::send_some(std::string_view data, std::size_t* sent) const {
+  *sent = 0;
+  if (data.empty()) return IoStatus::kOk;
+  std::size_t chunk = data.size();
+  if (fault_ != nullptr) {
+    const FaultInjector::WritePlan plan = fault_->plan_write(data.size());
+    if (plan.reset) {
+      errno = EPIPE;
+      return IoStatus::kError;
+    }
+    chunk = std::min(chunk, plan.chunk);
+    if (plan.pause_us > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(plan.pause_us));
+  }
+  for (;;) {
+    const ssize_t n = ::send(fd_, data.data(), chunk, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) {
+      *sent = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+}
+
+bool Socket::set_nonblocking(bool on) const {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd_, F_SETFL, next) == 0;
 }
 
 void Socket::shutdown_write() const {
@@ -132,7 +191,10 @@ std::optional<Socket> try_connect_tcp(std::uint16_t port, const std::string& hos
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
     return fail("invalid IPv4 address: " + host);
 
-  const int flags = ::fcntl(fd, F_GETFL, 0);
+  // A failed F_GETFL must not poison the restore below: fall back to 0 so
+  // the final F_SETFL still clears O_NONBLOCK instead of writing garbage.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) flags = 0;
   if (timeout_ms >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
   if (rc != 0 && errno == EINPROGRESS && timeout_ms >= 0) {
@@ -146,7 +208,7 @@ std::optional<Socket> try_connect_tcp(std::uint16_t port, const std::string& hos
     rc = 0;
   }
   if (rc != 0) return fail(std::string("cannot connect: ") + std::strerror(errno));
-  if (timeout_ms >= 0) ::fcntl(fd, F_SETFL, flags);  // back to blocking
+  if (timeout_ms >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);  // back to blocking
 
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -166,19 +228,46 @@ unsigned poll_readable(int fd1, int fd2, int timeout_ms) {
   nfds_t n = 0;
   fds[n++] = pollfd{fd1, POLLIN, 0};
   if (fd2 >= 0) fds[n++] = pollfd{fd2, POLLIN, 0};
-  const int rc = ::poll(fds, n, timeout_ms);
-  if (rc <= 0) return 0;  // timeout or EINTR
-  unsigned mask = 0;
-  if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) mask |= 1u;
-  if (n > 1 && (fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) mask |= 2u;
-  return mask;
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  int wait_ms = timeout_ms;
+  for (;;) {
+    fds[0].revents = 0;
+    if (n > 1) fds[1].revents = 0;
+    const int rc = ::poll(fds, n, wait_ms);
+    if (rc > 0) {
+      unsigned mask = 0;
+      if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) mask |= 1u;
+      if (n > 1 && (fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) mask |= 2u;
+      return mask;
+    }
+    if (rc == 0) return 0;              // genuine timeout
+    if (errno != EINTR) return 0;       // hard poll failure: nothing ready
+    if (bounded) {
+      wait_ms = remaining_ms(deadline);  // EINTR: retry with what's left
+      if (wait_ms == 0) return 0;
+    }
+  }
 }
 
 bool poll_writable(int fd, int timeout_ms) {
   pollfd pfd{fd, POLLOUT, 0};
-  const int rc = ::poll(&pfd, 1, timeout_ms);
-  if (rc <= 0) return false;
-  return (pfd.revents & (POLLOUT | POLLHUP | POLLERR)) != 0;
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  int wait_ms = timeout_ms;
+  for (;;) {
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc > 0) return (pfd.revents & (POLLOUT | POLLHUP | POLLERR)) != 0;
+    if (rc == 0) return false;          // genuine timeout
+    if (errno != EINTR) return false;   // hard poll failure
+    if (bounded) {
+      wait_ms = remaining_ms(deadline);  // EINTR: retry with what's left
+      if (wait_ms == 0) return false;
+    }
+  }
 }
 
 bool LineReader::has_buffered_line() const {
@@ -235,6 +324,7 @@ LineReader::Status LineReader::fill() {
     const ssize_t n = ::recv(fd_, chunk, want, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::kWouldBlock;
       return Status::kError;
     }
     if (n == 0) {
@@ -270,6 +360,9 @@ LineReader::Status LineReader::read_line(std::string& out) {
     if (popped != Status::kAgain) return popped;
     const Status filled = fill();
     if (filled == Status::kError) return filled;
+    // A non-blocking fd would spin here; park in poll until readable so
+    // read_line keeps its blocking contract either way.
+    if (filled == Status::kWouldBlock) (void)poll_readable(fd_, -1, -1);
     // kEof loops once more so next_line can flush the final line.
   }
 }

@@ -46,13 +46,26 @@ class Socket {
 
   enum class SendStatus { kOk, kTimeout, kError };
 
-  /// Writes the whole buffer (retrying partial writes / EINTR), giving up
-  /// once the peer's receive window stalls progress for `timeout_ms`
-  /// (-1 = never; the stall clock resets on every successful chunk).
-  /// kError once the peer is gone (EPIPE/ECONNRESET) or on any other
-  /// failure.
+  /// Writes the whole buffer (retrying partial writes / EINTR) under a
+  /// cumulative deadline: `timeout_ms` is anchored once at entry and each
+  /// wait for window space gets only the remaining budget, so a slow-loris
+  /// peer draining one byte per window cannot stall the writer forever
+  /// (-1 = unbounded).  kError once the peer is gone (EPIPE/ECONNRESET)
+  /// or on any other failure.
   [[nodiscard]] SendStatus send_all_deadline(std::string_view data,
                                              int timeout_ms) const;
+
+  enum class IoStatus { kOk, kWouldBlock, kError };
+
+  /// One non-blocking send attempt (EINTR retried), for event-loop
+  /// writers.  On kOk, `*sent` holds the bytes the kernel accepted —
+  /// possibly fewer than data.size(), and possibly clamped/torn by an
+  /// attached fault injector.  kWouldBlock when the peer's receive
+  /// window is full: register for writability and retry later.
+  [[nodiscard]] IoStatus send_some(std::string_view data, std::size_t* sent) const;
+
+  /// Toggles O_NONBLOCK on the fd.  Returns false when fcntl fails.
+  bool set_nonblocking(bool on) const;
 
   /// send_all_deadline without a stall bound.  Returns false on error.
   bool send_all(std::string_view data) const {
@@ -85,10 +98,13 @@ class ListenSocket {
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] int fd() const { return socket_.fd(); }
 
-  /// Accepts one connection; empty optional on EINTR or a transient
-  /// accept failure (callers poll first, so no connection pending means
-  /// "try again").
+  /// Accepts one connection; empty optional on EINTR, EAGAIN (when the
+  /// listener is non-blocking) or a transient accept failure — callers
+  /// poll/epoll first, so no connection pending means "try again".
   [[nodiscard]] std::optional<Socket> accept() const;
+
+  /// Toggles O_NONBLOCK on the listening fd (event-loop accept).
+  bool set_nonblocking(bool on) const { return socket_.set_nonblocking(on); }
 
   void close() { socket_.close(); }
 
@@ -111,11 +127,13 @@ class ListenSocket {
 
 /// poll(2) on up to two fds (`fd2 < 0` = only one).  Returns a bitmask:
 /// bit 0 set when fd1 is readable/EOF, bit 1 for fd2.  0 on timeout;
-/// `timeout_ms < 0` blocks indefinitely.  EINTR reports as timeout.
+/// `timeout_ms < 0` blocks indefinitely.  EINTR is retried with the
+/// remaining budget, never reported as a timeout.
 [[nodiscard]] unsigned poll_readable(int fd1, int fd2, int timeout_ms);
 
 /// poll(2) for writability on one fd.  True when writable (or the peer
-/// hung up — the next send surfaces the error); false on timeout/EINTR.
+/// hung up — the next send surfaces the error); false on timeout.  EINTR
+/// is retried with the remaining budget.
 [[nodiscard]] bool poll_writable(int fd, int timeout_ms);
 
 /// Buffered newline-delimited reader over a socket fd (does not own it).
@@ -136,11 +154,12 @@ class LineReader {
       : fd_(fd), max_line_bytes_(max_line_bytes), fault_(fault) {}
 
   enum class Status {
-    kLine,      ///< one complete line in `out` (trailing '\n' stripped)
-    kEof,       ///< stream ended, nothing buffered
-    kError,     ///< recv failed (including injected resets)
-    kAgain,     ///< no complete line buffered yet — fill() for more
-    kOverflow,  ///< an oversize line was discarded (stream resynced)
+    kLine,        ///< one complete line in `out` (trailing '\n' stripped)
+    kEof,         ///< stream ended, nothing buffered
+    kError,       ///< recv failed (including injected resets)
+    kAgain,       ///< no complete line buffered yet — fill() for more
+    kOverflow,    ///< an oversize line was discarded (stream resynced)
+    kWouldBlock,  ///< fill() on a non-blocking fd with no bytes pending
   };
 
   /// Blocks until one full line is available.  kEof after the final,
@@ -154,7 +173,9 @@ class LineReader {
 
   /// One recv into the buffer (the caller polls for readability first,
   /// so this blocks at most for one ready read).  kAgain = bytes
-  /// buffered, kEof = peer half-closed, kError = failure/injected reset.
+  /// buffered, kEof = peer half-closed, kError = failure/injected reset,
+  /// kWouldBlock = non-blocking fd with nothing to read yet (the event
+  /// loop waits for the next EPOLLIN instead of spinning).
   Status fill();
 
   /// True when a complete buffered line can be returned without touching

@@ -442,62 +442,70 @@ TEST(ServeChaos, ChaoszReportsDisabledWithoutSpec) {
 }
 
 TEST(ServeChaos, ChaosSoakedServerAnswersEverythingWithRetries) {
-  ServerConfig cfg;
-  cfg.threads = 2;
-  cfg.chaos = std::make_shared<FaultInjector>(parse_fault_spec(
-      "seed=3,short_read=0.6,read_reset=0.04,short_write=0.3,torn_write=0.4,"
-      "dispatch_delay=0.3,dispatch_delay_ms=2"));
-  Server server(cfg);
-  server.start();
+  // Three seeds, three fully distinct fault schedules over the same
+  // non-blocking I/O paths (send_some / LineReader::fill / accept / pool
+  // dispatch); every seed must converge to 100% eventual success with
+  // byte-identical payloads.
+  for (const unsigned seed : {3u, 11u, 29u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ServerConfig cfg;
+    cfg.threads = 2;
+    cfg.chaos = std::make_shared<FaultInjector>(parse_fault_spec(
+        "seed=" + std::to_string(seed) +
+        ",short_read=0.6,read_reset=0.04,short_write=0.3,torn_write=0.4,"
+        "dispatch_delay=0.3,dispatch_delay_ms=2"));
+    Server server(cfg);
+    server.start();
 
-  const power::PowerModel model;
-  const power::DvsLadder ladder(model);
-  struct Item {
-    std::string line;
-    std::string expected;
-  };
-  std::vector<Item> corpus;
-  for (std::size_t i = 0; i < 6; ++i) {
-    Item item;
-    item.line = request_line(small_stg(60 + i, 32),
-                             i % 2 == 0 ? "LAMPS" : "S&S+PS", std::to_string(i));
-    const ParsedRequest parsed = parse_schedule_request(item.line, model);
-    item.expected =
-        result_json(core::run_service_request(parsed.request, model, ladder), ladder);
-    corpus.push_back(std::move(item));
-  }
-
-  std::optional<Socket> sock;
-  std::optional<LineReader> reader;
-  std::size_t eventual_ok = 0;
-  std::size_t reconnects = 0;
-  for (std::size_t i = 0; i < 30; ++i) {
-    const Item& item = corpus[i % corpus.size()];
-    for (int attempt = 0; attempt < 8; ++attempt) {
-      if (!sock.has_value()) {
-        sock = try_connect_tcp(server.port(), "127.0.0.1", 2000);
-        ASSERT_TRUE(sock.has_value());
-        reader.emplace(sock->fd());
-        ++reconnects;
-      }
-      std::string response;
-      if (!sock->send_all(item.line) ||
-          reader->read_line(response) != LineReader::Status::kLine) {
-        sock.reset();  // injected reset: reconnect and retry
-        reader.reset();
-        continue;
-      }
-      ASSERT_NE(response.find("\"ok\":true"), std::string::npos) << response;
-      // The hard guarantee: chaos may slow or sever, but every success is
-      // byte-identical to the direct computation.
-      EXPECT_EQ(extract_result_json(response), item.expected);
-      ++eventual_ok;
-      break;
+    const power::PowerModel model;
+    const power::DvsLadder ladder(model);
+    struct Item {
+      std::string line;
+      std::string expected;
+    };
+    std::vector<Item> corpus;
+    for (std::size_t i = 0; i < 6; ++i) {
+      Item item;
+      item.line = request_line(small_stg(60 + i, 32),
+                               i % 2 == 0 ? "LAMPS" : "S&S+PS", std::to_string(i));
+      const ParsedRequest parsed = parse_schedule_request(item.line, model);
+      item.expected =
+          result_json(core::run_service_request(parsed.request, model, ladder), ladder);
+      corpus.push_back(std::move(item));
     }
+
+    std::optional<Socket> sock;
+    std::optional<LineReader> reader;
+    std::size_t eventual_ok = 0;
+    std::size_t reconnects = 0;
+    for (std::size_t i = 0; i < 30; ++i) {
+      const Item& item = corpus[i % corpus.size()];
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        if (!sock.has_value()) {
+          sock = try_connect_tcp(server.port(), "127.0.0.1", 2000);
+          ASSERT_TRUE(sock.has_value());
+          reader.emplace(sock->fd());
+          ++reconnects;
+        }
+        std::string response;
+        if (!sock->send_all(item.line) ||
+            reader->read_line(response) != LineReader::Status::kLine) {
+          sock.reset();  // injected reset: reconnect and retry
+          reader.reset();
+          continue;
+        }
+        ASSERT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+        // The hard guarantee: chaos may slow or sever, but every success is
+        // byte-identical to the direct computation.
+        EXPECT_EQ(extract_result_json(response), item.expected);
+        ++eventual_ok;
+        break;
+      }
+    }
+    EXPECT_EQ(eventual_ok, 30U);
+    EXPECT_GT(cfg.chaos->injected_total(), 0U);
+    EXPECT_GT(cfg.chaos->decisions(FaultSite::kShortRead), 0U);
   }
-  EXPECT_EQ(eventual_ok, 30U);
-  EXPECT_GT(cfg.chaos->injected_total(), 0U);
-  EXPECT_GT(cfg.chaos->decisions(FaultSite::kShortRead), 0U);
 }
 
 TEST(ServeChaos, FragmentedRequestParsesIdentically) {

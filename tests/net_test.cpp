@@ -11,13 +11,21 @@
 //    requests
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "net/event_loop.hpp"
 
 #include "core/request.hpp"
 #include "graph/task_graph.hpp"
@@ -683,6 +691,306 @@ TEST(ServeIntegration, DrainDuringAScrapeLoopEndsCleanly) {
   scraper.join();
   EXPECT_TRUE(clean_end.load());
   EXPECT_GE(scrapes.load(), 20U);
+}
+
+// ---------------------------------------------------------------------------
+// TimerWheel (the event loop's read/idle/write-stall clock carrier)
+
+TEST(TimerWheelTest, FiresByDeadlineNotArmOrder) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  (void)wheel.arm(500'000'000, [&] { fired.push_back(2); });  // 500 ms
+  (void)wheel.arm(5'000'000, [&] { fired.push_back(1); });    // 5 ms
+  EXPECT_EQ(wheel.armed(), 2U);
+
+  EXPECT_EQ(wheel.advance(6'000'000), 1U);  // only the 5 ms timer is due
+  EXPECT_EQ(fired, std::vector<int>({1}));
+  EXPECT_EQ(wheel.advance(400'000'000), 0U);  // 400 ms: still not due
+  EXPECT_EQ(wheel.advance(501'000'000), 1U);
+  EXPECT_EQ(fired, std::vector<int>({1, 2}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, CancelIsANoOpAfterFiringAndPreventsFiring) {
+  TimerWheel wheel;
+  int fired = 0;
+  const std::uint64_t keep = wheel.arm(10'000'000, [&] { ++fired; });
+  const std::uint64_t drop = wheel.arm(10'000'000, [&] { ++fired; });
+  wheel.cancel(drop);
+  EXPECT_EQ(wheel.armed(), 1U);
+  EXPECT_EQ(wheel.advance(20'000'000), 1U);
+  EXPECT_EQ(fired, 1);
+  wheel.cancel(keep);  // already fired: no-op
+  wheel.cancel(99'999);  // never existed: no-op
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, FarDeadlinesSurviveFullWheelRotations) {
+  // Default geometry is 512 slots x 10 ms = 5.12 s per rotation; a 12 s
+  // deadline hashes onto a bucket that is visited twice before it is due.
+  TimerWheel wheel;
+  int fired = 0;
+  (void)wheel.arm(12'000'000'000, [&] { ++fired; });
+  std::int64_t now = 0;
+  while (now < 11'000'000'000) {  // sweep in quarter-rotation steps
+    now += 1'280'000'000;
+    EXPECT_EQ(wheel.advance(now), 0U) << "fired early at " << now;
+  }
+  EXPECT_EQ(wheel.advance(12'010'000'000), 1U);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, CallbacksMayArmAndCancelOtherTimers) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  std::uint64_t victim = 0;
+  (void)wheel.arm(10'000'000, [&] {
+    fired.push_back(1);
+    wheel.cancel(victim);  // cancel a peer that is not yet due
+    (void)wheel.arm(30'000'000, [&] { fired.push_back(3); });  // chain a new one
+  });
+  victim = wheel.arm(20'000'000, [&] { fired.push_back(2); });
+  EXPECT_EQ(wheel.advance(15'000'000), 1U);
+  EXPECT_EQ(wheel.advance(25'000'000), 0U);  // victim was cancelled
+  EXPECT_EQ(wheel.advance(35'000'000), 1U);
+  EXPECT_EQ(fired, std::vector<int>({1, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Socket deadline semantics
+
+TEST(SocketDeadline, SendAllDeadlineIsCumulativeUnderDripDrain) {
+  // A peer draining a trickle keeps every individual poll making
+  // "progress", so a per-poll timeout would never trip — the deadline
+  // must be anchored once at entry and shrink across retries.
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  int small = 4096;
+  ::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof small);
+  ::setsockopt(sv[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof small);
+  Socket writer(sv[0]);
+
+  std::atomic<bool> stop{false};
+  std::thread dripper([&] {
+    char sink[512];
+    while (!stop.load()) {
+      (void)::recv(sv[1], sink, sizeof sink, MSG_DONTWAIT);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  const std::string payload(4u << 20, 'x');  // far beyond the drip rate
+  const auto t0 = std::chrono::steady_clock::now();
+  const Socket::SendStatus status = writer.send_all_deadline(payload, 250);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  stop.store(true);
+  dripper.join();
+  ::close(sv[1]);
+
+  EXPECT_EQ(status, Socket::SendStatus::kTimeout);
+  EXPECT_GE(elapsed_s, 0.2);  // the budget was actually granted...
+  EXPECT_LT(elapsed_s, 2.0);  // ...and not re-granted per poll round
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop serving plane
+
+TEST(ServeIntegration, ThreadCountIsIndependentOfConnectionCount) {
+  const auto thread_count = [] {
+    std::size_t n = 0;
+    for ([[maybe_unused]] const auto& entry :
+         std::filesystem::directory_iterator("/proc/self/task"))
+      ++n;
+    return n;
+  };
+  const auto& reg = obs::Registry::global();
+  ServerConfig cfg;
+  cfg.threads = 2;
+  Server server(cfg);
+  server.start();
+  const std::size_t baseline = thread_count();
+
+  constexpr std::size_t kConns = 32;
+  const std::uint64_t accepted_before = reg.counter_value("serve.connections_total");
+  std::vector<Socket> socks;
+  socks.reserve(kConns);
+  for (std::size_t i = 0; i < kConns; ++i) socks.push_back(connect_tcp(server.port()));
+  while (reg.counter_value("serve.connections_total") < accepted_before + kConns)
+    std::this_thread::yield();
+
+  // The event loop absorbs all 32 connections without spawning anything.
+  EXPECT_EQ(thread_count(), baseline);
+
+  // And they are all live: each one gets a scrape answered.
+  for (auto& sock : socks) {
+    ASSERT_TRUE(sock.send_all("healthz\n"));
+    LineReader reader(sock.fd());
+    std::string line;
+    ASSERT_EQ(reader.read_line(line), LineReader::Status::kLine);
+    EXPECT_TRUE(JsonValue::parse(line).get("ok")->as_bool());
+  }
+  socks.clear();
+  server.request_drain();
+  server.wait();
+}
+
+TEST(ServeIntegration, ConcurrentStatszScrapersSeeTelescopingDeltas) {
+  // Counter deltas are relative to a per-server baseline map.  When
+  // scrapers race, each scrape must still account every increment exactly
+  // once: summing "serve.requests_total" deltas over ALL scrapes (the
+  // baseline starts empty, so the first one is absolute) has to land
+  // exactly on the registry's absolute counter value once traffic stops.
+  // A snapshot taken outside the baseline lock breaks this: two racing
+  // scrapers can assign baselines out of order and double-count.
+  const auto& reg = obs::Registry::global();
+  ServerConfig cfg;
+  cfg.threads = 2;
+  cfg.max_pending = 64;
+  Server server(cfg);
+  server.start();
+
+  std::atomic<bool> load_done{false};
+  std::thread requester([&] {
+    const Socket sock = connect_tcp(server.port());
+    LineReader reader(sock.fd());
+    for (std::size_t i = 0; i < 40; ++i) {
+      if (!sock.send_all(request_line(small_stg(70 + i % 4, 12), "LAMPS",
+                                      std::to_string(i))))
+        break;
+      std::string line;
+      if (reader.read_line(line) != LineReader::Status::kLine) break;
+    }
+    load_done.store(true);
+  });
+
+  constexpr std::size_t kScrapers = 4;
+  std::vector<double> summed(kScrapers, 0.0);
+  std::atomic<int> malformed{0};
+  {
+    std::vector<std::thread> scrapers;
+    for (std::size_t s = 0; s < kScrapers; ++s) {
+      scrapers.emplace_back([&, s] {
+        const Socket sock = connect_tcp(server.port());
+        LineReader reader(sock.fd());
+        // Scrape flat out until the load finishes so the windows overlap
+        // heavily across the racing scrapers.
+        while (!load_done.load()) {
+          if (!sock.send_all("statsz\n")) {
+            malformed.fetch_add(1);
+            return;
+          }
+          std::string line;
+          if (reader.read_line(line) != LineReader::Status::kLine) {
+            malformed.fetch_add(1);
+            return;
+          }
+          const JsonValue doc = JsonValue::parse(line);
+          summed[s] += doc.get("deltas")->get_number("serve.requests_total", 0.0);
+        }
+      });
+    }
+    for (auto& t : scrapers) t.join();
+  }
+  requester.join();
+  ASSERT_EQ(malformed.load(), 0);
+
+  // One quiescent scrape collects whatever the racing ones left behind.
+  double total = 0.0;
+  for (const double part : summed) total += part;
+  {
+    const Socket sock = connect_tcp(server.port());
+    ASSERT_TRUE(sock.send_all("statsz\n"));
+    LineReader reader(sock.fd());
+    std::string line;
+    ASSERT_EQ(reader.read_line(line), LineReader::Status::kLine);
+    total += JsonValue::parse(line).get("deltas")->get_number(
+        "serve.requests_total", 0.0);
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(total),
+            reg.counter_value("serve.requests_total"));
+
+  server.request_drain();
+  server.wait();
+}
+
+TEST(ServeIntegration, SlowReaderIsDisconnectedWithinWriteBudget) {
+  const auto& reg = obs::Registry::global();
+  ServerConfig cfg;
+  cfg.threads = 1;
+  cfg.max_pending = 8;
+  cfg.max_write_queue = 0;     // the stall clock, not the queue bound, must trip
+  cfg.write_timeout_s = 0.25;  // cumulative per-response budget
+  cfg.sndbuf_bytes = 4096;     // tiny kernel buffer so the stall is reachable
+  Server server(cfg);
+  server.start();
+
+  const std::string line = request_line(small_stg(80), "LAMPS", "1");
+
+  // Warm the result cache so the pipelined burst below resolves instantly
+  // and the test exercises only the write path.
+  {
+    const Socket sock = connect_tcp(server.port());
+    ASSERT_TRUE(sock.send_all(line));
+    LineReader reader(sock.fd());
+    std::string warm;
+    ASSERT_EQ(reader.read_line(warm), LineReader::Status::kLine);
+    ASSERT_TRUE(JsonValue::parse(warm).get("ok")->as_bool());
+  }
+
+  const std::uint64_t slow_before =
+      reg.counter_value("serve.slow_client_disconnects");
+
+  // A client with a tiny receive window that pipelines a burst far larger
+  // than both socket buffers, then drains one byte per 50 ms: its
+  // cumulative progress can never finish a response inside the budget.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcv = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcv, sizeof rcv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  Socket slow(fd);
+  std::string burst;
+  for (int i = 0; i < 100; ++i) burst += line;
+  ASSERT_TRUE(slow.send_all(burst));
+
+  // Drip-read one byte per 50 ms until the server gives up on us.  The
+  // disconnect is observed server-side (the counter), because the bytes
+  // already sitting in our receive buffer would hide the close from
+  // recv() for minutes at this drain rate.
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed_s = 0.0;
+  bool counted = false;
+  for (int i = 0; i < 400 && !counted; ++i) {  // hard cap: 400 x 50 ms = 20 s
+    char byte = 0;
+    (void)::recv(fd, &byte, 1, MSG_DONTWAIT);
+    elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    counted = reg.counter_value("serve.slow_client_disconnects") >= slow_before + 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(counted);
+  EXPECT_LT(elapsed_s, 2.0);  // well within ~2x the 0.25 s budget
+
+  // Once the buffered bytes are drained at full speed the close is
+  // visible client-side too (EOF or reset, depending on unread data).
+  bool disconnected = false;
+  for (int i = 0; i < 10'000; ++i) {
+    char sink[4096];
+    const ssize_t n = ::recv(fd, sink, sizeof sink, 0);
+    if (n <= 0) {
+      disconnected = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(disconnected);
+
+  server.request_drain();
+  server.wait();
 }
 
 }  // namespace

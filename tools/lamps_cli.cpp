@@ -495,12 +495,15 @@ int cmd_serve(int argc, const char* const* argv) {
   std::size_t max_write_queue = 256;
   double write_timeout_ms = 30'000.0;
   double default_deadline_ms = 0.0;
+  std::size_t listen_backlog = 1024;
+  std::size_t sndbuf_bytes = 0;
   std::string chaos_spec;
   ObsOptions oo;
   CliParser cli(
-      "Run the scheduling daemon: JSON-lines requests over TCP, answered "
-      "from a shared worker pool with a single-flight result cache; "
-      "SIGTERM/SIGINT drain gracefully (docs/serving.md)");
+      "Run the scheduling daemon: JSON-lines requests over TCP on a single "
+      "epoll event loop, answered from a shared worker pool with a "
+      "single-flight result cache; SIGTERM/SIGINT drain gracefully "
+      "(docs/serving.md)");
   cli.add_option("port", "TCP port, 0 = ephemeral (printed on stdout)", &port);
   cli.add_option("threads", "compute workers, 0 = hardware concurrency", &threads);
   cli.add_option("max-pending",
@@ -543,6 +546,12 @@ int cmd_serve(int argc, const char* const* argv) {
   cli.add_option("default-deadline-ms",
                  "wall-clock budget for requests without \"deadline_ms\", "
                  "0 = none", &default_deadline_ms);
+  cli.add_option("listen-backlog",
+                 "listen(2) queue depth absorbing event-loop accept bursts",
+                 &listen_backlog);
+  cli.add_option("sndbuf-bytes",
+                 "SO_SNDBUF for accepted sockets, 0 = kernel default",
+                 &sndbuf_bytes);
   cli.add_option("chaos-spec",
                  "deterministic fault injection, e.g. "
                  "\"seed=42,short_read=0.3,write_reset=0.05\" (falls back to "
@@ -572,6 +581,8 @@ int cmd_serve(int argc, const char* const* argv) {
     cfg.max_write_queue = max_write_queue;
     cfg.write_timeout_s = write_timeout_ms / 1e3;
     cfg.default_deadline_ms = default_deadline_ms;
+    cfg.listen_backlog = static_cast<int>(listen_backlog);
+    cfg.sndbuf_bytes = static_cast<int>(sndbuf_bytes);
     if (chaos_spec.empty()) {
       if (const char* env = std::getenv("LAMPS_CHAOS"); env != nullptr)
         chaos_spec = env;
